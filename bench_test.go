@@ -1,0 +1,405 @@
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper (DESIGN.md §4), plus the ablation benches DESIGN.md §5
+// calls out and microbenchmarks of the core engines. Accuracy-style
+// ablations report their quality figure through b.ReportMetric.
+//
+// Run with: go test -bench=. -benchmem
+package icost_test
+
+import (
+	"math"
+	"testing"
+
+	"icost"
+	"icost/internal/breakdown"
+	"icost/internal/cost"
+	"icost/internal/depgraph"
+	"icost/internal/experiments"
+	"icost/internal/multisim"
+	"icost/internal/ooo"
+	"icost/internal/profiler"
+	"icost/internal/workload"
+)
+
+// benchScale keeps each iteration around tens of milliseconds.
+func benchConfig(benches ...string) experiments.Config {
+	return experiments.Config{TraceLen: 10000, Warmup: 10000, Seed: 42, Benches: benches}
+}
+
+// --- one benchmark per paper table/figure ---
+
+func BenchmarkTable4a(b *testing.B) {
+	cfg := benchConfig() // full 12-benchmark suite
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4a(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4b(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4b(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4c(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4c(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		full, err := experiments.Figure1(cfg, "gcc")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := full.CheckIdentity(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	// The graph-model instance: build and evaluate a small graph on
+	// the Figure 2 machine.
+	cfg := depgraph.DefaultConfig()
+	cfg.Window = 4
+	cfg.FetchBW = 2
+	cfg.CommitBW = 2
+	for i := 0; i < b.N; i++ {
+		g := depgraph.New(cfg, 7)
+		for j := 0; j < 7; j++ {
+			g.Info[j] = depgraph.InstInfo{Op: 1, SIdx: int32(j)}
+		}
+		if g.ExecTime(depgraph.Ideal{}) <= 0 {
+			b.Fatal("empty time")
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3(cfg, "gap"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSec42(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Sec42(cfg, "gap"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable7(b *testing.B) {
+	cfg := benchConfig("gzip") // one benchmark; multisim is 2^n sims
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, p := experiments.Table7Summary(rows, 5)
+		b.ReportMetric(g, "graphErrPts")
+		b.ReportMetric(p, "profErrPts")
+	}
+}
+
+// --- ablation benches (DESIGN.md §5) ---
+
+// BenchmarkGraphOverhead measures the simulator with and without
+// graph retention (the paper reports ~2x slowdown for graph building;
+// our simulator computes through the graph, so retention is nearly
+// free — the interesting ratio is simulation vs pure trace
+// generation, reported by BenchmarkWorkloadExecute).
+func BenchmarkGraphOverhead(b *testing.B) {
+	tr, err := workload.Load("gcc", 42, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("keepGraph", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ooo.Simulate(tr, ooo.DefaultConfig(), ooo.Options{KeepGraph: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dropGraph", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ooo.Simulate(tr, ooo.DefaultConfig(), ooo.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGraphVsResim compares the cost of one cost query via graph
+// re-evaluation against one idealized re-simulation — the paper's
+// headline efficiency argument for the graph method.
+func BenchmarkGraphVsResim(b *testing.B) {
+	tr, err := workload.Load("gcc", 42, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := ooo.Run(tr, ooo.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("graph", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := cost.New(res.Graph)
+			if a.Cost(depgraph.IdealDMiss) < 0 {
+				b.Fatal("negative cost")
+			}
+		}
+	})
+	b.Run("resim", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a, err := multisim.New(tr, ooo.DefaultConfig(), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if a.Cost(depgraph.IdealDMiss) < 0 {
+				b.Fatal("negative cost")
+			}
+		}
+	})
+}
+
+// BenchmarkWindowApproximation ablates the paper's 20x window
+// approximation of an infinite window (Table 1 footnote), reporting
+// the additional speedup 100x would find (ideally ~0).
+func BenchmarkWindowApproximation(b *testing.B) {
+	tr, err := workload.Load("vortex", 42, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := ooo.Run(tr, ooo.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		g20 := res.Graph
+		t20 := g20.ExecTime(depgraph.Ideal{Global: depgraph.IdealWindow})
+		cfg100 := g20.Cfg
+		cfg100.WindowIdealFactor = 100
+		g100 := *g20
+		g100.Cfg = cfg100
+		t100 := g100.ExecTime(depgraph.Ideal{Global: depgraph.IdealWindow})
+		b.ReportMetric(100*(float64(t20)/float64(t100)-1), "extraSpeedupPct")
+	}
+}
+
+// BenchmarkSignatureWidth ablates 1-bit vs 2-bit signatures
+// (DESIGN.md §5.4), reporting each width's mean absolute breakdown
+// error against the full-graph analysis.
+func BenchmarkSignatureWidth(b *testing.B) {
+	w, err := workload.New("parser", 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := w.Execute(30000, 43)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const warmup = 10000
+	res, err := ooo.Simulate(tr, ooo.DefaultConfig(), ooo.Options{KeepGraph: true, Warmup: warmup})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ga := cost.New(res.Graph)
+	cats := breakdown.BaseCategories()
+	truth := map[string]float64{}
+	for _, c := range cats {
+		truth[c.Name] = 100 * float64(ga.Cost(c.Flags)) / float64(ga.BaseTime())
+	}
+	for _, bits := range []int{1, 2} {
+		bits := bits
+		name := "2bit"
+		if bits == 1 {
+			name = "1bit"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := profiler.DefaultConfig()
+				cfg.SignatureBits = bits
+				cfg.Fragments = 10
+				est, _, err := profiler.Profile(w.Prog, ooo.DefaultConfig().Graph,
+					tr, res.Graph, warmup, cfg, cats[0], cats)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum, n := 0.0, 0
+				for _, c := range cats {
+					sum += math.Abs(est.Pct[c.Name] - truth[c.Name])
+					n++
+				}
+				b.ReportMetric(sum/float64(n), "errPts")
+			}
+		})
+	}
+}
+
+// --- microbenchmarks of the core engines ---
+
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.New("gcc", uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkloadExecute(b *testing.B) {
+	w, err := workload.New("gcc", 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Execute(20000, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(20000*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	tr, err := workload.Load("gcc", 42, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ooo.Simulate(tr, ooo.DefaultConfig(), ooo.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(20000*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+func BenchmarkGraphEval(b *testing.B) {
+	tr, err := workload.Load("gcc", 42, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := ooo.Run(tr, ooo.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res.Graph.ExecTime(depgraph.Ideal{Global: depgraph.IdealDMiss})
+	}
+	b.ReportMetric(20000*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+func BenchmarkICostPair(b *testing.B) {
+	tr, err := workload.Load("gcc", 42, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := ooo.Run(tr, ooo.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := cost.New(res.Graph) // fresh memo each iteration
+		if _, err := a.ICost(depgraph.IdealDL1, depgraph.IdealWindow); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFragmentReconstruction(b *testing.B) {
+	w, err := workload.New("gzip", 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := w.Execute(30000, 43)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const warmup = 10000
+	res, err := ooo.Simulate(tr, ooo.DefaultConfig(), ooo.Options{KeepGraph: true, Warmup: warmup})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := profiler.DefaultConfig()
+	s, err := profiler.Collect(tr, res.Graph, warmup, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cats := breakdown.BaseCategories()
+		p, err := profiler.New(w.Prog, ooo.DefaultConfig().Graph, s, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Analyze(cats[0], cats); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFacade exercises the public API end to end (also keeps the
+// facade compiled against its implementation).
+func BenchmarkFacade(b *testing.B) {
+	tr, err := icost.LoadWorkload("gzip", 42, 10000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := icost.Simulate(tr, icost.DefaultMachine(), icost.Options{KeepGraph: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := icost.NewAnalyzer(res.Graph)
+		ic, err := a.ICost(icost.IdealDMiss, icost.IdealWindow)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = icost.Classify(ic, 0)
+	}
+}
+
+// BenchmarkWrongPath ablates wrong-path fetch modeling (off by
+// default), reporting the icache-miss delta it introduces.
+func BenchmarkWrongPath(b *testing.B) {
+	tr, err := workload.Load("gcc", 42, 40000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, wp := range []bool{false, true} {
+		wp := wp
+		name := "off"
+		if wp {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := ooo.DefaultConfig()
+			cfg.ModelWrongPath = wp
+			for i := 0; i < b.N; i++ {
+				res, err := ooo.Simulate(tr, cfg, ooo.Options{Warmup: 20000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Stats.IL1Misses), "il1miss")
+			}
+		})
+	}
+}

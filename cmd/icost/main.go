@@ -1,0 +1,280 @@
+// Command icost runs one benchmark through the out-of-order simulator
+// and prints its interaction-cost breakdown (paper Section 2.3).
+//
+// Usage:
+//
+//	icost [-bench name] [-n insts] [-warmup insts] [-seed s]
+//	      [-focus cat] [-dl1 lat] [-window size] [-wakeup extra]
+//	      [-recovery cycles] [-full cat1,cat2,...] [-matrix] [-naive]
+//	      [-cp] [-slack] [-phases k] [-dot lo:hi] [-save f] [-load f]
+//
+// Examples:
+//
+//	icost -bench mcf                      # Table 4a-style row for mcf
+//	icost -bench gap -focus shalu -wakeup 1
+//	icost -bench gcc -full dmiss,bmisp,win  # full power-set breakdown
+//	icost -bench twolf -matrix            # all-pairs interaction costs
+//	icost -bench gzip -phases 5           # bottleneck mix over time
+//	icost -bench gzip -dot 100:120        # Graphviz of a graph window
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"icost/internal/breakdown"
+	"icost/internal/cost"
+	"icost/internal/depgraph"
+	"icost/internal/experiments"
+	"icost/internal/ooo"
+	"icost/internal/trace"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "gzip", "benchmark name")
+		n        = flag.Int("n", 30000, "measured instructions")
+		warmup   = flag.Int("warmup", 30000, "warmup instructions")
+		seed     = flag.Uint64("seed", 42, "workload seed")
+		focus    = flag.String("focus", "dl1", "focus category for pairwise icosts")
+		dl1      = flag.Int("dl1", 2, "level-one data-cache latency")
+		window   = flag.Int("window", 64, "instruction window size")
+		wakeup   = flag.Int("wakeup", 0, "extra issue-wakeup latency")
+		recovery = flag.Int("recovery", 8, "branch-misprediction recovery cycles")
+		full     = flag.String("full", "", "comma-separated categories for a full power-set breakdown")
+		matrix   = flag.Bool("matrix", false, "print the all-pairs interaction-cost matrix")
+		naive    = flag.Bool("naive", false, "print the traditional count-x-latency breakdown for contrast")
+		cp       = flag.Bool("cp", false, "print the critical-path attribution by edge kind")
+		slack    = flag.Bool("slack", false, "print the slack distribution (de-optimization headroom)")
+		dot      = flag.String("dot", "", "write a Graphviz rendering of instructions lo:hi, e.g. -dot 100:120")
+		phases   = flag.Int("phases", 0, "split the execution into K intervals and print each interval's top costs")
+		save     = flag.String("save", "", "save the generated trace to a file and exit")
+		load     = flag.String("load", "", "analyze a previously saved trace instead of generating one")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{TraceLen: *n, Warmup: *warmup, Seed: *seed}
+	mc := ooo.DefaultConfig().
+		WithDL1Latency(*dl1).
+		WithWindow(*window).
+		WithWakeupExtra(*wakeup).
+		WithBranchRecovery(*recovery)
+
+	if *save != "" {
+		tr, err := experiments.LoadTrace(cfg, *bench)
+		if err != nil {
+			fail(err)
+		}
+		f, err := os.Create(*save)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := trace.Write(f, tr); err != nil {
+			fail(err)
+		}
+		fmt.Printf("saved %d instructions of %s to %s\n", tr.Len(), tr.Name, *save)
+		return
+	}
+
+	var a *cost.Analyzer
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fail(err)
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		if *warmup >= tr.Len() {
+			*warmup = tr.Len() / 2
+		}
+		res, err := ooo.Simulate(tr, mc, ooo.Options{KeepGraph: true, Warmup: *warmup})
+		if err != nil {
+			fail(err)
+		}
+		*bench = tr.Name
+		a = cost.New(res.Graph)
+	} else {
+		var err error
+		a, err = experiments.GraphAnalyzer(cfg, *bench, mc)
+		if err != nil {
+			fail(err)
+		}
+	}
+	cats := breakdown.BaseCategories()
+
+	if *matrix {
+		m, err := breakdown.ComputeMatrix(a, cats, *bench)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(m)
+		sa, sb, sp := m.StrongestSerial()
+		if sp < 0 {
+			fmt.Printf("strongest serial pair:   %s+%s (%.1f%%)\n", sa.Name, sb.Name, sp)
+		}
+		pa, pb, pp := m.StrongestParallel()
+		if pp > 0 {
+			fmt.Printf("strongest parallel pair: %s+%s (+%.1f%%)\n", pa.Name, pb.Name, pp)
+		}
+		return
+	}
+	if *naive {
+		nv, err := breakdown.ComputeNaive(a, cats, *bench)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(nv)
+		return
+	}
+	if *cp {
+		printCriticalPath(a)
+		return
+	}
+	if *slack {
+		printSlack(a)
+		return
+	}
+	if *phases > 0 {
+		printPhases(a, *phases)
+		return
+	}
+	if *dot != "" {
+		var lo, hi int
+		if _, err := fmt.Sscanf(*dot, "%d:%d", &lo, &hi); err != nil {
+			fail(fmt.Errorf("bad -dot range %q (want lo:hi): %w", *dot, err))
+		}
+		if err := a.Graph().DOT(os.Stdout, lo, hi, depgraph.Ideal{}); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if *full != "" {
+		var sel []breakdown.Category
+		for _, name := range strings.Split(*full, ",") {
+			found := false
+			for _, c := range cats {
+				if c.Name == name {
+					sel = append(sel, c)
+					found = true
+				}
+			}
+			if !found {
+				fail(fmt.Errorf("unknown category %q", name))
+			}
+		}
+		fb, err := breakdown.ComputeFull(a, sel, *bench)
+		if err != nil {
+			fail(err)
+		}
+		if err := fb.CheckIdentity(); err != nil {
+			fail(err)
+		}
+		fmt.Print(breakdown.StackedBar(fb, 50))
+		return
+	}
+
+	var fc breakdown.Category
+	ok := false
+	for _, c := range cats {
+		if c.Name == *focus {
+			fc, ok = c, true
+		}
+	}
+	if !ok {
+		fail(fmt.Errorf("unknown focus category %q", *focus))
+	}
+	bd, err := breakdown.Focus(a, fc, cats, *bench)
+	if err != nil {
+		fail(err)
+	}
+	insts := a.Graph().Len()
+	fmt.Printf("%s: %d cycles over %d instructions (IPC %.2f)\n",
+		*bench, bd.TotalCycles, insts, float64(insts)/float64(bd.TotalCycles))
+	fmt.Print(breakdown.Table([]*breakdown.Focused{bd}))
+}
+
+// printCriticalPath attributes one critical path's cycles by edge
+// kind (the classic criticality view that icost breakdowns refine).
+func printCriticalPath(a *cost.Analyzer) {
+	g := a.Graph()
+	tally := g.CriticalTally(depgraph.Ideal{})
+	fmt.Printf("critical path: %d cycles across %d edge kinds\n", tally.Total, len(tally.Cycles))
+	for k := range tally.Cycles {
+		if tally.Edges[k] == 0 {
+			continue
+		}
+		kind := depgraph.EdgeKind(k)
+		fmt.Printf("  %-4v %8d cycles  %6d edges  %5.1f%%\n",
+			kind, tally.Cycles[k], tally.Edges[k],
+			100*float64(tally.Cycles[k])/float64(tally.Total))
+	}
+}
+
+// printSlack summarizes per-instruction slack: how much latency could
+// be added for free (de-optimization headroom, paper Section 1).
+func printSlack(a *cost.Analyzer) {
+	g := a.Graph()
+	slacks := g.Slacks(depgraph.Ideal{})
+	var zero, small, large int
+	var sum int64
+	for _, s := range slacks {
+		sum += s
+		switch {
+		case s == 0:
+			zero++
+		case s < 10:
+			small++
+		default:
+			large++
+		}
+	}
+	n := len(slacks)
+	fmt.Printf("slack over %d instructions (cycles an instruction can slip for free):\n", n)
+	fmt.Printf("  critical (slack = 0):   %6d (%.1f%%)\n", zero, 100*float64(zero)/float64(n))
+	fmt.Printf("  slack 1..9:             %6d (%.1f%%)\n", small, 100*float64(small)/float64(n))
+	fmt.Printf("  slack >= 10:            %6d (%.1f%%)  <- de-optimization candidates\n",
+		large, 100*float64(large)/float64(n))
+	fmt.Printf("  mean slack:             %.1f cycles\n", float64(sum)/float64(n))
+}
+
+// printPhases shows how the bottleneck mix shifts over the execution:
+// one row per interval with the interval's dominant categories.
+func printPhases(a *cost.Analyzer, k int) {
+	g := a.Graph()
+	parts, err := g.Phases(k)
+	if err != nil {
+		fail(err)
+	}
+	cats := breakdown.BaseCategories()
+	fmt.Printf("phase  insts   cycles   IPC    top categories\n")
+	for pi, pg := range parts {
+		pa := cost.New(pg)
+		type cv struct {
+			name string
+			pct  float64
+		}
+		var top []cv
+		for _, c := range cats {
+			top = append(top, cv{c.Name,
+				100 * float64(pa.Cost(c.Flags)) / float64(pa.BaseTime())})
+		}
+		sort.Slice(top, func(i, j int) bool { return top[i].pct > top[j].pct })
+		fmt.Printf("%5d  %5d  %7d  %4.2f   %s %.1f%%, %s %.1f%%, %s %.1f%%\n",
+			pi, pg.Len(), pa.BaseTime(),
+			float64(pg.Len())/float64(pa.BaseTime()),
+			top[0].name, top[0].pct, top[1].name, top[1].pct, top[2].name, top[2].pct)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "icost:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,380 @@
+// Command paper regenerates the tables and figures of "Using
+// Interaction Costs for Microarchitectural Bottleneck Analysis"
+// (Fields, Bodík, Hill, Newburn; MICRO-36 2003) on the synthetic
+// workload suite.
+//
+// Usage:
+//
+//	paper [-n insts] [-seed s] [-bench list] (-all | -table4a -fig3 ...)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"icost/internal/breakdown"
+	"icost/internal/depgraph"
+	"icost/internal/experiments"
+	"icost/internal/isa"
+	"icost/internal/ooo"
+	"icost/internal/program"
+	"icost/internal/report"
+	"icost/internal/trace"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 30000, "dynamic instructions per benchmark")
+		seed    = flag.Uint64("seed", 42, "workload seed")
+		benches = flag.String("bench", "", "comma-separated benchmark subset (default: per-experiment)")
+		all     = flag.Bool("all", false, "run everything")
+		t4a     = flag.Bool("table4a", false, "Table 4a: breakdown, 4-cycle dl1")
+		t4b     = flag.Bool("table4b", false, "Table 4b: breakdown, 2-cycle issue-wakeup")
+		t4c     = flag.Bool("table4c", false, "Table 4c: breakdown, 15-cycle mispredict loop")
+		t7      = flag.Bool("table7", false, "Table 7: profiler accuracy validation")
+		f1      = flag.Bool("fig1", false, "Figure 1: power-set breakdown + stacked bar")
+		f2      = flag.Bool("fig2", false, "Figure 2: dependence-graph instance")
+		f3      = flag.Bool("fig3", false, "Figure 3: window-size sensitivity")
+		s42     = flag.Bool("sec42", false, "Section 4.2: wakeup-loop validation")
+		sweep   = flag.Bool("seeds", false, "cross-seed robustness sweep of the Table 4a shapes")
+		chars   = flag.Bool("workloads", false, "workload characterization table (functional rates)")
+		asJSON  = flag.Bool("json", false, "emit results as one JSON document instead of text")
+		htmlOut = flag.String("html", "", "write a self-contained HTML report to a file (implies the main tables)")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.TraceLen = *n
+	cfg.Seed = *seed
+	cfg.Benches = nil // per-experiment defaults unless -bench is given
+	if *benches != "" {
+		cfg.Benches = strings.Split(*benches, ",")
+	}
+
+	ran := false
+	jsonOut := map[string]any{}
+	run := func(enabled bool, name string, f func() error) {
+		if !enabled && !*all {
+			return
+		}
+		ran = true
+		if !*asJSON {
+			fmt.Printf("== %s ==\n", name)
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if !*asJSON {
+			fmt.Println()
+		}
+	}
+	// collect stores an experiment's data for -json mode and reports
+	// whether the caller should skip its text rendering.
+	collect := func(key string, v any) bool {
+		if *asJSON {
+			jsonOut[key] = v
+		}
+		return *asJSON
+	}
+	_ = collect
+
+	jsonSink = collect
+	run(*f1, "Figure 1: parallelism-aware breakdown", func() error { return figure1(cfg) })
+	run(*f2, "Figure 2: dependence graph instance", func() error { return figure2() })
+	run(*t4a, "Table 4a: CPI breakdown, 4-cycle dl1 (focus dl1)", func() error {
+		bds, err := experiments.Table4a(cfg)
+		if err != nil {
+			return err
+		}
+		if collect("table4a", bds) {
+			return nil
+		}
+		fmt.Print(breakdown.Table(bds))
+		return nil
+	})
+	run(*t4b, "Table 4b: 2-cycle issue-wakeup loop (focus shalu)", func() error {
+		bds, err := experiments.Table4b(cfg)
+		if err != nil {
+			return err
+		}
+		if collect("table4b", bds) {
+			return nil
+		}
+		fmt.Print(breakdown.Table(bds))
+		return nil
+	})
+	run(*t4c, "Table 4c: 15-cycle mispredict loop (focus bmisp)", func() error {
+		bds, err := experiments.Table4c(cfg)
+		if err != nil {
+			return err
+		}
+		if collect("table4c", bds) {
+			return nil
+		}
+		fmt.Print(breakdown.Table(bds))
+		return nil
+	})
+	run(*f3, "Figure 3: window speedup vs dl1 latency", func() error { return figure3(cfg) })
+	run(*s42, "Section 4.2: window speedup vs wakeup loop", func() error { return sec42(cfg) })
+	run(*t7, "Table 7: profiler accuracy", func() error { return table7(cfg) })
+	run(*sweep, "Cross-seed robustness", func() error { return seedSweep(cfg) })
+	run(*chars, "Workload characterization", func() error {
+		rows, err := experiments.Characterize(cfg)
+		if err != nil {
+			return err
+		}
+		if collect("workloads", rows) {
+			return nil
+		}
+		fmt.Print(experiments.FormatCharacterization(rows))
+		return nil
+	})
+
+	if *htmlOut != "" {
+		ran = true
+		if err := writeHTML(cfg, *htmlOut); err != nil {
+			fmt.Fprintln(os.Stderr, "html report:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", *htmlOut)
+	}
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// jsonSink carries the -json collector into the experiment helpers.
+var jsonSink func(key string, v any) bool
+
+// writeHTML regenerates the main tables and renders them as one HTML
+// document.
+func writeHTML(cfg experiments.Config, path string) error {
+	chars, err := experiments.Characterize(cfg)
+	if err != nil {
+		return err
+	}
+	var tables []report.BreakdownTable
+	for _, tb := range []struct {
+		caption string
+		f       func(experiments.Config) ([]*breakdown.Focused, error)
+	}{
+		{"Table 4a — 4-cycle level-one data cache (focus dl1)", experiments.Table4a},
+		{"Table 4b — 2-cycle issue-wakeup loop (focus shalu)", experiments.Table4b},
+		{"Table 4c — 15-cycle branch-misprediction loop (focus bmisp)", experiments.Table4c},
+	} {
+		bds, err := tb.f(cfg)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, report.BreakdownTable{Caption: tb.caption, Columns: bds})
+	}
+	f3, err := experiments.Figure3(cfg, "gap")
+	if err != nil {
+		return err
+	}
+	t7, err := experiments.Table7(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return report.Write(f, &report.Data{
+		Generated:        time.Now(),
+		Config:           cfg,
+		Characterization: chars,
+		Tables:           tables,
+		Figure3:          f3,
+		Table7:           t7,
+	})
+}
+
+func figure1(cfg experiments.Config) error {
+	bench := "gcc"
+	if len(cfg.Benches) > 0 {
+		bench = cfg.Benches[0]
+	}
+	// Figure 1a: the traditional breakdown, which cannot account for
+	// all cycles on an out-of-order machine.
+	a, err := experiments.GraphAnalyzer(cfg, bench, experiments.Machine4a())
+	if err != nil {
+		return err
+	}
+	nv, err := breakdown.ComputeNaive(a, breakdown.BaseCategories(), bench)
+	if err != nil {
+		return err
+	}
+	// Figure 1b: the interaction-cost breakdown, which does account
+	// for every cycle.
+	full, err := experiments.Figure1(cfg, bench)
+	if err != nil {
+		return err
+	}
+	if err := full.CheckIdentity(); err != nil {
+		return err
+	}
+	if jsonSink != nil && jsonSink("figure1", map[string]any{"naive": nv, "icost": full}) {
+		return nil
+	}
+	fmt.Println("(a) traditional method:")
+	fmt.Print(nv)
+	fmt.Println()
+	fmt.Println("(b) interaction-cost method:")
+	fmt.Print(breakdown.StackedBar(full, 50))
+	fmt.Printf("identity: rows + ideal residual = %d cycles (total) ✓\n", full.TotalCycles)
+	return nil
+}
+
+// figure2 renders an instance of the dependence-graph model on the
+// paper's Figure 2 machine (4-entry ROB, 2-wide) over a short
+// hand-written snippet containing a cache-missing load.
+func figure2() error {
+	b := program.NewBuilder()
+	b.Label("top")
+	b.Emit(isa.Inst{Op: isa.OpIntShort, Dst: 1, Src1: 16, Src2: 17}) // i0: r1 = r16+r17
+	b.Emit(isa.Inst{Op: isa.OpLoad, Dst: 2, Src1: 1})                // i1: r2 = [r1]  (misses)
+	b.Emit(isa.Inst{Op: isa.OpIntShort, Dst: 3, Src1: 2, Src2: 2})   // i2: r3 = r2+r2
+	b.Emit(isa.Inst{Op: isa.OpIntShort, Dst: 4, Src1: 16, Src2: 18}) // i3: independent
+	b.Emit(isa.Inst{Op: isa.OpStore, Src1: 3, Src2: 1})              // i4: [r1] = r3
+	b.Emit(isa.Inst{Op: isa.OpIntShort, Dst: 5, Src1: 4, Src2: 16})  // i5
+	b.Emit(isa.Inst{Op: isa.OpIntShort, Dst: 6, Src1: 5, Src2: 16})  // i6
+	b.BranchToLabel(isa.OpJump, isa.NoReg, isa.NoReg, "top")         // loop for warmup
+	prog, err := b.Build()
+	if err != nil {
+		return err
+	}
+	// Two iterations of the snippet; the first warms the icache so
+	// the displayed instance shows steady-state edges. The load's
+	// address changes between iterations so it misses both times.
+	var insts []trace.DynInst
+	for iter := 0; iter < 2; iter++ {
+		for i := 0; i < prog.Len(); i++ {
+			d := trace.DynInst{SIdx: int32(i), Target: prog.PCOf(i) + isa.InstBytes}
+			if prog.At(i).Op == isa.OpJump {
+				d.Taken = true
+				d.Target = prog.PCOf(0)
+			}
+			if prog.At(i).Op.IsMem() {
+				// Cold addresses: the load misses to memory.
+				d.Addr = 0x10000000 + isa.Addr(iter)<<20 + isa.Addr(i*8)
+			}
+			insts = append(insts, d)
+		}
+	}
+	tr := &trace.Trace{Prog: prog, Insts: insts[:2*prog.Len()-1], Name: "figure2"}
+
+	mc := ooo.DefaultConfig()
+	mc.Graph.Window = 4
+	mc.Graph.FetchBW = 2
+	mc.Graph.CommitBW = 2
+	res, err := ooo.Simulate(tr, mc, ooo.Options{KeepGraph: true, Warmup: prog.Len()})
+	if err != nil {
+		return err
+	}
+	g := res.Graph
+	ts := res.Times
+	fmt.Println("machine: 4-entry ROB, 2-wide fetch/commit (paper Figure 2)")
+	for i := 0; i < g.Len(); i++ {
+		fmt.Printf("i%d %-22v D=%-3d R=%-3d E=%-3d P=%-4d C=%-4d\n",
+			i, prog.At(int(g.Info[i].SIdx)), ts.D[i], ts.R[i], ts.E[i], ts.P[i], ts.C[i])
+		for _, e := range g.InEdges(i, depgraph.Ideal{}) {
+			fmt.Printf("    %v\n", e)
+		}
+	}
+	fmt.Println("\ncritical path:")
+	for _, e := range g.CriticalPath(depgraph.Ideal{}) {
+		fmt.Printf("  %v\n", e)
+	}
+	return nil
+}
+
+func figure3(cfg experiments.Config) error {
+	bench := "gap"
+	if len(cfg.Benches) > 0 {
+		bench = cfg.Benches[0]
+	}
+	pts, err := experiments.Figure3(cfg, bench)
+	if err != nil {
+		return err
+	}
+	if jsonSink != nil && jsonSink("figure3", pts) {
+		return nil
+	}
+	fmt.Printf("benchmark %s: speedup over 64-entry window\n", bench)
+	for _, p := range pts {
+		fmt.Printf("  dl1=%d window=%-4d cycles=%-9d speedup=%5.1f%%\n",
+			p.DL1, p.Window, p.Cycles, p.SpeedupPct)
+	}
+	return nil
+}
+
+func sec42(cfg experiments.Config) error {
+	bench := "gap"
+	if len(cfg.Benches) > 0 {
+		bench = cfg.Benches[0]
+	}
+	rows, err := experiments.Sec42(cfg, bench)
+	if err != nil {
+		return err
+	}
+	if jsonSink != nil && jsonSink("sec42", rows) {
+		return nil
+	}
+	for _, r := range rows {
+		fmt.Printf("  %s: wakeup=%d cycles: window 64->128 speedup %5.1f%%\n",
+			bench, r.WakeupCycles, r.SpeedupPct)
+	}
+	return nil
+}
+
+func seedSweep(cfg experiments.Config) error {
+	bench := "gzip"
+	if len(cfg.Benches) > 0 {
+		bench = cfg.Benches[0]
+	}
+	sw, err := experiments.RunSeedSweep(cfg, bench, experiments.Machine4a(),
+		[]uint64{1, 2, 3, 4, 5})
+	if err != nil {
+		return err
+	}
+	if jsonSink != nil && jsonSink("seeds", sw) {
+		return nil
+	}
+	fmt.Print(sw)
+	stable, flipped := sw.StableSigns()
+	fmt.Printf("sign-stable interactions: %d of %d", len(stable), len(stable)+len(flipped))
+	if len(flipped) > 0 {
+		fmt.Printf(" (flipping: %v)", flipped)
+	}
+	fmt.Println()
+	return nil
+}
+
+func table7(cfg experiments.Config) error {
+	rows, err := experiments.Table7(cfg)
+	if err != nil {
+		return err
+	}
+	if jsonSink != nil && jsonSink("table7", rows) {
+		return nil
+	}
+	fmt.Print(experiments.FormatTable7(rows))
+	return nil
+}

@@ -1,0 +1,84 @@
+// Command sweep runs conventional sensitivity studies (paper
+// Section 4.3) so their conclusions can be compared against
+// interaction-cost analysis: it varies one or two machine parameters
+// over ranges and reports execution time and speedup per point.
+//
+// Usage:
+//
+//	sweep [-bench name] [-n insts] [-warmup insts] [-seed s]
+//	      [-windows 64,128,256] [-dl1s 1,2,4] [-wakeups 0,1]
+//
+// The default reproduces Figure 3: window sizes crossed with dl1
+// latencies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"icost/internal/experiments"
+	"icost/internal/ooo"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "gap", "benchmark name")
+		n       = flag.Int("n", 30000, "measured instructions")
+		warmup  = flag.Int("warmup", 30000, "warmup instructions")
+		seed    = flag.Uint64("seed", 42, "workload seed")
+		windows = flag.String("windows", "64,128,256", "window sizes")
+		dl1s    = flag.String("dl1s", "1,4", "dl1 latencies")
+		wakeups = flag.String("wakeups", "0", "extra issue-wakeup latencies")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{TraceLen: *n, Warmup: *warmup, Seed: *seed}
+	tr, err := experiments.LoadTrace(cfg, *bench)
+	if err != nil {
+		fail(err)
+	}
+
+	ws := parseInts(*windows)
+	ds := parseInts(*dl1s)
+	ks := parseInts(*wakeups)
+	fmt.Printf("benchmark %s (%d instructions after %d warmup)\n", *bench, *n, *warmup)
+	fmt.Println("dl1  wakeup  window  cycles     IPC    speedup-vs-first-window")
+	for _, d := range ds {
+		for _, k := range ks {
+			var base int64
+			for wi, w := range ws {
+				mc := ooo.DefaultConfig().WithDL1Latency(d).WithWindow(w).WithWakeupExtra(k)
+				res, err := ooo.Simulate(tr, mc, ooo.Options{Warmup: *warmup})
+				if err != nil {
+					fail(err)
+				}
+				if wi == 0 {
+					base = res.Cycles
+				}
+				fmt.Printf("%3d  %6d  %6d  %-9d  %4.2f  %6.1f%%\n",
+					d, k, w, res.Cycles, res.IPC(),
+					100*(float64(base)/float64(res.Cycles)-1))
+			}
+		}
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fail(fmt.Errorf("bad integer list %q: %w", s, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+package icost_test
+
+import (
+	"fmt"
+
+	"icost"
+	"icost/internal/cache"
+	"icost/internal/depgraph"
+	"icost/internal/isa"
+)
+
+// The paper's headline example: two completely parallel cache misses
+// each have zero cost, but a large positive interaction cost — only
+// optimizing both recovers the cycles.
+func Example() {
+	// A wide machine so only dataflow constrains the two loads.
+	cfg := depgraph.DefaultConfig()
+	cfg.FetchBW, cfg.CommitBW, cfg.Window = 64, 64, 1024
+	cfg.DispatchToReady, cfg.CompleteToCommit = 0, 0
+
+	g := depgraph.New(cfg, 2)
+	g.Info[0] = depgraph.InstInfo{Op: isa.OpLoad, DataLevel: cache.LevelMem}
+	g.Info[1] = depgraph.InstInfo{Op: isa.OpLoad, DataLevel: cache.LevelMem}
+
+	a := icost.NewAnalyzer(g)
+	miss := func(i int) icost.Ideal {
+		per := make([]icost.Flags, 2)
+		per[i] = icost.IdealDMiss
+		return icost.Ideal{PerInst: per}
+	}
+	fmt.Println("cost(miss 0):", a.CostSet(miss(0)))
+	fmt.Println("cost(miss 1):", a.CostSet(miss(1)))
+	ic := a.ICostSets(miss(0), miss(1))
+	fmt.Println("icost:", ic, icost.Classify(ic, 0))
+	// Output:
+	// cost(miss 0): 0
+	// cost(miss 1): 0
+	// icost: 112 parallel
+}
+
+// Classify maps an interaction cost to the paper's three regimes.
+func ExampleClassify() {
+	fmt.Println(icost.Classify(-50, 10))
+	fmt.Println(icost.Classify(3, 10))
+	fmt.Println(icost.Classify(+50, 10))
+	// Output:
+	// serial
+	// independent
+	// parallel
+}
+
+// A whole-benchmark analysis: simulate, then ask for the cost of a
+// perfect data cache and its interaction with the instruction window.
+func ExampleNewAnalyzer() {
+	tr, err := icost.LoadWorkload("mcf", 42, 20000)
+	if err != nil {
+		panic(err)
+	}
+	res, err := icost.Simulate(tr, icost.DefaultMachine(),
+		icost.Options{KeepGraph: true, Warmup: 10000})
+	if err != nil {
+		panic(err)
+	}
+	a := icost.NewAnalyzer(res.Graph)
+	ic, err := a.ICost(icost.IdealDMiss, icost.IdealWindow)
+	if err != nil {
+		panic(err)
+	}
+	// mcf's dependent misses leave little for the window to overlap:
+	// the interaction is not parallel.
+	fmt.Println(a.Cost(icost.IdealDMiss) > 0, icost.Classify(ic, a.BaseTime()/100) != icost.Parallel)
+	// Output:
+	// true true
+}

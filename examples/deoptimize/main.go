@@ -1,0 +1,110 @@
+// De-optimization: the flip side of bottleneck analysis (paper
+// Section 1: "events with cost zero may be good targets for
+// de-optimization, e.g. making a queue smaller without affecting
+// performance"). Two analyses:
+//
+//  1. Resource de-optimization by cost: a resource with ~zero cost is
+//     a shrink candidate; the shrink is then *verified* by
+//     re-simulation, because cost is asymmetric — it measures the
+//     benefit of growing a resource, not the penalty of shrinking it,
+//     so the check can (and sometimes does) veto the candidate.
+//  2. Instruction de-optimization by slack: count instructions that
+//     could run on slower (low-power) units without stretching the
+//     critical path.
+//
+// Run with: go run ./examples/deoptimize [bench]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"icost/internal/cost"
+	"icost/internal/depgraph"
+	"icost/internal/ooo"
+	"icost/internal/workload"
+)
+
+func main() {
+	bench := "perl"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	const (
+		seed   = 42
+		warmup = 20000
+		n      = 30000
+	)
+	w, err := workload.New(bench, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := w.Execute(warmup+n, seed+1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mc := ooo.DefaultConfig()
+	res, err := ooo.Simulate(tr, mc, ooo.Options{KeepGraph: true, Warmup: warmup})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := cost.New(res.Graph)
+	fmt.Printf("%s: %d cycles (IPC %.2f) on the full-size machine\n\n",
+		bench, res.Cycles, res.IPC())
+
+	// --- 1. resource de-optimization by cost ---
+	fmt.Println("resource costs (cheap resources are shrink candidates):")
+	type probe struct {
+		label  string
+		flags  depgraph.Flags
+		shrink func(ooo.Config) ooo.Config
+		what   string
+	}
+	probes := []probe{
+		{"win", depgraph.IdealWindow,
+			func(c ooo.Config) ooo.Config { return c.WithWindow(c.Graph.Window / 2) },
+			"halve the instruction window"},
+		{"bw", depgraph.IdealBW,
+			func(c ooo.Config) ooo.Config {
+				c.Graph.FetchBW /= 2
+				c.Graph.CommitBW /= 2
+				return c
+			},
+			"halve fetch/commit width"},
+	}
+	for _, p := range probes {
+		c := a.Cost(p.flags)
+		pct := 100 * float64(c) / float64(a.BaseTime())
+		fmt.Printf("  cost(%s) = %d cycles (%.1f%%)", p.label, c, pct)
+		if pct >= 5 {
+			fmt.Println("  -> load-bearing, keep it")
+			continue
+		}
+		// Verify the shrink by re-simulation.
+		small, err := ooo.Simulate(tr, p.shrink(mc), ooo.Options{Warmup: warmup})
+		if err != nil {
+			log.Fatal(err)
+		}
+		slow := 100 * (float64(small.Cycles)/float64(res.Cycles) - 1)
+		fmt.Printf("  -> %s: %+.1f%% cycles\n", p.what, slow)
+	}
+
+	// --- 2. instruction de-optimization by slack ---
+	slacks := res.Graph.Slacks(depgraph.Ideal{})
+	const slowPenalty = 3 // extra cycles a low-power unit would add
+	candidates := 0
+	shortALU := 0
+	for i, s := range slacks {
+		if !res.Graph.Info[i].Op.IsShortALU() {
+			continue
+		}
+		shortALU++
+		if s >= slowPenalty {
+			candidates++
+		}
+	}
+	fmt.Printf("\nslack analysis: %d of %d one-cycle ALU ops (%.0f%%) have >= %d cycles\n",
+		candidates, shortALU, 100*float64(candidates)/float64(shortALU), slowPenalty)
+	fmt.Println("of slack — they could run on a slow, low-power ALU without costing a cycle")
+}

@@ -1,0 +1,91 @@
+// Pipeline tuning: the paper's Section 4 tutorial. A long pipeline
+// stretches three critical loops — level-one data-cache access,
+// issue-wakeup, and branch misprediction — and interaction costs tell
+// the architect how to mitigate each one.
+//
+// For each stretched loop, the program prints the focused breakdown
+// and reads off the mitigation: a *serial* (negative) interaction with
+// a resource means improving that resource also hides the loop's
+// latency; a *parallel* (positive) interaction means the loop must be
+// attacked directly.
+//
+// Run with: go run ./examples/pipeline [bench]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"icost/internal/breakdown"
+	"icost/internal/experiments"
+	"icost/internal/ooo"
+)
+
+func main() {
+	bench := "gzip"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.TraceLen = 30000
+
+	scenario(cfg, bench, "four-cycle level-one data cache (Section 4.1)",
+		experiments.Machine4a(), "dl1")
+	scenario(cfg, bench, "two-cycle issue-wakeup loop (Section 4.2)",
+		experiments.Machine4b(), "shalu")
+	scenario(cfg, bench, "15-cycle branch-misprediction loop (Section 4.2)",
+		experiments.Machine4c(), "bmisp")
+}
+
+func scenario(cfg experiments.Config, bench, title string, mc ooo.Config, focusName string) {
+	fmt.Printf("=== %s, benchmark %s ===\n", title, bench)
+	a, err := experiments.GraphAnalyzer(cfg, bench, mc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cats := breakdown.BaseCategories()
+	var focus breakdown.Category
+	for _, c := range cats {
+		if c.Name == focusName {
+			focus = c
+		}
+	}
+	bd, err := breakdown.Focus(a, focus, cats, bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(breakdown.Table([]*breakdown.Focused{bd}))
+
+	// Interpret: the strongest serial partner is the mitigation.
+	var bestLabel string
+	var best float64
+	for _, r := range bd.Pairs {
+		if r.Percent < best {
+			best = r.Percent
+			bestLabel = r.Label
+		}
+	}
+	if bestLabel != "" && best < -0.5 {
+		fmt.Printf("-> strongest serial interaction: %s (%.1f%%): improving the partner\n",
+			bestLabel, best)
+		fmt.Printf("   resource also hides the %s loop's latency\n", focusName)
+	} else {
+		fmt.Printf("-> no significant serial partner: the %s loop must be attacked directly\n",
+			focusName)
+	}
+	var worstLabel string
+	var worst float64
+	for _, r := range bd.Pairs {
+		if r.Percent > worst {
+			worst = r.Percent
+			worstLabel = r.Label
+		}
+	}
+	if worstLabel != "" && worst > 0.5 {
+		fmt.Printf("-> strongest parallel interaction: %s (+%.1f%%): those cycles fall only\n",
+			worstLabel, worst)
+		fmt.Println("   to optimizing both together")
+	}
+	fmt.Println()
+}

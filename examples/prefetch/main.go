@@ -1,0 +1,110 @@
+// Prefetch advisor: use per-static-load costs and interaction costs
+// to decide which loads a software prefetcher should target — the
+// paper's canonical event-set grouping ("all cache misses from a
+// single static load", Sections 1-2).
+//
+// The example simulates mcf (the memory-bound extreme of the suite),
+// ranks static loads by the cost of their dynamic misses, then checks
+// the pairwise interaction of the top loads: a serial interaction
+// (negative icost) between two loads means prefetching both gains
+// little over prefetching one, while a parallel interaction means the
+// pair must be attacked together.
+//
+// Run with: go run ./examples/prefetch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"icost/internal/cost"
+	"icost/internal/depgraph"
+	"icost/internal/isa"
+	"icost/internal/ooo"
+	"icost/internal/workload"
+)
+
+func main() {
+	const (
+		seed   = 42
+		warmup = 20000
+		n      = 40000
+	)
+	w, err := workload.New("mcf", seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := w.Execute(warmup+n, seed+1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ooo.Simulate(tr, ooo.DefaultConfig(), ooo.Options{KeepGraph: true, Warmup: warmup})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := res.Graph
+	a := cost.New(g)
+	fmt.Printf("mcf: %d instructions, %d cycles (IPC %.2f)\n", n, res.Cycles, res.IPC())
+	fmt.Printf("cost of ALL data-cache misses: %d cycles (%.1f%%)\n\n",
+		a.Cost(depgraph.IdealDMiss),
+		100*float64(a.Cost(depgraph.IdealDMiss))/float64(a.BaseTime()))
+
+	// Rank static loads by the cost of their dynamic misses.
+	loads := cost.RankStaticLoadMisses(a, 5)
+	if len(loads) > 6 {
+		loads = loads[:6]
+	}
+	fmt.Println("top static loads by miss cost (prefetch candidates):")
+	fmt.Println("  static PC   misses   cost(cycles)   cost(%)")
+	for _, l := range loads {
+		fmt.Printf("  %#08x   %6d   %12d   %6.2f%%\n",
+			uint64(w.Prog.PCOf(int(l.SIdx))), l.Events, l.Cost,
+			100*float64(l.Cost)/float64(a.BaseTime()))
+	}
+
+	// The paper's warning about zero costs: a load with many misses
+	// and zero cost is NOT unimportant — its misses may be fully
+	// parallel with another load's. Check the busiest zero-cost load
+	// against the top-cost load.
+	for _, l := range loads {
+		if l.Cost != 0 || l.Events < 20 {
+			continue
+		}
+		top := loads[0]
+		icTop := a.ICostSets(cost.StaticLoadMisses(g, top.SIdx), cost.StaticLoadMisses(g, l.SIdx))
+		// And against every *other* miss in the program: a strong
+		// negative icost says its misses hide behind the rest.
+		sIdx := l.SIdx
+		others := cost.EventSet(g, depgraph.IdealDMiss, func(i int) bool {
+			return g.Info[i].Op == isa.OpLoad && g.Info[i].SIdx != sIdx
+		})
+		icRest := a.ICostSets(cost.StaticLoadMisses(g, sIdx), others)
+		fmt.Printf("\nload %#x: %d misses but ZERO cost\n", uint64(w.Prog.PCOf(int(sIdx))), l.Events)
+		fmt.Printf("  icost with top load:        %+d (%v)\n", icTop, cost.Classify(icTop, a.BaseTime()/1000))
+		fmt.Printf("  icost with all other misses: %+d (%v)\n", icRest, cost.Classify(icRest, a.BaseTime()/1000))
+		break
+	}
+
+	if len(loads) < 2 {
+		return
+	}
+	fmt.Println("\npairwise interactions among the top loads:")
+	for i := 0; i < len(loads) && i < 3; i++ {
+		for j := i + 1; j < len(loads) && j < 3; j++ {
+			si, sj := loads[i].SIdx, loads[j].SIdx
+			ic := a.ICostSets(cost.StaticLoadMisses(g, si), cost.StaticLoadMisses(g, sj))
+			kind := cost.Classify(ic, a.BaseTime()/1000)
+			fmt.Printf("  icost(%#x, %#x) = %+d cycles (%v)",
+				uint64(w.Prog.PCOf(int(si))), uint64(w.Prog.PCOf(int(sj))), ic, kind)
+			switch kind {
+			case cost.Serial:
+				fmt.Print("  -> prefetch one; the other rides along")
+			case cost.Parallel:
+				fmt.Print("  -> must prefetch both to win")
+			default:
+				fmt.Print("  -> independent; optimize separately")
+			}
+			fmt.Println()
+		}
+	}
+}

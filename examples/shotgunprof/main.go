@@ -1,0 +1,80 @@
+// Shotgun profiling a "live" workload (paper Section 5): collect
+// signature and detailed samples from an execution with the proposed
+// performance-monitoring hardware, reconstruct dependence-graph
+// fragments post-mortem, and compute the same interaction-cost
+// breakdown a simulator would — then compare against the full-graph
+// ground truth that a real system would not have.
+//
+// Run with: go run ./examples/shotgunprof [bench]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"icost/internal/breakdown"
+	"icost/internal/cost"
+	"icost/internal/ooo"
+	"icost/internal/profiler"
+	"icost/internal/workload"
+)
+
+func main() {
+	bench := "twolf"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	const (
+		seed   = 42
+		warmup = 20000
+		n      = 40000
+	)
+	w, err := workload.New(bench, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := w.Execute(warmup+n, seed+1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mc := ooo.DefaultConfig()
+	res, err := ooo.Simulate(tr, mc, ooo.Options{KeepGraph: true, Warmup: warmup})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- the part a real system runs: sample, stitch, analyze ---
+	pcfg := profiler.DefaultConfig()
+	cats := breakdown.BaseCategories()
+	est, p, err := profiler.Profile(w.Prog, mc.Graph, tr, res.Graph, warmup, pcfg, cats[0], cats)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark %s: %d instructions profiled\n", bench, n)
+	fmt.Printf("fragments: %d built, %d attempted, %d aborted by the inconsistency check\n",
+		est.Fragments, est.Attempts, p.Aborted)
+	fmt.Printf("instructions filled from detailed samples: %.1f%%\n\n", est.MatchedFrac*100)
+
+	// --- ground truth, available here because the "hardware" is a
+	// simulator ---
+	ga := cost.New(res.Graph)
+	truth := func(label string, f func() float64) {
+		fmt.Printf("  %-12s profiler %6.1f%%   fullgraph %6.1f%%\n", label, est.Pct[label], f())
+	}
+	fmt.Println("breakdown (percent of execution time):")
+	for _, c := range cats {
+		c := c
+		truth(c.Name, func() float64 {
+			return 100 * float64(ga.Cost(c.Flags)) / float64(ga.BaseTime())
+		})
+	}
+	fmt.Println("\ndl1 interaction costs:")
+	for _, c := range cats[1:] {
+		c := c
+		truth("dl1+"+c.Name, func() float64 {
+			return 100 * float64(ga.MustICost(cats[0].Flags, c.Flags)) / float64(ga.BaseTime())
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module icost
+
+go 1.22

@@ -1,0 +1,210 @@
+// Package icost is a library for microarchitectural bottleneck
+// analysis with interaction costs, reproducing
+//
+//	B. Fields, R. Bodík, M. D. Hill, C. J. Newburn,
+//	"Using Interaction Costs for Microarchitectural Bottleneck
+//	Analysis", MICRO-36, 2003.
+//
+// The cost of a set of events is the speedup from idealizing them;
+// the interaction cost (icost) of several sets quantifies how they
+// overlap: zero means independent, positive means parallel (cycles
+// recoverable only by optimizing all the sets together), negative
+// means serial (either set alone recovers the shared cycles). On top
+// of a cycle-level out-of-order processor simulator and a synthetic
+// SPECint2000-like workload suite, the library computes costs three
+// ways — idealized re-simulation, dependence-graph analysis, and the
+// paper's "shotgun" hardware profiler — and builds parallelism-aware
+// performance breakdowns from them.
+//
+// This package is a façade over the implementation packages; see
+// DESIGN.md for the architecture and the doc comments on the aliased
+// types for details. A minimal session:
+//
+//	tr, _ := icost.LoadWorkload("mcf", 42, 60000)
+//	res, _ := icost.Simulate(tr, icost.DefaultMachine(),
+//		icost.Options{KeepGraph: true, Warmup: 30000})
+//	a := icost.NewAnalyzer(res.Graph)
+//	fmt.Println(a.Cost(icost.IdealDMiss)) // cycles saved by a perfect dcache
+//	ic, _ := a.ICost(icost.IdealDMiss, icost.IdealWindow)
+//	fmt.Println(icost.Classify(ic, 0))    // serial / independent / parallel
+package icost
+
+import (
+	"io"
+
+	"icost/internal/breakdown"
+	"icost/internal/cost"
+	"icost/internal/depgraph"
+	"icost/internal/experiments"
+	"icost/internal/multisim"
+	"icost/internal/ooo"
+	"icost/internal/profiler"
+	"icost/internal/trace"
+	"icost/internal/workload"
+)
+
+// Core analysis types.
+type (
+	// Graph is the dependence-graph model of a microexecution
+	// (paper Tables 2-3).
+	Graph = depgraph.Graph
+	// Ideal selects events to idealize, globally or per instruction.
+	Ideal = depgraph.Ideal
+	// Flags names the eight base event categories.
+	Flags = depgraph.Flags
+	// Analyzer computes costs and interaction costs.
+	Analyzer = cost.Analyzer
+	// Interaction classifies an icost as serial/independent/parallel.
+	Interaction = cost.Interaction
+)
+
+// Machine and workload types.
+type (
+	// Machine configures the simulated out-of-order processor
+	// (paper Table 6).
+	Machine = ooo.Config
+	// Options selects per-simulation behaviour (idealization,
+	// warmup, graph retention).
+	Options = ooo.Options
+	// Result is a simulation outcome.
+	Result = ooo.Result
+	// Trace is an executed instruction stream.
+	Trace = trace.Trace
+	// Workload is a generated synthetic benchmark.
+	Workload = workload.Workload
+)
+
+// Breakdown and profiler types.
+type (
+	// Category pairs a breakdown label with its idealization flags.
+	Category = breakdown.Category
+	// FocusedBreakdown is the paper's Table 4 shape.
+	FocusedBreakdown = breakdown.Focused
+	// FullBreakdown is the paper's Figure 1 power-set shape.
+	FullBreakdown = breakdown.Full
+	// ProfilerConfig sizes the shotgun profiler.
+	ProfilerConfig = profiler.Config
+	// ProfilerEstimate is a shotgun-profiled breakdown.
+	ProfilerEstimate = profiler.Estimate
+)
+
+// Idealization flags (paper Table 1 / Table 4 categories).
+const (
+	IdealDL1      = depgraph.IdealDL1
+	IdealDMiss    = depgraph.IdealDMiss
+	IdealICache   = depgraph.IdealICache
+	IdealBMisp    = depgraph.IdealBMisp
+	IdealWindow   = depgraph.IdealWindow
+	IdealBW       = depgraph.IdealBW
+	IdealShortALU = depgraph.IdealShortALU
+	IdealLongALU  = depgraph.IdealLongALU
+	AllIdeal      = depgraph.AllFlags
+)
+
+// Interaction kinds.
+const (
+	Serial      = cost.Serial
+	Independent = cost.Independent
+	Parallel    = cost.Parallel
+)
+
+// Benchmarks returns the names of the twelve SPECint2000-like
+// synthetic workloads.
+func Benchmarks() []string { return workload.Names() }
+
+// LoadWorkload generates a benchmark and executes n instructions.
+func LoadWorkload(name string, seed uint64, n int) (*Trace, error) {
+	return workload.Load(name, seed, n)
+}
+
+// NewWorkload generates a benchmark's program without executing it.
+func NewWorkload(name string, seed uint64) (*Workload, error) {
+	return workload.New(name, seed)
+}
+
+// DefaultMachine returns the paper's Table 6 processor.
+func DefaultMachine() Machine { return ooo.DefaultConfig() }
+
+// Simulate runs the machine over a trace.
+func Simulate(tr *Trace, m Machine, opt Options) (*Result, error) {
+	return ooo.Simulate(tr, m, opt)
+}
+
+// NewAnalyzer analyzes a dependence graph (the paper's efficient
+// alternative to re-simulation).
+func NewAnalyzer(g *Graph) *Analyzer { return cost.New(g) }
+
+// NewResimAnalyzer measures costs via idealized re-simulation (the
+// paper's expensive baseline).
+func NewResimAnalyzer(tr *Trace, m Machine, warmup int) (*Analyzer, error) {
+	return multisim.New(tr, m, warmup)
+}
+
+// Classify maps an icost to its interaction kind using tolerance
+// cycles as the independence band.
+func Classify(ic, tolerance int64) Interaction { return cost.Classify(ic, tolerance) }
+
+// BaseCategories returns the paper's eight breakdown categories.
+func BaseCategories() []Category { return breakdown.BaseCategories() }
+
+// FocusBreakdown builds a Table 4-style breakdown.
+func FocusBreakdown(a *Analyzer, focus Category, cats []Category, name string) (*FocusedBreakdown, error) {
+	return breakdown.Focus(a, focus, cats, name)
+}
+
+// FullPowerSetBreakdown builds a Figure 1-style breakdown that
+// accounts for every cycle.
+func FullPowerSetBreakdown(a *Analyzer, cats []Category, name string) (*FullBreakdown, error) {
+	return breakdown.ComputeFull(a, cats, name)
+}
+
+// ShotgunProfile samples a simulated execution with the paper's
+// performance-monitor design, reconstructs graph fragments, and
+// estimates the breakdown — the analysis a real system would run.
+func ShotgunProfile(w *Workload, m Machine, tr *Trace, g *Graph, warmup int,
+	cfg ProfilerConfig, focus Category, cats []Category) (*ProfilerEstimate, error) {
+	est, _, err := profiler.Profile(w.Prog, m.Graph, tr, g, warmup, cfg, focus, cats)
+	return est, err
+}
+
+// DefaultProfiler returns the paper's monitor design points.
+func DefaultProfiler() ProfilerConfig { return profiler.DefaultConfig() }
+
+// Experiments exposes the per-table/figure harnesses (DESIGN.md §4).
+type Experiments = experiments.Config
+
+// DefaultExperiments runs the full suite at the default scale.
+func DefaultExperiments() Experiments { return experiments.DefaultConfig() }
+
+// InteractionMatrix builds the all-pairs icost table over categories.
+func InteractionMatrix(a *Analyzer, cats []Category, name string) (*breakdown.Matrix, error) {
+	return breakdown.ComputeMatrix(a, cats, name)
+}
+
+// NaiveBreakdown builds the traditional count-x-latency breakdown the
+// paper's Figure 1a critiques; its rows do not sum to 100%.
+func NaiveBreakdown(a *Analyzer, cats []Category, name string) (*breakdown.Naive, error) {
+	return breakdown.ComputeNaive(a, cats, name)
+}
+
+// Slacks returns per-instruction slack (cycles each instruction can
+// slip without lengthening execution) — the de-optimization view.
+func Slacks(g *Graph) []int64 { return g.Slacks(depgraph.Ideal{}) }
+
+// RankStaticLoadMisses ranks static loads by the cost of their
+// dynamic cache misses (software-prefetch planning).
+func RankStaticLoadMisses(a *Analyzer, minEvents int) []cost.StaticCost {
+	return cost.RankStaticLoadMisses(a, minEvents)
+}
+
+// RankStaticMispredicts ranks static branches by the cost of their
+// dynamic mispredictions.
+func RankStaticMispredicts(a *Analyzer, minEvents int) []cost.StaticCost {
+	return cost.RankStaticMispredicts(a, minEvents)
+}
+
+// SaveTrace serializes a trace to w in the binary trace format.
+func SaveTrace(w io.Writer, t *Trace) error { return trace.Write(w, t) }
+
+// ReadTrace deserializes and validates a trace written by SaveTrace.
+func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }

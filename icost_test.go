@@ -1,0 +1,192 @@
+package icost_test
+
+import (
+	"bytes"
+	"testing"
+
+	"icost"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	tr, err := icost.LoadWorkload("gzip", 42, 12000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := icost.Simulate(tr, icost.DefaultMachine(),
+		icost.Options{KeepGraph: true, Warmup: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := icost.NewAnalyzer(res.Graph)
+	if a.BaseTime() != res.Cycles {
+		t.Fatalf("analyzer base %d != sim %d", a.BaseTime(), res.Cycles)
+	}
+	if c := a.Cost(icost.IdealDMiss); c < 0 {
+		t.Fatalf("negative cost %d", c)
+	}
+	ic, err := a.ICost(icost.IdealDMiss, icost.IdealWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch icost.Classify(ic, 0) {
+	case icost.Serial, icost.Independent, icost.Parallel:
+	default:
+		t.Fatal("unknown classification")
+	}
+}
+
+func TestFacadeBenchmarks(t *testing.T) {
+	names := icost.Benchmarks()
+	if len(names) != 12 {
+		t.Fatalf("%d benchmarks", len(names))
+	}
+	for _, n := range names {
+		if _, err := icost.NewWorkload(n, 1); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestFacadeBreakdowns(t *testing.T) {
+	tr, err := icost.LoadWorkload("twolf", 42, 12000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := icost.Simulate(tr, icost.DefaultMachine(),
+		icost.Options{KeepGraph: true, Warmup: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := icost.NewAnalyzer(res.Graph)
+	cats := icost.BaseCategories()
+	fb, err := icost.FocusBreakdown(a, cats[0], cats, "twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb.Base) != 8 || len(fb.Pairs) != 7 {
+		t.Fatalf("breakdown shape %d/%d", len(fb.Base), len(fb.Pairs))
+	}
+	full, err := icost.FullPowerSetBreakdown(a, cats[:3], "twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := full.CheckIdentity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeResimAnalyzer(t *testing.T) {
+	tr, err := icost.LoadWorkload("gzip", 42, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := icost.NewResimAnalyzer(tr, icost.DefaultMachine(), 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := icost.Simulate(tr, icost.DefaultMachine(),
+		icost.Options{KeepGraph: true, Warmup: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.BaseTime() != res.Cycles {
+		t.Fatalf("resim base %d != sim %d", ms.BaseTime(), res.Cycles)
+	}
+}
+
+func TestFacadeShotgunProfile(t *testing.T) {
+	w, err := icost.NewWorkload("gzip", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := w.Execute(22000, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := icost.Simulate(tr, icost.DefaultMachine(),
+		icost.Options{KeepGraph: true, Warmup: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats := icost.BaseCategories()
+	pcfg := icost.DefaultProfiler()
+	pcfg.Fragments = 5
+	est, err := icost.ShotgunProfile(w, icost.DefaultMachine(), tr, res.Graph,
+		10000, pcfg, cats[0], cats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Fragments == 0 {
+		t.Fatal("no fragments")
+	}
+	if _, ok := est.Pct["dmiss"]; !ok {
+		t.Fatal("missing category")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	e := icost.DefaultExperiments()
+	if e.TraceLen <= 0 || e.Warmup <= 0 {
+		t.Fatal("bad defaults")
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	tr, err := icost.LoadWorkload("twolf", 42, 16000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := icost.Simulate(tr, icost.DefaultMachine(),
+		icost.Options{KeepGraph: true, Warmup: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := icost.NewAnalyzer(res.Graph)
+	cats := icost.BaseCategories()
+
+	m, err := icost.InteractionMatrix(a, cats, "twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Pct) != len(cats) {
+		t.Fatal("matrix shape")
+	}
+
+	nv, err := icost.NaiveBreakdown(a, cats, "twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nv.Rows) != len(cats) {
+		t.Fatal("naive shape")
+	}
+
+	slacks := icost.Slacks(res.Graph)
+	if len(slacks) != res.Graph.Len() {
+		t.Fatal("slack length")
+	}
+
+	if ranked := icost.RankStaticLoadMisses(a, 1); len(ranked) == 0 {
+		t.Fatal("no ranked loads on twolf")
+	}
+	if ranked := icost.RankStaticMispredicts(a, 1); len(ranked) == 0 {
+		t.Fatal("no ranked branches on twolf")
+	}
+}
+
+func TestFacadeTraceRoundTrip(t *testing.T) {
+	tr, err := icost.LoadWorkload("gzip", 42, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := icost.SaveTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := icost.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() || got.Name != tr.Name {
+		t.Fatal("round trip changed trace")
+	}
+}

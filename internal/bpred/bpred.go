@@ -1,0 +1,281 @@
+// Package bpred implements the branch prediction hardware of the
+// simulated machine (paper Table 6): a combined predictor with an
+// 8K-entry bimodal table, an 8K-entry gshare table and an 8K-entry
+// meta chooser, a 4K-entry 2-way associative branch target buffer,
+// and a 64-entry return-address stack.
+package bpred
+
+import "icost/internal/isa"
+
+// Config sizes the predictor. The zero value is invalid; use
+// DefaultConfig for the paper's machine.
+type Config struct {
+	// BimodalEntries, GshareEntries, MetaEntries are two-bit-counter
+	// table sizes (powers of two).
+	BimodalEntries int
+	GshareEntries  int
+	MetaEntries    int
+	// HistoryBits is the global-history length used by gshare.
+	HistoryBits int
+	// BTBEntries and BTBWays size the branch target buffer.
+	BTBEntries int
+	BTBWays    int
+	// RASEntries sizes the return-address stack.
+	RASEntries int
+}
+
+// DefaultConfig is the Table 6 configuration.
+func DefaultConfig() Config {
+	return Config{
+		BimodalEntries: 8192,
+		GshareEntries:  8192,
+		MetaEntries:    8192,
+		HistoryBits:    13,
+		BTBEntries:     4096,
+		BTBWays:        2,
+		RASEntries:     64,
+	}
+}
+
+// Predictor is a combined direction predictor plus BTB and RAS.
+// Methods are not safe for concurrent use (the simulator is
+// single-threaded by design; see DESIGN.md).
+type Predictor struct {
+	cfg      Config
+	bimodal  []uint8
+	gshare   []uint8
+	meta     []uint8
+	history  uint64
+	histMask uint64
+
+	btb *btb
+	ras *ras
+}
+
+// New builds a predictor; all counters start weakly taken (2), the
+// conventional initialization.
+func New(cfg Config) *Predictor {
+	p := &Predictor{
+		cfg:      cfg,
+		bimodal:  make([]uint8, cfg.BimodalEntries),
+		gshare:   make([]uint8, cfg.GshareEntries),
+		meta:     make([]uint8, cfg.MetaEntries),
+		histMask: (1 << uint(cfg.HistoryBits)) - 1,
+		btb:      newBTB(cfg.BTBEntries, cfg.BTBWays),
+		ras:      newRAS(cfg.RASEntries),
+	}
+	for i := range p.bimodal {
+		p.bimodal[i] = 2
+	}
+	for i := range p.gshare {
+		p.gshare[i] = 2
+	}
+	for i := range p.meta {
+		p.meta[i] = 2 // weakly prefer gshare
+	}
+	return p
+}
+
+// Prediction is the outcome of one lookup.
+type Prediction struct {
+	// Taken is the predicted direction (always true for
+	// unconditional transfers).
+	Taken bool
+	// Target is the predicted next PC (fall-through if not taken or
+	// no BTB/RAS target known).
+	Target isa.Addr
+	// TargetKnown reports whether Target came from the BTB/RAS rather
+	// than fall-through default.
+	TargetKnown bool
+}
+
+// Predict performs a lookup for the control-transfer instruction in
+// and speculatively updates the global history with the predicted
+// direction (as real front ends do; Update repairs it on resolve).
+func (p *Predictor) Predict(in *isa.Inst) Prediction {
+	switch in.Op {
+	case isa.OpJump, isa.OpCall:
+		if in.Op == isa.OpCall {
+			p.ras.push(in.NextPC())
+		}
+		return Prediction{Taken: true, Target: in.Target, TargetKnown: true}
+	case isa.OpReturn:
+		if t, ok := p.ras.pop(); ok {
+			return Prediction{Taken: true, Target: t, TargetKnown: true}
+		}
+		return Prediction{Taken: true, Target: in.NextPC()}
+	case isa.OpJumpIndirect:
+		if t, ok := p.btb.lookup(in.PC); ok {
+			return Prediction{Taken: true, Target: t, TargetKnown: true}
+		}
+		return Prediction{Taken: true, Target: in.NextPC()}
+	case isa.OpBranch:
+		taken := p.direction(in.PC)
+		pr := Prediction{Taken: taken, Target: in.NextPC()}
+		if taken {
+			// A direct branch's target comes from the decoded
+			// instruction; model BTB hit for simplicity of the
+			// front end (target mispredicts come from indirects).
+			pr.Target = in.Target
+			pr.TargetKnown = true
+		}
+		p.pushHistory(taken)
+		return pr
+	default:
+		return Prediction{Taken: false, Target: in.NextPC()}
+	}
+}
+
+// direction consults the combined predictor.
+func (p *Predictor) direction(pc isa.Addr) bool {
+	bi := p.bimodal[p.bimodalIdx(pc)] >= 2
+	gs := p.gshare[p.gshareIdx(pc)] >= 2
+	if p.meta[p.metaIdx(pc)] >= 2 {
+		return gs
+	}
+	return bi
+}
+
+// Update trains the predictor with the resolved outcome of a
+// control-transfer instruction. For conditional branches it repairs
+// the speculative history if the prediction was wrong.
+func (p *Predictor) Update(in *isa.Inst, taken bool, target isa.Addr, predicted Prediction) {
+	switch in.Op {
+	case isa.OpBranch:
+		biIdx, gsIdx, mIdx := p.bimodalIdx(in.PC), p.gshareIdxResolved(in.PC), p.metaIdx(in.PC)
+		biCorrect := (p.bimodal[biIdx] >= 2) == taken
+		gsCorrect := (p.gshare[gsIdx] >= 2) == taken
+		saturate(&p.bimodal[biIdx], taken)
+		saturate(&p.gshare[gsIdx], taken)
+		if biCorrect != gsCorrect {
+			saturate(&p.meta[mIdx], gsCorrect)
+		}
+		if predicted.Taken != taken {
+			// Repair: pop the wrong speculative bit, push the truth.
+			p.history >>= 1
+			p.pushHistory(taken)
+		}
+	case isa.OpJumpIndirect:
+		p.btb.insert(in.PC, target)
+	}
+}
+
+// gshareIdxResolved recomputes the gshare index as it was at predict
+// time: Predict already pushed the (possibly wrong) speculative bit,
+// so strip the newest bit before hashing. This is exact because the
+// simulator trains each branch immediately after predicting it (the
+// front end runs in program order; see package ooo).
+func (p *Predictor) gshareIdxResolved(pc isa.Addr) int {
+	h := (p.history >> 1) & p.histMask
+	return int((uint64(pc>>2) ^ h) % uint64(len(p.gshare)))
+}
+
+func (p *Predictor) pushHistory(taken bool) {
+	p.history <<= 1
+	if taken {
+		p.history |= 1
+	}
+}
+
+func (p *Predictor) bimodalIdx(pc isa.Addr) int {
+	return int(uint64(pc>>2) % uint64(len(p.bimodal)))
+}
+
+func (p *Predictor) gshareIdx(pc isa.Addr) int {
+	return int((uint64(pc>>2) ^ (p.history & p.histMask)) % uint64(len(p.gshare)))
+}
+
+func (p *Predictor) metaIdx(pc isa.Addr) int {
+	return int(uint64(pc>>2) % uint64(len(p.meta)))
+}
+
+func saturate(c *uint8, up bool) {
+	if up {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+}
+
+// btb is a set-associative branch target buffer with LRU replacement.
+type btb struct {
+	sets int
+	ways int
+	tags []isa.Addr // 0 = invalid
+	tgts []isa.Addr
+	lru  []uint32
+	tick uint32
+}
+
+func newBTB(entries, ways int) *btb {
+	sets := entries / ways
+	if sets < 1 {
+		sets = 1
+	}
+	n := sets * ways
+	return &btb{sets: sets, ways: ways,
+		tags: make([]isa.Addr, n), tgts: make([]isa.Addr, n), lru: make([]uint32, n)}
+}
+
+func (b *btb) set(pc isa.Addr) int { return int(uint64(pc>>2) % uint64(b.sets)) }
+
+func (b *btb) lookup(pc isa.Addr) (isa.Addr, bool) {
+	s := b.set(pc) * b.ways
+	for w := 0; w < b.ways; w++ {
+		if b.tags[s+w] == pc {
+			b.tick++
+			b.lru[s+w] = b.tick
+			return b.tgts[s+w], true
+		}
+	}
+	return 0, false
+}
+
+func (b *btb) insert(pc, target isa.Addr) {
+	s := b.set(pc) * b.ways
+	victim := s
+	for w := 0; w < b.ways; w++ {
+		if b.tags[s+w] == pc || b.tags[s+w] == 0 {
+			victim = s + w
+			break
+		}
+		if b.lru[s+w] < b.lru[victim] {
+			victim = s + w
+		}
+	}
+	b.tick++
+	b.tags[victim] = pc
+	b.tgts[victim] = target
+	b.lru[victim] = b.tick
+}
+
+// ras is a circular return-address stack; overflow overwrites the
+// oldest entry, underflow fails the pop (as in real hardware).
+type ras struct {
+	buf  []isa.Addr
+	top  int // next push slot
+	size int // live entries, <= len(buf)
+}
+
+func newRAS(entries int) *ras {
+	return &ras{buf: make([]isa.Addr, entries)}
+}
+
+func (r *ras) push(a isa.Addr) {
+	r.buf[r.top] = a
+	r.top = (r.top + 1) % len(r.buf)
+	if r.size < len(r.buf) {
+		r.size++
+	}
+}
+
+func (r *ras) pop() (isa.Addr, bool) {
+	if r.size == 0 {
+		return 0, false
+	}
+	r.top = (r.top - 1 + len(r.buf)) % len(r.buf)
+	r.size--
+	return r.buf[r.top], true
+}

@@ -1,0 +1,273 @@
+package bpred
+
+import (
+	"testing"
+
+	"icost/internal/isa"
+	"icost/internal/rng"
+)
+
+func newDefault() *Predictor { return New(DefaultConfig()) }
+
+func condBr(pc isa.Addr, target isa.Addr) *isa.Inst {
+	return &isa.Inst{PC: pc, Op: isa.OpBranch, Src1: 1, Src2: 0, Target: target}
+}
+
+// train runs predict+update for one branch outcome and returns whether
+// the prediction was correct.
+func train(p *Predictor, in *isa.Inst, taken bool) bool {
+	pr := p.Predict(in)
+	tgt := in.NextPC()
+	if taken {
+		tgt = in.Target
+	}
+	p.Update(in, taken, tgt, pr)
+	return pr.Taken == taken
+}
+
+func TestLearnsAlwaysTaken(t *testing.T) {
+	p := newDefault()
+	in := condBr(0x1000, 0x2000)
+	wrong := 0
+	for i := 0; i < 100; i++ {
+		if !train(p, in, true) && i > 4 {
+			wrong++
+		}
+	}
+	if wrong != 0 {
+		t.Fatalf("%d mispredicts on always-taken branch after warmup", wrong)
+	}
+}
+
+func TestLearnsAlwaysNotTaken(t *testing.T) {
+	p := newDefault()
+	in := condBr(0x1000, 0x2000)
+	wrong := 0
+	for i := 0; i < 100; i++ {
+		if !train(p, in, false) && i > 4 {
+			wrong++
+		}
+	}
+	if wrong != 0 {
+		t.Fatalf("%d mispredicts on never-taken branch after warmup", wrong)
+	}
+}
+
+func TestGshareLearnsAlternatingPattern(t *testing.T) {
+	// A strictly alternating branch is mispredicted ~50% by bimodal
+	// but learned perfectly by gshare; the meta predictor must find
+	// this out. Expect high accuracy after warmup.
+	p := newDefault()
+	in := condBr(0x1000, 0x2000)
+	wrong := 0
+	for i := 0; i < 400; i++ {
+		taken := i%2 == 0
+		if !train(p, in, taken) && i >= 100 {
+			wrong++
+		}
+	}
+	if wrong > 15 {
+		t.Fatalf("%d/300 mispredicts on alternating branch", wrong)
+	}
+}
+
+func TestRandomBranchNearFiftyPercent(t *testing.T) {
+	p := newDefault()
+	in := condBr(0x1000, 0x2000)
+	r := rng.New(1)
+	wrong := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if !train(p, in, r.Bool(0.5)) {
+			wrong++
+		}
+	}
+	frac := float64(wrong) / n
+	if frac < 0.35 || frac > 0.65 {
+		t.Fatalf("mispredict rate %.2f on random branch", frac)
+	}
+}
+
+func TestBiasedBranchBeatsCoin(t *testing.T) {
+	p := newDefault()
+	in := condBr(0x1000, 0x2000)
+	r := rng.New(2)
+	wrong := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if !train(p, in, r.Bool(0.9)) {
+			wrong++
+		}
+	}
+	frac := float64(wrong) / n
+	if frac > 0.2 {
+		t.Fatalf("mispredict rate %.2f on 90%% biased branch", frac)
+	}
+}
+
+func TestUnconditionalAlwaysPredictedTaken(t *testing.T) {
+	p := newDefault()
+	j := &isa.Inst{PC: 0x1000, Op: isa.OpJump, Target: 0x3000}
+	pr := p.Predict(j)
+	if !pr.Taken || pr.Target != 0x3000 || !pr.TargetKnown {
+		t.Fatalf("jump prediction %+v", pr)
+	}
+}
+
+func TestRASCallReturn(t *testing.T) {
+	p := newDefault()
+	call := &isa.Inst{PC: 0x1000, Op: isa.OpCall, Target: 0x5000}
+	ret := &isa.Inst{PC: 0x5004, Op: isa.OpReturn}
+	pr := p.Predict(call)
+	if pr.Target != 0x5000 {
+		t.Fatalf("call target %#x", uint64(pr.Target))
+	}
+	pr = p.Predict(ret)
+	if !pr.TargetKnown || pr.Target != call.NextPC() {
+		t.Fatalf("return predicted %+v, want %#x", pr, uint64(call.NextPC()))
+	}
+}
+
+func TestRASNested(t *testing.T) {
+	p := newDefault()
+	ret := &isa.Inst{PC: 0x9000, Op: isa.OpReturn}
+	var calls []*isa.Inst
+	for i := 0; i < 10; i++ {
+		c := &isa.Inst{PC: isa.Addr(0x1000 + i*8), Op: isa.OpCall, Target: 0x5000}
+		calls = append(calls, c)
+		p.Predict(c)
+	}
+	for i := 9; i >= 0; i-- {
+		pr := p.Predict(ret)
+		if pr.Target != calls[i].NextPC() {
+			t.Fatalf("nested return %d predicted %#x, want %#x",
+				i, uint64(pr.Target), uint64(calls[i].NextPC()))
+		}
+	}
+}
+
+func TestRASUnderflow(t *testing.T) {
+	p := newDefault()
+	ret := &isa.Inst{PC: 0x9000, Op: isa.OpReturn}
+	pr := p.Predict(ret)
+	if pr.TargetKnown {
+		t.Fatal("empty RAS claimed a known target")
+	}
+	if !pr.Taken {
+		t.Fatal("return predicted not-taken")
+	}
+}
+
+func TestRASOverflowWrapsAround(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RASEntries = 4
+	p := New(cfg)
+	ret := &isa.Inst{PC: 0x9000, Op: isa.OpReturn}
+	for i := 0; i < 6; i++ {
+		p.Predict(&isa.Inst{PC: isa.Addr(0x1000 + i*8), Op: isa.OpCall, Target: 0x5000})
+	}
+	// Only the newest 4 survive: returns should give calls 5,4,3,2.
+	for i := 5; i >= 2; i-- {
+		want := isa.Addr(0x1000 + i*8 + 4)
+		pr := p.Predict(ret)
+		if pr.Target != want {
+			t.Fatalf("after overflow, return predicted %#x, want %#x",
+				uint64(pr.Target), uint64(want))
+		}
+	}
+	if pr := p.Predict(ret); pr.TargetKnown {
+		t.Fatal("RAS did not empty after draining")
+	}
+}
+
+func TestIndirectJumpLearnsTarget(t *testing.T) {
+	p := newDefault()
+	jr := &isa.Inst{PC: 0x1000, Op: isa.OpJumpIndirect, Src1: 5}
+	pr := p.Predict(jr)
+	if pr.TargetKnown {
+		t.Fatal("cold BTB claimed a target")
+	}
+	p.Update(jr, true, 0x4000, pr)
+	pr = p.Predict(jr)
+	if !pr.TargetKnown || pr.Target != 0x4000 {
+		t.Fatalf("BTB did not learn: %+v", pr)
+	}
+	// Target changes are re-learned.
+	p.Update(jr, true, 0x6000, pr)
+	pr = p.Predict(jr)
+	if pr.Target != 0x6000 {
+		t.Fatalf("BTB did not relearn: %+v", pr)
+	}
+}
+
+func TestBTBConflictEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BTBEntries = 4
+	cfg.BTBWays = 2
+	p := New(cfg)
+	// Three PCs mapping to the same set (sets=2, so stride 2*4 bytes
+	// in pc>>2 space): pc>>2 even → set 0.
+	pcs := []isa.Addr{0x1000, 0x1010, 0x1020}
+	for i, pc := range pcs {
+		jr := &isa.Inst{PC: pc, Op: isa.OpJumpIndirect, Src1: 1}
+		p.Update(jr, true, isa.Addr(0x4000+i*16), Prediction{})
+	}
+	// The first should be evicted (LRU), the last two present.
+	if _, ok := p.btb.lookup(pcs[0]); ok {
+		t.Fatal("LRU entry not evicted")
+	}
+	for i := 1; i < 3; i++ {
+		tgt, ok := p.btb.lookup(pcs[i])
+		if !ok || tgt != isa.Addr(0x4000+i*16) {
+			t.Fatalf("entry %d lost: ok=%v tgt=%#x", i, ok, uint64(tgt))
+		}
+	}
+}
+
+func TestNonBranchPredictsFallThrough(t *testing.T) {
+	p := newDefault()
+	in := &isa.Inst{PC: 0x1000, Op: isa.OpIntShort, Dst: 1, Src1: 2, Src2: 3}
+	pr := p.Predict(in)
+	if pr.Taken || pr.Target != in.NextPC() {
+		t.Fatalf("non-branch prediction %+v", pr)
+	}
+}
+
+func TestManyBranchesIsolated(t *testing.T) {
+	// Two heavily biased branches at different PCs must not destroy
+	// each other's bimodal state.
+	p := newDefault()
+	a := condBr(0x1000, 0x2000)
+	b := condBr(0x1A04, 0x3000)
+	wrong := 0
+	for i := 0; i < 300; i++ {
+		if !train(p, a, true) && i > 10 {
+			wrong++
+		}
+		if !train(p, b, false) && i > 10 {
+			wrong++
+		}
+	}
+	if wrong > 30 {
+		t.Fatalf("%d mispredicts across two biased branches", wrong)
+	}
+}
+
+func TestHistoryRepairOnMispredict(t *testing.T) {
+	// After a mispredict, the history must contain the resolved
+	// outcome, not the predicted one: feed a pattern where this
+	// matters and just assert the predictor still converges.
+	p := newDefault()
+	in := condBr(0x1000, 0x2000)
+	pattern := []bool{true, true, false, true, true, false}
+	wrong := 0
+	for i := 0; i < 600; i++ {
+		taken := pattern[i%len(pattern)]
+		if !train(p, in, taken) && i >= 300 {
+			wrong++
+		}
+	}
+	if wrong > 30 {
+		t.Fatalf("%d/300 mispredicts on periodic pattern", wrong)
+	}
+}

@@ -1,0 +1,181 @@
+package breakdown
+
+import (
+	"strings"
+	"testing"
+
+	"icost/internal/cost"
+	"icost/internal/depgraph"
+	"icost/internal/ooo"
+	"icost/internal/workload"
+)
+
+func analyzer(t *testing.T, name string, n int) *cost.Analyzer {
+	t.Helper()
+	tr, err := workload.Load(name, 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ooo.Run(tr, ooo.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cost.New(res.Graph)
+}
+
+func TestBaseCategoriesComplete(t *testing.T) {
+	cats := BaseCategories()
+	if len(cats) != depgraph.NumFlags {
+		t.Fatalf("%d categories", len(cats))
+	}
+	var all depgraph.Flags
+	for _, c := range cats {
+		if c.Flags == 0 {
+			t.Fatalf("category %s has no flags", c.Name)
+		}
+		if all&c.Flags != 0 {
+			t.Fatalf("category %s overlaps", c.Name)
+		}
+		all |= c.Flags
+	}
+	if all != depgraph.AllFlags {
+		t.Fatal("categories do not cover all flags")
+	}
+}
+
+func TestFocusedStructure(t *testing.T) {
+	a := analyzer(t, "gzip", 8000)
+	cats := BaseCategories()
+	f, err := Focus(a, cats[0], cats, "gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Base) != 8 {
+		t.Fatalf("%d base rows", len(f.Base))
+	}
+	if len(f.Pairs) != 7 {
+		t.Fatalf("%d pair rows", len(f.Pairs))
+	}
+	if f.Pairs[0].Label != "dl1+win" {
+		t.Fatalf("first pair %q", f.Pairs[0].Label)
+	}
+	// Percentages sum (with Other) to exactly 100.
+	sum := f.Other.Percent
+	for _, r := range f.Base {
+		sum += r.Percent
+	}
+	for _, r := range f.Pairs {
+		sum += r.Percent
+	}
+	if sum < 99.999 || sum > 100.001 {
+		t.Fatalf("rows sum to %.4f%%", sum)
+	}
+}
+
+func TestFocusedCyclesMatchAnalyzer(t *testing.T) {
+	a := analyzer(t, "parser", 8000)
+	cats := BaseCategories()
+	f, err := Focus(a, cats[0], cats, "parser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cats {
+		if f.Base[i].Cycles != a.Cost(c.Flags) {
+			t.Fatalf("base row %s cycles mismatch", c.Name)
+		}
+	}
+	ic := a.MustICost(cats[0].Flags, cats[1].Flags)
+	if f.Pairs[0].Cycles != ic {
+		t.Fatalf("pair row cycles %d != %d", f.Pairs[0].Cycles, ic)
+	}
+}
+
+func TestFullIdentity(t *testing.T) {
+	a := analyzer(t, "gcc", 8000)
+	cats := []Category{
+		{Name: "dmiss", Flags: depgraph.IdealDMiss},
+		{Name: "bmisp", Flags: depgraph.IdealBMisp},
+		{Name: "win", Flags: depgraph.IdealWindow},
+	}
+	f, err := ComputeFull(a, cats, "gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 7 {
+		t.Fatalf("%d rows for 3 categories", len(f.Rows))
+	}
+	if err := f.CheckIdentity(); err != nil {
+		t.Fatal(err)
+	}
+	// Ordered by subset size.
+	if strings.Contains(f.Rows[0].Label, "+") {
+		t.Fatalf("first row %q is not a singleton", f.Rows[0].Label)
+	}
+	if !strings.Contains(f.Rows[6].Label, "dmiss+bmisp+win") {
+		t.Fatalf("last row %q is not the triple", f.Rows[6].Label)
+	}
+}
+
+func TestFullRejectsBadInput(t *testing.T) {
+	a := analyzer(t, "gzip", 2000)
+	if _, err := ComputeFull(a, nil, "x"); err == nil {
+		t.Fatal("accepted empty categories")
+	}
+	many := make([]Category, 13)
+	for i := range many {
+		many[i] = Category{Name: "c", Flags: depgraph.IdealDL1}
+	}
+	if _, err := ComputeFull(a, many, "x"); err == nil {
+		t.Fatal("accepted 13 categories")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	cats := BaseCategories()
+	var bds []*Focused
+	for _, name := range []string{"gzip", "mcf"} {
+		a := analyzer(t, name, 6000)
+		f, err := Focus(a, cats[0], cats, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bds = append(bds, f)
+	}
+	s := Table(bds)
+	for _, want := range []string{"gzip", "mcf", "dl1+win", "Other", "Total", "dmiss"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table missing %q:\n%s", want, s)
+		}
+	}
+	// Total row ends near 100 for both columns.
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "100.0") {
+		t.Fatalf("total row: %q", last)
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	if Table(nil) != "" {
+		t.Fatal("empty table not empty")
+	}
+}
+
+func TestStackedBar(t *testing.T) {
+	a := analyzer(t, "twolf", 6000)
+	cats := []Category{
+		{Name: "dmiss", Flags: depgraph.IdealDMiss},
+		{Name: "bmisp", Flags: depgraph.IdealBMisp},
+	}
+	f, err := ComputeFull(a, cats, "twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := StackedBar(f, 40)
+	if !strings.Contains(s, "twolf") || !strings.Contains(s, "ideal") {
+		t.Fatalf("bar output:\n%s", s)
+	}
+	if !strings.Contains(s, "#") {
+		t.Fatal("no bars rendered")
+	}
+}

@@ -1,0 +1,280 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"icost/internal/isa"
+	"icost/internal/rng"
+)
+
+func TestHitAfterFill(t *testing.T) {
+	c := NewCache(1024, 2, 64)
+	a := isa.Addr(0x10000)
+	if c.Access(a) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(a) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(a + 63) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(a + 64) {
+		t.Fatal("next-line access hit")
+	}
+}
+
+func TestProbeDoesNotFill(t *testing.T) {
+	c := NewCache(1024, 2, 64)
+	a := isa.Addr(0x10000)
+	if c.Probe(a) {
+		t.Fatal("probe of empty cache hit")
+	}
+	if c.Access(a) {
+		t.Fatal("probe filled the cache")
+	}
+	if !c.Probe(a) {
+		t.Fatal("probe after fill missed")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2 ways, 1 set (128B cache, 64B lines).
+	c := NewCache(128, 2, 64)
+	a, b, d := isa.Addr(0x10000), isa.Addr(0x20000), isa.Addr(0x30000)
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // a is now MRU
+	c.Access(d) // evicts b
+	if !c.Probe(a) {
+		t.Fatal("MRU line evicted")
+	}
+	if c.Probe(b) {
+		t.Fatal("LRU line survived")
+	}
+	if !c.Probe(d) {
+		t.Fatal("filled line absent")
+	}
+}
+
+func TestSetIndexing(t *testing.T) {
+	// 2 sets, 1 way: lines alternate sets by line-address parity.
+	c := NewCache(128, 1, 64)
+	even, odd := isa.Addr(0x10000), isa.Addr(0x10040)
+	c.Access(even)
+	c.Access(odd)
+	if !c.Probe(even) || !c.Probe(odd) {
+		t.Fatal("different sets interfered")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := NewCache(1024, 2, 64)
+	c.Access(0x1000)
+	c.Access(0x1000)
+	c.Access(0x2000)
+	if c.Accesses != 3 || c.Misses != 2 {
+		t.Fatalf("accesses=%d misses=%d", c.Accesses, c.Misses)
+	}
+}
+
+func TestCacheGeometryPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewCache(0, 2, 64) },
+		func() { NewCache(1000, 2, 64) }, // not divisible
+		func() { NewCache(1024, 2, 48) }, // non-power-of-two line
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWorkingSetFitsNeverMisses(t *testing.T) {
+	c := NewCache(32<<10, 2, 64)
+	r := rng.New(1)
+	// Touch every line once, then random accesses must all hit.
+	// Use a 16KB region (half capacity) to avoid conflict misses
+	// dominating in a 2-way cache.
+	const region = 16 << 10
+	for off := 0; off < region; off += 64 {
+		c.Access(isa.Addr(0x100000 + off))
+	}
+	missBefore := c.Misses
+	for i := 0; i < 10000; i++ {
+		c.Access(isa.Addr(0x100000 + r.Intn(region)))
+	}
+	extra := c.Misses - missBefore
+	if extra > 50 { // allow a handful of conflict misses
+		t.Fatalf("%d misses on resident working set", extra)
+	}
+}
+
+func TestHugeWorkingSetMissesOften(t *testing.T) {
+	c := NewCache(32<<10, 2, 64)
+	r := rng.New(2)
+	const region = 16 << 20
+	for i := 0; i < 20000; i++ {
+		c.Access(isa.Addr(0x100000 + r.Intn(region)))
+	}
+	rate := float64(c.Misses) / float64(c.Accesses)
+	if rate < 0.9 {
+		t.Fatalf("miss rate %.2f on 16MB random working set", rate)
+	}
+}
+
+func TestTLBHitAfterFill(t *testing.T) {
+	tl := NewTLB(4, 8<<10)
+	if tl.Access(0x10000) {
+		t.Fatal("cold TLB hit")
+	}
+	if !tl.Access(0x10000 + 8191) {
+		t.Fatal("same-page access missed")
+	}
+	if tl.Access(0x10000 + 8192) {
+		t.Fatal("next-page access hit")
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tl := NewTLB(2, 8<<10)
+	p := func(i int) isa.Addr { return isa.Addr(i * 8 << 10) }
+	tl.Access(p(1))
+	tl.Access(p(2))
+	tl.Access(p(1)) // 1 is MRU
+	tl.Access(p(3)) // evicts 2
+	if tl.Access(p(1)) != true {
+		t.Fatal("MRU page evicted")
+	}
+	if tl.Access(p(2)) {
+		t.Fatal("LRU page survived")
+	}
+}
+
+func TestHierarchyDataLevels(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	cfg := h.Config()
+	a := isa.Addr(0x10000000)
+
+	r := h.DataAccess(a)
+	if r.Level != LevelMem {
+		t.Fatalf("cold access level %v", r.Level)
+	}
+	wantCold := cfg.DL1Latency + cfg.L2Latency + cfg.MemLatency + cfg.TLBMissLatency
+	if r.Latency != wantCold {
+		t.Fatalf("cold latency %d, want %d", r.Latency, wantCold)
+	}
+	if !r.TLBMiss {
+		t.Fatal("cold access did not miss TLB")
+	}
+
+	r = h.DataAccess(a)
+	if r.Level != LevelL1 || r.Latency != cfg.DL1Latency || r.TLBMiss {
+		t.Fatalf("warm access %+v", r)
+	}
+}
+
+func TestHierarchyL2Hit(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	cfg := h.Config()
+	a := isa.Addr(0x10000000)
+	h.DataAccess(a) // fill L1+L2
+	// Evict from L1 (2-way, 256 sets): two more lines in the same set.
+	set := h.L1D.setOf(h.L1D.Line(a))
+	filled := 0
+	for i := 1; filled < 2; i++ {
+		b := a + isa.Addr(i*cfg.L1DSize/cfg.L1DWays)
+		if h.L1D.setOf(h.L1D.Line(b)) == set {
+			h.DataAccess(b)
+			filled++
+		}
+	}
+	r := h.DataAccess(a)
+	if r.Level != LevelL2 {
+		t.Fatalf("expected L2 hit, got %v (latency %d)", r.Level, r.Latency)
+	}
+	if r.Latency != cfg.DL1Latency+cfg.L2Latency {
+		t.Fatalf("L2 hit latency %d", r.Latency)
+	}
+}
+
+func TestHierarchyInstAccess(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	cfg := h.Config()
+	pc := isa.Addr(0x1000)
+	r := h.InstAccess(pc)
+	if r.Level != LevelMem || !r.TLBMiss {
+		t.Fatalf("cold fetch %+v", r)
+	}
+	if r.Penalty != cfg.L2Latency+cfg.MemLatency+cfg.TLBMissLatency {
+		t.Fatalf("cold fetch penalty %d", r.Penalty)
+	}
+	r = h.InstAccess(pc)
+	if r.Level != LevelL1 || r.Penalty != 0 {
+		t.Fatalf("warm fetch %+v", r)
+	}
+}
+
+func TestLineIsStable(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	a := isa.Addr(0x10000000)
+	r1 := h.DataAccess(a)
+	r2 := h.DataAccess(a + 32)
+	if r1.Line != r2.Line {
+		t.Fatal("same-line accesses got different line ids")
+	}
+	r3 := h.DataAccess(a + 64)
+	if r3.Line == r1.Line {
+		t.Fatal("different lines share an id")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if LevelL1.String() != "L1" || LevelL2.String() != "L2" || LevelMem.String() != "mem" {
+		t.Fatal("level names wrong")
+	}
+	if Level(9).String() == "" {
+		t.Fatal("unknown level empty")
+	}
+}
+
+func TestQuickProbeNeverChangesState(t *testing.T) {
+	c := NewCache(4096, 4, 64)
+	r := rng.New(3)
+	for i := 0; i < 500; i++ {
+		c.Access(isa.Addr(0x1000 + r.Intn(1<<16)))
+	}
+	f := func(raw uint32) bool {
+		a := isa.Addr(raw)
+		before := c.Probe(a)
+		after := c.Probe(a)
+		return before == after
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAccessThenProbeHits(t *testing.T) {
+	f := func(raws []uint32) bool {
+		c := NewCache(8192, 2, 64)
+		for _, raw := range raws {
+			a := isa.Addr(raw) + 64 // avoid line 0 (reserved invalid)
+			c.Access(a)
+			if !c.Probe(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

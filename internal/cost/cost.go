@@ -1,0 +1,265 @@
+// Package cost implements the paper's cost and interaction-cost
+// (icost) analysis (Section 2) on top of the dependence-graph model.
+//
+// The cost of a set of events S is the speedup from idealizing S:
+//
+//	cost(S) = t - t(S)
+//
+// where t is the base execution time and t(S) the time with S
+// idealized. The interaction cost of event sets S1..Sk generalizes
+//
+//	icost({a,b}) = cost({a,b}) - cost(a) - cost(b)
+//
+// recursively: icost(U) = cost(U) - Σ icost(V) over proper subsets V,
+// which by Möbius inversion equals
+//
+//	icost(U) = Σ_{V ⊆ U} (-1)^{|U|-|V|} cost(V).
+//
+// A positive icost is a parallel interaction (speedup available only
+// by optimizing the sets together), a negative icost a serial
+// interaction (optimizing either one alone captures shared cycles),
+// and zero means the sets are independent.
+//
+// Event sets are expressed as depgraph idealizations: a whole
+// category (e.g. all data-cache misses) is a depgraph.Flags value; an
+// arbitrary dynamic subset (e.g. the misses of one static load) is a
+// per-instruction mask. Costs come from graph re-evaluation — the
+// paper's efficient alternative to 2^n simulations.
+package cost
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"icost/internal/depgraph"
+	"icost/internal/isa"
+)
+
+// Analyzer computes costs over one microexecution, memoizing
+// whole-category queries (the working set of a breakdown is the
+// power set of eight flags, so memoization turns the 2^n cost
+// queries of a full accounting into at most 256 evaluations).
+//
+// The evaluation backend is pluggable: New evaluates idealizations on
+// a dependence graph (the paper's efficient method); NewFromFunc lets
+// package multisim evaluate them by re-running idealized simulations
+// (the paper's expensive baseline). Everything downstream — icosts,
+// breakdowns, experiments — is agnostic to the backend.
+type Analyzer struct {
+	g    *depgraph.Graph // nil for function-backed analyzers
+	eval func(depgraph.Flags) int64
+	base int64
+
+	mu   sync.Mutex
+	memo map[depgraph.Flags]int64
+}
+
+// New builds a graph-backed analyzer; the base (unidealized) time is
+// computed immediately.
+func New(g *depgraph.Graph) *Analyzer {
+	return newAnalyzer(g, func(f depgraph.Flags) int64 {
+		return g.ExecTime(depgraph.Ideal{Global: f})
+	})
+}
+
+// NewFromFunc builds an analyzer whose execution times come from
+// eval — e.g. idealized re-simulation. Event-set methods that need a
+// graph (CostSet, ICostSets) panic on such an analyzer.
+func NewFromFunc(eval func(depgraph.Flags) int64) *Analyzer {
+	return newAnalyzer(nil, eval)
+}
+
+func newAnalyzer(g *depgraph.Graph, eval func(depgraph.Flags) int64) *Analyzer {
+	a := &Analyzer{g: g, eval: eval, memo: map[depgraph.Flags]int64{}}
+	a.base = eval(0)
+	a.memo[0] = a.base
+	return a
+}
+
+// Graph returns the underlying graph, or nil for a function-backed
+// analyzer.
+func (a *Analyzer) Graph() *depgraph.Graph { return a.g }
+
+// BaseTime returns the unidealized execution time in cycles.
+func (a *Analyzer) BaseTime() int64 { return a.base }
+
+// ExecTime returns the execution time with the given categories
+// idealized (memoized).
+// ExecTime is safe for concurrent use; the underlying evaluation may
+// run more than once on a race, which is harmless (it is pure).
+func (a *Analyzer) ExecTime(f depgraph.Flags) int64 {
+	a.mu.Lock()
+	t, ok := a.memo[f]
+	a.mu.Unlock()
+	if ok {
+		return t
+	}
+	t = a.eval(f)
+	a.mu.Lock()
+	a.memo[f] = t
+	a.mu.Unlock()
+	return t
+}
+
+// Cost returns cost(f) = t - t(f) for a union of whole categories.
+func (a *Analyzer) Cost(f depgraph.Flags) int64 {
+	return a.base - a.ExecTime(f)
+}
+
+// ICost returns the interaction cost of the given category sets.
+// Each argument is one event set; sets must be disjoint (no shared
+// flag bits), since overlapping sets make the power-set accounting
+// ill-defined. With one argument it degenerates to Cost.
+func (a *Analyzer) ICost(sets ...depgraph.Flags) (int64, error) {
+	k := len(sets)
+	if k == 0 {
+		return 0, nil
+	}
+	var seen depgraph.Flags
+	for _, s := range sets {
+		if s == 0 {
+			return 0, fmt.Errorf("cost: empty event set")
+		}
+		if seen&s != 0 {
+			return 0, fmt.Errorf("cost: overlapping event sets %v", sets)
+		}
+		seen |= s
+	}
+	// Möbius sum over subsets of {1..k}.
+	var total int64
+	for m := 0; m < 1<<k; m++ {
+		var union depgraph.Flags
+		for j := 0; j < k; j++ {
+			if m&(1<<j) != 0 {
+				union |= sets[j]
+			}
+		}
+		term := a.Cost(union)
+		if (k-bits.OnesCount(uint(m)))%2 == 1 {
+			term = -term
+		}
+		total += term
+	}
+	return total, nil
+}
+
+// MustICost is ICost that panics on misuse (for internal callers that
+// construct sets programmatically).
+func (a *Analyzer) MustICost(sets ...depgraph.Flags) int64 {
+	v, err := a.ICost(sets...)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// CostSet returns the cost of an arbitrary event set expressed as an
+// idealization (possibly per-instruction). Not memoized. Panics on a
+// function-backed analyzer, which has no graph to evaluate.
+func (a *Analyzer) CostSet(id depgraph.Ideal) int64 {
+	if a.g == nil {
+		panic("cost: CostSet requires a graph-backed analyzer")
+	}
+	return a.base - a.g.ExecTime(id)
+}
+
+// ICostSets returns the interaction cost of arbitrary event sets.
+// The union of sets is the OR of their masks. Cost grows as 2^k graph
+// evaluations; intended for small k (pairs and triples).
+func (a *Analyzer) ICostSets(sets ...depgraph.Ideal) int64 {
+	if a.g == nil {
+		panic("cost: ICostSets requires a graph-backed analyzer")
+	}
+	k := len(sets)
+	if k == 0 {
+		return 0
+	}
+	n := a.g.Len()
+	var total int64
+	for m := 0; m < 1<<k; m++ {
+		var id depgraph.Ideal
+		for j := 0; j < k; j++ {
+			if m&(1<<j) == 0 {
+				continue
+			}
+			s := sets[j]
+			id.Global |= s.Global
+			if s.PerInst != nil {
+				if id.PerInst == nil {
+					id.PerInst = make([]depgraph.Flags, n)
+				}
+				for i, f := range s.PerInst {
+					id.PerInst[i] |= f
+				}
+			}
+		}
+		term := a.CostSet(id)
+		if (k-bits.OnesCount(uint(m)))%2 == 1 {
+			term = -term
+		}
+		total += term
+	}
+	return total
+}
+
+// Interaction classifies an icost value per Section 2.2.
+type Interaction int
+
+const (
+	// Serial: negative interaction — events are in series with each
+	// other and parallel with something else.
+	Serial Interaction = -1
+	// Independent: zero interaction.
+	Independent Interaction = 0
+	// Parallel: positive interaction — speedup available only by
+	// optimizing the sets together.
+	Parallel Interaction = 1
+)
+
+// String names the interaction kind.
+func (x Interaction) String() string {
+	switch {
+	case x < 0:
+		return "serial"
+	case x > 0:
+		return "parallel"
+	default:
+		return "independent"
+	}
+}
+
+// Classify maps an icost (in cycles) to its interaction kind, using
+// tolerance cycles as the independence band.
+func Classify(icost, tolerance int64) Interaction {
+	switch {
+	case icost > tolerance:
+		return Parallel
+	case icost < -tolerance:
+		return Serial
+	default:
+		return Independent
+	}
+}
+
+// EventSet builds a per-instruction event set: flags applied to every
+// instruction i for which pred(i) is true. Use it for event groupings
+// such as "all dynamic misses of one static load".
+func EventSet(g *depgraph.Graph, flags depgraph.Flags, pred func(i int) bool) depgraph.Ideal {
+	per := make([]depgraph.Flags, g.Len())
+	for i := range per {
+		if pred(i) {
+			per[i] = flags
+		}
+	}
+	return depgraph.Ideal{PerInst: per}
+}
+
+// StaticLoadMisses builds the event set "idealize the data-cache
+// misses of static instruction sIdx" — the unit a software-prefetching
+// optimizer reasons about (paper Sections 1-2).
+func StaticLoadMisses(g *depgraph.Graph, sIdx int32) depgraph.Ideal {
+	return EventSet(g, depgraph.IdealDMiss, func(i int) bool {
+		return g.Info[i].SIdx == sIdx && g.Info[i].Op == isa.OpLoad
+	})
+}

@@ -1,0 +1,351 @@
+package cost
+
+import (
+	"math/bits"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"icost/internal/cache"
+	"icost/internal/depgraph"
+	"icost/internal/isa"
+	"icost/internal/ooo"
+	"icost/internal/rng"
+	"icost/internal/workload"
+)
+
+// tinyCfg: no pipeline constants, wide machine, big window — so
+// hand-built examples behave like pure dataflow.
+func tinyCfg() depgraph.Config {
+	return depgraph.Config{
+		FetchBW: 64, CommitBW: 64,
+		Window: 256, WindowIdealFactor: 20,
+		DispatchToReady: 0, CompleteToCommit: 0,
+		BranchRecovery: 8, WakeupExtra: 0,
+		DL1Latency: 2, L2Latency: 12, MemLatency: 100, TLBMissLatency: 30,
+	}
+}
+
+// parallelMisses builds the paper's Section 2.2 motivating example:
+// two completely parallel cache misses. Each alone has cost zero;
+// together they have large cost; the icost is large and positive.
+func parallelMisses() *depgraph.Graph {
+	g := depgraph.New(tinyCfg(), 2)
+	g.Info[0] = depgraph.InstInfo{Op: isa.OpLoad, SIdx: 0, DataLevel: cache.LevelMem}
+	g.Info[1] = depgraph.InstInfo{Op: isa.OpLoad, SIdx: 1, DataLevel: cache.LevelMem}
+	return g
+}
+
+func TestParallelInteraction(t *testing.T) {
+	a := New(parallelMisses())
+	m0 := EventSet(a.Graph(), depgraph.IdealDMiss, func(i int) bool { return i == 0 })
+	m1 := EventSet(a.Graph(), depgraph.IdealDMiss, func(i int) bool { return i == 1 })
+
+	if c := a.CostSet(m0); c != 0 {
+		t.Fatalf("cost(miss0) = %d, want 0 (fully parallel)", c)
+	}
+	if c := a.CostSet(m1); c != 0 {
+		t.Fatalf("cost(miss1) = %d, want 0", c)
+	}
+	ic := a.ICostSets(m0, m1)
+	if ic != 112 { // L2(12)+Mem(100) removed only when both idealized
+		t.Fatalf("icost = %d, want 112", ic)
+	}
+	if Classify(ic, 0) != Parallel {
+		t.Fatal("not classified parallel")
+	}
+}
+
+// serialMisses builds the paper's serial-interaction example: two
+// *dependent* cache misses in parallel with a long chain of ALU work.
+// Optimizing either miss alone captures the shared slack; optimizing
+// both gains no more, so the icost is negative.
+func serialMisses() *depgraph.Graph {
+	// 2 dependent mem-missing loads (114 cycles each, 228 serial)
+	// alongside an independent 120-cycle FP-divide chain (10 divides
+	// x 12 cycles) — the paper's "two dependent misses in parallel
+	// with ALU work" proportions: either miss alone covers the chain.
+	const chain = 10
+	g := depgraph.New(tinyCfg(), 2+chain)
+	g.Info[0] = depgraph.InstInfo{Op: isa.OpLoad, SIdx: 0, DataLevel: cache.LevelMem}
+	g.Info[1] = depgraph.InstInfo{Op: isa.OpLoad, SIdx: 1, DataLevel: cache.LevelMem}
+	g.Prod1[1] = 0 // second miss depends on the first
+	for i := 0; i < chain; i++ {
+		g.Info[2+i] = depgraph.InstInfo{Op: isa.OpFloatDiv, SIdx: int32(2 + i)}
+		if i > 0 {
+			g.Prod1[2+i] = int32(2 + i - 1)
+		}
+	}
+	return g
+}
+
+func TestSerialInteraction(t *testing.T) {
+	g := serialMisses()
+	a := New(g)
+	m0 := EventSet(g, depgraph.IdealDMiss, func(i int) bool { return i == 0 })
+	m1 := EventSet(g, depgraph.IdealDMiss, func(i int) bool { return i == 1 })
+
+	c0, c1 := a.CostSet(m0), a.CostSet(m1)
+	both := a.ICostSets(m0, m1)
+	if c0 <= 0 || c1 <= 0 {
+		t.Fatalf("individual costs %d, %d should be positive", c0, c1)
+	}
+	if both >= 0 {
+		t.Fatalf("icost = %d, want negative (serial interaction)", both)
+	}
+	if Classify(both, 0) != Serial {
+		t.Fatal("not classified serial")
+	}
+}
+
+func TestIndependentEvents(t *testing.T) {
+	// Two misses separated by an enormous serial ALU chain are
+	// independent: each is fully exposed, no shared or parallel work.
+	const chain = 50
+	g := depgraph.New(tinyCfg(), 2*chain+2)
+	mk := func(i int, info depgraph.InstInfo) { g.Info[i] = info }
+	mk(0, depgraph.InstInfo{Op: isa.OpLoad, DataLevel: cache.LevelMem})
+	for i := 1; i <= chain; i++ {
+		mk(i, depgraph.InstInfo{Op: isa.OpIntShort})
+		g.Prod1[i] = int32(i - 1)
+	}
+	mk(chain+1, depgraph.InstInfo{Op: isa.OpLoad, DataLevel: cache.LevelMem})
+	g.Prod1[chain+1] = int32(chain)
+	for i := chain + 2; i < 2*chain+2; i++ {
+		mk(i, depgraph.InstInfo{Op: isa.OpIntShort})
+		g.Prod1[i] = int32(i - 1)
+	}
+	a := New(g)
+	m0 := EventSet(g, depgraph.IdealDMiss, func(i int) bool { return i == 0 })
+	m1 := EventSet(g, depgraph.IdealDMiss, func(i int) bool { return i == chain+1 })
+	ic := a.ICostSets(m0, m1)
+	if ic != 0 {
+		t.Fatalf("icost = %d, want 0 (independent)", ic)
+	}
+	if Classify(ic, 0) != Independent {
+		t.Fatal("not classified independent")
+	}
+}
+
+func TestICostPairwiseDefinition(t *testing.T) {
+	// icost(a,b) must equal cost(a|b) - cost(a) - cost(b) exactly.
+	g := benchGraph(t, "gcc", 8000)
+	a := New(g)
+	x, y := depgraph.IdealDL1, depgraph.IdealWindow
+	ic := a.MustICost(x, y)
+	want := a.Cost(x|y) - a.Cost(x) - a.Cost(y)
+	if ic != want {
+		t.Fatalf("icost %d != definition %d", ic, want)
+	}
+}
+
+func TestICostRecursiveDefinition(t *testing.T) {
+	// For three sets: cost(U) = sum of icosts of all non-empty
+	// subsets of U (the recursive definition re-arranged).
+	g := benchGraph(t, "parser", 8000)
+	a := New(g)
+	s := []depgraph.Flags{depgraph.IdealDL1, depgraph.IdealBMisp, depgraph.IdealDMiss}
+	var sum int64
+	for m := 1; m < 8; m++ {
+		var sub []depgraph.Flags
+		for j := 0; j < 3; j++ {
+			if m&(1<<j) != 0 {
+				sub = append(sub, s[j])
+			}
+		}
+		sum += a.MustICost(sub...)
+	}
+	if got := a.Cost(s[0] | s[1] | s[2]); got != sum {
+		t.Fatalf("cost(U)=%d != sum of subset icosts %d", got, sum)
+	}
+}
+
+func TestPowerSetAccountsForAllTime(t *testing.T) {
+	// With U = all eight categories: sum over every non-empty subset
+	// of icost equals cost(U); and t(U) + cost(U) = t. This is the
+	// paper's "completely accounting for execution time" identity.
+	g := benchGraph(t, "gzip", 6000)
+	a := New(g)
+	flags := make([]depgraph.Flags, depgraph.NumFlags)
+	for b := range flags {
+		flags[b] = 1 << b
+	}
+	var sum int64
+	for m := 1; m < 1<<depgraph.NumFlags; m++ {
+		var sub []depgraph.Flags
+		for j := 0; j < depgraph.NumFlags; j++ {
+			if m&(1<<j) != 0 {
+				sub = append(sub, flags[j])
+			}
+		}
+		ic, err := a.ICost(sub...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += ic
+	}
+	if got := a.Cost(depgraph.AllFlags); got != sum {
+		t.Fatalf("power-set identity violated: cost(all)=%d, sum=%d", got, sum)
+	}
+}
+
+func TestICostRejectsOverlap(t *testing.T) {
+	g := benchGraph(t, "gzip", 2000)
+	a := New(g)
+	if _, err := a.ICost(depgraph.IdealDL1, depgraph.IdealDL1|depgraph.IdealWindow); err == nil {
+		t.Fatal("overlapping sets accepted")
+	}
+	if _, err := a.ICost(depgraph.Flags(0)); err == nil {
+		t.Fatal("empty set accepted")
+	}
+}
+
+func TestICostEmptyAndSingle(t *testing.T) {
+	g := benchGraph(t, "gzip", 2000)
+	a := New(g)
+	if v, err := a.ICost(); err != nil || v != 0 {
+		t.Fatalf("icost() = %d, %v", v, err)
+	}
+	single, err := a.ICost(depgraph.IdealDMiss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single != a.Cost(depgraph.IdealDMiss) {
+		t.Fatal("single-set icost != cost")
+	}
+}
+
+func TestStaticLoadMissesSet(t *testing.T) {
+	g := benchGraph(t, "mcf", 20000)
+	a := New(g)
+	// Find the static load with the most dynamic misses.
+	counts := map[int32]int{}
+	for i := 0; i < g.Len(); i++ {
+		if g.Info[i].Op == isa.OpLoad && g.Info[i].DataLevel != cache.LevelL1 {
+			counts[g.Info[i].SIdx]++
+		}
+	}
+	var best int32 = -1
+	bestN := 0
+	for s, c := range counts {
+		if c > bestN {
+			best, bestN = s, c
+		}
+	}
+	if best < 0 {
+		t.Fatal("no missing loads in mcf")
+	}
+	set := StaticLoadMisses(g, best)
+	c := a.CostSet(set)
+	if c < 0 {
+		t.Fatalf("negative cost %d for static load misses", c)
+	}
+	all := a.Cost(depgraph.IdealDMiss)
+	if c > all {
+		t.Fatalf("one static load's cost %d exceeds all-miss cost %d", c, all)
+	}
+	if bestN > 50 && c == 0 {
+		t.Fatalf("hottest missing load (%d misses) has zero cost", bestN)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if Classify(5, 10) != Independent || Classify(-5, 10) != Independent {
+		t.Fatal("tolerance band")
+	}
+	if Classify(11, 10) != Parallel || Classify(-11, 10) != Serial {
+		t.Fatal("sign classification")
+	}
+	if Serial.String() != "serial" || Parallel.String() != "parallel" ||
+		Independent.String() != "independent" {
+		t.Fatal("names")
+	}
+}
+
+func TestQuickMobiusMatchesPairDefinition(t *testing.T) {
+	g := benchGraph(t, "twolf", 4000)
+	a := New(g)
+	f := func(x, y uint8) bool {
+		fx := depgraph.Flags(1) << (x % depgraph.NumFlags)
+		fy := depgraph.Flags(1) << (y % depgraph.NumFlags)
+		if fx == fy {
+			return true
+		}
+		ic, err := a.ICost(fx, fy)
+		if err != nil {
+			return false
+		}
+		return ic == a.Cost(fx|fy)-a.Cost(fx)-a.Cost(fy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCostNonNegativeAndBounded(t *testing.T) {
+	g := benchGraph(t, "vpr", 4000)
+	a := New(g)
+	f := func(raw uint16) bool {
+		fl := depgraph.Flags(raw) & depgraph.AllFlags
+		c := a.Cost(fl)
+		return c >= 0 && c <= a.BaseTime()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoization(t *testing.T) {
+	g := benchGraph(t, "gzip", 3000)
+	a := New(g)
+	t1 := a.ExecTime(depgraph.IdealDMiss)
+	t2 := a.ExecTime(depgraph.IdealDMiss)
+	if t1 != t2 {
+		t.Fatal("memoized value differs")
+	}
+	if len(a.memo) != 2 { // base + dmiss
+		t.Fatalf("memo size %d", len(a.memo))
+	}
+}
+
+// benchGraph simulates a benchmark and returns its graph.
+func benchGraph(t *testing.T, name string, n int) *depgraph.Graph {
+	t.Helper()
+	tr, err := workload.Load(name, 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ooo.Run(tr, ooo.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Graph
+}
+
+// Guard against accidental dependence of Möbius parity helper on
+// platform: quick sanity of bits.OnesCount usage.
+func TestMobiusParity(t *testing.T) {
+	if bits.OnesCount(uint(0b1011)) != 3 {
+		t.Fatal("OnesCount broken?")
+	}
+	_ = rng.New(1) // keep rng import for future tests
+}
+
+func TestAnalyzerConcurrentUse(t *testing.T) {
+	g := benchGraph(t, "gzip", 4000)
+	a := New(g)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for f := depgraph.Flags(1); f < 64; f++ {
+				if a.Cost(f) < 0 {
+					t.Error("negative cost")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

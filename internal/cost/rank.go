@@ -1,0 +1,95 @@
+package cost
+
+import (
+	"sort"
+
+	"icost/internal/cache"
+	"icost/internal/depgraph"
+	"icost/internal/isa"
+)
+
+// StaticCost ranks static instructions by the cost of one event class
+// across their dynamic instances — the per-static-instruction view a
+// compiler or software optimizer needs (paper Sections 1-2: "all
+// cache misses from a single static load").
+type StaticCost struct {
+	// SIdx is the static instruction index.
+	SIdx int32
+	// Events is the number of dynamic instances carrying the event.
+	Events int
+	// Cost is the cycles saved by idealizing this static
+	// instruction's events.
+	Cost int64
+}
+
+// RankStaticLoadMisses returns the static loads with at least
+// minEvents dynamic cache misses, ordered by descending cost. Costing
+// is one graph evaluation per candidate, so minEvents also bounds the
+// work.
+func RankStaticLoadMisses(a *Analyzer, minEvents int) []StaticCost {
+	g := a.Graph()
+	if g == nil {
+		panic("cost: RankStaticLoadMisses requires a graph-backed analyzer")
+	}
+	counts := map[int32]int{}
+	for i := 0; i < g.Len(); i++ {
+		if g.Info[i].Op == isa.OpLoad && g.Info[i].DataLevel != cache.LevelL1 {
+			counts[g.Info[i].SIdx]++
+		}
+	}
+	var out []StaticCost
+	for s, c := range counts {
+		if c < minEvents {
+			continue
+		}
+		out = append(out, StaticCost{
+			SIdx:   s,
+			Events: c,
+			Cost:   a.CostSet(StaticLoadMisses(g, s)),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cost != out[j].Cost {
+			return out[i].Cost > out[j].Cost
+		}
+		return out[i].SIdx < out[j].SIdx
+	})
+	return out
+}
+
+// RankStaticMispredicts returns the static branches with at least
+// minEvents dynamic mispredictions, ordered by descending cost of
+// idealizing them — the per-branch view a predictor designer or
+// feedback-directed compiler needs (paper Section 8: "favor
+// prefetching cache misses that serially interact with branch
+// mispredicts").
+func RankStaticMispredicts(a *Analyzer, minEvents int) []StaticCost {
+	g := a.Graph()
+	if g == nil {
+		panic("cost: RankStaticMispredicts requires a graph-backed analyzer")
+	}
+	counts := map[int32]int{}
+	for i := 0; i < g.Len(); i++ {
+		if g.Info[i].Mispredict {
+			counts[g.Info[i].SIdx]++
+		}
+	}
+	var out []StaticCost
+	for s, c := range counts {
+		if c < minEvents {
+			continue
+		}
+		s := s
+		set := EventSet(g, depgraph.IdealBMisp, func(i int) bool {
+			return g.Info[i].SIdx == s && g.Info[i].Mispredict
+		})
+		out = append(out, StaticCost{SIdx: s, Events: c, Cost: a.CostSet(set)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cost != out[j].Cost {
+			return out[i].Cost > out[j].Cost
+		}
+		return out[i].SIdx < out[j].SIdx
+	})
+	return out
+}

@@ -1,0 +1,442 @@
+// Package depgraph implements the paper's dependence-graph model of a
+// microexecution (Section 3, Tables 2-3, Figure 2).
+//
+// Each dynamic instruction i contributes five nodes:
+//
+//	D  dispatch into the instruction window
+//	R  all data operands ready
+//	E  begins execution
+//	P  completes execution
+//	C  commits
+//
+// and the constraints between nodes are latency-labelled edges:
+//
+//	DD   in-order dispatch            D(i-1) -> D(i)   icache/fetch-break latency
+//	FBW  finite fetch bandwidth       D(i-fbw) -> D(i) latency 1
+//	CD   finite re-order buffer       C(i-w) -> D(i)   latency 0
+//	PD   control dependence           P(i-1) -> D(i)   branch recovery, if i-1 mispredicted
+//	DR   execution follows dispatch   D(i) -> R(i)     constant pipeline latency
+//	PR   data dependences             P(j) -> R(i)     issue-wakeup extra latency
+//	RE   execute after ready          R(i) -> E(i)     functional-unit contention
+//	EP   complete after execute       E(i) -> P(i)     execution latency
+//	PP   cache-line sharing           P(j) -> P(i)     latency 0, if j is i's line's miss leader
+//	PC   commit follows completion    P(i) -> C(i)     constant pipeline latency
+//	CC   in-order commit              C(i-1) -> C(i)   latency 0
+//	CBW  commit bandwidth             C(i-cbw) -> C(i) latency 1
+//
+// The graph is stored as per-instruction records (structure-of-arrays)
+// rather than an explicit edge list: every edge's source is implied by
+// its kind, so node times under any idealization are recomputed with
+// one in-order pass. Idealizations (paper Table 1) change edge
+// latencies — they never re-run the machine — which is exactly the
+// paper's "determine the effect of an idealization without performing
+// it" methodology.
+package depgraph
+
+import (
+	"fmt"
+
+	"icost/internal/cache"
+	"icost/internal/isa"
+)
+
+// Flags selects which event classes are idealized. These are the
+// eight base breakdown categories of paper Table 4.
+type Flags uint16
+
+const (
+	// IdealDL1 zeroes the level-one data-cache access latency
+	// (category "dl1").
+	IdealDL1 Flags = 1 << iota
+	// IdealDMiss turns data-cache and DTLB misses into hits
+	// (category "dmiss").
+	IdealDMiss
+	// IdealICache turns instruction-cache and ITLB misses into hits
+	// (category "imiss").
+	IdealICache
+	// IdealBMisp turns branch mispredictions into correct
+	// predictions (category "bmisp").
+	IdealBMisp
+	// IdealWindow enlarges the instruction window 20x (the paper's
+	// finite approximation of an infinite window; category "win").
+	IdealWindow
+	// IdealBW gives infinite fetch, issue and commit bandwidth
+	// (category "bw").
+	IdealBW
+	// IdealShortALU zeroes one-cycle integer-op latency (category
+	// "shalu").
+	IdealShortALU
+	// IdealLongALU zeroes multi-cycle integer and FP op latency
+	// (category "lgalu").
+	IdealLongALU
+
+	// NumFlags is the number of base categories.
+	NumFlags = 8
+	// AllFlags idealizes everything.
+	AllFlags Flags = 1<<NumFlags - 1
+)
+
+var flagNames = [NumFlags]string{
+	"dl1", "dmiss", "imiss", "bmisp", "win", "bw", "shalu", "lgalu",
+}
+
+// String renders a flag set as "dl1+win" etc.
+func (f Flags) String() string {
+	if f == 0 {
+		return "none"
+	}
+	s := ""
+	for b := 0; b < NumFlags; b++ {
+		if f&(1<<b) != 0 {
+			if s != "" {
+				s += "+"
+			}
+			s += flagNames[b]
+		}
+	}
+	return s
+}
+
+// FlagByName maps a category name ("dl1", "win", ...) to its flag.
+func FlagByName(name string) (Flags, bool) {
+	for b := 0; b < NumFlags; b++ {
+		if flagNames[b] == name {
+			return 1 << b, true
+		}
+	}
+	return 0, false
+}
+
+// FlagNames returns the category names in flag-bit order.
+func FlagNames() []string { return flagNames[:] }
+
+// Ideal selects the events to idealize: Global applies to every
+// instruction; PerInst (optional, same length as the graph) is OR'd
+// in per instruction, enabling event-set granularity such as "all
+// dynamic misses of one static load".
+type Ideal struct {
+	Global  Flags
+	PerInst []Flags
+}
+
+// Of returns the effective flags for instruction i.
+func (id Ideal) Of(i int) Flags {
+	if id.PerInst == nil {
+		return id.Global
+	}
+	return id.Global | id.PerInst[i]
+}
+
+// Config carries the machine parameters the graph model needs to
+// recompute edge latencies under idealization. It mirrors the
+// simulator configuration (paper Table 6).
+type Config struct {
+	// FetchBW and CommitBW are instructions per cycle (FBW/CBW edges).
+	FetchBW  int
+	CommitBW int
+	// Window is the re-order buffer size (CD edges).
+	Window int
+	// WindowIdealFactor is the window multiplier used to approximate
+	// an infinite window (paper Table 1 uses 20).
+	WindowIdealFactor int
+	// DispatchToReady is the DR edge latency.
+	DispatchToReady int
+	// CompleteToCommit is the PC edge latency.
+	CompleteToCommit int
+	// BranchRecovery is the PD edge latency (the branch-misprediction
+	// loop length).
+	BranchRecovery int
+	// WakeupExtra is added to every PR edge; 0 models single-cycle
+	// issue-wakeup, 1 models the two-cycle wakeup loop of paper
+	// Section 4.2.
+	WakeupExtra int
+
+	// Memory latencies (shared with the cache hierarchy config).
+	DL1Latency     int
+	L2Latency      int
+	MemLatency     int
+	TLBMissLatency int
+}
+
+// Validate rejects nonsensical parameters.
+func (c *Config) Validate() error {
+	switch {
+	case c.FetchBW < 1 || c.CommitBW < 1:
+		return fmt.Errorf("depgraph: bandwidth must be >= 1")
+	case c.Window < 1:
+		return fmt.Errorf("depgraph: window must be >= 1")
+	case c.WindowIdealFactor < 2:
+		return fmt.Errorf("depgraph: window ideal factor must be >= 2")
+	case c.DL1Latency < 0 || c.L2Latency < 0 || c.MemLatency < 0 || c.TLBMissLatency < 0:
+		return fmt.Errorf("depgraph: negative latency")
+	case c.DispatchToReady < 0 || c.CompleteToCommit < 0 || c.BranchRecovery < 0 || c.WakeupExtra < 0:
+		return fmt.Errorf("depgraph: negative pipeline latency")
+	}
+	return nil
+}
+
+// InstInfo annotates one dynamic instruction with the outcomes that
+// determine its edge latencies.
+type InstInfo struct {
+	// Op is the opcode class.
+	Op isa.Op
+	// SIdx is the static instruction index (-1 if unknown, e.g. in
+	// profiler fragments built without full binary context).
+	SIdx int32
+	// Mispredict marks a mispredicted control transfer (PD edge from
+	// this instruction's P to the next instruction's D).
+	Mispredict bool
+	// DataLevel and DTLBMiss describe the data access of loads and
+	// stores.
+	DataLevel cache.Level
+	DTLBMiss  bool
+	// ILevel and ITLBMiss describe this instruction's fetch.
+	ILevel   cache.Level
+	ITLBMiss bool
+}
+
+// Graph is the dependence-graph model of one microexecution.
+// Fields are exported for the builders in packages ooo and profiler;
+// analysis code should treat a Graph as immutable.
+type Graph struct {
+	// Cfg is the machine configuration.
+	Cfg Config
+	// Info holds per-instruction annotations.
+	Info []InstInfo
+	// DDBreak is extra DD-edge latency from fetch-group breaks
+	// (taken-branch limits), excluding the icache penalty, which is
+	// derived from Info so it can be idealized.
+	DDBreak []uint8
+	// RELat is the recorded functional-unit contention per
+	// instruction (RE edge latency).
+	RELat []int32
+	// CCLat is the recorded store-commit bandwidth contention on the
+	// CC edge into each instruction (paper Figure 5b: "store BW
+	// contention", collected dynamically). Zero for non-contended
+	// commits; removed by IdealBW.
+	CCLat []int32
+	// Prod1, Prod2 are the dynamic indices of register producers (PR
+	// edges); -1 means the operand was ready long before.
+	Prod1, Prod2 []int32
+	// PPLeader is the dynamic index of the load whose outstanding
+	// miss this instruction's line depends on (PP edge); -1 if none.
+	PPLeader []int32
+}
+
+// New allocates an empty graph for n instructions.
+func New(cfg Config, n int) *Graph {
+	g := &Graph{
+		Cfg:      cfg,
+		Info:     make([]InstInfo, n),
+		DDBreak:  make([]uint8, n),
+		RELat:    make([]int32, n),
+		CCLat:    make([]int32, n),
+		Prod1:    make([]int32, n),
+		Prod2:    make([]int32, n),
+		PPLeader: make([]int32, n),
+	}
+	for i := 0; i < n; i++ {
+		g.Prod1[i] = -1
+		g.Prod2[i] = -1
+		g.PPLeader[i] = -1
+	}
+	return g
+}
+
+// Len returns the number of instructions.
+func (g *Graph) Len() int { return len(g.Info) }
+
+// BaseExecLat is the execution latency of a non-memory opcode on the
+// Table 6 machine: 1-cycle integer ALU, 3-cycle integer multiply,
+// 2-cycle FP add, 4-cycle FP multiply, 12-cycle FP divide. Branches
+// and nops resolve in one ALU cycle.
+func BaseExecLat(op isa.Op) int64 {
+	switch op {
+	case isa.OpIntMul:
+		return 3
+	case isa.OpFloatAdd:
+		return 2
+	case isa.OpFloatMul:
+		return 4
+	case isa.OpFloatDiv:
+		return 12
+	default:
+		return 1
+	}
+}
+
+// EPLat returns the EP-edge (execution) latency of instruction i
+// under flags f. For memory operations the latency is composed from
+// the access outcome so that idealizations can remove exactly their
+// component: IdealDL1 removes the L1-hit component, IdealDMiss the
+// miss and TLB components.
+func (g *Graph) EPLat(i int, f Flags) int64 {
+	info := &g.Info[i]
+	op := info.Op
+	if op.IsMem() {
+		var lat int64
+		if f&IdealDL1 == 0 {
+			lat += int64(g.Cfg.DL1Latency)
+		}
+		if f&IdealDMiss == 0 {
+			if info.DTLBMiss {
+				lat += int64(g.Cfg.TLBMissLatency)
+			}
+			switch info.DataLevel {
+			case cache.LevelL2:
+				lat += int64(g.Cfg.L2Latency)
+			case cache.LevelMem:
+				lat += int64(g.Cfg.L2Latency) + int64(g.Cfg.MemLatency)
+			}
+		}
+		return lat
+	}
+	switch {
+	case op.IsShortALU():
+		if f&IdealShortALU != 0 {
+			return 0
+		}
+		return 1
+	case op.IsLongALU():
+		if f&IdealLongALU != 0 {
+			return 0
+		}
+		return BaseExecLat(op)
+	default:
+		return BaseExecLat(op)
+	}
+}
+
+// DDLat returns the DD-edge latency into instruction i under flags f:
+// the fetch-break penalty (removed by IdealBW) plus the icache/ITLB
+// penalty (removed by IdealICache).
+func (g *Graph) DDLat(i int, f Flags) int64 {
+	var lat int64
+	if f&IdealBW == 0 {
+		lat += int64(g.DDBreak[i])
+	}
+	if f&IdealICache == 0 {
+		info := &g.Info[i]
+		if info.ITLBMiss {
+			lat += int64(g.Cfg.TLBMissLatency)
+		}
+		switch info.ILevel {
+		case cache.LevelL2:
+			lat += int64(g.Cfg.L2Latency)
+		case cache.LevelMem:
+			lat += int64(g.Cfg.L2Latency) + int64(g.Cfg.MemLatency)
+		}
+	}
+	return lat
+}
+
+// Times holds the node times of every instruction; returned by
+// NodeTimes for tests, visualization and the profiler.
+type Times struct {
+	D, R, E, P, C []int64
+}
+
+// ExecTime returns the execution time (cycles) of the microexecution
+// under the given idealization: the commit time of the last
+// instruction plus one.
+func (g *Graph) ExecTime(id Ideal) int64 {
+	n := g.Len()
+	if n == 0 {
+		return 0
+	}
+	return g.run(id).C[n-1] + 1
+}
+
+// NodeTimes computes all node times under the given idealization.
+func (g *Graph) NodeTimes(id Ideal) *Times {
+	return g.run(id)
+}
+
+// run evaluates the recurrence with one in-order pass. Every node's
+// time is the max over its in-edges of source time plus edge latency,
+// so the unidealized result reproduces the simulator's timing exactly
+// (the simulator computes these same maxima while arbitrating).
+func (g *Graph) run(id Ideal) *Times {
+	n := g.Len()
+	t := &Times{
+		D: make([]int64, n), R: make([]int64, n), E: make([]int64, n),
+		P: make([]int64, n), C: make([]int64, n),
+	}
+	cfg := &g.Cfg
+	for i := 0; i < n; i++ {
+		f := id.Of(i)
+
+		// --- D node ---
+		var d int64
+		if i > 0 {
+			// DD edge (in-order dispatch + icache + fetch break).
+			d = maxi64(d, t.D[i-1]+g.DDLat(i, f))
+			// PD edge (branch recovery), gated by the branch's flags.
+			if g.Info[i-1].Mispredict && id.Of(i-1)&IdealBMisp == 0 {
+				d = maxi64(d, t.P[i-1]+int64(cfg.BranchRecovery))
+			}
+		} else {
+			d = g.DDLat(i, f)
+		}
+		// FBW edge.
+		if f&IdealBW == 0 && i >= cfg.FetchBW {
+			d = maxi64(d, t.D[i-cfg.FetchBW]+1)
+		}
+		// CD edge (window).
+		w := cfg.Window
+		if f&IdealWindow != 0 {
+			w *= cfg.WindowIdealFactor
+		}
+		if i >= w {
+			d = maxi64(d, t.C[i-w])
+		}
+		t.D[i] = d
+
+		// --- R node ---
+		r := d + int64(cfg.DispatchToReady) // DR edge
+		wake := int64(cfg.WakeupExtra)
+		if p := g.Prod1[i]; p >= 0 {
+			r = maxi64(r, t.P[p]+wake) // PR edge
+		}
+		if p := g.Prod2[i]; p >= 0 {
+			r = maxi64(r, t.P[p]+wake) // PR edge
+		}
+		t.R[i] = r
+
+		// --- E node (RE edge) ---
+		e := r
+		if f&IdealBW == 0 {
+			e += int64(g.RELat[i])
+		}
+		t.E[i] = e
+
+		// --- P node (EP and PP edges) ---
+		p := e + g.EPLat(i, f)
+		if l := g.PPLeader[i]; l >= 0 && f&IdealDMiss == 0 {
+			p = maxi64(p, t.P[l])
+		}
+		t.P[i] = p
+
+		// --- C node (PC, CC, CBW edges) ---
+		c := p + int64(cfg.CompleteToCommit)
+		if i > 0 {
+			cc := t.C[i-1]
+			if f&IdealBW == 0 {
+				cc += int64(g.CCLat[i]) // store-commit BW contention
+			}
+			c = maxi64(c, cc)
+		}
+		if f&IdealBW == 0 && i >= cfg.CommitBW {
+			c = maxi64(c, t.C[i-cfg.CommitBW]+1)
+		}
+		t.C[i] = c
+	}
+	return t
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

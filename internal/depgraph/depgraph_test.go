@@ -1,0 +1,481 @@
+package depgraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"icost/internal/cache"
+	"icost/internal/isa"
+	"icost/internal/rng"
+)
+
+// smallCfg is a tiny machine for hand-checkable tests: no pipeline
+// constants, 2-wide, 4-entry window.
+func smallCfg() Config {
+	return Config{
+		FetchBW: 2, CommitBW: 2,
+		Window: 4, WindowIdealFactor: 20,
+		DispatchToReady: 0, CompleteToCommit: 0,
+		BranchRecovery: 5, WakeupExtra: 0,
+		DL1Latency: 2, L2Latency: 12, MemLatency: 100, TLBMissLatency: 30,
+	}
+}
+
+func addGraph(cfg Config, n int) *Graph {
+	g := New(cfg, n)
+	for i := 0; i < n; i++ {
+		g.Info[i] = InstInfo{Op: isa.OpIntShort, SIdx: int32(i)}
+	}
+	return g
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := New(smallCfg(), 0)
+	if got := g.ExecTime(Ideal{}); got != 0 {
+		t.Fatalf("empty ExecTime = %d", got)
+	}
+	if g.CriticalPath(Ideal{}) != nil {
+		t.Fatal("empty graph has a critical path")
+	}
+}
+
+func TestSingleInstructionTimes(t *testing.T) {
+	g := addGraph(smallCfg(), 1)
+	ts := g.NodeTimes(Ideal{})
+	// D=0, R=0 (DR lat 0), E=0, P=1 (1-cycle add), C=1.
+	if ts.D[0] != 0 || ts.R[0] != 0 || ts.E[0] != 0 || ts.P[0] != 1 || ts.C[0] != 1 {
+		t.Fatalf("times %v %v %v %v %v", ts.D[0], ts.R[0], ts.E[0], ts.P[0], ts.C[0])
+	}
+	if g.ExecTime(Ideal{}) != 2 {
+		t.Fatalf("ExecTime = %d", g.ExecTime(Ideal{}))
+	}
+}
+
+func TestSerialChainLatency(t *testing.T) {
+	const n = 50
+	g := addGraph(smallCfg(), n)
+	for i := 1; i < n; i++ {
+		g.Prod1[i] = int32(i - 1)
+	}
+	// Each add takes 1 cycle and depends on the previous: P[n-1] = n.
+	ts := g.NodeTimes(Ideal{})
+	if ts.P[n-1] != n {
+		t.Fatalf("chain P = %d, want %d", ts.P[n-1], n)
+	}
+}
+
+func TestIndependentOpsBandwidthBound(t *testing.T) {
+	const n = 100
+	g := addGraph(smallCfg(), n)
+	// No deps: 2-wide fetch and commit bound the rate at 2/cycle,
+	// and the 4-entry window also binds; time ~ n/2.
+	total := g.ExecTime(Ideal{})
+	if total < n/2 || total > n/2+16 {
+		t.Fatalf("bandwidth-bound time %d for %d independent ops", total, n)
+	}
+	// With infinite bandwidth AND window the chain collapses.
+	fast := g.ExecTime(Ideal{Global: IdealBW | IdealWindow})
+	if fast > 8 {
+		t.Fatalf("idealized time %d", fast)
+	}
+}
+
+func TestWindowEdgeBinds(t *testing.T) {
+	cfg := smallCfg()
+	const n = 12
+	g := addGraph(cfg, n)
+	// Make instruction 0 a long memory miss; with a 4-entry window,
+	// instruction 4 cannot dispatch until 0 commits.
+	g.Info[0] = InstInfo{Op: isa.OpLoad, DataLevel: cache.LevelMem}
+	ts := g.NodeTimes(Ideal{})
+	if ts.D[4] < ts.C[0] {
+		t.Fatalf("D[4]=%d before C[0]=%d despite 4-entry window", ts.D[4], ts.C[0])
+	}
+	// Idealizing the window removes the stall.
+	ts2 := g.NodeTimes(Ideal{Global: IdealWindow})
+	if ts2.D[4] >= ts2.C[0] {
+		t.Fatalf("window idealization did not unbind D[4] (D=%d C0=%d)", ts2.D[4], ts2.C[0])
+	}
+}
+
+func TestMispredictRecovery(t *testing.T) {
+	cfg := smallCfg()
+	g := addGraph(cfg, 3)
+	g.Info[1].Op = isa.OpBranch
+	g.Info[1].Mispredict = true
+	ts := g.NodeTimes(Ideal{})
+	// D[2] >= P[1] + recovery(5).
+	if ts.D[2] != ts.P[1]+5 {
+		t.Fatalf("D[2]=%d, want P[1]+5=%d", ts.D[2], ts.P[1]+5)
+	}
+	// IdealBMisp removes the PD edge.
+	ts2 := g.NodeTimes(Ideal{Global: IdealBMisp})
+	if ts2.D[2] >= ts2.P[1]+5 {
+		t.Fatalf("bmisp idealization kept recovery: D[2]=%d", ts2.D[2])
+	}
+}
+
+func TestPerInstMispredictIdealization(t *testing.T) {
+	cfg := smallCfg()
+	g := addGraph(cfg, 4)
+	g.Info[1].Op = isa.OpBranch
+	g.Info[1].Mispredict = true
+	per := make([]Flags, 4)
+	per[1] = IdealBMisp // idealize only this branch
+	base := g.ExecTime(Ideal{})
+	ideal := g.ExecTime(Ideal{PerInst: per})
+	if ideal >= base {
+		t.Fatalf("per-inst bmisp idealization did not speed up: %d vs %d", ideal, base)
+	}
+	if ideal != g.ExecTime(Ideal{Global: IdealBMisp}) {
+		t.Fatal("single-branch per-inst should equal global here")
+	}
+}
+
+func TestICachePenaltyOnDDEdge(t *testing.T) {
+	cfg := smallCfg()
+	g := addGraph(cfg, 3)
+	g.Info[1].ILevel = cache.LevelL2
+	ts := g.NodeTimes(Ideal{})
+	if ts.D[1] != ts.D[0]+12 {
+		t.Fatalf("D[1]=%d, want D[0]+12", ts.D[1])
+	}
+	ts2 := g.NodeTimes(Ideal{Global: IdealICache})
+	if ts2.D[1] != ts2.D[0] {
+		t.Fatalf("icache idealization kept penalty: D[1]=%d", ts2.D[1])
+	}
+}
+
+func TestEPLatComposition(t *testing.T) {
+	g := New(DefaultConfig(), 4)
+	g.Info[0] = InstInfo{Op: isa.OpLoad, DataLevel: cache.LevelL1}
+	g.Info[1] = InstInfo{Op: isa.OpLoad, DataLevel: cache.LevelL2}
+	g.Info[2] = InstInfo{Op: isa.OpLoad, DataLevel: cache.LevelMem, DTLBMiss: true}
+	g.Info[3] = InstInfo{Op: isa.OpFloatDiv}
+
+	cases := []struct {
+		i    int
+		f    Flags
+		want int64
+	}{
+		{0, 0, 2},          // L1 hit
+		{0, IdealDL1, 0},   // hit latency idealized
+		{0, IdealDMiss, 2}, // miss idealization leaves hits alone
+		{1, 0, 14},         // 2 + 12
+		{1, IdealDMiss, 2}, // miss -> hit
+		{1, IdealDL1, 12},  // only the L1 component removed
+		{1, IdealDL1 | IdealDMiss, 0},
+		{2, 0, 144}, // 2 + 12 + 100 + 30
+		{2, IdealDMiss, 2},
+		{3, 0, 12},
+		{3, IdealLongALU, 0},
+		{3, IdealShortALU, 12}, // shalu does not affect FP
+	}
+	for _, c := range cases {
+		if got := g.EPLat(c.i, c.f); got != c.want {
+			t.Errorf("EPLat(%d, %v) = %d, want %d", c.i, c.f, got, c.want)
+		}
+	}
+}
+
+func TestPPEdgeCacheLineSharing(t *testing.T) {
+	cfg := smallCfg()
+	g := addGraph(cfg, 3)
+	// Load 0 misses to memory; load 2 is a partial miss on the same
+	// line: functionally a hit but bound to the leader's completion.
+	g.Info[0] = InstInfo{Op: isa.OpLoad, DataLevel: cache.LevelMem}
+	g.Info[2] = InstInfo{Op: isa.OpLoad, DataLevel: cache.LevelL1}
+	g.PPLeader[2] = 0
+	ts := g.NodeTimes(Ideal{})
+	if ts.P[2] != ts.P[0] {
+		t.Fatalf("partial miss P[2]=%d, want leader P[0]=%d", ts.P[2], ts.P[0])
+	}
+	// Idealizing dmiss makes the leader fast and unbinds the edge.
+	ts2 := g.NodeTimes(Ideal{Global: IdealDMiss})
+	if ts2.P[2] >= ts.P[0] {
+		t.Fatalf("dmiss idealization left partial miss slow: %d", ts2.P[2])
+	}
+}
+
+func TestWakeupExtraSerializesDependents(t *testing.T) {
+	cfg := smallCfg()
+	g1 := addGraph(cfg, 2)
+	g1.Prod1[1] = 0
+	t1 := g1.ExecTime(Ideal{})
+
+	cfg2 := cfg
+	cfg2.WakeupExtra = 1
+	g2 := addGraph(cfg2, 2)
+	g2.Prod1[1] = 0
+	t2 := g2.ExecTime(Ideal{})
+	if t2 != t1+1 {
+		t.Fatalf("2-cycle wakeup time %d, want %d", t2, t1+1)
+	}
+}
+
+func TestFetchBreakOnDDEdge(t *testing.T) {
+	cfg := smallCfg()
+	g := addGraph(cfg, 3)
+	g.DDBreak[1] = 1
+	ts := g.NodeTimes(Ideal{})
+	if ts.D[1] != ts.D[0]+1 {
+		t.Fatalf("D[1]=%d, want D[0]+1", ts.D[1])
+	}
+	// IdealBW removes the break.
+	ts2 := g.NodeTimes(Ideal{Global: IdealBW})
+	if ts2.D[1] != ts2.D[0] {
+		t.Fatalf("bw idealization kept break: %d", ts2.D[1])
+	}
+}
+
+func TestREContention(t *testing.T) {
+	cfg := smallCfg()
+	g := addGraph(cfg, 2)
+	g.RELat[1] = 3
+	ts := g.NodeTimes(Ideal{})
+	if ts.E[1] != ts.R[1]+3 {
+		t.Fatalf("E[1]=%d, want R[1]+3", ts.E[1])
+	}
+	ts2 := g.NodeTimes(Ideal{Global: IdealBW})
+	if ts2.E[1] != ts2.R[1] {
+		t.Fatal("bw idealization kept contention")
+	}
+}
+
+// TestFigure2Shape reproduces the structure of paper Figure 2: a
+// 4-entry ROB, 2-wide machine, where a load's EP edge is in series
+// with the CD window edge of a later instruction.
+func TestFigure2Shape(t *testing.T) {
+	cfg := smallCfg() // 4-entry ROB, 2-wide: the Figure 2 machine
+	const n = 7
+	g := New(cfg, n)
+	for i := 0; i < n; i++ {
+		g.Info[i] = InstInfo{Op: isa.OpIntShort, SIdx: int32(i)}
+	}
+	// i1 is a load that misses to L2; i2 consumes it.
+	g.Info[1] = InstInfo{Op: isa.OpLoad, SIdx: 1, DataLevel: cache.LevelL2}
+	g.Prod1[2] = 1
+
+	// Structural checks via InEdges.
+	edges := g.InEdges(5, Ideal{})
+	var kinds []EdgeKind
+	for _, e := range edges {
+		kinds = append(kinds, e.Kind)
+	}
+	want := map[EdgeKind]bool{EdgeDD: true, EdgeFBW: true, EdgeCD: true,
+		EdgeDR: true, EdgeRE: true, EdgeEP: true, EdgePC: true,
+		EdgeCC: true, EdgeCBW: true}
+	for k := range want {
+		found := false
+		for _, kk := range kinds {
+			if kk == k {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("instruction 5 missing %v edge", k)
+		}
+	}
+	// The CD edge for instruction 5 comes from C of instruction 1
+	// (window 4), so the load's EP edge is in series with the CD
+	// edge — the serial-interaction potential the paper's Figure 2
+	// dashed arrow shows.
+	ts := g.NodeTimes(Ideal{})
+	if ts.D[5] < ts.C[1] {
+		t.Fatalf("D[5]=%d before C[1]=%d", ts.D[5], ts.C[1])
+	}
+}
+
+func TestCriticalPathTightAndComplete(t *testing.T) {
+	g := randomGraph(rng.New(42), 200)
+	id := Ideal{}
+	ts := g.NodeTimes(id)
+	path := g.CriticalPath(id)
+	if len(path) == 0 {
+		t.Fatal("no critical path")
+	}
+	// Every edge tight; consecutive edges connect.
+	for i, e := range path {
+		from := ts.nodeTime(e.FromNode, e.FromInst)
+		to := ts.nodeTime(e.ToNode, e.ToInst)
+		if from+e.Lat != to {
+			t.Fatalf("edge %v not tight: %d + %d != %d", e, from, e.Lat, to)
+		}
+		if i > 0 {
+			prev := path[i-1]
+			if prev.ToInst != e.FromInst || prev.ToNode != e.FromNode {
+				t.Fatalf("path disconnected between %v and %v", prev, e)
+			}
+		}
+	}
+	last := path[len(path)-1]
+	if last.ToInst != g.Len()-1 || last.ToNode != NodeC {
+		t.Fatalf("path does not end at final C node: %v", last)
+	}
+}
+
+// randomGraph builds a structurally valid random graph for property
+// tests.
+func randomGraph(r *rng.Rand, n int) *Graph {
+	cfg := DefaultConfig()
+	cfg.Window = 16
+	g := New(cfg, n)
+	for i := 0; i < n; i++ {
+		info := InstInfo{Op: isa.OpIntShort, SIdx: int32(i % 37)}
+		switch r.Intn(10) {
+		case 0, 1:
+			info.Op = isa.OpLoad
+			switch r.Intn(4) {
+			case 0:
+				info.DataLevel = cache.LevelL2
+			case 1:
+				info.DataLevel = cache.LevelMem
+				info.DTLBMiss = r.Bool(0.2)
+			}
+		case 2:
+			info.Op = isa.OpStore
+		case 3:
+			info.Op = isa.OpBranch
+			info.Mispredict = r.Bool(0.3)
+		case 4:
+			info.Op = isa.OpIntMul
+		case 5:
+			info.Op = isa.OpFloatMul
+		}
+		if r.Bool(0.1) {
+			info.ILevel = cache.LevelL2
+		}
+		g.Info[i] = info
+		if i > 0 && r.Bool(0.6) {
+			g.Prod1[i] = int32(i - 1 - r.Intn(minInt(i, 8)))
+		}
+		if i > 1 && r.Bool(0.3) {
+			g.Prod2[i] = int32(i - 1 - r.Intn(minInt(i, 16)))
+		}
+		if r.Bool(0.1) {
+			g.RELat[i] = int32(r.Intn(3))
+		}
+		if r.Bool(0.05) {
+			g.DDBreak[i] = 1
+		}
+		if info.Op == isa.OpLoad && i > 2 && r.Bool(0.1) {
+			g.PPLeader[i] = int32(r.Intn(i))
+		}
+	}
+	return g
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestQuickIdealizationMonotone(t *testing.T) {
+	// Idealizing a superset of events never lengthens execution:
+	// for random graphs and random flag sets A ⊆ B,
+	// ExecTime(B) <= ExecTime(A) <= ExecTime(nothing).
+	f := func(seed uint64, a, b uint16) bool {
+		g := randomGraph(rng.New(seed), 120)
+		fa := Flags(a) & AllFlags
+		fb := fa | (Flags(b) & AllFlags) // fb ⊇ fa
+		tBase := g.ExecTime(Ideal{})
+		ta := g.ExecTime(Ideal{Global: fa})
+		tb := g.ExecTime(Ideal{Global: fb})
+		return tb <= ta && ta <= tBase
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNodeOrderInvariant(t *testing.T) {
+	// For every instruction: D <= R <= E <= P <= C.
+	f := func(seed uint64, flags uint16) bool {
+		g := randomGraph(rng.New(seed), 120)
+		ts := g.NodeTimes(Ideal{Global: Flags(flags) & AllFlags})
+		for i := 0; i < g.Len(); i++ {
+			if ts.D[i] > ts.R[i] || ts.R[i] > ts.E[i] ||
+				ts.E[i] > ts.P[i] || ts.P[i] > ts.C[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCommitOrderInvariant(t *testing.T) {
+	// C times never decrease (in-order commit).
+	f := func(seed uint64) bool {
+		g := randomGraph(rng.New(seed), 150)
+		ts := g.NodeTimes(Ideal{})
+		for i := 1; i < g.Len(); i++ {
+			if ts.C[i] < ts.C[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlagsStringAndLookup(t *testing.T) {
+	for _, name := range FlagNames() {
+		f, ok := FlagByName(name)
+		if !ok {
+			t.Fatalf("FlagByName(%q) failed", name)
+		}
+		if f.String() != name {
+			t.Fatalf("Flags round trip: %q -> %v", name, f)
+		}
+	}
+	if _, ok := FlagByName("bogus"); ok {
+		t.Fatal("FlagByName accepted bogus")
+	}
+	if (IdealDL1 | IdealWindow).String() != "dl1+win" {
+		t.Fatalf("combined = %q", (IdealDL1 | IdealWindow).String())
+	}
+	if Flags(0).String() != "none" {
+		t.Fatal("zero flags name")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []func(*Config){
+		func(c *Config) { c.FetchBW = 0 },
+		func(c *Config) { c.Window = 0 },
+		func(c *Config) { c.WindowIdealFactor = 1 },
+		func(c *Config) { c.MemLatency = -1 },
+		func(c *Config) { c.BranchRecovery = -1 },
+	}
+	for i, mod := range bads {
+		c := DefaultConfig()
+		mod(&c)
+		if c.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestEdgeAndNodeStrings(t *testing.T) {
+	e := Edge{Kind: EdgePR, FromInst: 3, FromNode: NodeP, ToInst: 5, ToNode: NodeR, Lat: 0}
+	if e.String() != "P3 -PR(0)-> R5" {
+		t.Fatalf("Edge string %q", e.String())
+	}
+	if NodeD.String() != "D" || NodeC.String() != "C" {
+		t.Fatal("node names")
+	}
+	if EdgeCBW.String() != "CBW" {
+		t.Fatal("edge names")
+	}
+}

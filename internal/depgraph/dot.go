@@ -1,0 +1,66 @@
+package depgraph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DOT writes a Graphviz rendering of instructions [lo, hi) under the
+// given idealization — the tooling equivalent of the paper's Figure 2
+// drawings. Nodes are laid out one instruction per rank (D R E P C
+// left to right); critical-path edges are drawn bold and red; edges
+// with zero latency are dotted. Labels show the node times.
+//
+// Typical use: pipe `cmd/icost -dot` output through `dot -Tsvg`.
+func (g *Graph) DOT(w io.Writer, lo, hi int, id Ideal) error {
+	if lo < 0 || hi > g.Len() || lo >= hi {
+		return fmt.Errorf("depgraph: DOT range [%d,%d) outside graph of %d", lo, hi, g.Len())
+	}
+	t := g.NodeTimes(id)
+
+	// Mark the critical-path edges that fall inside the range.
+	type edgeKey struct {
+		fi int
+		fn NodeKind
+		ti int
+		tn NodeKind
+	}
+	critical := map[edgeKey]bool{}
+	for _, e := range g.CriticalPath(id) {
+		critical[edgeKey{e.FromInst, e.FromNode, e.ToInst, e.ToNode}] = true
+	}
+
+	var b strings.Builder
+	b.WriteString("digraph microexecution {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=circle, fontsize=10];\n")
+	name := func(k NodeKind, i int) string { return fmt.Sprintf("%v%d", k, i) }
+	for i := lo; i < hi; i++ {
+		fmt.Fprintf(&b, "  subgraph cluster_i%d {\n    label=\"i%d %v\"; style=dashed;\n",
+			i, i, g.Info[i].Op)
+		for _, k := range [...]NodeKind{NodeD, NodeR, NodeE, NodeP, NodeC} {
+			fmt.Fprintf(&b, "    %s [label=\"%v\\n%d\"];\n", name(k, i), k, t.nodeTime(k, i))
+		}
+		b.WriteString("  }\n")
+	}
+	for i := lo; i < hi; i++ {
+		for _, e := range g.InEdges(i, id) {
+			if e.FromInst < lo {
+				continue // source outside the rendered window
+			}
+			attrs := []string{fmt.Sprintf("label=\"%v %d\"", e.Kind, e.Lat)}
+			if critical[edgeKey{e.FromInst, e.FromNode, e.ToInst, e.ToNode}] {
+				attrs = append(attrs, "color=red", "penwidth=2")
+			}
+			if e.Lat == 0 {
+				attrs = append(attrs, "style=dotted")
+			}
+			fmt.Fprintf(&b, "  %s -> %s [%s];\n",
+				name(e.FromNode, e.FromInst), name(e.ToNode, e.ToInst),
+				strings.Join(attrs, ", "))
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,59 @@
+package depgraph
+
+import (
+	"strings"
+	"testing"
+
+	"icost/internal/rng"
+)
+
+func TestDOTStructure(t *testing.T) {
+	g := randomGraph(rng.New(5), 30)
+	var b strings.Builder
+	if err := g.DOT(&b, 0, 10, Ideal{}); err != nil {
+		t.Fatal(err)
+	}
+	s := b.String()
+	for _, want := range []string{
+		"digraph microexecution",
+		"rankdir=LR",
+		"cluster_i0",
+		"cluster_i9",
+		"D0", "C9",
+		"->",
+		"}",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("DOT missing %q", want)
+		}
+	}
+	// No node outside the window.
+	if strings.Contains(s, "cluster_i10") {
+		t.Fatal("rendered instruction outside the window")
+	}
+	// Balanced braces.
+	if strings.Count(s, "{") != strings.Count(s, "}") {
+		t.Fatal("unbalanced braces")
+	}
+}
+
+func TestDOTCriticalHighlight(t *testing.T) {
+	g := randomGraph(rng.New(7), 40)
+	var b strings.Builder
+	if err := g.DOT(&b, 0, 40, Ideal{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "color=red") {
+		t.Fatal("no critical edges highlighted over the full graph")
+	}
+}
+
+func TestDOTRangeValidation(t *testing.T) {
+	g := randomGraph(rng.New(9), 10)
+	var b strings.Builder
+	for _, r := range [][2]int{{-1, 5}, {0, 11}, {5, 5}, {7, 3}} {
+		if err := g.DOT(&b, r[0], r[1], Ideal{}); err == nil {
+			t.Errorf("range %v accepted", r)
+		}
+	}
+}

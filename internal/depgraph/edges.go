@@ -1,0 +1,203 @@
+package depgraph
+
+import "fmt"
+
+// DefaultConfig is the paper's Table 6 machine expressed as graph
+// parameters: 64-entry window, 6-wide fetch/commit, 15-cycle pipeline
+// apportioned as 8 cycles of branch-recovery (fetch-to-dispatch),
+// 2 cycles dispatch-to-ready and 2 cycles complete-to-commit, with the
+// Table 6 memory latencies.
+func DefaultConfig() Config {
+	return Config{
+		FetchBW: 6, CommitBW: 6,
+		Window: 64, WindowIdealFactor: 20,
+		DispatchToReady: 2, CompleteToCommit: 2,
+		BranchRecovery: 8, WakeupExtra: 0,
+		DL1Latency: 2, L2Latency: 12, MemLatency: 100, TLBMissLatency: 30,
+	}
+}
+
+// NodeKind identifies one of the five per-instruction nodes.
+type NodeKind uint8
+
+// The five node kinds, in pipeline order.
+const (
+	NodeD NodeKind = iota
+	NodeR
+	NodeE
+	NodeP
+	NodeC
+)
+
+var nodeNames = [...]string{"D", "R", "E", "P", "C"}
+
+// String returns the paper's single-letter node name.
+func (k NodeKind) String() string {
+	if int(k) < len(nodeNames) {
+		return nodeNames[k]
+	}
+	return fmt.Sprintf("node?%d", uint8(k))
+}
+
+// EdgeKind identifies a constraint type (paper Table 3).
+type EdgeKind uint8
+
+// The twelve edge kinds of Table 3.
+const (
+	EdgeDD EdgeKind = iota
+	EdgeFBW
+	EdgeCD
+	EdgePD
+	EdgeDR
+	EdgePR
+	EdgeRE
+	EdgeEP
+	EdgePP
+	EdgePC
+	EdgeCC
+	EdgeCBW
+)
+
+var edgeNames = [...]string{
+	"DD", "FBW", "CD", "PD", "DR", "PR", "RE", "EP", "PP", "PC", "CC", "CBW",
+}
+
+// String returns the paper's edge name.
+func (k EdgeKind) String() string {
+	if int(k) < len(edgeNames) {
+		return edgeNames[k]
+	}
+	return fmt.Sprintf("edge?%d", uint8(k))
+}
+
+// Edge is one explicit constraint, produced by InEdges for
+// visualization, testing and critical-path walks.
+type Edge struct {
+	Kind     EdgeKind
+	FromInst int
+	FromNode NodeKind
+	ToInst   int
+	ToNode   NodeKind
+	Lat      int64
+}
+
+// String renders e.g. "P3 -PR(0)-> R5".
+func (e Edge) String() string {
+	return fmt.Sprintf("%v%d -%v(%d)-> %v%d",
+		e.FromNode, e.FromInst, e.Kind, e.Lat, e.ToNode, e.ToInst)
+}
+
+// InEdges enumerates every edge into the five nodes of instruction i
+// under the given idealization. The enumeration matches exactly the
+// constraints evaluated by ExecTime.
+func (g *Graph) InEdges(i int, id Ideal) []Edge {
+	f := id.Of(i)
+	cfg := &g.Cfg
+	var out []Edge
+	// Into D.
+	if i > 0 {
+		out = append(out, Edge{EdgeDD, i - 1, NodeD, i, NodeD, g.DDLat(i, f)})
+		if g.Info[i-1].Mispredict && id.Of(i-1)&IdealBMisp == 0 {
+			out = append(out, Edge{EdgePD, i - 1, NodeP, i, NodeD, int64(cfg.BranchRecovery)})
+		}
+	}
+	if f&IdealBW == 0 && i >= cfg.FetchBW {
+		out = append(out, Edge{EdgeFBW, i - cfg.FetchBW, NodeD, i, NodeD, 1})
+	}
+	w := cfg.Window
+	if f&IdealWindow != 0 {
+		w *= cfg.WindowIdealFactor
+	}
+	if i >= w {
+		out = append(out, Edge{EdgeCD, i - w, NodeC, i, NodeD, 0})
+	}
+	// Into R.
+	out = append(out, Edge{EdgeDR, i, NodeD, i, NodeR, int64(cfg.DispatchToReady)})
+	if p := g.Prod1[i]; p >= 0 {
+		out = append(out, Edge{EdgePR, int(p), NodeP, i, NodeR, int64(cfg.WakeupExtra)})
+	}
+	if p := g.Prod2[i]; p >= 0 {
+		out = append(out, Edge{EdgePR, int(p), NodeP, i, NodeR, int64(cfg.WakeupExtra)})
+	}
+	// Into E.
+	re := int64(0)
+	if f&IdealBW == 0 {
+		re = int64(g.RELat[i])
+	}
+	out = append(out, Edge{EdgeRE, i, NodeR, i, NodeE, re})
+	// Into P.
+	out = append(out, Edge{EdgeEP, i, NodeE, i, NodeP, g.EPLat(i, f)})
+	if l := g.PPLeader[i]; l >= 0 && f&IdealDMiss == 0 {
+		out = append(out, Edge{EdgePP, int(l), NodeP, i, NodeP, 0})
+	}
+	// Into C.
+	out = append(out, Edge{EdgePC, i, NodeP, i, NodeC, int64(cfg.CompleteToCommit)})
+	if i > 0 {
+		cc := int64(0)
+		if f&IdealBW == 0 {
+			cc = int64(g.CCLat[i])
+		}
+		out = append(out, Edge{EdgeCC, i - 1, NodeC, i, NodeC, cc})
+	}
+	if f&IdealBW == 0 && i >= cfg.CommitBW {
+		out = append(out, Edge{EdgeCBW, i - cfg.CommitBW, NodeC, i, NodeC, 1})
+	}
+	return out
+}
+
+// nodeTime reads one node's time from a Times.
+func (t *Times) nodeTime(k NodeKind, i int) int64 {
+	switch k {
+	case NodeD:
+		return t.D[i]
+	case NodeR:
+		return t.R[i]
+	case NodeE:
+		return t.E[i]
+	case NodeP:
+		return t.P[i]
+	default:
+		return t.C[i]
+	}
+}
+
+// CriticalPath walks the binding-edge chain backward from the last
+// instruction's C node and returns the edges of one critical path,
+// in execution order. Ties are broken toward the first enumerated
+// binding edge. The walk is exact for this model: every node's time
+// equals the max over its in-edges of source time plus latency (node
+// slack is zero along the returned path).
+func (g *Graph) CriticalPath(id Ideal) []Edge {
+	n := g.Len()
+	if n == 0 {
+		return nil
+	}
+	t := g.NodeTimes(id)
+	var path []Edge
+	inst, node := n-1, NodeC
+	for {
+		found := false
+		for _, e := range g.InEdges(inst, id) {
+			if e.ToNode != node {
+				continue
+			}
+			if t.nodeTime(e.FromNode, e.FromInst)+e.Lat == t.nodeTime(node, inst) {
+				path = append(path, e)
+				inst, node = e.FromInst, e.FromNode
+				found = true
+				break
+			}
+		}
+		if !found {
+			break // reached a source node (time fully from latencies)
+		}
+		if node == NodeD && t.D[inst] == 0 && inst == 0 {
+			break
+		}
+	}
+	// Reverse into execution order.
+	for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+		path[l], path[r] = path[r], path[l]
+	}
+	return path
+}

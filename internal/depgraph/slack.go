@@ -1,0 +1,118 @@
+package depgraph
+
+// Slack analysis: the companion metric to cost from the same research
+// line (Fields, Bodík & Hill, "Slack: maximizing performance under
+// technological constraints", ISCA 2002 — reference [11] of the
+// paper). The slack of a node is how late it could occur without
+// lengthening execution; an instruction with large slack can be
+// delayed, de-optimized, or steered to a slower, cheaper resource for
+// free, which is the paper's "de-optimization" use case for
+// zero-cost events (Section 1).
+
+// Latest holds, for every node, the latest time it can occur without
+// extending total execution time. By construction Latest >= the
+// corresponding NodeTimes value, with equality exactly on critical
+// nodes.
+type Latest struct {
+	D, R, E, P, C []int64
+}
+
+const inf = int64(1) << 62
+
+func (l *Latest) at(k NodeKind, i int) *int64 {
+	switch k {
+	case NodeD:
+		return &l.D[i]
+	case NodeR:
+		return &l.R[i]
+	case NodeE:
+		return &l.E[i]
+	case NodeP:
+		return &l.P[i]
+	default:
+		return &l.C[i]
+	}
+}
+
+// LatestTimes runs the backward pass: starting from the final commit
+// pinned at its actual time, each edge source's latest time is
+// min(latest(dst) - latency) over its out-edges. Unconstrained nodes
+// (no path to the final commit) keep their actual times, giving them
+// zero slack contribution beyond program end.
+func (g *Graph) LatestTimes(id Ideal) (*Times, *Latest) {
+	n := g.Len()
+	t := g.NodeTimes(id)
+	l := &Latest{
+		D: make([]int64, n), R: make([]int64, n), E: make([]int64, n),
+		P: make([]int64, n), C: make([]int64, n),
+	}
+	for i := 0; i < n; i++ {
+		l.D[i], l.R[i], l.E[i], l.P[i], l.C[i] = inf, inf, inf, inf, inf
+	}
+	if n == 0 {
+		return t, l
+	}
+	l.C[n-1] = t.C[n-1]
+	// Visit instructions backward; within an instruction, nodes in
+	// reverse pipeline order. Every edge goes forward in this order,
+	// so one pass suffices.
+	for i := n - 1; i >= 0; i-- {
+		for _, node := range [...]NodeKind{NodeC, NodeP, NodeE, NodeR, NodeD} {
+			to := l.at(node, i)
+			if *to == inf {
+				// Dead end (e.g. the last instructions' D/R nodes
+				// feed nothing beyond their own chain): pin to the
+				// actual time so slack reads zero-extra.
+				*to = t.nodeTime(node, i)
+			}
+			for _, e := range g.InEdges(i, id) {
+				if e.ToNode != node {
+					continue
+				}
+				src := l.at(e.FromNode, e.FromInst)
+				if v := *to - e.Lat; v < *src {
+					*src = v
+				}
+			}
+		}
+	}
+	return t, l
+}
+
+// Slacks returns each instruction's global slack: how many cycles its
+// completion (P node) can slip without lengthening execution. Zero
+// slack marks critical instructions.
+func (g *Graph) Slacks(id Ideal) []int64 {
+	t, l := g.LatestTimes(id)
+	out := make([]int64, g.Len())
+	for i := range out {
+		out[i] = l.P[i] - t.P[i]
+	}
+	return out
+}
+
+// CriticalTally walks one critical path and sums its edge latencies
+// by edge kind — the classic "where do the cycles go" attribution
+// that icost breakdowns refine. Zero-latency edges on the path are
+// counted in Edges but contribute no cycles.
+type Tally struct {
+	// Cycles per edge kind along the critical path.
+	Cycles [12]int64
+	// Edges per edge kind along the critical path.
+	Edges [12]int
+	// Total is the sum of Cycles (equals the critical-path length
+	// minus the first node's start time).
+	Total int64
+}
+
+// CriticalTally computes the per-edge-kind attribution of one
+// critical path under the given idealization.
+func (g *Graph) CriticalTally(id Ideal) Tally {
+	var t Tally
+	for _, e := range g.CriticalPath(id) {
+		t.Cycles[e.Kind] += e.Lat
+		t.Edges[e.Kind]++
+		t.Total += e.Lat
+	}
+	return t
+}

@@ -1,0 +1,140 @@
+package depgraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"icost/internal/cache"
+	"icost/internal/isa"
+	"icost/internal/rng"
+)
+
+func TestSlackNonNegative(t *testing.T) {
+	g := randomGraph(rng.New(11), 300)
+	for i, s := range g.Slacks(Ideal{}) {
+		if s < 0 {
+			t.Fatalf("instruction %d has negative slack %d", i, s)
+		}
+	}
+}
+
+func TestSlackZeroOnCriticalPath(t *testing.T) {
+	g := randomGraph(rng.New(13), 300)
+	id := Ideal{}
+	slacks := g.Slacks(id)
+	for _, e := range g.CriticalPath(id) {
+		if e.FromNode == NodeP && slacks[e.FromInst] != 0 {
+			t.Fatalf("critical instruction %d (P node on path) has slack %d",
+				e.FromInst, slacks[e.FromInst])
+		}
+	}
+}
+
+func TestSlackAsymmetricMisses(t *testing.T) {
+	// Two independent loads: one misses to memory (critical), one
+	// only to L2. The L2 miss's slack is the latency difference.
+	cfg := Config{
+		FetchBW: 8, CommitBW: 8, Window: 64, WindowIdealFactor: 20,
+		DispatchToReady: 0, CompleteToCommit: 0, BranchRecovery: 8,
+		DL1Latency: 2, L2Latency: 12, MemLatency: 100, TLBMissLatency: 30,
+	}
+	g := New(cfg, 2)
+	g.Info[0] = InstInfo{Op: isa.OpLoad, DataLevel: cache.LevelMem} // 114
+	g.Info[1] = InstInfo{Op: isa.OpLoad, DataLevel: cache.LevelL2}  // 14
+	slacks := g.Slacks(Ideal{})
+	if slacks[0] != 0 {
+		t.Fatalf("memory miss slack %d, want 0", slacks[0])
+	}
+	if slacks[1] != 100 {
+		t.Fatalf("L2 miss slack %d, want 100", slacks[1])
+	}
+}
+
+func TestLatestNeverBeforeActual(t *testing.T) {
+	g := randomGraph(rng.New(17), 250)
+	ts, l := g.LatestTimes(Ideal{})
+	for i := 0; i < g.Len(); i++ {
+		if l.D[i] < ts.D[i] || l.R[i] < ts.R[i] || l.E[i] < ts.E[i] ||
+			l.P[i] < ts.P[i] || l.C[i] < ts.C[i] {
+			t.Fatalf("instruction %d: latest before actual", i)
+		}
+	}
+	// The final commit is pinned.
+	n := g.Len()
+	if l.C[n-1] != ts.C[n-1] {
+		t.Fatal("final commit not pinned")
+	}
+}
+
+func TestQuickSlackSoundAndTight(t *testing.T) {
+	// Soundness: delaying an instruction's completion by exactly its
+	// slack (via extra RE latency, which shifts P one-for-one when no
+	// PP edge binds) must not lengthen execution. Tightness: one more
+	// cycle must. Checked on a sample of instructions per graph.
+	f := func(seed uint64, pick uint8) bool {
+		g := randomGraph(rng.New(seed), 120)
+		slacks := g.Slacks(Ideal{})
+		base := g.ExecTime(Ideal{})
+		i := int(pick) % g.Len()
+		if g.PPLeader[i] >= 0 {
+			return true // RE delay may be absorbed by the PP bound
+		}
+		orig := g.RELat[i]
+		g.RELat[i] = orig + int32(slacks[i])
+		same := g.ExecTime(Ideal{})
+		g.RELat[i] = orig + int32(slacks[i]) + 1
+		more := g.ExecTime(Ideal{})
+		g.RELat[i] = orig
+		return same == base && more > base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCriticalTallyMatchesPath(t *testing.T) {
+	g := randomGraph(rng.New(19), 300)
+	id := Ideal{}
+	tally := g.CriticalTally(id)
+	path := g.CriticalPath(id)
+	var cycles int64
+	edges := 0
+	for _, e := range path {
+		cycles += e.Lat
+		edges++
+	}
+	if tally.Total != cycles {
+		t.Fatalf("tally total %d != path sum %d", tally.Total, cycles)
+	}
+	n := 0
+	for k := range tally.Edges {
+		n += tally.Edges[k]
+	}
+	if n != edges {
+		t.Fatalf("tally edges %d != path edges %d", n, edges)
+	}
+}
+
+func TestCriticalTallyMemBound(t *testing.T) {
+	// A serial chain of memory misses must attribute nearly all
+	// critical cycles to EP edges.
+	cfg := DefaultConfig()
+	g := New(cfg, 20)
+	for i := 0; i < 20; i++ {
+		g.Info[i] = InstInfo{Op: isa.OpLoad, DataLevel: cache.LevelMem}
+		if i > 0 {
+			g.Prod1[i] = int32(i - 1)
+		}
+	}
+	tally := g.CriticalTally(Ideal{})
+	if tally.Cycles[EdgeEP] < tally.Total*8/10 {
+		t.Fatalf("EP cycles %d of %d, expected dominant", tally.Cycles[EdgeEP], tally.Total)
+	}
+}
+
+func TestSlackEmptyGraph(t *testing.T) {
+	g := New(DefaultConfig(), 0)
+	if len(g.Slacks(Ideal{})) != 0 {
+		t.Fatal("non-empty slack for empty graph")
+	}
+}

@@ -1,0 +1,66 @@
+package depgraph
+
+import "fmt"
+
+// Slice returns an independent sub-graph covering instructions
+// [lo, hi). Cross-boundary references are clamped: producers and
+// cache-line leaders before lo become "ready long before" (-1),
+// exactly how the shotgun profiler treats fragment edges. Slicing
+// enables phase analysis — per-interval breakdowns over a long
+// execution — at the cost of losing cross-boundary constraints
+// (negligible for slices much longer than the window).
+func (g *Graph) Slice(lo, hi int) (*Graph, error) {
+	if lo < 0 || hi > g.Len() || lo >= hi {
+		return nil, fmt.Errorf("depgraph: slice [%d,%d) outside graph of %d", lo, hi, g.Len())
+	}
+	n := hi - lo
+	s := New(g.Cfg, n)
+	copy(s.Info, g.Info[lo:hi])
+	copy(s.DDBreak, g.DDBreak[lo:hi])
+	copy(s.RELat, g.RELat[lo:hi])
+	copy(s.CCLat, g.CCLat[lo:hi])
+	clamp := func(idx int32) int32 {
+		if idx < int32(lo) {
+			return -1
+		}
+		return idx - int32(lo)
+	}
+	for i := 0; i < n; i++ {
+		if p := g.Prod1[lo+i]; p >= 0 {
+			s.Prod1[i] = clamp(p)
+		}
+		if p := g.Prod2[lo+i]; p >= 0 {
+			s.Prod2[i] = clamp(p)
+		}
+		if l := g.PPLeader[lo+i]; l >= 0 {
+			s.PPLeader[i] = clamp(l)
+		}
+	}
+	// A mispredict on the last instruction has no successor inside
+	// the slice; leaving the flag set is harmless (the PD edge targets
+	// i+1, which does not exist here).
+	return s, nil
+}
+
+// Phases splits the graph into k equal intervals and returns them.
+// The final interval absorbs the remainder.
+func (g *Graph) Phases(k int) ([]*Graph, error) {
+	if k < 1 || k > g.Len() {
+		return nil, fmt.Errorf("depgraph: cannot split %d instructions into %d phases", g.Len(), k)
+	}
+	size := g.Len() / k
+	out := make([]*Graph, 0, k)
+	for p := 0; p < k; p++ {
+		lo := p * size
+		hi := lo + size
+		if p == k-1 {
+			hi = g.Len()
+		}
+		s, err := g.Slice(lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package depgraph
+
+import (
+	"testing"
+
+	"icost/internal/rng"
+)
+
+func TestSliceIndependence(t *testing.T) {
+	g := randomGraph(rng.New(21), 200)
+	s, err := g.Slice(50, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 100 {
+		t.Fatalf("slice length %d", s.Len())
+	}
+	// No reference may point outside the slice.
+	for i := 0; i < s.Len(); i++ {
+		for _, p := range []int32{s.Prod1[i], s.Prod2[i], s.PPLeader[i]} {
+			if p >= int32(s.Len()) || p < -1 {
+				t.Fatalf("instruction %d references %d outside slice", i, p)
+			}
+		}
+	}
+	// The copied annotations match the original.
+	for i := 0; i < s.Len(); i++ {
+		if s.Info[i] != g.Info[50+i] {
+			t.Fatalf("info mismatch at %d", i)
+		}
+	}
+}
+
+func TestSliceClampsCrossBoundary(t *testing.T) {
+	g := randomGraph(rng.New(23), 100)
+	// Find an instruction whose producer precedes the cut.
+	cut := 50
+	found := false
+	for i := cut; i < 100; i++ {
+		if p := g.Prod1[i]; p >= 0 && p < int32(cut) {
+			s, err := g.Slice(cut, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Prod1[i-cut] != -1 {
+				t.Fatalf("cross-boundary producer not clamped: %d", s.Prod1[i-cut])
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no cross-boundary producer in this random graph")
+	}
+}
+
+func TestSliceTimesConsistent(t *testing.T) {
+	// A slice's execution time is close to the original's over the
+	// same range: boundary effects only (lost cross-boundary
+	// producers and window state make the slice optimistic).
+	g := randomGraph(rng.New(25), 400)
+	full := g.NodeTimes(Ideal{})
+	s, err := g.Slice(100, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sliceTime := s.ExecTime(Ideal{})
+	origSpan := full.C[399] - full.C[99]
+	if sliceTime > origSpan+int64(g.Cfg.MemLatency)+50 {
+		t.Fatalf("slice time %d far exceeds original span %d", sliceTime, origSpan)
+	}
+}
+
+func TestPhases(t *testing.T) {
+	g := randomGraph(rng.New(27), 305)
+	phases, err := g.Phases(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 3 {
+		t.Fatalf("%d phases", len(phases))
+	}
+	total := 0
+	for _, p := range phases {
+		total += p.Len()
+	}
+	if total != 305 {
+		t.Fatalf("phases cover %d of 305", total)
+	}
+	// Last phase absorbs the remainder.
+	if phases[2].Len() != 103 { // 305 - 2*101
+		t.Fatalf("last phase %d", phases[2].Len())
+	}
+}
+
+func TestSliceAndPhaseValidation(t *testing.T) {
+	g := randomGraph(rng.New(29), 50)
+	if _, err := g.Slice(-1, 10); err == nil {
+		t.Fatal("negative lo accepted")
+	}
+	if _, err := g.Slice(10, 51); err == nil {
+		t.Fatal("hi beyond end accepted")
+	}
+	if _, err := g.Slice(10, 10); err == nil {
+		t.Fatal("empty slice accepted")
+	}
+	if _, err := g.Phases(0); err == nil {
+		t.Fatal("zero phases accepted")
+	}
+	if _, err := g.Phases(51); err == nil {
+		t.Fatal("more phases than instructions accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"text/tabwriter"
+
+	"icost/internal/ooo"
+)
+
+// Characterization is the functional profile of one benchmark on the
+// baseline machine — the standard "workload characterization" table
+// evaluations lead with, and the numbers the per-benchmark profiles
+// in package workload were calibrated against.
+type Characterization struct {
+	Bench         string
+	IPC           float64
+	CondBranchPct float64 // conditional branches per instruction
+	MispredictPct float64 // mispredicts per conditional branch
+	LoadPct       float64 // loads per instruction
+	DL1MissPct    float64 // L1D misses per memory access
+	L2MissPct     float64 // L2 misses per memory access
+	DTLBMissPct   float64 // DTLB misses per memory access
+	IL1MissPct    float64 // L1I misses per instruction
+	CodeKB        int     // static footprint
+}
+
+// Characterize runs every benchmark on the baseline machine
+// concurrently and reports functional rates.
+func Characterize(c Config) ([]Characterization, error) {
+	benches := c.benches()
+	out := make([]Characterization, len(benches))
+	errs := make([]error, len(benches))
+	var wg sync.WaitGroup
+	for bi, b := range benches {
+		bi, b := bi, b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := Simulate(c, b, ooo.DefaultConfig(), ooo.Options{KeepGraph: true})
+			if err != nil {
+				errs[bi] = err
+				return
+			}
+			st := res.Stats
+			mem := float64(st.Loads + st.Stores)
+			if mem == 0 {
+				mem = 1
+			}
+			cond := float64(st.CondBranches)
+			if cond == 0 {
+				cond = 1
+			}
+			// Static footprint from the graph's program indices.
+			maxS := int32(0)
+			for i := 0; i < res.Graph.Len(); i++ {
+				if s := res.Graph.Info[i].SIdx; s > maxS {
+					maxS = s
+				}
+			}
+			out[bi] = Characterization{
+				Bench:         b,
+				IPC:           res.IPC(),
+				CondBranchPct: 100 * float64(st.CondBranches) / float64(st.Insts),
+				MispredictPct: 100 * float64(st.Mispredicts) / cond,
+				LoadPct:       100 * float64(st.Loads) / float64(st.Insts),
+				DL1MissPct:    100 * float64(st.DL1Misses) / mem,
+				L2MissPct:     100 * float64(st.L2Misses) / mem,
+				DTLBMissPct:   100 * float64(st.DTLBMisses) / mem,
+				IL1MissPct:    100 * float64(st.IL1Misses) / float64(st.Insts),
+				CodeKB:        int(maxS) * 4 / 1024,
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// FormatCharacterization renders the table.
+func FormatCharacterization(rows []Characterization) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "bench\tIPC\tbr%\tmis%\tld%\tdl1m%\tl2m%\tdtlb%\til1m%\tcodeKB\t")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.2f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\t%d\t\n",
+			r.Bench, r.IPC, r.CondBranchPct, r.MispredictPct, r.LoadPct,
+			r.DL1MissPct, r.L2MissPct, r.DTLBMissPct, r.IL1MissPct, r.CodeKB)
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,265 @@
+// Package experiments contains one harness per table and figure of
+// the paper's evaluation (see DESIGN.md §4 for the full index):
+//
+//	Figure 1  — power-set breakdown of a small execution + stacked bar
+//	Figure 2  — an instance of the graph model (rendered by cmd/paper)
+//	Table 4a  — CPI breakdown with a 4-cycle level-one data cache,
+//	            interactions focused on "dl1"
+//	Table 4b  — breakdown with a 2-cycle issue-wakeup loop, focus "shalu"
+//	Table 4c  — breakdown with a 15-cycle mispredict loop, focus "bmisp"
+//	Figure 3  — window-size speedups at different dl1 latencies
+//	Sec 4.2   — gap's window speedup at 1- vs 2-cycle wakeup
+//	Table 7   — profiler validation (package profiler supplies the
+//	            third column; see Table7 in table7.go)
+//
+// All experiments are deterministic in (Seed, TraceLen).
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"icost/internal/breakdown"
+	"icost/internal/cost"
+	"icost/internal/ooo"
+	"icost/internal/trace"
+	"icost/internal/workload"
+)
+
+// Config scales the experiments. The defaults are sized for a laptop:
+// large enough for stable shapes, small enough for seconds-per-table.
+type Config struct {
+	// TraceLen is the measured dynamic instruction count per
+	// benchmark.
+	TraceLen int
+	// Warmup is the number of additional leading instructions run
+	// through the stateful components untimed (the paper skips eight
+	// billion instructions before measuring; we scale down).
+	Warmup int
+	// Seed drives workload generation and execution.
+	Seed uint64
+	// Benches lists the benchmarks to run (nil = full suite).
+	Benches []string
+}
+
+// DefaultConfig runs the full suite at 30k measured instructions
+// after a 30k-instruction warmup.
+func DefaultConfig() Config {
+	return Config{TraceLen: 30000, Warmup: 30000, Seed: 42, Benches: workload.Names()}
+}
+
+func (c Config) benches() []string {
+	if len(c.Benches) == 0 {
+		return workload.Names()
+	}
+	return c.Benches
+}
+
+// Machine4a is the Section 4.1 machine: Table 6 with a 4-cycle
+// level-one data cache.
+func Machine4a() ooo.Config { return ooo.DefaultConfig().WithDL1Latency(4) }
+
+// Machine4b is the Section 4.2 machine: Table 6 with a 2-cycle
+// issue-wakeup loop.
+func Machine4b() ooo.Config { return ooo.DefaultConfig().WithWakeupExtra(1) }
+
+// Machine4c is the Section 4.2 machine: Table 6 with a 15-cycle
+// branch-misprediction loop.
+func Machine4c() ooo.Config { return ooo.DefaultConfig().WithBranchRecovery(15) }
+
+// LoadTrace generates one benchmark trace under the experiment
+// config: Warmup+TraceLen instructions (simulations skip the first
+// Warmup).
+func LoadTrace(c Config, bench string) (*trace.Trace, error) {
+	return workload.Load(bench, c.Seed, c.Warmup+c.TraceLen)
+}
+
+// Simulate runs bench on cfg with the experiment's warmup and
+// returns the result with the graph kept.
+func Simulate(c Config, bench string, cfg ooo.Config, ideal ooo.Options) (*ooo.Result, error) {
+	tr, err := LoadTrace(c, bench)
+	if err != nil {
+		return nil, err
+	}
+	ideal.Warmup = c.Warmup
+	res, err := ooo.Simulate(tr, cfg, ideal)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", bench, err)
+	}
+	return res, nil
+}
+
+// GraphAnalyzer simulates bench on cfg and returns a graph-backed
+// cost analyzer.
+func GraphAnalyzer(c Config, bench string, cfg ooo.Config) (*cost.Analyzer, error) {
+	res, err := Simulate(c, bench, cfg, ooo.Options{KeepGraph: true})
+	if err != nil {
+		return nil, err
+	}
+	return cost.New(res.Graph), nil
+}
+
+// focusTable runs a focused breakdown for each benchmark. Benchmarks
+// are independent (each gets its own generated program, trace and
+// simulation), so they run concurrently; results keep the requested
+// column order.
+func focusTable(c Config, cfg ooo.Config, focusName string, benches []string) ([]*breakdown.Focused, error) {
+	cats := breakdown.BaseCategories()
+	var focus breakdown.Category
+	found := false
+	for _, cat := range cats {
+		if cat.Name == focusName {
+			focus = cat
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("experiments: unknown focus category %q", focusName)
+	}
+	out := make([]*breakdown.Focused, len(benches))
+	errs := make([]error, len(benches))
+	var wg sync.WaitGroup
+	for bi, b := range benches {
+		bi, b := bi, b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a, err := GraphAnalyzer(c, b, cfg)
+			if err != nil {
+				errs[bi] = err
+				return
+			}
+			out[bi], errs[bi] = breakdown.Focus(a, focus, cats, b)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Table4a reproduces Table 4a: the full-suite CPI-contribution
+// breakdown on the 4-cycle-dl1 machine with dl1 interactions.
+func Table4a(c Config) ([]*breakdown.Focused, error) {
+	return focusTable(c, Machine4a(), "dl1", c.benches())
+}
+
+// Table4b reproduces Table 4b: the 2-cycle issue-wakeup machine with
+// shalu interactions, on the paper's five-benchmark subset.
+func Table4b(c Config) ([]*breakdown.Focused, error) {
+	return focusTable(c, Machine4b(), "shalu", table4bSubset(c))
+}
+
+// Table4c reproduces Table 4c: the 15-cycle mispredict-loop machine
+// with bmisp interactions, on the same subset.
+func Table4c(c Config) ([]*breakdown.Focused, error) {
+	return focusTable(c, Machine4c(), "bmisp", table4bSubset(c))
+}
+
+func table4bSubset(c Config) []string {
+	if len(c.Benches) > 0 {
+		return c.Benches
+	}
+	return workload.Table4bNames()
+}
+
+// Figure3Point is one point of the Figure 3 sensitivity study.
+type Figure3Point struct {
+	// DL1 is the level-one cache latency; Window the ROB size.
+	DL1, Window int
+	// Cycles is simulated execution time.
+	Cycles int64
+	// SpeedupPct is the percentage speedup over the 64-entry window
+	// at the same DL1 latency.
+	SpeedupPct float64
+}
+
+// Figure3 reproduces Figure 3 via re-simulation (the conventional
+// sensitivity study the paper compares icost analysis against):
+// speedup from growing the window at dl1 latency 1 vs 4. The paper's
+// prediction — a serial dl1+win interaction means window growth helps
+// *more* at the higher latency — is checked by the caller.
+func Figure3(c Config, bench string) ([]Figure3Point, error) {
+	tr, err := LoadTrace(c, bench)
+	if err != nil {
+		return nil, err
+	}
+	var out []Figure3Point
+	for _, dl1 := range []int{1, 4} {
+		var base int64
+		for _, win := range []int{64, 128, 256} {
+			cfg := ooo.DefaultConfig().WithDL1Latency(dl1).WithWindow(win)
+			res, err := ooo.Simulate(tr, cfg, ooo.Options{Warmup: c.Warmup})
+			if err != nil {
+				return nil, err
+			}
+			p := Figure3Point{DL1: dl1, Window: win, Cycles: res.Cycles}
+			if win == 64 {
+				base = res.Cycles
+			}
+			p.SpeedupPct = 100 * (float64(base)/float64(res.Cycles) - 1)
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// Sec42Result is one row of the Section 4.2 validation: the speedup
+// from doubling the window at a given issue-wakeup latency.
+type Sec42Result struct {
+	// WakeupCycles is the issue-wakeup loop length (1 or 2).
+	WakeupCycles int
+	// SpeedupPct is the speedup from window 64 -> 128.
+	SpeedupPct float64
+}
+
+// Sec42 reproduces the Section 4.2 numbers: because shalu and win
+// interact serially, enlarging the window helps more when the wakeup
+// loop is longer (the paper reports 12% vs 18% for gap).
+func Sec42(c Config, bench string) ([]Sec42Result, error) {
+	tr, err := LoadTrace(c, bench)
+	if err != nil {
+		return nil, err
+	}
+	var out []Sec42Result
+	for _, extra := range []int{0, 1} {
+		var cycles [2]int64
+		for i, win := range []int{64, 128} {
+			cfg := ooo.DefaultConfig().WithWakeupExtra(extra).WithWindow(win)
+			res, err := ooo.Simulate(tr, cfg, ooo.Options{Warmup: c.Warmup})
+			if err != nil {
+				return nil, err
+			}
+			cycles[i] = res.Cycles
+		}
+		out = append(out, Sec42Result{
+			WakeupCycles: extra + 1,
+			SpeedupPct:   100 * (float64(cycles[0])/float64(cycles[1]) - 1),
+		})
+	}
+	return out, nil
+}
+
+// Figure1 reproduces the Figure 1 accounting example: a complete
+// power-set breakdown over three categories on one benchmark, with
+// the identity "rows + ideal residual = total" checkable by the
+// caller, and negative interaction rows plotting below the axis in
+// the stacked-bar rendering.
+func Figure1(c Config, bench string) (*breakdown.Full, error) {
+	a, err := GraphAnalyzer(c, bench, Machine4a())
+	if err != nil {
+		return nil, err
+	}
+	cats := []breakdown.Category{}
+	for _, n := range []string{"dmiss", "bmisp", "win"} {
+		for _, cat := range breakdown.BaseCategories() {
+			if cat.Name == n {
+				cats = append(cats, cat)
+			}
+		}
+	}
+	return breakdown.ComputeFull(a, cats, bench)
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"testing"
+
+	"icost/internal/ooo"
+	"icost/internal/workload"
+)
+
+// TestGoldenCycleCounts pins the exact simulated cycle count of every
+// benchmark at a fixed small configuration. Everything in the stack is
+// deterministic — PRNG, generation, execution, simulation — so any
+// change here means machine or workload behaviour changed. That is
+// sometimes intended (a model fix, a recalibration); when it is,
+// regenerate the table below and update EXPERIMENTS.md in the same
+// change. When it is not, this test is the tripwire.
+func TestGoldenCycleCounts(t *testing.T) {
+	golden := map[string]int64{
+		"bzip":   13418,
+		"crafty": 4602,
+		"eon":    4978,
+		"gap":    4052,
+		"gcc":    11309,
+		"gzip":   3763,
+		"mcf":    29043,
+		"parser": 8798,
+		"perl":   6301,
+		"twolf":  8498,
+		"vortex": 3940,
+		"vpr":    11998,
+	}
+	c := Config{TraceLen: 10000, Warmup: 10000, Seed: 42}
+	for _, b := range workload.Names() {
+		res, err := Simulate(c, b, ooo.DefaultConfig(), ooo.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		want, ok := golden[b]
+		if !ok {
+			t.Errorf("%s: no golden value — new benchmark? add it here", b)
+			continue
+		}
+		if res.Cycles != want {
+			t.Errorf("%s: %d cycles, golden %d — behaviour changed; see comment above",
+				b, res.Cycles, want)
+		}
+	}
+}

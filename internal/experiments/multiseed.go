@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"icost/internal/breakdown"
+	"icost/internal/ooo"
+	"icost/internal/stats"
+)
+
+// SeedSweep runs the focused Table 4a breakdown for one benchmark
+// across several seeds (different generated programs and executions
+// of the same profile) and summarizes each category's percentage —
+// the robustness check a single-seed table lacks. Runs are
+// independent, so they execute concurrently.
+type SeedSweep struct {
+	Bench string
+	// Rows maps category labels to the cross-seed summary of their
+	// percentage of execution time.
+	Rows map[string]stats.Summary
+	// Labels preserves the breakdown's display order.
+	Labels []string
+	// Seeds used.
+	Seeds []uint64
+}
+
+// RunSeedSweep computes the sweep; cfg.Seed is ignored in favour of
+// the given seeds.
+func RunSeedSweep(cfg Config, bench string, mc ooo.Config, seeds []uint64) (*SeedSweep, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiments: no seeds")
+	}
+	cats := breakdown.BaseCategories()
+
+	type outcome struct {
+		bd  *breakdown.Focused
+		err error
+	}
+	results := make([]outcome, len(seeds))
+	var wg sync.WaitGroup
+	for si, seed := range seeds {
+		si, seed := si, seed
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := cfg
+			c.Seed = seed
+			a, err := GraphAnalyzer(c, bench, mc)
+			if err != nil {
+				results[si] = outcome{err: err}
+				return
+			}
+			bd, err := breakdown.Focus(a, cats[0], cats, bench)
+			results[si] = outcome{bd: bd, err: err}
+		}()
+	}
+	wg.Wait()
+
+	samples := map[string][]float64{}
+	var labels []string
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		for _, row := range append(append([]breakdown.Row{}, r.bd.Base...), r.bd.Pairs...) {
+			if _, seen := samples[row.Label]; !seen {
+				labels = append(labels, row.Label)
+			}
+			samples[row.Label] = append(samples[row.Label], row.Percent)
+		}
+	}
+	out := &SeedSweep{Bench: bench, Rows: map[string]stats.Summary{},
+		Labels: labels, Seeds: append([]uint64(nil), seeds...)}
+	for label, xs := range samples {
+		out.Rows[label] = stats.Summarize(xs)
+	}
+	return out, nil
+}
+
+// StableSigns returns the interaction labels whose sign is identical
+// across every seed (the paper's qualitative conclusions should be
+// seed-independent even when magnitudes wiggle), and those that flip.
+func (s *SeedSweep) StableSigns() (stable, flipped []string) {
+	var labels []string
+	for l := range s.Rows {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		r := s.Rows[l]
+		if r.Min >= 0 || r.Max <= 0 {
+			stable = append(stable, l)
+		} else {
+			flipped = append(flipped, l)
+		}
+	}
+	return stable, flipped
+}
+
+// String renders the sweep in display order.
+func (s *SeedSweep) String() string {
+	out := fmt.Sprintf("%s across %d seeds:\n", s.Bench, len(s.Seeds))
+	for _, l := range s.Labels {
+		out += fmt.Sprintf("  %-10s %s\n", l, s.Rows[l])
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeedSweepRuns(t *testing.T) {
+	cfg := testConfig()
+	cfg.TraceLen = 8000
+	cfg.Warmup = 8000
+	sw, err := RunSeedSweep(cfg, "gzip", Machine4a(), []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Labels) != 15 { // 8 base + 7 pairs
+		t.Fatalf("%d labels", len(sw.Labels))
+	}
+	for _, l := range sw.Labels {
+		if sw.Rows[l].N != 3 {
+			t.Fatalf("label %s has %d samples", l, sw.Rows[l].N)
+		}
+	}
+	if !strings.Contains(sw.String(), "gzip across 3 seeds") {
+		t.Fatal("render")
+	}
+}
+
+func TestSeedSweepSignStability(t *testing.T) {
+	// The headline serial interaction dl1+win should keep its sign
+	// across seeds on a dl1-heavy benchmark.
+	cfg := testConfig()
+	cfg.TraceLen = 12000
+	cfg.Warmup = 12000
+	sw, err := RunSeedSweep(cfg, "gzip", Machine4a(), []uint64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sw.Rows["dl1+win"]
+	if r.Max > 0 {
+		t.Fatalf("dl1+win flipped sign across seeds: %v", r)
+	}
+	stable, _ := sw.StableSigns()
+	found := false
+	for _, l := range stable {
+		if l == "dl1+win" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("dl1+win not reported stable")
+	}
+}
+
+func TestSeedSweepErrors(t *testing.T) {
+	cfg := testConfig()
+	if _, err := RunSeedSweep(cfg, "gzip", Machine4a(), nil); err == nil {
+		t.Fatal("accepted empty seeds")
+	}
+	if _, err := RunSeedSweep(cfg, "nosuch", Machine4a(), []uint64{1}); err == nil {
+		t.Fatal("accepted unknown benchmark")
+	}
+}
+
+func TestCharacterize(t *testing.T) {
+	cfg := testConfig("mcf", "gzip", "vortex", "bzip")
+	cfg.TraceLen = 12000
+	rows, err := Characterize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]Characterization{}
+	for _, r := range rows {
+		byName[r.Bench] = r
+	}
+	// Benchmark character: mcf slowest with the most L2 misses;
+	// vortex best-predicted.
+	if byName["mcf"].IPC >= byName["gzip"].IPC {
+		t.Error("mcf should be slower than gzip")
+	}
+	if byName["mcf"].L2MissPct <= byName["gzip"].L2MissPct {
+		t.Error("mcf should miss L2 more than gzip")
+	}
+	if byName["vortex"].MispredictPct >= byName["bzip"].MispredictPct {
+		t.Error("vortex should predict better than bzip")
+	}
+	out := FormatCharacterization(rows)
+	if !strings.Contains(out, "mcf") || !strings.Contains(out, "IPC") {
+		t.Fatalf("format: %s", out)
+	}
+}

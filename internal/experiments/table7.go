@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"icost/internal/breakdown"
+	"icost/internal/cost"
+	"icost/internal/multisim"
+	"icost/internal/ooo"
+	"icost/internal/profiler"
+	"icost/internal/stats"
+	"icost/internal/workload"
+)
+
+// Table7Row is one category of one benchmark in the validation table:
+// the multisim ground truth percentage, and the absolute errors of
+// the full-graph analysis and the shotgun profiler against it (the
+// paper's Table 7 layout).
+type Table7Row struct {
+	Bench    string
+	Category string
+	// MultisimPct is the cost/icost from idealized re-simulation, as
+	// a percentage of execution time.
+	MultisimPct float64
+	// FullgraphErr is fullgraph minus multisim, in percentage points.
+	FullgraphErr float64
+	// ProfilerErr is profiler minus multisim, in percentage points.
+	// NaN-free: zero when no profiler column was computed.
+	ProfilerErr float64
+	// HasProfiler reports whether ProfilerErr is meaningful.
+	HasProfiler bool
+}
+
+// Table7Benches is the paper's displayed subset.
+func Table7Benches() []string { return []string{"gcc", "parser", "twolf"} }
+
+// ProfilerColumn computes breakdown percentages for one benchmark the
+// way the shotgun profiler would. Table7 uses ShotgunColumn; tests
+// may inject alternatives.
+type ProfilerColumn func(c Config, bench string, cfg ooo.Config) (map[string]float64, error)
+
+// ShotgunColumn runs the real shotgun profiler: it regenerates the
+// benchmark, simulates it, samples the simulation with the
+// performance-monitor model, reconstructs fragments, and returns the
+// estimated breakdown percentages.
+func ShotgunColumn(c Config, bench string, cfg ooo.Config) (map[string]float64, error) {
+	w, err := workload.New(bench, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := w.Execute(c.Warmup+c.TraceLen, c.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ooo.Simulate(tr, cfg, ooo.Options{KeepGraph: true, Warmup: c.Warmup})
+	if err != nil {
+		return nil, err
+	}
+	cats := breakdown.BaseCategories()
+	pcfg := profiler.DefaultConfig()
+	pcfg.Seed = c.Seed + 2
+	est, _, err := profiler.Profile(w.Prog, cfg.Graph, tr, res.Graph, c.Warmup, pcfg, cats[0], cats)
+	if err != nil {
+		return nil, err
+	}
+	return est.Pct, nil
+}
+
+// Table7 validates the graph analysis and the shotgun profiler
+// against multisim on the Table 4a machine and categories.
+func Table7(c Config) ([]Table7Row, error) { return Table7With(c, ShotgunColumn) }
+
+// Table7With is Table7 with an optional profiler column.
+func Table7With(c Config, profCol ProfilerColumn) ([]Table7Row, error) {
+	cfg := Machine4a()
+	cats := breakdown.BaseCategories()
+	benches := c.Benches
+	if benches == nil {
+		benches = Table7Benches()
+	}
+	var rows []Table7Row
+	for _, b := range benches {
+		tr, err := LoadTrace(c, b)
+		if err != nil {
+			return nil, err
+		}
+		// Ground truth: idealized re-simulation.
+		ms, err := multisim.New(tr, cfg, c.Warmup)
+		if err != nil {
+			return nil, err
+		}
+		// Graph analysis on the same execution.
+		res, err := ooo.Simulate(tr, cfg, ooo.Options{KeepGraph: true, Warmup: c.Warmup})
+		if err != nil {
+			return nil, err
+		}
+		ga := cost.New(res.Graph)
+
+		var prof map[string]float64
+		if profCol != nil {
+			prof, err = profCol(c, b, cfg)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		pct := func(a *cost.Analyzer, cy int64) float64 {
+			return 100 * float64(cy) / float64(a.BaseTime())
+		}
+		add := func(category string, msCy, gaCy int64) {
+			r := Table7Row{
+				Bench:        b,
+				Category:     category,
+				MultisimPct:  pct(ms, msCy),
+				FullgraphErr: pct(ga, gaCy) - pct(ms, msCy),
+			}
+			if prof != nil {
+				if v, ok := prof[category]; ok {
+					r.ProfilerErr = v - r.MultisimPct
+					r.HasProfiler = true
+				}
+			}
+			rows = append(rows, r)
+		}
+		for _, cat := range cats {
+			add(cat.Name, ms.Cost(cat.Flags), ga.Cost(cat.Flags))
+		}
+		focus := cats[0] // dl1
+		for _, cat := range cats[1:] {
+			msIC, err := ms.ICost(focus.Flags, cat.Flags)
+			if err != nil {
+				return nil, err
+			}
+			gaIC, err := ga.ICost(focus.Flags, cat.Flags)
+			if err != nil {
+				return nil, err
+			}
+			add(focus.Name+"+"+cat.Name, msIC, gaIC)
+		}
+	}
+	return rows, nil
+}
+
+// Table7Summary computes the paper's two headline error averages over
+// categories whose multisim magnitude is at least minPct (the paper
+// excludes categories under 5%): the mean |fullgraph - multisim| and
+// mean |profiler - multisim|, in percentage points.
+func Table7Summary(rows []Table7Row, minPct float64) (graphErr, profErr float64) {
+	var gSum, pSum float64
+	var gN, pN int
+	for _, r := range rows {
+		m := r.MultisimPct
+		if m < 0 {
+			m = -m
+		}
+		if m < minPct {
+			continue
+		}
+		e := r.FullgraphErr
+		if e < 0 {
+			e = -e
+		}
+		gSum += e
+		gN++
+		if r.HasProfiler {
+			e = r.ProfilerErr
+			if e < 0 {
+				e = -e
+			}
+			pSum += e
+			pN++
+		}
+	}
+	if gN > 0 {
+		graphErr = gSum / float64(gN)
+	}
+	if pN > 0 {
+		profErr = pSum / float64(pN)
+	}
+	return graphErr, profErr
+}
+
+// FormatTable7 renders rows grouped by benchmark in the paper's
+// layout.
+func FormatTable7(rows []Table7Row) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "bench\tcategory\tmultisim\tfullgraph(err)\tprofiler(err)\t")
+	for _, r := range rows {
+		prof := "-"
+		if r.HasProfiler {
+			prof = fmt.Sprintf("%+.1f", r.ProfilerErr)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%.1f\t%+.1f\t%s\t\n",
+			r.Bench, r.Category, r.MultisimPct, r.FullgraphErr, prof)
+	}
+	w.Flush()
+	g, p := Table7Summary(rows, 5)
+	fmt.Fprintf(&b, "avg |err| (categories >= 5%%): fullgraph %.2f pts, profiler %.2f pts\n", g, p)
+	if r, ok := Table7Correlation(rows); ok {
+		fmt.Fprintf(&b, "profiler-vs-multisim correlation across categories: %.3f\n", r)
+	}
+	return b.String()
+}
+
+// Table7Correlation computes the Pearson correlation between the
+// profiler's category percentages and the multisim ground truth — a
+// stricter tracking measure than average error (a profiler that
+// reported every category as its mean would have low error but no
+// correlation).
+func Table7Correlation(rows []Table7Row) (float64, bool) {
+	var truth, prof []float64
+	for _, r := range rows {
+		if !r.HasProfiler {
+			continue
+		}
+		truth = append(truth, r.MultisimPct)
+		prof = append(prof, r.MultisimPct+r.ProfilerErr)
+	}
+	if len(truth) < 2 {
+		return 0, false
+	}
+	return stats.Correlation(truth, prof), true
+}

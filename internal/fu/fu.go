@@ -1,0 +1,114 @@
+// Package fu models the functional-unit pools of the simulated
+// machine (paper Table 6): 6 integer ALUs, 2 integer multipliers,
+// 4 FP adders, 2 FP multiply/divide units, and 3 load/store ports.
+// Units are fully pipelined with an issue interval of one cycle, so a
+// pool of N units accepts at most N new operations per cycle. The
+// delay an operation spends waiting for a free issue slot is the
+// "functional unit contention" latency the dependence-graph model
+// records on RE edges (paper Figure 5b).
+//
+// Bookings are exact regardless of the order they arrive in: the pool
+// keeps a per-cycle occupancy schedule, so an instruction processed
+// later in program order but ready earlier in time correctly claims
+// an earlier slot. (The simulator processes instructions in program
+// order while their ready times are out of order, especially under
+// idealized re-simulation, so a naive "next free unit" model would
+// fabricate contention.)
+package fu
+
+import "icost/internal/isa"
+
+// Counts is the number of units per class.
+type Counts [isa.NumFUClasses]int
+
+// DefaultCounts is the Table 6 configuration.
+func DefaultCounts() Counts {
+	var c Counts
+	c[isa.FUIntALU] = 6
+	c[isa.FUIntMul] = 2
+	c[isa.FUFloatAdd] = 4
+	c[isa.FUFloatMul] = 2
+	c[isa.FULoadStore] = 3
+	return c
+}
+
+// Pool tracks per-class, per-cycle issue occupancy.
+type Pool struct {
+	sched [isa.NumFUClasses]Sched
+}
+
+// NewPool builds a pool with the given unit counts.
+func NewPool(c Counts) *Pool {
+	p := &Pool{}
+	for k := 0; k < int(isa.NumFUClasses); k++ {
+		if c[k] <= 0 {
+			panic("fu: class with no units")
+		}
+		p.sched[k] = Sched{cap: c[k], cnt: map[int64]int{}, next: map[int64]int64{}}
+	}
+	return p
+}
+
+// Book reserves an issue slot of class c at the earliest cycle >=
+// ready with spare capacity and returns that cycle.
+func (p *Pool) Book(c isa.FUClass, ready int64) int64 {
+	return p.sched[c].book(ready)
+}
+
+// Reset clears all bookings.
+func (p *Pool) Reset() {
+	for k := range p.sched {
+		p.sched[k].cnt = map[int64]int{}
+		p.sched[k].next = map[int64]int64{}
+	}
+}
+
+// Sched is a per-cycle capacity schedule usable on its own (the
+// simulator books store-commit ports through one). Full cycles carry
+// a forwarding pointer to the next candidate cycle; find follows and
+// path-compresses the pointers (union-find), keeping bookings
+// amortized near-constant even through long saturated stretches.
+type Sched struct {
+	cap  int
+	cnt  map[int64]int
+	next map[int64]int64
+}
+
+// NewSched builds a schedule accepting cap bookings per cycle.
+func NewSched(cap int) *Sched {
+	if cap <= 0 {
+		panic("fu: non-positive schedule capacity")
+	}
+	return &Sched{cap: cap, cnt: map[int64]int{}, next: map[int64]int64{}}
+}
+
+// Book reserves the earliest cycle >= ready with spare capacity.
+func (s *Sched) Book(ready int64) int64 { return s.book(ready) }
+
+func (s *Sched) book(ready int64) int64 {
+	c := s.find(ready)
+	s.cnt[c]++
+	if s.cnt[c] >= s.cap {
+		s.next[c] = c + 1
+	}
+	return c
+}
+
+// find returns the first cycle >= c with spare capacity.
+func (s *Sched) find(c int64) int64 {
+	root := c
+	for {
+		n, ok := s.next[root]
+		if !ok {
+			break
+		}
+		root = n
+	}
+	// Path compression.
+	for c != root {
+		n := s.next[c]
+		s.next[c] = root
+		c = n
+	}
+	return root
+}

@@ -1,0 +1,246 @@
+// Package isa defines the instruction set used throughout the
+// repository: a small RISC-like ISA with fixed 4-byte instructions,
+// 32 integer and 32 floating-point registers, loads/stores, short and
+// long ALU operations, and the full complement of control transfers
+// (conditional branches, jumps, indirect jumps, calls and returns)
+// that the shotgun profiler's static PC-inference needs (paper
+// Figure 5a, steps 2d1-2d4).
+package isa
+
+import "fmt"
+
+// Addr is a byte address in the (synthetic) address space. Code and
+// data live in disjoint regions; see package program.
+type Addr uint64
+
+// InstBytes is the fixed encoding size; PCs advance by this much for
+// non-taken control flow (paper Fig 5a step 2d1 uses PC+4).
+const InstBytes = 4
+
+// Reg names an architectural register. 0..31 are integer registers
+// (R0 hardwired to zero, writes ignored), 32..63 floating-point.
+type Reg uint8
+
+const (
+	// RZero is the hardwired zero register.
+	RZero Reg = 0
+	// NumIntRegs is the count of integer registers.
+	NumIntRegs = 32
+	// NumRegs is the total architectural register count.
+	NumRegs = 64
+	// NoReg marks an absent operand.
+	NoReg Reg = 255
+)
+
+// IsFloat reports whether r is a floating-point register.
+func (r Reg) IsFloat() bool { return r >= NumIntRegs && r < NumRegs }
+
+// String renders the conventional assembly name.
+func (r Reg) String() string {
+	switch {
+	case r == NoReg:
+		return "-"
+	case r < NumIntRegs:
+		return fmt.Sprintf("r%d", r)
+	case r < NumRegs:
+		return fmt.Sprintf("f%d", r-NumIntRegs)
+	default:
+		return fmt.Sprintf("reg?%d", uint8(r))
+	}
+}
+
+// Op is an opcode class. The simulator and dependence-graph model care
+// about instruction *classes* (latency, ports, control behaviour), not
+// the precise arithmetic performed, so opcodes are grouped by class.
+type Op uint8
+
+const (
+	// OpNop does nothing (used as a filler and in tests).
+	OpNop Op = iota
+	// OpIntShort is a one-cycle integer ALU operation ("shalu" in the
+	// paper's breakdown categories).
+	OpIntShort
+	// OpIntMul is a multi-cycle integer multiply ("lgalu").
+	OpIntMul
+	// OpFloatAdd is a pipelined FP add/sub ("lgalu").
+	OpFloatAdd
+	// OpFloatMul is an FP multiply ("lgalu").
+	OpFloatMul
+	// OpFloatDiv is a long-latency FP divide ("lgalu").
+	OpFloatDiv
+	// OpLoad reads memory into a register.
+	OpLoad
+	// OpStore writes a register to memory.
+	OpStore
+	// OpBranch is a direct conditional branch.
+	OpBranch
+	// OpJump is a direct unconditional jump.
+	OpJump
+	// OpCall is a direct call (pushes return address).
+	OpCall
+	// OpReturn is an indirect jump through the return-address stack.
+	OpReturn
+	// OpJumpIndirect is an indirect jump through a register (e.g.
+	// switch tables, virtual dispatch).
+	OpJumpIndirect
+
+	// NumOps is the number of opcode classes.
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	"nop", "add", "mul", "fadd", "fmul", "fdiv",
+	"ld", "st", "br", "jmp", "call", "ret", "jr",
+}
+
+// String returns the mnemonic for the opcode class.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op?%d", uint8(o))
+}
+
+// IsBranch reports whether the opcode is any control transfer.
+func (o Op) IsBranch() bool {
+	switch o {
+	case OpBranch, OpJump, OpCall, OpReturn, OpJumpIndirect:
+		return true
+	}
+	return false
+}
+
+// IsCondBranch reports whether the opcode is a conditional branch.
+func (o Op) IsCondBranch() bool { return o == OpBranch }
+
+// IsIndirect reports whether the target comes from a register or the
+// return stack rather than the instruction encoding.
+func (o Op) IsIndirect() bool { return o == OpReturn || o == OpJumpIndirect }
+
+// IsMem reports whether the opcode accesses data memory.
+func (o Op) IsMem() bool { return o == OpLoad || o == OpStore }
+
+// IsLoad reports whether the opcode reads data memory.
+func (o Op) IsLoad() bool { return o == OpLoad }
+
+// IsStore reports whether the opcode writes data memory.
+func (o Op) IsStore() bool { return o == OpStore }
+
+// IsLongALU reports whether the opcode is a multi-cycle computation
+// (the paper's "lgalu" category: multi-cycle integer and all FP ops).
+func (o Op) IsLongALU() bool {
+	switch o {
+	case OpIntMul, OpFloatAdd, OpFloatMul, OpFloatDiv:
+		return true
+	}
+	return false
+}
+
+// IsShortALU reports whether the opcode is a one-cycle integer
+// operation (the paper's "shalu" category).
+func (o Op) IsShortALU() bool { return o == OpIntShort }
+
+// FUClass identifies a functional-unit pool (paper Table 6).
+type FUClass uint8
+
+const (
+	// FUIntALU: 6 units, latency 1.
+	FUIntALU FUClass = iota
+	// FUIntMul: 2 units, latency 3.
+	FUIntMul
+	// FUFloatAdd: 4 units, latency 2.
+	FUFloatAdd
+	// FUFloatMul: 2 units, latency 4 (divide 12 on same pool).
+	FUFloatMul
+	// FULoadStore: 3 ports, latency 2 (L1 hit).
+	FULoadStore
+	// NumFUClasses is the number of functional-unit pools.
+	NumFUClasses
+)
+
+var fuNames = [NumFUClasses]string{"intalu", "intmul", "fpadd", "fpmul", "ldst"}
+
+// String names the pool.
+func (c FUClass) String() string {
+	if int(c) < len(fuNames) {
+		return fuNames[c]
+	}
+	return fmt.Sprintf("fu?%d", uint8(c))
+}
+
+// FU returns the functional-unit class executing the opcode. Branches
+// and nops resolve on the integer ALUs.
+func (o Op) FU() FUClass {
+	switch o {
+	case OpLoad, OpStore:
+		return FULoadStore
+	case OpIntMul:
+		return FUIntMul
+	case OpFloatAdd:
+		return FUFloatAdd
+	case OpFloatMul, OpFloatDiv:
+		return FUFloatMul
+	default:
+		return FUIntALU
+	}
+}
+
+// Inst is a static (architectural) instruction. Dynamic state — the
+// resolved memory address, branch outcome, and cache behaviour — lives
+// in package trace.
+type Inst struct {
+	// PC is the instruction's address in the code region.
+	PC Addr
+	// Op is the opcode class.
+	Op Op
+	// Dst is the destination register, or NoReg.
+	Dst Reg
+	// Src1, Src2 are source registers, or NoReg. For stores Src1 is
+	// the data register and Src2 the address base; for loads Src1 is
+	// the address base. For indirect jumps Src1 holds the target.
+	Src1, Src2 Reg
+	// Target is the statically-encoded branch/jump/call target
+	// (meaningless for indirect transfers and non-branches).
+	Target Addr
+}
+
+// NextPC returns the fall-through PC.
+func (in *Inst) NextPC() Addr { return in.PC + InstBytes }
+
+// Srcs appends the valid source registers to dst and returns it.
+func (in *Inst) Srcs(dst []Reg) []Reg {
+	if in.Src1 != NoReg {
+		dst = append(dst, in.Src1)
+	}
+	if in.Src2 != NoReg {
+		dst = append(dst, in.Src2)
+	}
+	return dst
+}
+
+// HasDst reports whether the instruction writes a register. Writes to
+// RZero are discarded and treated as no destination.
+func (in *Inst) HasDst() bool { return in.Dst != NoReg && in.Dst != RZero }
+
+// String renders a compact assembly-like form, e.g.
+// "0x1004: ld r3, (r7)" or "0x1010: br r3, r0 -> 0x1040".
+func (in *Inst) String() string {
+	switch {
+	case in.Op == OpLoad:
+		return fmt.Sprintf("%#x: ld %s, (%s)", uint64(in.PC), in.Dst, in.Src1)
+	case in.Op == OpStore:
+		return fmt.Sprintf("%#x: st %s, (%s)", uint64(in.PC), in.Src1, in.Src2)
+	case in.Op == OpBranch:
+		return fmt.Sprintf("%#x: br %s,%s -> %#x", uint64(in.PC), in.Src1, in.Src2, uint64(in.Target))
+	case in.Op == OpJump || in.Op == OpCall:
+		return fmt.Sprintf("%#x: %s -> %#x", uint64(in.PC), in.Op, uint64(in.Target))
+	case in.Op == OpReturn:
+		return fmt.Sprintf("%#x: ret", uint64(in.PC))
+	case in.Op == OpJumpIndirect:
+		return fmt.Sprintf("%#x: jr %s", uint64(in.PC), in.Src1)
+	case in.Dst == NoReg:
+		return fmt.Sprintf("%#x: %s", uint64(in.PC), in.Op)
+	default:
+		return fmt.Sprintf("%#x: %s %s, %s, %s", uint64(in.PC), in.Op, in.Dst, in.Src1, in.Src2)
+	}
+}

@@ -1,0 +1,204 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{RZero, "r0"},
+		{Reg(5), "r5"},
+		{Reg(31), "r31"},
+		{Reg(32), "f0"},
+		{Reg(63), "f31"},
+		{NoReg, "-"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRegIsFloat(t *testing.T) {
+	if RZero.IsFloat() || Reg(31).IsFloat() {
+		t.Error("integer register classified as float")
+	}
+	if !Reg(32).IsFloat() || !Reg(63).IsFloat() {
+		t.Error("float register not classified as float")
+	}
+	if NoReg.IsFloat() {
+		t.Error("NoReg classified as float")
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	branches := []Op{OpBranch, OpJump, OpCall, OpReturn, OpJumpIndirect}
+	for _, o := range branches {
+		if !o.IsBranch() {
+			t.Errorf("%v should be a branch", o)
+		}
+	}
+	nonBranches := []Op{OpNop, OpIntShort, OpIntMul, OpLoad, OpStore, OpFloatDiv}
+	for _, o := range nonBranches {
+		if o.IsBranch() {
+			t.Errorf("%v should not be a branch", o)
+		}
+	}
+	if !OpBranch.IsCondBranch() || OpJump.IsCondBranch() {
+		t.Error("conditional-branch classification wrong")
+	}
+	if !OpReturn.IsIndirect() || !OpJumpIndirect.IsIndirect() || OpBranch.IsIndirect() {
+		t.Error("indirect classification wrong")
+	}
+	if !OpLoad.IsMem() || !OpStore.IsMem() || OpIntShort.IsMem() {
+		t.Error("mem classification wrong")
+	}
+	if !OpLoad.IsLoad() || OpStore.IsLoad() {
+		t.Error("load classification wrong")
+	}
+	if !OpStore.IsStore() || OpLoad.IsStore() {
+		t.Error("store classification wrong")
+	}
+}
+
+func TestALUClasses(t *testing.T) {
+	if !OpIntShort.IsShortALU() || OpIntMul.IsShortALU() {
+		t.Error("shalu classification wrong")
+	}
+	for _, o := range []Op{OpIntMul, OpFloatAdd, OpFloatMul, OpFloatDiv} {
+		if !o.IsLongALU() {
+			t.Errorf("%v should be lgalu", o)
+		}
+	}
+	for _, o := range []Op{OpIntShort, OpLoad, OpBranch, OpNop} {
+		if o.IsLongALU() {
+			t.Errorf("%v should not be lgalu", o)
+		}
+	}
+}
+
+func TestFUMapping(t *testing.T) {
+	cases := []struct {
+		op Op
+		fu FUClass
+	}{
+		{OpLoad, FULoadStore},
+		{OpStore, FULoadStore},
+		{OpIntMul, FUIntMul},
+		{OpFloatAdd, FUFloatAdd},
+		{OpFloatMul, FUFloatMul},
+		{OpFloatDiv, FUFloatMul},
+		{OpIntShort, FUIntALU},
+		{OpBranch, FUIntALU},
+		{OpNop, FUIntALU},
+	}
+	for _, c := range cases {
+		if got := c.op.FU(); got != c.fu {
+			t.Errorf("%v.FU() = %v, want %v", c.op, got, c.fu)
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	seen := map[string]Op{}
+	for o := Op(0); o < NumOps; o++ {
+		s := o.String()
+		if s == "" || strings.HasPrefix(s, "op?") {
+			t.Errorf("opcode %d has no mnemonic", o)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("mnemonic %q shared by %d and %d", s, prev, o)
+		}
+		seen[s] = o
+	}
+	if NumOps.String() == "" {
+		t.Error("out-of-range opcode should still render")
+	}
+}
+
+func TestFUStrings(t *testing.T) {
+	for c := FUClass(0); c < NumFUClasses; c++ {
+		if s := c.String(); s == "" || strings.HasPrefix(s, "fu?") {
+			t.Errorf("FU class %d has no name", c)
+		}
+	}
+}
+
+func TestInstNextPC(t *testing.T) {
+	in := Inst{PC: 0x1000}
+	if in.NextPC() != 0x1004 {
+		t.Fatalf("NextPC = %#x, want 0x1004", uint64(in.NextPC()))
+	}
+}
+
+func TestInstSrcs(t *testing.T) {
+	in := Inst{Src1: Reg(3), Src2: Reg(4)}
+	got := in.Srcs(nil)
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("Srcs = %v", got)
+	}
+	in = Inst{Src1: NoReg, Src2: Reg(4)}
+	got = in.Srcs(nil)
+	if len(got) != 1 || got[0] != 4 {
+		t.Fatalf("Srcs = %v", got)
+	}
+	in = Inst{Src1: NoReg, Src2: NoReg}
+	if got = in.Srcs(nil); len(got) != 0 {
+		t.Fatalf("Srcs = %v, want empty", got)
+	}
+}
+
+func TestHasDst(t *testing.T) {
+	if (&Inst{Dst: NoReg}).HasDst() {
+		t.Error("NoReg counted as destination")
+	}
+	if (&Inst{Dst: RZero}).HasDst() {
+		t.Error("write to RZero counted as destination")
+	}
+	if !(&Inst{Dst: Reg(7)}).HasDst() {
+		t.Error("real destination not counted")
+	}
+}
+
+func TestInstStringForms(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{PC: 0x1004, Op: OpLoad, Dst: 3, Src1: 7, Src2: NoReg}, "0x1004: ld r3, (r7)"},
+		{Inst{PC: 0x1008, Op: OpStore, Src1: 3, Src2: 7}, "0x1008: st r3, (r7)"},
+		{Inst{PC: 0x1010, Op: OpBranch, Src1: 3, Src2: 0, Target: 0x1040}, "0x1010: br r3,r0 -> 0x1040"},
+		{Inst{PC: 0x1014, Op: OpJump, Target: 0x2000}, "0x1014: jmp -> 0x2000"},
+		{Inst{PC: 0x1018, Op: OpCall, Target: 0x3000}, "0x1018: call -> 0x3000"},
+		{Inst{PC: 0x101c, Op: OpReturn}, "0x101c: ret"},
+		{Inst{PC: 0x1020, Op: OpJumpIndirect, Src1: 9}, "0x1020: jr r9"},
+		{Inst{PC: 0x1024, Op: OpNop, Dst: NoReg}, "0x1024: nop"},
+		{Inst{PC: 0x1028, Op: OpIntShort, Dst: 1, Src1: 2, Src2: 3}, "0x1028: add r1, r2, r3"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestQuickSrcsNeverReturnsNoReg(t *testing.T) {
+	f := func(s1, s2 uint8) bool {
+		in := Inst{Src1: Reg(s1), Src2: Reg(s2)}
+		for _, r := range in.Srcs(nil) {
+			if r == NoReg {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

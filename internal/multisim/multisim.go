@@ -1,0 +1,47 @@
+// Package multisim implements the paper's baseline methodology for
+// measuring costs: run one idealized simulation per cost query
+// (Section 6, "multiple-simulation approach"). It is the ground truth
+// the dependence-graph analysis (packages depgraph/cost) and the
+// shotgun profiler (package profiler) are validated against in
+// Table 7, and it is deliberately expensive: a full breakdown costs
+// one complete machine simulation per power-set member, which is
+// exactly the 2^n blow-up the graph method avoids.
+//
+// Unlike the pure graph analysis, an idealized re-simulation
+// re-arbitrates structural resources — functional-unit contention and
+// taken-branch fetch breaks are recomputed under the idealization —
+// so its answers differ (slightly, in this implementation) from the
+// graph's frozen-latency answers. That difference is the model error
+// Table 7 quantifies.
+package multisim
+
+import (
+	"fmt"
+
+	"icost/internal/cost"
+	"icost/internal/depgraph"
+	"icost/internal/ooo"
+	"icost/internal/trace"
+)
+
+// New returns a cost analyzer whose execution times come from
+// idealized re-simulation of tr on cfg, skipping warmup instructions
+// before timing (every re-simulation warms identically). The
+// configuration is validated up front; simulation failures afterward
+// indicate programming errors and panic.
+func New(tr *trace.Trace, cfg ooo.Config, warmup int) (*cost.Analyzer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if warmup < 0 || warmup >= tr.Len() {
+		return nil, fmt.Errorf("multisim: warmup %d outside trace of %d", warmup, tr.Len())
+	}
+	eval := func(f depgraph.Flags) int64 {
+		res, err := ooo.Simulate(tr, cfg, ooo.Options{Ideal: f, Warmup: warmup})
+		if err != nil {
+			panic(fmt.Sprintf("multisim: resimulation failed: %v", err))
+		}
+		return res.Cycles
+	}
+	return cost.NewFromFunc(eval), nil
+}

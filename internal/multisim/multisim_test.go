@@ -1,0 +1,106 @@
+package multisim
+
+import (
+	"testing"
+
+	"icost/internal/cost"
+	"icost/internal/depgraph"
+	"icost/internal/ooo"
+	"icost/internal/workload"
+)
+
+func TestResimCostsMatchDirectSimulation(t *testing.T) {
+	tr, err := workload.Load("gzip", 1, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ooo.DefaultConfig()
+	a, err := New(tr, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := ooo.Simulate(tr, cfg, ooo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BaseTime() != base.Cycles {
+		t.Fatalf("base %d != sim %d", a.BaseTime(), base.Cycles)
+	}
+	ideal, err := ooo.Simulate(tr, cfg, ooo.Options{Ideal: depgraph.IdealDMiss})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Cost(depgraph.IdealDMiss); got != base.Cycles-ideal.Cycles {
+		t.Fatalf("cost %d != %d", got, base.Cycles-ideal.Cycles)
+	}
+}
+
+func TestResimCloseToGraphAnalysis(t *testing.T) {
+	// The graph freezes arbitration; resimulation redoes it. The two
+	// must agree closely (the paper reports ~11% average error for a
+	// much coarser graph model; ours is near-exact by construction).
+	tr, err := workload.Load("parser", 1, 12000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ooo.DefaultConfig()
+	ms, err := New(tr, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ooo.Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga := cost.New(res.Graph)
+	if ga.BaseTime() != ms.BaseTime() {
+		t.Fatalf("base disagreement: graph %d, resim %d", ga.BaseTime(), ms.BaseTime())
+	}
+	for _, f := range []depgraph.Flags{
+		depgraph.IdealDL1, depgraph.IdealDMiss, depgraph.IdealBMisp,
+		depgraph.IdealWindow, depgraph.IdealBW,
+	} {
+		cg, cm := ga.Cost(f), ms.Cost(f)
+		diff := cg - cm
+		if diff < 0 {
+			diff = -diff
+		}
+		// Within 10% of total time of each other.
+		if float64(diff) > 0.10*float64(ga.BaseTime()) {
+			t.Errorf("cost(%v): graph %d vs resim %d (base %d)", f, cg, cm, ga.BaseTime())
+		}
+	}
+}
+
+func TestGuards(t *testing.T) {
+	tr, err := workload.Load("gzip", 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := ooo.DefaultConfig()
+	bad.Graph.DL1Latency = 99
+	if _, err := New(tr, bad, 0); err == nil {
+		t.Fatal("accepted inconsistent config")
+	}
+	tr.Insts = nil
+	if _, err := New(tr, ooo.DefaultConfig(), 0); err == nil {
+		t.Fatal("accepted empty trace")
+	}
+}
+
+func TestEventSetMethodsPanicWithoutGraph(t *testing.T) {
+	tr, err := workload.Load("gzip", 1, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(tr, ooo.DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CostSet on resim analyzer did not panic")
+		}
+	}()
+	a.CostSet(depgraph.Ideal{Global: depgraph.IdealDMiss})
+}

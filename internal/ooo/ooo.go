@@ -1,0 +1,489 @@
+// Package ooo is the cycle-level out-of-order processor simulator
+// (the paper's Table 6 machine, standing in for the authors'
+// SimpleScalar-derived simulator).
+//
+// The simulator consumes an architectural trace (package trace) and
+// computes, for every dynamic instruction, the five timing events of
+// the dependence-graph model — dispatch, ready, execute, complete,
+// commit — while running the machine's stateful components
+// functionally in program order: branch predictor + BTB + RAS
+// (package bpred), the cache/TLB hierarchy (package cache), and the
+// functional-unit pools (package fu). Dynamic arbitration — FU issue
+// contention, taken-branch fetch-group breaks, cache-line-sharing
+// leadership — is resolved during simulation and recorded as edge
+// latencies, so the emitted dependence graph's unidealized critical
+// path equals the simulated execution time exactly.
+//
+// Simulate also accepts an idealization set (paper Table 1), which is
+// how package multisim implements the "many idealized simulations"
+// baseline: under idealization the machine re-arbitrates structural
+// resources, which is precisely the second-order effect the pure
+// graph analysis approximates away (quantified in Table 7).
+package ooo
+
+import (
+	"fmt"
+
+	"icost/internal/bpred"
+	"icost/internal/cache"
+	"icost/internal/depgraph"
+	"icost/internal/fu"
+	"icost/internal/isa"
+	"icost/internal/trace"
+)
+
+// Config assembles the machine configuration. Timing parameters live
+// in Graph (shared with the dependence-graph model); the memory
+// latencies in Cache and Graph must agree — NewConfig and the With*
+// helpers keep them in sync.
+type Config struct {
+	Graph depgraph.Config
+	Cache cache.Config
+	Pred  bpred.Config
+	FU    fu.Counts
+	// MaxTakenPerCycle: fetch stops at the second taken branch in a
+	// cycle (Table 6), i.e. at most this many taken branches join one
+	// fetch group.
+	MaxTakenPerCycle int
+	// StoreCommitBW is the number of stores that can retire to the
+	// memory system per cycle; the resulting contention is recorded
+	// on CC edges (paper Figure 5b: "store BW contention").
+	StoreCommitBW int
+	// ModelWrongPath, when set, walks the front end down the
+	// predicted path after every misprediction, polluting (and
+	// sometimes prefetching) the instruction cache and ITLB — a
+	// second-order effect execution-driven simulators model and
+	// trace-driven ones usually drop. Off by default; its effect is
+	// quantified by BenchmarkWrongPath.
+	ModelWrongPath bool
+}
+
+// DefaultConfig is the paper's Table 6 machine.
+func DefaultConfig() Config {
+	return Config{
+		Graph:            depgraph.DefaultConfig(),
+		Cache:            cache.DefaultConfig(),
+		Pred:             bpred.DefaultConfig(),
+		FU:               fu.DefaultCounts(),
+		MaxTakenPerCycle: 2,
+		StoreCommitBW:    2,
+	}
+}
+
+// Validate checks internal consistency.
+func (c *Config) Validate() error {
+	if err := c.Graph.Validate(); err != nil {
+		return err
+	}
+	if c.Graph.DL1Latency != c.Cache.DL1Latency ||
+		c.Graph.L2Latency != c.Cache.L2Latency ||
+		c.Graph.MemLatency != c.Cache.MemLatency ||
+		c.Graph.TLBMissLatency != c.Cache.TLBMissLatency {
+		return fmt.Errorf("ooo: graph and cache latency configs disagree")
+	}
+	if c.MaxTakenPerCycle < 1 {
+		return fmt.Errorf("ooo: MaxTakenPerCycle must be >= 1")
+	}
+	if c.StoreCommitBW < 1 {
+		return fmt.Errorf("ooo: StoreCommitBW must be >= 1")
+	}
+	return nil
+}
+
+// WithDL1Latency returns a copy with the level-one data-cache latency
+// set in both the timing model and the hierarchy (the Section 4.1
+// experiment uses 4).
+func (c Config) WithDL1Latency(n int) Config {
+	c.Graph.DL1Latency = n
+	c.Cache.DL1Latency = n
+	return c
+}
+
+// WithWindow returns a copy with the re-order buffer size set.
+func (c Config) WithWindow(n int) Config {
+	c.Graph.Window = n
+	return c
+}
+
+// WithWakeupExtra returns a copy with extra issue-wakeup latency (the
+// Section 4.2 experiment uses 1, i.e. a two-cycle wakeup loop).
+func (c Config) WithWakeupExtra(n int) Config {
+	c.Graph.WakeupExtra = n
+	return c
+}
+
+// WithBranchRecovery returns a copy with the branch-misprediction
+// loop length set (the Section 4.2 experiment uses 15).
+func (c Config) WithBranchRecovery(n int) Config {
+	c.Graph.BranchRecovery = n
+	return c
+}
+
+// Options selects per-run behaviour.
+type Options struct {
+	// Ideal idealizes event classes during simulation (paper
+	// Table 1); used by the multi-simulation baseline.
+	Ideal depgraph.Flags
+	// KeepGraph retains the built dependence graph in the result.
+	// The graph is always built (the simulator computes through it);
+	// this only controls whether it is returned.
+	KeepGraph bool
+	// Warmup runs the first Warmup trace instructions through the
+	// stateful components (caches, TLBs, branch predictor) without
+	// timing them, mirroring the paper's methodology of skipping
+	// billions of instructions before detailed simulation. The
+	// result covers only the remaining instructions.
+	Warmup int
+}
+
+// Stats counts functional events, for reports and signature bits.
+type Stats struct {
+	Insts         int
+	CondBranches  int64
+	Mispredicts   int64
+	Loads, Stores int64
+	DL1Misses     int64 // loads+stores missing L1 (any level beyond)
+	L2Misses      int64 // of those, missing L2 too
+	DTLBMisses    int64
+	IL1Misses     int64
+	IL2Misses     int64
+	ITLBMisses    int64
+	PartialMisses int64 // loads bound to an outstanding line fill
+	StoreForwards int64 // loads with a store-to-load memory dependence
+}
+
+// Result is one simulation's outcome.
+type Result struct {
+	// Cycles is the execution time.
+	Cycles int64
+	// Stats are the functional event counts.
+	Stats Stats
+	// Graph is the dependence graph (nil unless Options.KeepGraph).
+	Graph *depgraph.Graph
+	// Times are the node times computed during simulation (nil
+	// unless Options.KeepGraph).
+	Times *depgraph.Times
+}
+
+// IPC returns instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Stats.Insts) / float64(r.Cycles)
+}
+
+// Simulate runs the machine over the trace.
+func Simulate(tr *trace.Trace, cfg Config, opt Options) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Warmup < 0 || opt.Warmup >= tr.Len() {
+		return nil, fmt.Errorf("ooo: warmup %d outside trace of %d", opt.Warmup, tr.Len())
+	}
+	hier := cache.NewHierarchy(cfg.Cache)
+	pred := bpred.New(cfg.Pred)
+	pool := fu.NewPool(cfg.FU)
+	storePorts := fu.NewSched(cfg.StoreCommitBW)
+
+	// Functional warmup: exercise caches, TLBs and the predictor
+	// without timing. The program text is touched once first so that
+	// code lines whose first execution falls after the warmup window
+	// hit the L2 rather than memory — the paper's runs skip billions
+	// of instructions, after which no code line is memory-cold.
+	if opt.Warmup > 0 {
+		for pc := tr.Prog.PCOf(0); pc < tr.Prog.PCOf(tr.Prog.Len()-1); pc += isa.Addr(cfg.Cache.LineBytes) {
+			hier.InstAccess(pc)
+		}
+	}
+	for i := 0; i < opt.Warmup; i++ {
+		sin := tr.Static(i)
+		din := &tr.Insts[i]
+		hier.InstAccess(sin.PC)
+		if sin.Op.IsBranch() {
+			pr := pred.Predict(sin)
+			pred.Update(sin, din.Taken, din.Target, pr)
+		}
+		if sin.Op.IsMem() {
+			hier.DataAccess(din.Addr)
+		}
+	}
+	base := opt.Warmup
+	n := tr.Len() - base
+	g := depgraph.New(cfg.Graph, n)
+	id := depgraph.Ideal{Global: opt.Ideal}
+	f := opt.Ideal
+	gcfg := &cfg.Graph
+
+	times := &depgraph.Times{
+		D: make([]int64, n), R: make([]int64, n), E: make([]int64, n),
+		P: make([]int64, n), C: make([]int64, n),
+	}
+	var st Stats
+	st.Insts = n
+
+	// lastWriter maps architectural registers to the dynamic index of
+	// their most recent writer (-1 = written before the trace).
+	var lastWriter [isa.NumRegs]int32
+	for i := range lastWriter {
+		lastWriter[i] = -1
+	}
+	// lineLeader maps a cache line to the most recent load that
+	// missed on it.
+	type leader struct {
+		idx int32
+	}
+	lineLeader := map[isa.Addr]leader{}
+	// lastStoreTo maps an 8-byte granule to the most recent store,
+	// for the dynamically-collected store-to-load memory dependences
+	// of paper Figure 5b (PR "mem: D").
+	lastStoreTo := map[isa.Addr]int32{}
+
+	// Fetch-group state for the taken-branch break rule.
+	var curFetchCycle int64 = -1
+	takenInCycle := 0
+
+	for i := 0; i < n; i++ {
+		din := &tr.Insts[base+i]
+		sin := tr.Static(base + i)
+		info := depgraph.InstInfo{Op: sin.Op, SIdx: din.SIdx}
+
+		// --- Functional front end: icache and branch predictor ---
+		ir := hier.InstAccess(sin.PC)
+		info.ILevel = ir.Level
+		info.ITLBMiss = ir.TLBMiss
+		if ir.Level != cache.LevelL1 {
+			st.IL1Misses++
+			if ir.Level == cache.LevelMem {
+				st.IL2Misses++
+			}
+		}
+		if ir.TLBMiss {
+			st.ITLBMisses++
+		}
+		if sin.Op.IsBranch() {
+			pr := pred.Predict(sin)
+			mis := pr.Taken != din.Taken || (din.Taken && pr.Target != din.Target)
+			pred.Update(sin, din.Taken, din.Target, pr)
+			info.Mispredict = mis
+			if sin.Op.IsCondBranch() {
+				st.CondBranches++
+			}
+			if mis {
+				st.Mispredicts++
+				if cfg.ModelWrongPath {
+					wrongPathFetch(hier, tr, pr.Target,
+						cfg.Graph.FetchBW*cfg.Graph.BranchRecovery)
+				}
+			}
+		}
+
+		// --- Functional memory access ---
+		if sin.Op.IsMem() {
+			dr := hier.DataAccess(din.Addr)
+			info.DataLevel = dr.Level
+			info.DTLBMiss = dr.TLBMiss
+			if sin.Op.IsLoad() {
+				st.Loads++
+			} else {
+				st.Stores++
+			}
+			if dr.Level != cache.LevelL1 {
+				st.DL1Misses++
+				if dr.Level == cache.LevelMem {
+					st.L2Misses++
+				}
+			}
+			if dr.TLBMiss {
+				st.DTLBMisses++
+			}
+			if sin.Op.IsLoad() && dr.Level == cache.LevelL1 {
+				if l, ok := lineLeader[dr.Line]; ok {
+					g.PPLeader[i] = l.idx
+				}
+			}
+			granule := din.Addr &^ 7
+			if sin.Op.IsStore() {
+				lastStoreTo[granule] = int32(i)
+			} else if s, ok := lastStoreTo[granule]; ok {
+				// Store-to-load dependence: the load's value comes
+				// from the in-flight (or committed) store. Loads have
+				// a single register source, so the second producer
+				// slot is free for the memory dependence.
+				g.Prod2[i] = s
+				st.StoreForwards++
+			}
+		}
+
+		// --- Register producers (PR edges) ---
+		var srcs [2]isa.Reg
+		ns := 0
+		if sin.Src1 != isa.NoReg && sin.Src1 != isa.RZero {
+			srcs[ns] = sin.Src1
+			ns++
+		}
+		if sin.Src2 != isa.NoReg && sin.Src2 != isa.RZero {
+			srcs[ns] = sin.Src2
+			ns++
+		}
+		if ns > 0 {
+			g.Prod1[i] = lastWriter[srcs[0]]
+		}
+		if ns > 1 {
+			g.Prod2[i] = lastWriter[srcs[1]]
+		}
+
+		g.Info[i] = info
+
+		// --- D node: dispatch ---
+		var d int64
+		if i > 0 {
+			d = times.D[i-1] + g.DDLat(i, f) // DDBreak not yet set: pure icache part
+			if g.Info[i-1].Mispredict && f&depgraph.IdealBMisp == 0 {
+				d = max64(d, times.P[i-1]+int64(gcfg.BranchRecovery))
+			}
+		} else {
+			d = g.DDLat(i, f)
+		}
+		if f&depgraph.IdealBW == 0 && i >= gcfg.FetchBW {
+			d = max64(d, times.D[i-gcfg.FetchBW]+1)
+		}
+		w := gcfg.Window
+		if f&depgraph.IdealWindow != 0 {
+			w *= gcfg.WindowIdealFactor
+		}
+		if i >= w {
+			d = max64(d, times.C[i-w])
+		}
+		// Taken-branch fetch break: if this instruction lands in a
+		// fetch cycle that already holds MaxTakenPerCycle taken
+		// branches, push it to the next cycle and record the bubble
+		// on the DD edge.
+		if f&depgraph.IdealBW == 0 && d == curFetchCycle && takenInCycle >= cfg.MaxTakenPerCycle {
+			d++
+			g.DDBreak[i] = 1
+		}
+		if d != curFetchCycle {
+			curFetchCycle = d
+			takenInCycle = 0
+		}
+		if sin.Op.IsBranch() && din.Taken {
+			takenInCycle++
+		}
+		times.D[i] = d
+
+		// --- R node: operands ready ---
+		r := d + int64(gcfg.DispatchToReady)
+		wake := int64(gcfg.WakeupExtra)
+		if p := g.Prod1[i]; p >= 0 {
+			r = max64(r, times.P[p]+wake)
+		}
+		if p := g.Prod2[i]; p >= 0 {
+			r = max64(r, times.P[p]+wake)
+		}
+		times.R[i] = r
+
+		// --- E node: issue, arbitrating functional units ---
+		e := r
+		if f&depgraph.IdealBW == 0 {
+			e = pool.Book(sin.Op.FU(), r)
+			g.RELat[i] = int32(e - r)
+		}
+		times.E[i] = e
+
+		// --- P node: completion (EP edge + line sharing) ---
+		p := e + g.EPLat(i, f)
+		if l := g.PPLeader[i]; l >= 0 && f&depgraph.IdealDMiss == 0 {
+			if times.P[l] > p {
+				st.PartialMisses++
+				p = times.P[l]
+			}
+		}
+		times.P[i] = p
+		if sin.Op.IsLoad() && info.DataLevel != cache.LevelL1 {
+			lineLeader[hier.L1D.Line(din.Addr)] = leader{idx: int32(i)}
+		}
+
+		// --- C node: commit ---
+		c := p + int64(gcfg.CompleteToCommit)
+		if i > 0 {
+			c = max64(c, times.C[i-1])
+		}
+		if f&depgraph.IdealBW == 0 && i >= gcfg.CommitBW {
+			c = max64(c, times.C[i-gcfg.CommitBW]+1)
+		}
+		// Store-commit bandwidth: stores contend for retire ports;
+		// the delay is recorded on the CC edge so graph replay stays
+		// exact (it requires i > 0, which holds for any delayed
+		// store since a delay implies an earlier store this cycle).
+		if sin.Op.IsStore() && f&depgraph.IdealBW == 0 {
+			booked := storePorts.Book(c)
+			if booked > c && i > 0 {
+				g.CCLat[i] = int32(booked - times.C[i-1])
+				c = booked
+			}
+		}
+		times.C[i] = c
+
+		// --- Architectural register update ---
+		if sin.HasDst() {
+			lastWriter[sin.Dst] = int32(i)
+		}
+	}
+
+	res := &Result{Stats: st}
+	if n > 0 {
+		res.Cycles = times.C[n-1] + 1
+	}
+	if opt.KeepGraph {
+		res.Graph = g
+		res.Times = times
+	}
+	// Internal consistency: the graph must replay to the simulated
+	// time under the same idealization. This is cheap relative to
+	// simulation and guards the exactness invariant the cost engine
+	// relies on.
+	if replay := g.ExecTime(id); replay != res.Cycles {
+		return nil, fmt.Errorf("ooo: graph replay %d != simulated %d cycles", replay, res.Cycles)
+	}
+	return res, nil
+}
+
+// Run simulates with no idealization and keeps the graph — the common
+// case for graph-based cost analysis.
+func Run(tr *trace.Trace, cfg Config) (*Result, error) {
+	return Simulate(tr, cfg, Options{KeepGraph: true})
+}
+
+// wrongPathFetch walks the static program from the mispredicted
+// target for up to depth instructions, touching the icache/ITLB the
+// way speculative fetch would. Conditional branches fall through
+// (wrong-path outcomes are unknown and the predictor must not be
+// perturbed — its history repair assumes in-order predict/update
+// pairing); unconditional direct transfers are followed; indirect
+// transfers end the walk.
+func wrongPathFetch(hier *cache.Hierarchy, tr *trace.Trace, target isa.Addr, depth int) {
+	idx := tr.Prog.IndexOf(target)
+	for step := 0; step < depth && idx >= 0; step++ {
+		in := tr.Prog.At(idx)
+		hier.InstAccess(in.PC)
+		switch in.Op {
+		case isa.OpJump, isa.OpCall:
+			idx = tr.Prog.IndexOf(in.Target)
+		case isa.OpReturn, isa.OpJumpIndirect:
+			return
+		default:
+			idx++
+			if idx >= tr.Prog.Len() {
+				return
+			}
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

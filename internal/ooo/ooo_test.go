@@ -1,0 +1,210 @@
+package ooo
+
+import (
+	"testing"
+
+	"icost/internal/depgraph"
+	"icost/internal/workload"
+)
+
+func simBench(t *testing.T, name string, n int, cfg Config, opt Options) *Result {
+	t.Helper()
+	tr, err := workload.Load(name, 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(tr, cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSimulateBasics(t *testing.T) {
+	res := simBench(t, "gzip", 20000, DefaultConfig(), Options{KeepGraph: true})
+	if res.Cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+	ipc := res.IPC()
+	if ipc < 0.1 || ipc > 6 {
+		t.Fatalf("IPC %.2f outside sane range", ipc)
+	}
+	if res.Graph == nil || res.Times == nil {
+		t.Fatal("graph not kept")
+	}
+	if res.Graph.Len() != 20000 {
+		t.Fatalf("graph length %d", res.Graph.Len())
+	}
+}
+
+func TestGraphReplayMatchesSimulation(t *testing.T) {
+	// The Simulate-internal check enforces this, but assert it
+	// explicitly end to end for several benchmarks and idealizations.
+	for _, name := range []string{"gcc", "mcf", "vortex"} {
+		res := simBench(t, name, 15000, DefaultConfig(), Options{KeepGraph: true})
+		if got := res.Graph.ExecTime(depgraph.Ideal{}); got != res.Cycles {
+			t.Errorf("%s: replay %d != sim %d", name, got, res.Cycles)
+		}
+	}
+}
+
+func TestIdealizedSimulationFaster(t *testing.T) {
+	cfg := DefaultConfig()
+	base := simBench(t, "mcf", 15000, cfg, Options{})
+	for _, f := range []depgraph.Flags{
+		depgraph.IdealDMiss, depgraph.IdealBMisp, depgraph.IdealWindow,
+		depgraph.IdealBW, depgraph.IdealDL1, depgraph.AllFlags,
+	} {
+		ideal := simBench(t, "mcf", 15000, cfg, Options{Ideal: f})
+		if ideal.Cycles > base.Cycles {
+			t.Errorf("idealizing %v slowed mcf: %d > %d", f, ideal.Cycles, base.Cycles)
+		}
+	}
+	// dmiss idealization must be a huge win on mcf specifically.
+	dm := simBench(t, "mcf", 15000, cfg, Options{Ideal: depgraph.IdealDMiss})
+	if float64(dm.Cycles) > 0.8*float64(base.Cycles) {
+		t.Errorf("dmiss idealization saved only %d -> %d cycles on mcf",
+			base.Cycles, dm.Cycles)
+	}
+}
+
+func TestAllIdealizedIsVeryFast(t *testing.T) {
+	res := simBench(t, "gcc", 10000, DefaultConfig(), Options{Ideal: depgraph.AllFlags})
+	// With everything idealized only dataflow (via far registers) and
+	// pipeline constants remain; IPC should be huge.
+	if res.IPC() < 3 {
+		t.Fatalf("fully idealized IPC %.2f", res.IPC())
+	}
+}
+
+func TestStatsPlausibility(t *testing.T) {
+	res := simBench(t, "mcf", 30000, DefaultConfig(), Options{})
+	st := res.Stats
+	if st.Loads == 0 || st.Stores == 0 || st.CondBranches == 0 {
+		t.Fatalf("missing event counts: %+v", st)
+	}
+	missRate := float64(st.DL1Misses) / float64(st.Loads+st.Stores)
+	if missRate < 0.05 {
+		t.Fatalf("mcf DL1 miss rate %.3f too low", missRate)
+	}
+	if st.L2Misses == 0 {
+		t.Fatal("mcf produced no L2 misses")
+	}
+	misRate := float64(st.Mispredicts) / float64(st.CondBranches)
+	if misRate < 0.005 || misRate > 0.5 {
+		t.Fatalf("mispredict rate %.3f implausible", misRate)
+	}
+}
+
+func TestBenchmarkCharacterContrasts(t *testing.T) {
+	// Warm the stateful components first: without warmup, compulsory
+	// misses swamp the per-benchmark character the test checks.
+	cfg := DefaultConfig()
+	opt := Options{Warmup: 20000}
+	mcf := simBench(t, "mcf", 45000, cfg, opt)
+	vortex := simBench(t, "vortex", 45000, cfg, opt)
+	gcc := simBench(t, "gcc", 45000, cfg, opt)
+
+	// vortex predicts branches far better than mcf.
+	mr := func(r *Result) float64 {
+		return float64(r.Stats.Mispredicts) / float64(r.Stats.CondBranches+1)
+	}
+	if mr(vortex) > mr(mcf) {
+		t.Errorf("vortex mispredict rate %.3f >= mcf %.3f", mr(vortex), mr(mcf))
+	}
+	// mcf misses caches far more than vortex per memory op.
+	dm := func(r *Result) float64 {
+		return float64(r.Stats.L2Misses) / float64(r.Stats.Loads+r.Stats.Stores+1)
+	}
+	if dm(mcf) < 2*dm(vortex) {
+		t.Errorf("mcf L2 miss rate %.3f not >> vortex %.3f", dm(mcf), dm(vortex))
+	}
+	// gcc misses the icache; mcf essentially never does.
+	if gcc.Stats.IL1Misses < mcf.Stats.IL1Misses {
+		t.Errorf("gcc icache misses %d < mcf %d", gcc.Stats.IL1Misses, mcf.Stats.IL1Misses)
+	}
+}
+
+func TestWindowSizeMatters(t *testing.T) {
+	cfg := DefaultConfig()
+	small := simBench(t, "vortex", 20000, cfg.WithWindow(16), Options{})
+	big := simBench(t, "vortex", 20000, cfg.WithWindow(256), Options{})
+	if big.Cycles >= small.Cycles {
+		t.Fatalf("larger window did not help vortex: %d vs %d", big.Cycles, small.Cycles)
+	}
+}
+
+func TestDL1LatencyMatters(t *testing.T) {
+	cfg := DefaultConfig()
+	fast := simBench(t, "gzip", 20000, cfg.WithDL1Latency(1), Options{})
+	slow := simBench(t, "gzip", 20000, cfg.WithDL1Latency(4), Options{})
+	if slow.Cycles <= fast.Cycles {
+		t.Fatalf("higher DL1 latency did not slow gzip: %d vs %d", slow.Cycles, fast.Cycles)
+	}
+}
+
+func TestWakeupLatencyMatters(t *testing.T) {
+	cfg := DefaultConfig()
+	one := simBench(t, "gzip", 20000, cfg, Options{})
+	two := simBench(t, "gzip", 20000, cfg.WithWakeupExtra(1), Options{})
+	if two.Cycles <= one.Cycles {
+		t.Fatalf("2-cycle wakeup did not slow gzip: %d vs %d", two.Cycles, one.Cycles)
+	}
+}
+
+func TestBranchRecoveryMatters(t *testing.T) {
+	cfg := DefaultConfig()
+	short := simBench(t, "bzip", 20000, cfg, Options{})
+	long := simBench(t, "bzip", 20000, cfg.WithBranchRecovery(15), Options{})
+	if long.Cycles <= short.Cycles {
+		t.Fatalf("longer mispredict loop did not slow bzip: %d vs %d", long.Cycles, short.Cycles)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Graph.DL1Latency = 9 // now disagrees with cache config
+	tr, err := workload.Load("gzip", 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Simulate(tr, cfg, Options{}); err == nil {
+		t.Fatal("accepted inconsistent latency configs")
+	}
+	cfg = DefaultConfig()
+	cfg.MaxTakenPerCycle = 0
+	if _, err := Simulate(tr, cfg, Options{}); err == nil {
+		t.Fatal("accepted MaxTakenPerCycle=0")
+	}
+}
+
+func TestDeterministicSimulation(t *testing.T) {
+	a := simBench(t, "parser", 10000, DefaultConfig(), Options{})
+	b := simBench(t, "parser", 10000, DefaultConfig(), Options{})
+	if a.Cycles != b.Cycles || a.Stats != b.Stats {
+		t.Fatal("simulation not deterministic")
+	}
+}
+
+func TestPartialMissesOccur(t *testing.T) {
+	// Streaming workloads produce same-line accesses while a fill is
+	// outstanding.
+	res := simBench(t, "gap", 30000, DefaultConfig(), Options{})
+	if res.Stats.PartialMisses == 0 {
+		t.Fatal("no partial misses observed on a streaming workload")
+	}
+}
+
+func TestRunConvenience(t *testing.T) {
+	tr, err := workload.Load("gzip", 1, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph == nil {
+		t.Fatal("Run did not keep graph")
+	}
+}

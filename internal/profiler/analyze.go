@@ -1,0 +1,117 @@
+package profiler
+
+import (
+	"fmt"
+	"math"
+
+	"icost/internal/breakdown"
+	"icost/internal/cost"
+	"icost/internal/depgraph"
+	"icost/internal/program"
+	"icost/internal/rng"
+	"icost/internal/stats"
+	"icost/internal/trace"
+)
+
+// Estimate is the profiler's breakdown of execution time: percentages
+// per base category and per focus-pair, aggregated over fragments
+// (each fragment is analyzed with the same cost engine the simulator
+// graphs use; fragment results are combined cycle-weighted).
+type Estimate struct {
+	// Pct maps category labels ("dl1", "dl1+win", ...) to percent of
+	// execution time.
+	Pct map[string]float64
+	// StdErr maps the same labels to the standard error of the
+	// per-fragment percentages — the sampling uncertainty a real
+	// deployment would report alongside each estimate.
+	StdErr map[string]float64
+	// Fragments is the number of fragments analyzed; Attempts the
+	// number tried (attempts - fragments were aborted as
+	// inconsistent).
+	Fragments int
+	Attempts  int
+	// Cycles is the total cycles across analyzed fragments.
+	Cycles int64
+	// MatchedFrac is the fraction of fragment instructions filled
+	// from a detailed sample (the paper reports >98%).
+	MatchedFrac float64
+}
+
+// Analyze builds and analyzes fragments until cfg.Fragments succeed
+// (or 4x that many attempts fail), estimating the focused breakdown
+// with the given focus category.
+func (p *Profiler) Analyze(focus breakdown.Category, cats []breakdown.Category) (*Estimate, error) {
+	r := rng.New(p.cfg.Seed).Derive("analyze")
+	est := &Estimate{Pct: map[string]float64{}, StdErr: map[string]float64{}}
+	sums := map[string]int64{}
+	perFrag := map[string][]float64{}
+	var base int64
+	maxAttempts := p.cfg.Fragments * 4
+	for est.Fragments < p.cfg.Fragments && est.Attempts < maxAttempts {
+		est.Attempts++
+		g, err := p.BuildFragment(r)
+		if err != nil {
+			continue // inconsistent fragment discarded (step 2e)
+		}
+		a := cost.New(g)
+		base += a.BaseTime()
+		record := func(label string, cy int64) {
+			sums[label] += cy
+			perFrag[label] = append(perFrag[label],
+				100*float64(cy)/float64(a.BaseTime()))
+		}
+		for _, c := range cats {
+			record(c.Name, a.Cost(c.Flags))
+		}
+		for _, c := range cats {
+			if c.Flags == focus.Flags {
+				continue
+			}
+			ic, err := a.ICost(focus.Flags, c.Flags)
+			if err != nil {
+				return nil, err
+			}
+			record(focus.Name+"+"+c.Name, ic)
+		}
+		est.Fragments++
+	}
+	if est.Fragments == 0 {
+		return nil, fmt.Errorf("profiler: every fragment was inconsistent (%d attempts)", est.Attempts)
+	}
+	est.Cycles = base
+	for k, v := range sums {
+		est.Pct[k] = 100 * float64(v) / float64(base)
+	}
+	for k, xs := range perFrag {
+		if len(xs) > 1 {
+			est.StdErr[k] = stats.Summarize(xs).Std / math.Sqrt(float64(len(xs)))
+		}
+	}
+	if t := p.Matched + p.Defaulted; t > 0 {
+		est.MatchedFrac = float64(p.Matched) / float64(t)
+	}
+	return est, nil
+}
+
+// Profile is the one-call pipeline: collect samples from a simulated
+// execution, reconstruct fragments, and estimate the breakdown.
+// prog is the binary; g is the dependence graph of the measured
+// portion of tr (built with the given warmup); mcfg the machine's
+// timing parameters.
+func Profile(prog *program.Program, mcfg depgraph.Config, tr *trace.Trace,
+	g *depgraph.Graph, warmup int, cfg Config,
+	focus breakdown.Category, cats []breakdown.Category) (*Estimate, *Profiler, error) {
+	s, err := Collect(tr, g, warmup, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := New(prog, mcfg, s, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	est, err := p.Analyze(focus, cats)
+	if err != nil {
+		return nil, nil, err
+	}
+	return est, p, nil
+}

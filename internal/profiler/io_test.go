@@ -1,0 +1,126 @@
+package profiler
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"icost/internal/breakdown"
+	"icost/internal/depgraph"
+)
+
+func TestSamplesRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	w, _, s := setup(t, "gzip", 20000, 10000, cfg)
+	var buf bytes.Buffer
+	if err := WriteSamples(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSamples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Insts != s.Insts || len(got.Sigs) != len(s.Sigs) {
+		t.Fatalf("insts %d sigs %d", got.Insts, len(got.Sigs))
+	}
+	for i := range s.Sigs {
+		if got.Sigs[i].StartPC != s.Sigs[i].StartPC ||
+			len(got.Sigs[i].Bits) != len(s.Sigs[i].Bits) {
+			t.Fatalf("sig %d differs", i)
+		}
+		for j := range s.Sigs[i].Bits {
+			if got.Sigs[i].Bits[j] != s.Sigs[i].Bits[j] {
+				t.Fatalf("sig %d bit %d differs", i, j)
+			}
+		}
+	}
+	total := func(m *Samples) int {
+		n := 0
+		for _, ds := range m.Details {
+			n += len(ds)
+		}
+		return n
+	}
+	if total(got) != total(s) {
+		t.Fatalf("detail counts %d vs %d", total(got), total(s))
+	}
+	for pc, ds := range s.Details {
+		gds := got.Details[pc]
+		if len(gds) != len(ds) {
+			t.Fatalf("pc %#x count", uint64(pc))
+		}
+		for i := range ds {
+			a, b := ds[i], gds[i]
+			if a.Info != b.Info || a.RELat != b.RELat || a.Taken != b.Taken ||
+				a.Target != b.Target || a.PPDelta != b.PPDelta {
+				t.Fatalf("detail %#x[%d] differs:\n%+v\n%+v", uint64(pc), i, a, b)
+			}
+		}
+	}
+
+	// Analysis over loaded samples matches analysis over originals.
+	cats := breakdown.BaseCategories()
+	run := func(sm *Samples) map[string]float64 {
+		p, err := New(w.Prog, depgraph.DefaultConfig(), sm, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := p.Analyze(cats[0], cats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est.Pct
+	}
+	pa, pb := run(s), run(got)
+	for k, v := range pa {
+		if pb[k] != v {
+			t.Fatalf("estimate %s differs after round trip: %v vs %v", k, v, pb[k])
+		}
+	}
+}
+
+func TestReadSamplesRejectsGarbage(t *testing.T) {
+	if _, err := ReadSamples(strings.NewReader("not samples")); err == nil {
+		t.Fatal("accepted garbage")
+	}
+	if _, err := ReadSamples(strings.NewReader("ICSP\x01")); err == nil {
+		t.Fatal("accepted truncation")
+	}
+}
+
+func TestReadSamplesRejectsTruncation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SigLen = 64
+	cfg.SigInterval = 97
+	_, _, s := setup(t, "gzip", 5000, 2000, cfg)
+	var buf bytes.Buffer
+	if err := WriteSamples(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full) && cut < 4000; cut += 13 {
+		if _, err := ReadSamples(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("accepted truncation at %d", cut)
+		}
+	}
+}
+
+func TestReadSamplesRejectsBadEnums(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SigLen = 64
+	cfg.SigInterval = 97
+	_, _, s := setup(t, "gzip", 5000, 2000, cfg)
+	var buf bytes.Buffer
+	if err := WriteSamples(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Find the first detailed sample's opcode byte and corrupt it to
+	// an invalid value. Rather than computing the offset, corrupt
+	// every byte to 0xEE one at a time and require no panics.
+	for i := 5; i < len(data); i += 17 {
+		mut := append([]byte(nil), data...)
+		mut[i] = 0xEE
+		_, _ = ReadSamples(bytes.NewReader(mut)) // must not panic
+	}
+}

@@ -1,0 +1,233 @@
+// Package profiler implements the paper's shotgun profiler
+// (Section 5): performance-monitoring hardware cheap enough for real
+// processors, plus a post-mortem software algorithm that stitches the
+// hardware's samples into dependence-graph fragments which are then
+// analyzed exactly like simulator-built graphs.
+//
+// The hardware collects two kinds of samples (Figure 4a):
+//
+//   - Signature samples: a start PC plus two signature bits (Table 5)
+//     for each of the next SigLen dynamic instructions — long and
+//     narrow, identifying a microexecution path.
+//   - Detailed samples: complete latency/dependence information for a
+//     single dynamic instruction, plus signature bits for Context
+//     instructions before and after — short and wide.
+//
+// Software reconstruction (Figure 5a) picks a signature sample as the
+// skeleton, infers each instruction's PC from the binary and the
+// signature bits (direct branches take bit 1 as the direction; call
+// targets and fall-throughs come from the binary; returns use a
+// reconstructed return-address stack; indirect targets come from the
+// matched detailed sample), selects for each PC the detailed sample
+// whose surrounding signature bits best match the skeleton, and
+// assembles a depgraph.Graph fragment. Fragments whose reconstructed
+// instruction types are impossible for the recorded signature bits
+// are aborted (step 2e), which discards most mis-stitched paths.
+//
+// In this repository the "hardware" observes a simulated execution:
+// Collect samples a finished simulation the same way the proposed
+// monitor would sample a live pipeline.
+package profiler
+
+import (
+	"fmt"
+
+	"icost/internal/cache"
+	"icost/internal/depgraph"
+	"icost/internal/isa"
+	"icost/internal/rng"
+	"icost/internal/trace"
+)
+
+// SigBits is one instruction's two signature bits (Table 5), stored
+// in the low bits: bit 0 — taken branch or load/store, reset when the
+// access misses the L2; bit 1 — any icache/dcache/TLB miss.
+type SigBits uint8
+
+// Bit masks within SigBits.
+const (
+	// SigCtrlMem is Table 5's bit 1.
+	SigCtrlMem SigBits = 1 << 0
+	// SigMiss is Table 5's bit 2.
+	SigMiss SigBits = 1 << 1
+)
+
+// sigOf computes an instruction's signature bits from its graph
+// annotation and branch outcome.
+func sigOf(info *depgraph.InstInfo, taken bool) SigBits {
+	var s SigBits
+	memL2Miss := info.Op.IsMem() && info.DataLevel == cache.LevelMem
+	if (info.Op.IsBranch() && taken) || info.Op.IsMem() {
+		if !memL2Miss {
+			s |= SigCtrlMem
+		}
+	}
+	if info.ILevel != cache.LevelL1 || info.ITLBMiss || info.DTLBMiss ||
+		(info.Op.IsMem() && info.DataLevel != cache.LevelL1) {
+		s |= SigMiss
+	}
+	return s
+}
+
+// matchBits counts identical bits between two signature values (0-2).
+func matchBits(a, b SigBits) int {
+	n := 0
+	if a&SigCtrlMem == b&SigCtrlMem {
+		n++
+	}
+	if a&SigMiss == b&SigMiss {
+		n++
+	}
+	return n
+}
+
+// Config sizes the monitor and the reconstruction.
+type Config struct {
+	// SigLen is the number of instructions covered by one signature
+	// sample (the paper uses 1000).
+	SigLen int
+	// SigInterval is the spacing, in dynamic instructions, between
+	// signature-sample starts.
+	SigInterval int
+	// DetailInterval is the spacing between detailed samples (the
+	// hardware records at most one instruction at a time).
+	DetailInterval int
+	// Context is the number of instructions of signature bits kept
+	// before and after each detailed sample (the paper uses 10).
+	Context int
+	// Fragments is how many skeletons the analysis stitches.
+	Fragments int
+	// SignatureBits is 2 for the paper's design or 1 to ablate the
+	// miss bit (signatures then carry only the control/memory bit,
+	// degrading detailed-sample matching).
+	SignatureBits int
+	// Seed drives sample phasing and skeleton selection.
+	Seed uint64
+}
+
+// DefaultConfig mirrors the paper's design points, scaled for traces
+// of tens of thousands of instructions instead of billions.
+func DefaultConfig() Config {
+	return Config{
+		SigLen:         1000,
+		SigInterval:    611, // deliberately coprime-ish with loop lengths
+		DetailInterval: 3,
+		Context:        10,
+		Fragments:      40,
+		SignatureBits:  2,
+		Seed:           1,
+	}
+}
+
+// Validate rejects nonsensical parameters.
+func (c *Config) Validate() error {
+	switch {
+	case c.SigLen < 16:
+		return fmt.Errorf("profiler: SigLen must be >= 16")
+	case c.SigInterval < 1 || c.DetailInterval < 1:
+		return fmt.Errorf("profiler: intervals must be >= 1")
+	case c.Context < 1 || c.Context > c.SigLen:
+		return fmt.Errorf("profiler: Context outside [1, SigLen]")
+	case c.Fragments < 1:
+		return fmt.Errorf("profiler: Fragments must be >= 1")
+	case c.SignatureBits < 1 || c.SignatureBits > 2:
+		return fmt.Errorf("profiler: SignatureBits must be 1 or 2")
+	}
+	return nil
+}
+
+// SignatureSample is the long, narrow sample: where a microexecution
+// path began and its per-instruction signature bits.
+type SignatureSample struct {
+	StartPC isa.Addr
+	Bits    []SigBits
+}
+
+// DetailedSample is the short, wide sample for one dynamic
+// instruction: measured latencies and outcomes, the observed
+// control-flow target (needed to walk through indirect jumps and
+// returns), and surrounding signature bits used for matching.
+type DetailedSample struct {
+	PC     isa.Addr
+	Info   depgraph.InstInfo
+	RELat  int32
+	Taken  bool
+	Target isa.Addr
+	// PPDelta is the distance back to this load's cache-line miss
+	// leader (0 = none) — the dynamically-collected PP dependence.
+	PPDelta int32
+	// Before and After are the signature bits of the Context
+	// instructions preceding and following the sampled one.
+	Before, After []SigBits
+}
+
+// Samples is everything the hardware handed to software.
+type Samples struct {
+	Sigs    []SignatureSample
+	Details map[isa.Addr][]DetailedSample
+	// Insts is how many dynamic instructions were observed.
+	Insts int
+}
+
+// Collect simulates the hardware monitors over a finished simulation:
+// g must be the dependence graph of the measured portion of tr (built
+// by ooo.Simulate with the given warmup).
+func Collect(tr *trace.Trace, g *depgraph.Graph, warmup int, cfg Config) (*Samples, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.Len()
+	if warmup < 0 || warmup+n > tr.Len() {
+		return nil, fmt.Errorf("profiler: graph of %d insts with warmup %d exceeds trace of %d",
+			n, warmup, tr.Len())
+	}
+	r := rng.New(cfg.Seed).Derive("collect")
+	// Precompute every instruction's signature bits once.
+	mask := SigCtrlMem | SigMiss
+	if cfg.SignatureBits == 1 {
+		mask = SigCtrlMem
+	}
+	bits := make([]SigBits, n)
+	for i := 0; i < n; i++ {
+		bits[i] = sigOf(&g.Info[i], tr.Insts[warmup+i].Taken) & mask
+	}
+	s := &Samples{Details: map[isa.Addr][]DetailedSample{}, Insts: n}
+	// Signature samples at randomly-phased regular intervals.
+	for start := r.Intn(cfg.SigInterval); start+cfg.SigLen <= n; start += cfg.SigInterval {
+		s.Sigs = append(s.Sigs, SignatureSample{
+			StartPC: tr.PC(warmup + start),
+			Bits:    append([]SigBits(nil), bits[start:start+cfg.SigLen]...),
+		})
+	}
+	// Sparse detailed samples, one instruction at a time.
+	for i := r.Intn(cfg.DetailInterval); i < n; i += cfg.DetailInterval {
+		d := DetailedSample{
+			PC:    tr.PC(warmup + i),
+			Info:  g.Info[i],
+			RELat: g.RELat[i],
+			Taken: tr.Insts[warmup+i].Taken,
+		}
+		if g.Info[i].Op.IsBranch() {
+			d.Target = tr.Insts[warmup+i].Target
+		}
+		if l := g.PPLeader[i]; l >= 0 {
+			d.PPDelta = int32(i) - l
+		}
+		lo := i - cfg.Context
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + 1 + cfg.Context
+		if hi > n {
+			hi = n
+		}
+		d.Before = append([]SigBits(nil), bits[lo:i]...)
+		d.After = append([]SigBits(nil), bits[i+1:hi]...)
+		s.Details[d.PC] = append(s.Details[d.PC], d)
+	}
+	if len(s.Sigs) == 0 {
+		return nil, fmt.Errorf("profiler: trace too short for any signature sample (n=%d, SigLen=%d)",
+			n, cfg.SigLen)
+	}
+	return s, nil
+}

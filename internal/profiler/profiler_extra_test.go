@@ -1,0 +1,137 @@
+package profiler
+
+import (
+	"testing"
+
+	"icost/internal/breakdown"
+	"icost/internal/depgraph"
+	"icost/internal/ooo"
+	"icost/internal/rng"
+	"icost/internal/workload"
+)
+
+func TestOneBitSignaturesStillWork(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SignatureBits = 1
+	cfg.Fragments = 8
+	w, _, s := setup(t, "gzip", 25000, 10000, cfg)
+	p, err := New(w.Prog, depgraph.DefaultConfig(), s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats := breakdown.BaseCategories()
+	est, err := p.Analyze(cats[0], cats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Fragments == 0 {
+		t.Fatal("1-bit signatures built no fragments")
+	}
+	// With 1-bit signatures, the collected skeleton bits must never
+	// carry the miss bit.
+	for _, sig := range s.Sigs {
+		for _, b := range sig.Bits {
+			if b&SigMiss != 0 {
+				t.Fatal("miss bit present in 1-bit signatures")
+			}
+		}
+	}
+}
+
+func TestSignatureBitsValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SignatureBits = 3
+	if cfg.Validate() == nil {
+		t.Fatal("accepted 3-bit signatures")
+	}
+	cfg.SignatureBits = 0
+	if cfg.Validate() == nil {
+		t.Fatal("accepted 0-bit signatures")
+	}
+}
+
+func TestDenserDetailSamplingImprovesMatching(t *testing.T) {
+	sparse := DefaultConfig()
+	sparse.DetailInterval = 31
+	sparse.Fragments = 10
+	dense := DefaultConfig()
+	dense.DetailInterval = 2
+	dense.Fragments = 10
+
+	matched := func(cfg Config) float64 {
+		w, _, s := setup(t, "parser", 25000, 10000, cfg)
+		p, err := New(w.Prog, depgraph.DefaultConfig(), s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cats := breakdown.BaseCategories()
+		est, err := p.Analyze(cats[0], cats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est.MatchedFrac
+	}
+	ms, md := matched(sparse), matched(dense)
+	if md <= ms {
+		t.Fatalf("denser sampling did not improve matching: %.2f vs %.2f", md, ms)
+	}
+}
+
+func TestFragmentsDeterministicPerSeed(t *testing.T) {
+	cfg := DefaultConfig()
+	w, _, s := setup(t, "gzip", 22000, 10000, cfg)
+	build := func() *depgraph.Graph {
+		p, err := New(w.Prog, depgraph.DefaultConfig(), s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(99)
+		for {
+			g, err := p.BuildFragment(r)
+			if err == nil {
+				return g
+			}
+		}
+	}
+	a, b := build(), build()
+	if a.Len() != b.Len() {
+		t.Fatal("fragment lengths differ")
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Info[i] != b.Info[i] || a.Prod1[i] != b.Prod1[i] {
+			t.Fatalf("fragments diverge at %d", i)
+		}
+	}
+}
+
+func TestProfilerUsesMachineConfig(t *testing.T) {
+	// Fragments must be evaluated with the machine's timing: a
+	// 4-cycle-dl1 machine's fragments show a higher dl1 percentage
+	// than a 1-cycle machine's on a load-bound benchmark.
+	pct := func(dl1 int) float64 {
+		mc := ooo.DefaultConfig().WithDL1Latency(dl1)
+		w, err := workload.New("gzip", 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := w.Execute(30000, 43)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ooo.Simulate(tr, mc, ooo.Options{KeepGraph: true, Warmup: 10000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Fragments = 8
+		cats := breakdown.BaseCategories()
+		est, _, err := Profile(w.Prog, mc.Graph, tr, res.Graph, 10000, cfg, cats[0], cats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est.Pct["dl1"]
+	}
+	if lo, hi := pct(1), pct(4); hi <= lo {
+		t.Fatalf("dl1 pct did not grow with latency: %.1f vs %.1f", lo, hi)
+	}
+}

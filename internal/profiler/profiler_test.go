@@ -1,0 +1,295 @@
+package profiler
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"icost/internal/breakdown"
+	"icost/internal/cache"
+	"icost/internal/cost"
+	"icost/internal/depgraph"
+	"icost/internal/isa"
+	"icost/internal/ooo"
+	"icost/internal/rng"
+	"icost/internal/workload"
+)
+
+func TestSignatureBitsTable5(t *testing.T) {
+	mk := func(op isa.Op, lvl cache.Level, dtlb bool, ilvl cache.Level) depgraph.InstInfo {
+		return depgraph.InstInfo{Op: op, DataLevel: lvl, DTLBMiss: dtlb, ILevel: ilvl}
+	}
+	cases := []struct {
+		name  string
+		info  depgraph.InstInfo
+		taken bool
+		want  SigBits
+	}{
+		{"plain add", mk(isa.OpIntShort, 0, false, 0), false, 0},
+		{"L1-hit load", mk(isa.OpLoad, cache.LevelL1, false, 0), false, SigCtrlMem},
+		{"L2-hit load", mk(isa.OpLoad, cache.LevelL2, false, 0), false, SigCtrlMem | SigMiss},
+		{"memory-miss load (bit1 reset)", mk(isa.OpLoad, cache.LevelMem, false, 0), false, SigMiss},
+		{"store hit", mk(isa.OpStore, cache.LevelL1, false, 0), false, SigCtrlMem},
+		{"taken branch", mk(isa.OpBranch, 0, false, 0), true, SigCtrlMem},
+		{"untaken branch", mk(isa.OpBranch, 0, false, 0), false, 0},
+		{"dtlb miss add?? (load)", mk(isa.OpLoad, cache.LevelL1, true, 0), false, SigCtrlMem | SigMiss},
+		{"icache-missing add", mk(isa.OpIntShort, 0, false, cache.LevelL2), false, SigMiss},
+		{"taken jump", mk(isa.OpJump, 0, false, 0), true, SigCtrlMem},
+	}
+	for _, c := range cases {
+		if got := sigOf(&c.info, c.taken); got != c.want {
+			t.Errorf("%s: sig = %b, want %b", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMatchBits(t *testing.T) {
+	if matchBits(0, 0) != 2 || matchBits(SigCtrlMem, SigCtrlMem) != 2 {
+		t.Fatal("identical bits should score 2")
+	}
+	if matchBits(SigCtrlMem, 0) != 1 || matchBits(SigMiss, 0) != 1 {
+		t.Fatal("one differing bit should score 1")
+	}
+	if matchBits(SigCtrlMem, SigMiss) != 0 {
+		t.Fatal("both differing should score 0")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []func(*Config){
+		func(c *Config) { c.SigLen = 4 },
+		func(c *Config) { c.SigInterval = 0 },
+		func(c *Config) { c.DetailInterval = 0 },
+		func(c *Config) { c.Context = 0 },
+		func(c *Config) { c.Fragments = 0 },
+	}
+	for i, mod := range bads {
+		c := DefaultConfig()
+		mod(&c)
+		if c.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// setup simulates a benchmark and collects samples.
+func setup(t *testing.T, bench string, n, warmup int, cfg Config) (*workload.Workload, *ooo.Result, *Samples) {
+	t.Helper()
+	w, err := workload.New(bench, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := w.Execute(warmup+n, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ooo.Simulate(tr, ooo.DefaultConfig(), ooo.Options{KeepGraph: true, Warmup: warmup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Collect(tr, res.Graph, warmup, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, res, s
+}
+
+func TestCollectShapes(t *testing.T) {
+	cfg := DefaultConfig()
+	_, _, s := setup(t, "gzip", 20000, 10000, cfg)
+	if s.Insts != 20000 {
+		t.Fatalf("observed %d insts", s.Insts)
+	}
+	if len(s.Sigs) < 20 {
+		t.Fatalf("only %d signature samples", len(s.Sigs))
+	}
+	for _, sig := range s.Sigs {
+		if len(sig.Bits) != cfg.SigLen {
+			t.Fatalf("signature of %d bits", len(sig.Bits))
+		}
+	}
+	total := 0
+	for _, ds := range s.Details {
+		total += len(ds)
+		for _, d := range ds {
+			if len(d.Before) > cfg.Context || len(d.After) > cfg.Context {
+				t.Fatal("context too long")
+			}
+		}
+	}
+	wantDetails := 20000 / cfg.DetailInterval
+	if total < wantDetails*8/10 || total > wantDetails*12/10 {
+		t.Fatalf("%d detailed samples, expected about %d", total, wantDetails)
+	}
+}
+
+func TestCollectErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	w, _ := workload.New("gzip", 1)
+	tr := w.MustExecute(500, 2)
+	res, err := ooo.Run(tr, ooo.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collect(tr, res.Graph, 0, cfg); err == nil {
+		t.Fatal("accepted trace shorter than SigLen")
+	}
+	if _, err := Collect(tr, res.Graph, 100, cfg); err == nil {
+		t.Fatal("accepted warmup/graph mismatch")
+	}
+	bad := cfg
+	bad.SigLen = 0
+	if _, err := Collect(tr, res.Graph, 0, bad); err == nil {
+		t.Fatal("accepted invalid config")
+	}
+}
+
+func TestBuildFragmentWalksBinary(t *testing.T) {
+	cfg := DefaultConfig()
+	w, _, s := setup(t, "gzip", 20000, 10000, cfg)
+	p, err := New(w.Prog, depgraph.DefaultConfig(), s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	built := 0
+	for i := 0; i < 20 && built < 5; i++ {
+		g, err := p.BuildFragment(r)
+		if err != nil {
+			if !errors.Is(err, errInconsistent) {
+				t.Fatalf("unexpected error kind: %v", err)
+			}
+			continue
+		}
+		built++
+		if g.Len() != cfg.SigLen {
+			t.Fatalf("fragment length %d", g.Len())
+		}
+		// Every reconstructed instruction must reference a valid
+		// static index.
+		for i := 0; i < g.Len(); i++ {
+			if g.Info[i].SIdx < 0 || int(g.Info[i].SIdx) >= w.Prog.Len() {
+				t.Fatalf("fragment inst %d has static index %d", i, g.Info[i].SIdx)
+			}
+		}
+	}
+	if built == 0 {
+		t.Fatal("no fragment could be built")
+	}
+	if p.Matched == 0 {
+		t.Fatal("no instruction was filled from a detailed sample")
+	}
+}
+
+func TestFragmentMostlyMatched(t *testing.T) {
+	cfg := DefaultConfig()
+	w, _, s := setup(t, "gzip", 30000, 10000, cfg)
+	p, err := New(w.Prog, depgraph.DefaultConfig(), s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := p.Analyze(breakdown.BaseCategories()[0], breakdown.BaseCategories())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports matched fractions >98% after sampling
+	// billions of instructions; at our tens-of-thousands scale the
+	// cold tail of PCs is proportionally larger, so require 80%.
+	if est.MatchedFrac < 0.8 {
+		t.Fatalf("matched fraction %.2f", est.MatchedFrac)
+	}
+}
+
+func TestProfilerTracksGraphAnalysis(t *testing.T) {
+	// The core Table 7 claim: the profiler's breakdown approximates
+	// the full-graph breakdown. Check the dominant categories agree
+	// within a loose band on two contrasting benchmarks.
+	for _, bench := range []string{"gzip", "mcf"} {
+		cfg := DefaultConfig()
+		w, res, s := setup(t, bench, 40000, 20000, cfg)
+		p, err := New(w.Prog, ooo.DefaultConfig().Graph, s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cats := breakdown.BaseCategories()
+		est, err := p.Analyze(cats[0], cats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ga := cost.New(res.Graph)
+		for _, c := range cats {
+			want := 100 * float64(ga.Cost(c.Flags)) / float64(ga.BaseTime())
+			got := est.Pct[c.Name]
+			if math.Abs(got-want) > 15 {
+				t.Errorf("%s %s: profiler %.1f%% vs fullgraph %.1f%%", bench, c.Name, got, want)
+			}
+		}
+	}
+}
+
+func TestProfileOneCall(t *testing.T) {
+	w, err := workload.New("parser", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := w.MustExecute(30000, 43)
+	res, err := ooo.Simulate(tr, ooo.DefaultConfig(), ooo.Options{KeepGraph: true, Warmup: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats := breakdown.BaseCategories()
+	est, p, err := Profile(w.Prog, ooo.DefaultConfig().Graph, tr, res.Graph, 10000,
+		DefaultConfig(), cats[0], cats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Fragments == 0 || p.Built != est.Fragments {
+		t.Fatalf("fragments %d, built %d", est.Fragments, p.Built)
+	}
+	if _, ok := est.Pct["dl1+win"]; !ok {
+		t.Fatal("missing pair estimate")
+	}
+}
+
+func TestInconsistencyDetection(t *testing.T) {
+	// Corrupt a signature sample so its path walks into instructions
+	// whose types contradict the bits; the reconstruction must abort
+	// rather than return a bogus fragment.
+	cfg := DefaultConfig()
+	w, _, s := setup(t, "gcc", 20000, 10000, cfg)
+	// Set bit1 on every slot: the first non-mem non-branch slot must
+	// trigger an abort.
+	bad := s.Sigs[0]
+	for i := range bad.Bits {
+		bad.Bits[i] |= SigCtrlMem
+	}
+	s.Sigs = []SignatureSample{bad}
+	p, err := New(w.Prog, depgraph.DefaultConfig(), s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.BuildFragment(rng.New(1)); !errors.Is(err, errInconsistent) {
+		t.Fatalf("expected inconsistency abort, got %v", err)
+	}
+}
+
+func TestAnalyzeAllInconsistentFails(t *testing.T) {
+	cfg := DefaultConfig()
+	w, _, s := setup(t, "gcc", 20000, 10000, cfg)
+	bad := s.Sigs[0]
+	for i := range bad.Bits {
+		bad.Bits[i] |= SigCtrlMem
+	}
+	s.Sigs = []SignatureSample{bad}
+	p, err := New(w.Prog, depgraph.DefaultConfig(), s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Analyze(breakdown.BaseCategories()[0], breakdown.BaseCategories()); err == nil {
+		t.Fatal("Analyze succeeded with only inconsistent fragments")
+	}
+}

@@ -1,0 +1,223 @@
+package profiler
+
+import (
+	"fmt"
+
+	"icost/internal/cache"
+	"icost/internal/depgraph"
+	"icost/internal/isa"
+	"icost/internal/program"
+	"icost/internal/rng"
+)
+
+// Profiler stitches samples into graph fragments and analyzes them.
+type Profiler struct {
+	prog *program.Program
+	mcfg depgraph.Config
+	s    *Samples
+	cfg  Config
+	mask SigBits // signature width (SignatureBits ablation)
+
+	// Stats accumulated across BuildFragment calls.
+	Built     int // fragments successfully built
+	Aborted   int // fragments discarded by the inconsistency check
+	Matched   int // instructions filled from a detailed sample
+	Defaulted int // instructions filled from binary + defaults
+}
+
+// New readies a profiler over collected samples. prog is the binary
+// (used for PC inference and static information, Figure 5b) and mcfg
+// the machine's timing parameters.
+func New(prog *program.Program, mcfg depgraph.Config, s *Samples, cfg Config) (*Profiler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := mcfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(s.Sigs) == 0 {
+		return nil, fmt.Errorf("profiler: no signature samples")
+	}
+	mask := SigCtrlMem | SigMiss
+	if cfg.SignatureBits == 1 {
+		mask = SigCtrlMem
+	}
+	return &Profiler{prog: prog, mcfg: mcfg, s: s, cfg: cfg, mask: mask}, nil
+}
+
+// errInconsistent aborts a fragment (Figure 5a step 2e).
+var errInconsistent = fmt.Errorf("profiler: inconsistent fragment")
+
+// BuildFragment implements Figure 5a: select a random signature
+// sample as the skeleton and fill it with detailed samples. It
+// returns errInconsistent (wrapped) when the reconstruction walks an
+// impossible path.
+func (p *Profiler) BuildFragment(r *rng.Rand) (*depgraph.Graph, error) {
+	skel := &p.s.Sigs[r.Intn(len(p.s.Sigs))]
+	n := len(skel.Bits)
+	g := depgraph.New(p.mcfg, n)
+
+	var lastWriter [isa.NumRegs]int32
+	for i := range lastWriter {
+		lastWriter[i] = -1
+	}
+	var ras []isa.Addr
+
+	pc := skel.StartPC
+	for i := 0; i < n; i++ {
+		in := p.prog.Lookup(pc)
+		if in == nil {
+			p.Aborted++
+			return nil, fmt.Errorf("%w: PC %#x outside binary", errInconsistent, uint64(pc))
+		}
+		sb := skel.Bits[i]
+
+		// Step 2e: impossible signature bits for this instruction
+		// type mean the walk left the path the signature recorded.
+		if sb&SigCtrlMem != 0 && !in.Op.IsMem() && !in.Op.IsBranch() {
+			p.Aborted++
+			return nil, fmt.Errorf("%w: bit1 set for %v at slot %d", errInconsistent, in.Op, i)
+		}
+
+		// Steps 2a-2b: best-matching detailed sample for this PC.
+		ds := p.bestSample(pc, skel.Bits, i)
+
+		// Step 2c: append this instruction's nodes and edges.
+		taken := p.fillRow(g, i, in, sb, ds)
+
+		// Producers (PR edges) are inferred statically by scanning
+		// the reconstructed fragment for the last writer (Fig 5b:
+		// register dependences are collected statically).
+		var srcs [2]isa.Reg
+		ns := 0
+		if in.Src1 != isa.NoReg && in.Src1 != isa.RZero {
+			srcs[ns] = in.Src1
+			ns++
+		}
+		if in.Src2 != isa.NoReg && in.Src2 != isa.RZero {
+			srcs[ns] = in.Src2
+			ns++
+		}
+		if ns > 0 {
+			g.Prod1[i] = lastWriter[srcs[0]]
+		}
+		if ns > 1 {
+			g.Prod2[i] = lastWriter[srcs[1]]
+		}
+		if in.HasDst() {
+			lastWriter[in.Dst] = int32(i)
+		}
+
+		// Step 2d: the next PC.
+		next, err := p.nextPC(in, taken, ds, &ras)
+		if err != nil {
+			p.Aborted++
+			return nil, err
+		}
+		pc = next
+	}
+	p.Built++
+	return g, nil
+}
+
+// bestSample returns the detailed sample for pc whose surrounding
+// signature bits most closely match the skeleton around slot, or nil
+// when the PC has no samples.
+func (p *Profiler) bestSample(pc isa.Addr, bits []SigBits, slot int) *DetailedSample {
+	cands := p.s.Details[pc]
+	if len(cands) == 0 {
+		return nil
+	}
+	best, bestScore := -1, -1
+	for ci := range cands {
+		d := &cands[ci]
+		score := matchBits(sigOf(&d.Info, d.Taken)&p.mask, bits[slot]) * 2 // own slot counts double
+		for j, b := range d.Before {
+			k := slot - len(d.Before) + j
+			if k >= 0 {
+				score += matchBits(b&p.mask, bits[k])
+			}
+		}
+		for j, a := range d.After {
+			k := slot + 1 + j
+			if k < len(bits) {
+				score += matchBits(a&p.mask, bits[k])
+			}
+		}
+		if score > bestScore {
+			best, bestScore = ci, score
+		}
+	}
+	return &cands[best]
+}
+
+// fillRow populates the fragment's row i from the matched sample (or
+// binary defaults when none exists) and returns the inferred branch
+// direction.
+func (p *Profiler) fillRow(g *depgraph.Graph, i int, in *isa.Inst, sb SigBits, ds *DetailedSample) bool {
+	taken := in.Op.IsBranch() && !in.Op.IsCondBranch() // unconditional transfers
+	if in.Op.IsCondBranch() {
+		// Direction from the signature (Fig 5a step 2d2): bit 1 set
+		// means a taken branch.
+		taken = sb&SigCtrlMem != 0
+	}
+	if ds != nil {
+		p.Matched++
+		info := ds.Info
+		info.Op = in.Op // the binary is authoritative for the opcode
+		info.SIdx = int32(p.prog.IndexOf(in.PC))
+		g.Info[i] = info
+		g.RELat[i] = ds.RELat
+		if ds.PPDelta > 0 && int32(i)-ds.PPDelta >= 0 {
+			g.PPLeader[i] = int32(i) - ds.PPDelta
+		}
+		// The sample's mispredict flag is kept; direction comes from
+		// the skeleton so the walk follows the signature's path.
+		return taken
+	}
+	// No detailed sample (paper: <2% of instructions): infer what the
+	// binary offers and default the rest, guided by the signature's
+	// miss bit.
+	p.Defaulted++
+	info := depgraph.InstInfo{Op: in.Op, SIdx: int32(p.prog.IndexOf(in.PC))}
+	if in.Op.IsMem() && sb&SigMiss != 0 {
+		info.DataLevel = cache.LevelL2
+	}
+	g.Info[i] = info
+	return taken
+}
+
+// nextPC implements Figure 5a step 2d.
+func (p *Profiler) nextPC(in *isa.Inst, taken bool, ds *DetailedSample, ras *[]isa.Addr) (isa.Addr, error) {
+	switch in.Op {
+	case isa.OpBranch:
+		if taken {
+			return in.Target, nil
+		}
+		return in.NextPC(), nil
+	case isa.OpJump:
+		return in.Target, nil
+	case isa.OpCall:
+		*ras = append(*ras, in.NextPC())
+		return in.Target, nil
+	case isa.OpReturn:
+		if len(*ras) > 0 {
+			t := (*ras)[len(*ras)-1]
+			*ras = (*ras)[:len(*ras)-1]
+			return t, nil
+		}
+		// Stack empty (the call happened before the fragment): fall
+		// back on the observed target in the detailed sample.
+		if ds != nil && ds.Target != 0 {
+			return ds.Target, nil
+		}
+		return 0, fmt.Errorf("%w: return with empty stack and no sample target", errInconsistent)
+	case isa.OpJumpIndirect:
+		if ds != nil && ds.Target != 0 {
+			return ds.Target, nil
+		}
+		return 0, fmt.Errorf("%w: indirect jump without sampled target", errInconsistent)
+	default:
+		return in.NextPC(), nil
+	}
+}

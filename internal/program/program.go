@@ -1,0 +1,244 @@
+// Package program represents static programs: a code region of
+// fixed-size instructions addressed by PC, organized into basic
+// blocks. The shotgun profiler (package profiler) uses a Program as
+// "the binary" for its static inference: looking up instruction
+// types, computing direct-branch targets, and validating signature
+// bits against instruction classes (paper Figure 5a/5b).
+package program
+
+import (
+	"fmt"
+
+	"icost/internal/isa"
+)
+
+// CodeBase is the address of the first instruction in every Program.
+// A non-zero base catches accidental PC/index confusion in tests.
+const CodeBase isa.Addr = 0x1000
+
+// Program is an immutable static program.
+type Program struct {
+	insts []isa.Inst
+	// blocks records basic-block entry indices, sorted ascending.
+	blocks []int
+}
+
+// New builds a Program from instructions laid out contiguously from
+// CodeBase. It assigns PCs, overriding whatever PCs the caller set.
+// blockStarts lists the indices of basic-block entry instructions
+// (index 0 is implicitly an entry).
+func New(insts []isa.Inst, blockStarts []int) *Program {
+	p := &Program{insts: append([]isa.Inst(nil), insts...)}
+	for i := range p.insts {
+		p.insts[i].PC = CodeBase + isa.Addr(i*isa.InstBytes)
+	}
+	seen := map[int]bool{0: true}
+	p.blocks = []int{0}
+	for _, b := range blockStarts {
+		if b > 0 && b < len(insts) && !seen[b] {
+			seen[b] = true
+			p.blocks = append(p.blocks, b)
+		}
+	}
+	sortInts(p.blocks)
+	return p
+}
+
+func sortInts(a []int) {
+	// Insertion sort: block lists are built nearly sorted.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Len returns the number of static instructions.
+func (p *Program) Len() int { return len(p.insts) }
+
+// PCOf returns the PC of the instruction at index i.
+func (p *Program) PCOf(i int) isa.Addr {
+	return CodeBase + isa.Addr(i*isa.InstBytes)
+}
+
+// IndexOf returns the instruction index for pc, or -1 if pc is not a
+// valid instruction address.
+func (p *Program) IndexOf(pc isa.Addr) int {
+	if pc < CodeBase {
+		return -1
+	}
+	off := uint64(pc - CodeBase)
+	if off%isa.InstBytes != 0 {
+		return -1
+	}
+	i := int(off / isa.InstBytes)
+	if i >= len(p.insts) {
+		return -1
+	}
+	return i
+}
+
+// At returns the instruction at index i. The returned pointer aliases
+// the program's storage; callers must not mutate it.
+func (p *Program) At(i int) *isa.Inst { return &p.insts[i] }
+
+// Lookup returns the instruction at pc, or nil if pc is invalid. This
+// is the profiler's "consult the binary" primitive.
+func (p *Program) Lookup(pc isa.Addr) *isa.Inst {
+	i := p.IndexOf(pc)
+	if i < 0 {
+		return nil
+	}
+	return &p.insts[i]
+}
+
+// Blocks returns the basic-block entry indices (ascending; first is 0).
+func (p *Program) Blocks() []int { return p.blocks }
+
+// CodeBytes returns the footprint of the code region in bytes,
+// which determines instruction-cache behaviour.
+func (p *Program) CodeBytes() int { return len(p.insts) * isa.InstBytes }
+
+// Validate checks structural well-formedness: every direct control
+// transfer targets a valid instruction PC, sources/destinations are
+// valid registers, and returns/indirect jumps carry no static target.
+// The workload generator runs this on every program it emits.
+func (p *Program) Validate() error {
+	validReg := func(r isa.Reg) bool { return r == isa.NoReg || r < isa.NumRegs }
+	for i := range p.insts {
+		in := &p.insts[i]
+		if in.Op >= isa.NumOps {
+			return fmt.Errorf("inst %d: invalid opcode %d", i, in.Op)
+		}
+		if !validReg(in.Dst) || !validReg(in.Src1) || !validReg(in.Src2) {
+			return fmt.Errorf("inst %d (%v): invalid register", i, in)
+		}
+		switch in.Op {
+		case isa.OpBranch, isa.OpJump, isa.OpCall:
+			if p.IndexOf(in.Target) < 0 {
+				return fmt.Errorf("inst %d (%v): direct target %#x outside program",
+					i, in, uint64(in.Target))
+			}
+		case isa.OpLoad:
+			if in.Src1 == isa.NoReg {
+				return fmt.Errorf("inst %d (%v): load without address base", i, in)
+			}
+			if !in.HasDst() {
+				return fmt.Errorf("inst %d (%v): load without destination", i, in)
+			}
+		case isa.OpStore:
+			if in.Src2 == isa.NoReg {
+				return fmt.Errorf("inst %d (%v): store without address base", i, in)
+			}
+		case isa.OpJumpIndirect:
+			if in.Src1 == isa.NoReg {
+				return fmt.Errorf("inst %d (%v): indirect jump without source", i, in)
+			}
+		}
+	}
+	for _, b := range p.blocks {
+		if b < 0 || b >= len(p.insts) {
+			return fmt.Errorf("block entry %d outside program", b)
+		}
+	}
+	return nil
+}
+
+// Builder incrementally assembles a Program. Targets may be recorded
+// symbolically (by instruction index) and are resolved to PCs when
+// Build is called, so forward branches are easy to emit.
+type Builder struct {
+	insts   []isa.Inst
+	blocks  []int
+	fixups  []fixup
+	labels  map[string]int
+	pending map[string][]int // instruction indices awaiting a label
+}
+
+type fixup struct {
+	inst   int // index of the branch instruction
+	target int // index of the target instruction
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		labels:  map[string]int{},
+		pending: map[string][]int{},
+	}
+}
+
+// Len returns the number of instructions emitted so far (the index the
+// next Emit will use).
+func (b *Builder) Len() int { return len(b.insts) }
+
+// Emit appends an instruction and returns its index.
+func (b *Builder) Emit(in isa.Inst) int {
+	b.insts = append(b.insts, in)
+	return len(b.insts) - 1
+}
+
+// StartBlock marks the next emitted instruction as a basic-block entry.
+func (b *Builder) StartBlock() {
+	b.blocks = append(b.blocks, len(b.insts))
+}
+
+// Label associates name with the next emitted instruction and starts a
+// block there. Branches already emitted toward the label are fixed up.
+func (b *Builder) Label(name string) {
+	idx := len(b.insts)
+	b.labels[name] = idx
+	b.StartBlock()
+	for _, i := range b.pending[name] {
+		b.fixups = append(b.fixups, fixup{inst: i, target: idx})
+	}
+	delete(b.pending, name)
+}
+
+// BranchTo emits a direct control transfer (op must be OpBranch,
+// OpJump or OpCall) whose target is the instruction at index target.
+func (b *Builder) BranchTo(op isa.Op, src1, src2 isa.Reg, target int) int {
+	i := b.Emit(isa.Inst{Op: op, Dst: isa.NoReg, Src1: src1, Src2: src2})
+	b.fixups = append(b.fixups, fixup{inst: i, target: target})
+	return i
+}
+
+// BranchToLabel emits a direct control transfer to a label that may
+// not exist yet.
+func (b *Builder) BranchToLabel(op isa.Op, src1, src2 isa.Reg, label string) int {
+	i := b.Emit(isa.Inst{Op: op, Dst: isa.NoReg, Src1: src1, Src2: src2})
+	if idx, ok := b.labels[label]; ok {
+		b.fixups = append(b.fixups, fixup{inst: i, target: idx})
+	} else {
+		b.pending[label] = append(b.pending[label], i)
+	}
+	return i
+}
+
+// Build resolves fixups and returns the finished, validated Program.
+func (b *Builder) Build() (*Program, error) {
+	for name := range b.pending {
+		return nil, fmt.Errorf("program: unresolved label %q", name)
+	}
+	p := New(b.insts, b.blocks)
+	for _, f := range b.fixups {
+		if f.target < 0 || f.target >= len(p.insts) {
+			return nil, fmt.Errorf("program: fixup target %d out of range", f.target)
+		}
+		p.insts[f.inst].Target = p.PCOf(f.target)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error, for tests and generators
+// whose input is known-valid by construction.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,204 @@
+package program
+
+import (
+	"testing"
+	"testing/quick"
+
+	"icost/internal/isa"
+)
+
+func simpleProgram(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder()
+	b.Label("top")
+	b.Emit(isa.Inst{Op: isa.OpLoad, Dst: 1, Src1: 2, Src2: isa.NoReg})
+	b.Emit(isa.Inst{Op: isa.OpIntShort, Dst: 3, Src1: 1, Src2: 1})
+	b.BranchToLabel(isa.OpBranch, 3, isa.RZero, "top")
+	b.Emit(isa.Inst{Op: isa.OpNop, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPCAssignment(t *testing.T) {
+	p := simpleProgram(t)
+	for i := 0; i < p.Len(); i++ {
+		want := CodeBase + isa.Addr(i*isa.InstBytes)
+		if p.At(i).PC != want {
+			t.Fatalf("inst %d PC = %#x, want %#x", i, uint64(p.At(i).PC), uint64(want))
+		}
+		if p.PCOf(i) != want {
+			t.Fatalf("PCOf(%d) = %#x, want %#x", i, uint64(p.PCOf(i)), uint64(want))
+		}
+	}
+}
+
+func TestIndexOfRoundTrip(t *testing.T) {
+	p := simpleProgram(t)
+	for i := 0; i < p.Len(); i++ {
+		if got := p.IndexOf(p.PCOf(i)); got != i {
+			t.Fatalf("IndexOf(PCOf(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestIndexOfInvalid(t *testing.T) {
+	p := simpleProgram(t)
+	cases := []isa.Addr{
+		0,               // before code region
+		CodeBase - 4,    // just before
+		CodeBase + 1,    // misaligned
+		CodeBase + 2,    // misaligned
+		p.PCOf(p.Len()), // one past the end
+		p.PCOf(p.Len() + 5),
+	}
+	for _, pc := range cases {
+		if got := p.IndexOf(pc); got != -1 {
+			t.Errorf("IndexOf(%#x) = %d, want -1", uint64(pc), got)
+		}
+		if p.Lookup(pc) != nil {
+			t.Errorf("Lookup(%#x) != nil", uint64(pc))
+		}
+	}
+}
+
+func TestLookupValid(t *testing.T) {
+	p := simpleProgram(t)
+	in := p.Lookup(p.PCOf(1))
+	if in == nil || in.Op != isa.OpIntShort {
+		t.Fatalf("Lookup returned %v", in)
+	}
+}
+
+func TestBackwardBranchFixup(t *testing.T) {
+	p := simpleProgram(t)
+	br := p.At(2)
+	if br.Op != isa.OpBranch {
+		t.Fatalf("inst 2 is %v", br)
+	}
+	if br.Target != p.PCOf(0) {
+		t.Fatalf("branch target %#x, want %#x", uint64(br.Target), uint64(p.PCOf(0)))
+	}
+}
+
+func TestForwardBranchFixup(t *testing.T) {
+	b := NewBuilder()
+	b.BranchToLabel(isa.OpJump, isa.NoReg, isa.NoReg, "end")
+	b.Emit(isa.Inst{Op: isa.OpNop, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg})
+	b.Label("end")
+	b.Emit(isa.Inst{Op: isa.OpNop, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.At(0).Target != p.PCOf(2) {
+		t.Fatalf("forward jump target %#x, want %#x", uint64(p.At(0).Target), uint64(p.PCOf(2)))
+	}
+}
+
+func TestUnresolvedLabelFails(t *testing.T) {
+	b := NewBuilder()
+	b.BranchToLabel(isa.OpJump, isa.NoReg, isa.NoReg, "nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build with unresolved label succeeded")
+	}
+}
+
+func TestValidateCatchesBadTarget(t *testing.T) {
+	insts := []isa.Inst{
+		{Op: isa.OpBranch, Dst: isa.NoReg, Src1: 1, Src2: 2, Target: 0x4},
+	}
+	p := New(insts, nil)
+	// New re-assigns PCs but Target 0x4 is below CodeBase.
+	p.insts[0].Target = 0x4
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-program branch target")
+	}
+}
+
+func TestValidateCatchesLoadWithoutBase(t *testing.T) {
+	insts := []isa.Inst{
+		{Op: isa.OpLoad, Dst: 1, Src1: isa.NoReg, Src2: isa.NoReg},
+	}
+	if err := New(insts, nil).Validate(); err == nil {
+		t.Fatal("Validate accepted load without address base")
+	}
+}
+
+func TestValidateCatchesLoadWithoutDst(t *testing.T) {
+	insts := []isa.Inst{
+		{Op: isa.OpLoad, Dst: isa.NoReg, Src1: 1, Src2: isa.NoReg},
+	}
+	if err := New(insts, nil).Validate(); err == nil {
+		t.Fatal("Validate accepted load without destination")
+	}
+}
+
+func TestValidateCatchesStoreWithoutBase(t *testing.T) {
+	insts := []isa.Inst{
+		{Op: isa.OpStore, Dst: isa.NoReg, Src1: 1, Src2: isa.NoReg},
+	}
+	if err := New(insts, nil).Validate(); err == nil {
+		t.Fatal("Validate accepted store without address base")
+	}
+}
+
+func TestValidateCatchesBadRegister(t *testing.T) {
+	insts := []isa.Inst{
+		{Op: isa.OpIntShort, Dst: isa.Reg(99), Src1: 1, Src2: 2},
+	}
+	if err := New(insts, nil).Validate(); err == nil {
+		t.Fatal("Validate accepted register 99")
+	}
+}
+
+func TestValidateCatchesIndirectWithoutSource(t *testing.T) {
+	insts := []isa.Inst{
+		{Op: isa.OpJumpIndirect, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg},
+	}
+	if err := New(insts, nil).Validate(); err == nil {
+		t.Fatal("Validate accepted indirect jump without source")
+	}
+}
+
+func TestBlocksSortedAndDeduped(t *testing.T) {
+	insts := make([]isa.Inst, 10)
+	for i := range insts {
+		insts[i] = isa.Inst{Op: isa.OpNop, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg}
+	}
+	p := New(insts, []int{7, 3, 3, 0, 5, 99, -1})
+	got := p.Blocks()
+	want := []int{0, 3, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Blocks = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Blocks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCodeBytes(t *testing.T) {
+	p := simpleProgram(t)
+	if p.CodeBytes() != p.Len()*isa.InstBytes {
+		t.Fatalf("CodeBytes = %d", p.CodeBytes())
+	}
+}
+
+func TestQuickIndexOfOnlyValidPCs(t *testing.T) {
+	p := simpleProgram(t)
+	f := func(raw uint32) bool {
+		pc := isa.Addr(raw)
+		i := p.IndexOf(pc)
+		if i == -1 {
+			return true
+		}
+		return p.PCOf(i) == pc && i >= 0 && i < p.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+// Package report renders experiment results as a self-contained HTML
+// document — the artifact to attach to a design review. It depends
+// only on html/template and the experiment result types.
+package report
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"time"
+
+	"icost/internal/breakdown"
+	"icost/internal/experiments"
+)
+
+// Data collects everything the report can show; nil sections are
+// omitted.
+type Data struct {
+	// Title heads the report.
+	Title string
+	// Generated is the timestamp shown in the header.
+	Generated time.Time
+	// Config echoes the experiment scale.
+	Config experiments.Config
+	// Characterization is the workload table.
+	Characterization []experiments.Characterization
+	// Tables are focused breakdowns keyed by a caption.
+	Tables []BreakdownTable
+	// Figure3 is the window/dl1 sensitivity study.
+	Figure3 []experiments.Figure3Point
+	// Table7 is the validation table.
+	Table7 []experiments.Table7Row
+}
+
+// BreakdownTable is one captioned group of focused breakdowns.
+type BreakdownTable struct {
+	Caption string
+	Columns []*breakdown.Focused
+}
+
+// RowLabels returns the display-order labels of the table's rows.
+func (t BreakdownTable) RowLabels() []string {
+	if len(t.Columns) == 0 {
+		return nil
+	}
+	var out []string
+	for _, r := range t.Columns[0].Base {
+		out = append(out, r.Label)
+	}
+	for _, r := range t.Columns[0].Pairs {
+		out = append(out, r.Label)
+	}
+	out = append(out, "Other")
+	return out
+}
+
+// Cell returns the percentage for (label, column).
+func (t BreakdownTable) Cell(label string, col *breakdown.Focused) float64 {
+	for _, r := range col.Base {
+		if r.Label == label {
+			return r.Percent
+		}
+	}
+	for _, r := range col.Pairs {
+		if r.Label == label {
+			return r.Percent
+		}
+	}
+	return col.Other.Percent
+}
+
+var tmpl = template.Must(template.New("report").Funcs(template.FuncMap{
+	"pct": func(v float64) string { return fmt.Sprintf("%.1f", v) },
+	"cls": func(v float64) string {
+		switch {
+		case v < -0.5:
+			return "serial"
+		case v > 0.5:
+			return "parallel"
+		default:
+			return ""
+		}
+	},
+}).Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{{.Title}}</title>
+<style>
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 70rem; color: #222; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: .6rem 0; }
+th, td { border: 1px solid #ccc; padding: .2rem .5rem; text-align: right; font-variant-numeric: tabular-nums; }
+th:first-child, td:first-child { text-align: left; }
+td.serial { background: #ffe9e9; }
+td.parallel { background: #e7f3ff; }
+caption { caption-side: top; text-align: left; font-weight: 600; padding: .3rem 0; }
+.meta { color: #777; font-size: .85rem; }
+</style></head><body>
+<h1>{{.Title}}</h1>
+<p class="meta">generated {{.Generated.Format "2006-01-02 15:04:05"}} ·
+{{.Config.TraceLen}} measured instructions after {{.Config.Warmup}} warmup · seed {{.Config.Seed}}</p>
+<p>Serial interactions (negative) are shaded red, parallel (positive) blue.</p>
+
+{{if .Characterization}}<h2>Workload characterization</h2>
+<table><tr><th>bench</th><th>IPC</th><th>br%</th><th>mis%</th><th>ld%</th><th>dl1m%</th><th>l2m%</th><th>il1m%</th><th>codeKB</th></tr>
+{{range .Characterization}}<tr><td>{{.Bench}}</td><td>{{pct .IPC}}</td><td>{{pct .CondBranchPct}}</td><td>{{pct .MispredictPct}}</td><td>{{pct .LoadPct}}</td><td>{{pct .DL1MissPct}}</td><td>{{pct .L2MissPct}}</td><td>{{pct .IL1MissPct}}</td><td>{{.CodeKB}}</td></tr>
+{{end}}</table>{{end}}
+
+{{range $t := .Tables}}<h2>{{$t.Caption}}</h2>
+<table><tr><th>category</th>{{range $t.Columns}}<th>{{.Name}}</th>{{end}}</tr>
+{{range $label := $t.RowLabels}}<tr><td>{{$label}}</td>
+{{range $col := $t.Columns}}{{$v := $t.Cell $label $col}}<td class="{{cls $v}}">{{pct $v}}</td>{{end}}</tr>
+{{end}}</table>{{end}}
+
+{{if .Figure3}}<h2>Figure 3 — window speedup vs dl1 latency</h2>
+<table><tr><th>dl1</th><th>window</th><th>cycles</th><th>speedup %</th></tr>
+{{range .Figure3}}<tr><td>{{.DL1}}</td><td>{{.Window}}</td><td>{{.Cycles}}</td><td>{{pct .SpeedupPct}}</td></tr>
+{{end}}</table>{{end}}
+
+{{if .Table7}}<h2>Table 7 — profiler validation</h2>
+<table><tr><th>bench</th><th>category</th><th>multisim %</th><th>fullgraph err</th><th>profiler err</th></tr>
+{{range .Table7}}<tr><td>{{.Bench}}</td><td>{{.Category}}</td><td>{{pct .MultisimPct}}</td><td>{{pct .FullgraphErr}}</td><td>{{if .HasProfiler}}{{pct .ProfilerErr}}{{else}}-{{end}}</td></tr>
+{{end}}</table>{{end}}
+
+</body></html>
+`))
+
+// Write renders the report.
+func Write(w io.Writer, d *Data) error {
+	if d.Title == "" {
+		d.Title = "Interaction-cost bottleneck analysis"
+	}
+	return tmpl.Execute(w, d)
+}

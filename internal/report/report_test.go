@@ -1,0 +1,102 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"icost/internal/breakdown"
+	"icost/internal/experiments"
+)
+
+func testData(t *testing.T) *Data {
+	t.Helper()
+	cfg := experiments.Config{TraceLen: 8000, Warmup: 8000, Seed: 42,
+		Benches: []string{"gzip", "mcf"}}
+	bds, err := experiments.Table4a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chars, err := experiments.Characterize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3, err := experiments.Figure3(cfg, "gap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Data{
+		Generated:        time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC),
+		Config:           cfg,
+		Characterization: chars,
+		Tables: []BreakdownTable{
+			{Caption: "Table 4a — 4-cycle dl1, focus dl1", Columns: bds},
+		},
+		Figure3: f3,
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	var b strings.Builder
+	if err := Write(&b, testData(t)); err != nil {
+		t.Fatal(err)
+	}
+	s := b.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"Interaction-cost bottleneck analysis", // default title
+		"Workload characterization",
+		"Table 4a",
+		"gzip", "mcf",
+		"dl1&#43;win", // html/template escapes the plus
+		"Figure 3",
+		"</html>",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	// The serial dl1+win cell must be shaded.
+	if !strings.Contains(s, `class="serial"`) {
+		t.Fatal("no serial shading")
+	}
+}
+
+func TestRowLabelsAndCells(t *testing.T) {
+	d := testData(t)
+	tb := d.Tables[0]
+	labels := tb.RowLabels()
+	if len(labels) != 16 { // 8 base + 7 pairs + Other
+		t.Fatalf("%d labels", len(labels))
+	}
+	if labels[len(labels)-1] != "Other" {
+		t.Fatal("missing Other row")
+	}
+	col := tb.Columns[0]
+	if got := tb.Cell("dl1", col); got != col.Base[0].Percent {
+		t.Fatalf("cell dl1 = %v", got)
+	}
+	if got := tb.Cell("Other", col); got != col.Other.Percent {
+		t.Fatalf("cell Other = %v", got)
+	}
+}
+
+func TestEmptySectionsOmitted(t *testing.T) {
+	var b strings.Builder
+	if err := Write(&b, &Data{Title: "empty", Generated: time.Now(),
+		Config: experiments.Config{}}); err != nil {
+		t.Fatal(err)
+	}
+	s := b.String()
+	if strings.Contains(s, "Figure 3") || strings.Contains(s, "Table 7") {
+		t.Fatal("empty sections rendered")
+	}
+}
+
+func TestTableHelpersEmpty(t *testing.T) {
+	var tb BreakdownTable
+	if tb.RowLabels() != nil {
+		t.Fatal("labels for empty table")
+	}
+	_ = breakdown.BaseCategories() // keep import honest
+}

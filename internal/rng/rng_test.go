@@ -1,0 +1,199 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestDeriveIndependent(t *testing.T) {
+	r := New(7)
+	a := r.Derive("branches")
+	b := r.Derive("addresses")
+	// Derive must not advance the parent.
+	c := r.Derive("branches")
+	if a.Uint64() != c.Uint64() {
+		t.Fatal("Derive is not a pure function of (seed, label)")
+	}
+	if a.state == b.state {
+		t.Fatal("different labels produced the same stream")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v far from 0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(13)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) hit fraction %v", frac)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(17)
+	sum := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(8)
+	}
+	mean := float64(sum) / n
+	if mean < 7 || mean > 9 {
+		t.Fatalf("Geometric(8) mean %v not near 8", mean)
+	}
+}
+
+func TestGeometricDegenerate(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 100; i++ {
+		if g := r.Geometric(1); g != 1 {
+			t.Fatalf("Geometric(1) = %d, want 1", g)
+		}
+		if g := r.Geometric(0.5); g != 1 {
+			t.Fatalf("Geometric(0.5) = %d, want 1", g)
+		}
+	}
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	r := New(23)
+	z := NewZipf(100, 1.0)
+	counts := make([]int, 100)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := z.Draw(r)
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf not skewed: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	// Rank 0 should get roughly 1/H(100) ~ 19% of draws for s=1.
+	frac := float64(counts[0]) / n
+	if frac < 0.15 || frac > 0.25 {
+		t.Fatalf("Zipf rank-0 fraction %v outside [0.15,0.25]", frac)
+	}
+}
+
+func TestZipfSingleRank(t *testing.T) {
+	r := New(29)
+	z := NewZipf(1, 1.2)
+	for i := 0; i < 100; i++ {
+		if z.Draw(r) != 0 {
+			t.Fatal("Zipf over 1 rank must always draw 0")
+		}
+	}
+}
+
+func TestZipfCDFMonotone(t *testing.T) {
+	z := NewZipf(500, 0.9)
+	prev := 0.0
+	for i, v := range z.cdf {
+		if v < prev {
+			t.Fatalf("cdf not monotone at %d: %v < %v", i, v, prev)
+		}
+		prev = v
+	}
+	if math.Abs(prev-1) > 1e-9 {
+		t.Fatalf("cdf does not end at 1: %v", prev)
+	}
+}
+
+func TestQuickIntnAlwaysInRange(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		m := int(n%1000) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeriveDeterministic(t *testing.T) {
+	f := func(seed uint64, label string) bool {
+		a := New(seed).Derive(label)
+		b := New(seed).Derive(label)
+		return a.Uint64() == b.Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

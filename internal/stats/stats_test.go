@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std %v", s.Std)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.Median != 7 {
+		t.Fatalf("summary %+v", s)
+	}
+}
+
+func TestSummarizeEvenMedian(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Median != 2.5 {
+		t.Fatalf("median %v", s.Median)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3}).String()
+	if s == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestMeanAbs(t *testing.T) {
+	if MeanAbs([]float64{-1, 2, -3}) != 2 {
+		t.Fatal("mean abs")
+	}
+	if MeanAbs(nil) != 0 {
+		t.Fatal("empty mean abs")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if c := Correlation(xs, []float64{2, 4, 6, 8}); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("perfect correlation = %v", c)
+	}
+	if c := Correlation(xs, []float64{8, 6, 4, 2}); math.Abs(c+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation = %v", c)
+	}
+	if c := Correlation(xs, []float64{5, 5, 5, 5}); c != 0 {
+		t.Fatalf("flat correlation = %v", c)
+	}
+}
+
+func TestCorrelationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Correlation([]float64{1}, []float64{2})
+}
+
+func TestQuickSummaryBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			// Bound magnitudes so the sum cannot overflow and
+			// rounding cannot push the mean outside [min, max].
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max && s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"icost/internal/isa"
+	"icost/internal/program"
+)
+
+// FuzzReadTrace drives the binary-trace decoder with arbitrary bytes:
+// it must never panic, never allocate unboundedly, and anything it
+// accepts must pass full validation (Read validates internally; this
+// re-checks the invariant explicitly).
+func FuzzReadTrace(f *testing.F) {
+	// Seed corpus: a valid trace and a few mutations.
+	b := program.NewBuilder()
+	b.Label("top")
+	b.Emit(isa.Inst{Op: isa.OpLoad, Dst: 1, Src1: 2, Src2: isa.NoReg})
+	b.Emit(isa.Inst{Op: isa.OpIntShort, Dst: 3, Src1: 1, Src2: 1})
+	b.BranchToLabel(isa.OpBranch, 3, isa.RZero, "top")
+	p, err := b.Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	tr := &Trace{
+		Prog: p,
+		Name: "seed",
+		Insts: []DynInst{
+			{SIdx: 0, Addr: 0x10000000, Target: p.PCOf(1)},
+			{SIdx: 1, Target: p.PCOf(2)},
+			{SIdx: 2, Taken: true, Target: p.PCOf(0)},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	for cut := 0; cut < len(valid); cut += 11 {
+		f.Add(valid[:cut])
+	}
+	mutated := append([]byte(nil), valid...)
+	if len(mutated) > 10 {
+		mutated[10] ^= 0x55
+	}
+	f.Add(mutated)
+	f.Add([]byte("ICTR\x01garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("Read accepted an invalid trace: %v", err)
+		}
+		// Accepted traces must round-trip.
+		var out bytes.Buffer
+		if err := Write(&out, got); err != nil {
+			t.Fatalf("re-encoding accepted trace failed: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-decoding failed: %v", err)
+		}
+		if again.Len() != got.Len() || again.Name != got.Name {
+			t.Fatal("round trip changed the trace")
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"icost/internal/isa"
+)
+
+func TestRoundTrip(t *testing.T) {
+	orig := validTrace(t)
+	orig.Insts = orig.Insts[:6]
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.Len() != orig.Len() {
+		t.Fatalf("name %q len %d", got.Name, got.Len())
+	}
+	for i := range got.Insts {
+		if got.Insts[i] != orig.Insts[i] {
+			t.Fatalf("dyn inst %d differs: %+v vs %+v", i, got.Insts[i], orig.Insts[i])
+		}
+	}
+	if got.Prog.Len() != orig.Prog.Len() {
+		t.Fatal("program length differs")
+	}
+	for i := 0; i < got.Prog.Len(); i++ {
+		if *got.Prog.At(i) != *orig.Prog.At(i) {
+			t.Fatalf("static inst %d differs", i)
+		}
+	}
+	if len(got.Prog.Blocks()) != len(orig.Prog.Blocks()) {
+		t.Fatal("blocks differ")
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, err := Read(strings.NewReader("NOPE!")); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+}
+
+func TestReadRejectsTruncation(t *testing.T) {
+	orig := validTrace(t)
+	orig.Insts = orig.Insts[:6]
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every strict prefix must fail, never panic.
+	for cut := 0; cut < len(full); cut += 7 {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("accepted truncation at %d of %d", cut, len(full))
+		}
+	}
+}
+
+func TestReadRejectsCorruptSIdx(t *testing.T) {
+	orig := validTrace(t)
+	orig.Insts = orig.Insts[:6]
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip bytes one at a time; Read must either error or produce a
+	// trace that still validates — never panic or return garbage.
+	for i := 5; i < len(data); i += 3 {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0xff
+		got, err := Read(bytes.NewReader(mut))
+		if err != nil {
+			continue
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("byte %d: Read returned invalid trace: %v", i, err)
+		}
+	}
+}
+
+func TestRoundTripMemAddresses(t *testing.T) {
+	orig := validTrace(t)
+	orig.Insts = orig.Insts[:6]
+	// The load keeps a real address through the round trip.
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Insts[0].Addr != isa.Addr(0x10000000) {
+		t.Fatalf("address %#x", uint64(got.Insts[0].Addr))
+	}
+}
+
+func TestReadRejectsDynWithoutProgram(t *testing.T) {
+	// magic + empty name + 0 static + 0 blocks + 1 dynamic: the sidx
+	// bound must not wrap.
+	data := append([]byte("ICTR\x01"), 0 /*name*/, 0 /*static*/, 0 /*blocks*/, 1 /*dyn*/)
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("accepted dynamic instructions without a program")
+	}
+}

@@ -1,0 +1,158 @@
+// Package trace holds dynamic (architectural) instruction streams: the
+// sequence of executed instructions with resolved memory addresses and
+// branch outcomes. A Trace is what the workload executor produces and
+// what the out-of-order simulator consumes; microarchitectural
+// outcomes (cache misses, mispredictions, stalls) are *not* part of a
+// Trace — they are decided by the machine model in package ooo.
+package trace
+
+import (
+	"fmt"
+
+	"icost/internal/isa"
+	"icost/internal/program"
+)
+
+// DynInst is one executed instruction.
+type DynInst struct {
+	// SIdx is the index of the static instruction in the Program.
+	SIdx int32
+	// Addr is the effective address for loads and stores (zero
+	// otherwise).
+	Addr isa.Addr
+	// Taken reports whether a control transfer was taken. Always true
+	// for unconditional transfers; false for non-branches.
+	Taken bool
+	// Target is the address of the *next* dynamic instruction (the
+	// actual successor, whether fall-through or branch target).
+	Target isa.Addr
+}
+
+// Trace is an executed instruction stream over a static program.
+type Trace struct {
+	// Prog is the static program the stream was produced from.
+	Prog *program.Program
+	// Insts is the dynamic stream in program (commit) order.
+	Insts []DynInst
+	// Name labels the workload (e.g. "mcf") for reports.
+	Name string
+}
+
+// Len returns the number of dynamic instructions.
+func (t *Trace) Len() int { return len(t.Insts) }
+
+// Static returns the static instruction for dynamic instruction i.
+func (t *Trace) Static(i int) *isa.Inst { return t.Prog.At(int(t.Insts[i].SIdx)) }
+
+// PC returns the PC of dynamic instruction i.
+func (t *Trace) PC(i int) isa.Addr { return t.Prog.PCOf(int(t.Insts[i].SIdx)) }
+
+// Validate checks stream coherence: each instruction's recorded
+// successor matches the next instruction's PC, SIdx values are in
+// range, control-flow semantics hold (unconditional transfers are
+// always taken, non-branches never are), and taken direct branches go
+// to their static target. The workload executor runs this after
+// generation; the simulator may assume a valid trace.
+func (t *Trace) Validate() error {
+	n := t.Len()
+	for i := 0; i < n; i++ {
+		d := &t.Insts[i]
+		if int(d.SIdx) < 0 || int(d.SIdx) >= t.Prog.Len() {
+			return fmt.Errorf("trace[%d]: static index %d out of range", i, d.SIdx)
+		}
+		in := t.Static(i)
+		switch {
+		case !in.Op.IsBranch():
+			if d.Taken {
+				return fmt.Errorf("trace[%d] (%v): non-branch marked taken", i, in)
+			}
+			if d.Target != in.NextPC() {
+				return fmt.Errorf("trace[%d] (%v): non-branch successor %#x, want fall-through %#x",
+					i, in, uint64(d.Target), uint64(in.NextPC()))
+			}
+		case in.Op == isa.OpBranch:
+			if d.Taken && d.Target != in.Target {
+				return fmt.Errorf("trace[%d] (%v): taken branch to %#x, static target %#x",
+					i, in, uint64(d.Target), uint64(in.Target))
+			}
+			if !d.Taken && d.Target != in.NextPC() {
+				return fmt.Errorf("trace[%d] (%v): untaken branch successor %#x",
+					i, in, uint64(d.Target))
+			}
+		default: // unconditional transfer
+			if !d.Taken {
+				return fmt.Errorf("trace[%d] (%v): unconditional transfer not taken", i, in)
+			}
+			if !in.Op.IsIndirect() && d.Target != in.Target {
+				return fmt.Errorf("trace[%d] (%v): direct transfer to %#x, static target %#x",
+					i, in, uint64(d.Target), uint64(in.Target))
+			}
+		}
+		if in.Op.IsMem() && d.Addr == 0 {
+			return fmt.Errorf("trace[%d] (%v): memory op without address", i, in)
+		}
+		if t.Prog.IndexOf(d.Target) < 0 {
+			return fmt.Errorf("trace[%d] (%v): successor %#x outside program",
+				i, in, uint64(d.Target))
+		}
+		if i+1 < n && t.PC(i+1) != d.Target {
+			return fmt.Errorf("trace[%d]: successor %#x but next instruction at %#x",
+				i, uint64(d.Target), uint64(t.PC(i+1)))
+		}
+	}
+	return nil
+}
+
+// Stats summarizes the architectural content of a trace; used by
+// workload tests to check generated streams match their profiles.
+type Stats struct {
+	Insts       int
+	Loads       int
+	Stores      int
+	Branches    int // conditional only
+	Jumps       int // unconditional incl. calls/returns/indirect
+	ShortALU    int
+	LongALU     int
+	Nops        int
+	TakenCond   int
+	UniquePCs   int
+	UniqueLines int // unique 64-byte data cache lines touched
+}
+
+// ComputeStats scans the trace.
+func ComputeStats(t *Trace) Stats {
+	var s Stats
+	s.Insts = t.Len()
+	pcs := map[int32]struct{}{}
+	lines := map[isa.Addr]struct{}{}
+	for i := 0; i < t.Len(); i++ {
+		d := &t.Insts[i]
+		in := t.Static(i)
+		pcs[d.SIdx] = struct{}{}
+		switch {
+		case in.Op == isa.OpLoad:
+			s.Loads++
+		case in.Op == isa.OpStore:
+			s.Stores++
+		case in.Op == isa.OpBranch:
+			s.Branches++
+			if d.Taken {
+				s.TakenCond++
+			}
+		case in.Op.IsBranch():
+			s.Jumps++
+		case in.Op.IsShortALU():
+			s.ShortALU++
+		case in.Op.IsLongALU():
+			s.LongALU++
+		case in.Op == isa.OpNop:
+			s.Nops++
+		}
+		if in.Op.IsMem() {
+			lines[d.Addr>>6] = struct{}{}
+		}
+	}
+	s.UniquePCs = len(pcs)
+	s.UniqueLines = len(lines)
+	return s
+}

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"testing"
+
+	"icost/internal/isa"
+	"icost/internal/program"
+)
+
+// tinyProgram builds: ld; add; br -> 0; nop
+func tinyProgram(t *testing.T) *program.Program {
+	t.Helper()
+	b := program.NewBuilder()
+	b.Label("top")
+	b.Emit(isa.Inst{Op: isa.OpLoad, Dst: 1, Src1: 2, Src2: isa.NoReg})
+	b.Emit(isa.Inst{Op: isa.OpIntShort, Dst: 3, Src1: 1, Src2: 1})
+	b.BranchToLabel(isa.OpBranch, 3, isa.RZero, "top")
+	b.Emit(isa.Inst{Op: isa.OpNop, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func validTrace(t *testing.T) *Trace {
+	t.Helper()
+	p := tinyProgram(t)
+	tr := &Trace{
+		Prog: p,
+		Name: "tiny",
+		Insts: []DynInst{
+			{SIdx: 0, Addr: 0x10000000, Target: p.PCOf(1)},
+			{SIdx: 1, Target: p.PCOf(2)},
+			{SIdx: 2, Taken: true, Target: p.PCOf(0)},
+			{SIdx: 0, Addr: 0x10000008, Target: p.PCOf(1)},
+			{SIdx: 1, Target: p.PCOf(2)},
+			{SIdx: 2, Taken: false, Target: p.PCOf(3)},
+			{SIdx: 3, Target: p.PCOf(4)},
+		},
+	}
+	return tr
+}
+
+func TestValidateAcceptsGoodTrace(t *testing.T) {
+	tr := validTrace(t)
+	// Last instruction's successor (PCOf(4)) is out of program; trim
+	// to keep it valid: point it back to 0 via a made-up fall... no —
+	// PCOf(4) is one past the last instruction, which IndexOf rejects.
+	tr.Insts = tr.Insts[:6]
+	// After trimming, inst 5 is the untaken branch to PCOf(3), valid.
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadSIdx(t *testing.T) {
+	tr := validTrace(t)
+	tr.Insts = tr.Insts[:6]
+	tr.Insts[0].SIdx = 99
+	if tr.Validate() == nil {
+		t.Fatal("accepted out-of-range static index")
+	}
+}
+
+func TestValidateRejectsTakenNonBranch(t *testing.T) {
+	tr := validTrace(t)
+	tr.Insts = tr.Insts[:6]
+	tr.Insts[1].Taken = true
+	if tr.Validate() == nil {
+		t.Fatal("accepted taken non-branch")
+	}
+}
+
+func TestValidateRejectsWrongFallThrough(t *testing.T) {
+	tr := validTrace(t)
+	tr.Insts = tr.Insts[:6]
+	tr.Insts[1].Target = tr.Prog.PCOf(0)
+	if tr.Validate() == nil {
+		t.Fatal("accepted non-branch with non-fall-through successor")
+	}
+}
+
+func TestValidateRejectsWrongBranchTarget(t *testing.T) {
+	tr := validTrace(t)
+	tr.Insts = tr.Insts[:3]
+	tr.Insts[2].Target = tr.Prog.PCOf(1) // taken but not the static target
+	if tr.Validate() == nil {
+		t.Fatal("accepted taken branch to wrong target")
+	}
+}
+
+func TestValidateRejectsMemWithoutAddr(t *testing.T) {
+	tr := validTrace(t)
+	tr.Insts = tr.Insts[:6]
+	tr.Insts[0].Addr = 0
+	if tr.Validate() == nil {
+		t.Fatal("accepted load without address")
+	}
+}
+
+func TestValidateRejectsBrokenChain(t *testing.T) {
+	tr := validTrace(t)
+	tr.Insts = tr.Insts[:6]
+	// Successor says PCOf(2) but next dynamic instruction is SIdx 2...
+	// break it by changing the *next* instruction instead.
+	tr.Insts[4].SIdx = 3
+	if tr.Validate() == nil {
+		t.Fatal("accepted mismatched successor chain")
+	}
+}
+
+func TestValidateUnconditionalMustBeTaken(t *testing.T) {
+	b := program.NewBuilder()
+	b.Label("l")
+	b.BranchToLabel(isa.OpJump, isa.NoReg, isa.NoReg, "l")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &Trace{Prog: p, Insts: []DynInst{{SIdx: 0, Taken: false, Target: p.PCOf(0)}}}
+	if tr.Validate() == nil {
+		t.Fatal("accepted not-taken unconditional jump")
+	}
+	tr.Insts[0].Taken = true
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("rejected taken unconditional jump: %v", err)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	tr := validTrace(t)
+	tr.Insts = tr.Insts[:6]
+	s := ComputeStats(tr)
+	if s.Insts != 6 {
+		t.Fatalf("Insts = %d", s.Insts)
+	}
+	if s.Loads != 2 {
+		t.Fatalf("Loads = %d", s.Loads)
+	}
+	if s.Branches != 2 || s.TakenCond != 1 {
+		t.Fatalf("Branches = %d, TakenCond = %d", s.Branches, s.TakenCond)
+	}
+	if s.ShortALU != 2 {
+		t.Fatalf("ShortALU = %d", s.ShortALU)
+	}
+	if s.UniquePCs != 3 {
+		t.Fatalf("UniquePCs = %d", s.UniquePCs)
+	}
+	if s.UniqueLines != 1 { // both loads in the same 64B line
+		t.Fatalf("UniqueLines = %d", s.UniqueLines)
+	}
+}
+
+func TestStaticAndPC(t *testing.T) {
+	tr := validTrace(t)
+	if tr.Static(0).Op != isa.OpLoad {
+		t.Fatal("Static(0) not the load")
+	}
+	if tr.PC(2) != tr.Prog.PCOf(2) {
+		t.Fatal("PC(2) mismatch")
+	}
+	if tr.Len() != 7 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}

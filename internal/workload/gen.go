@@ -1,0 +1,671 @@
+package workload
+
+import (
+	"fmt"
+
+	"icost/internal/isa"
+	"icost/internal/program"
+	"icost/internal/rng"
+)
+
+// Register conventions used by generated programs. The executor and
+// the dependence-graph model only care about dataflow, so the
+// convention exists to shape producer-consumer structure:
+//
+//	r0          hardwired zero
+//	r1..r12     integer scratch (recent-value ring)
+//	r16..r19    long-lived "far" registers (always ready)
+//	r20..r27    pointer-chase chain registers (chain i uses r20+i)
+//	f1..f8      floating-point scratch ring (isa regs 33..40)
+const (
+	scratchLo   = isa.Reg(1)
+	scratchHi   = isa.Reg(12)
+	farLo       = isa.Reg(16)
+	farHi       = isa.Reg(19)
+	chaseReg0   = isa.Reg(20)
+	fpScratchLo = isa.Reg(33)
+	fpScratchHi = isa.Reg(40)
+)
+
+// MemPattern classifies how a static memory instruction generates
+// addresses at run time.
+type MemPattern uint8
+
+const (
+	// PatNone: not a memory instruction.
+	PatNone MemPattern = iota
+	// PatHot: uniform random within the small, cache-resident region.
+	PatHot
+	// PatCold: uniform random within the large region (misses).
+	PatCold
+	// PatStream: sequential walk through the large region.
+	PatStream
+	// PatChase: pointer chase — the address depends on the value
+	// loaded by the previous link of the same chain.
+	PatChase
+	// PatAlias: the load reads the most recent store's address
+	// (spill/reload), creating a store-to-load memory dependence.
+	PatAlias
+)
+
+// instMeta is the behavioural annotation for one static instruction.
+type instMeta struct {
+	// bias is the taken probability for conditional branches.
+	bias float32
+	// trip, when non-zero, makes a loop branch deterministic: taken
+	// trip-1 times, then not taken, repeating. Regular loops are what
+	// global-history predictors learn; benchmarks like vortex owe
+	// their near-perfect prediction (paper Table 4a: 1.9%) to them.
+	trip uint16
+	// pat is the address pattern for memory instructions.
+	pat MemPattern
+	// chain is the chase-chain id for PatChase.
+	chain uint8
+	// targets are candidate static indices for indirect jumps,
+	// hottest first.
+	targets []int32
+}
+
+// Workload is a generated benchmark: a static program plus the
+// annotations the executor needs to produce dynamic traces.
+type Workload struct {
+	// Prof is the source profile.
+	Prof Profile
+	// Prog is the generated static program.
+	Prog *program.Program
+	// Seed is the generation seed (trace seeds are separate).
+	Seed uint64
+
+	meta []instMeta
+}
+
+// New generates the named benchmark with the given seed.
+func New(name string, seed uint64) (*Workload, error) {
+	p, ok := ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return Generate(p, seed)
+}
+
+// Generate builds a Workload from an explicit profile.
+func Generate(p Profile, seed uint64) (*Workload, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &generator{
+		prof: p,
+		r:    rng.New(seed).Derive("gen:" + p.Name),
+		b:    program.NewBuilder(),
+	}
+	g.run()
+	prog, err := g.b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", p.Name, err)
+	}
+	if len(g.meta) != prog.Len() {
+		return nil, fmt.Errorf("workload %s: meta length %d != program length %d",
+			p.Name, len(g.meta), prog.Len())
+	}
+	// Resolve indirect-jump candidate labels to static indices.
+	for i := range g.meta {
+		for j, lbl := range g.indirectLabels[i] {
+			idx, ok := g.labelIndex[lbl]
+			if !ok {
+				return nil, fmt.Errorf("workload %s: unresolved indirect label %q", p.Name, lbl)
+			}
+			g.meta[i].targets[j] = int32(idx)
+		}
+	}
+	return &Workload{Prof: p, Prog: prog, Seed: seed, meta: g.meta}, nil
+}
+
+// MustGenerate is Generate that panics on error (for tests).
+func MustGenerate(p Profile, seed uint64) *Workload {
+	w, err := Generate(p, seed)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Meta exposes the pattern classification of a static instruction;
+// used by experiments that group events per static load.
+func (w *Workload) Pattern(sIdx int) MemPattern { return w.meta[sIdx].pat }
+
+// generator holds generation state.
+type generator struct {
+	prof Profile
+	r    *rng.Rand
+	b    *program.Builder
+
+	meta           []instMeta
+	indirectLabels map[int][]string // inst index -> candidate labels
+	labelIndex     map[string]int   // label -> static inst index
+
+	// recent is the ring of recently written integer scratch regs.
+	recent []isa.Reg
+	// fpRecent is the FP scratch ring.
+	fpRecent []isa.Reg
+	// lastLoadDst is the destination of the most recent load in this
+	// block; lastColdDst the most recent *missing-pattern* load
+	// (cold/chase/stream). Branches prefer the cold one, producing
+	// the load-miss-feeds-branch serialization the paper observes for
+	// mcf and parser.
+	lastLoadDst isa.Reg
+	lastColdDst isa.Reg
+	// nextScratch/nextFP rotate the destination rings.
+	nextScratch isa.Reg
+	nextFP      isa.Reg
+	// calleeZipf skews call-site callee choice toward hot functions.
+	calleeZipf *rng.Zipf
+}
+
+// plan for one basic block; targets are symbolic labels.
+type blockPlan struct {
+	label   string
+	bodyLen int
+	term    termKind
+	target  string   // cond/jump target, or callee entry label
+	cands   []string // indirect candidates
+	bias    float64  // cond taken probability
+	trip    uint16   // fixed loop trip count (0 = probabilistic)
+}
+
+type termKind uint8
+
+const (
+	termFall termKind = iota
+	termCond
+	termJump
+	termCall
+	termIndirect
+	termReturn
+)
+
+// run lays out the program as a dispatcher structure: a main loop of
+// call sites (each calling a generation-time Zipf-chosen function)
+// plus NumFuncs functions whose bodies contain *properly nested*
+// loops. Proper nesting is essential: an earlier design drew backward
+// branch targets at random, which made control flow a recurrent
+// random walk that trapped execution in tiny code regions. With the
+// dispatcher, every pass of the main loop sweeps (most of) the code
+// footprint, which is what drives instruction-cache behaviour, while
+// hot inner loops still concentrate execution realistically.
+func (g *generator) run() {
+	p := g.prof
+	g.meta = nil
+	g.indirectLabels = map[int][]string{}
+	g.labelIndex = map[string]int{}
+	g.nextScratch = scratchLo
+	g.nextFP = fpScratchLo
+	if p.NumFuncs > 0 {
+		g.calleeZipf = rng.NewZipf(p.NumFuncs, 1.1)
+	}
+
+	totalBlocks := p.StaticInsts / (int(p.MeanBlockLen) + 1)
+	if totalBlocks < 12 {
+		totalBlocks = 12
+	}
+	mainBlocks := totalBlocks / 10
+	if mainBlocks < 4 {
+		mainBlocks = 4
+	}
+	perFunc := (totalBlocks - mainBlocks) / p.NumFuncs
+	if perFunc < 3 {
+		perFunc = 3
+	}
+
+	plans := g.planMain(mainBlocks)
+	for f := 0; f < p.NumFuncs; f++ {
+		plans = append(plans, g.planFunc(f, perFunc)...)
+	}
+	for _, bp := range plans {
+		g.emitBlock(bp)
+	}
+}
+
+// planMain lays out the dispatcher loop: blocks b0..b{n-1}, mostly
+// ending in calls; occasional forward conditional branches skip a few
+// call sites (so the call mix varies between passes); the last block
+// jumps back to b0.
+func (g *generator) planMain(n int) []blockPlan {
+
+	plans := make([]blockPlan, n)
+	for i := 0; i < n; i++ {
+		bp := blockPlan{label: mainLabel(i), bodyLen: g.bodyLen()}
+		if i == n-1 {
+			bp.term = termJump
+			bp.target = mainLabel(0)
+			plans[i] = bp
+			continue
+		}
+		u := g.r.Float64()
+		switch {
+		case u < 0.15 && i+2 < n:
+			// Forward conditional: usually not taken, occasionally
+			// skips 1-3 call sites.
+			bp.term = termCond
+			hi := i + 3
+			if hi > n-1 {
+				hi = n - 1
+			}
+			bp.target = mainLabel(i + 1 + g.r.Intn(maxInt(1, hi-i)))
+			bp.bias = g.forwardBias()
+		case u < 0.25:
+			bp.term = termFall
+		default:
+			bp.term = termCall
+			bp.target = funcLabel(g.calleeZipf.Draw(g.r), 0)
+		}
+		plans[i] = bp
+	}
+	return plans
+}
+
+// planFunc lays out function f with n blocks and properly nested
+// loops; the last block returns. A loop is opened by remembering its
+// head and planned close block; the close block's terminator is a
+// backward conditional branch to the head. Nesting depth is capped at
+// two and inner loops always close before their enclosing loop.
+func (g *generator) planFunc(f, n int) []blockPlan {
+	p := g.prof
+	plans := make([]blockPlan, n)
+	type openLoop struct{ head, close int }
+	var stack []openLoop
+	for i := 0; i < n; i++ {
+		bp := blockPlan{label: funcLabel(f, i), bodyLen: g.bodyLen()}
+		if i == n-1 {
+			bp.term = termReturn
+			plans[i] = bp
+			continue
+		}
+		if len(stack) > 0 && stack[len(stack)-1].close == i {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			bp.term = termCond
+			bp.target = funcLabel(f, top.head)
+			if g.r.Bool(p.LoopRegular) {
+				bp.trip = g.fixedTrip()
+				bp.bias = 1 - 1/float64(bp.trip) // documentation only
+			} else {
+				bp.bias = g.loopBias()
+			}
+			plans[i] = bp
+			continue
+		}
+		// Maybe open a new loop whose body nests inside the current
+		// one.
+		limit := n - 2
+		if len(stack) > 0 && stack[len(stack)-1].close-1 < limit {
+			limit = stack[len(stack)-1].close - 1
+		}
+		if len(stack) < 2 && i+1 <= limit && g.r.Bool(p.LoopFrac*0.4) {
+			close := i + 1 + g.r.Intn(maxInt(1, minInt(4, limit-i)))
+			stack = append(stack, openLoop{head: i, close: close})
+		}
+		u := g.r.Float64()
+		switch {
+		case u < p.CondTermFrac*0.6:
+			// Forward conditional within the function; the target
+			// must not escape an enclosing loop (keep it <= limit+1
+			// so loop structure stays intact).
+			bp.term = termCond
+			hi := i + 4
+			if len(stack) > 0 && hi > stack[len(stack)-1].close {
+				hi = stack[len(stack)-1].close
+			}
+			if hi > n-1 {
+				hi = n - 1
+			}
+			if hi <= i {
+				bp.term = termFall
+				break
+			}
+			bp.target = funcLabel(f, i+1+g.r.Intn(hi-i))
+			bp.bias = g.forwardBias()
+		case u < p.CondTermFrac*0.6+p.IndirectTermFrac && len(stack) == 0 && i+2 < n:
+			// Switch-style indirect jump over forward blocks.
+			bp.term = termIndirect
+			k := 2 + g.r.Intn(4)
+			for j := 0; j < k; j++ {
+				hi := i + 6
+				if hi > n-1 {
+					hi = n - 1
+				}
+				bp.cands = append(bp.cands, funcLabel(f, i+1+g.r.Intn(maxInt(1, hi-i))))
+			}
+		default:
+			bp.term = termFall
+		}
+		plans[i] = bp
+	}
+	return plans
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func mainLabel(i int) string    { return fmt.Sprintf("b%d", i) }
+func funcLabel(f, i int) string { return fmt.Sprintf("f%d_%d", f, i) }
+
+func (g *generator) bodyLen() int {
+	// Minimum body of 3 keeps hot loops from degenerating into
+	// branch-only cycles that would swamp the dynamic mix.
+	m := g.prof.MeanBlockLen - 2
+	if m < 1 {
+		m = 1
+	}
+	n := 2 + g.r.Geometric(m)
+	if n > 24 {
+		n = 24
+	}
+	return n
+}
+
+// fixedTrip draws a deterministic loop trip count near MeanTrip,
+// capped low enough for a 13-bit global history to learn the pattern.
+func (g *generator) fixedTrip() uint16 {
+	t := 2 + g.r.Intn(int(g.prof.MeanTrip))
+	if t > 11 {
+		t = 11
+	}
+	return uint16(t)
+}
+
+// loopBias draws a taken probability for a backward branch so the
+// implied loop trip count is geometric with mean near MeanTrip. The
+// trip count is capped: with nesting depth up to two, uncapped trips
+// let one loop nest swallow an entire measurement window, destroying
+// the window's representativeness of the whole program.
+func (g *generator) loopBias() float64 {
+	trip := float64(2 + g.r.Geometric(g.prof.MeanTrip))
+	if cap := 2.5*g.prof.MeanTrip + 2; trip > cap {
+		trip = cap
+	}
+	b := 1 - 1/trip
+	if b < 0.6 {
+		b = 0.6
+	}
+	if b > 0.93 {
+		b = 0.93
+	}
+	return b
+}
+
+// forwardBias draws a taken probability for a forward branch: hard
+// (near 50/50) with probability BranchNoise, easy otherwise.
+func (g *generator) forwardBias() float64 {
+	if g.r.Bool(g.prof.BranchNoise) {
+		return 0.3 + 0.4*g.r.Float64()
+	}
+	if g.r.Bool(0.5) {
+		return 0.015 + 0.065*g.r.Float64()
+	}
+	return 0.92 + 0.065*g.r.Float64()
+}
+
+// emit appends an instruction and its annotation in lockstep.
+func (g *generator) emit(in isa.Inst, m instMeta) int {
+	idx := g.b.Emit(in)
+	g.meta = append(g.meta, m)
+	return idx
+}
+
+func (g *generator) emitBlock(bp blockPlan) {
+	g.labelHere(bp.label)
+	g.lastLoadDst = isa.NoReg
+	// lastColdDst deliberately persists across blocks: a chase/cold
+	// register architecturally holds the most recent missing load's
+	// value until the next one, so branches in later blocks can still
+	// test it (the mcf pattern: compare a key loaded from a node).
+	for i := 0; i < bp.bodyLen; i++ {
+		g.emitBodyInst()
+	}
+	switch bp.term {
+	case termFall:
+		// nothing: flows into the next block
+	case termCond:
+		src := g.branchSource()
+		idx := g.b.BranchToLabel(isa.OpBranch, src, isa.RZero, bp.target)
+		g.metaAt(idx, instMeta{bias: float32(bp.bias), trip: bp.trip})
+	case termJump:
+		idx := g.b.BranchToLabel(isa.OpJump, isa.NoReg, isa.NoReg, bp.target)
+		g.metaAt(idx, instMeta{})
+	case termCall:
+		idx := g.b.BranchToLabel(isa.OpCall, isa.NoReg, isa.NoReg, bp.target)
+		g.metaAt(idx, instMeta{})
+	case termIndirect:
+		idx := g.b.Emit(isa.Inst{Op: isa.OpJumpIndirect, Dst: isa.NoReg,
+			Src1: g.pickSource(), Src2: isa.NoReg})
+		g.meta = append(g.meta, instMeta{targets: make([]int32, len(bp.cands))})
+		g.indirectLabels[idx] = bp.cands
+	case termReturn:
+		idx := g.b.Emit(isa.Inst{Op: isa.OpReturn, Dst: isa.NoReg,
+			Src1: isa.NoReg, Src2: isa.NoReg})
+		g.meta = append(g.meta, instMeta{})
+		_ = idx
+	}
+}
+
+// labelHere registers the label for the next instruction index.
+func (g *generator) labelHere(label string) {
+	g.labelIndex[label] = g.b.Len()
+	g.b.Label(label)
+}
+
+// metaAt records the annotation for an instruction emitted directly
+// through the builder (which bypasses g.emit).
+func (g *generator) metaAt(idx int, m instMeta) {
+	if idx != len(g.meta) {
+		panic("workload: meta out of sync with builder")
+	}
+	g.meta = append(g.meta, m)
+}
+
+// emitBodyInst draws one instruction from the profile's mix.
+func (g *generator) emitBodyInst() {
+	p := g.prof
+	u := g.r.Float64()
+	switch {
+	case u < p.LoadFrac:
+		g.emitLoad()
+	case u < p.LoadFrac+p.StoreFrac:
+		g.emitStore()
+	case u < p.LoadFrac+p.StoreFrac+p.LongALUFrac:
+		g.emitLongALU()
+	default:
+		g.emitShortALU()
+	}
+}
+
+func (g *generator) emitLoad() {
+	p := g.prof
+	u := g.r.Float64()
+	switch {
+	case u < p.ChaseFrac:
+		// Pointer chase: ld rc, (rc). The dependence on the previous
+		// link comes from reusing the chain register. With
+		// probability ChaseBreak the chain is re-seeded first,
+		// bounding the dependent-chain length.
+		chain := uint8(g.r.Intn(p.ChaseChains))
+		rc := chaseReg0 + isa.Reg(chain)
+		if g.r.Bool(p.ChaseBreak) {
+			g.emit(isa.Inst{Op: isa.OpIntShort, Dst: rc,
+				Src1: g.farReg(), Src2: g.farReg()}, instMeta{})
+		}
+		g.emit(isa.Inst{Op: isa.OpLoad, Dst: rc, Src1: rc, Src2: isa.NoReg},
+			instMeta{pat: PatChase, chain: chain})
+		g.lastLoadDst = rc
+		g.lastColdDst = rc
+	case u < p.ChaseFrac+p.ColdFrac:
+		g.emitPlainLoad(PatCold)
+	case u < p.ChaseFrac+p.ColdFrac+p.StreamFrac:
+		g.emitPlainLoad(PatStream)
+	case u < p.ChaseFrac+p.ColdFrac+p.StreamFrac+p.AliasFrac:
+		g.emitPlainLoad(PatAlias)
+	default:
+		g.emitPlainLoad(PatHot)
+	}
+}
+
+func (g *generator) emitPlainLoad(pat MemPattern) {
+	base := g.addrBase()
+	dst := g.allocScratch()
+	g.emit(isa.Inst{Op: isa.OpLoad, Dst: dst, Src1: base, Src2: isa.NoReg},
+		instMeta{pat: pat})
+	g.noteWrite(dst)
+	g.lastLoadDst = dst
+	if pat != PatHot {
+		g.lastColdDst = dst
+	}
+}
+
+func (g *generator) emitStore() {
+	p := g.prof
+	pat := PatHot
+	u := g.r.Float64()
+	switch {
+	case u < p.ColdFrac/2:
+		pat = PatCold
+	case u < p.ColdFrac/2+p.StreamFrac:
+		pat = PatStream
+	}
+	base := g.addrBase()
+	data := g.pickSource()
+	g.emit(isa.Inst{Op: isa.OpStore, Dst: isa.NoReg, Src1: data, Src2: base},
+		instMeta{pat: pat})
+}
+
+// addrBase returns the register used as the memory base: with
+// probability AddrDepFrac a freshly computed address (emitting the
+// address-generation add), otherwise a long-lived register.
+func (g *generator) addrBase() isa.Reg {
+	if g.r.Bool(g.prof.AddrDepFrac) {
+		dst := g.allocScratch()
+		g.emit(isa.Inst{Op: isa.OpIntShort, Dst: dst,
+			Src1: g.pickSource(), Src2: g.farReg()}, instMeta{})
+		g.noteWrite(dst)
+		return dst
+	}
+	return g.farReg()
+}
+
+func (g *generator) emitShortALU() {
+	dst := g.allocScratch()
+	g.emit(isa.Inst{Op: isa.OpIntShort, Dst: dst,
+		Src1: g.pickSource(), Src2: g.pickSource()}, instMeta{})
+	g.noteWrite(dst)
+}
+
+func (g *generator) emitLongALU() {
+	p := g.prof
+	if g.r.Bool(p.FPFrac) {
+		op := isa.OpFloatAdd
+		switch g.r.Intn(10) {
+		case 0:
+			op = isa.OpFloatDiv
+		case 1, 2, 3:
+			op = isa.OpFloatMul
+		}
+		dst := g.allocFP()
+		src1 := g.pickFPSource()
+		src2 := g.pickFPSource()
+		if g.r.Bool(0.3) {
+			src2 = g.pickSource() // cross int->fp dataflow
+		}
+		g.emit(isa.Inst{Op: op, Dst: dst, Src1: src1, Src2: src2}, instMeta{})
+		g.noteFPWrite(dst)
+		return
+	}
+	dst := g.allocScratch()
+	g.emit(isa.Inst{Op: isa.OpIntMul, Dst: dst,
+		Src1: g.pickSource(), Src2: g.pickSource()}, instMeta{})
+	g.noteWrite(dst)
+}
+
+// branchSource picks the register a conditional branch tests.
+func (g *generator) branchSource() isa.Reg {
+	if g.r.Bool(g.prof.BranchLoadDep) {
+		if g.lastColdDst != isa.NoReg {
+			return g.lastColdDst
+		}
+		if g.lastLoadDst != isa.NoReg {
+			return g.lastLoadDst
+		}
+	}
+	return g.pickSource()
+}
+
+// allocScratch returns the next integer scratch destination.
+func (g *generator) allocScratch() isa.Reg {
+	r := g.nextScratch
+	g.nextScratch++
+	if g.nextScratch > scratchHi {
+		g.nextScratch = scratchLo
+	}
+	return r
+}
+
+func (g *generator) allocFP() isa.Reg {
+	r := g.nextFP
+	g.nextFP++
+	if g.nextFP > fpScratchHi {
+		g.nextFP = fpScratchLo
+	}
+	return r
+}
+
+func (g *generator) noteWrite(r isa.Reg) {
+	g.recent = append(g.recent, r)
+	if len(g.recent) > 32 {
+		g.recent = g.recent[1:]
+	}
+}
+
+func (g *generator) noteFPWrite(r isa.Reg) {
+	g.fpRecent = append(g.fpRecent, r)
+	if len(g.fpRecent) > 16 {
+		g.fpRecent = g.fpRecent[1:]
+	}
+}
+
+// pickSource chooses a source register: a far (always-ready) register
+// with probability FarDepFrac, otherwise a recently written register
+// at a geometric distance with mean DepDist.
+func (g *generator) pickSource() isa.Reg {
+	if len(g.recent) == 0 || g.r.Bool(g.prof.FarDepFrac) {
+		return g.farReg()
+	}
+	d := g.r.Geometric(g.prof.DepDist)
+	if d > len(g.recent) {
+		d = len(g.recent)
+	}
+	return g.recent[len(g.recent)-d]
+}
+
+func (g *generator) pickFPSource() isa.Reg {
+	if len(g.fpRecent) == 0 || g.r.Bool(g.prof.FarDepFrac) {
+		return fpScratchLo + isa.Reg(g.r.Intn(int(fpScratchHi-fpScratchLo+1)))
+	}
+	d := g.r.Geometric(g.prof.DepDist)
+	if d > len(g.fpRecent) {
+		d = len(g.fpRecent)
+	}
+	return g.fpRecent[len(g.fpRecent)-d]
+}
+
+func (g *generator) farReg() isa.Reg {
+	return farLo + isa.Reg(g.r.Intn(int(farHi-farLo+1)))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

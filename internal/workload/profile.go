@@ -1,0 +1,314 @@
+// Package workload generates the benchmark workloads used by every
+// experiment. The paper evaluates on SPECint2000 Alpha binaries run
+// under a SimpleScalar-derived simulator; we have neither, so (per the
+// substitution documented in DESIGN.md §2) each benchmark is replaced
+// by a synthetic program with the same *statistical* structure:
+// instruction mix, branch predictability, data working-set size and
+// access patterns (streaming, random, pointer-chasing), dependence
+// distances, and code footprint. A Profile captures those knobs; the
+// generator (gen.go) turns a Profile into a static program plus
+// per-instruction behavioural annotations, and the executor (exec.go)
+// interprets it into a dynamic trace.
+//
+// The twelve profiles below are calibrated so the *shape* of each
+// benchmark's bottleneck breakdown matches Table 4a of the paper:
+// mcf is dominated by dependent data-cache misses, vortex by window
+// stalls with near-perfect branch prediction, bzip2 by branch
+// mispredictions, eon by long (FP) operations and instruction-cache
+// misses, and so on. Absolute percentages are not expected to match —
+// the substrate differs — but signs and orderings of the interaction
+// costs do (see EXPERIMENTS.md).
+package workload
+
+import "sort"
+
+// Profile parameterizes one synthetic benchmark.
+type Profile struct {
+	// Name is the benchmark name (SPECint2000 short name).
+	Name string
+
+	// Instruction mix (fractions of non-terminator instructions).
+	// The remainder after loads, stores and long-ALU ops is one-cycle
+	// integer work.
+	LoadFrac    float64
+	StoreFrac   float64
+	LongALUFrac float64
+	// FPFrac is the fraction of long-ALU ops that are floating point
+	// (the rest are integer multiplies).
+	FPFrac float64
+
+	// Control flow.
+	// CondTermFrac is the probability a basic block ends in a
+	// conditional branch; JumpTermFrac an unconditional jump;
+	// CallTermFrac a call; IndirectTermFrac an indirect jump. The
+	// remainder falls through.
+	CondTermFrac     float64
+	JumpTermFrac     float64
+	CallTermFrac     float64
+	IndirectTermFrac float64
+	// LoopFrac is the fraction of conditional branches that branch
+	// backward (loop branches); these get a strong taken bias so they
+	// behave like loops with geometric trip counts.
+	LoopFrac float64
+	// LoopRegular is the fraction of loops with a deterministic trip
+	// count (learnable by the gshare history); the rest exit
+	// probabilistically. High values give vortex-like near-perfect
+	// prediction.
+	LoopRegular float64
+	// MeanTrip is the mean loop trip count (sets loop-branch bias).
+	MeanTrip float64
+	// BranchNoise is the fraction of forward conditional branches
+	// whose outcome is close to 50/50 (hard to predict); the rest are
+	// heavily biased (easy). This is the main mispredict-rate knob.
+	BranchNoise float64
+	// BranchLoadDep is the probability a conditional branch's source
+	// register is the most recent load result, creating the
+	// load-feeds-branch serial interaction (bmisp+dmiss) the paper
+	// observes for mcf and parser (Section 4.2).
+	BranchLoadDep float64
+
+	// Memory behaviour.
+	// HotBytes is the small, cache-resident data region; ColdBytes
+	// the large region that misses.
+	HotBytes  int64
+	ColdBytes int64
+	// Load pattern fractions (must sum to <= 1; remainder goes to the
+	// hot region): ColdFrac random in the cold region, ChaseFrac
+	// pointer-chasing through the cold region, StreamFrac sequential
+	// streaming through the cold region.
+	ColdFrac   float64
+	ChaseFrac  float64
+	StreamFrac float64
+	// ChaseChains is the number of independent pointer chains
+	// (memory-level parallelism of the chasing traffic).
+	ChaseChains int
+	// ChaseBreak is the probability a chase load re-seeds its chain
+	// register instead of extending the dependence chain, bounding
+	// chain length (real pointer walks are finite). Without breaks, a
+	// handful of chase loads form one serial chain spanning the whole
+	// trace and dominate every critical path.
+	ChaseBreak float64
+	// AliasFrac is the probability a load reads the address of the
+	// most recently executed store (register spill/reload traffic),
+	// creating the dynamically-collected memory dependences of paper
+	// Figure 5b (PR "mem: D").
+	AliasFrac float64
+	// AddrDepFrac is the probability a load/store is preceded by an
+	// address-generation add it depends on.
+	AddrDepFrac float64
+
+	// Dependence structure. DepDist is the mean distance (in emitted
+	// instructions) from a consumer back to its producer; FarDepFrac
+	// is the fraction of sources taken from long-lived (always-ready)
+	// registers. Small DepDist + low FarDepFrac = serial dataflow;
+	// large values = abundant ILP.
+	DepDist    float64
+	FarDepFrac float64
+
+	// Code structure. StaticInsts sets the code footprint (×4 bytes);
+	// NumFuncs the number of callable functions; MeanBlockLen the
+	// mean basic-block body length.
+	StaticInsts  int
+	NumFuncs     int
+	MeanBlockLen float64
+}
+
+// profiles is the registry, keyed by name. See the package comment
+// for the calibration rationale; per-benchmark notes inline.
+var profiles = map[string]Profile{
+	// bzip2: dominated by branch mispredictions (41% in Table 4a),
+	// with substantial data misses; modest code.
+	"bzip": {
+		Name: "bzip", LoadFrac: 0.24, StoreFrac: 0.09, LongALUFrac: 0.02, FPFrac: 0.1,
+		CondTermFrac: 0.62, JumpTermFrac: 0.08, CallTermFrac: 0.06, IndirectTermFrac: 0.01,
+		LoopFrac: 0.35, LoopRegular: 0.3, MeanTrip: 9, BranchNoise: 0.55, BranchLoadDep: 0.4,
+		HotBytes: 64 << 10, ColdBytes: 2 << 20,
+		ColdFrac: 0.004, ChaseFrac: 0.003, StreamFrac: 0.004, ChaseBreak: 0.5, ChaseChains: 2, AliasFrac: 0.03, AddrDepFrac: 0.5,
+		DepDist: 2.2, FarDepFrac: 0.18,
+		StaticInsts: 2600, NumFuncs: 12, MeanBlockLen: 5,
+	},
+	// crafty: chess search; mispredict-heavy, small working set (fits
+	// caches), lots of short integer work (bit boards).
+	"crafty": {
+		Name: "crafty", LoadFrac: 0.27, StoreFrac: 0.07, LongALUFrac: 0.03, FPFrac: 0.05,
+		CondTermFrac: 0.6, JumpTermFrac: 0.08, CallTermFrac: 0.1, IndirectTermFrac: 0.02,
+		LoopFrac: 0.3, LoopRegular: 0.45, MeanTrip: 6, BranchNoise: 0.33, BranchLoadDep: 0.3,
+		HotBytes: 30 << 10, ColdBytes: 1 << 20,
+		ColdFrac: 0.004, ChaseFrac: 0.002, StreamFrac: 0.004, ChaseBreak: 0.5, ChaseChains: 2, AliasFrac: 0.05, AddrDepFrac: 0.55,
+		DepDist: 2.2, FarDepFrac: 0.2,
+		StaticInsts: 3500, NumFuncs: 24, MeanBlockLen: 6,
+	},
+	// eon: C++ ray tracer; the only FP-heavy SPECint member, large
+	// code footprint (icache misses), indirect calls, few data misses.
+	"eon": {
+		Name: "eon", LoadFrac: 0.26, StoreFrac: 0.1, LongALUFrac: 0.2, FPFrac: 0.85,
+		CondTermFrac: 0.45, JumpTermFrac: 0.1, CallTermFrac: 0.16, IndirectTermFrac: 0.05,
+		LoopFrac: 0.35, LoopRegular: 0.6, MeanTrip: 7, BranchNoise: 0.14, BranchLoadDep: 0.15,
+		HotBytes: 14 << 10, ColdBytes: 512 << 10,
+		ColdFrac: 0.0, ChaseFrac: 0.0, StreamFrac: 0.0, ChaseBreak: 0.5, ChaseChains: 2, AliasFrac: 0.05, AddrDepFrac: 0.55,
+		DepDist: 2.0, FarDepFrac: 0.3,
+		StaticInsts: 14000, NumFuncs: 120, MeanBlockLen: 7,
+	},
+	// gap: group theory; window-bound (41% win in Table 4a): abundant
+	// far-flung ILP plus independent cold misses that a larger window
+	// could overlap.
+	"gap": {
+		Name: "gap", LoadFrac: 0.27, StoreFrac: 0.08, LongALUFrac: 0.05, FPFrac: 0.2,
+		CondTermFrac: 0.5, JumpTermFrac: 0.1, CallTermFrac: 0.12, IndirectTermFrac: 0.03,
+		LoopFrac: 0.45, LoopRegular: 0.8, MeanTrip: 14, BranchNoise: 0.18, BranchLoadDep: 0.15,
+		HotBytes: 33 << 10, ColdBytes: 3 << 20,
+		ColdFrac: 0.002, ChaseFrac: 0.0, StreamFrac: 0.002, ChaseBreak: 0.5, ChaseChains: 2, AliasFrac: 0.03, AddrDepFrac: 0.3,
+		DepDist: 6, FarDepFrac: 0.3,
+		StaticInsts: 5000, NumFuncs: 30, MeanBlockLen: 7,
+	},
+	// gcc: large code (icache misses), mixed mispredicts and data
+	// misses, pointerish structures.
+	"gcc": {
+		Name: "gcc", LoadFrac: 0.26, StoreFrac: 0.11, LongALUFrac: 0.02, FPFrac: 0.1,
+		CondTermFrac: 0.58, JumpTermFrac: 0.1, CallTermFrac: 0.1, IndirectTermFrac: 0.03,
+		LoopFrac: 0.3, LoopRegular: 0.45, MeanTrip: 7, BranchNoise: 0.45, BranchLoadDep: 0.3,
+		HotBytes: 44 << 10, ColdBytes: 2 << 20,
+		ColdFrac: 0.004, ChaseFrac: 0.01, StreamFrac: 0.01, ChaseBreak: 0.25, ChaseChains: 3, AliasFrac: 0.05, AddrDepFrac: 0.5,
+		DepDist: 2.5, FarDepFrac: 0.3,
+		StaticInsts: 12000, NumFuncs: 140, MeanBlockLen: 4.5,
+	},
+	// gzip: tight loops over a cache-resident window; dl1-latency and
+	// shalu bound with noticeable mispredicts.
+	"gzip": {
+		Name: "gzip", LoadFrac: 0.3, StoreFrac: 0.09, LongALUFrac: 0.01, FPFrac: 0,
+		CondTermFrac: 0.6, JumpTermFrac: 0.07, CallTermFrac: 0.05, IndirectTermFrac: 0.005,
+		LoopFrac: 0.45, LoopRegular: 0.5, MeanTrip: 12, BranchNoise: 0.24, BranchLoadDep: 0.35,
+		HotBytes: 24 << 10, ColdBytes: 1 << 20,
+		ColdFrac: 0.001, ChaseFrac: 0.0, StreamFrac: 0.001, ChaseBreak: 0.6, ChaseChains: 2, AliasFrac: 0.03, AddrDepFrac: 0.6,
+		DepDist: 2.0, FarDepFrac: 0.15,
+		StaticInsts: 2200, NumFuncs: 10, MeanBlockLen: 6.5,
+	},
+	// mcf: the memory-bound extreme (81% dmiss): pointer chasing over
+	// a working set far larger than L2, with loads feeding branches.
+	"mcf": {
+		Name: "mcf", LoadFrac: 0.3, StoreFrac: 0.09, LongALUFrac: 0.01, FPFrac: 0,
+		CondTermFrac: 0.55, JumpTermFrac: 0.08, CallTermFrac: 0.05, IndirectTermFrac: 0.005,
+		LoopFrac: 0.45, LoopRegular: 0.3, MeanTrip: 16, BranchNoise: 0.45, BranchLoadDep: 0.8,
+		HotBytes: 10 << 10, ColdBytes: 48 << 20,
+		ColdFrac: 0.005, ChaseFrac: 0.16, StreamFrac: 0.02, ChaseBreak: 0.3, ChaseChains: 4, AliasFrac: 0.01, AddrDepFrac: 0.25,
+		DepDist: 2.5, FarDepFrac: 0.2,
+		StaticInsts: 1800, NumFuncs: 8, MeanBlockLen: 4,
+	},
+	// parser: dictionary lookups; data misses that feed branches
+	// (serial bmisp+dmiss interaction), plenty of short integer work.
+	"parser": {
+		Name: "parser", LoadFrac: 0.26, StoreFrac: 0.08, LongALUFrac: 0.01, FPFrac: 0,
+		CondTermFrac: 0.6, JumpTermFrac: 0.08, CallTermFrac: 0.09, IndirectTermFrac: 0.01,
+		LoopFrac: 0.35, LoopRegular: 0.4, MeanTrip: 8, BranchNoise: 0.3, BranchLoadDep: 0.65,
+		HotBytes: 36 << 10, ColdBytes: 4 << 20,
+		ColdFrac: 0.002, ChaseFrac: 0.02, StreamFrac: 0.015, ChaseBreak: 0.2, ChaseChains: 3, AliasFrac: 0.04, AddrDepFrac: 0.5,
+		DepDist: 2.2, FarDepFrac: 0.2,
+		StaticInsts: 5500, NumFuncs: 40, MeanBlockLen: 4.5,
+	},
+	// perlbmk: interpreter; big code, indirect dispatch, very
+	// mispredict-bound, data mostly cache-resident.
+	"perl": {
+		Name: "perl", LoadFrac: 0.28, StoreFrac: 0.12, LongALUFrac: 0.02, FPFrac: 0.2,
+		CondTermFrac: 0.55, JumpTermFrac: 0.1, CallTermFrac: 0.12, IndirectTermFrac: 0.08,
+		LoopFrac: 0.25, LoopRegular: 0.35, MeanTrip: 6, BranchNoise: 0.6, BranchLoadDep: 0.35,
+		HotBytes: 16 << 10, ColdBytes: 1 << 20,
+		ColdFrac: 0.0005, ChaseFrac: 0.0, StreamFrac: 0.001, ChaseBreak: 0.5, ChaseChains: 2, AliasFrac: 0.06, AddrDepFrac: 0.5,
+		DepDist: 2.4, FarDepFrac: 0.12,
+		StaticInsts: 16000, NumFuncs: 110, MeanBlockLen: 6,
+	},
+	// twolf: place-and-route; data misses plus window stalls and
+	// mispredicts in roughly equal measure.
+	"twolf": {
+		Name: "twolf", LoadFrac: 0.27, StoreFrac: 0.07, LongALUFrac: 0.04, FPFrac: 0.5,
+		CondTermFrac: 0.58, JumpTermFrac: 0.08, CallTermFrac: 0.08, IndirectTermFrac: 0.01,
+		LoopFrac: 0.4, LoopRegular: 0.45, MeanTrip: 10, BranchNoise: 0.36, BranchLoadDep: 0.3,
+		HotBytes: 48 << 10, ColdBytes: 4 << 20,
+		ColdFrac: 0.006, ChaseFrac: 0.015, StreamFrac: 0.015, ChaseBreak: 0.3, ChaseChains: 3, AliasFrac: 0.03, AddrDepFrac: 0.45,
+		DepDist: 3, FarDepFrac: 0.3,
+		StaticInsts: 5000, NumFuncs: 35, MeanBlockLen: 5,
+	},
+	// vortex: object database; near-perfect branch prediction (1.9%
+	// bmisp cost) and the suite's largest window cost: plentiful
+	// independent misses and ILP the 64-entry window cannot cover.
+	"vortex": {
+		Name: "vortex", LoadFrac: 0.3, StoreFrac: 0.13, LongALUFrac: 0.01, FPFrac: 0,
+		CondTermFrac: 0.5, JumpTermFrac: 0.1, CallTermFrac: 0.14, IndirectTermFrac: 0.005,
+		LoopFrac: 0.4, LoopRegular: 0.95, MeanTrip: 18, BranchNoise: 0.003, BranchLoadDep: 0.1,
+		HotBytes: 28 << 10, ColdBytes: 2 << 20,
+		ColdFrac: 0.004, ChaseFrac: 0.004, StreamFrac: 0.003, ChaseBreak: 0.5, ChaseChains: 2, AliasFrac: 0.04, AddrDepFrac: 0.5,
+		DepDist: 5, FarDepFrac: 0.4,
+		StaticInsts: 9000, NumFuncs: 80, MeanBlockLen: 6.5,
+	},
+	// vpr: FPGA place-and-route; like twolf with a little FP.
+	"vpr": {
+		Name: "vpr", LoadFrac: 0.28, StoreFrac: 0.08, LongALUFrac: 0.05, FPFrac: 0.7,
+		CondTermFrac: 0.55, JumpTermFrac: 0.08, CallTermFrac: 0.08, IndirectTermFrac: 0.01,
+		LoopFrac: 0.4, LoopRegular: 0.5, MeanTrip: 11, BranchNoise: 0.55, BranchLoadDep: 0.3,
+		HotBytes: 48 << 10, ColdBytes: 4 << 20,
+		ColdFrac: 0.006, ChaseFrac: 0.012, StreamFrac: 0.015, ChaseBreak: 0.3, ChaseChains: 3, AliasFrac: 0.03, AddrDepFrac: 0.45,
+		DepDist: 3, FarDepFrac: 0.3,
+		StaticInsts: 4500, NumFuncs: 30, MeanBlockLen: 4.5,
+	},
+}
+
+// ByName returns the named profile.
+func ByName(name string) (Profile, bool) {
+	p, ok := profiles[name]
+	return p, ok
+}
+
+// Names returns all benchmark names in sorted order (the column order
+// used by every table).
+func Names() []string {
+	out := make([]string, 0, len(profiles))
+	for n := range profiles {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Table4bNames returns the five-benchmark subset the paper uses for
+// Tables 4b and 4c.
+func Table4bNames() []string {
+	return []string{"gap", "gcc", "gzip", "mcf", "parser"}
+}
+
+// Validate checks a profile's parameters are internally consistent.
+func (p *Profile) Validate() error {
+	checks := []struct {
+		ok  bool
+		msg string
+	}{
+		{p.Name != "", "empty name"},
+		{p.LoadFrac >= 0 && p.StoreFrac >= 0 && p.LongALUFrac >= 0, "negative mix fraction"},
+		{p.LoadFrac+p.StoreFrac+p.LongALUFrac < 1, "mix fractions sum to >= 1"},
+		{p.CondTermFrac+p.JumpTermFrac+p.CallTermFrac+p.IndirectTermFrac <= 1, "terminator fractions exceed 1"},
+		{p.ColdFrac+p.ChaseFrac+p.StreamFrac <= 1, "load pattern fractions exceed 1"},
+		{p.HotBytes > 0 && p.ColdBytes > 0, "non-positive region size"},
+		{p.ChaseChains > 0 && p.ChaseChains <= 8, "ChaseChains outside [1,8]"},
+		{p.StaticInsts >= 64, "StaticInsts too small"},
+		{p.NumFuncs >= 1, "NumFuncs < 1"},
+		{p.MeanBlockLen >= 1, "MeanBlockLen < 1"},
+		{p.MeanTrip >= 2, "MeanTrip < 2"},
+		{p.DepDist >= 1, "DepDist < 1"},
+		{p.BranchNoise >= 0 && p.BranchNoise <= 1, "BranchNoise outside [0,1]"},
+	}
+	for _, c := range checks {
+		if !c.ok {
+			return &ProfileError{Name: p.Name, Reason: c.msg}
+		}
+	}
+	return nil
+}
+
+// ProfileError reports an invalid profile.
+type ProfileError struct {
+	Name   string
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *ProfileError) Error() string {
+	return "workload: profile " + e.Name + ": " + e.Reason
+}

@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"testing"
+
+	"icost/internal/isa"
+)
+
+func TestFixedTripLoopsDeterministic(t *testing.T) {
+	// vortex has LoopRegular 0.95: most loop branches must show an
+	// exact taken-run pattern (taken trip-1 times, then not taken).
+	w := MustGenerate(profiles["vortex"], 31)
+	tr := w.MustExecute(60000, 32)
+
+	// Gather per-static-branch outcome sequences.
+	seqs := map[int32][]bool{}
+	for i := range tr.Insts {
+		if tr.Static(i).Op == isa.OpBranch {
+			seqs[tr.Insts[i].SIdx] = append(seqs[tr.Insts[i].SIdx], tr.Insts[i].Taken)
+		}
+	}
+	regular := 0
+	checked := 0
+	for sIdx, seq := range seqs {
+		if len(seq) < 30 {
+			continue
+		}
+		if w.meta[sIdx].trip == 0 {
+			continue
+		}
+		checked++
+		trip := int(w.meta[sIdx].trip)
+		ok := true
+		for i, taken := range seq {
+			want := (i+1)%trip != 0
+			if taken != want {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			regular++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no fixed-trip branches executed often enough")
+	}
+	if regular != checked {
+		t.Fatalf("%d of %d fixed-trip branches deviated from their pattern",
+			checked-regular, checked)
+	}
+}
+
+func TestChaseBreakBoundsChains(t *testing.T) {
+	// With ChaseBreak, chase chains through a chain register are
+	// interrupted by re-seeding adds: count the longest run of chase
+	// loads per chain register without an intervening write by a
+	// non-load, statically.
+	p := profiles["mcf"]
+	w := MustGenerate(p, 33)
+	// Walk the static program: for each chain register, track run
+	// lengths of chase loads between re-seeds.
+	run := map[isa.Reg]int{}
+	maxRun := 0
+	for i := 0; i < w.Prog.Len(); i++ {
+		in := w.Prog.At(i)
+		if in.Op == isa.OpLoad && w.Pattern(i) == PatChase {
+			run[in.Dst]++
+			if run[in.Dst] > maxRun {
+				maxRun = run[in.Dst]
+			}
+			continue
+		}
+		if in.HasDst() && in.Dst >= chaseReg0 && in.Dst < chaseReg0+8 {
+			run[in.Dst] = 0 // re-seed breaks the chain
+		}
+	}
+	if maxRun == 0 {
+		t.Fatal("no chase runs found")
+	}
+	// With break probability 0.3, static runs beyond ~40 are
+	// essentially impossible.
+	if maxRun > 60 {
+		t.Fatalf("static chase run of %d: ChaseBreak not effective", maxRun)
+	}
+}
+
+func TestColdDstPersistsAcrossBlocks(t *testing.T) {
+	// mcf branches should frequently test chain registers (the
+	// mcf-style "branch on loaded key"), which requires lastColdDst
+	// to survive block boundaries.
+	w := MustGenerate(profiles["mcf"], 35)
+	branchesOnChain := 0
+	branches := 0
+	for i := 0; i < w.Prog.Len(); i++ {
+		in := w.Prog.At(i)
+		if in.Op != isa.OpBranch {
+			continue
+		}
+		branches++
+		if in.Src1 >= chaseReg0 && in.Src1 < chaseReg0+8 {
+			branchesOnChain++
+		}
+	}
+	if branches == 0 {
+		t.Fatal("no branches")
+	}
+	frac := float64(branchesOnChain) / float64(branches)
+	if frac < 0.3 {
+		t.Fatalf("only %.0f%% of mcf branches test chain registers", frac*100)
+	}
+}
+
+func TestDispatcherCoverage(t *testing.T) {
+	// The dispatcher structure must keep traces from collapsing into
+	// tiny code regions (the failure mode of the first generator
+	// design): a window well past warmup still touches a healthy
+	// share of the program.
+	for _, name := range []string{"gcc", "perl", "vortex"} {
+		w := MustGenerate(profiles[name], 37)
+		tr := w.MustExecute(60000, 38)
+		uniq := map[int32]bool{}
+		for _, d := range tr.Insts[30000:] {
+			uniq[d.SIdx] = true
+		}
+		frac := float64(len(uniq)) / float64(w.Prog.Len())
+		if frac < 0.05 {
+			t.Errorf("%s: window covers only %.1f%% of the program", name, frac*100)
+		}
+	}
+}
+
+func TestProfilesHaveLoopRegular(t *testing.T) {
+	for _, name := range Names() {
+		p, _ := ByName(name)
+		if p.LoopRegular < 0 || p.LoopRegular > 1 {
+			t.Errorf("%s: LoopRegular %v out of range", name, p.LoopRegular)
+		}
+	}
+	v, _ := ByName("vortex")
+	b, _ := ByName("bzip")
+	if v.LoopRegular <= b.LoopRegular {
+		t.Error("vortex should have more regular loops than bzip")
+	}
+}

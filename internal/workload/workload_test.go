@@ -1,0 +1,314 @@
+package workload
+
+import (
+	"testing"
+
+	"icost/internal/isa"
+	"icost/internal/trace"
+)
+
+func TestAllProfilesValidate(t *testing.T) {
+	for _, name := range Names() {
+		p, ok := ByName(name)
+		if !ok {
+			t.Fatalf("ByName(%q) failed", name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestNamesComplete(t *testing.T) {
+	want := []string{"bzip", "crafty", "eon", "gap", "gcc", "gzip",
+		"mcf", "parser", "perl", "twolf", "vortex", "vpr"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTable4bNamesSubset(t *testing.T) {
+	for _, n := range Table4bNames() {
+		if _, ok := ByName(n); !ok {
+			t.Errorf("Table4b benchmark %q not in registry", n)
+		}
+	}
+}
+
+func TestGenerateAllBenchmarks(t *testing.T) {
+	for _, name := range Names() {
+		w, err := New(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := w.Prog.Validate(); err != nil {
+			t.Errorf("%s: invalid program: %v", name, err)
+		}
+		p, _ := ByName(name)
+		// Footprint within 2x of the requested static size.
+		if w.Prog.Len() < p.StaticInsts/3 || w.Prog.Len() > p.StaticInsts*2 {
+			t.Errorf("%s: program length %d vs requested %d", name, w.Prog.Len(), p.StaticInsts)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(profiles["gcc"], 7)
+	b := MustGenerate(profiles["gcc"], 7)
+	if a.Prog.Len() != b.Prog.Len() {
+		t.Fatal("same seed produced different program sizes")
+	}
+	for i := 0; i < a.Prog.Len(); i++ {
+		if *a.Prog.At(i) != *b.Prog.At(i) {
+			t.Fatalf("instruction %d differs between identical generations", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := MustGenerate(profiles["gcc"], 7)
+	b := MustGenerate(profiles["gcc"], 8)
+	same := a.Prog.Len() == b.Prog.Len()
+	if same {
+		identical := true
+		for i := 0; i < a.Prog.Len(); i++ {
+			if *a.Prog.At(i) != *b.Prog.At(i) {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Fatal("different seeds produced identical programs")
+		}
+	}
+}
+
+func TestExecuteProducesValidTraces(t *testing.T) {
+	for _, name := range Names() {
+		w, err := New(name, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tr, err := w.Execute(20000, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tr.Len() != 20000 {
+			t.Fatalf("%s: trace length %d", name, tr.Len())
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: invalid trace: %v", name, err)
+		}
+	}
+}
+
+func TestExecuteDeterministic(t *testing.T) {
+	w := MustGenerate(profiles["mcf"], 5)
+	a := w.MustExecute(5000, 9)
+	b := w.MustExecute(5000, 9)
+	for i := range a.Insts {
+		if a.Insts[i] != b.Insts[i] {
+			t.Fatalf("trace diverged at %d", i)
+		}
+	}
+}
+
+func TestExecuteTraceSeedMatters(t *testing.T) {
+	w := MustGenerate(profiles["mcf"], 5)
+	a := w.MustExecute(5000, 9)
+	b := w.MustExecute(5000, 10)
+	diff := 0
+	for i := range a.Insts {
+		if a.Insts[i] != b.Insts[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different trace seeds produced identical traces")
+	}
+}
+
+func TestMixRoughlyMatchesProfile(t *testing.T) {
+	for _, name := range []string{"gcc", "mcf", "vortex", "eon"} {
+		p := profiles[name]
+		w := MustGenerate(p, 11)
+		tr := w.MustExecute(60000, 12)
+		s := trace.ComputeStats(tr)
+		loadFrac := float64(s.Loads) / float64(s.Insts)
+		// Terminators and address-generation ops dilute the body mix;
+		// require the dynamic fraction to be within a factor of two.
+		if loadFrac < p.LoadFrac/2 || loadFrac > p.LoadFrac*2 {
+			t.Errorf("%s: dynamic load fraction %.3f vs profile %.3f", name, loadFrac, p.LoadFrac)
+		}
+		if p.LongALUFrac > 0.05 && s.LongALU == 0 {
+			t.Errorf("%s: no long-ALU ops despite LongALUFrac=%.2f", name, p.LongALUFrac)
+		}
+		brFrac := float64(s.Branches) / float64(s.Insts)
+		if brFrac < 0.03 || brFrac > 0.35 {
+			t.Errorf("%s: conditional branch fraction %.3f implausible", name, brFrac)
+		}
+	}
+}
+
+func TestWorkingSetOrdering(t *testing.T) {
+	// mcf touches far more unique data lines than gzip at equal
+	// trace lengths — the core of its memory-boundedness.
+	mcf := MustGenerate(profiles["mcf"], 13).MustExecute(40000, 14)
+	gzip := MustGenerate(profiles["gzip"], 13).MustExecute(40000, 14)
+	sm := trace.ComputeStats(mcf)
+	sg := trace.ComputeStats(gzip)
+	if sm.UniqueLines <= 2*sg.UniqueLines {
+		t.Fatalf("mcf lines %d not >> gzip lines %d", sm.UniqueLines, sg.UniqueLines)
+	}
+}
+
+func TestCodeFootprintOrdering(t *testing.T) {
+	gcc := MustGenerate(profiles["gcc"], 15)
+	mcf := MustGenerate(profiles["mcf"], 15)
+	if gcc.Prog.CodeBytes() <= 4*mcf.Prog.CodeBytes() {
+		t.Fatalf("gcc code %dB not >> mcf code %dB",
+			gcc.Prog.CodeBytes(), mcf.Prog.CodeBytes())
+	}
+}
+
+func TestChaseLoadsUseChainRegisters(t *testing.T) {
+	w := MustGenerate(profiles["mcf"], 17)
+	found := 0
+	for i := 0; i < w.Prog.Len(); i++ {
+		in := w.Prog.At(i)
+		if in.Op == isa.OpLoad && w.Pattern(i) == PatChase {
+			if in.Dst != in.Src1 {
+				t.Fatalf("chase load %v does not chain through one register", in)
+			}
+			if in.Dst < chaseReg0 || in.Dst >= chaseReg0+8 {
+				t.Fatalf("chase load %v uses non-chain register", in)
+			}
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("mcf generated no chase loads")
+	}
+}
+
+func TestMemOpsAllHavePatterns(t *testing.T) {
+	w := MustGenerate(profiles["parser"], 19)
+	for i := 0; i < w.Prog.Len(); i++ {
+		if w.Prog.At(i).Op.IsMem() && w.Pattern(i) == PatNone {
+			t.Fatalf("memory instruction %v has no address pattern", w.Prog.At(i))
+		}
+	}
+}
+
+func TestStreamAddressesSequential(t *testing.T) {
+	p := profiles["gap"]
+	w := MustGenerate(p, 21)
+	tr := w.MustExecute(50000, 22)
+	// Find a static stream load with >= 10 dynamic instances and
+	// check consecutive addresses mostly advance by the access size.
+	byStatic := map[int32][]isa.Addr{}
+	for i := range tr.Insts {
+		d := &tr.Insts[i]
+		if tr.Static(i).Op.IsMem() && w.Pattern(int(d.SIdx)) == PatStream {
+			byStatic[d.SIdx] = append(byStatic[d.SIdx], d.Addr)
+		}
+	}
+	checked := false
+	for _, addrs := range byStatic {
+		if len(addrs) < 10 {
+			continue
+		}
+		seq := 0
+		for i := 1; i < len(addrs); i++ {
+			if addrs[i] == addrs[i-1]+accessAlign {
+				seq++
+			}
+		}
+		if float64(seq) < 0.8*float64(len(addrs)-1) {
+			t.Fatalf("stream accesses not sequential: %d/%d", seq, len(addrs)-1)
+		}
+		checked = true
+		break
+	}
+	if !checked {
+		t.Skip("no hot stream load found; raise trace length")
+	}
+}
+
+func TestBranchBiasRealized(t *testing.T) {
+	// vortex branches must be far more predictable than bzip's:
+	// measure the average per-static-branch entropy proxy
+	// min(p, 1-p) over executed conditional branches.
+	hard := func(name string) float64 {
+		w := MustGenerate(profiles[name], 23)
+		tr := w.MustExecute(60000, 24)
+		taken := map[int32][2]int{}
+		for i := range tr.Insts {
+			if tr.Static(i).Op == isa.OpBranch {
+				c := taken[tr.Insts[i].SIdx]
+				if tr.Insts[i].Taken {
+					c[0]++
+				}
+				c[1]++
+				taken[tr.Insts[i].SIdx] = c
+			}
+		}
+		sum, n := 0.0, 0
+		for _, c := range taken {
+			if c[1] < 8 {
+				continue
+			}
+			p := float64(c[0]) / float64(c[1])
+			m := p
+			if 1-p < m {
+				m = 1 - p
+			}
+			sum += m * float64(c[1])
+			n += c[1]
+		}
+		if n == 0 {
+			t.Fatal("no executed branches")
+		}
+		return sum / float64(n)
+	}
+	hb, hv := hard("bzip"), hard("vortex")
+	if hb <= hv*2 {
+		t.Fatalf("bzip branch hardness %.3f not >> vortex %.3f", hb, hv)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("nosuch", 1, 100); err == nil {
+		t.Fatal("Load accepted unknown benchmark")
+	}
+	if _, err := MustGenerate(profiles["gzip"], 1).Execute(0, 1); err == nil {
+		t.Fatal("Execute accepted zero length")
+	}
+}
+
+func TestLoadConvenience(t *testing.T) {
+	tr, err := Load("gzip", 1, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3000 || tr.Name != "gzip" {
+		t.Fatalf("Load returned len=%d name=%q", tr.Len(), tr.Name)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateRejectsInvalidProfile(t *testing.T) {
+	p := profiles["gzip"]
+	p.ChaseChains = 0
+	if _, err := Generate(p, 1); err == nil {
+		t.Fatal("Generate accepted invalid profile")
+	}
+}
