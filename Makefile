@@ -1,0 +1,33 @@
+# Development targets for the icost repository. `make ci` is the gate
+# the CI workflow runs; keep it green before pushing.
+
+GO ?= go
+
+.PHONY: build test race bench fuzz fmt vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench smoke: one iteration of every benchmark, just to prove they run.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# fuzz smoke: a few seconds per fuzz target.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzReadTrace -fuzztime=10s ./internal/trace/
+	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/trace/
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt vet build race bench

@@ -1,0 +1,193 @@
+// Command icostd is the interaction-cost analysis daemon: a thin
+// HTTP front end over internal/engine that keeps built dependence
+// graphs resident and answers cost/icost/breakdown/slack/matrix
+// queries concurrently. One expensive build (workload generation +
+// cycle-level simulation + graph construction) amortizes across every
+// subsequent query — the paper's O(|graph|)-per-query efficiency
+// argument, served over a socket.
+//
+// Usage:
+//
+//	icostd [-addr :8090] [-workers n] [-queue depth] [-cache-mb mb]
+//	       [-sessions n] [-preload bench1,bench2,...]
+//
+// Endpoints:
+//
+//	POST /query    JSON engine.Query -> JSON engine.Response
+//	GET  /metrics  engine counters, gauges and latency quantiles
+//	GET  /healthz  liveness + uptime
+//
+// A full queue returns 429 with a Retry-After header (backpressure,
+// never unbounded buffering). SIGINT/SIGTERM drain in-flight queries
+// before exit. See README.md "Analysis service" for a curl session.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"icost/internal/engine"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is the testable entry point: it parses flags, starts the
+// engine, serves until a signal arrives on sig (nil = install the
+// real SIGINT/SIGTERM handler), then drains and exits.
+func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
+	fs := flag.NewFlagSet("icostd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", ":8090", "listen address")
+		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue    = fs.Int("queue", 0, "job queue depth (0 = 4x workers)")
+		cacheMB  = fs.Int("cache-mb", 64, "result cache budget in MiB")
+		sessions = fs.Int("sessions", 8, "max resident sessions")
+		preload  = fs.String("preload", "", "comma-separated benchmarks to build at startup")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *cacheMB < 1 || *sessions < 1 {
+		fmt.Fprintln(stderr, "icostd: -cache-mb and -sessions must be >= 1")
+		return 2
+	}
+
+	e := engine.New(engine.Config{
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		CacheBytes:  int64(*cacheMB) << 20,
+		MaxSessions: *sessions,
+	})
+
+	if *preload != "" {
+		for _, b := range strings.Split(*preload, ",") {
+			b = strings.TrimSpace(b)
+			key, err := e.Warm(context.Background(), engine.SessionSpec{Bench: b})
+			if err != nil {
+				fmt.Fprintln(stderr, "icostd: preload:", err)
+				e.Close()
+				return 1
+			}
+			fmt.Fprintf(stdout, "icostd: preloaded %s (session %s)\n", b, key)
+		}
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newHandler(e),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(stdout, "icostd: serving on %s (%d workers)\n", *addr, e.Metrics().Workers)
+
+	if sig == nil {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		sig = ch
+	}
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(stderr, "icostd:", err)
+		e.Close()
+		return 1
+	case <-sig:
+	}
+
+	fmt.Fprintln(stdout, "icostd: shutting down, draining in-flight queries")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(stderr, "icostd: shutdown:", err)
+	}
+	e.Close()
+	return 0
+}
+
+// newHandler builds the daemon's routing table over an engine.
+func newHandler(e *engine.Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var q engine.Query
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&q); err != nil {
+			httpError(w, http.StatusBadRequest, "bad query JSON: "+err.Error())
+			return
+		}
+		resp, err := e.Query(r.Context(), q)
+		if err != nil {
+			writeQueryError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.Metrics())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		m := e.Metrics()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":         "ok",
+			"uptime_seconds": m.UptimeSeconds,
+			"sessions_live":  m.SessionsLive,
+			"in_flight":      m.InFlight,
+		})
+	})
+	return mux
+}
+
+// writeQueryError maps engine errors onto HTTP semantics: typed
+// backpressure becomes 429 + Retry-After, deadline expiry 504,
+// client disconnect 499 (nginx convention), closed engine 503, and
+// anything else — overwhelmingly validation — 400.
+func writeQueryError(w http.ResponseWriter, err error) {
+	var full *engine.QueueFullError
+	switch {
+	case errors.As(err, &full):
+		secs := int(full.RetryAfter.Seconds() + 0.5)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		httpError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, err.Error())
+	case errors.Is(err, context.Canceled):
+		httpError(w, 499, err.Error())
+	case errors.Is(err, engine.ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

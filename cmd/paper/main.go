@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -27,25 +28,35 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: parse flags, regenerate the
+// requested experiments, and return the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("paper", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		n       = flag.Int("n", 30000, "dynamic instructions per benchmark")
-		seed    = flag.Uint64("seed", 42, "workload seed")
-		benches = flag.String("bench", "", "comma-separated benchmark subset (default: per-experiment)")
-		all     = flag.Bool("all", false, "run everything")
-		t4a     = flag.Bool("table4a", false, "Table 4a: breakdown, 4-cycle dl1")
-		t4b     = flag.Bool("table4b", false, "Table 4b: breakdown, 2-cycle issue-wakeup")
-		t4c     = flag.Bool("table4c", false, "Table 4c: breakdown, 15-cycle mispredict loop")
-		t7      = flag.Bool("table7", false, "Table 7: profiler accuracy validation")
-		f1      = flag.Bool("fig1", false, "Figure 1: power-set breakdown + stacked bar")
-		f2      = flag.Bool("fig2", false, "Figure 2: dependence-graph instance")
-		f3      = flag.Bool("fig3", false, "Figure 3: window-size sensitivity")
-		s42     = flag.Bool("sec42", false, "Section 4.2: wakeup-loop validation")
-		sweep   = flag.Bool("seeds", false, "cross-seed robustness sweep of the Table 4a shapes")
-		chars   = flag.Bool("workloads", false, "workload characterization table (functional rates)")
-		asJSON  = flag.Bool("json", false, "emit results as one JSON document instead of text")
-		htmlOut = flag.String("html", "", "write a self-contained HTML report to a file (implies the main tables)")
+		n       = fs.Int("n", 30000, "dynamic instructions per benchmark")
+		seed    = fs.Uint64("seed", 42, "workload seed")
+		benches = fs.String("bench", "", "comma-separated benchmark subset (default: per-experiment)")
+		all     = fs.Bool("all", false, "run everything")
+		t4a     = fs.Bool("table4a", false, "Table 4a: breakdown, 4-cycle dl1")
+		t4b     = fs.Bool("table4b", false, "Table 4b: breakdown, 2-cycle issue-wakeup")
+		t4c     = fs.Bool("table4c", false, "Table 4c: breakdown, 15-cycle mispredict loop")
+		t7      = fs.Bool("table7", false, "Table 7: profiler accuracy validation")
+		f1      = fs.Bool("fig1", false, "Figure 1: power-set breakdown + stacked bar")
+		f2      = fs.Bool("fig2", false, "Figure 2: dependence-graph instance")
+		f3      = fs.Bool("fig3", false, "Figure 3: window-size sensitivity")
+		s42     = fs.Bool("sec42", false, "Section 4.2: wakeup-loop validation")
+		sweep   = fs.Bool("seeds", false, "cross-seed robustness sweep of the Table 4a shapes")
+		chars   = fs.Bool("workloads", false, "workload characterization table (functional rates)")
+		asJSON  = fs.Bool("json", false, "emit results as one JSON document instead of text")
+		htmlOut = fs.String("html", "", "write a self-contained HTML report to a file (implies the main tables)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.TraceLen = *n
@@ -56,21 +67,23 @@ func main() {
 	}
 
 	ran := false
+	failed := false
 	jsonOut := map[string]any{}
-	run := func(enabled bool, name string, f func() error) {
-		if !enabled && !*all {
+	exp := func(enabled bool, name string, f func() error) {
+		if failed || (!enabled && !*all) {
 			return
 		}
 		ran = true
 		if !*asJSON {
-			fmt.Printf("== %s ==\n", name)
+			fmt.Fprintf(stdout, "== %s ==\n", name)
 		}
 		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "%s: %v\n", name, err)
+			failed = true
+			return
 		}
 		if !*asJSON {
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
 	}
 	// collect stores an experiment's data for -json mode and reports
@@ -81,12 +94,11 @@ func main() {
 		}
 		return *asJSON
 	}
-	_ = collect
 
 	jsonSink = collect
-	run(*f1, "Figure 1: parallelism-aware breakdown", func() error { return figure1(cfg) })
-	run(*f2, "Figure 2: dependence graph instance", func() error { return figure2() })
-	run(*t4a, "Table 4a: CPI breakdown, 4-cycle dl1 (focus dl1)", func() error {
+	exp(*f1, "Figure 1: parallelism-aware breakdown", func() error { return figure1(stdout, cfg) })
+	exp(*f2, "Figure 2: dependence graph instance", func() error { return figure2(stdout) })
+	exp(*t4a, "Table 4a: CPI breakdown, 4-cycle dl1 (focus dl1)", func() error {
 		bds, err := experiments.Table4a(cfg)
 		if err != nil {
 			return err
@@ -94,10 +106,10 @@ func main() {
 		if collect("table4a", bds) {
 			return nil
 		}
-		fmt.Print(breakdown.Table(bds))
+		fmt.Fprint(stdout, breakdown.Table(bds))
 		return nil
 	})
-	run(*t4b, "Table 4b: 2-cycle issue-wakeup loop (focus shalu)", func() error {
+	exp(*t4b, "Table 4b: 2-cycle issue-wakeup loop (focus shalu)", func() error {
 		bds, err := experiments.Table4b(cfg)
 		if err != nil {
 			return err
@@ -105,10 +117,10 @@ func main() {
 		if collect("table4b", bds) {
 			return nil
 		}
-		fmt.Print(breakdown.Table(bds))
+		fmt.Fprint(stdout, breakdown.Table(bds))
 		return nil
 	})
-	run(*t4c, "Table 4c: 15-cycle mispredict loop (focus bmisp)", func() error {
+	exp(*t4c, "Table 4c: 15-cycle mispredict loop (focus bmisp)", func() error {
 		bds, err := experiments.Table4c(cfg)
 		if err != nil {
 			return err
@@ -116,14 +128,14 @@ func main() {
 		if collect("table4c", bds) {
 			return nil
 		}
-		fmt.Print(breakdown.Table(bds))
+		fmt.Fprint(stdout, breakdown.Table(bds))
 		return nil
 	})
-	run(*f3, "Figure 3: window speedup vs dl1 latency", func() error { return figure3(cfg) })
-	run(*s42, "Section 4.2: window speedup vs wakeup loop", func() error { return sec42(cfg) })
-	run(*t7, "Table 7: profiler accuracy", func() error { return table7(cfg) })
-	run(*sweep, "Cross-seed robustness", func() error { return seedSweep(cfg) })
-	run(*chars, "Workload characterization", func() error {
+	exp(*f3, "Figure 3: window speedup vs dl1 latency", func() error { return figure3(stdout, cfg) })
+	exp(*s42, "Section 4.2: window speedup vs wakeup loop", func() error { return sec42(stdout, cfg) })
+	exp(*t7, "Table 7: profiler accuracy", func() error { return table7(stdout, cfg) })
+	exp(*sweep, "Cross-seed robustness", func() error { return seedSweep(stdout, cfg) })
+	exp(*chars, "Workload characterization", func() error {
 		rows, err := experiments.Characterize(cfg)
 		if err != nil {
 			return err
@@ -131,31 +143,35 @@ func main() {
 		if collect("workloads", rows) {
 			return nil
 		}
-		fmt.Print(experiments.FormatCharacterization(rows))
+		fmt.Fprint(stdout, experiments.FormatCharacterization(rows))
 		return nil
 	})
+	if failed {
+		return 1
+	}
 
 	if *htmlOut != "" {
 		ran = true
 		if err := writeHTML(cfg, *htmlOut); err != nil {
-			fmt.Fprintln(os.Stderr, "html report:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "html report:", err)
+			return 1
 		}
-		fmt.Printf("report written to %s\n", *htmlOut)
+		fmt.Fprintf(stdout, "report written to %s\n", *htmlOut)
 	}
 
 	if !ran {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(jsonOut); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 	}
+	return 0
 }
 
 // jsonSink carries the -json collector into the experiment helpers.
@@ -206,7 +222,7 @@ func writeHTML(cfg experiments.Config, path string) error {
 	})
 }
 
-func figure1(cfg experiments.Config) error {
+func figure1(w io.Writer, cfg experiments.Config) error {
 	bench := "gcc"
 	if len(cfg.Benches) > 0 {
 		bench = cfg.Benches[0]
@@ -233,19 +249,19 @@ func figure1(cfg experiments.Config) error {
 	if jsonSink != nil && jsonSink("figure1", map[string]any{"naive": nv, "icost": full}) {
 		return nil
 	}
-	fmt.Println("(a) traditional method:")
-	fmt.Print(nv)
-	fmt.Println()
-	fmt.Println("(b) interaction-cost method:")
-	fmt.Print(breakdown.StackedBar(full, 50))
-	fmt.Printf("identity: rows + ideal residual = %d cycles (total) ✓\n", full.TotalCycles)
+	fmt.Fprintln(w, "(a) traditional method:")
+	fmt.Fprint(w, nv)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "(b) interaction-cost method:")
+	fmt.Fprint(w, breakdown.StackedBar(full, 50))
+	fmt.Fprintf(w, "identity: rows + ideal residual = %d cycles (total) ✓\n", full.TotalCycles)
 	return nil
 }
 
 // figure2 renders an instance of the dependence-graph model on the
 // paper's Figure 2 machine (4-entry ROB, 2-wide) over a short
 // hand-written snippet containing a cache-missing load.
-func figure2() error {
+func figure2(w io.Writer) error {
 	b := program.NewBuilder()
 	b.Label("top")
 	b.Emit(isa.Inst{Op: isa.OpIntShort, Dst: 1, Src1: 16, Src2: 17}) // i0: r1 = r16+r17
@@ -290,22 +306,22 @@ func figure2() error {
 	}
 	g := res.Graph
 	ts := res.Times
-	fmt.Println("machine: 4-entry ROB, 2-wide fetch/commit (paper Figure 2)")
+	fmt.Fprintln(w, "machine: 4-entry ROB, 2-wide fetch/commit (paper Figure 2)")
 	for i := 0; i < g.Len(); i++ {
-		fmt.Printf("i%d %-22v D=%-3d R=%-3d E=%-3d P=%-4d C=%-4d\n",
+		fmt.Fprintf(w, "i%d %-22v D=%-3d R=%-3d E=%-3d P=%-4d C=%-4d\n",
 			i, prog.At(int(g.Info[i].SIdx)), ts.D[i], ts.R[i], ts.E[i], ts.P[i], ts.C[i])
 		for _, e := range g.InEdges(i, depgraph.Ideal{}) {
-			fmt.Printf("    %v\n", e)
+			fmt.Fprintf(w, "    %v\n", e)
 		}
 	}
-	fmt.Println("\ncritical path:")
+	fmt.Fprintln(w, "\ncritical path:")
 	for _, e := range g.CriticalPath(depgraph.Ideal{}) {
-		fmt.Printf("  %v\n", e)
+		fmt.Fprintf(w, "  %v\n", e)
 	}
 	return nil
 }
 
-func figure3(cfg experiments.Config) error {
+func figure3(w io.Writer, cfg experiments.Config) error {
 	bench := "gap"
 	if len(cfg.Benches) > 0 {
 		bench = cfg.Benches[0]
@@ -317,15 +333,15 @@ func figure3(cfg experiments.Config) error {
 	if jsonSink != nil && jsonSink("figure3", pts) {
 		return nil
 	}
-	fmt.Printf("benchmark %s: speedup over 64-entry window\n", bench)
+	fmt.Fprintf(w, "benchmark %s: speedup over 64-entry window\n", bench)
 	for _, p := range pts {
-		fmt.Printf("  dl1=%d window=%-4d cycles=%-9d speedup=%5.1f%%\n",
+		fmt.Fprintf(w, "  dl1=%d window=%-4d cycles=%-9d speedup=%5.1f%%\n",
 			p.DL1, p.Window, p.Cycles, p.SpeedupPct)
 	}
 	return nil
 }
 
-func sec42(cfg experiments.Config) error {
+func sec42(w io.Writer, cfg experiments.Config) error {
 	bench := "gap"
 	if len(cfg.Benches) > 0 {
 		bench = cfg.Benches[0]
@@ -338,13 +354,13 @@ func sec42(cfg experiments.Config) error {
 		return nil
 	}
 	for _, r := range rows {
-		fmt.Printf("  %s: wakeup=%d cycles: window 64->128 speedup %5.1f%%\n",
+		fmt.Fprintf(w, "  %s: wakeup=%d cycles: window 64->128 speedup %5.1f%%\n",
 			bench, r.WakeupCycles, r.SpeedupPct)
 	}
 	return nil
 }
 
-func seedSweep(cfg experiments.Config) error {
+func seedSweep(w io.Writer, cfg experiments.Config) error {
 	bench := "gzip"
 	if len(cfg.Benches) > 0 {
 		bench = cfg.Benches[0]
@@ -357,17 +373,17 @@ func seedSweep(cfg experiments.Config) error {
 	if jsonSink != nil && jsonSink("seeds", sw) {
 		return nil
 	}
-	fmt.Print(sw)
+	fmt.Fprint(w, sw)
 	stable, flipped := sw.StableSigns()
-	fmt.Printf("sign-stable interactions: %d of %d", len(stable), len(stable)+len(flipped))
+	fmt.Fprintf(w, "sign-stable interactions: %d of %d", len(stable), len(stable)+len(flipped))
 	if len(flipped) > 0 {
-		fmt.Printf(" (flipping: %v)", flipped)
+		fmt.Fprintf(w, " (flipping: %v)", flipped)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	return nil
 }
 
-func table7(cfg experiments.Config) error {
+func table7(w io.Writer, cfg experiments.Config) error {
 	rows, err := experiments.Table7(cfg)
 	if err != nil {
 		return err
@@ -375,6 +391,6 @@ func table7(cfg experiments.Config) error {
 	if jsonSink != nil && jsonSink("table7", rows) {
 		return nil
 	}
-	fmt.Print(experiments.FormatTable7(rows))
+	fmt.Fprint(w, experiments.FormatTable7(rows))
 	return nil
 }

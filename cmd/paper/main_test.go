@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-nope"}},
+		{"non-numeric n", []string{"-n", "lots", "-fig2"}},
+		{"no experiment selected", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 2 {
+				t.Fatalf("exit %d, want 2", code)
+			}
+			if stderr.Len() == 0 {
+				t.Fatal("no usage/diagnostic on stderr")
+			}
+		})
+	}
+}
+
+func TestUnknownBenchmarkFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-bench", "nosuch", "-n", "1500", "-table4a"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "nosuch") {
+		t.Fatalf("benchmark not named in error: %q", stderr.String())
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-fig2"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "critical path:") || !strings.Contains(out, "4-entry ROB") {
+		t.Fatalf("unexpected output: %q", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-fig3", "-bench", "gap", "-n", "1500", "-json"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("-json output not JSON: %v\n%s", err, stdout.String())
+	}
+	if _, ok := doc["figure3"]; !ok {
+		t.Fatalf("figure3 key missing: %v", doc)
+	}
+}

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"icost/internal/breakdown"
@@ -24,32 +25,49 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: parse flags, profile, print, and
+// return the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("shotgun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		bench     = flag.String("bench", "gcc", "benchmark name")
-		n         = flag.Int("n", 40000, "measured instructions")
-		warmup    = flag.Int("warmup", 30000, "warmup instructions")
-		seed      = flag.Uint64("seed", 42, "workload seed")
-		fragments = flag.Int("fragments", 40, "fragments to reconstruct")
-		siglen    = flag.Int("siglen", 1000, "signature sample length")
-		detail    = flag.Int("detail", 3, "instructions between detailed samples")
-		validate  = flag.Bool("validate", false, "compare against fullgraph and multisim")
-		saveS     = flag.String("savesamples", "", "write the collected samples to a file (a PMU dump)")
-		loadS     = flag.String("loadsamples", "", "analyze samples from a file instead of collecting")
+		bench     = fs.String("bench", "gcc", "benchmark name")
+		n         = fs.Int("n", 40000, "measured instructions")
+		warmup    = fs.Int("warmup", 30000, "warmup instructions")
+		seed      = fs.Uint64("seed", 42, "workload seed")
+		fragments = fs.Int("fragments", 40, "fragments to reconstruct")
+		siglen    = fs.Int("siglen", 1000, "signature sample length")
+		detail    = fs.Int("detail", 3, "instructions between detailed samples")
+		validate  = fs.Bool("validate", false, "compare against fullgraph and multisim")
+		saveS     = fs.String("savesamples", "", "write the collected samples to a file (a PMU dump)")
+		loadS     = fs.String("loadsamples", "", "analyze samples from a file instead of collecting")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "shotgun:", err)
+		return 1
+	}
+	if *fragments < 1 || *siglen < 1 || *detail < 1 {
+		return fail(fmt.Errorf("-fragments, -siglen and -detail must be >= 1"))
+	}
 
 	w, err := workload.New(*bench, *seed)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	tr, err := w.Execute(*warmup+*n, *seed+1)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	mc := experiments.Machine4a()
 	res, err := ooo.Simulate(tr, mc, ooo.Options{KeepGraph: true, Warmup: *warmup})
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	pcfg := profiler.DefaultConfig()
@@ -62,68 +80,68 @@ func main() {
 	if *loadS != "" {
 		f, err := os.Open(*loadS)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		samples, err = profiler.ReadSamples(f)
 		f.Close()
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 	} else {
 		var err error
 		samples, err = profiler.Collect(tr, res.Graph, *warmup, pcfg)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 	}
 	if *saveS != "" {
 		f, err := os.Create(*saveS)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if err := profiler.WriteSamples(f, samples); err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if err := f.Close(); err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Printf("samples written to %s\n", *saveS)
+		fmt.Fprintf(stdout, "samples written to %s\n", *saveS)
 	}
 	p, err := profiler.New(w.Prog, mc.Graph, samples, pcfg)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	est, err := p.Analyze(cats[0], cats)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
-	fmt.Printf("%s: %d fragments (%d attempts, %d aborted), %.1f%% instructions matched\n",
+	fmt.Fprintf(stdout, "%s: %d fragments (%d attempts, %d aborted), %.1f%% instructions matched\n",
 		*bench, est.Fragments, est.Attempts, p.Aborted, est.MatchedFrac*100)
 
 	if !*validate {
-		fmt.Println("category   profiler%  ±stderr")
+		fmt.Fprintln(stdout, "category   profiler%  ±stderr")
 		for _, c := range cats {
-			fmt.Printf("%9s  %8.1f  %7.2f\n", c.Name, est.Pct[c.Name], est.StdErr[c.Name])
+			fmt.Fprintf(stdout, "%9s  %8.1f  %7.2f\n", c.Name, est.Pct[c.Name], est.StdErr[c.Name])
 		}
 		for _, c := range cats[1:] {
 			k := "dl1+" + c.Name
-			fmt.Printf("%9s  %8.1f  %7.2f\n", k, est.Pct[k], est.StdErr[k])
+			fmt.Fprintf(stdout, "%9s  %8.1f  %7.2f\n", k, est.Pct[k], est.StdErr[k])
 		}
-		return
+		return 0
 	}
 
 	// Validation columns: fullgraph and multisim on the same trace.
 	ga := cost.New(res.Graph)
 	ms, err := multisim.New(tr, mc, *warmup)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	pct := func(a *cost.Analyzer, cy int64) float64 {
 		return 100 * float64(cy) / float64(a.BaseTime())
 	}
-	fmt.Println("category    multisim  fullgraph   profiler")
+	fmt.Fprintln(stdout, "category    multisim  fullgraph   profiler")
 	row := func(label string, msV, gaV float64) {
-		fmt.Printf("%-11s %8.1f  %9.1f  %9.1f\n", label, msV, gaV, est.Pct[label])
+		fmt.Fprintf(stdout, "%-11s %8.1f  %9.1f  %9.1f\n", label, msV, gaV, est.Pct[label])
 	}
 	for _, c := range cats {
 		row(c.Name, pct(ms, ms.Cost(c.Flags)), pct(ga, ga.Cost(c.Flags)))
@@ -133,9 +151,5 @@ func main() {
 			pct(ms, ms.MustICost(cats[0].Flags, c.Flags)),
 			pct(ga, ga.MustICost(cats[0].Flags, c.Flags)))
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "shotgun:", err)
-	os.Exit(1)
+	return 0
 }

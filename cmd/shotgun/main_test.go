@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"unknown flag", []string{"-nope"}, 2},
+		{"non-numeric fragments", []string{"-fragments", "lots"}, 2},
+		{"zero fragments", []string{"-fragments", "0"}, 1},
+		{"zero siglen", []string{"-siglen", "0"}, 1},
+		{"unknown benchmark", []string{"-bench", "nosuch"}, 1},
+		{"missing samples file", []string{"-loadsamples", "/nonexistent/s.bin",
+			"-bench", "gcc", "-n", "2000", "-warmup", "1000"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.code {
+				t.Fatalf("exit %d, want %d (stderr %q)", code, tc.code, stderr.String())
+			}
+			if stderr.Len() == 0 {
+				t.Fatal("no diagnostic on stderr")
+			}
+		})
+	}
+}
+
+func TestSmallProfile(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-bench", "gcc", "-n", "3000", "-warmup", "2000",
+		"-fragments", "5", "-siglen", "200", "-detail", "3"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "gcc:") || !strings.Contains(out, "profiler%") {
+		t.Fatalf("unexpected output: %q", out)
+	}
+}

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -24,28 +25,52 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: parse flags, sweep, print, and
+// return the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		bench   = flag.String("bench", "gap", "benchmark name")
-		n       = flag.Int("n", 30000, "measured instructions")
-		warmup  = flag.Int("warmup", 30000, "warmup instructions")
-		seed    = flag.Uint64("seed", 42, "workload seed")
-		windows = flag.String("windows", "64,128,256", "window sizes")
-		dl1s    = flag.String("dl1s", "1,4", "dl1 latencies")
-		wakeups = flag.String("wakeups", "0", "extra issue-wakeup latencies")
+		bench   = fs.String("bench", "gap", "benchmark name")
+		n       = fs.Int("n", 30000, "measured instructions")
+		warmup  = fs.Int("warmup", 30000, "warmup instructions")
+		seed    = fs.Uint64("seed", 42, "workload seed")
+		windows = fs.String("windows", "64,128,256", "window sizes")
+		dl1s    = fs.String("dl1s", "1,4", "dl1 latencies")
+		wakeups = fs.String("wakeups", "0", "extra issue-wakeup latencies")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "sweep:", err)
+		return 1
+	}
+
+	ws, err := parseInts(*windows)
+	if err != nil {
+		return fail(err)
+	}
+	ds, err := parseInts(*dl1s)
+	if err != nil {
+		return fail(err)
+	}
+	ks, err := parseInts(*wakeups)
+	if err != nil {
+		return fail(err)
+	}
 
 	cfg := experiments.Config{TraceLen: *n, Warmup: *warmup, Seed: *seed}
 	tr, err := experiments.LoadTrace(cfg, *bench)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
-	ws := parseInts(*windows)
-	ds := parseInts(*dl1s)
-	ks := parseInts(*wakeups)
-	fmt.Printf("benchmark %s (%d instructions after %d warmup)\n", *bench, *n, *warmup)
-	fmt.Println("dl1  wakeup  window  cycles     IPC    speedup-vs-first-window")
+	fmt.Fprintf(stdout, "benchmark %s (%d instructions after %d warmup)\n", *bench, *n, *warmup)
+	fmt.Fprintln(stdout, "dl1  wakeup  window  cycles     IPC    speedup-vs-first-window")
 	for _, d := range ds {
 		for _, k := range ks {
 			var base int64
@@ -53,32 +78,28 @@ func main() {
 				mc := ooo.DefaultConfig().WithDL1Latency(d).WithWindow(w).WithWakeupExtra(k)
 				res, err := ooo.Simulate(tr, mc, ooo.Options{Warmup: *warmup})
 				if err != nil {
-					fail(err)
+					return fail(err)
 				}
 				if wi == 0 {
 					base = res.Cycles
 				}
-				fmt.Printf("%3d  %6d  %6d  %-9d  %4.2f  %6.1f%%\n",
+				fmt.Fprintf(stdout, "%3d  %6d  %6d  %-9d  %4.2f  %6.1f%%\n",
 					d, k, w, res.Cycles, res.IPC(),
 					100*(float64(base)/float64(res.Cycles)-1))
 			}
 		}
 	}
+	return 0
 }
 
-func parseInts(s string) []int {
+func parseInts(s string) ([]int, error) {
 	var out []int
 	for _, f := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil {
-			fail(fmt.Errorf("bad integer list %q: %w", s, err))
+			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
 		}
 		out = append(out, v)
 	}
-	return out
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "sweep:", err)
-	os.Exit(1)
+	return out, nil
 }

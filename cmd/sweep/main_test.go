@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"unknown flag", []string{"-nope"}, 2},
+		{"non-numeric seed", []string{"-seed", "abc"}, 2},
+		{"bad window list", []string{"-windows", "64,big"}, 1},
+		{"bad dl1 list", []string{"-dl1s", ""}, 1},
+		{"unknown benchmark", []string{"-bench", "nosuch", "-n", "1500", "-warmup", "800"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.code {
+				t.Fatalf("exit %d, want %d (stderr %q)", code, tc.code, stderr.String())
+			}
+			if stderr.Len() == 0 {
+				t.Fatal("no diagnostic on stderr")
+			}
+		})
+	}
+}
+
+func TestSmallSweep(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-bench", "gzip", "-n", "1500", "-warmup", "800",
+		"-windows", "32,64", "-dl1s", "2", "-wakeups", "0"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "benchmark gzip") {
+		t.Fatalf("missing header: %q", out)
+	}
+	// One row per (dl1, wakeup, window) point plus two header lines.
+	if lines := strings.Count(strings.TrimSpace(out), "\n"); lines != 3 {
+		t.Fatalf("want 4 lines (2 headers + 2 rows), got %d:\n%s", lines+1, out)
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts(" 1, 2,3 ")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("parseInts: %v %v", got, err)
+	}
+	if _, err := parseInts("4,x"); err == nil {
+		t.Fatal("bad list accepted")
+	}
+}

@@ -15,6 +15,7 @@
 package breakdown
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -75,6 +76,12 @@ type Focused struct {
 
 // Focus computes a focused breakdown from an analyzer.
 func Focus(a *cost.Analyzer, focus Category, cats []Category, name string) (*Focused, error) {
+	return FocusCtx(context.Background(), a, focus, cats, name)
+}
+
+// FocusCtx is Focus with cancellation: each underlying cost query
+// aborts when ctx is done.
+func FocusCtx(ctx context.Context, a *cost.Analyzer, focus Category, cats []Category, name string) (*Focused, error) {
 	total := a.BaseTime()
 	if total <= 0 {
 		return nil, fmt.Errorf("breakdown: empty execution")
@@ -83,7 +90,10 @@ func Focus(a *cost.Analyzer, focus Category, cats []Category, name string) (*Foc
 	f := &Focused{Name: name, Focus: focus, TotalCycles: total}
 	var shown int64
 	for _, c := range cats {
-		cy := a.Cost(c.Flags)
+		cy, err := a.CostCtx(ctx, c.Flags)
+		if err != nil {
+			return nil, err
+		}
 		f.Base = append(f.Base, Row{Label: c.Name, Cycles: cy, Percent: pct(cy)})
 		shown += cy
 	}
@@ -91,7 +101,7 @@ func Focus(a *cost.Analyzer, focus Category, cats []Category, name string) (*Foc
 		if c.Flags == focus.Flags {
 			continue
 		}
-		ic, err := a.ICost(focus.Flags, c.Flags)
+		ic, err := a.ICostCtx(ctx, focus.Flags, c.Flags)
 		if err != nil {
 			return nil, err
 		}
@@ -124,6 +134,12 @@ type Full struct {
 // ComputeFull builds the full power-set breakdown. len(cats) should
 // be small (the cost is 2^k graph evaluations).
 func ComputeFull(a *cost.Analyzer, cats []Category, name string) (*Full, error) {
+	return ComputeFullCtx(context.Background(), a, cats, name)
+}
+
+// ComputeFullCtx is ComputeFull with cancellation; the 2^k subset
+// queries abort as soon as ctx is done.
+func ComputeFullCtx(ctx context.Context, a *cost.Analyzer, cats []Category, name string) (*Full, error) {
 	k := len(cats)
 	if k == 0 || k > 12 {
 		return nil, fmt.Errorf("breakdown: full breakdown needs 1..12 categories, got %d", k)
@@ -167,13 +183,16 @@ func ComputeFull(a *cost.Analyzer, cats []Category, name string) (*Full, error) 
 				sets = append(sets, cats[j].Flags)
 			}
 		}
-		ic, err := a.ICost(sets...)
+		ic, err := a.ICostCtx(ctx, sets...)
 		if err != nil {
 			return nil, err
 		}
 		out.Rows = append(out.Rows, Row{Label: s.label, Cycles: ic, Percent: pct(ic)})
 	}
-	resid := a.ExecTime(all)
+	resid, err := a.ExecTimeCtx(ctx, all)
+	if err != nil {
+		return nil, err
+	}
 	out.Residual = Row{Label: "ideal", Cycles: resid, Percent: pct(resid)}
 	return out, nil
 }

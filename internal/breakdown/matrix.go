@@ -1,6 +1,7 @@
 package breakdown
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"text/tabwriter"
@@ -27,6 +28,11 @@ type Matrix struct {
 // ComputeMatrix builds the all-pairs table (k^2/2 + k cost queries,
 // all memoized by the analyzer).
 func ComputeMatrix(a *cost.Analyzer, cats []Category, name string) (*Matrix, error) {
+	return ComputeMatrixCtx(context.Background(), a, cats, name)
+}
+
+// ComputeMatrixCtx is ComputeMatrix with cancellation.
+func ComputeMatrixCtx(ctx context.Context, a *cost.Analyzer, cats []Category, name string) (*Matrix, error) {
 	total := a.BaseTime()
 	if total <= 0 {
 		return nil, fmt.Errorf("breakdown: empty execution")
@@ -37,9 +43,13 @@ func ComputeMatrix(a *cost.Analyzer, cats []Category, name string) (*Matrix, err
 	pct := func(cy int64) float64 { return 100 * float64(cy) / float64(total) }
 	for i := 0; i < k; i++ {
 		m.Pct[i] = make([]float64, k)
-		m.Pct[i][i] = pct(a.Cost(cats[i].Flags))
+		cy, err := a.CostCtx(ctx, cats[i].Flags)
+		if err != nil {
+			return nil, err
+		}
+		m.Pct[i][i] = pct(cy)
 		for j := 0; j < i; j++ {
-			ic, err := a.ICost(cats[i].Flags, cats[j].Flags)
+			ic, err := a.ICostCtx(ctx, cats[i].Flags, cats[j].Flags)
 			if err != nil {
 				return nil, err
 			}

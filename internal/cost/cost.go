@@ -28,6 +28,7 @@
 package cost
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sync"
@@ -48,7 +49,7 @@ import (
 // breakdowns, experiments — is agnostic to the backend.
 type Analyzer struct {
 	g    *depgraph.Graph // nil for function-backed analyzers
-	eval func(depgraph.Flags) int64
+	eval func(context.Context, depgraph.Flags) (int64, error)
 	base int64
 
 	mu   sync.Mutex
@@ -58,21 +59,27 @@ type Analyzer struct {
 // New builds a graph-backed analyzer; the base (unidealized) time is
 // computed immediately.
 func New(g *depgraph.Graph) *Analyzer {
-	return newAnalyzer(g, func(f depgraph.Flags) int64 {
-		return g.ExecTime(depgraph.Ideal{Global: f})
+	return newAnalyzer(g, func(ctx context.Context, f depgraph.Flags) (int64, error) {
+		return g.ExecTimeCtx(ctx, depgraph.Ideal{Global: f})
 	})
 }
 
 // NewFromFunc builds an analyzer whose execution times come from
 // eval — e.g. idealized re-simulation. Event-set methods that need a
-// graph (CostSet, ICostSets) panic on such an analyzer.
+// graph (CostSet, ICostSets) panic on such an analyzer. Cancellation
+// is checked between evaluations but cannot interrupt eval itself.
 func NewFromFunc(eval func(depgraph.Flags) int64) *Analyzer {
-	return newAnalyzer(nil, eval)
+	return newAnalyzer(nil, func(ctx context.Context, f depgraph.Flags) (int64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		return eval(f), nil
+	})
 }
 
-func newAnalyzer(g *depgraph.Graph, eval func(depgraph.Flags) int64) *Analyzer {
+func newAnalyzer(g *depgraph.Graph, eval func(context.Context, depgraph.Flags) (int64, error)) *Analyzer {
 	a := &Analyzer{g: g, eval: eval, memo: map[depgraph.Flags]int64{}}
-	a.base = eval(0)
+	a.base, _ = eval(context.Background(), 0)
 	a.memo[0] = a.base
 	return a
 }
@@ -89,17 +96,29 @@ func (a *Analyzer) BaseTime() int64 { return a.base }
 // ExecTime is safe for concurrent use; the underlying evaluation may
 // run more than once on a race, which is harmless (it is pure).
 func (a *Analyzer) ExecTime(f depgraph.Flags) int64 {
+	t, _ := a.ExecTimeCtx(context.Background(), f)
+	return t
+}
+
+// ExecTimeCtx is ExecTime with cancellation: a graph-backed
+// evaluation aborts mid-walk when ctx is done. Only successful
+// evaluations are memoized, so a cancelled query never poisons the
+// cache for later callers.
+func (a *Analyzer) ExecTimeCtx(ctx context.Context, f depgraph.Flags) (int64, error) {
 	a.mu.Lock()
 	t, ok := a.memo[f]
 	a.mu.Unlock()
 	if ok {
-		return t
+		return t, nil
 	}
-	t = a.eval(f)
+	t, err := a.eval(ctx, f)
+	if err != nil {
+		return 0, err
+	}
 	a.mu.Lock()
 	a.memo[f] = t
 	a.mu.Unlock()
-	return t
+	return t, nil
 }
 
 // Cost returns cost(f) = t - t(f) for a union of whole categories.
@@ -107,11 +126,26 @@ func (a *Analyzer) Cost(f depgraph.Flags) int64 {
 	return a.base - a.ExecTime(f)
 }
 
+// CostCtx is Cost with cancellation.
+func (a *Analyzer) CostCtx(ctx context.Context, f depgraph.Flags) (int64, error) {
+	t, err := a.ExecTimeCtx(ctx, f)
+	if err != nil {
+		return 0, err
+	}
+	return a.base - t, nil
+}
+
 // ICost returns the interaction cost of the given category sets.
 // Each argument is one event set; sets must be disjoint (no shared
 // flag bits), since overlapping sets make the power-set accounting
 // ill-defined. With one argument it degenerates to Cost.
 func (a *Analyzer) ICost(sets ...depgraph.Flags) (int64, error) {
+	return a.ICostCtx(context.Background(), sets...)
+}
+
+// ICostCtx is ICost with cancellation; the 2^k cost evaluations abort
+// as soon as ctx is done.
+func (a *Analyzer) ICostCtx(ctx context.Context, sets ...depgraph.Flags) (int64, error) {
 	k := len(sets)
 	if k == 0 {
 		return 0, nil
@@ -135,7 +169,10 @@ func (a *Analyzer) ICost(sets ...depgraph.Flags) (int64, error) {
 				union |= sets[j]
 			}
 		}
-		term := a.Cost(union)
+		term, err := a.CostCtx(ctx, union)
+		if err != nil {
+			return 0, err
+		}
 		if (k-bits.OnesCount(uint(m)))%2 == 1 {
 			term = -term
 		}

@@ -34,6 +34,7 @@
 package depgraph
 
 import (
+	"context"
 	"fmt"
 
 	"icost/internal/cache"
@@ -340,23 +341,44 @@ type Times struct {
 // under the given idealization: the commit time of the last
 // instruction plus one.
 func (g *Graph) ExecTime(id Ideal) int64 {
+	t, _ := g.ExecTimeCtx(context.Background(), id)
+	return t
+}
+
+// ExecTimeCtx is ExecTime with cancellation: the graph walk checks
+// ctx periodically (every ctxCheckStride instructions) and returns
+// ctx.Err() if the query was cancelled or timed out mid-walk. A
+// long-lived analysis service uses this to abort queries whose
+// clients have gone away.
+func (g *Graph) ExecTimeCtx(ctx context.Context, id Ideal) (int64, error) {
 	n := g.Len()
 	if n == 0 {
-		return 0
+		return 0, nil
 	}
-	return g.run(id).C[n-1] + 1
+	t, err := g.runCtx(ctx, id)
+	if err != nil {
+		return 0, err
+	}
+	return t.C[n-1] + 1, nil
 }
 
 // NodeTimes computes all node times under the given idealization.
 func (g *Graph) NodeTimes(id Ideal) *Times {
-	return g.run(id)
+	t, _ := g.runCtx(context.Background(), id)
+	return t
 }
 
-// run evaluates the recurrence with one in-order pass. Every node's
-// time is the max over its in-edges of source time plus edge latency,
-// so the unidealized result reproduces the simulator's timing exactly
-// (the simulator computes these same maxima while arbitrating).
-func (g *Graph) run(id Ideal) *Times {
+// ctxCheckStride is how many instructions the forward and backward
+// passes process between ctx.Err() polls: frequent enough that
+// cancellation lands within microseconds, rare enough to be free.
+const ctxCheckStride = 2048
+
+// runCtx evaluates the recurrence with one in-order pass. Every
+// node's time is the max over its in-edges of source time plus edge
+// latency, so the unidealized result reproduces the simulator's
+// timing exactly (the simulator computes these same maxima while
+// arbitrating). The pass aborts with ctx.Err() if ctx is done.
+func (g *Graph) runCtx(ctx context.Context, id Ideal) (*Times, error) {
 	n := g.Len()
 	t := &Times{
 		D: make([]int64, n), R: make([]int64, n), E: make([]int64, n),
@@ -364,6 +386,9 @@ func (g *Graph) run(id Ideal) *Times {
 	}
 	cfg := &g.Cfg
 	for i := 0; i < n; i++ {
+		if i%ctxCheckStride == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		f := id.Of(i)
 
 		// --- D node ---
@@ -431,7 +456,7 @@ func (g *Graph) run(id Ideal) *Times {
 		}
 		t.C[i] = c
 	}
-	return t
+	return t, nil
 }
 
 func maxi64(a, b int64) int64 {

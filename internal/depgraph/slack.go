@@ -9,6 +9,8 @@ package depgraph
 // free, which is the paper's "de-optimization" use case for
 // zero-cost events (Section 1).
 
+import "context"
+
 // Latest holds, for every node, the latest time it can occur without
 // extending total execution time. By construction Latest >= the
 // corresponding NodeTimes value, with equality exactly on critical
@@ -40,8 +42,18 @@ func (l *Latest) at(k NodeKind, i int) *int64 {
 // (no path to the final commit) keep their actual times, giving them
 // zero slack contribution beyond program end.
 func (g *Graph) LatestTimes(id Ideal) (*Times, *Latest) {
+	t, l, _ := g.LatestTimesCtx(context.Background(), id)
+	return t, l
+}
+
+// LatestTimesCtx is LatestTimes with cancellation: both the forward
+// and backward passes poll ctx every ctxCheckStride instructions.
+func (g *Graph) LatestTimesCtx(ctx context.Context, id Ideal) (*Times, *Latest, error) {
 	n := g.Len()
-	t := g.NodeTimes(id)
+	t, err := g.runCtx(ctx, id)
+	if err != nil {
+		return nil, nil, err
+	}
 	l := &Latest{
 		D: make([]int64, n), R: make([]int64, n), E: make([]int64, n),
 		P: make([]int64, n), C: make([]int64, n),
@@ -50,13 +62,16 @@ func (g *Graph) LatestTimes(id Ideal) (*Times, *Latest) {
 		l.D[i], l.R[i], l.E[i], l.P[i], l.C[i] = inf, inf, inf, inf, inf
 	}
 	if n == 0 {
-		return t, l
+		return t, l, nil
 	}
 	l.C[n-1] = t.C[n-1]
 	// Visit instructions backward; within an instruction, nodes in
 	// reverse pipeline order. Every edge goes forward in this order,
 	// so one pass suffices.
 	for i := n - 1; i >= 0; i-- {
+		if i%ctxCheckStride == 0 && ctx.Err() != nil {
+			return nil, nil, ctx.Err()
+		}
 		for _, node := range [...]NodeKind{NodeC, NodeP, NodeE, NodeR, NodeD} {
 			to := l.at(node, i)
 			if *to == inf {
@@ -76,19 +91,28 @@ func (g *Graph) LatestTimes(id Ideal) (*Times, *Latest) {
 			}
 		}
 	}
-	return t, l
+	return t, l, nil
 }
 
 // Slacks returns each instruction's global slack: how many cycles its
 // completion (P node) can slip without lengthening execution. Zero
 // slack marks critical instructions.
 func (g *Graph) Slacks(id Ideal) []int64 {
-	t, l := g.LatestTimes(id)
+	out, _ := g.SlacksCtx(context.Background(), id)
+	return out
+}
+
+// SlacksCtx is Slacks with cancellation.
+func (g *Graph) SlacksCtx(ctx context.Context, id Ideal) ([]int64, error) {
+	t, l, err := g.LatestTimesCtx(ctx, id)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]int64, g.Len())
 	for i := range out {
 		out[i] = l.P[i] - t.P[i]
 	}
-	return out
+	return out, nil
 }
 
 // CriticalTally walks one critical path and sums its edge latencies

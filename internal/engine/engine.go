@@ -1,0 +1,370 @@
+// Package engine turns the icost library into a concurrent,
+// query-oriented analysis service. The paper's efficiency claim —
+// graph idealization answers a cost query in O(|graph|) instead of
+// one re-simulation per idealization set — only pays off when many
+// queries are answered against one shared graph. The engine owns that
+// sharing:
+//
+//   - a session store keeps built artifacts (workload trace,
+//     simulation result, dependence graph, memoizing analyzer) keyed
+//     by a content hash of (benchmark, seed, machine parameters), so
+//     repeated queries never rebuild;
+//   - a fixed worker pool executes cost/icost/breakdown/slack/matrix
+//     queries in parallel, with per-query context cancellation
+//     threaded into the graph-walk loops;
+//   - a bounded job queue applies backpressure: when full, Query
+//     returns a typed *QueueFullError with a retry hint instead of
+//     growing without bound;
+//   - identical concurrent queries are deduplicated (single-flight)
+//     and completed results live in a byte-bounded LRU cache;
+//   - atomic counters and a latency histogram expose service health
+//     (cmd/icostd serves them as /metrics).
+//
+// cmd/icostd is the HTTP daemon on top; cmd/icost -engine routes the
+// CLI through the same code path.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Config sizes the engine. Zero fields take defaults.
+type Config struct {
+	// Workers is the number of concurrent query executors (default
+	// GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of queued-but-unstarted queries
+	// (default 4x workers). A full queue rejects with *QueueFullError.
+	QueueDepth int
+	// CacheBytes bounds the result cache (default 64 MiB).
+	CacheBytes int64
+	// MaxSessions bounds the session store (default 8 sessions, LRU).
+	MaxSessions int
+	// RetryAfter is the hint carried by queue-full rejections
+	// (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 8
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// QueueFullError is the typed backpressure rejection: the job queue
+// is at capacity and the client should retry after the hinted delay.
+type QueueFullError struct {
+	RetryAfter time.Duration
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("engine: queue full, retry after %s", e.RetryAfter)
+}
+
+// ErrClosed is returned by Query after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Engine is the concurrent analysis service. Create with New, stop
+// with Close (drains in-flight queries).
+type Engine struct {
+	cfg  Config
+	jobs chan *job
+
+	submitMu sync.RWMutex // guards closed + sends on jobs
+	closed   bool
+	workerWG sync.WaitGroup
+
+	storeMu sync.Mutex
+	store   *sessionStore
+
+	flightMu sync.Mutex
+	flight   map[string]*flight
+
+	results *resultCache
+	met     metrics
+	started time.Time
+
+	// onJobStart, when set (tests), runs at the top of every worker
+	// job — used to hold workers busy deterministically.
+	onJobStart func()
+}
+
+// flight is one in-progress computation shared by all concurrent
+// identical queries.
+type flight struct {
+	done chan struct{}
+	resp *Response
+	err  error
+}
+
+type job struct {
+	ctx  context.Context
+	q    Query // normalized
+	qkey string
+	skey string
+	fl   *flight
+}
+
+// New starts an engine with cfg defaults applied.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:     cfg,
+		jobs:    make(chan *job, cfg.QueueDepth),
+		store:   newSessionStore(cfg.MaxSessions),
+		flight:  map[string]*flight{},
+		results: newResultCache(cfg.CacheBytes),
+		started: time.Now(),
+	}
+	e.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Close stops accepting queries, lets queued and in-flight queries
+// finish, and waits for the workers to exit.
+func (e *Engine) Close() {
+	e.submitMu.Lock()
+	if e.closed {
+		e.submitMu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.jobs)
+	e.submitMu.Unlock()
+	e.workerWG.Wait()
+}
+
+// Query answers one analysis query, blocking until the result is
+// ready, ctx is done, or the queue rejects it. Identical concurrent
+// queries share one computation; completed results are served from
+// the cache without touching the queue. The returned response is
+// owned by the caller (cache hits return a copy).
+func (e *Engine) Query(ctx context.Context, q Query) (*Response, error) {
+	start := time.Now()
+	e.submitMu.RLock()
+	closed := e.closed
+	e.submitMu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	spec, err := q.Session.normalize()
+	if err != nil {
+		return nil, err
+	}
+	skey, _ := spec.Key()
+	q.Session = spec
+	q, err = q.normalize()
+	if err != nil {
+		return nil, err
+	}
+	qkey := q.key(skey)
+
+	if resp, ok := e.results.get(qkey); ok {
+		e.met.queries.Add(1)
+		e.met.cacheHits.Add(1)
+		cp := *resp
+		cp.Cached = true
+		cp.Elapsed = time.Since(start)
+		e.met.latency.record(cp.Elapsed)
+		return &cp, nil
+	}
+	e.met.cacheMisses.Add(1)
+
+	// Single-flight: join an identical in-progress query if one
+	// exists, otherwise become the leader and enqueue.
+	e.flightMu.Lock()
+	fl, leader := e.flight[qkey], false
+	if fl == nil {
+		fl = &flight{done: make(chan struct{})}
+		e.flight[qkey] = fl
+		leader = true
+	}
+	e.flightMu.Unlock()
+
+	if leader {
+		j := &job{ctx: ctx, q: q, qkey: qkey, skey: skey, fl: fl}
+		if err := e.submit(j); err != nil {
+			e.flightMu.Lock()
+			delete(e.flight, qkey)
+			e.flightMu.Unlock()
+			fl.err = err   // publish before waking followers
+			close(fl.done) // wake followers; they observe fl.err
+			if _, full := err.(*QueueFullError); full {
+				e.met.queueRejects.Add(1)
+			}
+			return nil, err
+		}
+	}
+
+	select {
+	case <-fl.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if fl.err != nil {
+		// Followers share the leader's outcome, including a
+		// leader-context cancellation that aborted the shared
+		// computation.
+		return nil, fl.err
+	}
+	e.met.queries.Add(1)
+	resp := *fl.resp
+	resp.Elapsed = time.Since(start)
+	e.met.latency.record(resp.Elapsed)
+	return &resp, nil
+}
+
+// Warm builds (or refreshes) a session without running an analysis
+// query, so a daemon can preload its working set at startup.
+func (e *Engine) Warm(ctx context.Context, spec SessionSpec) (string, error) {
+	resp, err := e.Query(ctx, Query{Session: spec, Op: OpExecTime})
+	if err != nil {
+		return "", err
+	}
+	return resp.SessionKey, nil
+}
+
+// submit enqueues a job, applying backpressure.
+func (e *Engine) submit(j *job) error {
+	e.submitMu.RLock()
+	defer e.submitMu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	select {
+	case e.jobs <- j:
+		return nil
+	default:
+		return &QueueFullError{RetryAfter: e.cfg.RetryAfter}
+	}
+}
+
+func (e *Engine) worker() {
+	defer e.workerWG.Done()
+	for j := range e.jobs {
+		e.met.inFlight.Add(1)
+		if e.onJobStart != nil {
+			e.onJobStart()
+		}
+		resp, err := e.run(j)
+		j.fl.resp, j.fl.err = resp, err
+		e.flightMu.Lock()
+		delete(e.flight, j.qkey)
+		e.flightMu.Unlock()
+		close(j.fl.done)
+		e.met.inFlight.Add(-1)
+	}
+}
+
+// run executes one job: resolve or build the session, then compute.
+func (e *Engine) run(j *job) (*Response, error) {
+	if err := j.ctx.Err(); err != nil {
+		e.met.canceled.Add(1)
+		return nil, err
+	}
+	s, err := e.sessionFor(j.ctx, j.skey, j.q.Session)
+	if err != nil {
+		e.countErr(err)
+		return nil, err
+	}
+	resp, err := execute(j.ctx, j.q, s)
+	if err != nil {
+		e.countErr(err)
+		return nil, err
+	}
+	e.results.put(j.qkey, resp)
+	return resp, nil
+}
+
+func (e *Engine) countErr(err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		e.met.canceled.Add(1)
+	} else {
+		e.met.errors.Add(1)
+	}
+}
+
+// sessionFor returns the built session for key, building it at most
+// once per store residency regardless of how many queries race.
+func (e *Engine) sessionFor(ctx context.Context, key string, spec SessionSpec) (*session, error) {
+	e.storeMu.Lock()
+	entry, builder := e.store.entry(key)
+	e.storeMu.Unlock()
+
+	if builder {
+		s, err := build(spec)
+		entry.sess, entry.err = s, err
+		close(entry.ready)
+		e.storeMu.Lock()
+		if err != nil {
+			e.store.drop(key) // let a later query retry the build
+		} else {
+			e.met.sessionsBuilt.Add(1)
+			e.met.sessionsEvicted.Add(int64(e.store.evict()))
+		}
+		e.storeMu.Unlock()
+		return s, err
+	}
+	select {
+	case <-entry.ready:
+		return entry.sess, entry.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Metrics snapshots the engine's observability state.
+func (e *Engine) Metrics() Snapshot {
+	entries, bytes := e.results.stats()
+	e.storeMu.Lock()
+	live := e.store.len()
+	e.storeMu.Unlock()
+	return Snapshot{
+		QueriesTotal:      e.met.queries.Load(),
+		CacheHitsTotal:    e.met.cacheHits.Load(),
+		CacheMissesTotal:  e.met.cacheMisses.Load(),
+		QueueRejectsTotal: e.met.queueRejects.Load(),
+		ErrorsTotal:       e.met.errors.Load(),
+		CanceledTotal:     e.met.canceled.Load(),
+
+		SessionsBuiltTotal:   e.met.sessionsBuilt.Load(),
+		SessionsEvictedTotal: e.met.sessionsEvicted.Load(),
+		SessionsLive:         live,
+
+		ResultCacheEntries: entries,
+		ResultCacheBytes:   bytes,
+		ResultCacheMax:     e.cfg.CacheBytes,
+
+		Workers:    e.cfg.Workers,
+		InFlight:   int(e.met.inFlight.Load()),
+		QueueDepth: len(e.jobs),
+		QueueCap:   e.cfg.QueueDepth,
+
+		LatencyP50us: e.met.latency.quantile(0.50),
+		LatencyP95us: e.met.latency.quantile(0.95),
+		LatencyP99us: e.met.latency.quantile(0.99),
+
+		UptimeSeconds: time.Since(e.started).Seconds(),
+	}
+}

@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+)
+
+// resultCache is a byte-bounded LRU of query responses. Entry sizes
+// are measured by JSON encoding length at insertion time — the same
+// bytes icostd would send on the wire — so the bound tracks real
+// memory, not entry counts. Cached responses are treated as
+// immutable; serve-time mutation (the Cached flag) happens on a
+// shallow copy.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int64
+	size  int64
+	items map[string]*list.Element // -> *cacheEntry
+	ll    *list.List               // front = most recently used
+}
+
+type cacheEntry struct {
+	key   string
+	resp  *Response
+	bytes int64
+}
+
+func newResultCache(maxBytes int64) *resultCache {
+	return &resultCache{max: maxBytes, items: map[string]*list.Element{}, ll: list.New()}
+}
+
+// get returns the cached response and refreshes its recency.
+func (c *resultCache) get(key string) (*Response, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp, true
+}
+
+// put inserts resp, evicting least-recently-used entries until the
+// byte budget holds. An entry larger than the whole budget is not
+// cached at all.
+func (c *resultCache) put(key string, resp *Response) {
+	b, err := json.Marshal(resp)
+	if err != nil {
+		return // unencodable results are simply not cached
+	}
+	sz := int64(len(b))
+	if sz > c.max {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		old := el.Value.(*cacheEntry)
+		c.size += sz - old.bytes
+		old.resp, old.bytes = resp, sz
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, resp: resp, bytes: sz})
+		c.size += sz
+	}
+	for c.size > c.max {
+		el := c.ll.Back()
+		if el == nil {
+			break
+		}
+		e := el.Value.(*cacheEntry)
+		c.ll.Remove(el)
+		delete(c.items, e.key)
+		c.size -= e.bytes
+	}
+}
+
+// stats returns current entry count and byte usage.
+func (c *resultCache) stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.size
+}

@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of latency histogram buckets: bucket i
+// counts latencies in [2^i, 2^(i+1)) microseconds, so the range spans
+// 1µs .. ~67s with the last bucket absorbing overflow.
+const histBuckets = 27
+
+// latencyHist is a lock-free log-scaled histogram. Recording is one
+// atomic increment; quantiles are estimated as the upper bound of the
+// bucket holding the target rank (≤ 2x error, plenty for p50/p95/p99
+// service gauges).
+type latencyHist struct {
+	counts [histBuckets]atomic.Int64
+	total  atomic.Int64
+}
+
+func (h *latencyHist) record(d time.Duration) {
+	us := d.Microseconds()
+	b := 0
+	for us > 1 && b < histBuckets-1 {
+		us >>= 1
+		b++
+	}
+	h.counts[b].Add(1)
+	h.total.Add(1)
+}
+
+// quantile returns the estimated q-quantile (0 < q < 1) in
+// microseconds, or 0 when nothing was recorded. The snapshot is not
+// atomic across buckets; for monitoring that is fine.
+func (h *latencyHist) quantile(q float64) int64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	var seen int64
+	for b := 0; b < histBuckets; b++ {
+		seen += h.counts[b].Load()
+		if seen > rank {
+			return int64(1) << uint(b+1) // bucket upper bound in µs
+		}
+	}
+	return int64(1) << histBuckets
+}
+
+// metrics is the engine's observability state: everything is atomic,
+// so the hot path never takes a lock to count.
+type metrics struct {
+	queries      atomic.Int64
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	queueRejects atomic.Int64
+	errors       atomic.Int64
+	canceled     atomic.Int64
+
+	sessionsBuilt   atomic.Int64
+	sessionsEvicted atomic.Int64
+
+	inFlight atomic.Int64
+	latency  latencyHist
+}
+
+// Snapshot is a point-in-time metrics export, shaped for the icostd
+// /metrics endpoint (flat JSON, counter names with conventional
+// _total suffixes).
+type Snapshot struct {
+	QueriesTotal      int64 `json:"queries_total"`
+	CacheHitsTotal    int64 `json:"cache_hits_total"`
+	CacheMissesTotal  int64 `json:"cache_misses_total"`
+	QueueRejectsTotal int64 `json:"queue_rejects_total"`
+	ErrorsTotal       int64 `json:"errors_total"`
+	CanceledTotal     int64 `json:"canceled_total"`
+
+	SessionsBuiltTotal   int64 `json:"sessions_built_total"`
+	SessionsEvictedTotal int64 `json:"sessions_evicted_total"`
+	SessionsLive         int   `json:"sessions_live"`
+
+	ResultCacheEntries int   `json:"result_cache_entries"`
+	ResultCacheBytes   int64 `json:"result_cache_bytes"`
+	ResultCacheMax     int64 `json:"result_cache_max_bytes"`
+
+	Workers    int `json:"workers"`
+	InFlight   int `json:"in_flight"`
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+
+	LatencyP50us int64 `json:"latency_p50_us"`
+	LatencyP95us int64 `json:"latency_p95_us"`
+	LatencyP99us int64 `json:"latency_p99_us"`
+
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}

@@ -1,0 +1,252 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"icost/internal/breakdown"
+	"icost/internal/cost"
+	"icost/internal/depgraph"
+)
+
+// Op names a query kind.
+type Op string
+
+const (
+	// OpCost: cost of the union of Cats (cycles saved by idealizing
+	// them all together).
+	OpCost Op = "cost"
+	// OpICost: interaction cost of the Cats, one event set per entry.
+	OpICost Op = "icost"
+	// OpExecTime: execution time with the union of Cats idealized
+	// (empty Cats = base time).
+	OpExecTime Op = "exectime"
+	// OpBreakdown: Table 4-style focused breakdown over Cats with
+	// pairwise interactions against Focus.
+	OpBreakdown Op = "breakdown"
+	// OpFull: Figure 1-style full power-set breakdown over Cats.
+	OpFull Op = "full"
+	// OpSlack: per-instruction slack distribution summary.
+	OpSlack Op = "slack"
+	// OpMatrix: all-pairs interaction-cost matrix over Cats.
+	OpMatrix Op = "matrix"
+)
+
+// Query is one analysis request against a session.
+type Query struct {
+	Session SessionSpec `json:"session"`
+	Op      Op          `json:"op"`
+	// Cats are category names ("dl1", "dmiss", ...). Meaning depends
+	// on Op: for cost/exectime they are unioned into one event set;
+	// for icost each entry is its own set; for breakdown/full/matrix
+	// they are the category list (empty = the paper's eight).
+	Cats []string `json:"cats,omitempty"`
+	// Focus is the breakdown focus category (default "dl1").
+	Focus string `json:"focus,omitempty"`
+}
+
+// SlackSummary is the aggregate the slack query returns (the
+// cmd/icost -slack view, shaped for JSON).
+type SlackSummary struct {
+	Insts     int     `json:"insts"`
+	Critical  int     `json:"critical"` // slack == 0
+	Small     int     `json:"small"`    // 1..9 cycles
+	Large     int     `json:"large"`    // >= 10 cycles: de-optimization candidates
+	MeanSlack float64 `json:"mean_slack"`
+}
+
+// Response is a query result. Exactly one of the payload fields is
+// set, matching Op.
+type Response struct {
+	Op         Op     `json:"op"`
+	SessionKey string `json:"session_key"`
+	Bench      string `json:"bench"`
+	BaseCycles int64  `json:"base_cycles"`
+	Insts      int    `json:"insts"`
+
+	// Value is the scalar answer of cost/icost/exectime, in cycles.
+	Value int64 `json:"value,omitempty"`
+	// Interaction classifies an icost value (serial / independent /
+	// parallel).
+	Interaction string `json:"interaction,omitempty"`
+
+	Breakdown *breakdown.Focused `json:"breakdown,omitempty"`
+	Full      *breakdown.Full    `json:"full,omitempty"`
+	Matrix    *breakdown.Matrix  `json:"matrix,omitempty"`
+	Slack     *SlackSummary      `json:"slack,omitempty"`
+
+	// Cached reports whether this response was served from the result
+	// cache; Elapsed is the serving time (build + compute for a cold
+	// query, lookup time when cached).
+	Cached  bool          `json:"cached"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// normalize validates the query and resolves defaults. It does not
+// touch the session spec (normalized separately).
+func (q Query) normalize() (Query, error) {
+	switch q.Op {
+	case OpCost, OpICost, OpExecTime, OpBreakdown, OpFull, OpSlack, OpMatrix:
+	case "":
+		return q, fmt.Errorf("engine: query needs an op")
+	default:
+		return q, fmt.Errorf("engine: unknown op %q", q.Op)
+	}
+	for _, c := range q.Cats {
+		if _, ok := depgraph.FlagByName(c); !ok {
+			return q, fmt.Errorf("engine: unknown category %q (have %s)",
+				c, strings.Join(depgraph.FlagNames(), ","))
+		}
+	}
+	switch q.Op {
+	case OpCost:
+		if len(q.Cats) == 0 {
+			return q, fmt.Errorf("engine: cost query needs at least one category")
+		}
+	case OpICost:
+		if len(q.Cats) < 2 {
+			return q, fmt.Errorf("engine: icost query needs at least two categories")
+		}
+	case OpBreakdown, OpFull, OpMatrix:
+		if len(q.Cats) == 0 {
+			q.Cats = depgraph.FlagNames()
+		}
+		if q.Op == OpFull && len(q.Cats) > 12 {
+			return q, fmt.Errorf("engine: full breakdown limited to 12 categories, got %d", len(q.Cats))
+		}
+	}
+	if q.Op == OpBreakdown {
+		if q.Focus == "" {
+			q.Focus = "dl1"
+		}
+		if _, ok := depgraph.FlagByName(q.Focus); !ok {
+			return q, fmt.Errorf("engine: unknown focus category %q", q.Focus)
+		}
+	} else {
+		q.Focus = ""
+	}
+	return q, nil
+}
+
+// key is the result-cache / single-flight identity of a normalized
+// query. Order matters for icost sets only through sign-irrelevant
+// permutations, but keeping the client's order is cheap and correct;
+// cost/exectime unions are order-insensitive so they are sorted.
+func (q Query) key(sessionKey string) string {
+	cats := q.Cats
+	if q.Op == OpCost || q.Op == OpExecTime {
+		cats = append([]string(nil), q.Cats...)
+		sort.Strings(cats)
+	}
+	return sessionKey + "|" + string(q.Op) + "|" + strings.Join(cats, ",") + "|" + q.Focus
+}
+
+// flagsOf resolves category names; union=true ORs them into one set.
+func flagsOf(names []string) []depgraph.Flags {
+	out := make([]depgraph.Flags, 0, len(names))
+	for _, n := range names {
+		f, _ := depgraph.FlagByName(n) // validated by normalize
+		out = append(out, f)
+	}
+	return out
+}
+
+func unionFlags(names []string) depgraph.Flags {
+	var u depgraph.Flags
+	for _, f := range flagsOf(names) {
+		u |= f
+	}
+	return u
+}
+
+func catsOf(names []string) []breakdown.Category {
+	out := make([]breakdown.Category, 0, len(names))
+	for _, n := range names {
+		f, _ := depgraph.FlagByName(n)
+		out = append(out, breakdown.Category{Name: n, Flags: f})
+	}
+	return out
+}
+
+// execute answers a normalized query against a built session. It runs
+// on an engine worker; ctx carries the client's cancellation.
+func execute(ctx context.Context, q Query, s *session) (*Response, error) {
+	a := s.analyzer
+	g := a.Graph()
+	resp := &Response{
+		Op:         q.Op,
+		SessionKey: s.key,
+		Bench:      s.spec.Bench,
+		BaseCycles: a.BaseTime(),
+		Insts:      g.Len(),
+	}
+	switch q.Op {
+	case OpCost:
+		v, err := a.CostCtx(ctx, unionFlags(q.Cats))
+		if err != nil {
+			return nil, err
+		}
+		resp.Value = v
+	case OpExecTime:
+		v, err := a.ExecTimeCtx(ctx, unionFlags(q.Cats))
+		if err != nil {
+			return nil, err
+		}
+		resp.Value = v
+	case OpICost:
+		v, err := a.ICostCtx(ctx, flagsOf(q.Cats)...)
+		if err != nil {
+			return nil, err
+		}
+		resp.Value = v
+		resp.Interaction = cost.Classify(v, 0).String()
+	case OpBreakdown:
+		f, _ := depgraph.FlagByName(q.Focus)
+		bd, err := breakdown.FocusCtx(ctx, a,
+			breakdown.Category{Name: q.Focus, Flags: f}, catsOf(q.Cats), s.spec.Bench)
+		if err != nil {
+			return nil, err
+		}
+		resp.Breakdown = bd
+	case OpFull:
+		fb, err := breakdown.ComputeFullCtx(ctx, a, catsOf(q.Cats), s.spec.Bench)
+		if err != nil {
+			return nil, err
+		}
+		resp.Full = fb
+	case OpMatrix:
+		m, err := breakdown.ComputeMatrixCtx(ctx, a, catsOf(q.Cats), s.spec.Bench)
+		if err != nil {
+			return nil, err
+		}
+		resp.Matrix = m
+	case OpSlack:
+		slacks, err := g.SlacksCtx(ctx, depgraph.Ideal{})
+		if err != nil {
+			return nil, err
+		}
+		sum := &SlackSummary{Insts: len(slacks)}
+		var total int64
+		for _, sl := range slacks {
+			total += sl
+			switch {
+			case sl == 0:
+				sum.Critical++
+			case sl < 10:
+				sum.Small++
+			default:
+				sum.Large++
+			}
+		}
+		if len(slacks) > 0 {
+			sum.MeanSlack = float64(total) / float64(len(slacks))
+		}
+		resp.Slack = sum
+	default:
+		return nil, fmt.Errorf("engine: unhandled op %q", q.Op)
+	}
+	return resp, nil
+}

@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"icost/internal/cost"
+	"icost/internal/ooo"
+	"icost/internal/trace"
+	"icost/internal/workload"
+)
+
+// SessionSpec identifies one built microexecution: a benchmark,
+// generation seed, trace length and the machine parameters that vary
+// across the paper's experiments. Zero-valued fields take the
+// defaults of cmd/icost (Table 6 machine, 30k measured instructions
+// after 30k warmup), so a client can say just {"bench":"mcf"}.
+//
+// Two specs that normalize identically share one session: the trace,
+// simulation and dependence graph are built once and every subsequent
+// query — from any client — reuses them. This is the paper's
+// efficiency argument operationalized: graph idealization is
+// O(|graph|) per cost query only if the graph survives between
+// queries.
+type SessionSpec struct {
+	Bench          string `json:"bench"`
+	Seed           uint64 `json:"seed,omitempty"`
+	TraceLen       int    `json:"trace_len,omitempty"`
+	Warmup         int    `json:"warmup,omitempty"`
+	DL1Latency     int    `json:"dl1_latency,omitempty"`
+	Window         int    `json:"window,omitempty"`
+	WakeupExtra    int    `json:"wakeup_extra,omitempty"`
+	BranchRecovery int    `json:"branch_recovery,omitempty"`
+}
+
+// normalize fills defaults and validates the spec.
+func (s SessionSpec) normalize() (SessionSpec, error) {
+	if s.Bench == "" {
+		return s, fmt.Errorf("engine: session needs a benchmark name")
+	}
+	known := false
+	for _, n := range workload.Names() {
+		if n == s.Bench {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return s, fmt.Errorf("engine: unknown benchmark %q (have %v)", s.Bench, workload.Names())
+	}
+	if s.Seed == 0 {
+		s.Seed = 42
+	}
+	if s.TraceLen == 0 {
+		s.TraceLen = 30000
+	}
+	if s.Warmup == 0 {
+		s.Warmup = 30000
+	}
+	if s.DL1Latency == 0 {
+		s.DL1Latency = 2
+	}
+	if s.Window == 0 {
+		s.Window = 64
+	}
+	if s.BranchRecovery == 0 {
+		s.BranchRecovery = 8
+	}
+	if s.TraceLen < 1 || s.Warmup < 0 {
+		return s, fmt.Errorf("engine: bad trace length %d / warmup %d", s.TraceLen, s.Warmup)
+	}
+	if s.DL1Latency < 0 || s.Window < 1 || s.WakeupExtra < 0 || s.BranchRecovery < 0 {
+		return s, fmt.Errorf("engine: bad machine parameters in %+v", s)
+	}
+	return s, nil
+}
+
+// Key returns the content hash identifying the session: SHA-256 over
+// the canonical rendering of the normalized spec. Specs that differ
+// only in defaulted fields hash identically.
+func (s SessionSpec) Key() (string, error) {
+	n, err := s.normalize()
+	if err != nil {
+		return "", err
+	}
+	canon := fmt.Sprintf("bench=%s seed=%d n=%d warmup=%d dl1=%d win=%d wake=%d rec=%d",
+		n.Bench, n.Seed, n.TraceLen, n.Warmup,
+		n.DL1Latency, n.Window, n.WakeupExtra, n.BranchRecovery)
+	sum := sha256.Sum256([]byte(canon))
+	return hex.EncodeToString(sum[:8]), nil
+}
+
+func (s SessionSpec) machine() ooo.Config {
+	return ooo.DefaultConfig().
+		WithDL1Latency(s.DL1Latency).
+		WithWindow(s.Window).
+		WithWakeupExtra(s.WakeupExtra).
+		WithBranchRecovery(s.BranchRecovery)
+}
+
+// session is one built artifact set: trace + simulation result
+// (graph) + memoizing analyzer.
+type session struct {
+	key      string
+	spec     SessionSpec // normalized
+	trace    *trace.Trace
+	result   *ooo.Result
+	analyzer *cost.Analyzer
+	built    time.Duration // wall time of the cold build
+}
+
+// build generates the workload, simulates it with the graph kept, and
+// wraps the graph in a memoizing analyzer.
+func build(spec SessionSpec) (*session, error) {
+	key, err := spec.Key()
+	if err != nil {
+		return nil, err
+	}
+	spec, _ = spec.normalize()
+	start := time.Now()
+	tr, err := workload.Load(spec.Bench, spec.Seed, spec.Warmup+spec.TraceLen)
+	if err != nil {
+		return nil, fmt.Errorf("engine: generating %s: %w", spec.Bench, err)
+	}
+	res, err := ooo.Simulate(tr, spec.machine(), ooo.Options{KeepGraph: true, Warmup: spec.Warmup})
+	if err != nil {
+		return nil, fmt.Errorf("engine: simulating %s: %w", spec.Bench, err)
+	}
+	return &session{
+		key:      key,
+		spec:     spec,
+		trace:    tr,
+		result:   res,
+		analyzer: cost.New(res.Graph),
+		built:    time.Since(start),
+	}, nil
+}
+
+// sessionStore is an LRU-bounded map of built sessions with
+// single-flight building: concurrent queries against a cold session
+// trigger exactly one build, and everyone waits on it.
+type sessionStore struct {
+	max   int
+	items map[string]*list.Element // -> *sessionEntry
+	ll    *list.List               // front = most recently used
+}
+
+type sessionEntry struct {
+	key   string
+	ready chan struct{} // closed when build finishes
+	sess  *session      // nil until ready; nil after ready on error
+	err   error
+}
+
+func newSessionStore(max int) *sessionStore {
+	return &sessionStore{max: max, items: map[string]*list.Element{}, ll: list.New()}
+}
+
+// entry returns the store entry for key, creating it (and electing
+// the caller as builder) if absent. The boolean is true when the
+// caller must perform the build and complete the entry.
+func (st *sessionStore) entry(key string) (*sessionEntry, bool) {
+	if el, ok := st.items[key]; ok {
+		st.ll.MoveToFront(el)
+		return el.Value.(*sessionEntry), false
+	}
+	e := &sessionEntry{key: key, ready: make(chan struct{})}
+	st.items[key] = st.ll.PushFront(e)
+	return e, true
+}
+
+// drop removes a failed entry so a later query can retry the build.
+func (st *sessionStore) drop(key string) {
+	if el, ok := st.items[key]; ok {
+		st.ll.Remove(el)
+		delete(st.items, key)
+	}
+}
+
+// evict trims the store to max entries, oldest first, never evicting
+// entries still being built. Returns how many sessions were evicted.
+func (st *sessionStore) evict() int {
+	n := 0
+	for st.ll.Len() > st.max {
+		el := st.ll.Back()
+		if el == nil {
+			break
+		}
+		e := el.Value.(*sessionEntry)
+		select {
+		case <-e.ready:
+		default:
+			return n // oldest entry still building; stop evicting
+		}
+		st.ll.Remove(el)
+		delete(st.items, e.key)
+		n++
+	}
+	return n
+}
+
+func (st *sessionStore) len() int { return st.ll.Len() }
