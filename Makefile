@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fuzz fmt vet ci
+.PHONY: build test race bench bench-batch fuzz fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench smoke: one iteration of every benchmark, just to prove they run.
+# bench smoke: one iteration of every benchmark with allocation
+# stats, just to prove they run. Kept to one iteration so CI stays
+# under ~2 minutes.
 bench:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./...
+
+# bench-batch: stable timings for the batched-evaluation hot paths;
+# run before and after touching internal/depgraph/batch.go or
+# internal/cost, and record results in BENCH_batch.json.
+bench-batch:
+	$(GO) test -run='^$$' -bench='BenchmarkICostPair|BenchmarkICostBatch|BenchmarkMatrixBatch|BenchmarkExecTimeWarm' -benchmem -benchtime=2s -count=3 .
 
 # fuzz smoke: a few seconds per fuzz target.
 fuzz:

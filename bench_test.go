@@ -195,8 +195,7 @@ func BenchmarkWindowApproximation(b *testing.B) {
 		t20 := g20.ExecTime(depgraph.Ideal{Global: depgraph.IdealWindow})
 		cfg100 := g20.Cfg
 		cfg100.WindowIdealFactor = 100
-		g100 := *g20
-		g100.Cfg = cfg100
+		g100 := g20.WithConfig(cfg100)
 		t100 := g100.ExecTime(depgraph.Ideal{Global: depgraph.IdealWindow})
 		b.ReportMetric(100*(float64(t20)/float64(t100)-1), "extraSpeedupPct")
 	}
@@ -320,6 +319,72 @@ func BenchmarkICostPair(b *testing.B) {
 		a := cost.New(res.Graph) // fresh memo each iteration
 		if _, err := a.ICost(depgraph.IdealDL1, depgraph.IdealWindow); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkICostBatch is the batched-evaluator acceptance workload: a
+// 4-set icost query (16 subset unions) against a fresh analyzer, so
+// every term needs a graph evaluation. Before the batched kernel this
+// ran 16 scalar walks; after, one multi-lane walk.
+func BenchmarkICostBatch(b *testing.B) {
+	tr, err := workload.Load("gcc", 42, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := ooo.Run(tr, ooo.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := cost.New(res.Graph) // fresh memo each iteration
+		_, err := a.ICost(depgraph.IdealDL1, depgraph.IdealWindow,
+			depgraph.IdealDMiss, depgraph.IdealBMisp)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatrixBatch measures the all-pairs interaction-cost matrix
+// over the eight base categories (36 distinct subset unions) on a
+// fresh analyzer — the engine's OpMatrix cold path.
+func BenchmarkMatrixBatch(b *testing.B) {
+	tr, err := workload.Load("gcc", 42, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := ooo.Run(tr, ooo.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cats := breakdown.BaseCategories()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := cost.New(res.Graph) // fresh memo each iteration
+		if _, err := breakdown.ComputeMatrix(a, cats, "gcc"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecTimeWarm measures a single scalar ExecTime evaluation
+// with the analyzer memo bypassed — the path whose per-call scratch
+// allocation the depgraph pool removes.
+func BenchmarkExecTimeWarm(b *testing.B) {
+	tr, err := workload.Load("gcc", 42, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := ooo.Run(tr, ooo.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res.Graph.ExecTime(depgraph.Ideal{Global: depgraph.IdealWindow}) <= 0 {
+			b.Fatal("empty time")
 		}
 	}
 }

@@ -345,9 +345,18 @@ func printPhases(w io.Writer, a *cost.Analyzer, k int) error {
 		return err
 	}
 	cats := breakdown.BaseCategories()
+	masks := make([]depgraph.Flags, 0, len(cats))
+	for _, c := range cats {
+		masks = append(masks, c.Flags)
+	}
 	fmt.Fprintf(w, "phase  insts   cycles   IPC    top categories\n")
 	for pi, pg := range parts {
 		pa := cost.New(pg)
+		// One batched walk per phase graph instead of one scalar walk
+		// per category.
+		if err := pa.PrewarmCtx(context.Background(), masks); err != nil {
+			return err
+		}
 		type cv struct {
 			name string
 			pct  float64

@@ -6,20 +6,27 @@
 // Usage:
 //
 //	sweep [-bench name] [-n insts] [-warmup insts] [-seed s]
-//	      [-windows 64,128,256] [-dl1s 1,2,4] [-wakeups 0,1]
+//	      [-windows 64,128,256] [-dl1s 1,2,4] [-wakeups 0,1] [-costs]
 //
 // The default reproduces Figure 3: window sizes crossed with dl1
-// latencies.
+// latencies. With -costs, each point also keeps its dependence graph
+// and prints the top per-category costs (one batched graph walk per
+// point), showing how the bottleneck mix shifts across the sweep.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
+	"icost/internal/breakdown"
+	"icost/internal/cost"
+	"icost/internal/depgraph"
 	"icost/internal/experiments"
 	"icost/internal/ooo"
 )
@@ -41,6 +48,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		windows = fs.String("windows", "64,128,256", "window sizes")
 		dl1s    = fs.String("dl1s", "1,4", "dl1 latencies")
 		wakeups = fs.String("wakeups", "0", "extra issue-wakeup latencies")
+		costs   = fs.Bool("costs", false, "print top per-category costs at each point (keeps the graph, batched evaluation)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -69,27 +77,72 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 
+	cats := breakdown.BaseCategories()
+	masks := make([]depgraph.Flags, 0, len(cats))
+	for _, c := range cats {
+		masks = append(masks, c.Flags)
+	}
+
 	fmt.Fprintf(stdout, "benchmark %s (%d instructions after %d warmup)\n", *bench, *n, *warmup)
-	fmt.Fprintln(stdout, "dl1  wakeup  window  cycles     IPC    speedup-vs-first-window")
+	header := "dl1  wakeup  window  cycles     IPC    speedup-vs-first-window"
+	if *costs {
+		header += "  top costs"
+	}
+	fmt.Fprintln(stdout, header)
 	for _, d := range ds {
 		for _, k := range ks {
 			var base int64
 			for wi, w := range ws {
 				mc := ooo.DefaultConfig().WithDL1Latency(d).WithWindow(w).WithWakeupExtra(k)
-				res, err := ooo.Simulate(tr, mc, ooo.Options{Warmup: *warmup})
+				res, err := ooo.Simulate(tr, mc, ooo.Options{Warmup: *warmup, KeepGraph: *costs})
 				if err != nil {
 					return fail(err)
 				}
 				if wi == 0 {
 					base = res.Cycles
 				}
-				fmt.Fprintf(stdout, "%3d  %6d  %6d  %-9d  %4.2f  %6.1f%%\n",
+				line := fmt.Sprintf("%3d  %6d  %6d  %-9d  %4.2f  %6.1f%%",
 					d, k, w, res.Cycles, res.IPC(),
 					100*(float64(base)/float64(res.Cycles)-1))
+				if *costs {
+					top, err := topCosts(res, cats, masks, 3)
+					if err != nil {
+						return fail(err)
+					}
+					line += "  " + top
+				}
+				fmt.Fprintln(stdout, line)
 			}
 		}
 	}
 	return 0
+}
+
+// topCosts analyzes a kept graph and renders the k largest
+// per-category costs as "name pct%" pairs. All category masks are
+// evaluated in one batched graph walk.
+func topCosts(res *ooo.Result, cats []breakdown.Category, masks []depgraph.Flags, k int) (string, error) {
+	a := cost.New(res.Graph)
+	if err := a.PrewarmCtx(context.Background(), masks); err != nil {
+		return "", err
+	}
+	type cv struct {
+		name string
+		pct  float64
+	}
+	rows := make([]cv, 0, len(cats))
+	for _, c := range cats {
+		rows = append(rows, cv{c.Name, 100 * float64(a.Cost(c.Flags)) / float64(a.BaseTime())})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].pct > rows[j].pct })
+	if k > len(rows) {
+		k = len(rows)
+	}
+	var parts []string
+	for _, r := range rows[:k] {
+		parts = append(parts, fmt.Sprintf("%s %.1f%%", r.name, r.pct))
+	}
+	return strings.Join(parts, ", "), nil
 }
 
 func parseInts(s string) ([]int, error) {

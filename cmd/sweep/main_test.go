@@ -58,3 +58,26 @@ func TestParseInts(t *testing.T) {
 		t.Fatal("bad list accepted")
 	}
 }
+
+func TestSweepCosts(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-bench", "gzip", "-n", "1500", "-warmup", "800",
+		"-windows", "32,64", "-dl1s", "2", "-costs"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "top costs") {
+		t.Fatalf("missing top-costs column header:\n%s", out)
+	}
+	// Every data row must carry three "name pct%" entries.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "%, ") {
+			rows++
+		}
+	}
+	if rows != 2 {
+		t.Fatalf("%d rows with cost annotations, want 2:\n%s", rows, out)
+	}
+}

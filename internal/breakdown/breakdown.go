@@ -80,11 +80,22 @@ func Focus(a *cost.Analyzer, focus Category, cats []Category, name string) (*Foc
 }
 
 // FocusCtx is Focus with cancellation: each underlying cost query
-// aborts when ctx is done.
+// aborts when ctx is done. The base-category and focus-pair unions
+// are batch-evaluated up front.
 func FocusCtx(ctx context.Context, a *cost.Analyzer, focus Category, cats []Category, name string) (*Focused, error) {
 	total := a.BaseTime()
 	if total <= 0 {
 		return nil, fmt.Errorf("breakdown: empty execution")
+	}
+	masks := make([]depgraph.Flags, 0, 2*len(cats))
+	for _, c := range cats {
+		masks = append(masks, c.Flags)
+		if c.Flags != focus.Flags {
+			masks = append(masks, focus.Flags|c.Flags)
+		}
+	}
+	if err := a.PrewarmCtx(ctx, masks); err != nil {
+		return nil, err
 	}
 	pct := func(cy int64) float64 { return 100 * float64(cy) / float64(total) }
 	f := &Focused{Name: name, Focus: focus, TotalCycles: total}
@@ -175,6 +186,21 @@ func ComputeFullCtx(ctx context.Context, a *cost.Analyzer, cats []Category, name
 	var all depgraph.Flags
 	for _, c := range cats {
 		all |= c.Flags
+	}
+	// Evaluate the whole power set in one batched walk up front; the
+	// per-row icost queries below are then pure memo arithmetic.
+	masks := make([]depgraph.Flags, 0, 1<<k)
+	for m := 1; m < 1<<k; m++ {
+		var u depgraph.Flags
+		for j := 0; j < k; j++ {
+			if m&(1<<j) != 0 {
+				u |= cats[j].Flags
+			}
+		}
+		masks = append(masks, u)
+	}
+	if err := a.PrewarmCtx(ctx, masks); err != nil {
+		return nil, err
 	}
 	for _, s := range subsets {
 		var sets []depgraph.Flags

@@ -31,13 +31,28 @@ func ComputeMatrix(a *cost.Analyzer, cats []Category, name string) (*Matrix, err
 	return ComputeMatrixCtx(context.Background(), a, cats, name)
 }
 
-// ComputeMatrixCtx is ComputeMatrix with cancellation.
+// ComputeMatrixCtx is ComputeMatrix with cancellation. The subset
+// unions every cell needs — each category and each pairwise OR — are
+// gathered up front, deduplicated, and evaluated through the
+// analyzer's batched graph walk (which fans out across GOMAXPROCS
+// and aborts mid-batch when ctx is done); the cell loop below then
+// assembles percentages from memoized values.
 func ComputeMatrixCtx(ctx context.Context, a *cost.Analyzer, cats []Category, name string) (*Matrix, error) {
 	total := a.BaseTime()
 	if total <= 0 {
 		return nil, fmt.Errorf("breakdown: empty execution")
 	}
 	k := len(cats)
+	masks := make([]depgraph.Flags, 0, k+k*(k-1)/2)
+	for i := 0; i < k; i++ {
+		masks = append(masks, cats[i].Flags)
+		for j := 0; j < i; j++ {
+			masks = append(masks, cats[i].Flags|cats[j].Flags)
+		}
+	}
+	if err := a.PrewarmCtx(ctx, masks); err != nil {
+		return nil, err
+	}
 	m := &Matrix{Name: name, Cats: cats, TotalCycles: total}
 	m.Pct = make([][]float64, k)
 	pct := func(cy int64) float64 { return 100 * float64(cy) / float64(total) }

@@ -1,6 +1,8 @@
 package breakdown
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -129,5 +131,21 @@ func TestMatrixEmptyExecution(t *testing.T) {
 	a := cost.NewFromFunc(func(depgraph.Flags) int64 { return 0 })
 	if _, err := ComputeMatrix(a, BaseCategories(), "x"); err == nil {
 		t.Fatal("matrix accepted empty execution")
+	}
+}
+
+// TestMatrixCancellation: a cancelled context must abort the matrix's
+// batched power-set evaluation mid-walk instead of computing all k^2
+// cells.
+func TestMatrixCancellation(t *testing.T) {
+	a := analyzer(t, "gcc", 20000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ComputeMatrixCtx(ctx, a, BaseCategories(), "gcc"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// And the same analyzer still answers once the pressure is off.
+	if _, err := ComputeMatrix(a, BaseCategories(), "gcc"); err != nil {
+		t.Fatal(err)
 	}
 }

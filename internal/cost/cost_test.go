@@ -1,10 +1,13 @@
 package cost
 
 import (
+	"context"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"icost/internal/cache"
 	"icost/internal/depgraph"
@@ -303,8 +306,14 @@ func TestMemoization(t *testing.T) {
 	if t1 != t2 {
 		t.Fatal("memoized value differs")
 	}
-	if len(a.memo) != 2 { // base + dmiss
+	if len(a.memo) != 1 { // dmiss only: base is lazy
 		t.Fatalf("memo size %d", len(a.memo))
+	}
+	if a.BaseTime() != a.BaseTime() {
+		t.Fatal("base time not stable")
+	}
+	if len(a.memo) != 2 { // base + dmiss
+		t.Fatalf("memo size %d after BaseTime", len(a.memo))
 	}
 }
 
@@ -348,4 +357,109 @@ func TestAnalyzerConcurrentUse(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestSingleFlight: concurrent memo misses for the same flags must
+// share one evaluation — the leader runs eval, everyone else waits on
+// its flight and returns the same value.
+func TestSingleFlight(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	a := NewFromFunc(func(f depgraph.Flags) int64 {
+		if f == depgraph.IdealDMiss {
+			calls.Add(1)
+			<-release // hold the leader so waiters pile onto the flight
+		}
+		return int64(f) * 10
+	})
+	const G = 8
+	var wg sync.WaitGroup
+	results := make([]int64, G)
+	wg.Add(G)
+	for i := 0; i < G; i++ {
+		go func(i int) {
+			defer wg.Done()
+			results[i] = a.ExecTime(depgraph.IdealDMiss)
+		}(i)
+	}
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond) // leader entered eval
+	}
+	time.Sleep(10 * time.Millisecond) // let the rest reach the flight
+	close(release)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("eval ran %d times for one flag", n)
+	}
+	want := int64(depgraph.IdealDMiss) * 10
+	for i, r := range results {
+		if r != want {
+			t.Fatalf("goroutine %d got %d, want %d", i, r, want)
+		}
+	}
+}
+
+// TestICostSetsMatchesBruteForce: the batched per-instruction path of
+// ICostSets must agree with a hand-rolled Möbius sum over direct
+// scalar graph evaluations.
+func TestICostSetsMatchesBruteForce(t *testing.T) {
+	g := benchGraph(t, "gzip", 2500)
+	a := New(g)
+	sets := []depgraph.Ideal{
+		EventSet(g, depgraph.IdealDMiss, func(i int) bool { return g.Info[i].Op == isa.OpLoad && i%2 == 0 }),
+		{Global: depgraph.IdealWindow},
+		EventSet(g, depgraph.IdealBMisp, func(i int) bool { return i%3 == 0 }),
+	}
+	got := a.ICostSets(sets...)
+
+	n := g.Len()
+	base := g.ExecTime(depgraph.Ideal{})
+	var want int64
+	for m := 0; m < 1<<len(sets); m++ {
+		var u depgraph.Ideal
+		u.PerInst = make([]depgraph.Flags, n)
+		for j, s := range sets {
+			if m&(1<<j) == 0 {
+				continue
+			}
+			u.Global |= s.Global
+			for i, f := range s.PerInst {
+				u.PerInst[i] |= f
+			}
+		}
+		term := base - g.ExecTime(u)
+		if (len(sets)-bits.OnesCount(uint(m)))%2 == 1 {
+			term = -term
+		}
+		want += term
+	}
+	if got != want {
+		t.Fatalf("ICostSets = %d, brute force = %d", got, want)
+	}
+}
+
+// TestPrewarmDedup: PrewarmCtx collapses duplicates and re-listing
+// memoized masks issues no further evaluations.
+func TestPrewarmDedup(t *testing.T) {
+	var calls atomic.Int64
+	a := NewFromFunc(func(f depgraph.Flags) int64 {
+		calls.Add(1)
+		return 1000 - int64(f)
+	})
+	masks := []depgraph.Flags{
+		depgraph.IdealDL1, depgraph.IdealDMiss,
+		depgraph.IdealDL1, depgraph.IdealDL1 | depgraph.IdealDMiss,
+	}
+	if err := a.PrewarmCtx(context.Background(), masks); err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("prewarm ran %d evals, want 3", n)
+	}
+	if err := a.PrewarmCtx(context.Background(), masks); err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("re-prewarm ran %d extra evals", n-3)
+	}
 }

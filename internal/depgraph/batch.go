@@ -1,0 +1,537 @@
+// Batched multi-idealization evaluation. The power-set workloads of
+// interaction-cost analysis — the 2^k Möbius terms of an icost query,
+// the k^2 cells of an all-pairs matrix, the per-fragment queries of
+// the shotgun profiler — all re-evaluate the same graph under many
+// idealizations. The scalar walk (runInto) pays the per-instruction
+// overhead once per idealization: it re-loads InstInfo and the
+// producer/contention arrays, and re-derives the latency components,
+// for every subset. EvalBatch instead walks the graph once per
+// batchWidth idealizations, keeping node times in structure-of-arrays
+// lanes: each instruction's metadata is loaded and decomposed into
+// flag-selectable latency components a single time, then a tight
+// inner loop applies it to every lane. Scratch lanes are recycled
+// through a sync.Pool, and batches wider than one chunk fan out
+// across GOMAXPROCS goroutines (each chunk polls ctx, so a batch is
+// cancellable mid-walk).
+package depgraph
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"icost/internal/cache"
+)
+
+// batchWidth is the number of idealization lanes carried by one
+// kernel pass. 8 lanes keep the per-instruction working set (3 lanes
+// x 8 x 8 bytes around the current instruction, plus the scattered
+// producer reads) comfortably inside L1 while amortizing the
+// metadata loads over the whole chunk.
+const batchWidth = 8
+
+// laneScratch is the pooled backing store of one kernel pass: the D,
+// P and C node-time lanes, instruction-major (index i*W+w). R and E
+// times never cross instructions, so they stay in registers.
+type laneScratch struct {
+	d, p, c []int64
+}
+
+var lanePool = sync.Pool{New: func() any { return new(laneScratch) }}
+
+func acquireLanes(n int) *laneScratch {
+	s := lanePool.Get().(*laneScratch)
+	need := n * batchWidth
+	if cap(s.d) < need {
+		s.d = make([]int64, need)
+		s.p = make([]int64, need)
+		s.c = make([]int64, need)
+	}
+	s.d, s.p, s.c = s.d[:need], s.p[:need], s.c[:need]
+	return s
+}
+
+func releaseLanes(s *laneScratch) { lanePool.Put(s) }
+
+// epParts is the flag-selectable decomposition of one instruction's
+// EP-edge latency plus its icache penalty: EPLat(i, f) ==
+// base + dl1·[f∌IdealDL1] + dmiss·[f∌IdealDMiss] +
+// short·[f∌IdealShortALU] + long·[f∌IdealLongALU], and the
+// icache component of DDLat(i, f) is icache·[f∌IdealICache].
+type epParts struct {
+	base, dl1, dmiss, short, long, icache int64
+}
+
+// batchTables returns the idealization-independent per-instruction
+// tables — the latency decomposition and the "previous instruction
+// mispredicted" gate of the PD edge — built once per graph on first
+// use and shared by every subsequent batch (and every chunk of it).
+// Callers must not mutate the graph after the first EvalBatch.
+func (g *Graph) batchTables() ([]epParts, []bool) {
+	g.batchOnce.Do(func() {
+		n := g.Len()
+		g.partsArr = make([]epParts, n)
+		g.mispPrev = make([]bool, n)
+		for i := 0; i < n; i++ {
+			g.partsArr[i] = g.parts(i)
+			if i > 0 {
+				g.mispPrev[i] = g.Info[i-1].Mispredict
+			}
+		}
+	})
+	return g.partsArr, g.mispPrev
+}
+
+// parts decomposes instruction i's latencies once, so the lane loop
+// selects components by flag instead of re-deriving them per subset.
+func (g *Graph) parts(i int) epParts {
+	var p epParts
+	info := &g.Info[i]
+	cfg := &g.Cfg
+	op := info.Op
+	switch {
+	case op.IsMem():
+		p.dl1 = int64(cfg.DL1Latency)
+		if info.DTLBMiss {
+			p.dmiss += int64(cfg.TLBMissLatency)
+		}
+		switch info.DataLevel {
+		case cache.LevelL2:
+			p.dmiss += int64(cfg.L2Latency)
+		case cache.LevelMem:
+			p.dmiss += int64(cfg.L2Latency) + int64(cfg.MemLatency)
+		}
+	case op.IsShortALU():
+		p.short = 1
+	case op.IsLongALU():
+		p.long = BaseExecLat(op)
+	default:
+		p.base = BaseExecLat(op)
+	}
+	if info.ITLBMiss {
+		p.icache = int64(cfg.TLBMissLatency)
+	}
+	switch info.ILevel {
+	case cache.LevelL2:
+		p.icache += int64(cfg.L2Latency)
+	case cache.LevelMem:
+		p.icache += int64(cfg.L2Latency) + int64(cfg.MemLatency)
+	}
+	return p
+}
+
+// EvalBatch computes the execution time of the microexecution under
+// every idealization in ids, walking the graph once per batchWidth
+// lanes instead of once per idealization. Results are bit-exact with
+// ExecTime on each element. Batches larger than one chunk fan out
+// across min(GOMAXPROCS, chunks) goroutines; every chunk polls ctx
+// each ctxCheckStride instructions, so cancellation lands mid-batch.
+// An idealization with a per-instruction mask must have exactly
+// Len() entries.
+func (g *Graph) EvalBatch(ctx context.Context, ids []Ideal) ([]int64, error) {
+	n := g.Len()
+	for k := range ids {
+		if ids[k].PerInst != nil && len(ids[k].PerInst) != n {
+			return nil, fmt.Errorf("depgraph: batch lane %d: per-instruction mask has %d entries, graph has %d",
+				k, len(ids[k].PerInst), n)
+		}
+	}
+	out := make([]int64, len(ids))
+	if len(ids) == 0 || n == 0 {
+		return out, nil
+	}
+	chunks := (len(ids) + batchWidth - 1) / batchWidth
+	workers := runtime.GOMAXPROCS(0)
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		for s := 0; s < len(ids); s += batchWidth {
+			e := s + batchWidth
+			if e > len(ids) {
+				e = len(ids)
+			}
+			if err := g.evalChunk(ctx, ids[s:e], out[s:e]); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				s := c * batchWidth
+				e := s + batchWidth
+				if e > len(ids) {
+					e = len(ids)
+				}
+				if err := g.evalChunk(cctx, ids[s:e], out[s:e]); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					cancel() // abort the sibling chunks
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err // the caller's cancellation, not our internal one
+		}
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// evalChunk evaluates up to batchWidth lanes with one graph walk.
+// Short chunks are padded with copies of the first lane so the
+// kernels always run at the full constant width — the stride becomes
+// a shift and the lane loop a fixed trip count the compiler can
+// unroll — at the price of some redundant work on the final chunk.
+func (g *Graph) evalChunk(ctx context.Context, ids []Ideal, out []int64) error {
+	n := g.Len()
+	sc := acquireLanes(n)
+	defer releaseLanes(sc)
+	lanes := ids
+	if len(ids) < batchWidth {
+		var pad [batchWidth]Ideal
+		copy(pad[:], ids)
+		for k := len(ids); k < batchWidth; k++ {
+			pad[k] = ids[0]
+		}
+		lanes = pad[:]
+	}
+	global := true
+	for k := range lanes {
+		if lanes[k].PerInst != nil {
+			global = false
+			break
+		}
+	}
+	var err error
+	if global {
+		err = g.evalLanesGlobal(ctx, lanes, sc)
+	} else {
+		err = g.evalLanesGeneric(ctx, lanes, sc)
+	}
+	if err != nil {
+		return err
+	}
+	for w := range ids {
+		out[w] = sc.c[(n-1)*batchWidth+w] + 1
+	}
+	return nil
+}
+
+// laneConsts caches one lane's flag-derived constants for the
+// global-only kernel: every condition the scalar walk re-tests per
+// instruction is constant across the walk when the idealization has
+// no per-instruction mask.
+type laneConsts struct {
+	bw, ic, dl1, dm, sh, lg bool // category NOT idealized (edge active)
+	bm                      bool // branch recovery active
+	win                     int  // effective window size
+}
+
+func laneOf(cfg *Config, f Flags) laneConsts {
+	l := laneConsts{
+		bw:  f&IdealBW == 0,
+		ic:  f&IdealICache == 0,
+		dl1: f&IdealDL1 == 0,
+		dm:  f&IdealDMiss == 0,
+		sh:  f&IdealShortALU == 0,
+		lg:  f&IdealLongALU == 0,
+		bm:  f&IdealBMisp == 0,
+		win: cfg.Window,
+	}
+	if f&IdealWindow != 0 {
+		l.win *= cfg.WindowIdealFactor
+	}
+	return l
+}
+
+// evalLanesGlobal is the fast path: every lane is a Global-only
+// idealization, so all flag tests hoist out of the instruction loop.
+// The lane stride is the compile-time constant batchWidth (evalChunk
+// pads short batches), so every row offset is a shift and the lane
+// loop has a fixed trip count.
+func (g *Graph) evalLanesGlobal(ctx context.Context, ids []Ideal, sc *laneScratch) error {
+	const W = batchWidth
+	n := g.Len()
+	D, P, C := sc.d, sc.p, sc.c
+	cfg := &g.Cfg
+	dr := int64(cfg.DispatchToReady)
+	pc := int64(cfg.CompleteToCommit)
+	rec := int64(cfg.BranchRecovery)
+	wake := int64(cfg.WakeupExtra)
+	fbw, cbw := cfg.FetchBW, cfg.CommitBW
+	ddB, reL, ccL := g.DDBreak, g.RELat, g.CCLat
+	pr1, pr2, ld := g.Prod1, g.Prod2, g.PPLeader
+	pp, mp := g.batchTables()
+
+	var lanes [W]laneConsts
+	var winOff [W]int
+	for w := range lanes {
+		lanes[w] = laneOf(cfg, ids[w].Global)
+		winOff[w] = lanes[w].win * W
+	}
+
+	for i := 0; i < n; i++ {
+		if i%ctxCheckStride == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		ep := &pp[i]
+		ddBreak := int64(ddB[i])
+		reLat := int64(reL[i])
+		ccLat := int64(ccL[i])
+		// Producer indices of -1 scale to negative offsets, so the
+		// per-lane guards below stay a sign test.
+		p1Row, p2Row, leadRow := int(pr1[i])*W, int(pr2[i])*W, int(ld[i])*W
+		misp := mp[i]
+		base := i * W
+		prev := base - W
+		fbwRow, cbwRow := base-fbw*W, base-cbw*W
+		for w := 0; w < W; w++ {
+			ln := &lanes[w]
+			var dd int64
+			if ln.bw {
+				dd = ddBreak
+			}
+			if ln.ic {
+				dd += ep.icache
+			}
+			d := dd
+			if i > 0 {
+				d += D[prev+w]
+				if misp && ln.bm {
+					if v := P[prev+w] + rec; v > d {
+						d = v
+					}
+				}
+			}
+			if ln.bw && fbwRow >= 0 {
+				if v := D[fbwRow+w] + 1; v > d {
+					d = v
+				}
+			}
+			if wr := base - winOff[w]; wr >= 0 {
+				if v := C[wr+w]; v > d {
+					d = v
+				}
+			}
+			D[base+w] = d
+
+			r := d + dr
+			if p1Row >= 0 {
+				if v := P[p1Row+w] + wake; v > r {
+					r = v
+				}
+			}
+			if p2Row >= 0 {
+				if v := P[p2Row+w] + wake; v > r {
+					r = v
+				}
+			}
+
+			e := r
+			if ln.bw {
+				e += reLat
+			}
+
+			p := e + ep.base
+			if ln.dl1 {
+				p += ep.dl1
+			}
+			if ln.dm {
+				p += ep.dmiss
+			}
+			if ln.sh {
+				p += ep.short
+			}
+			if ln.lg {
+				p += ep.long
+			}
+			if leadRow >= 0 && ln.dm {
+				if v := P[leadRow+w]; v > p {
+					p = v
+				}
+			}
+			P[base+w] = p
+
+			c := p + pc
+			if i > 0 {
+				cc := C[prev+w]
+				if ln.bw {
+					cc += ccLat
+				}
+				if cc > c {
+					c = cc
+				}
+			}
+			if ln.bw && cbwRow >= 0 {
+				if v := C[cbwRow+w] + 1; v > c {
+					c = v
+				}
+			}
+			C[base+w] = c
+		}
+	}
+	return nil
+}
+
+// evalLanesGeneric handles lanes with per-instruction masks: flags
+// are recomposed per lane per instruction, but the metadata loads and
+// latency decomposition still amortize across the whole chunk.
+func (g *Graph) evalLanesGeneric(ctx context.Context, ids []Ideal, sc *laneScratch) error {
+	const W = batchWidth
+	n := g.Len()
+	D, P, C := sc.d, sc.p, sc.c
+	cfg := &g.Cfg
+	dr := int64(cfg.DispatchToReady)
+	pc := int64(cfg.CompleteToCommit)
+	rec := int64(cfg.BranchRecovery)
+	wake := int64(cfg.WakeupExtra)
+	fbw, cbw := cfg.FetchBW, cfg.CommitBW
+	ddB, reL, ccL := g.DDBreak, g.RELat, g.CCLat
+	pr1, pr2, ld := g.Prod1, g.Prod2, g.PPLeader
+	pp, mp := g.batchTables()
+
+	var glob [W]Flags
+	var per [W][]Flags
+	for w := range ids {
+		glob[w], per[w] = ids[w].Global, ids[w].PerInst
+	}
+
+	for i := 0; i < n; i++ {
+		if i%ctxCheckStride == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		ep := &pp[i]
+		ddBreak := int64(ddB[i])
+		reLat := int64(reL[i])
+		ccLat := int64(ccL[i])
+		p1Row, p2Row, leadRow := int(pr1[i])*W, int(pr2[i])*W, int(ld[i])*W
+		misp := mp[i]
+		base := i * W
+		prev := base - W
+		fbwRow, cbwRow := base-fbw*W, base-cbw*W
+		for w := 0; w < W; w++ {
+			f := glob[w]
+			if pv := per[w]; pv != nil {
+				f |= pv[i]
+			}
+			ln := laneOf(cfg, f)
+			var dd int64
+			if ln.bw {
+				dd = ddBreak
+			}
+			if ln.ic {
+				dd += ep.icache
+			}
+			d := dd
+			if i > 0 {
+				d += D[prev+w]
+				if misp {
+					// The PD edge is gated by the *branch's* (i-1's)
+					// flags, not the current instruction's.
+					fp := glob[w]
+					if pv := per[w]; pv != nil {
+						fp |= pv[i-1]
+					}
+					if fp&IdealBMisp == 0 {
+						if v := P[prev+w] + rec; v > d {
+							d = v
+						}
+					}
+				}
+			}
+			if ln.bw && fbwRow >= 0 {
+				if v := D[fbwRow+w] + 1; v > d {
+					d = v
+				}
+			}
+			if wr := base - ln.win*W; wr >= 0 {
+				if v := C[wr+w]; v > d {
+					d = v
+				}
+			}
+			D[base+w] = d
+
+			r := d + dr
+			if p1Row >= 0 {
+				if v := P[p1Row+w] + wake; v > r {
+					r = v
+				}
+			}
+			if p2Row >= 0 {
+				if v := P[p2Row+w] + wake; v > r {
+					r = v
+				}
+			}
+
+			e := r
+			if ln.bw {
+				e += reLat
+			}
+
+			p := e + ep.base
+			if ln.dl1 {
+				p += ep.dl1
+			}
+			if ln.dm {
+				p += ep.dmiss
+			}
+			if ln.sh {
+				p += ep.short
+			}
+			if ln.lg {
+				p += ep.long
+			}
+			if leadRow >= 0 && ln.dm {
+				if v := P[leadRow+w]; v > p {
+					p = v
+				}
+			}
+			P[base+w] = p
+
+			c := p + pc
+			if i > 0 {
+				cc := C[prev+w]
+				if ln.bw {
+					cc += ccLat
+				}
+				if cc > c {
+					c = cc
+				}
+			}
+			if ln.bw && cbwRow >= 0 {
+				if v := C[cbwRow+w] + 1; v > c {
+					c = v
+				}
+			}
+			C[base+w] = c
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package depgraph
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"icost/internal/rng"
+)
+
+// randomCfg perturbs the machine parameters so the batch kernels are
+// exercised across bandwidths, window sizes and pipeline constants,
+// not just the default Table 6 machine.
+func randomCfg(r *rng.Rand) Config {
+	cfg := DefaultConfig()
+	cfg.FetchBW = 1 + r.Intn(4)
+	cfg.CommitBW = 1 + r.Intn(4)
+	cfg.Window = 2 + r.Intn(40)
+	cfg.BranchRecovery = r.Intn(12)
+	cfg.WakeupExtra = r.Intn(2)
+	cfg.DL1Latency = 1 + r.Intn(3)
+	cfg.DispatchToReady = r.Intn(3)
+	cfg.CompleteToCommit = r.Intn(3)
+	return cfg
+}
+
+func randomFlags(r *rng.Rand) Flags {
+	return Flags(r.Uint64()) & AllFlags
+}
+
+// randomIdeal is either a global idealization or a per-instruction
+// one (each instruction gets its own mask) with a global component.
+func randomIdeal(r *rng.Rand, n int) Ideal {
+	id := Ideal{Global: randomFlags(r)}
+	if r.Bool(0.5) {
+		per := make([]Flags, n)
+		for i := range per {
+			if r.Bool(0.3) {
+				per[i] = randomFlags(r)
+			}
+		}
+		id.PerInst = per
+	}
+	return id
+}
+
+// TestBatchMatchesScalar is the bit-exactness property: EvalBatch must
+// equal the scalar walk element-wise for every lane, across random
+// machines, trace lengths (including the tails that stress chunk
+// padding) and idealization shapes.
+func TestBatchMatchesScalar(t *testing.T) {
+	ctx := context.Background()
+	for seed := uint64(1); seed <= 60; seed++ {
+		r := rng.New(seed)
+		n := r.Intn(300) // includes 0-length microexecutions
+		g := randomGraph(r.Derive("graph"), n)
+		g.Cfg = randomCfg(r.Derive("cfg"))
+		width := 1 + r.Intn(2*batchWidth+3) // spans sub-chunk and multi-chunk
+		ids := make([]Ideal, width)
+		for w := range ids {
+			ids[w] = randomIdeal(r, n)
+		}
+		got, err := g.EvalBatch(ctx, ids)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(got) != width {
+			t.Fatalf("seed %d: %d results for %d lanes", seed, len(got), width)
+		}
+		for w, id := range ids {
+			if want := g.ExecTime(id); got[w] != want {
+				t.Fatalf("seed %d lane %d (n=%d): batch %d, scalar %d (ideal %+v)",
+					seed, w, n, got[w], want, id)
+			}
+		}
+	}
+}
+
+func TestBatchEmptyAndSingle(t *testing.T) {
+	ctx := context.Background()
+	g := randomGraph(rng.New(7), 100)
+
+	out, err := g.EvalBatch(ctx, nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: out=%v err=%v", out, err)
+	}
+
+	id := Ideal{Global: IdealDMiss | IdealWindow}
+	out, err = g.EvalBatch(ctx, []Ideal{id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := g.ExecTime(id); out[0] != want {
+		t.Fatalf("batch of one: %d, scalar %d", out[0], want)
+	}
+
+	// Empty graph: every lane is 0 cycles.
+	empty := New(DefaultConfig(), 0)
+	out, err = empty.EvalBatch(ctx, []Ideal{{}, {Global: IdealDL1}})
+	if err != nil || out[0] != 0 || out[1] != 0 {
+		t.Fatalf("empty graph batch: out=%v err=%v", out, err)
+	}
+}
+
+func TestBatchLaneLengthMismatch(t *testing.T) {
+	g := randomGraph(rng.New(9), 50)
+	_, err := g.EvalBatch(context.Background(), []Ideal{
+		{Global: IdealDL1},
+		{PerInst: make([]Flags, 49)},
+	})
+	if err == nil || !strings.Contains(err.Error(), "lane 1") {
+		t.Fatalf("want lane-length error naming lane 1, got %v", err)
+	}
+}
+
+// TestBatchCancellation: a cancelled context must abort the walk
+// mid-batch with the caller's error, on graphs long enough that every
+// chunk crosses several ctx-check strides.
+func TestBatchCancellation(t *testing.T) {
+	g := randomGraph(rng.New(11), 3*ctxCheckStride)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ids := make([]Ideal, 3*batchWidth) // several chunks, exercises fan-out
+	for w := range ids {
+		ids[w] = Ideal{Global: Flags(w) & AllFlags}
+	}
+	if _, err := g.EvalBatch(ctx, ids); err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The same batch completes once the context is live again.
+	if _, err := g.EvalBatch(context.Background(), ids); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -36,6 +36,7 @@ package depgraph
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"icost/internal/cache"
 	"icost/internal/isa"
@@ -222,6 +223,32 @@ type Graph struct {
 	// PPLeader is the dynamic index of the load whose outstanding
 	// miss this instruction's line depends on (PP edge); -1 if none.
 	PPLeader []int32
+
+	// batchOnce guards the lazily built, idealization-independent
+	// per-instruction tables the batched kernels read (see batch.go).
+	// Built on first EvalBatch; the graph must not be mutated after.
+	batchOnce sync.Once
+	partsArr  []epParts
+	mispPrev  []bool
+}
+
+// WithConfig returns a graph sharing this graph's per-instruction
+// records but evaluated under a different machine configuration
+// (what-if analysis on a built microexecution). The clone carries its
+// own lazily built batch tables — they depend on the configuration —
+// so both graphs can be batch-evaluated independently. Graphs cannot
+// be copied by value for the same reason.
+func (g *Graph) WithConfig(cfg Config) *Graph {
+	return &Graph{
+		Cfg:      cfg,
+		Info:     g.Info,
+		DDBreak:  g.DDBreak,
+		RELat:    g.RELat,
+		CCLat:    g.CCLat,
+		Prod1:    g.Prod1,
+		Prod2:    g.Prod2,
+		PPLeader: g.PPLeader,
+	}
 }
 
 // New allocates an empty graph for n instructions.
@@ -339,9 +366,15 @@ type Times struct {
 
 // ExecTime returns the execution time (cycles) of the microexecution
 // under the given idealization: the commit time of the last
-// instruction plus one.
+// instruction plus one. ExecTime is infallible: it walks with a
+// background context, which can never be cancelled, so the only
+// error path of the walk is unreachable and a zero return always
+// means zero cycles, never a swallowed error.
 func (g *Graph) ExecTime(id Ideal) int64 {
-	t, _ := g.ExecTimeCtx(context.Background(), id)
+	t, err := g.ExecTimeCtx(context.Background(), id)
+	if err != nil {
+		panic("depgraph: background-context walk failed: " + err.Error())
+	}
 	return t
 }
 
@@ -349,22 +382,29 @@ func (g *Graph) ExecTime(id Ideal) int64 {
 // ctx periodically (every ctxCheckStride instructions) and returns
 // ctx.Err() if the query was cancelled or timed out mid-walk. A
 // long-lived analysis service uses this to abort queries whose
-// clients have gone away.
+// clients have gone away. The node-time scratch comes from a pool,
+// so a warm query allocates nothing.
 func (g *Graph) ExecTimeCtx(ctx context.Context, id Ideal) (int64, error) {
 	n := g.Len()
 	if n == 0 {
 		return 0, nil
 	}
-	t, err := g.runCtx(ctx, id)
-	if err != nil {
+	t := acquireTimes(n)
+	defer releaseTimes(t)
+	if err := g.runInto(ctx, id, t); err != nil {
 		return 0, err
 	}
 	return t.C[n-1] + 1, nil
 }
 
 // NodeTimes computes all node times under the given idealization.
+// Like ExecTime it is infallible: the background context cannot
+// cancel the walk, so the result is never nil.
 func (g *Graph) NodeTimes(id Ideal) *Times {
-	t, _ := g.runCtx(context.Background(), id)
+	t, err := g.runCtx(context.Background(), id)
+	if err != nil {
+		panic("depgraph: background-context walk failed: " + err.Error())
+	}
 	return t
 }
 
@@ -373,21 +413,33 @@ func (g *Graph) NodeTimes(id Ideal) *Times {
 // cancellation lands within microseconds, rare enough to be free.
 const ctxCheckStride = 2048
 
-// runCtx evaluates the recurrence with one in-order pass. Every
-// node's time is the max over its in-edges of source time plus edge
-// latency, so the unidealized result reproduces the simulator's
-// timing exactly (the simulator computes these same maxima while
-// arbitrating). The pass aborts with ctx.Err() if ctx is done.
+// runCtx evaluates the recurrence into freshly allocated node times
+// that the caller may keep.
 func (g *Graph) runCtx(ctx context.Context, id Ideal) (*Times, error) {
 	n := g.Len()
 	t := &Times{
 		D: make([]int64, n), R: make([]int64, n), E: make([]int64, n),
 		P: make([]int64, n), C: make([]int64, n),
 	}
+	if err := g.runInto(ctx, id, t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// runInto evaluates the recurrence with one in-order pass, writing
+// into t (whose slices must be Len() long; every element is
+// overwritten, so pooled scratch needs no zeroing). Every node's time
+// is the max over its in-edges of source time plus edge latency, so
+// the unidealized result reproduces the simulator's timing exactly
+// (the simulator computes these same maxima while arbitrating). The
+// pass aborts with ctx.Err() if ctx is done.
+func (g *Graph) runInto(ctx context.Context, id Ideal, t *Times) error {
+	n := g.Len()
 	cfg := &g.Cfg
 	for i := 0; i < n; i++ {
 		if i%ctxCheckStride == 0 && ctx.Err() != nil {
-			return nil, ctx.Err()
+			return ctx.Err()
 		}
 		f := id.Of(i)
 
@@ -456,7 +508,7 @@ func (g *Graph) runCtx(ctx context.Context, id Ideal) (*Times, error) {
 		}
 		t.C[i] = c
 	}
-	return t, nil
+	return nil
 }
 
 func maxi64(a, b int64) int64 {

@@ -1,0 +1,50 @@
+package depgraph
+
+import "sync"
+
+// Scratch pooling for the scalar walks. A cost query that only needs
+// the final commit time (ExecTimeCtx) or a derived aggregate
+// (SlacksCtx) has no reason to allocate five n-length slices per
+// call: the node-time scratch is recycled through sync.Pools shared
+// by all graphs, sized up on demand. Walk results that escape to the
+// caller (NodeTimes, LatestTimes) still allocate fresh.
+
+var timesPool = sync.Pool{New: func() any { return new(Times) }}
+
+// acquireTimes returns a Times with n-length slices whose contents
+// are unspecified; runInto overwrites every element.
+func acquireTimes(n int) *Times {
+	t := timesPool.Get().(*Times)
+	if cap(t.D) < n {
+		t.D = make([]int64, n)
+		t.R = make([]int64, n)
+		t.E = make([]int64, n)
+		t.P = make([]int64, n)
+		t.C = make([]int64, n)
+	}
+	t.D, t.R, t.E = t.D[:n], t.R[:n], t.E[:n]
+	t.P, t.C = t.P[:n], t.C[:n]
+	return t
+}
+
+func releaseTimes(t *Times) { timesPool.Put(t) }
+
+var latestPool = sync.Pool{New: func() any { return new(Latest) }}
+
+// acquireLatest returns a Latest with n-length slices whose contents
+// are unspecified; the backward pass initializes every element.
+func acquireLatest(n int) *Latest {
+	l := latestPool.Get().(*Latest)
+	if cap(l.D) < n {
+		l.D = make([]int64, n)
+		l.R = make([]int64, n)
+		l.E = make([]int64, n)
+		l.P = make([]int64, n)
+		l.C = make([]int64, n)
+	}
+	l.D, l.R, l.E = l.D[:n], l.R[:n], l.E[:n]
+	l.P, l.C = l.P[:n], l.C[:n]
+	return l
+}
+
+func releaseLatest(l *Latest) { latestPool.Put(l) }

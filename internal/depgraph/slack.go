@@ -40,9 +40,14 @@ func (l *Latest) at(k NodeKind, i int) *int64 {
 // pinned at its actual time, each edge source's latest time is
 // min(latest(dst) - latency) over its out-edges. Unconstrained nodes
 // (no path to the final commit) keep their actual times, giving them
-// zero slack contribution beyond program end.
+// zero slack contribution beyond program end. LatestTimes is
+// infallible (the background context cannot cancel the passes), so
+// the results are never nil.
 func (g *Graph) LatestTimes(id Ideal) (*Times, *Latest) {
-	t, l, _ := g.LatestTimesCtx(context.Background(), id)
+	t, l, err := g.LatestTimesCtx(context.Background(), id)
+	if err != nil {
+		panic("depgraph: background-context walk failed: " + err.Error())
+	}
 	return t, l
 }
 
@@ -58,11 +63,22 @@ func (g *Graph) LatestTimesCtx(ctx context.Context, id Ideal) (*Times, *Latest, 
 		D: make([]int64, n), R: make([]int64, n), E: make([]int64, n),
 		P: make([]int64, n), C: make([]int64, n),
 	}
+	if err := g.latestInto(ctx, id, t, l); err != nil {
+		return nil, nil, err
+	}
+	return t, l, nil
+}
+
+// latestInto runs the backward pass into l, whose slices must be
+// Len() long; every element is initialized here, so pooled scratch
+// needs no zeroing.
+func (g *Graph) latestInto(ctx context.Context, id Ideal, t *Times, l *Latest) error {
+	n := g.Len()
 	for i := 0; i < n; i++ {
 		l.D[i], l.R[i], l.E[i], l.P[i], l.C[i] = inf, inf, inf, inf, inf
 	}
 	if n == 0 {
-		return t, l, nil
+		return nil
 	}
 	l.C[n-1] = t.C[n-1]
 	// Visit instructions backward; within an instruction, nodes in
@@ -70,7 +86,7 @@ func (g *Graph) LatestTimesCtx(ctx context.Context, id Ideal) (*Times, *Latest, 
 	// so one pass suffices.
 	for i := n - 1; i >= 0; i-- {
 		if i%ctxCheckStride == 0 && ctx.Err() != nil {
-			return nil, nil, ctx.Err()
+			return ctx.Err()
 		}
 		for _, node := range [...]NodeKind{NodeC, NodeP, NodeE, NodeR, NodeD} {
 			to := l.at(node, i)
@@ -91,24 +107,37 @@ func (g *Graph) LatestTimesCtx(ctx context.Context, id Ideal) (*Times, *Latest, 
 			}
 		}
 	}
-	return t, l, nil
+	return nil
 }
 
 // Slacks returns each instruction's global slack: how many cycles its
 // completion (P node) can slip without lengthening execution. Zero
-// slack marks critical instructions.
+// slack marks critical instructions. Slacks is infallible (the
+// background context cannot cancel the passes), so the result is
+// never nil.
 func (g *Graph) Slacks(id Ideal) []int64 {
-	out, _ := g.SlacksCtx(context.Background(), id)
+	out, err := g.SlacksCtx(context.Background(), id)
+	if err != nil {
+		panic("depgraph: background-context walk failed: " + err.Error())
+	}
 	return out
 }
 
-// SlacksCtx is Slacks with cancellation.
+// SlacksCtx is Slacks with cancellation. Both passes run on pooled
+// scratch: only the returned slack slice is allocated.
 func (g *Graph) SlacksCtx(ctx context.Context, id Ideal) ([]int64, error) {
-	t, l, err := g.LatestTimesCtx(ctx, id)
-	if err != nil {
+	n := g.Len()
+	t := acquireTimes(n)
+	defer releaseTimes(t)
+	if err := g.runInto(ctx, id, t); err != nil {
 		return nil, err
 	}
-	out := make([]int64, g.Len())
+	l := acquireLatest(n)
+	defer releaseLatest(l)
+	if err := g.latestInto(ctx, id, t, l); err != nil {
+		return nil, err
+	}
+	out := make([]int64, n)
 	for i := range out {
 		out[i] = l.P[i] - t.P[i]
 	}

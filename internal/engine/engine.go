@@ -314,6 +314,11 @@ func (e *Engine) sessionFor(ctx context.Context, key string, spec SessionSpec) (
 
 	if builder {
 		s, err := build(spec)
+		if err == nil {
+			// Attach before the session is published: every batched
+			// walk the analyzer issues feeds the size histogram.
+			s.analyzer.SetBatchObserver(e.met.recordBatch)
+		}
 		entry.sess, entry.err = s, err
 		close(entry.ready)
 		e.storeMu.Lock()
@@ -365,6 +370,20 @@ func (e *Engine) Metrics() Snapshot {
 		LatencyP95us: e.met.latency.quantile(0.95),
 		LatencyP99us: e.met.latency.quantile(0.99),
 
+		BatchesTotal:    e.met.batches.Load(),
+		BatchLanesTotal: e.met.batchLanes.Load(),
+		BatchSizeHist:   batchHistSnapshot(&e.met),
+
 		UptimeSeconds: time.Since(e.started).Seconds(),
 	}
+}
+
+// batchHistSnapshot copies the batch-size histogram buckets. Not
+// atomic across buckets, which is fine for monitoring.
+func batchHistSnapshot(m *metrics) []int64 {
+	out := make([]int64, batchHistBuckets)
+	for i := range out {
+		out[i] = m.batchHist[i].Load()
+	}
+	return out
 }

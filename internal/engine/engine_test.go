@@ -488,3 +488,40 @@ func TestLatencyHistQuantiles(t *testing.T) {
 		t.Fatal("empty histogram quantile not 0")
 	}
 }
+
+// TestBatchMetrics: a matrix query routes its power-set unions
+// through the analyzer's batched graph walk, and the engine's batch
+// observer must see it: non-zero batch count, lane total covering the
+// k + k(k-1)/2 unions, and a histogram that sums to the batch count.
+func TestBatchMetrics(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	if _, err := e.Query(context.Background(), Query{Session: testSpec("gcc"), Op: OpMatrix}); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Metrics()
+	if m.BatchesTotal == 0 {
+		t.Fatal("matrix query issued no batched evaluations")
+	}
+	// 8 categories -> 8 singles + 28 pairs = 36 distinct masks, all
+	// cold, so at least that many lanes were batch-evaluated.
+	if m.BatchLanesTotal < 36 {
+		t.Fatalf("batch lanes = %d, want >= 36", m.BatchLanesTotal)
+	}
+	var hist int64
+	for _, c := range m.BatchSizeHist {
+		hist += c
+	}
+	if hist != m.BatchesTotal {
+		t.Fatalf("histogram sums to %d, batches total %d", hist, m.BatchesTotal)
+	}
+
+	// A repeated query is all memo hits: no new batches.
+	before := m.BatchesTotal
+	if _, err := e.Query(context.Background(), Query{Session: testSpec("gcc"), Op: OpMatrix}); err != nil {
+		t.Fatal(err)
+	}
+	if after := e.Metrics().BatchesTotal; after != before {
+		t.Fatalf("warm matrix query issued %d new batches", after-before)
+	}
+}

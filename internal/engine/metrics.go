@@ -49,6 +49,11 @@ func (h *latencyHist) quantile(q float64) int64 {
 	return int64(1) << histBuckets
 }
 
+// batchHistBuckets is the number of batch-size histogram buckets:
+// bucket i counts batched graph evaluations with lane count in
+// [2^i, 2^(i+1)), so the range spans 1 .. 128+ lanes.
+const batchHistBuckets = 8
+
 // metrics is the engine's observability state: everything is atomic,
 // so the hot path never takes a lock to count.
 type metrics struct {
@@ -64,6 +69,24 @@ type metrics struct {
 
 	inFlight atomic.Int64
 	latency  latencyHist
+
+	batches    atomic.Int64
+	batchLanes atomic.Int64
+	batchHist  [batchHistBuckets]atomic.Int64
+}
+
+// recordBatch counts one batched multi-lane graph evaluation issued
+// by a session analyzer. Installed as the analyzer's batch observer,
+// so it must stay lock-free: one power-set query can fire it from
+// several worker goroutines.
+func (m *metrics) recordBatch(lanes int) {
+	m.batches.Add(1)
+	m.batchLanes.Add(int64(lanes))
+	b := 0
+	for l := lanes; l > 1 && b < batchHistBuckets-1; l >>= 1 {
+		b++
+	}
+	m.batchHist[b].Add(1)
 }
 
 // Snapshot is a point-in-time metrics export, shaped for the icostd
@@ -93,6 +116,13 @@ type Snapshot struct {
 	LatencyP50us int64 `json:"latency_p50_us"`
 	LatencyP95us int64 `json:"latency_p95_us"`
 	LatencyP99us int64 `json:"latency_p99_us"`
+
+	// Batched graph evaluation: how many multi-lane walks analyzers
+	// issued, the total lanes across them, and a log-scaled size
+	// distribution (bucket i = batches with 2^i .. 2^(i+1)-1 lanes).
+	BatchesTotal    int64   `json:"batches_total"`
+	BatchLanesTotal int64   `json:"batch_lanes_total"`
+	BatchSizeHist   []int64 `json:"batch_size_hist"`
 
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }

@@ -1,6 +1,7 @@
 package profiler
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -54,6 +55,19 @@ func (p *Profiler) Analyze(focus breakdown.Category, cats []breakdown.Category) 
 			continue // inconsistent fragment discarded (step 2e)
 		}
 		a := cost.New(g)
+		// Every cost and icost term this fragment needs, evaluated in
+		// one batched walk over the fragment graph instead of one
+		// scalar walk per term.
+		masks := make([]depgraph.Flags, 0, 2*len(cats))
+		for _, c := range cats {
+			masks = append(masks, c.Flags)
+			if c.Flags != focus.Flags {
+				masks = append(masks, focus.Flags|c.Flags)
+			}
+		}
+		if err := a.PrewarmCtx(context.Background(), masks); err != nil {
+			return nil, err
+		}
 		base += a.BaseTime()
 		record := func(label string, cy int64) {
 			sums[label] += cy
