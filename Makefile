@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-batch fuzz fmt vet ci
+.PHONY: build test race bench bench-batch fuzz fmt vet lint ci
+
+# Seconds-per-target budget for the fuzz smoke; CI uses the default.
+FUZZTIME ?= 5s
 
 build:
 	$(GO) build ./...
@@ -26,10 +29,10 @@ bench:
 bench-batch:
 	$(GO) test -run='^$$' -bench='BenchmarkICostPair|BenchmarkICostBatch|BenchmarkMatrixBatch|BenchmarkExecTimeWarm' -benchmem -benchtime=2s -count=3 .
 
-# fuzz smoke: a few seconds per fuzz target.
+# fuzz smoke: FUZZTIME per fuzz target (override: make fuzz FUZZTIME=1m).
 fuzz:
-	$(GO) test -run='^$$' -fuzz=FuzzReadTrace -fuzztime=10s ./internal/trace/
-	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/trace/
+	$(GO) test -run='^$$' -fuzz=FuzzReadTrace -fuzztime=$(FUZZTIME) ./internal/trace/
+	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/trace/
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -38,4 +41,10 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race bench
+# lint: go vet plus the repo's own analyzer suite (cmd/icostvet).
+# Zero unsuppressed findings is the bar; deliberate exceptions carry
+# `//lint:ignore <analyzer> <reason>` annotations in the source.
+lint: vet
+	$(GO) run ./cmd/icostvet ./...
+
+ci: fmt lint build race bench

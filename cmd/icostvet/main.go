@@ -1,0 +1,145 @@
+// Command icostvet is the repo's static-analysis driver: a
+// multichecker over the internal/lint suite, enforcing the invariants
+// the concurrent engine and the dependence-graph kernels rely on but
+// `go vet` cannot see — context propagation into the graph walks
+// (ctxflow), sync.Pool Get/Put balance (poolbalance), exhaustiveness
+// over the Table 2/3 node- and edge-kind enums (edgeswitch),
+// metrics-struct vs /metrics agreement (metricreg), and goroutine
+// cancellability (gocheck).
+//
+// Usage:
+//
+//	icostvet [-list] [-only a,b] [-skip a,b] [-dir path] [packages...]
+//
+// Packages default to ./... relative to -dir (default "."). Each
+// finding prints as file:line:col: analyzer: message, and any finding
+// makes the exit status 1 — `make lint` wires this into CI.
+// Deliberate exceptions are annotated in the source with
+// `//lint:ignore <analyzer> <reason>` (see package lint).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"icost/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("icostvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list  = fs.Bool("list", false, "list the analyzers and exit")
+		only  = fs.String("only", "", "comma-separated analyzers to run (default: all)")
+		skip  = fs.String("skip", "", "comma-separated analyzers to skip")
+		dir   = fs.String("dir", ".", "module directory to analyze from")
+		plain = fs.Bool("plain", false, "treat each argument as a bare directory of Go files instead of a package pattern")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers, err := selectAnalyzers(*only, *skip)
+	if err != nil {
+		fmt.Fprintln(stderr, "icostvet:", err)
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	var pkgs []*lint.Package
+	if *plain {
+		if fs.NArg() == 0 {
+			fmt.Fprintln(stderr, "icostvet: -plain needs at least one directory")
+			return 2
+		}
+		for _, d := range fs.Args() {
+			pkg, err := lint.LoadDir(d)
+			if err != nil {
+				fmt.Fprintln(stderr, "icostvet:", err)
+				return 3
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	} else {
+		patterns := fs.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		pkgs, err = lint.Load(*dir, patterns...)
+		if err != nil {
+			fmt.Fprintln(stderr, "icostvet:", err)
+			return 3
+		}
+	}
+
+	findings, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "icostvet:", err)
+		return 3
+	}
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", name, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "icostvet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers applies the -only/-skip filters.
+func selectAnalyzers(only, skip string) ([]*lint.Analyzer, error) {
+	analyzers := lint.All()
+	if only != "" {
+		var picked []*lint.Analyzer
+		for _, name := range strings.Split(only, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				return nil, fmt.Errorf("unknown analyzer %q", name)
+			}
+			picked = append(picked, a)
+		}
+		analyzers = picked
+	}
+	if skip != "" {
+		drop := map[string]bool{}
+		for _, name := range strings.Split(skip, ",") {
+			name = strings.TrimSpace(name)
+			if lint.ByName(name) == nil {
+				return nil, fmt.Errorf("unknown analyzer %q", name)
+			}
+			drop[name] = true
+		}
+		var kept []*lint.Analyzer
+		for _, a := range analyzers {
+			if !drop[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
+	}
+	if len(analyzers) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return analyzers, nil
+}

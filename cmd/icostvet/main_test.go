@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The gate CI relies on: the repo's own tree must be clean under the
+// full suite. Any unsuppressed finding in the real packages makes
+// this test (and `make lint`) fail.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	var out, errs strings.Builder
+	if code := run([]string{"-dir", "../..", "./..."}, &out, &errs); code != 0 {
+		t.Fatalf("icostvet on the repo exited %d:\n%s%s", code, out.String(), errs.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("unexpected findings:\n%s", out.String())
+	}
+}
+
+// The opposite gate: on a tree seeded with violations (the analyzer
+// testdata), the driver must exit non-zero and print findings — this
+// is what proves CI would catch a regression.
+func TestSeededViolationsFail(t *testing.T) {
+	var out, errs strings.Builder
+	code := run([]string{"-plain",
+		"../../internal/lint/testdata/src/poolbalance",
+		"../../internal/lint/testdata/src/edgeswitch",
+	}, &out, &errs)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1:\n%s%s", code, out.String(), errs.String())
+	}
+	for _, want := range []string{"poolbalance:", "edgeswitch:", "never released", "not exhaustive"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(errs.String(), "finding(s)") {
+		t.Errorf("stderr missing the findings summary: %s", errs.String())
+	}
+}
+
+func TestListAndFilters(t *testing.T) {
+	var out, errs strings.Builder
+	if code := run([]string{"-list"}, &out, &errs); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, name := range []string{"ctxflow", "edgeswitch", "gocheck", "metricreg", "poolbalance"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list missing %s:\n%s", name, out.String())
+		}
+	}
+
+	out.Reset()
+	if code := run([]string{"-only", "gocheck", "-list"}, &out, &errs); code != 0 {
+		t.Fatal("filtered -list failed")
+	}
+	if strings.Contains(out.String(), "poolbalance") || !strings.Contains(out.String(), "gocheck") {
+		t.Errorf("-only gocheck listed: %s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-skip", "gocheck", "-list"}, &out, &errs); code != 0 {
+		t.Fatal("filtered -list failed")
+	}
+	if strings.Contains(out.String(), "gocheck") {
+		t.Errorf("-skip gocheck still listed: %s", out.String())
+	}
+
+	if code := run([]string{"-only", "nosuch"}, &out, &errs); code != 2 {
+		t.Errorf("unknown analyzer exited %d, want 2", code)
+	}
+	if code := run([]string{"-plain"}, &out, &errs); code != 2 {
+		t.Errorf("-plain without dirs exited %d, want 2", code)
+	}
+}
+
+// A filtered run over a seeded directory only applies the selected
+// analyzers.
+func TestOnlyFilterScopesFindings(t *testing.T) {
+	var out, errs strings.Builder
+	code := run([]string{"-plain", "-only", "edgeswitch",
+		"../../internal/lint/testdata/src/poolbalance",
+	}, &out, &errs)
+	if code != 0 {
+		t.Fatalf("edgeswitch-only run over poolbalance testdata exited %d:\n%s", code, out.String())
+	}
+}

@@ -74,7 +74,10 @@ type Focused struct {
 	TotalCycles int64
 }
 
-// Focus computes a focused breakdown from an analyzer.
+// Focus computes a focused breakdown from an analyzer. It is the
+// uncancellable form of FocusCtx for CLI and test callers.
+//
+//lint:ignore ctxflow infallible wrapper over FocusCtx; a background ctx cannot cancel
 func Focus(a *cost.Analyzer, focus Category, cats []Category, name string) (*Focused, error) {
 	return FocusCtx(context.Background(), a, focus, cats, name)
 }
@@ -143,7 +146,10 @@ type Full struct {
 }
 
 // ComputeFull builds the full power-set breakdown. len(cats) should
-// be small (the cost is 2^k graph evaluations).
+// be small (the cost is 2^k graph evaluations). It is the
+// uncancellable form of ComputeFullCtx for CLI and test callers.
+//
+//lint:ignore ctxflow infallible wrapper over ComputeFullCtx; a background ctx cannot cancel
 func ComputeFull(a *cost.Analyzer, cats []Category, name string) (*Full, error) {
 	return ComputeFullCtx(context.Background(), a, cats, name)
 }

@@ -26,7 +26,10 @@ type Matrix struct {
 }
 
 // ComputeMatrix builds the all-pairs table (k^2/2 + k cost queries,
-// all memoized by the analyzer).
+// all memoized by the analyzer). It is the uncancellable form of
+// ComputeMatrixCtx for CLI and test callers.
+//
+//lint:ignore ctxflow infallible wrapper over ComputeMatrixCtx; a background ctx cannot cancel
 func ComputeMatrix(a *cost.Analyzer, cats []Category, name string) (*Matrix, error) {
 	return ComputeMatrixCtx(context.Background(), a, cats, name)
 }

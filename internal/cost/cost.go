@@ -127,6 +127,8 @@ func (a *Analyzer) BaseTime() int64 { return a.ExecTime(0) }
 
 // ExecTime returns the execution time with the given categories
 // idealized (memoized). Safe for concurrent use.
+//
+//lint:ignore ctxflow infallible wrapper over ExecTimeCtx; a background ctx cannot cancel
 func (a *Analyzer) ExecTime(f depgraph.Flags) int64 {
 	t, _ := a.ExecTimeCtx(context.Background(), f)
 	return t
@@ -278,6 +280,8 @@ func (a *Analyzer) CostCtx(ctx context.Context, f depgraph.Flags) (int64, error)
 // Each argument is one event set; sets must be disjoint (no shared
 // flag bits), since overlapping sets make the power-set accounting
 // ill-defined. With one argument it degenerates to Cost.
+//
+//lint:ignore ctxflow infallible wrapper over ICostCtx; a background ctx cannot cancel
 func (a *Analyzer) ICost(sets ...depgraph.Flags) (int64, error) {
 	return a.ICostCtx(context.Background(), sets...)
 }
@@ -461,6 +465,7 @@ func (a *Analyzer) prewarmSets(unions []depgraph.Ideal) {
 	if len(miss) > 0 {
 		// Background context: ICostSets is infallible by contract, and
 		// an uncancellable batch cannot fail.
+		//lint:ignore ctxflow uncancellable-by-contract batch; a failure panics below
 		times, err := a.g.EvalBatch(context.Background(), miss)
 		if err != nil {
 			panic("cost: uncancellable batch failed: " + err.Error())
@@ -475,6 +480,7 @@ func (a *Analyzer) prewarmSets(unions []depgraph.Ideal) {
 		a.mu.Unlock()
 	}
 	if len(globals) > 0 {
+		//lint:ignore ctxflow uncancellable-by-contract prewarm; a failure panics below
 		if err := a.PrewarmCtx(context.Background(), globals); err != nil {
 			panic("cost: uncancellable batch failed: " + err.Error())
 		}

@@ -370,6 +370,8 @@ type Times struct {
 // background context, which can never be cancelled, so the only
 // error path of the walk is unreachable and a zero return always
 // means zero cycles, never a swallowed error.
+//
+//lint:ignore ctxflow infallible wrapper over ExecTimeCtx; a background ctx cannot cancel
 func (g *Graph) ExecTime(id Ideal) int64 {
 	t, err := g.ExecTimeCtx(context.Background(), id)
 	if err != nil {
@@ -400,6 +402,8 @@ func (g *Graph) ExecTimeCtx(ctx context.Context, id Ideal) (int64, error) {
 // NodeTimes computes all node times under the given idealization.
 // Like ExecTime it is infallible: the background context cannot
 // cancel the walk, so the result is never nil.
+//
+//lint:ignore ctxflow infallible wrapper over runCtx; a background ctx cannot cancel
 func (g *Graph) NodeTimes(id Ideal) *Times {
 	t, err := g.runCtx(context.Background(), id)
 	if err != nil {

@@ -145,7 +145,9 @@ func (g *Graph) InEdges(i int, id Ideal) []Edge {
 	return out
 }
 
-// nodeTime reads one node's time from a Times.
+// nodeTime reads one node's time from a Times. The switch is
+// exhaustive over the five kinds: a sixth node kind must say where
+// its times live, not silently read the commit column.
 func (t *Times) nodeTime(k NodeKind, i int) int64 {
 	switch k {
 	case NodeD:
@@ -156,8 +158,10 @@ func (t *Times) nodeTime(k NodeKind, i int) int64 {
 		return t.E[i]
 	case NodeP:
 		return t.P[i]
-	default:
+	case NodeC:
 		return t.C[i]
+	default:
+		panic("depgraph: unknown NodeKind " + k.String())
 	}
 }
 

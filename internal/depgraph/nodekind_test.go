@@ -1,0 +1,65 @@
+package depgraph
+
+import (
+	"strings"
+	"testing"
+
+	"icost/internal/rng"
+)
+
+// Regression for the edgeswitch findings on nodeTime and Latest.at:
+// both switches must cover all five node kinds explicitly (NodeC used
+// to fall through to a bare default) and must panic — not silently
+// read the commit column — on a kind outside the enum.
+
+func TestNodeTimeCoversAllKinds(t *testing.T) {
+	g := randomGraph(rng.New(3), 50)
+	id := Ideal{}
+	tm := g.NodeTimes(id)
+	for i := 0; i < g.Len(); i++ {
+		for k, want := range map[NodeKind]int64{
+			NodeD: tm.D[i], NodeR: tm.R[i], NodeE: tm.E[i],
+			NodeP: tm.P[i], NodeC: tm.C[i],
+		} {
+			if got := tm.nodeTime(k, i); got != want {
+				t.Fatalf("nodeTime(%v, %d) = %d, want %d", k, i, got, want)
+			}
+		}
+	}
+}
+
+func TestLatestAtCoversAllKinds(t *testing.T) {
+	g := randomGraph(rng.New(5), 50)
+	_, l := g.LatestTimes(Ideal{})
+	for i := 0; i < g.Len(); i++ {
+		for k, want := range map[NodeKind]*int64{
+			NodeD: &l.D[i], NodeR: &l.R[i], NodeE: &l.E[i],
+			NodeP: &l.P[i], NodeC: &l.C[i],
+		} {
+			if got := l.at(k, i); got != want {
+				t.Fatalf("at(%v, %d) aliases the wrong slot", k, i)
+			}
+		}
+	}
+}
+
+func TestUnknownNodeKindPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: no panic on unknown NodeKind", name)
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, "unknown NodeKind") {
+				t.Fatalf("%s: panic %v, want an unknown-NodeKind message", name, r)
+			}
+		}()
+		f()
+	}
+	bogus := NodeKind(9)
+	tm := &Times{D: []int64{0}, R: []int64{0}, E: []int64{0}, P: []int64{0}, C: []int64{0}}
+	mustPanic("Times.nodeTime", func() { tm.nodeTime(bogus, 0) })
+	l := &Latest{D: []int64{0}, R: []int64{0}, E: []int64{0}, P: []int64{0}, C: []int64{0}}
+	mustPanic("Latest.at", func() { l.at(bogus, 0) })
+}

@@ -21,6 +21,9 @@ type Latest struct {
 
 const inf = int64(1) << 62
 
+// at returns one node's latest-time slot. The switch is exhaustive
+// over the five kinds: a sixth node kind must say where its slot
+// lives, not silently alias the commit column.
 func (l *Latest) at(k NodeKind, i int) *int64 {
 	switch k {
 	case NodeD:
@@ -31,8 +34,10 @@ func (l *Latest) at(k NodeKind, i int) *int64 {
 		return &l.E[i]
 	case NodeP:
 		return &l.P[i]
-	default:
+	case NodeC:
 		return &l.C[i]
+	default:
+		panic("depgraph: unknown NodeKind " + k.String())
 	}
 }
 
@@ -43,6 +48,8 @@ func (l *Latest) at(k NodeKind, i int) *int64 {
 // zero slack contribution beyond program end. LatestTimes is
 // infallible (the background context cannot cancel the passes), so
 // the results are never nil.
+//
+//lint:ignore ctxflow infallible wrapper over LatestTimesCtx; a background ctx cannot cancel
 func (g *Graph) LatestTimes(id Ideal) (*Times, *Latest) {
 	t, l, err := g.LatestTimesCtx(context.Background(), id)
 	if err != nil {
@@ -115,6 +122,8 @@ func (g *Graph) latestInto(ctx context.Context, id Ideal, t *Times, l *Latest) e
 // slack marks critical instructions. Slacks is infallible (the
 // background context cannot cancel the passes), so the result is
 // never nil.
+//
+//lint:ignore ctxflow infallible wrapper over SlacksCtx; a background ctx cannot cancel
 func (g *Graph) Slacks(id Ideal) []int64 {
 	out, err := g.SlacksCtx(context.Background(), id)
 	if err != nil {

@@ -1,0 +1,16 @@
+package lint
+
+// All returns the repo's analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{CtxFlow, EdgeSwitch, GoCheck, MetricReg, PoolBalance}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces the engine's cancellation contract: the graph
+// walks poll ctx, so a query can only be aborted if every layer above
+// them threads the caller's context down. Library code (every
+// non-main package) must therefore never mint its own root context —
+// context.Background()/context.TODO() belong in main functions and
+// tests — and an exported function that calls into context-accepting
+// code must itself accept a context.Context so the chain is unbroken.
+// Documented infallible wrappers (ExecTime over ExecTimeCtx, Slacks
+// over SlacksCtx, ...) are deliberate exceptions, suppressed with a
+// //lint:ignore ctxflow comment in their doc.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "library code must accept and propagate context.Context instead of minting context.Background/TODO",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	if pass.IsMain {
+		return nil
+	}
+	for _, file := range pass.Files {
+		// Rule 1: no fresh root contexts anywhere in library code.
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObject(pass.Info, call)
+			if isPkgFunc(obj, "context", "Background") || isPkgFunc(obj, "context", "TODO") {
+				pass.Reportf(call.Pos(), "context.%s() in library code: thread the caller's context.Context instead", obj.Name())
+			}
+			return true
+		})
+		// Rule 2: exported entry points must carry the context their
+		// callees need.
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if funcAcceptsContext(pass.Info, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false // closures may be handed a ctx later
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sig := calleeSignature(pass.Info, call)
+				if sig == nil || sig.Params().Len() == 0 {
+					return true
+				}
+				if isContextType(sig.Params().At(0).Type()) {
+					pass.Reportf(fd.Name.Pos(), "exported %s has no context.Context parameter but calls context-accepting %s: add a Ctx variant or thread ctx through",
+						fd.Name.Name, callName(call))
+					return false // one finding per function is enough
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// funcAcceptsContext reports whether fd declares a context.Context
+// parameter (in any position).
+func funcAcceptsContext(info *types.Info, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// callName renders a call's callee for a finding message.
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "function"
+}

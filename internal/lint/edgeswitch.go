@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// EdgeSwitch guards the dependence-graph enums of the paper's
+// Tables 2 and 3: depgraph.NodeKind (the five D/R/E/P/C nodes) and
+// depgraph.EdgeKind (the twelve DD..CBW constraint kinds). Any switch
+// over a *Kind enum must either enumerate every declared constant or
+// carry a default that panics — so that when a 13th edge kind is
+// added, every switch that silently lumped "the rest" into one bucket
+// becomes a loud failure instead of a wrong latency attribution. The
+// analyzer applies to every named integer type whose name ends in
+// "Kind" and that has at least two declared constants.
+var EdgeSwitch = &Analyzer{
+	Name: "edgeswitch",
+	Doc:  "switches over *Kind enums must be exhaustive or have a panicking default",
+	Run:  runEdgeSwitch,
+}
+
+func runEdgeSwitch(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.Info.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			enum, consts := kindEnum(tv.Type)
+			if enum == nil {
+				return true
+			}
+			checkKindSwitch(pass, sw, enum, consts)
+			return true
+		})
+	}
+	return nil
+}
+
+// enumConst is one declared constant of the enum type.
+type enumConst struct {
+	name string
+	val  constant.Value
+}
+
+// kindEnum reports whether t is a "*Kind" enum: a named integer type
+// whose declaring package has >= 2 constants of exactly that type.
+func kindEnum(t types.Type) (*types.Named, []enumConst) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Name(), "Kind") {
+		return nil, nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil, nil
+	}
+	var consts []enumConst
+	scope := obj.Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		consts = append(consts, enumConst{name: c.Name(), val: c.Val()})
+	}
+	if len(consts) < 2 {
+		return nil, nil
+	}
+	return named, consts
+}
+
+func checkKindSwitch(pass *Pass, sw *ast.SwitchStmt, enum *types.Named, consts []enumConst) {
+	covered := map[string]bool{} // by exact constant value
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	var missing []string
+	for _, c := range consts {
+		if !covered[c.val.ExactString()] {
+			missing = append(missing, c.name)
+		}
+	}
+	sort.Strings(missing)
+	typeName := enum.Obj().Pkg().Name() + "." + enum.Obj().Name()
+	if defaultClause == nil {
+		if len(missing) > 0 {
+			pass.Reportf(sw.Pos(), "switch over %s is not exhaustive: missing %s (add the cases or a panicking default)",
+				typeName, strings.Join(missing, ", "))
+		}
+		return
+	}
+	if len(missing) > 0 && !clausePanics(defaultClause) {
+		pass.Reportf(sw.Pos(), "switch over %s hides %s behind a non-panicking default: a new kind would be silently miscomputed",
+			typeName, strings.Join(missing, ", "))
+	}
+}
+
+// clausePanics reports whether the clause body's final statement
+// panics — the escape hatch that turns an unknown enum value into a
+// loud failure instead of a silent fallthrough.
+func clausePanics(cc *ast.CaseClause) bool {
+	if len(cc.Body) == 0 {
+		return false
+	}
+	expr, ok := cc.Body[len(cc.Body)-1].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := expr.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

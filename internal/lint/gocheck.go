@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoCheck enforces that library goroutines are stoppable. The engine
+// worker pool exits when its job channel closes; every other
+// goroutine launched in library code must be observably bounded the
+// same way: its body must reference a context.Context (cancellation
+// threads through the graph walks), receive from a channel (done
+// channel, work queue, select loop), or be a sync.WaitGroup-bounded
+// fan-out (defer wg.Done() with the caller waiting). A goroutine with
+// none of these outlives Close/Shutdown invisibly — under the
+// daemon's load that is a leak the race detector cannot see.
+// Launches of functions the analyzer cannot resolve (cross-package or
+// dynamic func values) are reported too: wrap them in a literal that
+// makes the stop condition visible, or suppress with a reason.
+var GoCheck = &Analyzer{
+	Name: "gocheck",
+	Doc:  "library goroutines must select on a ctx/done channel or be WaitGroup-bounded",
+	Run:  runGoCheck,
+}
+
+func runGoCheck(pass *Pass) error {
+	if pass.IsMain {
+		return nil
+	}
+	// Same-package function declarations, for resolving `go f()` and
+	// `go e.worker()` to a body.
+	declOf := map[types.Object]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					declOf[obj] = fd
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			switch fun := ast.Unparen(gs.Call.Fun).(type) {
+			case *ast.FuncLit:
+				body = fun.Body
+			default:
+				if obj := calleeObject(pass.Info, gs.Call); obj != nil {
+					if fd, ok := declOf[obj]; ok {
+						body = fd.Body
+					}
+				}
+			}
+			if body == nil {
+				pass.Reportf(gs.Pos(), "goroutine launches a function this analyzer cannot see into: make the stop condition visible at the go statement")
+				return true
+			}
+			if !cancellable(pass, body) {
+				pass.Reportf(gs.Pos(), "goroutine has no visible stop condition: select on a ctx/done channel, range over a work channel, or bound it with a sync.WaitGroup")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// cancellable reports whether a goroutine body carries a visible stop
+// condition.
+func cancellable(pass *Pass, body *ast.BlockStmt) bool {
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			// References a context.Context value (parameter or
+			// captured variable): cancellation is threaded through.
+			if obj := pass.Info.Uses[n]; obj != nil && isContextType(obj.Type()) {
+				ok = true
+			}
+		case *ast.UnaryExpr:
+			// Channel receive: <-done, <-ch.
+			if n.Op.String() == "<-" {
+				ok = true
+			}
+		case *ast.RangeStmt:
+			// Ranging over a channel drains a closable work queue.
+			if tv, found := pass.Info.Types[n.X]; found {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					ok = true
+				}
+			}
+		case *ast.SelectStmt:
+			ok = true
+		case *ast.DeferStmt:
+			// defer wg.Done(): a WaitGroup-bounded fan-out.
+			if isMethodOn(calleeObject(pass.Info, n.Call), "sync", "WaitGroup", "Done") {
+				ok = true
+			}
+		}
+		return !ok
+	})
+	return ok
+}

@@ -1,0 +1,281 @@
+// Package lint is a self-contained static-analysis framework plus the
+// analyzers that machine-check this repository's invariants: context
+// propagation into the graph walks (ctxflow), sync.Pool Get/Put
+// balance (poolbalance), exhaustiveness of switches over the Table 2/3
+// node- and edge-kind enums (edgeswitch), metrics-struct vs /metrics
+// export agreement (metricreg), and goroutine cancellability
+// (gocheck). cmd/icostvet is the multichecker driver; `make lint`
+// runs it over the tree.
+//
+// The framework mirrors golang.org/x/tools/go/analysis in miniature —
+// an Analyzer holds a Run function over a type-checked Pass — but is
+// built only on the standard library (go/ast, go/types, go/parser and
+// `go list` for package metadata), so the repo stays dependency-free.
+//
+// # Suppressions
+//
+// A deliberate exception is annotated in the source with a
+// staticcheck-compatible comment:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The comment suppresses matching findings on its own line and on the
+// line directly below it. When it appears in the doc comment of a
+// function declaration it suppresses matching findings anywhere in
+// that function — the natural form for a documented infallible
+// wrapper whose body intentionally uses context.Background. A reason
+// is mandatory: an ignore comment without one suppresses nothing.
+// `*` matches every analyzer.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name is the identifier used in findings and ignore comments.
+	Name string
+	// Doc is a one-line description of the enforced invariant.
+	Doc string
+	// Run reports the analyzer's findings for one package via
+	// pass.Reportf. Returning an error aborts the whole lint run
+	// (reserved for internal failures, not findings).
+	Run func(pass *Pass) error
+}
+
+// Pass is one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed non-test sources.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// IsMain reports whether the package is a command (package main).
+	IsMain bool
+
+	report func(Finding)
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one reported diagnostic, after suppression filtering.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to every package and returns the
+// surviving findings sorted by position. Suppressed findings are
+// dropped here, so callers never see them.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				IsMain:   pkg.Name == "main",
+			}
+			pass.report = func(f Finding) {
+				if !sup.matches(a.Name, f.Pos) {
+					out = append(out, f)
+				}
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// ignoreRe matches `lint:ignore names reason` after the comment
+// marker; the reason group must be non-empty for the ignore to bind.
+var ignoreRe = regexp.MustCompile(`^\s*lint:ignore\s+(\S+)\s+(\S.*)$`)
+
+// suppressions indexes the //lint:ignore comments of one package.
+type suppressions struct {
+	// lines maps file -> line -> analyzer names suppressed on that
+	// line and the next.
+	lines map[string]map[int][]string
+	// spans are function bodies whose doc comment carries an ignore:
+	// any finding inside is suppressed for the named analyzers.
+	spans []span
+}
+
+type span struct {
+	file       string
+	start, end int // line range, inclusive
+	names      []string
+}
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{lines: map[string]map[int][]string{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				m := ignoreRe.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := s.lines[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					s.lines[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], strings.Split(m[1], ",")...)
+			}
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				m := ignoreRe.FindStringSubmatch(strings.TrimPrefix(c.Text, "//"))
+				if m == nil {
+					continue
+				}
+				start := fset.Position(fd.Pos())
+				end := fset.Position(fd.End())
+				s.spans = append(s.spans, span{
+					file:  start.Filename,
+					start: start.Line,
+					end:   end.Line,
+					names: strings.Split(m[1], ","),
+				})
+			}
+		}
+	}
+	return s
+}
+
+func nameMatches(names []string, analyzer string) bool {
+	for _, n := range names {
+		if n == analyzer || n == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *suppressions) matches(analyzer string, pos token.Position) bool {
+	if byLine := s.lines[pos.Filename]; byLine != nil {
+		if nameMatches(byLine[pos.Line], analyzer) || nameMatches(byLine[pos.Line-1], analyzer) {
+			return true
+		}
+	}
+	for _, sp := range s.spans {
+		if sp.file == pos.Filename && sp.start <= pos.Line && pos.Line <= sp.end &&
+			nameMatches(sp.names, analyzer) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// calleeSignature returns the signature of a call's callee, or nil
+// for conversions, builtins and other non-function calls.
+func calleeSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.(*types.Signature)
+	return sig
+}
+
+// calleeObject resolves the called function or method object of a
+// call, or nil when the callee is not a named function (func values,
+// conversions, builtins).
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the named function path.name
+// (e.g. "context", "Background").
+func isPkgFunc(obj types.Object, path, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	return fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == path
+}
+
+// isMethodOn reports whether obj is the method recvPath.recvType.name
+// (pointer or value receiver).
+func isMethodOn(obj types.Object, recvPath, recvType, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj2 := named.Obj()
+	return obj2.Name() == recvType && obj2.Pkg() != nil && obj2.Pkg().Path() == recvPath
+}

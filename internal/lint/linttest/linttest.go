@@ -1,0 +1,92 @@
+// Package linttest runs lint analyzers over testdata packages and
+// checks their findings against `// want` expectations, in the style
+// of golang.org/x/tools/go/analysis/analysistest:
+//
+//	t := pool.Get().(*buf) // want `never released`
+//
+// Each backquoted fragment is a regexp that must match one finding
+// reported on that line; findings without a matching want, and wants
+// without a matching finding, fail the test. Suppressed findings
+// never reach the matcher, so a testdata line that pairs a violation
+// with a //lint:ignore comment and carries no want proves the
+// suppression works.
+package linttest
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"icost/internal/lint"
+)
+
+var wantRe = regexp.MustCompile("`([^`]+)`")
+
+// Run loads the package rooted at dir and applies the analyzers,
+// matching findings against the // want comments in the sources.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	findings, err := lint.Run([]*lint.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, m := range wantRe.FindAllStringSubmatch(text[idx:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, m[1], err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	matched := map[key][]bool{}
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		found := false
+		for i, re := range wants[k] {
+			if !matched[k][i] && re.MatchString(f.Message) {
+				matched[k][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding at %s: %s: %s", position(f.Pos), f.Analyzer, f.Message)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: expected finding matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+func position(p token.Position) string { return p.String() }

@@ -1,0 +1,260 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// The loader type-checks everything from source: `go list -json
+// -deps` supplies package metadata (files, import maps) and go/types
+// checks packages in dependency order, with the standard library
+// resolved the same way. No export data, no network, no module
+// downloads — the toolchain's source tree is the single input, which
+// keeps the linter usable in hermetic builds. One process-wide cache
+// shares the work across Load and LoadDir calls (the analyzer tests
+// would otherwise re-check the stdlib once per test).
+var shared = struct {
+	mu    sync.Mutex
+	fset  *token.FileSet
+	meta  map[string]*listPkg
+	typed map[string]*types.Package
+}{
+	fset:  token.NewFileSet(),
+	meta:  map[string]*listPkg{},
+	typed: map[string]*types.Package{},
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -json -deps args...` in dir and merges the
+// results into the shared metadata map, returning the listed
+// packages in order. CGO_ENABLED=0 selects the pure-Go variants of
+// stdlib packages so every dependency type-checks from source.
+func goList(dir string, args []string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json", "-deps"}, args...)...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", args, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listPkg
+	for dec.More() {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+		if _, ok := shared.meta[p.ImportPath]; !ok {
+			shared.meta[p.ImportPath] = p
+		}
+	}
+	return pkgs, nil
+}
+
+// checkPath type-checks the package at import path (and, recursively,
+// its dependencies) from source, caching results. info, when non-nil,
+// receives the type-checker's facts for this package only.
+func checkPath(path string, info *types.Info) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if tp, ok := shared.typed[path]; ok && info == nil {
+		return tp, nil
+	}
+	lp, ok := shared.meta[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: no metadata for package %q", path)
+	}
+	if lp.Error != nil {
+		return nil, fmt.Errorf("lint: %s: %s", path, lp.Error.Err)
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		af, err := parser.ParseFile(shared.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+	}
+	return checkFiles(path, lp.ImportMap, files, info)
+}
+
+// checkFiles type-checks one package's parsed files, resolving
+// imports through the shared cache.
+func checkFiles(path string, importMap map[string]string, files []*ast.File, info *types.Info) (*types.Package, error) {
+	conf := types.Config{
+		Importer: importerFunc(func(imp string) (*types.Package, error) {
+			if mapped, ok := importMap[imp]; ok {
+				imp = mapped
+			}
+			return checkPath(imp, nil)
+		}),
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+	}
+	tp, err := conf.Check(path, shared.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	shared.typed[path] = tp
+	return tp, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// Load lists patterns (e.g. "./...") relative to dir, type-checks the
+// matched packages and their dependencies from source, and returns
+// the matched packages with full type information. Test files are not
+// loaded: the invariants guard library and command code.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	shared.mu.Lock()
+	defer shared.mu.Unlock()
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		info := newInfo()
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			af, err := parser.ParseFile(shared.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, af)
+		}
+		tp, err := checkFiles(lp.ImportPath, lp.ImportMap, files, info)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{
+			Path:  lp.ImportPath,
+			Name:  lp.Name,
+			Dir:   lp.Dir,
+			Fset:  shared.fset,
+			Files: files,
+			Types: tp,
+			Info:  info,
+		})
+	}
+	return out, nil
+}
+
+// LoadDir loads the .go files of one bare directory — a testdata
+// package outside the module graph — resolving its imports (standard
+// library only) through the shared loader.
+func LoadDir(dir string) (*Package, error) {
+	shared.mu.Lock()
+	defer shared.mu.Unlock()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		af, err := parser.ParseFile(shared.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+		for _, imp := range af.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			imports[p] = true
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	var missing []string
+	for imp := range imports {
+		if _, ok := shared.meta[imp]; !ok && imp != "unsafe" {
+			missing = append(missing, imp)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		if _, err := goList(dir, missing); err != nil {
+			return nil, err
+		}
+	}
+	info := newInfo()
+	path := "testdata/" + filepath.Base(dir)
+	tp, err := checkFiles(path, nil, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		Path:  path,
+		Name:  files[0].Name.Name,
+		Dir:   dir,
+		Fset:  shared.fset,
+		Files: files,
+		Types: tp,
+		Info:  info,
+	}, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+)
+
+// MetricReg keeps the engine's observability wiring closed under
+// drift: every field of the internal `metrics` struct must be read by
+// the `Metrics()` snapshot method (directly or through a helper it
+// calls), and every field of the exported `Snapshot` struct must be
+// populated in the composite literal Metrics() returns and carry a
+// json tag — otherwise a counter can be incremented forever yet never
+// appear on /metrics, or a Snapshot field can be served as a
+// permanent zero. The analyzer activates in any package that declares
+// both a `metrics` struct and a `Snapshot` struct with a Metrics()
+// method; today that is internal/engine.
+var MetricReg = &Analyzer{
+	Name: "metricreg",
+	Doc:  "every metrics field must be exported by Metrics()/the /metrics handler, and every Snapshot field populated",
+	Run:  runMetricReg,
+}
+
+func runMetricReg(pass *Pass) error {
+	scope := pass.Pkg.Scope()
+	metricsStruct := structNamed(scope, "metrics")
+	snapshotStruct := structNamed(scope, "Snapshot")
+	if metricsStruct == nil || snapshotStruct == nil {
+		return nil
+	}
+	metricsDecl, metricsFields := structFields(pass, "metrics")
+	snapshotDecl, snapshotFields := structFields(pass, "Snapshot")
+	if metricsDecl == nil || snapshotDecl == nil {
+		return nil
+	}
+
+	// Snapshot fields need json tags: /metrics serves the struct as
+	// flat JSON and an untagged field breaks the naming convention.
+	for _, f := range snapshotFields {
+		tag := ""
+		if f.tag != nil {
+			tag = reflect.StructTag(trimBackquotes(f.tag.Value)).Get("json")
+		}
+		if tag == "" || tag == "-" {
+			pass.Reportf(f.pos.Pos(), "Snapshot field %s has no json tag: it will serve under the raw Go name (or not at all)", f.name)
+		}
+	}
+
+	metricsFns := findMetricsFuncs(pass)
+	if len(metricsFns) == 0 {
+		pass.Reportf(snapshotDecl.Pos(), "package declares metrics and Snapshot structs but no Metrics() method returning Snapshot")
+		return nil
+	}
+	for _, fd := range metricsFns {
+		checkMetricsFunc(pass, fd, metricsFields, snapshotFields)
+	}
+	return nil
+}
+
+type fieldInfo struct {
+	name string
+	obj  types.Object
+	tag  *ast.BasicLit
+	pos  ast.Node
+}
+
+// structNamed returns the struct type declared under name, or nil.
+func structNamed(scope *types.Scope, name string) *types.Struct {
+	tn, ok := scope.Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	s, _ := tn.Type().Underlying().(*types.Struct)
+	return s
+}
+
+// structFields returns the AST declaration and fields of the named
+// struct type in the package.
+func structFields(pass *Pass, name string) (*ast.TypeSpec, []fieldInfo) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != name {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return nil, nil
+				}
+				var fields []fieldInfo
+				for _, f := range st.Fields.List {
+					for _, id := range f.Names {
+						fields = append(fields, fieldInfo{
+							name: id.Name,
+							obj:  pass.Info.Defs[id],
+							tag:  f.Tag,
+							pos:  id,
+						})
+					}
+				}
+				return ts, fields
+			}
+		}
+	}
+	return nil, nil
+}
+
+// findMetricsFuncs returns the package's Metrics() methods/functions
+// whose single result is the package's Snapshot type.
+func findMetricsFuncs(pass *Pass) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Metrics" || fd.Body == nil {
+				continue
+			}
+			if fd.Type.Results == nil || len(fd.Type.Results.List) != 1 {
+				continue
+			}
+			tv, ok := pass.Info.Types[fd.Type.Results.List[0].Type]
+			if !ok {
+				continue
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok || named.Obj().Name() != "Snapshot" || named.Obj().Pkg() != pass.Pkg {
+				continue
+			}
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+// checkMetricsFunc verifies the export surface of one Metrics()
+// implementation.
+func checkMetricsFunc(pass *Pass, fd *ast.FuncDecl, metricsFields, snapshotFields []fieldInfo) {
+	// The bodies Metrics() reads from: its own plus every same-package
+	// function it calls directly (helpers like batchHistSnapshot).
+	bodies := []*ast.BlockStmt{fd.Body}
+	declOf := map[types.Object]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if f, ok := decl.(*ast.FuncDecl); ok && f.Body != nil {
+				if obj := pass.Info.Defs[f.Name]; obj != nil {
+					declOf[obj] = f
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if callee := calleeObject(pass.Info, call); callee != nil {
+			if helper, ok := declOf[callee]; ok {
+				bodies = append(bodies, helper.Body)
+			}
+		}
+		return true
+	})
+
+	// Every metrics field must be selected somewhere in those bodies.
+	read := map[types.Object]bool{}
+	for _, body := range bodies {
+		ast.Inspect(body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if s, ok := pass.Info.Selections[sel]; ok {
+				read[s.Obj()] = true
+			}
+			return true
+		})
+	}
+	for _, f := range metricsFields {
+		if f.obj != nil && !read[f.obj] {
+			pass.Reportf(f.pos.Pos(), "metrics field %s is not read by %s(): it will be counted but never served on /metrics",
+				f.name, fd.Name.Name)
+		}
+	}
+
+	// Every Snapshot field must be keyed in the composite literal(s)
+	// Metrics() builds.
+	set := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[lit]
+		if !ok {
+			return true
+		}
+		named, ok := tv.Type.(*types.Named)
+		if !ok || named.Obj().Name() != "Snapshot" || named.Obj().Pkg() != pass.Pkg {
+			return true
+		}
+		for _, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					set[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	for _, f := range snapshotFields {
+		if !set[f.name] {
+			pass.Reportf(f.pos.Pos(), "Snapshot field %s is never populated by %s(): /metrics would serve a permanent zero",
+				f.name, fd.Name.Name)
+		}
+	}
+}
+
+// trimBackquotes strips the surrounding quotes of a struct-tag
+// literal.
+func trimBackquotes(s string) string {
+	if len(s) >= 2 {
+		return s[1 : len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolBalance enforces the scratch-pool discipline of
+// internal/depgraph/pool.go: a value obtained from a sync.Pool (or
+// from an acquire-style wrapper around one) must be released through
+// a deferred Put (or a deferred release-style wrapper call) in the
+// same function. Defer is the point, not a style nit — only a defer
+// releases the scratch on every return path, early returns and
+// panics included; a trailing Put silently leaks the value on the
+// error paths, which shows up as steady-state allocation growth under
+// the engine's query load. Functions that return the pooled value
+// (the acquire wrappers themselves) transfer ownership to the caller
+// and are exempt.
+var PoolBalance = &Analyzer{
+	Name: "poolbalance",
+	Doc:  "sync.Pool values must be released via a deferred Put (or release wrapper) on every return path",
+	Run:  runPoolBalance,
+}
+
+func runPoolBalance(pass *Pass) error {
+	acquirers, releasers := poolWrappers(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolUse(pass, fd, acquirers, releasers)
+		}
+	}
+	return nil
+}
+
+// poolWrappers classifies the package's own functions: acquirers
+// bind a (*sync.Pool).Get result to a variable and return that
+// variable (ownership moves to the caller); releasers pass one of
+// their parameters to (*sync.Pool).Put. Calls to them count the same
+// as direct Get/Put.
+func poolWrappers(pass *Pass) (acquirers, releasers map[types.Object]bool) {
+	acquirers = map[types.Object]bool{}
+	releasers = map[types.Object]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.Info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			params := map[types.Object]bool{}
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					if p := pass.Info.Defs[name]; p != nil {
+						params[p] = true
+					}
+				}
+			}
+			pooled := map[types.Object]bool{} // vars bound from Pool.Get
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					if len(n.Rhs) != 1 {
+						return true
+					}
+					call := acquireCall(n.Rhs[0])
+					if call == nil || !isMethodOn(calleeObject(pass.Info, call), "sync", "Pool", "Get") {
+						return true
+					}
+					for _, lhs := range n.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							if o := identObject(pass.Info, id); o != nil {
+								pooled[o] = true
+							}
+						}
+					}
+				case *ast.ReturnStmt:
+					for _, res := range n.Results {
+						if id, ok := ast.Unparen(res).(*ast.Ident); ok && pooled[pass.Info.Uses[id]] {
+							acquirers[obj] = true
+						}
+						// `return pool.Get().(*T)` without a binding.
+						if call := acquireCall(res); call != nil &&
+							isMethodOn(calleeObject(pass.Info, call), "sync", "Pool", "Get") {
+							acquirers[obj] = true
+						}
+					}
+				case *ast.CallExpr:
+					if isMethodOn(calleeObject(pass.Info, n), "sync", "Pool", "Put") {
+						for _, arg := range n.Args {
+							if id, ok := ast.Unparen(arg).(*ast.Ident); ok && params[pass.Info.Uses[id]] {
+								releasers[obj] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return acquirers, releasers
+}
+
+// identObject resolves an identifier to its object, whether the
+// identifier defines it (:=) or re-assigns it (=).
+func identObject(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// checkPoolUse verifies every pool acquisition in fd is matched by a
+// deferred release of the same variable.
+func checkPoolUse(pass *Pass, fd *ast.FuncDecl, acquirers, releasers map[types.Object]bool) {
+	// Collect (variable, position) pairs bound from Get/acquire calls.
+	type acquisition struct {
+		obj  types.Object
+		name string
+		pos  ast.Node
+	}
+	var got []acquisition
+	isAcquire := func(call *ast.CallExpr) bool {
+		callee := calleeObject(pass.Info, call)
+		return isMethodOn(callee, "sync", "Pool", "Get") || acquirers[callee]
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call := acquireCall(n.Rhs[0])
+			if call == nil || !isAcquire(call) {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				got = append(got, acquisition{obj: identObject(pass.Info, id), name: id.Name, pos: n})
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isAcquire(call) {
+				pass.Reportf(n.Pos(), "result of pool Get is discarded: the value can never be Put back")
+			}
+		}
+		return true
+	})
+	if len(got) == 0 {
+		return
+	}
+	// A variable handed to the caller via return transfers ownership;
+	// the acquire wrappers themselves pass this way.
+	returned := map[types.Object]bool{}
+	// Collect the variables released by deferred Put/release calls.
+	released := map[types.Object]bool{}
+	nonDeferred := map[types.Object]ast.Node{}
+	markArgs := func(call *ast.CallExpr, deferred bool) {
+		callee := calleeObject(pass.Info, call)
+		if !isMethodOn(callee, "sync", "Pool", "Put") && !releasers[callee] {
+			return
+		}
+		for _, arg := range call.Args {
+			id, ok := ast.Unparen(arg).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				continue
+			}
+			if deferred {
+				released[obj] = true
+			} else if _, seen := nonDeferred[obj]; !seen {
+				nonDeferred[obj] = call
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			markArgs(n.Call, true)
+			// A deferred closure releasing the value also counts.
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						markArgs(call, true)
+					}
+					return true
+				})
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						returned[obj] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			markArgs(n, false)
+		}
+		return true
+	})
+	for _, g := range got {
+		if g.obj == nil || released[g.obj] || returned[g.obj] {
+			continue
+		}
+		if _, ok := nonDeferred[g.obj]; ok {
+			pass.Reportf(g.pos.Pos(), "pooled value %s is released without defer: early returns and panics leak it — defer the Put", g.name)
+			continue
+		}
+		pass.Reportf(g.pos.Pos(), "pooled value %s is never released: defer the matching Put in this function", g.name)
+	}
+}
+
+// acquireCall unwraps `pool.Get()`, `pool.Get().(*T)` and
+// `acquireX(n)` expressions to the underlying call.
+func acquireCall(e ast.Expr) *ast.CallExpr {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return e
+	case *ast.TypeAssertExpr:
+		if call, ok := ast.Unparen(e.X).(*ast.CallExpr); ok {
+			return call
+		}
+	}
+	return nil
+}

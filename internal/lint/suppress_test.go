@@ -1,0 +1,23 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"icost/internal/lint"
+	"icost/internal/lint/linttest"
+)
+
+// TestSuppressions proves the //lint:ignore mechanism across the
+// whole suite: every violation in the testdata package is annotated,
+// so any finding that leaks through fails; reasonless and
+// wrong-analyzer ignores are shown to be inert via explicit wants.
+func TestSuppressions(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "src", "suppress"), lint.All()...)
+}
+
+// TestMainExempt proves that package main is out of scope for the
+// context and goroutine rules: commands own the root context.
+func TestMainExempt(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "src", "mainexempt"), lint.All()...)
+}

@@ -1,0 +1,47 @@
+// Package ctxflow is analyzer testdata: context propagation.
+package ctxflow
+
+import "context"
+
+// step is a context-accepting callee.
+func step(ctx context.Context) error { return ctx.Err() }
+
+// Walk threads its caller's context: no finding.
+func Walk(ctx context.Context) error { return step(ctx) }
+
+// bad mints a root context in library code (rule 1 only; unexported
+// keeps rule 2 out of the picture).
+func bad() error {
+	ctx := context.Background() // want `context\.Background\(\) in library code`
+	return step(ctx)
+}
+
+// alsoBad uses TODO.
+func alsoBad() error {
+	return step(context.TODO()) // want `context\.TODO\(\) in library code`
+}
+
+// Entry trips both rules: an exported entry point without a ctx
+// parameter, minting its own root context to reach step.
+func Entry() error { // want `exported Entry has no context\.Context parameter`
+	return step(context.Background()) // want `context\.Background\(\) in library code`
+}
+
+// Runner carries a stored context; Go shows rule 2 firing on its own
+// (the ctx comes from the struct, not from context.Background).
+type Runner struct{ ctx context.Context }
+
+// Go is an exported entry point calling context-accepting code
+// without accepting a context itself.
+func (r *Runner) Go() error { // want `exported Go has no context\.Context parameter`
+	return step(r.ctx)
+}
+
+// Deferred hands a closure a context later: closures are exempt from
+// rule 2, so no finding.
+func Deferred() func(context.Context) error {
+	return func(ctx context.Context) error { return step(ctx) }
+}
+
+var _ = bad
+var _ = alsoBad

@@ -1,0 +1,84 @@
+// Package edgeswitch is analyzer testdata: enum switch
+// exhaustiveness.
+package edgeswitch
+
+// FlowKind is a *Kind enum the analyzer targets.
+type FlowKind uint8
+
+// The three flow kinds.
+const (
+	KindA FlowKind = iota
+	KindB
+	KindC
+)
+
+// Exhaustive covers every constant: no finding.
+func Exhaustive(k FlowKind) int {
+	switch k {
+	case KindA:
+		return 1
+	case KindB:
+		return 2
+	case KindC:
+		return 3
+	}
+	return 0
+}
+
+// PanicDefault uses the escape hatch: unknown kinds fail loudly.
+func PanicDefault(k FlowKind) int {
+	switch k {
+	case KindA:
+		return 1
+	default:
+		panic("edgeswitch: unknown FlowKind")
+	}
+}
+
+// Missing has neither full coverage nor a default.
+func Missing(k FlowKind) int {
+	switch k { // want `switch over edgeswitch\.FlowKind is not exhaustive: missing KindB, KindC`
+	case KindA:
+		return 1
+	}
+	return 0
+}
+
+// SilentDefault lumps the missing kinds into a quiet default.
+func SilentDefault(k FlowKind) int {
+	switch k { // want `hides KindC behind a non-panicking default`
+	case KindA, KindB:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Mode is out of scope: the type name does not end in Kind, so the
+// partial switch is fine.
+type Mode uint8
+
+// The two modes.
+const (
+	ModeX Mode = iota
+	ModeY
+)
+
+// OutOfScope switches over a non-Kind enum.
+func OutOfScope(m Mode) int {
+	switch m {
+	case ModeX:
+		return 1
+	}
+	return 0
+}
+
+// TaglessOK is a tagless switch: never an enum switch.
+func TaglessOK(k FlowKind) int {
+	switch {
+	case k == KindA:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,73 @@
+// Package gocheck is analyzer testdata: goroutine cancellability.
+package gocheck
+
+import (
+	"context"
+	"sync"
+)
+
+// CtxWorker waits on ctx.Done: fine.
+func CtxWorker(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// CtxRef merely references a context value: cancellation is threaded
+// through, fine.
+func CtxRef(ctx context.Context, f func(context.Context)) {
+	go func() { f(ctx) }()
+}
+
+// Ranger drains a closable work queue: fine.
+func Ranger(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// Selecty blocks on a done channel via select: fine.
+func Selecty(done chan struct{}) {
+	go func() {
+		select {
+		case <-done:
+		}
+	}()
+}
+
+// Bounded is a WaitGroup fan-out: fine.
+func Bounded(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Leaky spins forever with no stop condition.
+func Leaky() {
+	go func() { // want `goroutine has no visible stop condition`
+		for {
+		}
+	}()
+}
+
+// worker is resolvable same-package but unstoppable.
+func worker() {
+	for {
+	}
+}
+
+// Named launches the unstoppable named worker.
+func Named() {
+	go worker() // want `goroutine has no visible stop condition`
+}
+
+// Opaque launches a func value the analyzer cannot see into.
+func Opaque(f func()) {
+	go f() // want `cannot see into`
+}

@@ -1,0 +1,17 @@
+// Command mainexempt is analyzer testdata: package main is exempt
+// from ctxflow and gocheck — entry points own the root context and
+// process-lifetime goroutines.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+	go spin()
+}
+
+func spin() {
+	for {
+	}
+}

@@ -1,0 +1,34 @@
+// Package metricreg is analyzer testdata: metrics-export agreement.
+package metricreg
+
+import "sync/atomic"
+
+// metrics mirrors the engine's atomic counter struct.
+type metrics struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+	orphan atomic.Int64 // want `metrics field orphan is not read by Metrics\(\)`
+}
+
+// Snapshot mirrors the engine's export struct.
+type Snapshot struct {
+	HitsTotal   int64 `json:"hits_total"`
+	MissesTotal int64 `json:"misses_total"`
+	StaleTotal  int64 `json:"stale_total"` // want `Snapshot field StaleTotal is never populated by Metrics\(\)`
+	NoTag       int64 // want `Snapshot field NoTag has no json tag`
+}
+
+// Engine owns the counters.
+type Engine struct{ met metrics }
+
+// Metrics exports the snapshot; misses flows through a helper, which
+// still counts as read.
+func (e *Engine) Metrics() Snapshot {
+	return Snapshot{
+		HitsTotal:   e.met.hits.Load(),
+		MissesTotal: missesOf(&e.met),
+		NoTag:       0,
+	}
+}
+
+func missesOf(m *metrics) int64 { return m.misses.Load() }

@@ -1,0 +1,65 @@
+// Package poolbalance is analyzer testdata: sync.Pool discipline.
+package poolbalance
+
+import "sync"
+
+type buf struct{ b []byte }
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+// acquire is an acquire wrapper: the Got value is returned, moving
+// ownership to the caller.
+func acquire() *buf { return pool.Get().(*buf) }
+
+// release is a release wrapper: it Puts its parameter back.
+func release(b *buf) { pool.Put(b) }
+
+// Good defers the Put directly.
+func Good() int {
+	b := pool.Get().(*buf)
+	defer pool.Put(b)
+	return len(b.b)
+}
+
+// GoodWrapper defers through the wrappers.
+func GoodWrapper() int {
+	b := acquire()
+	defer release(b)
+	return len(b.b)
+}
+
+// GoodClosure releases inside a deferred closure.
+func GoodClosure() int {
+	b := acquire()
+	defer func() { release(b) }()
+	return len(b.b)
+}
+
+// Transfer returns the pooled value: ownership moves up, no finding.
+func Transfer() *buf {
+	b := acquire()
+	b.b = b.b[:0]
+	return b
+}
+
+// Leak never releases.
+func Leak() int {
+	b := pool.Get().(*buf) // want `pooled value b is never released`
+	return len(b.b)
+}
+
+// LateRelease releases on only one path, and not via defer.
+func LateRelease(skip bool) int {
+	b := acquire() // want `pooled value b is released without defer`
+	if skip {
+		return 0
+	}
+	n := len(b.b)
+	release(b)
+	return n
+}
+
+// Discard drops the Get result on the floor.
+func Discard() {
+	pool.Get() // want `result of pool Get is discarded`
+}

@@ -1,0 +1,92 @@
+// Package suppress is analyzer testdata proving the
+// //lint:ignore mechanism: suppressed violations carry no want
+// comment, so any finding that leaks through fails the test.
+package suppress
+
+import "context"
+
+func step(ctx context.Context) error { return ctx.Err() }
+
+// Root is a documented infallible wrapper: the ignore in the doc
+// comment suppresses ctxflow findings anywhere in the function,
+// covering both the missing parameter and the Background call.
+//
+//lint:ignore ctxflow infallible wrapper; a background ctx cannot cancel
+func Root() error {
+	return step(context.Background())
+}
+
+// inline suppresses one finding with a comment on the line above.
+func inline() error {
+	//lint:ignore ctxflow deliberate: startup path has no caller ctx
+	ctx := context.Background()
+	return step(ctx)
+}
+
+// sameLine suppresses with a trailing comment.
+func sameLine() error {
+	return step(context.Background()) //lint:ignore ctxflow deliberate: ditto
+}
+
+// star suppresses every analyzer at once.
+func star() error {
+	//lint:ignore * deliberate: ditto
+	ctx := context.Background()
+	return step(ctx)
+}
+
+// reasonless ignores are inert: a suppression without a reason
+// suppresses nothing, so the finding still fires.
+func reasonless() error {
+	//lint:ignore ctxflow
+	ctx := context.Background() // want `context\.Background\(\) in library code`
+	return step(ctx)
+}
+
+// wrongName ignores some other analyzer: ctxflow still fires.
+func wrongName() error {
+	//lint:ignore poolbalance wrong analyzer on purpose
+	ctx := context.Background() // want `context\.Background\(\) in library code`
+	return step(ctx)
+}
+
+// modeKind exercises the edgeswitch escape hatches side by side.
+type modeKind uint8
+
+const (
+	modeA modeKind = iota
+	modeB
+)
+
+// suppressedSwitch hides modeB behind a quiet default, annotated as
+// deliberate.
+func suppressedSwitch(k modeKind) int {
+	//lint:ignore edgeswitch tri-state semantics: everything else is modeB-like
+	switch k {
+	case modeA:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// panicDefault needs no suppression: the default panics, which is the
+// sanctioned escape hatch.
+func panicDefault(k modeKind) int {
+	switch k {
+	case modeA:
+		return 1
+	default:
+		panic("suppress: unknown modeKind")
+	}
+}
+
+var (
+	_ = inline
+	_ = sameLine
+	_ = star
+	_ = reasonless
+	_ = wrongName
+	_ = suppressedSwitch
+	_ = panicDefault
+)

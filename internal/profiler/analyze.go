@@ -40,8 +40,20 @@ type Estimate struct {
 
 // Analyze builds and analyzes fragments until cfg.Fragments succeed
 // (or 4x that many attempts fail), estimating the focused breakdown
-// with the given focus category.
+// with the given focus category. Analyze is infallible with respect
+// to cancellation: the background context cannot expire, so every
+// error it returns is a real analysis failure.
+//
+//lint:ignore ctxflow infallible wrapper over AnalyzeCtx; a background ctx cannot cancel
 func (p *Profiler) Analyze(focus breakdown.Category, cats []breakdown.Category) (*Estimate, error) {
+	return p.AnalyzeCtx(context.Background(), focus, cats)
+}
+
+// AnalyzeCtx is Analyze with cancellation: ctx threads into the
+// batched prewarm walk and the icost evaluations of every fragment,
+// so a long profiling run aborts mid-fragment when the caller's
+// deadline expires.
+func (p *Profiler) AnalyzeCtx(ctx context.Context, focus breakdown.Category, cats []breakdown.Category) (*Estimate, error) {
 	r := rng.New(p.cfg.Seed).Derive("analyze")
 	est := &Estimate{Pct: map[string]float64{}, StdErr: map[string]float64{}}
 	sums := map[string]int64{}
@@ -65,7 +77,7 @@ func (p *Profiler) Analyze(focus breakdown.Category, cats []breakdown.Category) 
 				masks = append(masks, focus.Flags|c.Flags)
 			}
 		}
-		if err := a.PrewarmCtx(context.Background(), masks); err != nil {
+		if err := a.PrewarmCtx(ctx, masks); err != nil {
 			return nil, err
 		}
 		base += a.BaseTime()
@@ -81,7 +93,7 @@ func (p *Profiler) Analyze(focus breakdown.Category, cats []breakdown.Category) 
 			if c.Flags == focus.Flags {
 				continue
 			}
-			ic, err := a.ICost(focus.Flags, c.Flags)
+			ic, err := a.ICostCtx(ctx, focus.Flags, c.Flags)
 			if err != nil {
 				return nil, err
 			}
@@ -111,8 +123,19 @@ func (p *Profiler) Analyze(focus breakdown.Category, cats []breakdown.Category) 
 // execution, reconstruct fragments, and estimate the breakdown.
 // prog is the binary; g is the dependence graph of the measured
 // portion of tr (built with the given warmup); mcfg the machine's
-// timing parameters.
+// timing parameters. Like Analyze it cannot be cancelled; use
+// ProfileCtx from servers.
+//
+//lint:ignore ctxflow infallible wrapper over ProfileCtx; a background ctx cannot cancel
 func Profile(prog *program.Program, mcfg depgraph.Config, tr *trace.Trace,
+	g *depgraph.Graph, warmup int, cfg Config,
+	focus breakdown.Category, cats []breakdown.Category) (*Estimate, *Profiler, error) {
+	return ProfileCtx(context.Background(), prog, mcfg, tr, g, warmup, cfg, focus, cats)
+}
+
+// ProfileCtx is Profile with cancellation threaded into the
+// per-fragment analysis.
+func ProfileCtx(ctx context.Context, prog *program.Program, mcfg depgraph.Config, tr *trace.Trace,
 	g *depgraph.Graph, warmup int, cfg Config,
 	focus breakdown.Category, cats []breakdown.Category) (*Estimate, *Profiler, error) {
 	s, err := Collect(tr, g, warmup, cfg)
@@ -123,7 +146,7 @@ func Profile(prog *program.Program, mcfg depgraph.Config, tr *trace.Trace,
 	if err != nil {
 		return nil, nil, err
 	}
-	est, err := p.Analyze(focus, cats)
+	est, err := p.AnalyzeCtx(ctx, focus, cats)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,72 @@
+package profiler
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"icost/internal/breakdown"
+	"icost/internal/depgraph"
+	"icost/internal/ooo"
+	"icost/internal/workload"
+)
+
+// Regression for the ctxflow finding on Analyze: the context must
+// actually thread into the fragment evaluations, so a pre-cancelled
+// context aborts the analysis immediately instead of running every
+// fragment to completion.
+func TestAnalyzeCtxCancelled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Fragments = 4
+	w, _, s := setup(t, "gzip", 25000, 10000, cfg)
+	p, err := New(w.Prog, depgraph.DefaultConfig(), s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cats := breakdown.BaseCategories()
+	if _, err := p.AnalyzeCtx(ctx, cats[0], cats); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AnalyzeCtx with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	// The same profiler still works with a live context, and the
+	// uncancellable wrapper agrees with it (same seed, same RNG
+	// derivation, so the fragment sequence is identical).
+	got, err := p.AnalyzeCtx(context.Background(), cats[0], cats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Analyze(cats[0], cats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fragments != want.Fragments || got.Cycles != want.Cycles {
+		t.Fatalf("AnalyzeCtx (%d frags, %d cycles) disagrees with Analyze (%d, %d)",
+			got.Fragments, got.Cycles, want.Fragments, want.Cycles)
+	}
+	for k, v := range want.Pct {
+		if got.Pct[k] != v {
+			t.Fatalf("Pct[%q] = %v via ctx, %v via wrapper", k, got.Pct[k], v)
+		}
+	}
+}
+
+func TestProfileCtxCancelled(t *testing.T) {
+	w, err := workload.New("parser", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := w.MustExecute(30000, 43)
+	res, err := ooo.Simulate(tr, ooo.DefaultConfig(), ooo.Options{KeepGraph: true, Warmup: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cats := breakdown.BaseCategories()
+	_, _, err = ProfileCtx(ctx, w.Prog, ooo.DefaultConfig().Graph, tr, res.Graph, 10000,
+		DefaultConfig(), cats[0], cats)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ProfileCtx with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
