@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-batch fuzz fmt vet lint ci
+.PHONY: build test race bench bench-batch bench-cold fuzz fmt vet lint ci
 
 # Seconds-per-target budget for the fuzz smoke; CI uses the default.
 FUZZTIME ?= 5s
@@ -28,6 +28,19 @@ bench:
 # internal/cost, and record results in BENCH_batch.json.
 bench-batch:
 	$(GO) test -run='^$$' -bench='BenchmarkICostPair|BenchmarkICostBatch|BenchmarkMatrixBatch|BenchmarkExecTimeWarm' -benchmem -benchtime=2s -count=3 .
+
+# bench-cold: the cold-path numbers BENCH_coldpath.json tracks —
+# pipelined session build, multisim fan-out, profiler fragment
+# analysis — always with -benchmem, since the cold-path work is
+# judged on bytes/op and allocs/op as much as on ns/op. CI runs it
+# with COLD_BENCHTIME=1x as a smoke; use the 2s default for numbers
+# worth recording.
+COLD_BENCHTIME ?= 2s
+
+bench-cold:
+	$(GO) test -run='^$$' -bench=BenchmarkSessionBuild -benchmem -benchtime=$(COLD_BENCHTIME) ./internal/engine/
+	$(GO) test -run='^$$' -bench=BenchmarkMultisimBreakdown -benchmem -benchtime=$(COLD_BENCHTIME) ./internal/multisim/
+	$(GO) test -run='^$$' -bench=BenchmarkProfilerAnalyze -benchmem -benchtime=$(COLD_BENCHTIME) ./internal/profiler/
 
 # fuzz smoke: FUZZTIME per fuzz target (override: make fuzz FUZZTIME=1m).
 fuzz:

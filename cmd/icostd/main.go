@@ -9,13 +9,14 @@
 // Usage:
 //
 //	icostd [-addr :8090] [-workers n] [-queue depth] [-cache-mb mb]
-//	       [-sessions n] [-preload bench1,bench2,...]
+//	       [-sessions n] [-preload bench1,bench2,...] [-pprof]
 //
 // Endpoints:
 //
-//	POST /query    JSON engine.Query -> JSON engine.Response
-//	GET  /metrics  engine counters, gauges and latency quantiles
-//	GET  /healthz  liveness + uptime
+//	POST /query         JSON engine.Query -> JSON engine.Response
+//	GET  /metrics       engine counters, gauges and latency quantiles
+//	GET  /healthz       liveness + uptime
+//	GET  /debug/pprof/  Go runtime profiles (only with -pprof)
 //
 // A full queue returns 429 with a Retry-After header (backpressure,
 // never unbounded buffering). SIGINT/SIGTERM drain in-flight queries
@@ -30,8 +31,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -44,37 +47,62 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
 }
 
+// options holds the daemon's parsed flags.
+type options struct {
+	addr     string
+	workers  int
+	queue    int
+	cacheMB  int
+	sessions int
+	preload  string
+	pprof    bool
+}
+
+// defineFlags registers every daemon flag on fs. Separated from run
+// so the flag-audit test can inspect names, defaults and usage text
+// without executing the daemon.
+func defineFlags(fs *flag.FlagSet) *options {
+	o := &options{}
+	fs.StringVar(&o.addr, "addr", ":8090", "listen address")
+	fs.IntVar(&o.workers, "workers", runtime.GOMAXPROCS(0),
+		"worker pool size (defaults to GOMAXPROCS)")
+	fs.IntVar(&o.queue, "queue", 0, "job queue depth (0 = 4x workers)")
+	fs.IntVar(&o.cacheMB, "cache-mb", 64, "result cache budget in MiB")
+	fs.IntVar(&o.sessions, "sessions", 8, "max resident sessions")
+	fs.StringVar(&o.preload, "preload", "", "comma-separated benchmarks to build at startup")
+	fs.BoolVar(&o.pprof, "pprof", false,
+		"serve Go runtime profiles under /debug/pprof/ (off by default)")
+	return o
+}
+
 // run is the testable entry point: it parses flags, starts the
 // engine, serves until a signal arrives on sig (nil = install the
 // real SIGINT/SIGTERM handler), then drains and exits.
 func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 	fs := flag.NewFlagSet("icostd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	var (
-		addr     = fs.String("addr", ":8090", "listen address")
-		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		queue    = fs.Int("queue", 0, "job queue depth (0 = 4x workers)")
-		cacheMB  = fs.Int("cache-mb", 64, "result cache budget in MiB")
-		sessions = fs.Int("sessions", 8, "max resident sessions")
-		preload  = fs.String("preload", "", "comma-separated benchmarks to build at startup")
-	)
+	o := defineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *cacheMB < 1 || *sessions < 1 {
+	if o.cacheMB < 1 || o.sessions < 1 {
 		fmt.Fprintln(stderr, "icostd: -cache-mb and -sessions must be >= 1")
+		return 2
+	}
+	if o.workers < 1 {
+		fmt.Fprintln(stderr, "icostd: -workers must be >= 1")
 		return 2
 	}
 
 	e := engine.New(engine.Config{
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		CacheBytes:  int64(*cacheMB) << 20,
-		MaxSessions: *sessions,
+		Workers:     o.workers,
+		QueueDepth:  o.queue,
+		CacheBytes:  int64(o.cacheMB) << 20,
+		MaxSessions: o.sessions,
 	})
 
-	if *preload != "" {
-		for _, b := range strings.Split(*preload, ",") {
+	if o.preload != "" {
+		for _, b := range strings.Split(o.preload, ",") {
 			b = strings.TrimSpace(b)
 			key, err := e.Warm(context.Background(), engine.SessionSpec{Bench: b})
 			if err != nil {
@@ -87,13 +115,13 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 	}
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newHandler(e),
+		Addr:              o.addr,
+		Handler:           newHandler(e, o.pprof),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Fprintf(stdout, "icostd: serving on %s (%d workers)\n", *addr, e.Metrics().Workers)
+	fmt.Fprintf(stdout, "icostd: serving on %s (%d workers)\n", o.addr, e.Metrics().Workers)
 
 	if sig == nil {
 		ch := make(chan os.Signal, 1)
@@ -118,9 +146,19 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 	return 0
 }
 
-// newHandler builds the daemon's routing table over an engine.
-func newHandler(e *engine.Engine) http.Handler {
+// newHandler builds the daemon's routing table over an engine. With
+// pprofOn the Go runtime's profiling handlers are mounted under
+// /debug/pprof/ — off by default, since profiles expose internals no
+// production query endpoint should.
+func newHandler(e *engine.Engine, pprofOn bool) http.Handler {
 	mux := http.NewServeMux()
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			httpError(w, http.StatusMethodNotAllowed, "POST only")

@@ -58,6 +58,11 @@ import (
 type Analyzer struct {
 	g    *depgraph.Graph // nil for function-backed analyzers
 	eval func(context.Context, depgraph.Flags) (int64, error)
+	// evalBatch evaluates many flag sets in one call; PrewarmCtx
+	// routes through it when set. Graph-backed analyzers use the
+	// multi-lane graph walk; function-backed ones may supply their
+	// own (multisim fans re-simulations over a worker pool).
+	evalBatch func(context.Context, []depgraph.Flags) ([]int64, error)
 
 	mu      sync.Mutex
 	memo    map[depgraph.Flags]int64
@@ -80,9 +85,17 @@ type evalFlight struct {
 // walk as the other subset unions instead of costing a scalar walk
 // up front.
 func New(g *depgraph.Graph) *Analyzer {
-	return newAnalyzer(g, func(ctx context.Context, f depgraph.Flags) (int64, error) {
+	a := newAnalyzer(g, func(ctx context.Context, f depgraph.Flags) (int64, error) {
 		return g.ExecTimeCtx(ctx, depgraph.Ideal{Global: f})
 	})
+	a.evalBatch = func(ctx context.Context, flags []depgraph.Flags) ([]int64, error) {
+		ids := make([]depgraph.Ideal, len(flags))
+		for i, f := range flags {
+			ids[i] = depgraph.Ideal{Global: f}
+		}
+		return g.EvalBatch(ctx, ids)
+	}
+	return a
 }
 
 // NewFromFunc builds an analyzer whose execution times come from
@@ -96,6 +109,24 @@ func NewFromFunc(eval func(depgraph.Flags) int64) *Analyzer {
 		}
 		return eval(f), nil
 	})
+}
+
+// NewFromBatchFunc is NewFromFunc plus a batch evaluator: PrewarmCtx
+// hands evalBatch the full list of missing flag sets in one call, so
+// a backend with internal parallelism (multisim's re-simulation
+// worker pool) can fan the evaluations out. evalBatch must return one
+// time per flag set, in order; the scalar eval remains the fallback
+// for one-off queries.
+func NewFromBatchFunc(eval func(depgraph.Flags) int64,
+	evalBatch func(context.Context, []depgraph.Flags) ([]int64, error)) *Analyzer {
+	a := newAnalyzer(nil, func(ctx context.Context, f depgraph.Flags) (int64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		return eval(f), nil
+	})
+	a.evalBatch = evalBatch
+	return a
 }
 
 func newAnalyzer(g *depgraph.Graph, eval func(context.Context, depgraph.Flags) (int64, error)) *Analyzer {
@@ -186,10 +217,10 @@ func (a *Analyzer) ExecTimeCtx(ctx context.Context, f depgraph.Flags) (int64, er
 // ones in one batched multi-lane graph walk (2-8x fewer passes over
 // the graph metadata than mask-by-mask scalar walks). Duplicates are
 // collapsed; masks already memoized or in flight elsewhere are not
-// re-evaluated. On a function-backed analyzer it degrades to
-// sequential evaluation.
+// re-evaluated. On a function-backed analyzer without a batch
+// evaluator it degrades to sequential evaluation.
 func (a *Analyzer) PrewarmCtx(ctx context.Context, masks []depgraph.Flags) error {
-	if a.g == nil {
+	if a.evalBatch == nil {
 		for _, f := range masks {
 			if _, err := a.ExecTimeCtx(ctx, f); err != nil {
 				return err
@@ -223,11 +254,7 @@ func (a *Analyzer) PrewarmCtx(ctx context.Context, masks []depgraph.Flags) error
 	a.mu.Unlock()
 
 	if len(lead) > 0 {
-		ids := make([]depgraph.Ideal, len(lead))
-		for i, f := range lead {
-			ids[i] = depgraph.Ideal{Global: f}
-		}
-		times, err := a.g.EvalBatch(ctx, ids)
+		times, err := a.evalBatch(ctx, lead)
 		if onBatch != nil {
 			onBatch(len(lead))
 		}

@@ -1,0 +1,89 @@
+package depgraph
+
+import "sync"
+
+// Arena allocation for whole graphs. A cold session build (and every
+// idealized re-simulation in package multisim) constructs one graph
+// of known size, uses it, and drops it; allocating the seven
+// per-instruction slices individually each time is pure GC churn. A
+// graphArena is a single backing allocation carved into the typed
+// record slices; NewPooled recycles arenas through a sync.Pool and
+// Release returns them.
+
+type graphArena struct {
+	info []InstInfo
+	i32  []int32 // 5n: RELat, CCLat, Prod1, Prod2, PPLeader
+	u8   []uint8 // n: DDBreak
+}
+
+var graphArenaPool = sync.Pool{New: func() any { return new(graphArena) }}
+
+// NewPooled is New with arena-backed record storage. The returned
+// graph is indistinguishable from New's until Release is called;
+// callers that never release simply forgo reuse. WithConfig clones of
+// a pooled graph carry no arena — releasing the original invalidates
+// them too, since they share its records.
+func NewPooled(cfg Config, n int) *Graph {
+	a := graphArenaPool.Get().(*graphArena)
+	if cap(a.info) < n {
+		a.info = make([]InstInfo, n)
+		a.i32 = make([]int32, 5*n)
+		a.u8 = make([]uint8, n)
+	}
+	info := a.info[:n]
+	i32 := a.i32[:5*n]
+	u8 := a.u8[:n]
+	clear(info)
+	clear(u8)
+	clear(i32[:2*n]) // RELat, CCLat start at zero
+	g := &Graph{
+		Cfg:      cfg,
+		Info:     info,
+		DDBreak:  u8,
+		RELat:    i32[0*n : 1*n : 1*n],
+		CCLat:    i32[1*n : 2*n : 2*n],
+		Prod1:    i32[2*n : 3*n : 3*n],
+		Prod2:    i32[3*n : 4*n : 4*n],
+		PPLeader: i32[4*n : 5*n : 5*n],
+		arena:    a,
+	}
+	for i := 0; i < n; i++ {
+		g.Prod1[i] = -1
+		g.Prod2[i] = -1
+		g.PPLeader[i] = -1
+	}
+	return g
+}
+
+// Release returns the graph's arena to the pool. A no-op for graphs
+// from New or WithConfig. The graph — and any WithConfig clone of it
+// — must not be used afterwards; the record slices are nilled so a
+// stale reference fails fast instead of reading recycled data.
+func (g *Graph) Release() {
+	a := g.arena
+	if a == nil {
+		return
+	}
+	g.arena = nil
+	g.Info, g.DDBreak = nil, nil
+	g.RELat, g.CCLat = nil, nil
+	g.Prod1, g.Prod2, g.PPLeader = nil, nil, nil
+	graphArenaPool.Put(a)
+}
+
+// AcquireTimes returns pooled node-time scratch with n-length slices
+// whose contents are unspecified; the caller must overwrite every
+// element (the simulator's forward pass does). Pair with
+// ReleaseTimes.
+func AcquireTimes(n int) *Times {
+	return acquireTimes(n)
+}
+
+// ReleaseTimes returns scratch obtained from AcquireTimes (or a Times
+// handed out by the simulator) to the shared pool. The Times must not
+// be used afterwards.
+func ReleaseTimes(t *Times) {
+	if t != nil {
+		releaseTimes(t)
+	}
+}

@@ -230,6 +230,10 @@ type Graph struct {
 	batchOnce sync.Once
 	partsArr  []epParts
 	mispPrev  []bool
+
+	// arena backs the record slices when the graph came from
+	// NewPooled (see arena.go); nil for New and WithConfig graphs.
+	arena *graphArena
 }
 
 // WithConfig returns a graph sharing this graph's per-instruction

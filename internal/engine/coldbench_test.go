@@ -1,0 +1,27 @@
+package engine
+
+import (
+	"testing"
+)
+
+// BenchmarkSessionBuild isolates the cold path: one full session
+// build (workload generation + simulation + graph construction +
+// analyzer wiring) per iteration, with the artifacts torn down so
+// allocation reuse across builds is visible in bytes/op. This is the
+// number BENCH_coldpath.json tracks; run via `make bench-cold`.
+func BenchmarkSessionBuild(b *testing.B) {
+	spec, err := benchSpec("mcf").normalize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := buildForBench(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.release()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
+}

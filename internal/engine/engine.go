@@ -142,7 +142,9 @@ func New(cfg Config) *Engine {
 }
 
 // Close stops accepting queries, lets queued and in-flight queries
-// finish, and waits for the workers to exit.
+// finish, and waits for the workers to exit. It then releases every
+// built session's pool-backed artifacts — safe because no worker can
+// still be reading them, and responses never alias session memory.
 func (e *Engine) Close() {
 	e.submitMu.Lock()
 	if e.closed {
@@ -153,6 +155,12 @@ func (e *Engine) Close() {
 	close(e.jobs)
 	e.submitMu.Unlock()
 	e.workerWG.Wait()
+	e.storeMu.Lock()
+	sessions := e.store.drain()
+	e.storeMu.Unlock()
+	for _, s := range sessions {
+		s.release()
+	}
 }
 
 // Query answers one analysis query, blocking until the result is
@@ -313,7 +321,7 @@ func (e *Engine) sessionFor(ctx context.Context, key string, spec SessionSpec) (
 	e.storeMu.Unlock()
 
 	if builder {
-		s, err := build(spec)
+		s, err := build(ctx, spec, &e.met)
 		if err == nil {
 			// Attach before the session is published: every batched
 			// walk the analyzer issues feeds the size histogram.
@@ -369,6 +377,14 @@ func (e *Engine) Metrics() Snapshot {
 		LatencyP50us: e.met.latency.quantile(0.50),
 		LatencyP95us: e.met.latency.quantile(0.95),
 		LatencyP99us: e.met.latency.quantile(0.99),
+
+		SessionBuildP50us: e.met.sessionBuild.quantile(0.50),
+		SessionBuildP95us: e.met.sessionBuild.quantile(0.95),
+		SessionBuildP99us: e.met.sessionBuild.quantile(0.99),
+		ColdGenNS:         e.met.coldGenNS.Load(),
+		ColdGenStallNS:    e.met.coldGenStallNS.Load(),
+		ColdSimNS:         e.met.coldSimNS.Load(),
+		ColdSimStallNS:    e.met.coldSimStallNS.Load(),
 
 		BatchesTotal:    e.met.batches.Load(),
 		BatchLanesTotal: e.met.batchLanes.Load(),

@@ -70,6 +70,18 @@ type metrics struct {
 	inFlight atomic.Int64
 	latency  latencyHist
 
+	// Cold-path pipeline instrumentation: the session-build wall-time
+	// histogram plus per-stage time totals. gen/sim are productive time
+	// in the producer (trace generation) and consumer (simulation);
+	// the stall counters are time each side spent blocked on the
+	// segment channel — together they show whether the pipeline
+	// overlaps or serializes.
+	sessionBuild   latencyHist
+	coldGenNS      atomic.Int64
+	coldGenStallNS atomic.Int64
+	coldSimNS      atomic.Int64
+	coldSimStallNS atomic.Int64
+
 	batches    atomic.Int64
 	batchLanes atomic.Int64
 	batchHist  [batchHistBuckets]atomic.Int64
@@ -116,6 +128,17 @@ type Snapshot struct {
 	LatencyP50us int64 `json:"latency_p50_us"`
 	LatencyP95us int64 `json:"latency_p95_us"`
 	LatencyP99us int64 `json:"latency_p99_us"`
+
+	// Cold-path pipeline: session-build wall-time quantiles and the
+	// cumulative per-stage split (productive vs channel-blocked time in
+	// the trace producer and the simulation consumer).
+	SessionBuildP50us int64 `json:"session_build_p50_us"`
+	SessionBuildP95us int64 `json:"session_build_p95_us"`
+	SessionBuildP99us int64 `json:"session_build_p99_us"`
+	ColdGenNS         int64 `json:"coldpath_gen_ns_total"`
+	ColdGenStallNS    int64 `json:"coldpath_gen_stall_ns_total"`
+	ColdSimNS         int64 `json:"coldpath_sim_ns_total"`
+	ColdSimStallNS    int64 `json:"coldpath_sim_stall_ns_total"`
 
 	// Batched graph evaluation: how many multi-lane walks analyzers
 	// issued, the total lanes across them, and a log-scaled size

@@ -2,12 +2,14 @@ package engine
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
 	"time"
 
 	"icost/internal/cost"
+	"icost/internal/depgraph"
 	"icost/internal/ooo"
 	"icost/internal/trace"
 	"icost/internal/workload"
@@ -110,32 +112,86 @@ type session struct {
 	result   *ooo.Result
 	analyzer *cost.Analyzer
 	built    time.Duration // wall time of the cold build
+	pooled   bool          // artifacts are pool-backed; release returns them
 }
 
-// build generates the workload, simulates it with the graph kept, and
-// wraps the graph in a memoizing analyzer.
-func build(spec SessionSpec) (*session, error) {
+// release returns the session's pool-backed artifacts — trace backing
+// array, graph arena, node-time scratch — so the next cold build
+// reuses them instead of reallocating. Only called once no reader can
+// still hold the session (engine Close, after the workers exit);
+// evicted sessions are never released, since an in-flight query may
+// still be reading them, and simply fall to the garbage collector.
+func (s *session) release() {
+	if !s.pooled {
+		return
+	}
+	s.pooled = false
+	if s.result != nil {
+		if s.result.Graph != nil {
+			s.result.Graph.Release()
+			s.result.Graph = nil
+		}
+		if s.result.Times != nil {
+			depgraph.ReleaseTimes(s.result.Times)
+			s.result.Times = nil
+		}
+	}
+	if s.trace != nil {
+		trace.ReleaseInsts(s.trace.Insts)
+		s.trace = nil
+	}
+}
+
+// build constructs a session through the streaming cold path: the
+// workload interpreter produces trace segments on a bounded channel
+// while the simulator consumes them, overlapping generation,
+// simulation and graph-edge materialization; the trace, graph and
+// node times all land in pooled storage. ctx cancels both pipeline
+// stages. met (nil in benchmarks) receives the build histogram and
+// per-stage time counters.
+func build(ctx context.Context, spec SessionSpec, met *metrics) (*session, error) {
 	key, err := spec.Key()
 	if err != nil {
 		return nil, err
 	}
 	spec, _ = spec.normalize()
 	start := time.Now()
-	tr, err := workload.Load(spec.Bench, spec.Seed, spec.Warmup+spec.TraceLen)
+	w, err := workload.Cached(spec.Bench, spec.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("engine: generating %s: %w", spec.Bench, err)
 	}
-	res, err := ooo.Simulate(tr, spec.machine(), ooo.Options{KeepGraph: true, Warmup: spec.Warmup})
+	// The derived cancel stops the producer goroutine on every error
+	// return below; on success the stream is fully drained and the
+	// producer already gone.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	st, err := w.ExecuteStream(ctx, spec.Warmup+spec.TraceLen, spec.Seed+1, 0)
+	if err != nil {
+		return nil, fmt.Errorf("engine: generating %s: %w", spec.Bench, err)
+	}
+	var tm ooo.StreamTiming
+	res, err := ooo.SimulateStream(ctx, st, spec.machine(), ooo.Options{
+		KeepGraph: true, Warmup: spec.Warmup, Timing: &tm,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("engine: simulating %s: %w", spec.Bench, err)
+	}
+	built := time.Since(start)
+	if met != nil {
+		met.sessionBuild.record(built)
+		met.coldGenNS.Add(st.GenNS())
+		met.coldGenStallNS.Add(st.StallNS())
+		met.coldSimNS.Add(tm.SimNS)
+		met.coldSimStallNS.Add(tm.WaitNS)
 	}
 	return &session{
 		key:      key,
 		spec:     spec,
-		trace:    tr,
+		trace:    st.Trace(),
 		result:   res,
 		analyzer: cost.New(res.Graph),
-		built:    time.Since(start),
+		built:    built,
+		pooled:   true,
 	}, nil
 }
 
@@ -200,6 +256,27 @@ func (st *sessionStore) evict() int {
 		n++
 	}
 	return n
+}
+
+// drain empties the store and returns every completed session, for
+// Close-time release of their pooled artifacts. Entries still being
+// built (unreachable in practice — drain runs after the workers exit)
+// are discarded without a session.
+func (st *sessionStore) drain() []*session {
+	var out []*session
+	for el := st.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*sessionEntry)
+		select {
+		case <-e.ready:
+			if e.sess != nil {
+				out = append(out, e.sess)
+			}
+		default:
+		}
+	}
+	st.items = map[string]*list.Element{}
+	st.ll.Init()
+	return out
 }
 
 func (st *sessionStore) len() int { return st.ll.Len() }

@@ -13,9 +13,12 @@ import (
 // releases the scratch on every return path, early returns and
 // panics included; a trailing Put silently leaks the value on the
 // error paths, which shows up as steady-state allocation growth under
-// the engine's query load. Functions that return the pooled value
-// (the acquire wrappers themselves) transfer ownership to the caller
-// and are exempt.
+// the engine's query load. Functions that transfer ownership of the
+// pooled value are exempt: returning it (the acquire wrappers
+// themselves), returning a reslice of it (trace.AcquireInsts), or
+// storing it into a struct field or composite literal (the graph
+// arena rides inside the Graph it backs; whoever holds the container
+// owes the Release).
 var PoolBalance = &Analyzer{
 	Name: "poolbalance",
 	Doc:  "sync.Pool values must be released via a deferred Put (or release wrapper) on every return path",
@@ -199,7 +202,45 @@ func checkPoolUse(pass *Pass, fd *ast.FuncDecl, acquirers, releasers map[types.O
 			}
 		case *ast.ReturnStmt:
 			for _, res := range n.Results {
-				if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+				switch e := ast.Unparen(res).(type) {
+				case *ast.Ident:
+					if obj := pass.Info.Uses[e]; obj != nil {
+						returned[obj] = true
+					}
+				case *ast.SliceExpr:
+					// `return b[:0]` hands the backing array to the
+					// caller just as surely as `return b`.
+					if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+						if obj := pass.Info.Uses[id]; obj != nil {
+							returned[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			// `&Graph{arena: a}`: the pooled value rides inside the
+			// container; ownership follows the container.
+			for _, elt := range n.Elts {
+				e := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						returned[obj] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// `g.arena = a`: same container transfer, after the fact.
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if _, ok := ast.Unparen(lhs).(*ast.SelectorExpr); !ok {
+					continue
+				}
+				if id, ok := ast.Unparen(n.Rhs[i]).(*ast.Ident); ok {
 					if obj := pass.Info.Uses[id]; obj != nil {
 						returned[obj] = true
 					}

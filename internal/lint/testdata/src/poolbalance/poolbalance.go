@@ -42,6 +42,38 @@ func Transfer() *buf {
 	return b
 }
 
+// slabPool recycles byte slabs, the trace.AcquireInsts shape.
+var slabPool = sync.Pool{New: func() any { return []byte(nil) }}
+
+// TransferReslice returns a reslice of the pooled value: the backing
+// array moves to the caller, no finding.
+func TransferReslice(n int) []byte {
+	s, _ := slabPool.Get().([]byte)
+	if cap(s) >= n {
+		return s[:0]
+	}
+	return make([]byte, 0, n)
+}
+
+// holder is an arena-style container: the pooled value rides inside
+// the struct that it backs, and whoever holds the struct owes the
+// Release.
+type holder struct{ b *buf }
+
+// TransferComposite stores the pooled value into a returned composite
+// literal: ownership follows the container, no finding.
+func TransferComposite() *holder {
+	b := acquire()
+	return &holder{b: b}
+}
+
+// TransferField stores the pooled value into a struct field after the
+// fact: same container transfer, no finding.
+func TransferField(h *holder) {
+	b := acquire()
+	h.b = b
+}
+
 // Leak never releases.
 func Leak() int {
 	b := pool.Get().(*buf) // want `pooled value b is never released`

@@ -1,0 +1,55 @@
+package multisim
+
+import (
+	"context"
+	"testing"
+
+	"icost/internal/depgraph"
+	"icost/internal/ooo"
+	"icost/internal/workload"
+)
+
+// benchCats is a four-category subset: the power set is 16 unions, so
+// one breakdown costs 16 idealized re-simulations — enough to expose
+// the fan-out without the full 256-simulation blow-up.
+var benchCats = []depgraph.Flags{
+	depgraph.IdealDMiss, depgraph.IdealBMisp, depgraph.IdealWindow, depgraph.IdealBW,
+}
+
+// BenchmarkMultisimBreakdown measures the paper's multiple-simulation
+// baseline: every power-set union of benchCats evaluated by idealized
+// re-simulation. Each iteration starts from a fresh analyzer so every
+// union is re-simulated (nothing rides the memo).
+func BenchmarkMultisimBreakdown(b *testing.B) {
+	tr, err := workload.Load("mcf", 7, 6000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ooo.DefaultConfig()
+	unions := make([]depgraph.Flags, 0, 1<<len(benchCats))
+	for m := 1; m < 1<<len(benchCats); m++ {
+		var u depgraph.Flags
+		for j, f := range benchCats {
+			if m&(1<<j) != 0 {
+				u |= f
+			}
+		}
+		unions = append(unions, u)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		a, err := New(tr, cfg, 2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.PrewarmCtx(ctx, unions); err != nil {
+			b.Fatal(err)
+		}
+		for _, u := range unions {
+			a.Cost(u)
+		}
+	}
+	b.ReportMetric(float64(len(unions)), "sims/op")
+}

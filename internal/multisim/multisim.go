@@ -16,7 +16,11 @@
 package multisim
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"icost/internal/cost"
 	"icost/internal/depgraph"
@@ -26,15 +30,30 @@ import (
 
 // New returns a cost analyzer whose execution times come from
 // idealized re-simulation of tr on cfg, skipping warmup instructions
-// before timing (every re-simulation warms identically). The
+// before timing (every re-simulation warms identically). Batched
+// queries (PrewarmCtx) fan the independent re-simulations over a
+// GOMAXPROCS-bounded worker pool; see NewWorkers.
+func New(tr *trace.Trace, cfg ooo.Config, warmup int) (*cost.Analyzer, error) {
+	return NewWorkers(tr, cfg, warmup, 0)
+}
+
+// NewWorkers is New with an explicit fan-out width for batched
+// queries: workers <= 0 means GOMAXPROCS, 1 forces serial evaluation.
+// Every re-simulation is an independent pure function of (trace,
+// config, flags) — the simulator never mutates the trace — so the
+// fan-out is result-identical to serial evaluation, just faster; the
+// serial width exists as the reference for that property test. The
 // configuration is validated up front; simulation failures afterward
 // indicate programming errors and panic.
-func New(tr *trace.Trace, cfg ooo.Config, warmup int) (*cost.Analyzer, error) {
+func NewWorkers(tr *trace.Trace, cfg ooo.Config, warmup, workers int) (*cost.Analyzer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if warmup < 0 || warmup >= tr.Len() {
 		return nil, fmt.Errorf("multisim: warmup %d outside trace of %d", warmup, tr.Len())
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	eval := func(f depgraph.Flags) int64 {
 		res, err := ooo.Simulate(tr, cfg, ooo.Options{Ideal: f, Warmup: warmup})
@@ -43,5 +62,38 @@ func New(tr *trace.Trace, cfg ooo.Config, warmup int) (*cost.Analyzer, error) {
 		}
 		return res.Cycles
 	}
-	return cost.NewFromFunc(eval), nil
+	if workers == 1 {
+		return cost.NewFromFunc(eval), nil
+	}
+	evalBatch := func(ctx context.Context, flags []depgraph.Flags) ([]int64, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out := make([]int64, len(flags))
+		nw := workers
+		if nw > len(flags) {
+			nw = len(flags)
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(flags) || ctx.Err() != nil {
+						return
+					}
+					out[i] = eval(flags[i])
+				}
+			}()
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	return cost.NewFromBatchFunc(eval, evalBatch), nil
 }

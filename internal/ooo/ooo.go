@@ -29,6 +29,7 @@ import (
 	"icost/internal/depgraph"
 	"icost/internal/fu"
 	"icost/internal/isa"
+	"icost/internal/program"
 	"icost/internal/trace"
 )
 
@@ -134,6 +135,10 @@ type Options struct {
 	// billions of instructions before detailed simulation. The
 	// result covers only the remaining instructions.
 	Warmup int
+	// Timing, when non-nil, is filled by SimulateStream with the
+	// consumer-side stage breakdown of its wall time; Simulate
+	// ignores it.
+	Timing *StreamTiming
 }
 
 // Stats counts functional events, for reports and signature bits.
@@ -173,7 +178,10 @@ func (r *Result) IPC() float64 {
 	return float64(r.Stats.Insts) / float64(r.Cycles)
 }
 
-// Simulate runs the machine over the trace.
+// Simulate runs the machine over the trace. The returned graph and
+// node times (under KeepGraph) are pool-backed: callers that retire
+// them may hand them back via Graph.Release and depgraph.ReleaseTimes,
+// and callers that don't simply forgo reuse.
 func Simulate(tr *trace.Trace, cfg Config, opt Options) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -181,272 +189,19 @@ func Simulate(tr *trace.Trace, cfg Config, opt Options) (*Result, error) {
 	if opt.Warmup < 0 || opt.Warmup >= tr.Len() {
 		return nil, fmt.Errorf("ooo: warmup %d outside trace of %d", opt.Warmup, tr.Len())
 	}
-	hier := cache.NewHierarchy(cfg.Cache)
-	pred := bpred.New(cfg.Pred)
-	pool := fu.NewPool(cfg.FU)
-	storePorts := fu.NewSched(cfg.StoreCommitBW)
-
+	m := newMachine(tr.Prog, cfg, opt, tr.Len()-opt.Warmup)
 	// Functional warmup: exercise caches, TLBs and the predictor
-	// without timing. The program text is touched once first so that
-	// code lines whose first execution falls after the warmup window
-	// hit the L2 rather than memory — the paper's runs skip billions
-	// of instructions, after which no code line is memory-cold.
+	// without timing.
 	if opt.Warmup > 0 {
-		for pc := tr.Prog.PCOf(0); pc < tr.Prog.PCOf(tr.Prog.Len()-1); pc += isa.Addr(cfg.Cache.LineBytes) {
-			hier.InstAccess(pc)
-		}
+		m.touchCode()
 	}
 	for i := 0; i < opt.Warmup; i++ {
-		sin := tr.Static(i)
-		din := &tr.Insts[i]
-		hier.InstAccess(sin.PC)
-		if sin.Op.IsBranch() {
-			pr := pred.Predict(sin)
-			pred.Update(sin, din.Taken, din.Target, pr)
-		}
-		if sin.Op.IsMem() {
-			hier.DataAccess(din.Addr)
-		}
+		m.warm(tr.Static(i), &tr.Insts[i])
 	}
-	base := opt.Warmup
-	n := tr.Len() - base
-	g := depgraph.New(cfg.Graph, n)
-	id := depgraph.Ideal{Global: opt.Ideal}
-	f := opt.Ideal
-	gcfg := &cfg.Graph
-
-	times := &depgraph.Times{
-		D: make([]int64, n), R: make([]int64, n), E: make([]int64, n),
-		P: make([]int64, n), C: make([]int64, n),
+	for i := opt.Warmup; i < tr.Len(); i++ {
+		m.step(tr.Static(i), &tr.Insts[i])
 	}
-	var st Stats
-	st.Insts = n
-
-	// lastWriter maps architectural registers to the dynamic index of
-	// their most recent writer (-1 = written before the trace).
-	var lastWriter [isa.NumRegs]int32
-	for i := range lastWriter {
-		lastWriter[i] = -1
-	}
-	// lineLeader maps a cache line to the most recent load that
-	// missed on it.
-	type leader struct {
-		idx int32
-	}
-	lineLeader := map[isa.Addr]leader{}
-	// lastStoreTo maps an 8-byte granule to the most recent store,
-	// for the dynamically-collected store-to-load memory dependences
-	// of paper Figure 5b (PR "mem: D").
-	lastStoreTo := map[isa.Addr]int32{}
-
-	// Fetch-group state for the taken-branch break rule.
-	var curFetchCycle int64 = -1
-	takenInCycle := 0
-
-	for i := 0; i < n; i++ {
-		din := &tr.Insts[base+i]
-		sin := tr.Static(base + i)
-		info := depgraph.InstInfo{Op: sin.Op, SIdx: din.SIdx}
-
-		// --- Functional front end: icache and branch predictor ---
-		ir := hier.InstAccess(sin.PC)
-		info.ILevel = ir.Level
-		info.ITLBMiss = ir.TLBMiss
-		if ir.Level != cache.LevelL1 {
-			st.IL1Misses++
-			if ir.Level == cache.LevelMem {
-				st.IL2Misses++
-			}
-		}
-		if ir.TLBMiss {
-			st.ITLBMisses++
-		}
-		if sin.Op.IsBranch() {
-			pr := pred.Predict(sin)
-			mis := pr.Taken != din.Taken || (din.Taken && pr.Target != din.Target)
-			pred.Update(sin, din.Taken, din.Target, pr)
-			info.Mispredict = mis
-			if sin.Op.IsCondBranch() {
-				st.CondBranches++
-			}
-			if mis {
-				st.Mispredicts++
-				if cfg.ModelWrongPath {
-					wrongPathFetch(hier, tr, pr.Target,
-						cfg.Graph.FetchBW*cfg.Graph.BranchRecovery)
-				}
-			}
-		}
-
-		// --- Functional memory access ---
-		if sin.Op.IsMem() {
-			dr := hier.DataAccess(din.Addr)
-			info.DataLevel = dr.Level
-			info.DTLBMiss = dr.TLBMiss
-			if sin.Op.IsLoad() {
-				st.Loads++
-			} else {
-				st.Stores++
-			}
-			if dr.Level != cache.LevelL1 {
-				st.DL1Misses++
-				if dr.Level == cache.LevelMem {
-					st.L2Misses++
-				}
-			}
-			if dr.TLBMiss {
-				st.DTLBMisses++
-			}
-			if sin.Op.IsLoad() && dr.Level == cache.LevelL1 {
-				if l, ok := lineLeader[dr.Line]; ok {
-					g.PPLeader[i] = l.idx
-				}
-			}
-			granule := din.Addr &^ 7
-			if sin.Op.IsStore() {
-				lastStoreTo[granule] = int32(i)
-			} else if s, ok := lastStoreTo[granule]; ok {
-				// Store-to-load dependence: the load's value comes
-				// from the in-flight (or committed) store. Loads have
-				// a single register source, so the second producer
-				// slot is free for the memory dependence.
-				g.Prod2[i] = s
-				st.StoreForwards++
-			}
-		}
-
-		// --- Register producers (PR edges) ---
-		var srcs [2]isa.Reg
-		ns := 0
-		if sin.Src1 != isa.NoReg && sin.Src1 != isa.RZero {
-			srcs[ns] = sin.Src1
-			ns++
-		}
-		if sin.Src2 != isa.NoReg && sin.Src2 != isa.RZero {
-			srcs[ns] = sin.Src2
-			ns++
-		}
-		if ns > 0 {
-			g.Prod1[i] = lastWriter[srcs[0]]
-		}
-		if ns > 1 {
-			g.Prod2[i] = lastWriter[srcs[1]]
-		}
-
-		g.Info[i] = info
-
-		// --- D node: dispatch ---
-		var d int64
-		if i > 0 {
-			d = times.D[i-1] + g.DDLat(i, f) // DDBreak not yet set: pure icache part
-			if g.Info[i-1].Mispredict && f&depgraph.IdealBMisp == 0 {
-				d = max64(d, times.P[i-1]+int64(gcfg.BranchRecovery))
-			}
-		} else {
-			d = g.DDLat(i, f)
-		}
-		if f&depgraph.IdealBW == 0 && i >= gcfg.FetchBW {
-			d = max64(d, times.D[i-gcfg.FetchBW]+1)
-		}
-		w := gcfg.Window
-		if f&depgraph.IdealWindow != 0 {
-			w *= gcfg.WindowIdealFactor
-		}
-		if i >= w {
-			d = max64(d, times.C[i-w])
-		}
-		// Taken-branch fetch break: if this instruction lands in a
-		// fetch cycle that already holds MaxTakenPerCycle taken
-		// branches, push it to the next cycle and record the bubble
-		// on the DD edge.
-		if f&depgraph.IdealBW == 0 && d == curFetchCycle && takenInCycle >= cfg.MaxTakenPerCycle {
-			d++
-			g.DDBreak[i] = 1
-		}
-		if d != curFetchCycle {
-			curFetchCycle = d
-			takenInCycle = 0
-		}
-		if sin.Op.IsBranch() && din.Taken {
-			takenInCycle++
-		}
-		times.D[i] = d
-
-		// --- R node: operands ready ---
-		r := d + int64(gcfg.DispatchToReady)
-		wake := int64(gcfg.WakeupExtra)
-		if p := g.Prod1[i]; p >= 0 {
-			r = max64(r, times.P[p]+wake)
-		}
-		if p := g.Prod2[i]; p >= 0 {
-			r = max64(r, times.P[p]+wake)
-		}
-		times.R[i] = r
-
-		// --- E node: issue, arbitrating functional units ---
-		e := r
-		if f&depgraph.IdealBW == 0 {
-			e = pool.Book(sin.Op.FU(), r)
-			g.RELat[i] = int32(e - r)
-		}
-		times.E[i] = e
-
-		// --- P node: completion (EP edge + line sharing) ---
-		p := e + g.EPLat(i, f)
-		if l := g.PPLeader[i]; l >= 0 && f&depgraph.IdealDMiss == 0 {
-			if times.P[l] > p {
-				st.PartialMisses++
-				p = times.P[l]
-			}
-		}
-		times.P[i] = p
-		if sin.Op.IsLoad() && info.DataLevel != cache.LevelL1 {
-			lineLeader[hier.L1D.Line(din.Addr)] = leader{idx: int32(i)}
-		}
-
-		// --- C node: commit ---
-		c := p + int64(gcfg.CompleteToCommit)
-		if i > 0 {
-			c = max64(c, times.C[i-1])
-		}
-		if f&depgraph.IdealBW == 0 && i >= gcfg.CommitBW {
-			c = max64(c, times.C[i-gcfg.CommitBW]+1)
-		}
-		// Store-commit bandwidth: stores contend for retire ports;
-		// the delay is recorded on the CC edge so graph replay stays
-		// exact (it requires i > 0, which holds for any delayed
-		// store since a delay implies an earlier store this cycle).
-		if sin.Op.IsStore() && f&depgraph.IdealBW == 0 {
-			booked := storePorts.Book(c)
-			if booked > c && i > 0 {
-				g.CCLat[i] = int32(booked - times.C[i-1])
-				c = booked
-			}
-		}
-		times.C[i] = c
-
-		// --- Architectural register update ---
-		if sin.HasDst() {
-			lastWriter[sin.Dst] = int32(i)
-		}
-	}
-
-	res := &Result{Stats: st}
-	if n > 0 {
-		res.Cycles = times.C[n-1] + 1
-	}
-	if opt.KeepGraph {
-		res.Graph = g
-		res.Times = times
-	}
-	// Internal consistency: the graph must replay to the simulated
-	// time under the same idealization. This is cheap relative to
-	// simulation and guards the exactness invariant the cost engine
-	// relies on.
-	if replay := g.ExecTime(id); replay != res.Cycles {
-		return nil, fmt.Errorf("ooo: graph replay %d != simulated %d cycles", replay, res.Cycles)
-	}
-	return res, nil
+	return m.finish(opt.KeepGraph)
 }
 
 // Run simulates with no idealization and keeps the graph — the common
@@ -462,19 +217,19 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 // perturbed — its history repair assumes in-order predict/update
 // pairing); unconditional direct transfers are followed; indirect
 // transfers end the walk.
-func wrongPathFetch(hier *cache.Hierarchy, tr *trace.Trace, target isa.Addr, depth int) {
-	idx := tr.Prog.IndexOf(target)
+func wrongPathFetch(hier *cache.Hierarchy, prog *program.Program, target isa.Addr, depth int) {
+	idx := prog.IndexOf(target)
 	for step := 0; step < depth && idx >= 0; step++ {
-		in := tr.Prog.At(idx)
+		in := prog.At(idx)
 		hier.InstAccess(in.PC)
 		switch in.Op {
 		case isa.OpJump, isa.OpCall:
-			idx = tr.Prog.IndexOf(in.Target)
+			idx = prog.IndexOf(in.Target)
 		case isa.OpReturn, isa.OpJumpIndirect:
 			return
 		default:
 			idx++
-			if idx >= tr.Prog.Len() {
+			if idx >= prog.Len() {
 				return
 			}
 		}

@@ -1,0 +1,91 @@
+package ooo
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"icost/internal/trace"
+)
+
+// StreamTiming reports where SimulateStream's wall time went: SimNS
+// simulating segments it had in hand, WaitNS blocked waiting for the
+// producer. A large WaitNS means generation, not simulation, bounds
+// the cold path.
+type StreamTiming struct {
+	SimNS  int64
+	WaitNS int64
+}
+
+// SimulateStream runs the machine over a trace that is still being
+// generated, consuming segments as workload.ExecuteStream emits them
+// so generation and simulation overlap. The machine state itself is
+// sequential — segments are simulated in stream order — and every
+// instruction flows through the same incremental core as Simulate, so
+// the result (times, stats, graph, execution time) is bit-identical
+// to Simulate on the completed trace.
+//
+// On ctx cancellation or a producer error the partial simulation is
+// discarded, pooled resources are returned, and the error is
+// reported. SimulateStream never abandons a live stream on its own:
+// on every return either the stream is fully drained or ctx is
+// canceled, so a producer honoring ctx cannot leak.
+func SimulateStream(ctx context.Context, st *trace.Stream, cfg Config, opt Options) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Warmup < 0 || opt.Warmup >= st.Total {
+		return nil, fmt.Errorf("ooo: warmup %d outside trace of %d", opt.Warmup, st.Total)
+	}
+	m := newMachine(st.Prog, cfg, opt, st.Total-opt.Warmup)
+	if opt.Warmup > 0 {
+		m.touchCode()
+	}
+	var simNS, waitNS int64
+	report := func() {
+		if opt.Timing != nil {
+			opt.Timing.SimNS = simNS
+			opt.Timing.WaitNS = waitNS
+		}
+	}
+	idx := 0
+	for {
+		t0 := time.Now()
+		var seg trace.Segment
+		var ok bool
+		select {
+		case seg, ok = <-st.C:
+		case <-ctx.Done():
+			waitNS += time.Since(t0).Nanoseconds()
+			report()
+			m.abort()
+			return nil, ctx.Err()
+		}
+		waitNS += time.Since(t0).Nanoseconds()
+		if !ok {
+			break
+		}
+		t1 := time.Now()
+		for k := range seg.Insts {
+			din := &seg.Insts[k]
+			sin := st.Prog.At(int(din.SIdx))
+			if idx < opt.Warmup {
+				m.warm(sin, din)
+			} else {
+				m.step(sin, din)
+			}
+			idx++
+		}
+		simNS += time.Since(t1).Nanoseconds()
+	}
+	report()
+	if err := st.Err(); err != nil {
+		m.abort()
+		return nil, err
+	}
+	if idx != st.Total {
+		m.abort()
+		return nil, fmt.Errorf("ooo: stream delivered %d of %d instructions", idx, st.Total)
+	}
+	return m.finish(opt.KeepGraph)
+}

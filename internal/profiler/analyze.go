@@ -4,6 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"icost/internal/breakdown"
 	"icost/internal/cost"
@@ -49,10 +52,75 @@ func (p *Profiler) Analyze(focus breakdown.Category, cats []breakdown.Category) 
 	return p.AnalyzeCtx(context.Background(), focus, cats)
 }
 
+// attemptResult is everything one fragment attempt contributes to the
+// estimate, reduced to plain numbers so attempts can run concurrently
+// and fold in attempt order with bit-identical float arithmetic.
+type attemptResult struct {
+	fc     fragCounters
+	built  bool
+	base   int64
+	costs  []int64 // per cats, in order
+	icosts []int64 // per non-focus cats, in order
+	err    error   // fatal analysis error (cancellation)
+}
+
+// runAttempt reconstructs and analyzes the fragment for one skeleton
+// index: build, batched prewarm, cost per category, icost per focus
+// pair. The pooled fragment graph never escapes — only numbers do.
+func (p *Profiler) runAttempt(ctx context.Context, skelIdx int,
+	focus breakdown.Category, cats []breakdown.Category) attemptResult {
+	g, fc, err := p.buildFragmentAt(skelIdx)
+	ar := attemptResult{fc: fc}
+	if err != nil {
+		return ar // inconsistent fragment discarded (step 2e)
+	}
+	defer g.Release()
+	a := cost.New(g)
+	// Every cost and icost term this fragment needs, evaluated in
+	// one batched walk over the fragment graph instead of one
+	// scalar walk per term.
+	masks := make([]depgraph.Flags, 0, 2*len(cats))
+	for _, c := range cats {
+		masks = append(masks, c.Flags)
+		if c.Flags != focus.Flags {
+			masks = append(masks, focus.Flags|c.Flags)
+		}
+	}
+	if err := a.PrewarmCtx(ctx, masks); err != nil {
+		ar.err = err
+		return ar
+	}
+	ar.built = true
+	ar.base = a.BaseTime()
+	ar.costs = make([]int64, 0, len(cats))
+	ar.icosts = make([]int64, 0, len(cats))
+	for _, c := range cats {
+		ar.costs = append(ar.costs, a.Cost(c.Flags))
+	}
+	for _, c := range cats {
+		if c.Flags == focus.Flags {
+			continue
+		}
+		ic, err := a.ICostCtx(ctx, focus.Flags, c.Flags)
+		if err != nil {
+			ar.err = err
+			return ar
+		}
+		ar.icosts = append(ar.icosts, ic)
+	}
+	return ar
+}
+
 // AnalyzeCtx is Analyze with cancellation: ctx threads into the
 // batched prewarm walk and the icost evaluations of every fragment,
 // so a long profiling run aborts mid-fragment when the caller's
 // deadline expires.
+//
+// Attempts are processed in waves of cfg.Workers: each wave's
+// fragments reconstruct and analyze concurrently, then fold into the
+// estimate strictly in attempt order — same skeleton draws, same
+// float summation order, same counters as a serial run, so the
+// estimate is bit-identical for any worker count.
 func (p *Profiler) AnalyzeCtx(ctx context.Context, focus breakdown.Category, cats []breakdown.Category) (*Estimate, error) {
 	r := rng.New(p.cfg.Seed).Derive("analyze")
 	est := &Estimate{Pct: map[string]float64{}, StdErr: map[string]float64{}}
@@ -60,46 +128,78 @@ func (p *Profiler) AnalyzeCtx(ctx context.Context, focus breakdown.Category, cat
 	perFrag := map[string][]float64{}
 	var base int64
 	maxAttempts := p.cfg.Fragments * 4
+	workers := p.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	for est.Fragments < p.cfg.Fragments && est.Attempts < maxAttempts {
-		est.Attempts++
-		g, err := p.BuildFragment(r)
-		if err != nil {
-			continue // inconsistent fragment discarded (step 2e)
+		wave := workers
+		if rem := maxAttempts - est.Attempts; wave > rem {
+			wave = rem
 		}
-		a := cost.New(g)
-		// Every cost and icost term this fragment needs, evaluated in
-		// one batched walk over the fragment graph instead of one
-		// scalar walk per term.
-		masks := make([]depgraph.Flags, 0, 2*len(cats))
-		for _, c := range cats {
-			masks = append(masks, c.Flags)
-			if c.Flags != focus.Flags {
-				masks = append(masks, focus.Flags|c.Flags)
+		// Skeleton draws happen up front, in attempt order, from the
+		// single analysis rng — concurrency never touches it.
+		idxs := make([]int, wave)
+		for k := range idxs {
+			idxs[k] = r.Intn(len(p.s.Sigs))
+		}
+		res := make([]attemptResult, wave)
+		if wave == 1 {
+			res[0] = p.runAttempt(ctx, idxs[0], focus, cats)
+		} else {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < wave; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						k := int(next.Add(1)) - 1
+						if k >= wave || ctx.Err() != nil {
+							return
+						}
+						res[k] = p.runAttempt(ctx, idxs[k], focus, cats)
+					}
+				}()
 			}
+			wg.Wait()
 		}
-		if err := a.PrewarmCtx(ctx, masks); err != nil {
-			return nil, err
-		}
-		base += a.BaseTime()
-		record := func(label string, cy int64) {
-			sums[label] += cy
-			perFrag[label] = append(perFrag[label],
-				100*float64(cy)/float64(a.BaseTime()))
-		}
-		for _, c := range cats {
-			record(c.Name, a.Cost(c.Flags))
-		}
-		for _, c := range cats {
-			if c.Flags == focus.Flags {
+		// Fold in attempt order; attempts past the fragment target are
+		// discarded whole, exactly as a serial run never starts them.
+		for k := 0; k < wave && est.Fragments < p.cfg.Fragments; k++ {
+			ar := &res[k]
+			est.Attempts++
+			p.applyCounters(ar.fc)
+			if ar.err != nil {
+				return nil, ar.err
+			}
+			if !ar.built {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				continue
 			}
-			ic, err := a.ICostCtx(ctx, focus.Flags, c.Flags)
-			if err != nil {
-				return nil, err
+			base += ar.base
+			record := func(label string, cy int64) {
+				sums[label] += cy
+				perFrag[label] = append(perFrag[label],
+					100*float64(cy)/float64(ar.base))
 			}
-			record(focus.Name+"+"+c.Name, ic)
+			ci := 0
+			for _, c := range cats {
+				record(c.Name, ar.costs[ci])
+				ci++
+			}
+			ii := 0
+			for _, c := range cats {
+				if c.Flags == focus.Flags {
+					continue
+				}
+				record(focus.Name+"+"+c.Name, ar.icosts[ii])
+				ii++
+			}
+			est.Fragments++
 		}
-		est.Fragments++
 	}
 	if est.Fragments == 0 {
 		return nil, fmt.Errorf("profiler: every fragment was inconsistent (%d attempts)", est.Attempts)

@@ -1,0 +1,49 @@
+package profiler
+
+import (
+	"testing"
+
+	"icost/internal/breakdown"
+	"icost/internal/depgraph"
+	"icost/internal/ooo"
+	"icost/internal/workload"
+)
+
+// BenchmarkProfilerAnalyze measures fragment reconstruction plus
+// per-fragment cost analysis — the shotgun profiler's post-mortem
+// software path. Samples are collected once outside the timed loop;
+// each iteration rebuilds and re-analyzes every fragment.
+func BenchmarkProfilerAnalyze(b *testing.B) {
+	w, err := workload.New("mcf", 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := w.MustExecute(8000, 8)
+	cfg := ooo.DefaultConfig()
+	res, err := ooo.Simulate(tr, cfg, ooo.Options{KeepGraph: true, Warmup: 2000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pcfg := DefaultConfig()
+	pcfg.Fragments = 12
+	s, err := Collect(tr, res.Graph, 2000, pcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cats := []breakdown.Category{
+		{Name: "dmiss", Flags: depgraph.IdealDMiss},
+		{Name: "bmisp", Flags: depgraph.IdealBMisp},
+		{Name: "win", Flags: depgraph.IdealWindow},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := New(w.Prog, cfg.Graph, s, pcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Analyze(cats[0], cats); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

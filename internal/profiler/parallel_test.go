@@ -1,0 +1,72 @@
+package profiler
+
+import (
+	"reflect"
+	"testing"
+
+	"icost/internal/breakdown"
+	"icost/internal/depgraph"
+	"icost/internal/ooo"
+	"icost/internal/workload"
+)
+
+// TestAnalyzeParallelBitIdentical pins the fold-in-attempt-order
+// guarantee: the full estimate — percentages, standard errors,
+// attempt/fragment counts, matched fraction — and the profiler's
+// reconstruction counters are bit-identical between a serial run and
+// a fanned-out one, because skeleton draws and float summation happen
+// in attempt order regardless of worker count.
+func TestAnalyzeParallelBitIdentical(t *testing.T) {
+	w, err := workload.New("gcc", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := w.Execute(9000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ooo.DefaultConfig()
+	res, err := ooo.Simulate(tr, cfg, ooo.Options{KeepGraph: true, Warmup: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats := []breakdown.Category{
+		{Name: "dmiss", Flags: depgraph.IdealDMiss},
+		{Name: "bmisp", Flags: depgraph.IdealBMisp},
+		{Name: "win", Flags: depgraph.IdealWindow},
+	}
+	pcfg := DefaultConfig()
+	pcfg.Fragments = 10
+
+	run := func(workers int) (*Estimate, *Profiler) {
+		c := pcfg
+		c.Workers = workers
+		s, err := Collect(tr, res.Graph, 2000, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := New(w.Prog, cfg.Graph, s, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := p.Analyze(cats[0], cats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est, p
+	}
+
+	serialEst, serialP := run(1)
+	for _, workers := range []int{2, 4, 7} {
+		est, p := run(workers)
+		if !reflect.DeepEqual(est, serialEst) {
+			t.Fatalf("workers=%d: estimate differs from serial:\n serial: %+v\n got:    %+v", workers, serialEst, est)
+		}
+		if p.Built != serialP.Built || p.Aborted != serialP.Aborted ||
+			p.Matched != serialP.Matched || p.Defaulted != serialP.Defaulted {
+			t.Fatalf("workers=%d: counters differ: serial %d/%d/%d/%d got %d/%d/%d/%d",
+				workers, serialP.Built, serialP.Aborted, serialP.Matched, serialP.Defaulted,
+				p.Built, p.Aborted, p.Matched, p.Defaulted)
+		}
+	}
+}

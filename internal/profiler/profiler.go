@@ -103,6 +103,11 @@ type Config struct {
 	SignatureBits int
 	// Seed drives sample phasing and skeleton selection.
 	Seed uint64
+	// Workers bounds the fragment fan-out of AnalyzeCtx: fragments
+	// are reconstructed and analyzed concurrently, then folded in
+	// attempt order so the estimate is bit-identical to a serial run.
+	// 0 means GOMAXPROCS; 1 forces serial processing.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's design points, scaled for traces
@@ -132,6 +137,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("profiler: Fragments must be >= 1")
 	case c.SignatureBits < 1 || c.SignatureBits > 2:
 		return fmt.Errorf("profiler: SignatureBits must be 1 or 2")
+	case c.Workers < 0:
+		return fmt.Errorf("profiler: Workers must be >= 0")
 	}
 	return nil
 }

@@ -48,14 +48,43 @@ func New(prog *program.Program, mcfg depgraph.Config, s *Samples, cfg Config) (*
 // errInconsistent aborts a fragment (Figure 5a step 2e).
 var errInconsistent = fmt.Errorf("profiler: inconsistent fragment")
 
+// fragCounters is the reconstruction-statistics delta of one
+// BuildFragment attempt, kept separate from the Profiler's running
+// totals so attempts can run concurrently and fold deterministically.
+type fragCounters struct {
+	built     int
+	aborted   int
+	matched   int
+	defaulted int
+}
+
+func (p *Profiler) applyCounters(fc fragCounters) {
+	p.Built += fc.built
+	p.Aborted += fc.aborted
+	p.Matched += fc.matched
+	p.Defaulted += fc.defaulted
+}
+
 // BuildFragment implements Figure 5a: select a random signature
 // sample as the skeleton and fill it with detailed samples. It
 // returns errInconsistent (wrapped) when the reconstruction walks an
 // impossible path.
 func (p *Profiler) BuildFragment(r *rng.Rand) (*depgraph.Graph, error) {
-	skel := &p.s.Sigs[r.Intn(len(p.s.Sigs))]
+	g, fc, err := p.buildFragmentAt(r.Intn(len(p.s.Sigs)))
+	p.applyCounters(fc)
+	return g, err
+}
+
+// buildFragmentAt is the pure reconstruction core: it builds the
+// fragment for skeleton skelIdx without touching the Profiler's
+// counters (the delta is returned instead), so concurrent attempts
+// don't race. The returned graph is pool-backed; whoever retires it
+// calls Release.
+func (p *Profiler) buildFragmentAt(skelIdx int) (*depgraph.Graph, fragCounters, error) {
+	var fc fragCounters
+	skel := &p.s.Sigs[skelIdx]
 	n := len(skel.Bits)
-	g := depgraph.New(p.mcfg, n)
+	g := depgraph.NewPooled(p.mcfg, n)
 
 	var lastWriter [isa.NumRegs]int32
 	for i := range lastWriter {
@@ -67,23 +96,25 @@ func (p *Profiler) BuildFragment(r *rng.Rand) (*depgraph.Graph, error) {
 	for i := 0; i < n; i++ {
 		in := p.prog.Lookup(pc)
 		if in == nil {
-			p.Aborted++
-			return nil, fmt.Errorf("%w: PC %#x outside binary", errInconsistent, uint64(pc))
+			fc.aborted++
+			g.Release()
+			return nil, fc, fmt.Errorf("%w: PC %#x outside binary", errInconsistent, uint64(pc))
 		}
 		sb := skel.Bits[i]
 
 		// Step 2e: impossible signature bits for this instruction
 		// type mean the walk left the path the signature recorded.
 		if sb&SigCtrlMem != 0 && !in.Op.IsMem() && !in.Op.IsBranch() {
-			p.Aborted++
-			return nil, fmt.Errorf("%w: bit1 set for %v at slot %d", errInconsistent, in.Op, i)
+			fc.aborted++
+			g.Release()
+			return nil, fc, fmt.Errorf("%w: bit1 set for %v at slot %d", errInconsistent, in.Op, i)
 		}
 
 		// Steps 2a-2b: best-matching detailed sample for this PC.
 		ds := p.bestSample(pc, skel.Bits, i)
 
 		// Step 2c: append this instruction's nodes and edges.
-		taken := p.fillRow(g, i, in, sb, ds)
+		taken := p.fillRow(g, i, in, sb, ds, &fc)
 
 		// Producers (PR edges) are inferred statically by scanning
 		// the reconstructed fragment for the last writer (Fig 5b:
@@ -111,13 +142,14 @@ func (p *Profiler) BuildFragment(r *rng.Rand) (*depgraph.Graph, error) {
 		// Step 2d: the next PC.
 		next, err := p.nextPC(in, taken, ds, &ras)
 		if err != nil {
-			p.Aborted++
-			return nil, err
+			fc.aborted++
+			g.Release()
+			return nil, fc, err
 		}
 		pc = next
 	}
-	p.Built++
-	return g, nil
+	fc.built++
+	return g, fc, nil
 }
 
 // bestSample returns the detailed sample for pc whose surrounding
@@ -154,7 +186,7 @@ func (p *Profiler) bestSample(pc isa.Addr, bits []SigBits, slot int) *DetailedSa
 // fillRow populates the fragment's row i from the matched sample (or
 // binary defaults when none exists) and returns the inferred branch
 // direction.
-func (p *Profiler) fillRow(g *depgraph.Graph, i int, in *isa.Inst, sb SigBits, ds *DetailedSample) bool {
+func (p *Profiler) fillRow(g *depgraph.Graph, i int, in *isa.Inst, sb SigBits, ds *DetailedSample, fc *fragCounters) bool {
 	taken := in.Op.IsBranch() && !in.Op.IsCondBranch() // unconditional transfers
 	if in.Op.IsCondBranch() {
 		// Direction from the signature (Fig 5a step 2d2): bit 1 set
@@ -162,7 +194,7 @@ func (p *Profiler) fillRow(g *depgraph.Graph, i int, in *isa.Inst, sb SigBits, d
 		taken = sb&SigCtrlMem != 0
 	}
 	if ds != nil {
-		p.Matched++
+		fc.matched++
 		info := ds.Info
 		info.Op = in.Op // the binary is authoritative for the opcode
 		info.SIdx = int32(p.prog.IndexOf(in.PC))
@@ -178,7 +210,7 @@ func (p *Profiler) fillRow(g *depgraph.Graph, i int, in *isa.Inst, sb SigBits, d
 	// No detailed sample (paper: <2% of instructions): infer what the
 	// binary offers and default the rest, guided by the signature's
 	// miss bit.
-	p.Defaulted++
+	fc.defaulted++
 	info := depgraph.InstInfo{Op: in.Op, SIdx: int32(p.prog.IndexOf(in.PC))}
 	if in.Op.IsMem() && sb&SigMiss != 0 {
 		info.DataLevel = cache.LevelL2

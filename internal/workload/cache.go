@@ -1,0 +1,75 @@
+package workload
+
+import "sync"
+
+// cachedMax bounds the process-wide workload cache. Benchmarks are a
+// handful of profiles times a handful of seeds; 16 covers every suite
+// in the repository with room to spare.
+const cachedMax = 16
+
+type cachedWorkload struct {
+	name string
+	seed uint64
+	w    *Workload
+}
+
+var (
+	cacheMu   sync.Mutex
+	cacheEnts []cachedWorkload // front = most recently used
+)
+
+// Cached returns the workload for (name, seed), generating it on
+// first use and serving later calls from a small process-wide LRU.
+// A Workload is immutable after generation — Execute and
+// ExecuteStream derive all per-run state from per-call rngs — so one
+// instance is safely shared across goroutines and across repeated
+// session builds, skipping the program-generation allocations that
+// otherwise dominate a cold build.
+func Cached(name string, seed uint64) (*Workload, error) {
+	if w := cacheGet(name, seed); w != nil {
+		return w, nil
+	}
+	// Generate outside the lock so concurrent builds of different
+	// benchmarks don't serialize; a racing duplicate is resolved by
+	// the re-check in cachePut.
+	w, err := New(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	return cachePut(name, seed, w), nil
+}
+
+func cacheGet(name string, seed uint64) *Workload {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	for i := range cacheEnts {
+		if cacheEnts[i].name == name && cacheEnts[i].seed == seed {
+			e := cacheEnts[i]
+			copy(cacheEnts[1:i+1], cacheEnts[:i])
+			cacheEnts[0] = e
+			return e.w
+		}
+	}
+	return nil
+}
+
+// cachePut inserts w at the front unless a racing generator already
+// published an entry, in which case that canonical copy wins.
+func cachePut(name string, seed uint64, w *Workload) *Workload {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	for i := range cacheEnts {
+		if cacheEnts[i].name == name && cacheEnts[i].seed == seed {
+			e := cacheEnts[i]
+			copy(cacheEnts[1:i+1], cacheEnts[:i])
+			cacheEnts[0] = e
+			return e.w
+		}
+	}
+	if len(cacheEnts) < cachedMax {
+		cacheEnts = append(cacheEnts, cachedWorkload{})
+	}
+	copy(cacheEnts[1:], cacheEnts)
+	cacheEnts[0] = cachedWorkload{name: name, seed: seed, w: w}
+	return w
+}

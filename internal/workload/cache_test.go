@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func resetCache() {
+	cacheMu.Lock()
+	cacheEnts = nil
+	cacheMu.Unlock()
+}
+
+// TestCachedReuses pins the cache contract: the same (name, seed)
+// yields the same *Workload instance, different keys yield different
+// ones, and the shared instance executes identically to a fresh one.
+func TestCachedReuses(t *testing.T) {
+	resetCache()
+	defer resetCache()
+	a, err := Cached("mcf", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cached("mcf", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same key returned distinct workloads")
+	}
+	c, err := Cached("mcf", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatalf("different seed returned the cached workload")
+	}
+	fresh, err := New("mcf", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Execute(500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Execute(500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Insts, want.Insts) {
+		t.Fatalf("cached workload executes differently from a fresh one")
+	}
+	if _, err := Cached("no-such-bench", 1); err == nil {
+		t.Fatalf("unknown benchmark did not error")
+	}
+}
+
+// TestCachedEvicts checks the LRU bound: after inserting more keys
+// than the cache holds, the oldest key regenerates (new instance)
+// while a recently-used one is still served from cache.
+func TestCachedEvicts(t *testing.T) {
+	resetCache()
+	defer resetCache()
+	first, err := Cached("mcf", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := uint64(2); s <= cachedMax; s++ {
+		if _, err := Cached("mcf", s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch the first key, then push one past capacity: seed 1 must
+	// survive (recently used) and seed 2 must have been evicted.
+	if w, _ := Cached("mcf", 1); w != first {
+		t.Fatalf("seed 1 evicted while most recently used")
+	}
+	second, err := Cached("mcf", cachedMax+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := Cached("mcf", 1); w != first {
+		t.Fatalf("seed 1 evicted; want LRU to drop the oldest key")
+	}
+	if w, _ := Cached("mcf", cachedMax+1); w != second {
+		t.Fatalf("newest key not retained")
+	}
+	cacheMu.Lock()
+	n := len(cacheEnts)
+	cacheMu.Unlock()
+	if n != cachedMax {
+		t.Fatalf("cache holds %d entries, want %d", n, cachedMax)
+	}
+}
+
+// TestCachedConcurrent hammers one key from many goroutines; every
+// caller must observe some valid workload and the cache must converge
+// to a single canonical instance.
+func TestCachedConcurrent(t *testing.T) {
+	resetCache()
+	defer resetCache()
+	var wg sync.WaitGroup
+	got := make([]*Workload, 8)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w, err := Cached("gcc", 3)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = w
+		}(i)
+	}
+	wg.Wait()
+	canon, err := Cached("gcc", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range got {
+		if w == nil {
+			t.Fatalf("goroutine %d got nil workload", i)
+		}
+		if w.Prog.Len() != canon.Prog.Len() {
+			t.Fatalf("goroutine %d got inconsistent workload", i)
+		}
+	}
+}

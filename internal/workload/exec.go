@@ -28,6 +28,23 @@ func (w *Workload) Execute(n int, seed uint64) (*trace.Trace, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("workload %s: non-positive trace length %d", w.Prof.Name, n)
 	}
+	insts, err := w.executeInto(make([]trace.DynInst, 0, n), n, seed, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &trace.Trace{Prog: w.Prog, Insts: insts, Name: w.Prof.Name}, nil
+}
+
+// executeInto runs the interpreter loop, appending n dynamic
+// instructions to insts (which must have capacity for them — the
+// backing array is never reallocated, so emitted windows stay valid).
+// When emit is non-nil it is called with each completed half-open
+// index range [lo, hi) every segLen instructions and once for the
+// final partial segment; a non-nil emit error aborts generation.
+// Both Execute and ExecuteStream run through here, which is what
+// makes the streamed trace bit-identical to the monolithic one.
+func (w *Workload) executeInto(insts []trace.DynInst, n int, seed uint64,
+	segLen int, emit func(lo, hi int) error) ([]trace.DynInst, error) {
 	base := rng.New(seed)
 	rb := base.Derive("branch:" + w.Prof.Name)
 	ra := base.Derive("addr:" + w.Prof.Name)
@@ -47,7 +64,7 @@ func (w *Workload) Execute(n int, seed uint64) (*trace.Trace, error) {
 		st.chasePos[i] = ra.Uint64() % uint64(coldBytes-accessAlign)
 	}
 
-	insts := make([]trace.DynInst, 0, n)
+	emitted := 0 // insts index up to which segments have been emitted
 	si := 0
 	for len(insts) < n {
 		in := w.Prog.At(si)
@@ -100,8 +117,19 @@ func (w *Workload) Execute(n int, seed uint64) (*trace.Trace, error) {
 			return nil, fmt.Errorf("workload %s: control left the program at %v", w.Prof.Name, in)
 		}
 		si = next
+		if emit != nil && len(insts)-emitted >= segLen {
+			if err := emit(emitted, len(insts)); err != nil {
+				return nil, err
+			}
+			emitted = len(insts)
+		}
 	}
-	return &trace.Trace{Prog: w.Prog, Insts: insts, Name: w.Prof.Name}, nil
+	if emit != nil && len(insts) > emitted {
+		if err := emit(emitted, len(insts)); err != nil {
+			return nil, err
+		}
+	}
+	return insts, nil
 }
 
 // MustExecute is Execute that panics on error.

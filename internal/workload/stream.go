@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+
+	"icost/internal/trace"
+)
+
+// DefaultSegLen is the segment granularity of ExecuteStream when the
+// caller passes segLen <= 0: large enough to amortize channel
+// handoffs, small enough that the consumer starts simulating long
+// before generation finishes.
+const DefaultSegLen = 1024
+
+// streamBuffer is the segment-channel depth: a few segments of slack
+// so neither stage stalls on momentary speed differences.
+const streamBuffer = 4
+
+// ExecuteStream is Execute as a pipeline stage: it starts a producer
+// goroutine interpreting the workload and returns a trace.Stream
+// whose segments arrive while generation is still running. The
+// dynamic stream is bit-identical to Execute(n, seed) — both run the
+// same interpreter core — and lands in one pooled backing array
+// (trace.AcquireInsts); the completed trace owns it, and whoever
+// retires the trace may hand it back via trace.ReleaseInsts.
+//
+// The producer stops when ctx is canceled; the consumer then sees C
+// close with Err() = ctx.Err(). Callers that abandon the stream early
+// must cancel ctx, or the producer blocks forever on a full channel.
+func (w *Workload) ExecuteStream(ctx context.Context, n int, seed uint64, segLen int) (*trace.Stream, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload %s: non-positive trace length %d", w.Prof.Name, n)
+	}
+	if segLen <= 0 {
+		segLen = DefaultSegLen
+	}
+	st, wr := trace.NewStream(w.Prog, w.Prof.Name, n, streamBuffer)
+	go func() {
+		backing := trace.AcquireInsts(n)
+		insts, err := w.executeInto(backing, n, seed, segLen, func(lo, hi int) error {
+			return wr.Send(ctx, trace.Segment{Base: lo, Insts: backing[lo:hi:hi]})
+		})
+		if err != nil {
+			wr.Close(nil, err)
+			return
+		}
+		wr.Close(&trace.Trace{Prog: w.Prog, Insts: insts, Name: w.Prof.Name}, nil)
+	}()
+	return st, nil
+}
+
+// OpenStream is Load as a pipeline stage: it generates benchmark name
+// with the given seed and streams n executed instructions, with the
+// same seed derivation as Load (execution seed = seed+1).
+func OpenStream(ctx context.Context, name string, seed uint64, n, segLen int) (*trace.Stream, error) {
+	w, err := New(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	return w.ExecuteStream(ctx, n, seed+1, segLen)
+}
