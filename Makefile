@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-batch bench-cold fuzz fmt vet lint ci
+.PHONY: build test race bench bench-batch bench-cold chaos fuzz fmt vet lint ci
 
 # Seconds-per-target budget for the fuzz smoke; CI uses the default.
 FUZZTIME ?= 5s
@@ -42,6 +42,13 @@ bench-cold:
 	$(GO) test -run='^$$' -bench=BenchmarkMultisimBreakdown -benchmem -benchtime=$(COLD_BENCHTIME) ./internal/multisim/
 	$(GO) test -run='^$$' -bench=BenchmarkProfilerAnalyze -benchmem -benchtime=$(COLD_BENCHTIME) ./internal/profiler/
 
+# chaos: the fault-injection suite (internal/faultinject + every
+# TestChaos* test) under the race detector. Seeded fault plans make a
+# failure replayable: rerun with the seed from the failure log.
+chaos:
+	$(GO) test -race ./internal/faultinject/
+	$(GO) test -race -run='TestChaos' ./internal/engine/ ./cmd/icostd/
+
 # fuzz smoke: FUZZTIME per fuzz target (override: make fuzz FUZZTIME=1m).
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadTrace -fuzztime=$(FUZZTIME) ./internal/trace/
@@ -60,4 +67,4 @@ vet:
 lint: vet
 	$(GO) run ./cmd/icostvet ./...
 
-ci: fmt lint build race bench
+ci: fmt lint build race chaos bench

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"icost/internal/faultinject"
+)
+
+func TestParseFaultSpec(t *testing.T) {
+	rules, err := parseFaultSpec("engine.build:err*1, icostd.query:lat=50ms%0.1, depgraph.walk:cancel@100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("got %d rules, want 3", len(rules))
+	}
+
+	r := rules[0]
+	if r.Point != faultinject.EngineBuild || r.Err == nil || r.Count != 1 || r.After != 0 || r.Prob != 0 {
+		t.Fatalf("rule 0 = %+v", r)
+	}
+	r = rules[1]
+	if r.Point != faultinject.DaemonQuery || r.Latency != 50*time.Millisecond || r.Prob != 0.1 || r.Err != nil {
+		t.Fatalf("rule 1 = %+v", r)
+	}
+	r = rules[2]
+	if r.Point != faultinject.GraphWalk || !r.Cancel || r.After != 100 || r.Count != 0 {
+		t.Fatalf("rule 2 = %+v", r)
+	}
+}
+
+func TestParseFaultSpecModifierOrder(t *testing.T) {
+	// Modifiers may appear in any order after the action.
+	for _, spec := range []string{
+		"workload.gen:err*3@2%0.25",
+		"workload.gen:err%0.25@2*3",
+		"workload.gen:err@2%0.25*3",
+	} {
+		rules, err := parseFaultSpec(spec)
+		if err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		r := rules[0]
+		if r.Count != 3 || r.After != 2 || r.Prob != 0.25 || r.Err == nil {
+			t.Fatalf("%q parsed to %+v", spec, r)
+		}
+	}
+}
+
+func TestParseFaultSpecRejects(t *testing.T) {
+	cases := map[string]string{
+		"":                        "empty",
+		"   , ,  ":                "empty",
+		"engine.build":            "missing ':'",
+		"nosuch.point:err":        "unknown point",
+		"engine.build:zap":        "unknown action",
+		"engine.build:err%0":      "probability",
+		"engine.build:err%1.5":    "probability",
+		"engine.build:err%zap":    "probability",
+		"engine.build:err@-1":     "@after",
+		"engine.build:err*0":      "count",
+		"engine.build:lat=zap":    "latency",
+		"engine.build:lat=-5ms":   "latency",
+		"icostd.query:lat=":       "latency",
+		"engine.build:err,bad":    "missing ':'",
+		"engine.build:cancel@zap": "@after",
+	}
+	for spec, wantSub := range cases {
+		if _, err := parseFaultSpec(spec); err == nil {
+			t.Errorf("%q accepted", spec)
+		} else if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("%q: error %q does not mention %q", spec, err, wantSub)
+		}
+	}
+}
+
+// TestParseFaultSpecUnknownPointListsKnown: the error for a typo'd
+// point must name the valid ones, so the operator is one read away
+// from the fix.
+func TestParseFaultSpecUnknownPointListsKnown(t *testing.T) {
+	_, err := parseFaultSpec("engine.biuld:err")
+	if err == nil {
+		t.Fatal("typo accepted")
+	}
+	for _, pt := range faultinject.Points() {
+		if !strings.Contains(err.Error(), string(pt)) {
+			t.Fatalf("error %q does not list point %s", err, pt)
+		}
+	}
+}

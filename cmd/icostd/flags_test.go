@@ -24,13 +24,16 @@ func TestFlagAudit(t *testing.T) {
 		def   string
 		usage string // substring the help text must contain
 	}{
-		"addr":     {":8090", "listen address"},
-		"workers":  {fmt.Sprint(runtime.GOMAXPROCS(0)), "GOMAXPROCS"},
-		"queue":    {"0", "queue depth"},
-		"cache-mb": {"64", "MiB"},
-		"sessions": {"8", "sessions"},
-		"preload":  {"", "benchmarks"},
-		"pprof":    {"false", "/debug/pprof/"},
+		"addr":          {":8090", "listen address"},
+		"workers":       {fmt.Sprint(runtime.GOMAXPROCS(0)), "GOMAXPROCS"},
+		"queue":         {"0", "queue depth"},
+		"cache-mb":      {"64", "MiB"},
+		"sessions":      {"8", "sessions"},
+		"preload":       {"", "benchmarks"},
+		"pprof":         {"false", "/debug/pprof/"},
+		"query-timeout": {"30s", "deadline"},
+		"faults":        {"", "fault-injection"},
+		"fault-seed":    {"1", "seed"},
 	}
 	got := map[string]bool{}
 	fs.VisitAll(func(f *flag.Flag) {
@@ -72,7 +75,7 @@ func TestPprofEndpoints(t *testing.T) {
 	e := engine.New(engine.Config{Workers: 1})
 	defer e.Close()
 
-	on := httptest.NewServer(newHandler(e, true))
+	on := httptest.NewServer(newHandler(e, true, nil))
 	defer on.Close()
 	resp, err := http.Get(on.URL + "/debug/pprof/")
 	if err != nil {
@@ -83,7 +86,7 @@ func TestPprofEndpoints(t *testing.T) {
 		t.Fatalf("pprof enabled: index returned %d", resp.StatusCode)
 	}
 
-	off := httptest.NewServer(newHandler(e, false))
+	off := httptest.NewServer(newHandler(e, false, nil))
 	defer off.Close()
 	resp, err = http.Get(off.URL + "/debug/pprof/")
 	if err != nil {

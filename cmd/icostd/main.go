@@ -10,17 +10,20 @@
 //
 //	icostd [-addr :8090] [-workers n] [-queue depth] [-cache-mb mb]
 //	       [-sessions n] [-preload bench1,bench2,...] [-pprof]
+//	       [-query-timeout 30s] [-faults spec] [-fault-seed n]
 //
 // Endpoints:
 //
 //	POST /query         JSON engine.Query -> JSON engine.Response
 //	GET  /metrics       engine counters, gauges and latency quantiles
 //	GET  /healthz       liveness + uptime
+//	GET  /readyz        readiness (503 while draining at shutdown)
 //	GET  /debug/pprof/  Go runtime profiles (only with -pprof)
 //
 // A full queue returns 429 with a Retry-After header (backpressure,
 // never unbounded buffering). SIGINT/SIGTERM drain in-flight queries
-// before exit. See README.md "Analysis service" for a curl session.
+// before exit; a second signal during the drain forces immediate
+// shutdown. See README.md "Analysis service" for a curl session.
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -37,10 +41,12 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"icost/internal/engine"
+	"icost/internal/faultinject"
 )
 
 func main() {
@@ -49,13 +55,16 @@ func main() {
 
 // options holds the daemon's parsed flags.
 type options struct {
-	addr     string
-	workers  int
-	queue    int
-	cacheMB  int
-	sessions int
-	preload  string
-	pprof    bool
+	addr         string
+	workers      int
+	queue        int
+	cacheMB      int
+	sessions     int
+	preload      string
+	pprof        bool
+	queryTimeout time.Duration
+	faults       string
+	faultSeed    uint64
 }
 
 // defineFlags registers every daemon flag on fs. Separated from run
@@ -72,6 +81,12 @@ func defineFlags(fs *flag.FlagSet) *options {
 	fs.StringVar(&o.preload, "preload", "", "comma-separated benchmarks to build at startup")
 	fs.BoolVar(&o.pprof, "pprof", false,
 		"serve Go runtime profiles under /debug/pprof/ (off by default)")
+	fs.DurationVar(&o.queryTimeout, "query-timeout", 30*time.Second,
+		"server-side deadline per query once dequeued (0 = unlimited)")
+	fs.StringVar(&o.faults, "faults", "",
+		"fault-injection spec, e.g. engine.build:err%0.5,icostd.query:lat=50ms (testing only)")
+	fs.Uint64Var(&o.faultSeed, "fault-seed", 1,
+		"seed for probabilistic fault injection (replayable)")
 	return o
 }
 
@@ -93,12 +108,27 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		fmt.Fprintln(stderr, "icostd: -workers must be >= 1")
 		return 2
 	}
+	if o.queryTimeout < 0 {
+		fmt.Fprintln(stderr, "icostd: -query-timeout must be >= 0")
+		return 2
+	}
+	if o.faults != "" {
+		rules, err := parseFaultSpec(o.faults)
+		if err != nil {
+			fmt.Fprintln(stderr, "icostd: -faults:", err)
+			return 2
+		}
+		faultinject.Enable(o.faultSeed, rules...)
+		defer faultinject.Disable()
+		fmt.Fprintf(stdout, "icostd: fault injection ENABLED (seed %d): %s\n", o.faultSeed, o.faults)
+	}
 
 	e := engine.New(engine.Config{
-		Workers:     o.workers,
-		QueueDepth:  o.queue,
-		CacheBytes:  int64(o.cacheMB) << 20,
-		MaxSessions: o.sessions,
+		Workers:      o.workers,
+		QueueDepth:   o.queue,
+		CacheBytes:   int64(o.cacheMB) << 20,
+		MaxSessions:  o.sessions,
+		QueryTimeout: o.queryTimeout,
 	})
 
 	if o.preload != "" {
@@ -114,14 +144,21 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		}
 	}
 
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "icostd:", err)
+		e.Close()
+		return 1
+	}
+	ready := &atomic.Bool{}
+	ready.Store(true)
 	srv := &http.Server{
-		Addr:              o.addr,
-		Handler:           newHandler(e, o.pprof),
+		Handler:           newHandler(e, o.pprof, ready),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Fprintf(stdout, "icostd: serving on %s (%d workers)\n", o.addr, e.Metrics().Workers)
+	go func() { errCh <- srv.Serve(ln) }()
+	fmt.Fprintf(stdout, "icostd: serving on %s (%d workers)\n", ln.Addr(), e.Metrics().Workers)
 
 	if sig == nil {
 		ch := make(chan os.Signal, 1)
@@ -136,11 +173,26 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 	case <-sig:
 	}
 
+	// Graceful drain: flip readiness so load balancers stop routing
+	// here, then give in-flight queries up to 30s. A second signal
+	// during the drain skips the wait and severs connections.
+	ready.Store(false)
 	fmt.Fprintln(stdout, "icostd: shutting down, draining in-flight queries")
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
-		fmt.Fprintln(stderr, "icostd: shutdown:", err)
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(ctx) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(stderr, "icostd: shutdown:", err)
+		}
+	case <-sig:
+		fmt.Fprintln(stdout, "icostd: second signal, forcing immediate shutdown")
+		if err := srv.Close(); err != nil {
+			fmt.Fprintln(stderr, "icostd: close:", err)
+		}
+		<-done
 	}
 	e.Close()
 	return 0
@@ -149,8 +201,9 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 // newHandler builds the daemon's routing table over an engine. With
 // pprofOn the Go runtime's profiling handlers are mounted under
 // /debug/pprof/ — off by default, since profiles expose internals no
-// production query endpoint should.
-func newHandler(e *engine.Engine, pprofOn bool) http.Handler {
+// production query endpoint should. ready gates /readyz (nil means
+// always ready, for tests that only exercise routing).
+func newHandler(e *engine.Engine, pprofOn bool, ready *atomic.Bool) http.Handler {
 	mux := http.NewServeMux()
 	if pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -169,6 +222,12 @@ func newHandler(e *engine.Engine, pprofOn bool) http.Handler {
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&q); err != nil {
 			httpError(w, http.StatusBadRequest, "bad query JSON: "+err.Error())
+			return
+		}
+		// Fault hook: handler-level failure after decode, before the
+		// engine — models a dying front end rather than a bad engine.
+		if err := faultinject.Hit(r.Context(), faultinject.DaemonQuery); err != nil {
+			writeQueryError(w, err)
 			return
 		}
 		resp, err := e.Query(r.Context(), q)
@@ -190,15 +249,29 @@ func newHandler(e *engine.Engine, pprofOn bool) http.Handler {
 			"in_flight":      m.InFlight,
 		})
 	})
+	// Liveness (/healthz, above) and readiness are deliberately
+	// separate: during the shutdown drain the process is still alive —
+	// restarting it would kill the very queries it is draining — but
+	// it must stop receiving new traffic.
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if ready != nil && !ready.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	})
 	return mux
 }
 
 // writeQueryError maps engine errors onto HTTP semantics: typed
 // backpressure becomes 429 + Retry-After, deadline expiry 504,
-// client disconnect 499 (nginx convention), closed engine 503, and
-// anything else — overwhelmingly validation — 400.
+// client disconnect 499 (nginx convention), closed engine 503,
+// malformed queries (the engine's typed validation error) 400, and
+// any unclassified failure — a broken build, an internal fault — 500,
+// so server-side trouble is never misreported as the client's.
 func writeQueryError(w http.ResponseWriter, err error) {
 	var full *engine.QueueFullError
+	var bad *engine.ValidationError
 	switch {
 	case errors.As(err, &full):
 		secs := int(full.RetryAfter.Seconds() + 0.5)
@@ -213,8 +286,10 @@ func writeQueryError(w http.ResponseWriter, err error) {
 		httpError(w, 499, err.Error())
 	case errors.Is(err, engine.ErrClosed):
 		httpError(w, http.StatusServiceUnavailable, err.Error())
-	default:
+	case errors.As(err, &bad):
 		httpError(w, http.StatusBadRequest, err.Error())
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
 	}
 }
 

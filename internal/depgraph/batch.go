@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"icost/internal/cache"
+	"icost/internal/faultinject"
 )
 
 // batchWidth is the number of idealization lanes carried by one
@@ -141,6 +142,13 @@ func (g *Graph) EvalBatch(ctx context.Context, ids []Ideal) ([]int64, error) {
 	out := make([]int64, len(ids))
 	if len(ids) == 0 || n == 0 {
 		return out, nil
+	}
+	// Fault hook: one per batched walk, cancellable walks only (the
+	// uncancellable-by-contract prewarm paths pass a Done-less ctx).
+	if ctx.Done() != nil {
+		if err := faultinject.Hit(ctx, faultinject.GraphWalk); err != nil {
+			return nil, err
+		}
 	}
 	chunks := (len(ids) + batchWidth - 1) / batchWidth
 	workers := runtime.GOMAXPROCS(0)

@@ -39,6 +39,7 @@ import (
 	"sync"
 
 	"icost/internal/cache"
+	"icost/internal/faultinject"
 	"icost/internal/isa"
 )
 
@@ -443,6 +444,14 @@ func (g *Graph) runCtx(ctx context.Context, id Ideal) (*Times, error) {
 // (the simulator computes these same maxima while arbitrating). The
 // pass aborts with ctx.Err() if ctx is done.
 func (g *Graph) runInto(ctx context.Context, id Ideal, t *Times) error {
+	// Fault hook: fires only on cancellable walks (ctx with a Done
+	// channel); the infallible background-context wrappers are exempt
+	// by contract — their callers are promised no error, ever.
+	if ctx.Done() != nil {
+		if err := faultinject.Hit(ctx, faultinject.GraphWalk); err != nil {
+			return err
+		}
+	}
 	n := g.Len()
 	cfg := &g.Cfg
 	for i := 0; i < n; i++ {

@@ -9,7 +9,11 @@ package depgraph
 // free, which is the paper's "de-optimization" use case for
 // zero-cost events (Section 1).
 
-import "context"
+import (
+	"context"
+
+	"icost/internal/faultinject"
+)
 
 // Latest holds, for every node, the latest time it can occur without
 // extending total execution time. By construction Latest >= the
@@ -80,6 +84,13 @@ func (g *Graph) LatestTimesCtx(ctx context.Context, id Ideal) (*Times, *Latest, 
 // Len() long; every element is initialized here, so pooled scratch
 // needs no zeroing.
 func (g *Graph) latestInto(ctx context.Context, id Ideal, t *Times, l *Latest) error {
+	// Fault hook: backward-pass walks, cancellable contexts only (see
+	// runInto).
+	if ctx.Done() != nil {
+		if err := faultinject.Hit(ctx, faultinject.GraphWalk); err != nil {
+			return err
+		}
+	}
 	n := g.Len()
 	for i := 0; i < n; i++ {
 		l.D[i], l.R[i], l.E[i], l.P[i], l.C[i] = inf, inf, inf, inf, inf

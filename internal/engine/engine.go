@@ -31,6 +31,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"icost/internal/faultinject"
 )
 
 // Config sizes the engine. Zero fields take defaults.
@@ -48,6 +50,25 @@ type Config struct {
 	// RetryAfter is the hint carried by queue-full rejections
 	// (default 1s).
 	RetryAfter time.Duration
+	// QueryTimeout bounds each query's server-side execution (session
+	// build plus graph walks), measured from the moment a worker picks
+	// the job up and independent of the client's own context — a
+	// wedged walk cannot hold a worker forever. Zero disables the
+	// deadline.
+	QueryTimeout time.Duration
+	// BuildRetries is how many times a failed session build is
+	// retried before the failure is reported (default 2; negative
+	// disables retries). Cancellation is never retried.
+	BuildRetries int
+	// BuildRetryBackoff is the base delay of the capped exponential
+	// backoff between build retries: attempt k waits base<<k, capped
+	// at base<<3 (default base 10ms).
+	BuildRetryBackoff time.Duration
+	// BuildFailTTL is how long a failed build is remembered: until it
+	// expires, queries for the same session share the cached failure
+	// instead of stampeding into fresh build attempts (default 1s;
+	// negative drops failures immediately).
+	BuildFailTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +86,19 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.BuildRetries == 0 {
+		c.BuildRetries = 2
+	} else if c.BuildRetries < 0 {
+		c.BuildRetries = 0
+	}
+	if c.BuildRetryBackoff <= 0 {
+		c.BuildRetryBackoff = 10 * time.Millisecond
+	}
+	if c.BuildFailTTL == 0 {
+		c.BuildFailTTL = time.Second
+	} else if c.BuildFailTTL < 0 {
+		c.BuildFailTTL = 0
 	}
 	return c
 }
@@ -113,6 +147,14 @@ type flight struct {
 	done chan struct{}
 	resp *Response
 	err  error
+	// jctx is the detached computation context: it inherits the first
+	// caller's values but not its cancellation, so a leader that gives
+	// up cannot poison followers still waiting on the shared result.
+	// cancel fires only when the last waiter leaves (leaveFlight) —
+	// the one moment nobody wants the result anymore.
+	jctx    context.Context
+	cancel  context.CancelFunc
+	waiters int // guarded by Engine.flightMu
 }
 
 type job struct {
@@ -200,21 +242,37 @@ func (e *Engine) Query(ctx context.Context, q Query) (*Response, error) {
 	e.met.cacheMisses.Add(1)
 
 	// Single-flight: join an identical in-progress query if one
-	// exists, otherwise become the leader and enqueue.
+	// exists, otherwise become the leader and enqueue. The shared
+	// computation runs under a context detached from the leader's
+	// (values survive, cancellation does not): it is canceled only
+	// when every waiter has left, so a leader cancel with live
+	// followers lets the computation finish and the followers get the
+	// result.
 	e.flightMu.Lock()
 	fl, leader := e.flight[qkey], false
 	if fl == nil {
-		fl = &flight{done: make(chan struct{})}
+		dctx, dcancel := context.WithCancel(context.WithoutCancel(ctx))
+		fl = &flight{
+			done:    make(chan struct{}),
+			jctx:    faultinject.Register(dctx, dcancel),
+			cancel:  dcancel,
+			waiters: 1,
+		}
 		e.flight[qkey] = fl
 		leader = true
+	} else {
+		fl.waiters++
 	}
 	e.flightMu.Unlock()
+	defer e.leaveFlight(qkey, fl)
 
 	if leader {
-		j := &job{ctx: ctx, q: q, qkey: qkey, skey: skey, fl: fl}
+		j := &job{ctx: fl.jctx, q: q, qkey: qkey, skey: skey, fl: fl}
 		if err := e.submit(j); err != nil {
 			e.flightMu.Lock()
-			delete(e.flight, qkey)
+			if e.flight[qkey] == fl {
+				delete(e.flight, qkey)
+			}
 			e.flightMu.Unlock()
 			fl.err = err   // publish before waking followers
 			close(fl.done) // wake followers; they observe fl.err
@@ -231,9 +289,8 @@ func (e *Engine) Query(ctx context.Context, q Query) (*Response, error) {
 		return nil, ctx.Err()
 	}
 	if fl.err != nil {
-		// Followers share the leader's outcome, including a
-		// leader-context cancellation that aborted the shared
-		// computation.
+		// All waiters share the computation's outcome: a build
+		// failure, an injected fault, or a server-side timeout.
 		return nil, fl.err
 	}
 	e.met.queries.Add(1)
@@ -241,6 +298,24 @@ func (e *Engine) Query(ctx context.Context, q Query) (*Response, error) {
 	resp.Elapsed = time.Since(start)
 	e.met.latency.record(resp.Elapsed)
 	return &resp, nil
+}
+
+// leaveFlight signs one waiter off a shared computation. The last
+// waiter out cancels the detached job context — with nobody left to
+// receive the result the computation is pure waste — and removes the
+// flight so a later identical query starts fresh rather than joining
+// a doomed one.
+func (e *Engine) leaveFlight(qkey string, fl *flight) {
+	e.flightMu.Lock()
+	fl.waiters--
+	last := fl.waiters == 0
+	if last && e.flight[qkey] == fl {
+		delete(e.flight, qkey)
+	}
+	e.flightMu.Unlock()
+	if last {
+		fl.cancel()
+	}
 }
 
 // Warm builds (or refreshes) a session without running an analysis
@@ -255,6 +330,9 @@ func (e *Engine) Warm(ctx context.Context, spec SessionSpec) (string, error) {
 
 // submit enqueues a job, applying backpressure.
 func (e *Engine) submit(j *job) error {
+	if err := faultinject.Hit(j.ctx, faultinject.EngineAdmit); err != nil {
+		return err
+	}
 	e.submitMu.RLock()
 	defer e.submitMu.RUnlock()
 	if e.closed {
@@ -275,10 +353,26 @@ func (e *Engine) worker() {
 		if e.onJobStart != nil {
 			e.onJobStart()
 		}
-		resp, err := e.run(j)
+		// The server-side deadline starts when a worker picks the job
+		// up, not when it was queued: queue time is governed by
+		// backpressure, the deadline by the compute budget.
+		ctx := j.ctx
+		var tcancel context.CancelFunc
+		if e.cfg.QueryTimeout > 0 {
+			ctx, tcancel = context.WithTimeout(ctx, e.cfg.QueryTimeout)
+		}
+		resp, err := e.run(ctx, j)
+		if tcancel != nil {
+			if err != nil && ctx.Err() == context.DeadlineExceeded && j.ctx.Err() == nil {
+				e.met.queryTimeouts.Add(1)
+			}
+			tcancel()
+		}
 		j.fl.resp, j.fl.err = resp, err
 		e.flightMu.Lock()
-		delete(e.flight, j.qkey)
+		if e.flight[j.qkey] == j.fl {
+			delete(e.flight, j.qkey)
+		}
 		e.flightMu.Unlock()
 		close(j.fl.done)
 		e.met.inFlight.Add(-1)
@@ -286,22 +380,26 @@ func (e *Engine) worker() {
 }
 
 // run executes one job: resolve or build the session, then compute.
-func (e *Engine) run(j *job) (*Response, error) {
-	if err := j.ctx.Err(); err != nil {
+func (e *Engine) run(ctx context.Context, j *job) (*Response, error) {
+	if err := ctx.Err(); err != nil {
 		e.met.canceled.Add(1)
 		return nil, err
 	}
-	s, err := e.sessionFor(j.ctx, j.skey, j.q.Session)
+	s, err := e.sessionFor(ctx, j.skey, j.q.Session)
 	if err != nil {
 		e.countErr(err)
 		return nil, err
 	}
-	resp, err := execute(j.ctx, j.q, s)
+	resp, err := execute(ctx, j.q, s)
 	if err != nil {
 		e.countErr(err)
 		return nil, err
 	}
-	e.results.put(j.qkey, resp)
+	// The result cache is an optimization: a faulted put costs a
+	// future recomputation, never the answer in hand.
+	if err := faultinject.Hit(ctx, faultinject.EngineCachePut); err == nil {
+		e.results.put(j.qkey, resp)
+	}
 	return resp, nil
 }
 
@@ -314,29 +412,40 @@ func (e *Engine) countErr(err error) {
 }
 
 // sessionFor returns the built session for key, building it at most
-// once per store residency regardless of how many queries race.
+// once per store residency regardless of how many queries race. A
+// failed build is remembered for BuildFailTTL: until it expires,
+// queries for the same session share the cached failure instead of
+// stampeding into fresh build attempts.
 func (e *Engine) sessionFor(ctx context.Context, key string, spec SessionSpec) (*session, error) {
 	e.storeMu.Lock()
-	entry, builder := e.store.entry(key)
+	entry, builder := e.store.entry(key, time.Now())
 	e.storeMu.Unlock()
 
 	if builder {
-		s, err := build(ctx, spec, &e.met)
+		s, err := e.buildWithRetry(ctx, spec)
 		if err == nil {
 			// Attach before the session is published: every batched
 			// walk the analyzer issues feeds the size histogram.
 			s.analyzer.SetBatchObserver(e.met.recordBatch)
 		}
 		entry.sess, entry.err = s, err
-		close(entry.ready)
 		e.storeMu.Lock()
 		if err != nil {
-			e.store.drop(key) // let a later query retry the build
+			e.met.buildFailures.Add(1)
+			ttl := e.cfg.BuildFailTTL
+			if ttl > 0 && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+				entry.expires = time.Now().Add(ttl)
+			} else {
+				// A canceled build says nothing about the session;
+				// drop it so the next query rebuilds immediately.
+				e.store.drop(key)
+			}
 		} else {
 			e.met.sessionsBuilt.Add(1)
 			e.met.sessionsEvicted.Add(int64(e.store.evict()))
 		}
 		e.storeMu.Unlock()
+		close(entry.ready)
 		return s, err
 	}
 	select {
@@ -347,6 +456,42 @@ func (e *Engine) sessionFor(ctx context.Context, key string, spec SessionSpec) (
 	}
 }
 
+// buildWithRetry runs the session build, retrying transient failures
+// with capped exponential backoff (base<<attempt, capped at base<<3).
+// Cancellation and deadline expiry are never retried — the caller is
+// gone or out of budget.
+func (e *Engine) buildWithRetry(ctx context.Context, spec SessionSpec) (*session, error) {
+	for attempt := 0; ; attempt++ {
+		s, err := e.buildOnce(ctx, spec)
+		if err == nil || attempt >= e.cfg.BuildRetries ||
+			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return s, err
+		}
+		e.met.buildRetries.Add(1)
+		delay := e.cfg.BuildRetryBackoff << attempt
+		if cap := e.cfg.BuildRetryBackoff << 3; delay > cap {
+			delay = cap
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// buildOnce is one build attempt, behind the engine.build injection
+// point (inside the retry loop, so a Count-limited fault exercises
+// fail-then-recover).
+func (e *Engine) buildOnce(ctx context.Context, spec SessionSpec) (*session, error) {
+	if err := faultinject.Hit(ctx, faultinject.EngineBuild); err != nil {
+		return nil, err
+	}
+	return build(ctx, spec, &e.met)
+}
+
 // Metrics snapshots the engine's observability state.
 func (e *Engine) Metrics() Snapshot {
 	entries, bytes := e.results.stats()
@@ -354,12 +499,16 @@ func (e *Engine) Metrics() Snapshot {
 	live := e.store.len()
 	e.storeMu.Unlock()
 	return Snapshot{
-		QueriesTotal:      e.met.queries.Load(),
-		CacheHitsTotal:    e.met.cacheHits.Load(),
-		CacheMissesTotal:  e.met.cacheMisses.Load(),
-		QueueRejectsTotal: e.met.queueRejects.Load(),
-		ErrorsTotal:       e.met.errors.Load(),
-		CanceledTotal:     e.met.canceled.Load(),
+		QueriesTotal:       e.met.queries.Load(),
+		CacheHitsTotal:     e.met.cacheHits.Load(),
+		CacheMissesTotal:   e.met.cacheMisses.Load(),
+		QueueRejectsTotal:  e.met.queueRejects.Load(),
+		ErrorsTotal:        e.met.errors.Load(),
+		CanceledTotal:      e.met.canceled.Load(),
+		QueryTimeoutsTotal: e.met.queryTimeouts.Load(),
+
+		BuildRetriesTotal:  e.met.buildRetries.Load(),
+		BuildFailuresTotal: e.met.buildFailures.Load(),
 
 		SessionsBuiltTotal:   e.met.sessionsBuilt.Load(),
 		SessionsEvictedTotal: e.met.sessionsEvicted.Load(),

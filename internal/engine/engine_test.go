@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -122,7 +123,11 @@ func TestGoldenEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := breakdown.ComputeMatrix(a, catsOf(depgraph.FlagNames()), "mcf")
+		// normalize sorts matrix categories (permutation invariance),
+		// so the direct computation must use the same order.
+		names := append([]string(nil), depgraph.FlagNames()...)
+		sort.Strings(names)
+		want, err := breakdown.ComputeMatrix(a, catsOf(names), "mcf")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -486,6 +491,81 @@ func TestLatencyHistQuantiles(t *testing.T) {
 	var empty latencyHist
 	if empty.quantile(0.5) != 0 {
 		t.Fatal("empty histogram quantile not 0")
+	}
+}
+
+// TestLatencyHistOverflowClamp: a latency past the histogram's range
+// lands in the overflow bucket, and quantiles report that bucket's
+// honest lower bound (2^26µs, ~67s) — never a doubled upper bound the
+// histogram cannot actually distinguish.
+func TestLatencyHistOverflowClamp(t *testing.T) {
+	var h latencyHist
+	h.record(200 * time.Second) // far past the ~67s boundary
+	want := int64(1) << 26
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got := h.quantile(q); got != want {
+			t.Fatalf("quantile(%v) = %dus, want clamped to %dus", q, got, want)
+		}
+	}
+	// The boundary value itself also lands in (and reports) the
+	// overflow bucket.
+	h = latencyHist{}
+	h.record((1 << 26) * time.Microsecond)
+	if got := h.quantile(0.99); got != want {
+		t.Fatalf("boundary quantile = %dus, want %dus", got, want)
+	}
+}
+
+// TestQueryCatOrderCanonicalized is the cache/dedup regression for
+// permutation-invariant queries: icost(b,a) must be the same cache
+// entry as icost(a,b), and likewise for matrix category lists, while
+// order-sensitive ops are left alone.
+func TestQueryCatOrderCanonicalized(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	ctx := context.Background()
+	spec := testSpec("mcf")
+
+	cold, err := e.Query(ctx, Query{Session: spec, Op: OpICost, Cats: []string{"win", "dmiss"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached {
+		t.Fatal("first icost query claimed cached")
+	}
+	perm, err := e.Query(ctx, Query{Session: spec, Op: OpICost, Cats: []string{"dmiss", "win"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !perm.Cached {
+		t.Fatal("permuted icost missed the cache: icost(a,b) and icost(b,a) must share one entry")
+	}
+	if perm.Value != cold.Value {
+		t.Fatalf("permuted icost value %d != %d", perm.Value, cold.Value)
+	}
+
+	if _, err := e.Query(ctx, Query{Session: spec, Op: OpMatrix, Cats: []string{"win", "dmiss", "dl1"}}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.Query(ctx, Query{Session: spec, Op: OpMatrix, Cats: []string{"dl1", "win", "dmiss"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Cached {
+		t.Fatal("permuted matrix missed the cache")
+	}
+
+	// Breakdown cats stay in client order (the category list orders
+	// the report rows), so a permutation is a distinct query.
+	if _, err := e.Query(ctx, Query{Session: spec, Op: OpBreakdown, Focus: "dl1", Cats: []string{"dl1", "dmiss"}}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Query(ctx, Query{Session: spec, Op: OpBreakdown, Focus: "dl1", Cats: []string{"dmiss", "dl1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cached {
+		t.Fatal("permuted breakdown wrongly shared a cache entry")
 	}
 }
 

@@ -6,8 +6,10 @@ import (
 )
 
 // histBuckets is the number of latency histogram buckets: bucket i
-// counts latencies in [2^i, 2^(i+1)) microseconds, so the range spans
-// 1µs .. ~67s with the last bucket absorbing overflow.
+// counts latencies in [2^i, 2^(i+1)) microseconds for i below the
+// last bucket, which absorbs everything from 2^26µs (~67s) up.
+// Reported quantiles are clamped to that ~67s overflow boundary — an
+// overflow latency is "at least 67s", never a fabricated 134s.
 const histBuckets = 27
 
 // latencyHist is a lock-free log-scaled histogram. Recording is one
@@ -43,10 +45,15 @@ func (h *latencyHist) quantile(q float64) int64 {
 	for b := 0; b < histBuckets; b++ {
 		seen += h.counts[b].Load()
 		if seen > rank {
+			if b == histBuckets-1 {
+				// Overflow bucket: its only honest bound is the
+				// lower one (~67s); don't invent an upper bound.
+				return int64(1) << uint(b)
+			}
 			return int64(1) << uint(b+1) // bucket upper bound in µs
 		}
 	}
-	return int64(1) << histBuckets
+	return int64(1) << uint(histBuckets-1)
 }
 
 // batchHistBuckets is the number of batch-size histogram buckets:
@@ -57,15 +64,18 @@ const batchHistBuckets = 8
 // metrics is the engine's observability state: everything is atomic,
 // so the hot path never takes a lock to count.
 type metrics struct {
-	queries      atomic.Int64
-	cacheHits    atomic.Int64
-	cacheMisses  atomic.Int64
-	queueRejects atomic.Int64
-	errors       atomic.Int64
-	canceled     atomic.Int64
+	queries       atomic.Int64
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	queueRejects  atomic.Int64
+	errors        atomic.Int64
+	canceled      atomic.Int64
+	queryTimeouts atomic.Int64
 
 	sessionsBuilt   atomic.Int64
 	sessionsEvicted atomic.Int64
+	buildRetries    atomic.Int64
+	buildFailures   atomic.Int64
 
 	inFlight atomic.Int64
 	latency  latencyHist
@@ -111,10 +121,18 @@ type Snapshot struct {
 	QueueRejectsTotal int64 `json:"queue_rejects_total"`
 	ErrorsTotal       int64 `json:"errors_total"`
 	CanceledTotal     int64 `json:"canceled_total"`
+	// QueryTimeoutsTotal counts queries aborted by the server-side
+	// Config.QueryTimeout deadline (also included in CanceledTotal).
+	QueryTimeoutsTotal int64 `json:"query_timeouts_total"`
 
 	SessionsBuiltTotal   int64 `json:"sessions_built_total"`
 	SessionsEvictedTotal int64 `json:"sessions_evicted_total"`
 	SessionsLive         int   `json:"sessions_live"`
+	// BuildRetriesTotal counts session-build attempts re-run after a
+	// transient failure; BuildFailuresTotal counts builds that failed
+	// after all retries (and were negatively cached for BuildFailTTL).
+	BuildRetriesTotal  int64 `json:"session_build_retries_total"`
+	BuildFailuresTotal int64 `json:"session_build_failures_total"`
 
 	ResultCacheEntries int   `json:"result_cache_entries"`
 	ResultCacheBytes   int64 `json:"result_cache_bytes"`

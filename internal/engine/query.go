@@ -42,7 +42,11 @@ type Query struct {
 	// Cats are category names ("dl1", "dmiss", ...). Meaning depends
 	// on Op: for cost/exectime they are unioned into one event set;
 	// for icost each entry is its own set; for breakdown/full/matrix
-	// they are the category list (empty = the paper's eight).
+	// they are the category list (empty = the paper's eight). For
+	// cost/exectime/icost/matrix the order is canonicalized (sorted)
+	// during normalization: unions and interaction costs are
+	// permutation-invariant (paper §2.2), so icost(a,b) and
+	// icost(b,a) are one query — one cache entry, one flight.
 	Cats []string `json:"cats,omitempty"`
 	// Focus is the breakdown focus category (default "dl1").
 	Focus string `json:"focus,omitempty"`
@@ -91,31 +95,43 @@ func (q Query) normalize() (Query, error) {
 	switch q.Op {
 	case OpCost, OpICost, OpExecTime, OpBreakdown, OpFull, OpSlack, OpMatrix:
 	case "":
-		return q, fmt.Errorf("engine: query needs an op")
+		return q, errValidation("engine: query needs an op")
 	default:
-		return q, fmt.Errorf("engine: unknown op %q", q.Op)
+		return q, errValidation("engine: unknown op %q", q.Op)
 	}
 	for _, c := range q.Cats {
 		if _, ok := depgraph.FlagByName(c); !ok {
-			return q, fmt.Errorf("engine: unknown category %q (have %s)",
+			return q, errValidation("engine: unknown category %q (have %s)",
 				c, strings.Join(depgraph.FlagNames(), ","))
 		}
 	}
 	switch q.Op {
 	case OpCost:
 		if len(q.Cats) == 0 {
-			return q, fmt.Errorf("engine: cost query needs at least one category")
+			return q, errValidation("engine: cost query needs at least one category")
 		}
 	case OpICost:
 		if len(q.Cats) < 2 {
-			return q, fmt.Errorf("engine: icost query needs at least two categories")
+			return q, errValidation("engine: icost query needs at least two categories")
 		}
 	case OpBreakdown, OpFull, OpMatrix:
 		if len(q.Cats) == 0 {
 			q.Cats = depgraph.FlagNames()
 		}
 		if q.Op == OpFull && len(q.Cats) > 12 {
-			return q, fmt.Errorf("engine: full breakdown limited to 12 categories, got %d", len(q.Cats))
+			return q, errValidation("engine: full breakdown limited to 12 categories, got %d", len(q.Cats))
+		}
+	}
+	switch q.Op {
+	case OpCost, OpExecTime, OpICost, OpMatrix:
+		// Canonical category order: the cost/exectime union is a set,
+		// and icost and the all-pairs matrix are permutation-invariant
+		// (paper §2.2), so icost(b,a) must hit the cache entry and
+		// in-progress flight of icost(a,b) rather than recompute.
+		// Matrix rows/columns come out in sorted order as a result.
+		if !sort.StringsAreSorted(q.Cats) {
+			q.Cats = append([]string(nil), q.Cats...)
+			sort.Strings(q.Cats)
 		}
 	}
 	if q.Op == OpBreakdown {
@@ -123,7 +139,7 @@ func (q Query) normalize() (Query, error) {
 			q.Focus = "dl1"
 		}
 		if _, ok := depgraph.FlagByName(q.Focus); !ok {
-			return q, fmt.Errorf("engine: unknown focus category %q", q.Focus)
+			return q, errValidation("engine: unknown focus category %q", q.Focus)
 		}
 	} else {
 		q.Focus = ""
@@ -132,16 +148,12 @@ func (q Query) normalize() (Query, error) {
 }
 
 // key is the result-cache / single-flight identity of a normalized
-// query. Order matters for icost sets only through sign-irrelevant
-// permutations, but keeping the client's order is cheap and correct;
-// cost/exectime unions are order-insensitive so they are sorted.
+// query. Category order is already canonical where it is semantically
+// irrelevant (normalize sorts cost/exectime unions and the
+// permutation-invariant icost/matrix lists), so the key is a plain
+// join.
 func (q Query) key(sessionKey string) string {
-	cats := q.Cats
-	if q.Op == OpCost || q.Op == OpExecTime {
-		cats = append([]string(nil), q.Cats...)
-		sort.Strings(cats)
-	}
-	return sessionKey + "|" + string(q.Op) + "|" + strings.Join(cats, ",") + "|" + q.Focus
+	return sessionKey + "|" + string(q.Op) + "|" + strings.Join(q.Cats, ",") + "|" + q.Focus
 }
 
 // flagsOf resolves category names; union=true ORs them into one set.

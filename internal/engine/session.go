@@ -41,7 +41,7 @@ type SessionSpec struct {
 // normalize fills defaults and validates the spec.
 func (s SessionSpec) normalize() (SessionSpec, error) {
 	if s.Bench == "" {
-		return s, fmt.Errorf("engine: session needs a benchmark name")
+		return s, errValidation("engine: session needs a benchmark name")
 	}
 	known := false
 	for _, n := range workload.Names() {
@@ -51,7 +51,7 @@ func (s SessionSpec) normalize() (SessionSpec, error) {
 		}
 	}
 	if !known {
-		return s, fmt.Errorf("engine: unknown benchmark %q (have %v)", s.Bench, workload.Names())
+		return s, errValidation("engine: unknown benchmark %q (have %v)", s.Bench, workload.Names())
 	}
 	if s.Seed == 0 {
 		s.Seed = 42
@@ -72,10 +72,10 @@ func (s SessionSpec) normalize() (SessionSpec, error) {
 		s.BranchRecovery = 8
 	}
 	if s.TraceLen < 1 || s.Warmup < 0 {
-		return s, fmt.Errorf("engine: bad trace length %d / warmup %d", s.TraceLen, s.Warmup)
+		return s, errValidation("engine: bad trace length %d / warmup %d", s.TraceLen, s.Warmup)
 	}
 	if s.DL1Latency < 0 || s.Window < 1 || s.WakeupExtra < 0 || s.BranchRecovery < 0 {
-		return s, fmt.Errorf("engine: bad machine parameters in %+v", s)
+		return s, errValidation("engine: bad machine parameters in %+v", s)
 	}
 	return s, nil
 }
@@ -209,6 +209,11 @@ type sessionEntry struct {
 	ready chan struct{} // closed when build finishes
 	sess  *session      // nil until ready; nil after ready on error
 	err   error
+	// expires, when set on a failed entry, is how long the failure is
+	// served as a negative result before a new query may rebuild.
+	// Written by the builder before ready is closed, read under the
+	// store lock.
+	expires time.Time
 }
 
 func newSessionStore(max int) *sessionStore {
@@ -216,16 +221,35 @@ func newSessionStore(max int) *sessionStore {
 }
 
 // entry returns the store entry for key, creating it (and electing
-// the caller as builder) if absent. The boolean is true when the
-// caller must perform the build and complete the entry.
-func (st *sessionStore) entry(key string) (*sessionEntry, bool) {
+// the caller as builder) if absent. A failed entry whose negative TTL
+// has lapsed counts as absent: it is replaced and rebuilt. The
+// boolean is true when the caller must perform the build and complete
+// the entry.
+func (st *sessionStore) entry(key string, now time.Time) (*sessionEntry, bool) {
 	if el, ok := st.items[key]; ok {
-		st.ll.MoveToFront(el)
-		return el.Value.(*sessionEntry), false
+		e := el.Value.(*sessionEntry)
+		if !e.expired(now) {
+			st.ll.MoveToFront(el)
+			return e, false
+		}
+		st.ll.Remove(el)
+		delete(st.items, key)
 	}
 	e := &sessionEntry{key: key, ready: make(chan struct{})}
 	st.items[key] = st.ll.PushFront(e)
 	return e, true
+}
+
+// expired reports whether e is a completed failure whose negative TTL
+// has lapsed. In-progress builds and successes never expire here (the
+// LRU handles successes).
+func (e *sessionEntry) expired(now time.Time) bool {
+	select {
+	case <-e.ready:
+		return e.err != nil && now.After(e.expires)
+	default:
+		return false
+	}
 }
 
 // drop removes a failed entry so a later query can retry the build.

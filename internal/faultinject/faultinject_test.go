@@ -1,0 +1,155 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+var errBoom = errors.New("boom")
+
+func TestDisabledIsFree(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled after Disable")
+	}
+	for _, pt := range Points() {
+		if err := Hit(context.Background(), pt); err != nil {
+			t.Fatalf("disabled Hit(%s) = %v", pt, err)
+		}
+	}
+	s := Snapshot()
+	if len(s.Hits) != 0 || len(s.Fired) != 0 {
+		t.Fatalf("disabled stats not empty: %+v", s)
+	}
+}
+
+func TestErrFault(t *testing.T) {
+	defer Disable()
+	Enable(1, Rule{Point: EngineBuild, Err: errBoom})
+	if err := Hit(context.Background(), EngineBuild); !errors.Is(err, errBoom) {
+		t.Fatalf("Hit = %v, want errBoom", err)
+	}
+	// Other points are untouched.
+	if err := Hit(context.Background(), OOOSim); err != nil {
+		t.Fatalf("unruled point fired: %v", err)
+	}
+	s := Snapshot()
+	if s.Hits[EngineBuild] != 1 || s.Fired[EngineBuild] != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.Hits[OOOSim] != 1 || s.Fired[OOOSim] != 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestAfterAndCount(t *testing.T) {
+	defer Disable()
+	Enable(1, Rule{Point: WorkloadGen, Err: errBoom, After: 2, Count: 2})
+	var got []bool
+	for i := 0; i < 6; i++ {
+		got = append(got, Hit(context.Background(), WorkloadGen) != nil)
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d fired=%v, want %v (After=2 Count=2)", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSeededProbReplays: the same seed yields the same firing
+// pattern; a different seed (very likely) differs somewhere over 64
+// draws, and expected firing counts track Prob.
+func TestSeededProbReplays(t *testing.T) {
+	defer Disable()
+	pattern := func(seed uint64) []bool {
+		Enable(seed, Rule{Point: OOOSim, Err: errBoom, Prob: 0.5})
+		var p []bool
+		for i := 0; i < 64; i++ {
+			p = append(p, Hit(context.Background(), OOOSim) != nil)
+		}
+		return p
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	c := pattern(43)
+	same := true
+	fired := 0
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 64-hit patterns")
+	}
+	if fired < 16 || fired > 48 {
+		t.Fatalf("prob 0.5 fired %d/64 times", fired)
+	}
+}
+
+func TestLatencyHonorsCtx(t *testing.T) {
+	defer Disable()
+	Enable(1, Rule{Point: GraphWalk, Latency: 10 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := Hit(ctx, GraphWalk)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("latency fault under expiring ctx returned %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("latency fault ignored ctx, slept %v", elapsed)
+	}
+}
+
+func TestCancelFault(t *testing.T) {
+	defer Disable()
+	Enable(1, Rule{Point: EngineBuild, Cancel: true})
+
+	// With a registered cancel the fault severs the real context.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rctx := Register(ctx, cancel)
+	if err := Hit(rctx, EngineBuild); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancel fault returned %v", err)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("registered context not actually canceled")
+	}
+
+	// Without one it still reports cancellation.
+	if err := Hit(context.Background(), EngineBuild); !errors.Is(err, context.Canceled) {
+		t.Fatalf("unregistered cancel fault returned %v", err)
+	}
+}
+
+func TestWithCancel(t *testing.T) {
+	Disable()
+	base := context.Background()
+	ctx, cancel := WithCancel(base)
+	if ctx != base {
+		t.Fatal("disabled WithCancel derived a new context")
+	}
+	cancel() // no-op
+
+	Enable(1, Rule{Point: DaemonQuery, Cancel: true})
+	defer Disable()
+	ctx, cancel = WithCancel(base)
+	defer cancel()
+	if err := Hit(ctx, DaemonQuery); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancel fault through WithCancel returned %v", err)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("WithCancel context not canceled by fault")
+	}
+}

@@ -1,0 +1,38 @@
+// Package leakcheck asserts that a test leaves no goroutines behind.
+// The chaos suite leans on it: every injected fault — error, stall,
+// forced cancellation — must tear down cleanly, or the analysis
+// service would bleed workers under sustained failure.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check records the current goroutine count and registers a cleanup
+// that fails the test if the count has not returned to the baseline
+// shortly after the test (and every cleanup registered after this
+// call — cleanups run last-in-first-out, so call Check first) has
+// finished. Transient runtime goroutines get a grace period; a real
+// leak fails with a full stack dump.
+func Check(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if n > base {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Errorf("leakcheck: %d goroutines at exit, %d at start; stacks:\n%s", n, base, buf)
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"icost/internal/faultinject"
 	"icost/internal/trace"
 )
 
@@ -65,6 +66,16 @@ func SimulateStream(ctx context.Context, st *trace.Stream, cfg Config, opt Optio
 		if !ok {
 			break
 		}
+		// Fault hook: a failing or stalling simulator, once per
+		// consumed segment. A non-ctx error return leaves the stream
+		// undrained, so (as the contract above requires) the caller
+		// must cancel ctx to stop the producer — engine builds do via
+		// their deferred cancel.
+		if err := faultinject.Hit(ctx, faultinject.OOOSim); err != nil {
+			report()
+			m.abort()
+			return nil, err
+		}
 		t1 := time.Now()
 		for k := range seg.Insts {
 			din := &seg.Insts[k]
@@ -86,6 +97,13 @@ func SimulateStream(ctx context.Context, st *trace.Stream, cfg Config, opt Optio
 	if idx != st.Total {
 		m.abort()
 		return nil, fmt.Errorf("ooo: stream delivered %d of %d instructions", idx, st.Total)
+	}
+	// Fault hook: graph finalization (replay check + assembly) — the
+	// stream is fully drained by here, so this models a late build
+	// failure after all the streaming work succeeded.
+	if err := faultinject.Hit(ctx, faultinject.OOOGraph); err != nil {
+		m.abort()
+		return nil, err
 	}
 	return m.finish(opt.KeepGraph)
 }

@@ -94,6 +94,87 @@ func TestCachedEvicts(t *testing.T) {
 	}
 }
 
+// TestCachedDuplicateGenerationRace releases many goroutines at once
+// against one cold key. Generation runs outside the cache lock, so
+// several goroutines really do generate duplicates — but cachePut's
+// re-check must make every caller converge on one canonical instance,
+// and the cache must hold exactly one entry for the key.
+func TestCachedDuplicateGenerationRace(t *testing.T) {
+	resetCache()
+	defer resetCache()
+	const goroutines = 16
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	got := make([]*Workload, goroutines)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			w, err := Cached("vortex", 11)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = w
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	canon := got[0]
+	if canon == nil {
+		t.Fatal("no workload from goroutine 0")
+	}
+	for i, w := range got {
+		if w != canon {
+			t.Fatalf("goroutine %d got %p, goroutine 0 got %p: racing generators must converge on one canonical instance", i, w, canon)
+		}
+	}
+	cacheMu.Lock()
+	entries := 0
+	for _, e := range cacheEnts {
+		if e.name == "vortex" && e.seed == 11 {
+			entries++
+		}
+	}
+	cacheMu.Unlock()
+	if entries != 1 {
+		t.Fatalf("cache holds %d entries for one key, want 1", entries)
+	}
+}
+
+// TestCachedConcurrentFillBounded floods the cache with twice its
+// capacity in distinct keys, concurrently: the LRU bound must hold
+// under the race (never more than cachedMax entries) and no key may
+// end up cached twice.
+func TestCachedConcurrentFillBounded(t *testing.T) {
+	resetCache()
+	defer resetCache()
+	var wg sync.WaitGroup
+	for s := uint64(1); s <= 2*cachedMax; s++ {
+		wg.Add(1)
+		go func(s uint64) {
+			defer wg.Done()
+			if _, err := Cached("mcf", s); err != nil {
+				t.Error(err)
+			}
+		}(s)
+	}
+	wg.Wait()
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if len(cacheEnts) > cachedMax {
+		t.Fatalf("cache grew to %d entries under concurrent fill, bound is %d", len(cacheEnts), cachedMax)
+	}
+	seen := map[uint64]bool{}
+	for _, e := range cacheEnts {
+		if seen[e.seed] {
+			t.Fatalf("seed %d cached twice", e.seed)
+		}
+		seen[e.seed] = true
+	}
+}
+
 // TestCachedConcurrent hammers one key from many goroutines; every
 // caller must observe some valid workload and the cache must converge
 // to a single canonical instance.

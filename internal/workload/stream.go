@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"icost/internal/faultinject"
 	"icost/internal/trace"
 )
 
@@ -39,6 +40,12 @@ func (w *Workload) ExecuteStream(ctx context.Context, n int, seed uint64, segLen
 	go func() {
 		backing := trace.AcquireInsts(n)
 		insts, err := w.executeInto(backing, n, seed, segLen, func(lo, hi int) error {
+			// Fault hook: a failing or stalling generator, once per
+			// emitted segment. The error travels to the consumer via
+			// the stream's Close, like any real interpreter fault.
+			if err := faultinject.Hit(ctx, faultinject.WorkloadGen); err != nil {
+				return err
+			}
 			return wr.Send(ctx, trace.Segment{Base: lo, Insts: backing[lo:hi:hi]})
 		})
 		if err != nil {
