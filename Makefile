@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-batch bench-cold chaos fuzz fmt vet lint ci
+.PHONY: build test race bench bench-batch bench-cold bench-fleet chaos fuzz fmt vet lint ci
 
 # Seconds-per-target budget for the fuzz smoke; CI uses the default.
 FUZZTIME ?= 5s
@@ -42,17 +42,32 @@ bench-cold:
 	$(GO) test -run='^$$' -bench=BenchmarkMultisimBreakdown -benchmem -benchtime=$(COLD_BENCHTIME) ./internal/multisim/
 	$(GO) test -run='^$$' -bench=BenchmarkProfilerAnalyze -benchmem -benchtime=$(COLD_BENCHTIME) ./internal/profiler/
 
+# bench-fleet: the ingestion-path numbers BENCH_fleet.json's service
+# view complements — merge throughput, memoized vs cold fleet queries
+# — with -benchmem, since the aggregator is judged on retained bytes
+# as much as on ns/op. The second step is the no-regression guard:
+# the fleet's memoized query path must stay in the same performance
+# class as the engine's warm (result-cached) query path. CI runs the
+# benchmarks with FLEET_BENCHTIME=1x as a smoke; use the 2s default
+# for numbers worth recording.
+FLEET_BENCHTIME ?= 2s
+
+bench-fleet:
+	$(GO) test -run='^$$' -bench='BenchmarkFleet' -benchmem -benchtime=$(FLEET_BENCHTIME) ./internal/fleet/
+	$(GO) test -run='TestMemoizedQueryTracksEngineWarmPath' -count=1 ./internal/fleet/
+
 # chaos: the fault-injection suite (internal/faultinject + every
 # TestChaos* test) under the race detector. Seeded fault plans make a
 # failure replayable: rerun with the seed from the failure log.
 chaos:
 	$(GO) test -race ./internal/faultinject/
-	$(GO) test -race -run='TestChaos' ./internal/engine/ ./cmd/icostd/
+	$(GO) test -race -run='TestChaos' ./internal/engine/ ./internal/fleet/ ./cmd/icostd/
 
 # fuzz smoke: FUZZTIME per fuzz target (override: make fuzz FUZZTIME=1m).
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadTrace -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/trace/
+	$(GO) test -run='^$$' -fuzz=FuzzReadSamples -fuzztime=$(FUZZTIME) ./internal/profiler/
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -68,3 +83,4 @@ lint: vet
 	$(GO) run ./cmd/icostvet ./...
 
 ci: fmt lint build race chaos bench
+	$(MAKE) bench-fleet FLEET_BENCHTIME=1x

@@ -12,6 +12,7 @@ import (
 
 	"icost/internal/engine"
 	"icost/internal/faultinject"
+	"icost/internal/fleet"
 	"icost/internal/leakcheck"
 )
 
@@ -44,7 +45,7 @@ func TestChaosDaemonQueryFault(t *testing.T) {
 func TestChaosBuildFaultMapsTo500(t *testing.T) {
 	leakcheck.Check(t)
 	e := engine.New(engine.Config{Workers: 1, BuildRetries: -1, BuildFailTTL: -1})
-	srv := httptest.NewServer(newHandler(e, false, nil))
+	srv := httptest.NewServer(newHandler(e, fleet.NewAggregator(fleet.Config{}), false, nil))
 	t.Cleanup(func() {
 		srv.Close()
 		e.Close()
@@ -68,7 +69,7 @@ func TestChaosBuildFaultMapsTo500(t *testing.T) {
 func TestChaosStallMapsTo504(t *testing.T) {
 	leakcheck.Check(t)
 	e := engine.New(engine.Config{Workers: 1, QueryTimeout: 200 * time.Millisecond})
-	srv := httptest.NewServer(newHandler(e, false, nil))
+	srv := httptest.NewServer(newHandler(e, fleet.NewAggregator(fleet.Config{}), false, nil))
 	t.Cleanup(func() {
 		srv.Close()
 		e.Close()

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"icost/internal/engine"
+	"icost/internal/fleet"
 )
 
 // TestFlagAudit pins the daemon's flag surface: every expected flag
@@ -32,6 +33,8 @@ func TestFlagAudit(t *testing.T) {
 		"preload":       {"", "benchmarks"},
 		"pprof":         {"false", "/debug/pprof/"},
 		"query-timeout": {"30s", "deadline"},
+		"fleet-mb":      {"64", "aggregate"},
+		"snapshot-dir":  {"", "snapshots"},
 		"faults":        {"", "fault-injection"},
 		"fault-seed":    {"1", "seed"},
 	}
@@ -75,7 +78,7 @@ func TestPprofEndpoints(t *testing.T) {
 	e := engine.New(engine.Config{Workers: 1})
 	defer e.Close()
 
-	on := httptest.NewServer(newHandler(e, true, nil))
+	on := httptest.NewServer(newHandler(e, fleet.NewAggregator(fleet.Config{}), true, nil))
 	defer on.Close()
 	resp, err := http.Get(on.URL + "/debug/pprof/")
 	if err != nil {
@@ -86,7 +89,7 @@ func TestPprofEndpoints(t *testing.T) {
 		t.Fatalf("pprof enabled: index returned %d", resp.StatusCode)
 	}
 
-	off := httptest.NewServer(newHandler(e, false, nil))
+	off := httptest.NewServer(newHandler(e, fleet.NewAggregator(fleet.Config{}), false, nil))
 	defer off.Close()
 	resp, err = http.Get(off.URL + "/debug/pprof/")
 	if err != nil {

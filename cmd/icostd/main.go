@@ -6,16 +6,25 @@
 // subsequent query — the paper's O(|graph|)-per-query efficiency
 // argument, served over a socket.
 //
+// The daemon also carries the fleet data plane (internal/fleet):
+// many hosts POST binary sample streams to /ingest, an in-process
+// aggregator merges them per (binary, seed, host-group) under a byte
+// budget, and /query answers against the merged profile when the
+// request carries a "fleet" target instead of a session spec.
+//
 // Usage:
 //
 //	icostd [-addr :8090] [-workers n] [-queue depth] [-cache-mb mb]
 //	       [-sessions n] [-preload bench1,bench2,...] [-pprof]
-//	       [-query-timeout 30s] [-faults spec] [-fault-seed n]
+//	       [-query-timeout 30s] [-fleet-mb mb] [-snapshot-dir dir]
+//	       [-faults spec] [-fault-seed n]
 //
 // Endpoints:
 //
-//	POST /query         JSON engine.Query -> JSON engine.Response
-//	GET  /metrics       engine counters, gauges and latency quantiles
+//	POST /query         JSON engine.Query -> JSON engine.Response, or
+//	                    {"fleet": {...}} -> JSON fleet.Response
+//	POST /ingest        binary fleet sample stream (fleet.WriteStream)
+//	GET  /metrics       engine + fleet counters, gauges and quantiles
 //	GET  /healthz       liveness + uptime
 //	GET  /readyz        readiness (503 while draining at shutdown)
 //	GET  /debug/pprof/  Go runtime profiles (only with -pprof)
@@ -23,7 +32,10 @@
 // A full queue returns 429 with a Retry-After header (backpressure,
 // never unbounded buffering). SIGINT/SIGTERM drain in-flight queries
 // before exit; a second signal during the drain forces immediate
-// shutdown. See README.md "Analysis service" for a curl session.
+// shutdown. With -snapshot-dir the daemon restores built sessions
+// from the directory at startup and snapshots the resident sessions
+// back to it after the drain, so a restart skips the cold builds.
+// See README.md "Analysis service" for a curl session.
 package main
 
 import (
@@ -47,6 +59,8 @@ import (
 
 	"icost/internal/engine"
 	"icost/internal/faultinject"
+	"icost/internal/fleet"
+	"icost/internal/profiler"
 )
 
 func main() {
@@ -63,6 +77,8 @@ type options struct {
 	preload      string
 	pprof        bool
 	queryTimeout time.Duration
+	fleetMB      int
+	snapshotDir  string
 	faults       string
 	faultSeed    uint64
 }
@@ -83,6 +99,10 @@ func defineFlags(fs *flag.FlagSet) *options {
 		"serve Go runtime profiles under /debug/pprof/ (off by default)")
 	fs.DurationVar(&o.queryTimeout, "query-timeout", 30*time.Second,
 		"server-side deadline per query once dequeued (0 = unlimited)")
+	fs.IntVar(&o.fleetMB, "fleet-mb", 64,
+		"fleet aggregate sample pool budget in MiB (coldest aggregates evicted past it)")
+	fs.StringVar(&o.snapshotDir, "snapshot-dir", "",
+		"directory for durable session snapshots: restored at startup, saved at drain (empty = off)")
 	fs.StringVar(&o.faults, "faults", "",
 		"fault-injection spec, e.g. engine.build:err%0.5,icostd.query:lat=50ms (testing only)")
 	fs.Uint64Var(&o.faultSeed, "fault-seed", 1,
@@ -112,6 +132,10 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		fmt.Fprintln(stderr, "icostd: -query-timeout must be >= 0")
 		return 2
 	}
+	if o.fleetMB < 1 {
+		fmt.Fprintln(stderr, "icostd: -fleet-mb must be >= 1")
+		return 2
+	}
 	if o.faults != "" {
 		rules, err := parseFaultSpec(o.faults)
 		if err != nil {
@@ -130,6 +154,17 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		MaxSessions:  o.sessions,
 		QueryTimeout: o.queryTimeout,
 	})
+	agg := fleet.NewAggregator(fleet.Config{MaxBytes: int64(o.fleetMB) << 20})
+
+	if o.snapshotDir != "" {
+		n, err := e.LoadSnapshots(context.Background(), o.snapshotDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "icostd: load snapshots:", err)
+			e.Close()
+			return 1
+		}
+		fmt.Fprintf(stdout, "icostd: restored %d session(s) from %s\n", n, o.snapshotDir)
+	}
 
 	if o.preload != "" {
 		for _, b := range strings.Split(o.preload, ",") {
@@ -153,7 +188,7 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 	ready := &atomic.Bool{}
 	ready.Store(true)
 	srv := &http.Server{
-		Handler:           newHandler(e, o.pprof, ready),
+		Handler:           newHandler(e, agg, o.pprof, ready),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
@@ -194,16 +229,55 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		}
 		<-done
 	}
+	// Snapshot resident sessions after the drain (queries are done
+	// mutating the LRU) but before Close releases the pooled graph
+	// arenas the sessions point into.
+	if o.snapshotDir != "" {
+		if n, err := e.SaveSnapshots(context.Background(), o.snapshotDir); err != nil {
+			fmt.Fprintln(stderr, "icostd: save snapshots:", err)
+		} else {
+			fmt.Fprintf(stdout, "icostd: saved %d session snapshot(s) to %s\n", n, o.snapshotDir)
+		}
+	}
 	e.Close()
 	return 0
 }
 
-// newHandler builds the daemon's routing table over an engine. With
-// pprofOn the Go runtime's profiling handlers are mounted under
-// /debug/pprof/ — off by default, since profiles expose internals no
-// production query endpoint should. ready gates /readyz (nil means
-// always ready, for tests that only exercise routing).
-func newHandler(e *engine.Engine, pprofOn bool, ready *atomic.Bool) http.Handler {
+// queryRequest is the /query wire shape: the engine query fields
+// promoted at the top level (unchanged for existing clients) plus an
+// optional fleet target. A request carrying "fleet" is answered from
+// the aggregate profile; everything else goes to the session engine.
+type queryRequest struct {
+	engine.Query
+	Fleet *fleet.Query `json:"fleet,omitempty"`
+}
+
+// metricsSnapshot flattens the engine and fleet metric sets into one
+// JSON object (the aliases sidestep the embedded-name clash between
+// the two Snapshot types).
+type (
+	engineMetrics = engine.Snapshot
+	fleetMetrics  = fleet.Snapshot
+)
+
+type metricsSnapshot struct {
+	engineMetrics
+	fleetMetrics
+}
+
+// maxIngestBytes bounds one /ingest request body. A stream carries at
+// most a few MiB per PMU drain batch; 256 MiB leaves generous room
+// for a host replaying a backlog without letting one connection
+// exhaust the process.
+const maxIngestBytes = 1 << 28
+
+// newHandler builds the daemon's routing table over the session
+// engine and the fleet aggregator. With pprofOn the Go runtime's
+// profiling handlers are mounted under /debug/pprof/ — off by
+// default, since profiles expose internals no production query
+// endpoint should. ready gates /readyz (nil means always ready, for
+// tests that only exercise routing).
+func newHandler(e *engine.Engine, agg *fleet.Aggregator, pprofOn bool, ready *atomic.Bool) http.Handler {
 	mux := http.NewServeMux()
 	if pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -217,7 +291,7 @@ func newHandler(e *engine.Engine, pprofOn bool, ready *atomic.Bool) http.Handler
 			httpError(w, http.StatusMethodNotAllowed, "POST only")
 			return
 		}
-		var q engine.Query
+		var q queryRequest
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&q); err != nil {
@@ -230,15 +304,54 @@ func newHandler(e *engine.Engine, pprofOn bool, ready *atomic.Bool) http.Handler
 			writeQueryError(w, err)
 			return
 		}
-		resp, err := e.Query(r.Context(), q)
+		if q.Fleet != nil {
+			resp, err := agg.Query(r.Context(), *q.Fleet)
+			if err != nil {
+				writeQueryError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		resp, err := e.Query(r.Context(), q.Query)
 		if err != nil {
 			writeQueryError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		h, n, err := fleet.ReadStream(http.MaxBytesReader(w, r.Body, maxIngestBytes),
+			func(h fleet.Header, s *profiler.Samples) error {
+				return agg.Ingest(r.Context(), h, s)
+			})
+		if err != nil {
+			// Batches merged before the failure stay merged — lossy
+			// collection is the fleet contract — but the response is an
+			// error so the host knows its stream did not land whole. A
+			// truncated upload is the sender's problem, not the server's.
+			if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+				httpError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			writeQueryError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"key":     h.Key().String(),
+			"host":    h.Host,
+			"batches": n,
+		})
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, e.Metrics())
+		// One flat JSON object: engine and fleet key sets are disjoint
+		// (fleet counters carry a fleet_ prefix), so embedding keeps
+		// existing /metrics consumers decoding engine.Snapshot intact.
+		writeJSON(w, http.StatusOK, metricsSnapshot{e.Metrics(), agg.Metrics()})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		m := e.Metrics()
@@ -263,15 +376,18 @@ func newHandler(e *engine.Engine, pprofOn bool, ready *atomic.Bool) http.Handler
 	return mux
 }
 
-// writeQueryError maps engine errors onto HTTP semantics: typed
-// backpressure becomes 429 + Retry-After, deadline expiry 504,
+// writeQueryError maps engine and fleet errors onto HTTP semantics:
+// typed backpressure becomes 429 + Retry-After, deadline expiry 504,
 // client disconnect 499 (nginx convention), closed engine 503,
-// malformed queries (the engine's typed validation error) 400, and
-// any unclassified failure — a broken build, an internal fault — 500,
-// so server-side trouble is never misreported as the client's.
+// malformed queries and ingest streams (the typed validation errors)
+// 400, a fleet query against an absent aggregate 404, and any
+// unclassified failure — a broken build, an internal fault — 500, so
+// server-side trouble is never misreported as the client's.
 func writeQueryError(w http.ResponseWriter, err error) {
 	var full *engine.QueueFullError
 	var bad *engine.ValidationError
+	var fbad *fleet.ValidationError
+	var fmiss *fleet.NotFoundError
 	switch {
 	case errors.As(err, &full):
 		secs := int(full.RetryAfter.Seconds() + 0.5)
@@ -286,8 +402,10 @@ func writeQueryError(w http.ResponseWriter, err error) {
 		httpError(w, 499, err.Error())
 	case errors.Is(err, engine.ErrClosed):
 		httpError(w, http.StatusServiceUnavailable, err.Error())
-	case errors.As(err, &bad):
+	case errors.As(err, &bad), errors.As(err, &fbad):
 		httpError(w, http.StatusBadRequest, err.Error())
+	case errors.As(err, &fmiss):
+		httpError(w, http.StatusNotFound, err.Error())
 	default:
 		httpError(w, http.StatusInternalServerError, err.Error())
 	}

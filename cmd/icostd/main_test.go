@@ -11,12 +11,13 @@ import (
 	"time"
 
 	"icost/internal/engine"
+	"icost/internal/fleet"
 )
 
 func newTestServer(t *testing.T) (*engine.Engine, *httptest.Server) {
 	t.Helper()
 	e := engine.New(engine.Config{Workers: 2})
-	srv := httptest.NewServer(newHandler(e, false, nil))
+	srv := httptest.NewServer(newHandler(e, fleet.NewAggregator(fleet.Config{}), false, nil))
 	t.Cleanup(func() {
 		srv.Close()
 		e.Close()
@@ -124,7 +125,7 @@ func TestMetricsAndHealthz(t *testing.T) {
 
 func TestClosedEngineUnavailable(t *testing.T) {
 	e := engine.New(engine.Config{Workers: 1})
-	srv := httptest.NewServer(newHandler(e, false, nil))
+	srv := httptest.NewServer(newHandler(e, fleet.NewAggregator(fleet.Config{}), false, nil))
 	defer srv.Close()
 	e.Close()
 	resp, out := postQueryRaw(t, srv, `{"session":{"bench":"mcf"},"op":"slack"}`)

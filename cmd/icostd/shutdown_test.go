@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"icost/internal/engine"
+	"icost/internal/fleet"
 )
 
 // TestReadyzEndpoint: readiness is a separate signal from liveness —
@@ -26,7 +27,7 @@ func TestReadyzEndpoint(t *testing.T) {
 	defer e.Close()
 	ready := &atomic.Bool{}
 	ready.Store(true)
-	srv := httptest.NewServer(newHandler(e, false, ready))
+	srv := httptest.NewServer(newHandler(e, fleet.NewAggregator(fleet.Config{}), false, ready))
 	defer srv.Close()
 
 	get := func(path string) (int, string) {

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"icost/internal/fleet"
+	"icost/internal/profiler"
+)
+
+// TestFlagAudit pins the generator's flag surface, mirroring icostd's
+// audit: every flag exists with the documented default and usage, and
+// nothing undocumented sneaks in.
+func TestFlagAudit(t *testing.T) {
+	fs := flag.NewFlagSet("icostfeed", flag.ContinueOnError)
+	defineFlags(fs)
+	want := map[string]struct {
+		def   string
+		usage string
+	}{
+		"addr":         {"http://127.0.0.1:8090", "icostd"},
+		"hosts":        {"50", "hosts"},
+		"batches":      {"4", "batches"},
+		"rate":         {"400", "open-loop"},
+		"groups":       {"4", "groups"},
+		"distinct":     {"4", "distinct"},
+		"bench":        {"gzip", "benchmark"},
+		"seed":         {"42", "seed"},
+		"n":            {"6000", "instructions"},
+		"warmup":       {"2000", "warmup"},
+		"queries":      {"60", "queries"},
+		"seed-arrival": {"1", "arrival"},
+		"json":         {"false", "JSON"},
+	}
+	got := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) {
+		got[f.Name] = true
+		w, ok := want[f.Name]
+		if !ok {
+			t.Errorf("undocumented flag -%s (usage %q)", f.Name, f.Usage)
+			return
+		}
+		if f.DefValue != w.def {
+			t.Errorf("-%s default = %q, want %q", f.Name, f.DefValue, w.def)
+		}
+		if !strings.Contains(f.Usage, w.usage) {
+			t.Errorf("-%s usage %q does not mention %q", f.Name, f.Usage, w.usage)
+		}
+	})
+	for name := range want {
+		if !got[name] {
+			t.Errorf("expected flag -%s is not defined", name)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-hosts", "0"},
+		{"-batches", "0"},
+		{"-rate", "0"},
+		{"-groups", "-1"},
+		{"-hosts", "zap"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code == 0 {
+			t.Errorf("args %v accepted", args)
+		}
+		if stderr.Len() == 0 {
+			t.Errorf("args %v: no error printed", args)
+		}
+	}
+}
+
+// testDaemon is a minimal stand-in for icostd's fleet surface: the
+// same /ingest stream decode and /query fleet routing over a real
+// aggregator, without depending on the icostd package.
+func testDaemon(t *testing.T) (*fleet.Aggregator, *httptest.Server) {
+	t.Helper()
+	agg := fleet.NewAggregator(fleet.Config{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		_, n, err := fleet.ReadStream(r.Body, func(h fleet.Header, s *profiler.Samples) error {
+			return agg.Ingest(r.Context(), h, s)
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintf(w, `{"batches":%d}`, n)
+	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		var q struct {
+			Fleet *fleet.Query `json:"fleet"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&q); err != nil || q.Fleet == nil {
+			http.Error(w, "bad query", http.StatusBadRequest)
+			return
+		}
+		resp, err := agg.Query(r.Context(), *q.Fleet)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(resp)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return agg, srv
+}
+
+// TestFeedEndToEnd replays a small fleet through the stand-in daemon
+// and checks the JSON report: every batch landed, queries answered,
+// and the memo caught the repeats.
+func TestFeedEndToEnd(t *testing.T) {
+	agg, srv := testDaemon(t)
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-addr", srv.URL,
+		"-hosts", "4", "-batches", "2", "-groups", "1", "-distinct", "1",
+		"-rate", "5000", "-queries", "6",
+		"-n", "3000", "-warmup", "1000",
+		"-json",
+	}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("run exited %d, stderr: %s", code, stderr.String())
+	}
+	var doc struct {
+		Results struct {
+			Ingest waveStats `json:"ingest"`
+			Query  waveStats `json:"query"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, stdout.String())
+	}
+	ing, qry := doc.Results.Ingest, doc.Results.Query
+	if ing.Batches != 8 || ing.Errors != 0 || ing.QPS <= 0 {
+		t.Fatalf("ingest wave: %+v", ing)
+	}
+	if qry.Batches != 6 || qry.Errors != 0 {
+		t.Fatalf("query wave: %+v", qry)
+	}
+	// The mix repeats each op against the single group, so the second
+	// round must hit the per-generation memo.
+	if qry.Memoized == 0 {
+		t.Fatalf("no memoized queries in %+v", qry)
+	}
+	m := agg.Metrics()
+	if m.IngestBatchesTotal != 8 || m.HostsSeen != 4 {
+		t.Fatalf("aggregator metrics: %+v", m)
+	}
+}
+
+// TestFeedUnreachableDaemon: a dead endpoint is a hard error, not a
+// report full of zeros.
+func TestFeedUnreachableDaemon(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-addr", "http://127.0.0.1:1", // reserved port, nothing listens
+		"-hosts", "1", "-batches", "1", "-distinct", "1",
+		"-rate", "5000", "-queries", "0",
+		"-n", "3000", "-warmup", "1000",
+	}
+	if code := run(args, &stdout, &stderr); code != 1 {
+		t.Fatalf("unreachable daemon exited %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "is icostd running") {
+		t.Fatalf("unhelpful error: %q", stderr.String())
+	}
+}

@@ -464,17 +464,17 @@ func (g *Graph) runInto(ctx context.Context, id Ideal, t *Times) error {
 		var d int64
 		if i > 0 {
 			// DD edge (in-order dispatch + icache + fetch break).
-			d = maxi64(d, t.D[i-1]+g.DDLat(i, f))
+			d = max(d, t.D[i-1]+g.DDLat(i, f))
 			// PD edge (branch recovery), gated by the branch's flags.
 			if g.Info[i-1].Mispredict && id.Of(i-1)&IdealBMisp == 0 {
-				d = maxi64(d, t.P[i-1]+int64(cfg.BranchRecovery))
+				d = max(d, t.P[i-1]+int64(cfg.BranchRecovery))
 			}
 		} else {
 			d = g.DDLat(i, f)
 		}
 		// FBW edge.
 		if f&IdealBW == 0 && i >= cfg.FetchBW {
-			d = maxi64(d, t.D[i-cfg.FetchBW]+1)
+			d = max(d, t.D[i-cfg.FetchBW]+1)
 		}
 		// CD edge (window).
 		w := cfg.Window
@@ -482,7 +482,7 @@ func (g *Graph) runInto(ctx context.Context, id Ideal, t *Times) error {
 			w *= cfg.WindowIdealFactor
 		}
 		if i >= w {
-			d = maxi64(d, t.C[i-w])
+			d = max(d, t.C[i-w])
 		}
 		t.D[i] = d
 
@@ -490,10 +490,10 @@ func (g *Graph) runInto(ctx context.Context, id Ideal, t *Times) error {
 		r := d + int64(cfg.DispatchToReady) // DR edge
 		wake := int64(cfg.WakeupExtra)
 		if p := g.Prod1[i]; p >= 0 {
-			r = maxi64(r, t.P[p]+wake) // PR edge
+			r = max(r, t.P[p]+wake) // PR edge
 		}
 		if p := g.Prod2[i]; p >= 0 {
-			r = maxi64(r, t.P[p]+wake) // PR edge
+			r = max(r, t.P[p]+wake) // PR edge
 		}
 		t.R[i] = r
 
@@ -507,7 +507,7 @@ func (g *Graph) runInto(ctx context.Context, id Ideal, t *Times) error {
 		// --- P node (EP and PP edges) ---
 		p := e + g.EPLat(i, f)
 		if l := g.PPLeader[i]; l >= 0 && f&IdealDMiss == 0 {
-			p = maxi64(p, t.P[l])
+			p = max(p, t.P[l])
 		}
 		t.P[i] = p
 
@@ -518,19 +518,12 @@ func (g *Graph) runInto(ctx context.Context, id Ideal, t *Times) error {
 			if f&IdealBW == 0 {
 				cc += int64(g.CCLat[i]) // store-commit BW contention
 			}
-			c = maxi64(c, cc)
+			c = max(c, cc)
 		}
 		if f&IdealBW == 0 && i >= cfg.CommitBW {
-			c = maxi64(c, t.C[i-cfg.CommitBW]+1)
+			c = max(c, t.C[i-cfg.CommitBW]+1)
 		}
 		t.C[i] = c
 	}
 	return nil
-}
-
-func maxi64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -347,10 +347,10 @@ func randomGraph(r *rng.Rand, n int) *Graph {
 		}
 		g.Info[i] = info
 		if i > 0 && r.Bool(0.6) {
-			g.Prod1[i] = int32(i - 1 - r.Intn(minInt(i, 8)))
+			g.Prod1[i] = int32(i - 1 - r.Intn(min(i, 8)))
 		}
 		if i > 1 && r.Bool(0.3) {
-			g.Prod2[i] = int32(i - 1 - r.Intn(minInt(i, 16)))
+			g.Prod2[i] = int32(i - 1 - r.Intn(min(i, 16)))
 		}
 		if r.Bool(0.1) {
 			g.RELat[i] = int32(r.Intn(3))
@@ -363,13 +363,6 @@ func randomGraph(r *rng.Rand, n int) *Graph {
 		}
 	}
 	return g
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func TestQuickIdealizationMonotone(t *testing.T) {

@@ -510,6 +510,10 @@ func (e *Engine) Metrics() Snapshot {
 		BuildRetriesTotal:  e.met.buildRetries.Load(),
 		BuildFailuresTotal: e.met.buildFailures.Load(),
 
+		SnapshotsSavedTotal:     e.met.snapshotsSaved.Load(),
+		SnapshotsLoadedTotal:    e.met.snapshotsLoaded.Load(),
+		SnapshotLoadErrorsTotal: e.met.snapshotLoadErrors.Load(),
+
 		SessionsBuiltTotal:   e.met.sessionsBuilt.Load(),
 		SessionsEvictedTotal: e.met.sessionsEvicted.Load(),
 		SessionsLive:         live,

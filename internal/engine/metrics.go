@@ -77,6 +77,10 @@ type metrics struct {
 	buildRetries    atomic.Int64
 	buildFailures   atomic.Int64
 
+	snapshotsSaved     atomic.Int64
+	snapshotsLoaded    atomic.Int64
+	snapshotLoadErrors atomic.Int64
+
 	inFlight atomic.Int64
 	latency  latencyHist
 
@@ -133,6 +137,14 @@ type Snapshot struct {
 	// after all retries (and were negatively cached for BuildFailTTL).
 	BuildRetriesTotal  int64 `json:"session_build_retries_total"`
 	BuildFailuresTotal int64 `json:"session_build_failures_total"`
+
+	// SnapshotsSavedTotal / SnapshotsLoadedTotal count sessions written
+	// to and restored from durable snapshots; SnapshotLoadErrorsTotal
+	// counts snapshot files skipped at load (corrupt, unreadable, or
+	// racing a live session).
+	SnapshotsSavedTotal     int64 `json:"session_snapshots_saved_total"`
+	SnapshotsLoadedTotal    int64 `json:"session_snapshots_loaded_total"`
+	SnapshotLoadErrorsTotal int64 `json:"session_snapshot_load_errors_total"`
 
 	ResultCacheEntries int   `json:"result_cache_entries"`
 	ResultCacheBytes   int64 `json:"result_cache_bytes"`

@@ -303,4 +303,21 @@ func (st *sessionStore) drain() []*session {
 	return out
 }
 
+// sessions returns every completed session, most recently used first,
+// without disturbing the store (snapshot saves read it in place).
+func (st *sessionStore) sessions() []*session {
+	var out []*session
+	for el := st.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*sessionEntry)
+		select {
+		case <-e.ready:
+			if e.sess != nil {
+				out = append(out, e.sess)
+			}
+		default:
+		}
+	}
+	return out
+}
+
 func (st *sessionStore) len() int { return st.ll.Len() }

@@ -1,0 +1,461 @@
+package engine
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"icost/internal/cache"
+	"icost/internal/cost"
+	"icost/internal/depgraph"
+	"icost/internal/faultinject"
+	"icost/internal/isa"
+	"icost/internal/ooo"
+)
+
+// Durable session snapshots. A built session is expensive — trace
+// generation plus out-of-order simulation — but every query it can
+// answer needs only the normalized spec and the dependence graph
+// (execute reads the analyzer, which wraps the graph). The snapshot
+// encodes exactly that closure, so a daemon restart restores its
+// working set in milliseconds instead of re-simulating it:
+//
+//	magic    "ICSS" + version byte
+//	checksum 4-byte little-endian CRC-32C of the payload
+//	length   uvarint payload byte count
+//	payload  normalized spec, build wall time, simulated cycles,
+//	         graph config, then per-instruction records (varints)
+//
+// The encoding is canonical: the same session always produces the
+// same bytes, so a snapshot of a restored session is bit-identical to
+// the snapshot it came from (property-tested in snapshot_test.go).
+// The checksum makes corruption a clean load error, never a corrupt
+// graph answering queries.
+
+var snapMagic = [5]byte{'I', 'C', 'S', 'S', 1}
+
+var snapCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// maxSnapPayload bounds a snapshot payload (a 30k-instruction session
+// encodes to well under 1 MiB; 1 GiB is a generous corruption guard).
+const maxSnapPayload = 1 << 30
+
+// SnapshotSession encodes the built session identified by key into w.
+// The session stays live — encoding only reads the graph, which is
+// immutable after build, so snapshots can be taken while queries run.
+func (e *Engine) SnapshotSession(ctx context.Context, key string, w io.Writer) error {
+	s := e.sessionByKey(key)
+	if s == nil {
+		return fmt.Errorf("engine: no built session %q to snapshot", key)
+	}
+	return writeSnapshot(ctx, w, s)
+}
+
+// sessionByKey returns the completed session for key, or nil.
+func (e *Engine) sessionByKey(key string) *session {
+	e.storeMu.Lock()
+	defer e.storeMu.Unlock()
+	el, ok := e.store.items[key]
+	if !ok {
+		return nil
+	}
+	entry := el.Value.(*sessionEntry)
+	select {
+	case <-entry.ready:
+		return entry.sess
+	default:
+		return nil
+	}
+}
+
+func writeSnapshot(ctx context.Context, w io.Writer, s *session) error {
+	if err := faultinject.Hit(ctx, faultinject.FleetSnapshot); err != nil {
+		return err
+	}
+	var payload bytes.Buffer
+	bw := bufio.NewWriter(&payload)
+
+	sp := s.spec
+	putSnapString(bw, sp.Bench)
+	putSnapUv(bw, sp.Seed)
+	putSnapUv(bw, uint64(sp.TraceLen))
+	putSnapUv(bw, uint64(sp.Warmup))
+	putSnapUv(bw, uint64(sp.DL1Latency))
+	putSnapUv(bw, uint64(sp.Window))
+	putSnapUv(bw, uint64(sp.WakeupExtra))
+	putSnapUv(bw, uint64(sp.BranchRecovery))
+	putSnapUv(bw, uint64(s.built))
+	putSnapUv(bw, uint64(s.result.Cycles))
+
+	g := s.result.Graph
+	n := g.Len()
+	putSnapUv(bw, uint64(n))
+	for _, v := range snapCfgFields(g.Cfg) {
+		putSnapUv(bw, uint64(v))
+	}
+	for i := 0; i < n; i++ {
+		info := &g.Info[i]
+		bw.WriteByte(byte(info.Op))
+		putSnapUv(bw, uint64(info.SIdx+1))
+		var flags byte
+		if info.Mispredict {
+			flags |= 1
+		}
+		if info.DTLBMiss {
+			flags |= 2
+		}
+		if info.ITLBMiss {
+			flags |= 4
+		}
+		bw.WriteByte(flags)
+		bw.WriteByte(byte(info.DataLevel))
+		bw.WriteByte(byte(info.ILevel))
+		bw.WriteByte(g.DDBreak[i])
+		putSnapUv(bw, uint64(g.RELat[i]))
+		putSnapUv(bw, uint64(g.CCLat[i]))
+		putSnapUv(bw, uint64(g.Prod1[i]+1))
+		putSnapUv(bw, uint64(g.Prod2[i]+1))
+		putSnapUv(bw, uint64(g.PPLeader[i]+1))
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+
+	out := bufio.NewWriter(w)
+	out.Write(snapMagic[:])
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], crc32.Checksum(payload.Bytes(), snapCRC))
+	out.Write(crcb[:])
+	putSnapUv(out, uint64(payload.Len()))
+	if _, err := out.Write(payload.Bytes()); err != nil {
+		return err
+	}
+	return out.Flush()
+}
+
+// snapCfgFields flattens a graph config in canonical field order.
+func snapCfgFields(c depgraph.Config) []int {
+	return []int{
+		c.FetchBW, c.CommitBW, c.Window, c.WindowIdealFactor,
+		c.DispatchToReady, c.CompleteToCommit, c.BranchRecovery, c.WakeupExtra,
+		c.DL1Latency, c.L2Latency, c.MemLatency, c.TLBMissLatency,
+	}
+}
+
+// RestoreSession decodes one snapshot from r and installs it in the
+// session store, returning the restored session's key. A session
+// already live (or building) under the same key wins: the snapshot is
+// decoded and discarded, and the live key is returned.
+func (e *Engine) RestoreSession(ctx context.Context, r io.Reader) (string, error) {
+	s, err := readSnapshot(ctx, r)
+	if err != nil {
+		return "", err
+	}
+	e.installSession(s)
+	return s.key, nil
+}
+
+func readSnapshot(ctx context.Context, r io.Reader) (*session, error) {
+	if err := faultinject.Hit(ctx, faultinject.FleetSnapshot); err != nil {
+		return nil, err
+	}
+	hr := bufio.NewReader(r)
+	var magic [5]byte
+	if _, err := io.ReadFull(hr, magic[:]); err != nil {
+		return nil, fmt.Errorf("engine: reading snapshot magic: %w", err)
+	}
+	if magic != snapMagic {
+		return nil, fmt.Errorf("engine: bad snapshot magic %q (version mismatch?)", magic)
+	}
+	var crcb [4]byte
+	if _, err := io.ReadFull(hr, crcb[:]); err != nil {
+		return nil, fmt.Errorf("engine: reading snapshot checksum: %w", err)
+	}
+	plen, err := getSnapUv(hr, maxSnapPayload)
+	if err != nil {
+		return nil, err
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(hr, payload); err != nil {
+		return nil, fmt.Errorf("engine: snapshot truncated: %w", err)
+	}
+	if got := crc32.Checksum(payload, snapCRC); got != binary.LittleEndian.Uint32(crcb[:]) {
+		return nil, fmt.Errorf("engine: snapshot checksum mismatch (corrupt file)")
+	}
+
+	br := bufio.NewReader(bytes.NewReader(payload))
+	var sp SessionSpec
+	if sp.Bench, err = getSnapString(br); err != nil {
+		return nil, err
+	}
+	if sp.Seed, err = getSnapUv(br, 1<<63); err != nil {
+		return nil, err
+	}
+	ints := []*int{&sp.TraceLen, &sp.Warmup, &sp.DL1Latency, &sp.Window, &sp.WakeupExtra, &sp.BranchRecovery}
+	for _, dst := range ints {
+		v, err := getSnapUv(br, 1<<31)
+		if err != nil {
+			return nil, err
+		}
+		*dst = int(v)
+	}
+	builtNS, err := getSnapUv(br, 1<<62)
+	if err != nil {
+		return nil, err
+	}
+	cycles, err := getSnapUv(br, 1<<62)
+	if err != nil {
+		return nil, err
+	}
+
+	spec, err := sp.normalize()
+	if err != nil {
+		return nil, fmt.Errorf("engine: snapshot spec: %w", err)
+	}
+	key, _ := spec.Key()
+
+	n64, err := getSnapUv(br, 1<<24)
+	if err != nil {
+		return nil, err
+	}
+	n := int(n64)
+	if n != spec.TraceLen {
+		return nil, fmt.Errorf("engine: snapshot graph has %d instructions, spec says %d", n, spec.TraceLen)
+	}
+	var cfg depgraph.Config
+	cfgDst := snapCfgFieldPtrs(&cfg)
+	for _, dst := range cfgDst {
+		v, err := getSnapUv(br, 1<<31)
+		if err != nil {
+			return nil, err
+		}
+		*dst = int(v)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: snapshot graph config: %w", err)
+	}
+
+	g := depgraph.New(cfg, n)
+	for i := 0; i < n; i++ {
+		var hdr [5]byte
+		if _, err := io.ReadFull(br, hdr[:1]); err != nil {
+			return nil, fmt.Errorf("engine: snapshot truncated at instruction %d: %w", i, err)
+		}
+		if isa.Op(hdr[0]) >= isa.NumOps {
+			return nil, fmt.Errorf("engine: snapshot has invalid opcode %d", hdr[0])
+		}
+		g.Info[i].Op = isa.Op(hdr[0])
+		sidx, err := getSnapUv(br, 1<<31)
+		if err != nil {
+			return nil, err
+		}
+		g.Info[i].SIdx = int32(sidx) - 1
+		if _, err := io.ReadFull(br, hdr[1:]); err != nil {
+			return nil, fmt.Errorf("engine: snapshot truncated at instruction %d: %w", i, err)
+		}
+		flags := hdr[1]
+		if flags > 7 {
+			return nil, fmt.Errorf("engine: snapshot has invalid flag byte %#x", flags)
+		}
+		g.Info[i].Mispredict = flags&1 != 0
+		g.Info[i].DTLBMiss = flags&2 != 0
+		g.Info[i].ITLBMiss = flags&4 != 0
+		if hdr[2] > byte(cache.LevelMem) || hdr[3] > byte(cache.LevelMem) {
+			return nil, fmt.Errorf("engine: snapshot has invalid cache level")
+		}
+		g.Info[i].DataLevel = cache.Level(hdr[2])
+		g.Info[i].ILevel = cache.Level(hdr[3])
+		g.DDBreak[i] = hdr[4]
+		lat, err := getSnapUv(br, 1<<30)
+		if err != nil {
+			return nil, err
+		}
+		g.RELat[i] = int32(lat)
+		if lat, err = getSnapUv(br, 1<<30); err != nil {
+			return nil, err
+		}
+		g.CCLat[i] = int32(lat)
+		for _, dst := range []*[]int32{&g.Prod1, &g.Prod2, &g.PPLeader} {
+			v, err := getSnapUv(br, uint64(n))
+			if err != nil {
+				return nil, err
+			}
+			(*dst)[i] = int32(v) - 1
+		}
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("engine: snapshot has trailing payload bytes")
+	}
+
+	return &session{
+		key:      key,
+		spec:     spec,
+		result:   &ooo.Result{Cycles: int64(cycles), Graph: g},
+		analyzer: cost.New(g),
+		built:    time.Duration(builtNS),
+		pooled:   false, // restored graphs are heap-backed; release is a no-op
+	}, nil
+}
+
+// snapCfgFieldPtrs mirrors snapCfgFields for decoding.
+func snapCfgFieldPtrs(c *depgraph.Config) []*int {
+	return []*int{
+		&c.FetchBW, &c.CommitBW, &c.Window, &c.WindowIdealFactor,
+		&c.DispatchToReady, &c.CompleteToCommit, &c.BranchRecovery, &c.WakeupExtra,
+		&c.DL1Latency, &c.L2Latency, &c.MemLatency, &c.TLBMissLatency,
+	}
+}
+
+// installSession publishes a restored session, respecting the store's
+// LRU bound and single-flight discipline: if the key is already live
+// or building, the restored copy is discarded (the store's version is
+// at least as fresh). Returns whether the session was installed.
+func (e *Engine) installSession(s *session) bool {
+	s.analyzer.SetBatchObserver(e.met.recordBatch)
+	e.storeMu.Lock()
+	defer e.storeMu.Unlock()
+	entry, builder := e.store.entry(s.key, time.Now())
+	if !builder {
+		return false
+	}
+	entry.sess = s
+	close(entry.ready)
+	e.met.sessionsBuilt.Add(1)
+	e.met.sessionsEvicted.Add(int64(e.store.evict()))
+	return true
+}
+
+// SaveSnapshots writes every built session to dir, one atomically
+// renamed <key>.icss file each, and reports how many were saved. Call
+// before Close: Close releases pool-backed graph storage back to the
+// arena, after which sessions must not be read.
+func (e *Engine) SaveSnapshots(ctx context.Context, dir string) (int, error) {
+	e.storeMu.Lock()
+	sessions := e.store.sessions()
+	e.storeMu.Unlock()
+	if len(sessions) == 0 {
+		return 0, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	saved := 0
+	for _, s := range sessions {
+		if err := ctx.Err(); err != nil {
+			return saved, err
+		}
+		if err := e.saveOne(ctx, dir, s); err != nil {
+			return saved, err
+		}
+		saved++
+		e.met.snapshotsSaved.Add(1)
+	}
+	return saved, nil
+}
+
+func (e *Engine) saveOne(ctx context.Context, dir string, s *session) error {
+	final := filepath.Join(dir, s.key+".icss")
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := writeSnapshot(ctx, f, s); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// LoadSnapshots restores every *.icss snapshot under dir into the
+// session store and reports how many loaded. Individual corrupt or
+// stale files are skipped (counted in the snapshot-load-error metric)
+// rather than failing startup; a missing directory is zero sessions,
+// not an error.
+func (e *Engine) LoadSnapshots(ctx context.Context, dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	loaded := 0
+	for _, ent := range entries {
+		if ent.IsDir() || filepath.Ext(ent.Name()) != ".icss" {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return loaded, err
+		}
+		if e.loadOne(ctx, filepath.Join(dir, ent.Name())) {
+			loaded++
+		}
+	}
+	return loaded, nil
+}
+
+func (e *Engine) loadOne(ctx context.Context, path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		e.met.snapshotLoadErrors.Add(1)
+		return false
+	}
+	defer f.Close()
+	s, err := readSnapshot(ctx, f)
+	if err != nil {
+		e.met.snapshotLoadErrors.Add(1)
+		return false
+	}
+	if !e.installSession(s) {
+		return false
+	}
+	e.met.snapshotsLoaded.Add(1)
+	return true
+}
+
+func putSnapUv(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func getSnapUv(r *bufio.Reader, max uint64) (uint64, error) {
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("engine: reading snapshot varint: %w", err)
+	}
+	if v > max {
+		return 0, fmt.Errorf("engine: snapshot field %d exceeds bound %d", v, max)
+	}
+	return v, nil
+}
+
+func putSnapString(w *bufio.Writer, s string) {
+	putSnapUv(w, uint64(len(s)))
+	w.WriteString(s)
+}
+
+func getSnapString(r *bufio.Reader) (string, error) {
+	n, err := getSnapUv(r, 1<<12)
+	if err != nil {
+		return "", err
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", fmt.Errorf("engine: reading snapshot string: %w", err)
+	}
+	return string(b), nil
+}

@@ -1,0 +1,304 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"icost/internal/faultinject"
+)
+
+// snapshotQueryMix is the full query surface a restored session must
+// answer identically: scalar costs, an interaction, a focused
+// breakdown, and the slack distribution.
+func snapshotQueryMix(spec SessionSpec) []Query {
+	return []Query{
+		{Session: spec, Op: OpCost, Cats: []string{"dl1"}},
+		{Session: spec, Op: OpCost, Cats: []string{"win", "bw"}},
+		{Session: spec, Op: OpICost, Cats: []string{"dl1", "win"}},
+		{Session: spec, Op: OpBreakdown},
+		{Session: spec, Op: OpSlack},
+	}
+}
+
+// canonicalResponse strips the serving-dependent fields (latency,
+// cache provenance) and renders the rest as JSON for byte comparison.
+func canonicalResponse(t *testing.T, resp *Response) []byte {
+	t.Helper()
+	cp := *resp
+	cp.Elapsed = 0
+	cp.Cached = false
+	raw, err := json.Marshal(&cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestSnapshotRoundTripProperty: for every benchmark x seed in the
+// grid, a session snapshot restores into a session that answers the
+// full query mix byte-identically, and re-snapshotting the restored
+// session reproduces the original snapshot bit-for-bit.
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	ctx := context.Background()
+	benches := []string{"gzip", "mcf", "vpr"}
+	seeds := []uint64{42, 7, 9}
+
+	for _, bench := range benches {
+		for _, seed := range seeds {
+			spec := SessionSpec{Bench: bench, Seed: seed, TraceLen: 4000, Warmup: 2000}
+
+			e1 := New(Config{Workers: 2, MaxSessions: 2})
+			key, err := e1.Warm(ctx, spec)
+			if err != nil {
+				t.Fatalf("%s/%d: warm: %v", bench, seed, err)
+			}
+			var want [][]byte
+			for _, q := range snapshotQueryMix(spec) {
+				resp, err := e1.Query(ctx, q)
+				if err != nil {
+					t.Fatalf("%s/%d: %s: %v", bench, seed, q.Op, err)
+				}
+				want = append(want, canonicalResponse(t, resp))
+			}
+			var snap bytes.Buffer
+			if err := e1.SnapshotSession(ctx, key, &snap); err != nil {
+				t.Fatalf("%s/%d: snapshot: %v", bench, seed, err)
+			}
+			e1.Close()
+
+			e2 := New(Config{Workers: 2, MaxSessions: 2})
+			gotKey, err := e2.RestoreSession(ctx, bytes.NewReader(snap.Bytes()))
+			if err != nil {
+				t.Fatalf("%s/%d: restore: %v", bench, seed, err)
+			}
+			if gotKey != key {
+				t.Fatalf("%s/%d: restored key %s, want %s", bench, seed, gotKey, key)
+			}
+			if m := e2.Metrics(); m.SessionsLive != 1 {
+				t.Fatalf("%s/%d: restored engine has %d live sessions", bench, seed, m.SessionsLive)
+			}
+			for i, q := range snapshotQueryMix(spec) {
+				resp, err := e2.Query(ctx, q)
+				if err != nil {
+					t.Fatalf("%s/%d: restored %s: %v", bench, seed, q.Op, err)
+				}
+				if got := canonicalResponse(t, resp); !bytes.Equal(got, want[i]) {
+					t.Fatalf("%s/%d: %s diverged after restore:\n  built:    %s\n  restored: %s",
+						bench, seed, q.Op, want[i], got)
+				}
+			}
+			// The restored engine never rebuilt: every answer came off
+			// the restored graph.
+			if m := e2.Metrics(); m.SessionBuildP50us != 0 {
+				t.Fatalf("%s/%d: restored engine ran a cold build", bench, seed)
+			}
+
+			// Bit-identical re-encoding: the snapshot is canonical.
+			var snap2 bytes.Buffer
+			if err := e2.SnapshotSession(ctx, key, &snap2); err != nil {
+				t.Fatalf("%s/%d: re-snapshot: %v", bench, seed, err)
+			}
+			if !bytes.Equal(snap.Bytes(), snap2.Bytes()) {
+				t.Fatalf("%s/%d: re-snapshot differs (%d vs %d bytes)",
+					bench, seed, snap.Len(), snap2.Len())
+			}
+			e2.Close()
+		}
+	}
+}
+
+func TestSnapshotSaveLoadDir(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	specs := []SessionSpec{
+		{Bench: "gzip", TraceLen: 3000, Warmup: 1000},
+		{Bench: "mcf", TraceLen: 3000, Warmup: 1000},
+	}
+
+	e1 := New(Config{Workers: 2})
+	for _, sp := range specs {
+		if _, err := e1.Warm(ctx, sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := e1.SaveSnapshots(ctx, dir)
+	if err != nil || n != len(specs) {
+		t.Fatalf("SaveSnapshots = %d, %v", n, err)
+	}
+	if m := e1.Metrics(); m.SnapshotsSavedTotal != int64(len(specs)) {
+		t.Fatalf("save metric: %+v", m)
+	}
+	e1.Close()
+
+	files, _ := filepath.Glob(filepath.Join(dir, "*.icss"))
+	if len(files) != len(specs) {
+		t.Fatalf("snapshot dir holds %v", files)
+	}
+	// Startup tolerates junk alongside snapshots: non-snapshot files
+	// are ignored, corrupt snapshots are skipped and counted.
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), mustRead(t, files[0])...)
+	corrupt[len(corrupt)-1] ^= 0xff
+	if err := os.WriteFile(filepath.Join(dir, "corrupt.icss"), corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := New(Config{Workers: 2})
+	defer e2.Close()
+	loaded, err := e2.LoadSnapshots(ctx, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != len(specs) {
+		t.Fatalf("loaded %d sessions, want %d", loaded, len(specs))
+	}
+	m := e2.Metrics()
+	if m.SnapshotsLoadedTotal != int64(len(specs)) || m.SnapshotLoadErrorsTotal != 1 {
+		t.Fatalf("load metrics: %+v", m)
+	}
+	for _, sp := range specs {
+		if _, err := e2.Query(ctx, Query{Session: sp, Op: OpCost, Cats: []string{"dl1"}}); err != nil {
+			t.Fatalf("restored %s: %v", sp.Bench, err)
+		}
+	}
+	if m := e2.Metrics(); m.SessionBuildP50us != 0 {
+		t.Fatal("restored engine ran a cold build")
+	}
+
+	// A missing directory is an empty fleet, not an error.
+	if n, err := e2.LoadSnapshots(ctx, filepath.Join(dir, "nope")); n != 0 || err != nil {
+		t.Fatalf("missing dir: %d, %v", n, err)
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	ctx := context.Background()
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	spec := SessionSpec{Bench: "gzip", TraceLen: 3000, Warmup: 1000}
+	key, err := e.Warm(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := e.SnapshotSession(ctx, key, &snap); err != nil {
+		t.Fatal(err)
+	}
+	good := snap.Bytes()
+
+	fresh := func() *Engine { return New(Config{Workers: 1}) }
+	check := func(name string, raw []byte) {
+		e2 := fresh()
+		defer e2.Close()
+		if _, err := e2.RestoreSession(ctx, bytes.NewReader(raw)); err == nil {
+			t.Errorf("%s: corrupt snapshot restored", name)
+		}
+		if m := e2.Metrics(); m.SessionsLive != 0 {
+			t.Errorf("%s: corrupt snapshot left a live session", name)
+		}
+	}
+	check("empty", nil)
+	check("bad magic", []byte("ICSS\x02junk"))
+	check("truncated", good[:len(good)/2])
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-5] ^= 0x01
+	check("bit flip", flipped)
+	// A payload length disagreeing with the checksum must fail (the
+	// length uvarint starts right after the 5-byte magic + 4-byte CRC).
+	lengthLie := append([]byte(nil), good...)
+	lengthLie[9]++
+	check("length lie", lengthLie)
+
+	// The unknown-session path errors cleanly too.
+	if err := e.SnapshotSession(ctx, "deadbeef00000000", &bytes.Buffer{}); err == nil {
+		t.Fatal("snapshot of unknown session succeeded")
+	}
+}
+
+// TestSnapshotLiveSessionWins: restoring a snapshot whose key is
+// already live keeps the live session and reports the key.
+func TestSnapshotLiveSessionWins(t *testing.T) {
+	ctx := context.Background()
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	spec := SessionSpec{Bench: "gzip", TraceLen: 3000, Warmup: 1000}
+	key, err := e.Warm(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := e.SnapshotSession(ctx, key, &snap); err != nil {
+		t.Fatal(err)
+	}
+	gotKey, err := e.RestoreSession(ctx, bytes.NewReader(snap.Bytes()))
+	if err != nil || gotKey != key {
+		t.Fatalf("RestoreSession = %s, %v", gotKey, err)
+	}
+	m := e.Metrics()
+	if m.SessionsLive != 1 || m.SnapshotsLoadedTotal != 0 {
+		t.Fatalf("live-session restore: %+v", m)
+	}
+}
+
+// TestChaosSnapshotFaults drives the fleet.snapshot injection point
+// through both the encode and decode paths.
+func TestChaosSnapshotFaults(t *testing.T) {
+	defer faultinject.Disable()
+	faultinject.Disable()
+	ctx := context.Background()
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	spec := SessionSpec{Bench: "gzip", TraceLen: 3000, Warmup: 1000}
+	key, err := e.Warm(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := e.SnapshotSession(ctx, key, &snap); err != nil {
+		t.Fatal(err)
+	}
+
+	errBoom := errors.New("chaos: snapshot fault")
+	faultinject.Enable(1, faultinject.Rule{Point: faultinject.FleetSnapshot, Err: errBoom})
+	if err := e.SnapshotSession(ctx, key, &bytes.Buffer{}); !errors.Is(err, errBoom) {
+		t.Fatalf("encode fault not surfaced: %v", err)
+	}
+	e2 := New(Config{Workers: 1})
+	defer e2.Close()
+	if _, err := e2.RestoreSession(ctx, bytes.NewReader(snap.Bytes())); !errors.Is(err, errBoom) {
+		t.Fatalf("decode fault not surfaced: %v", err)
+	}
+	// A faulted save leaves no partial file behind.
+	dir := t.TempDir()
+	if n, err := e.SaveSnapshots(ctx, dir); err == nil || n != 0 {
+		t.Fatalf("faulted save: %d, %v", n, err)
+	}
+	if files, _ := os.ReadDir(dir); len(files) != 0 {
+		t.Fatalf("faulted save left %d files", len(files))
+	}
+	faultinject.Disable()
+
+	// And the paths recover once the fault clears.
+	if n, err := e.SaveSnapshots(ctx, dir); err != nil || n != 1 {
+		t.Fatalf("post-chaos save: %d, %v", n, err)
+	}
+	if n, err := e2.LoadSnapshots(ctx, dir); err != nil || n != 1 {
+		t.Fatalf("post-chaos load: %d, %v", n, err)
+	}
+}

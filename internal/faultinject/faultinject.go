@@ -65,6 +65,16 @@ const (
 	EngineCachePut Point = "engine.cacheput"
 	// DaemonQuery fires at the top of the icostd /query handler.
 	DaemonQuery Point = "icostd.query"
+	// FleetIngest fires at the top of every fleet sample-batch ingest,
+	// before the batch touches its aggregate.
+	FleetIngest Point = "fleet.ingest"
+	// FleetMerge fires inside the aggregate merge, after the batch is
+	// staged but before it is committed — a fault here must leave the
+	// aggregate exactly as it was (merges are transactional).
+	FleetMerge Point = "fleet.merge"
+	// FleetSnapshot fires at the top of every session snapshot encode
+	// and decode (engine SnapshotSession / RestoreSession).
+	FleetSnapshot Point = "fleet.snapshot"
 )
 
 // Points returns every defined injection point, for chaos-suite
@@ -73,6 +83,7 @@ func Points() []Point {
 	return []Point{
 		WorkloadGen, OOOSim, OOOGraph, GraphWalk,
 		EngineAdmit, EngineBuild, EngineCachePut, DaemonQuery,
+		FleetIngest, FleetMerge, FleetSnapshot,
 	}
 }
 

@@ -97,6 +97,30 @@ func TestSeededProbReplays(t *testing.T) {
 	}
 }
 
+// TestFleetPointsRegistered pins the ingestion-path points: they are
+// enumerable (so chaos coverage loops visit them) and fire like any
+// other point.
+func TestFleetPointsRegistered(t *testing.T) {
+	defer Disable()
+	want := []Point{FleetIngest, FleetMerge, FleetSnapshot}
+	all := Points()
+	for _, pt := range want {
+		found := false
+		for _, p := range all {
+			if p == pt {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("Points() is missing %s", pt)
+		}
+		Enable(1, Rule{Point: pt, Err: errBoom})
+		if err := Hit(context.Background(), pt); !errors.Is(err, errBoom) {
+			t.Fatalf("Hit(%s) = %v, want errBoom", pt, err)
+		}
+	}
+}
+
 func TestLatencyHonorsCtx(t *testing.T) {
 	defer Disable()
 	Enable(1, Rule{Point: GraphWalk, Latency: 10 * time.Second})

@@ -1,0 +1,73 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+
+	"icost/internal/engine"
+)
+
+// TestMemoizedQueryTracksEngineWarmPath is the `make ci` no-regression
+// guard behind bench-fleet: the fleet's memoized query path serves the
+// same dashboard role as the engine's warm (result-cached) query path,
+// so it must stay in the same performance class. The factor is
+// deliberately generous — this is a canary for the routing layer
+// growing accidental per-query work (a lost memo hit re-runs a full
+// multi-second reconstruction), not a microbenchmark, and it only
+// trips when the fleet path is both far slower than the engine's and
+// slow in absolute terms.
+func TestMemoizedQueryTracksEngineWarmPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	ctx := context.Background()
+
+	e := engine.New(engine.Config{Workers: 1})
+	defer e.Close()
+	eq := engine.Query{
+		Session: engine.SessionSpec{Bench: "gzip", Seed: 7, TraceLen: 2000, Warmup: 1000},
+		Op:      engine.OpCost,
+		Cats:    []string{"dl1"},
+	}
+	if _, err := e.Query(ctx, eq); err != nil { // cold build + cache fill
+		t.Fatal(err)
+	}
+	warm := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Query(ctx, eq); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	a := NewAggregator(testAggConfig())
+	h := Header{Binary: "gzip", Seed: 42, Group: "prod", Host: "h0"}
+	if err := a.Ingest(ctx, h, hostBatch(t, "gzip", 42, 7)); err != nil {
+		t.Fatal(err)
+	}
+	fq := Query{Binary: "gzip", Seed: 42, Group: "prod", Op: OpBreakdown}
+	if _, err := a.Query(ctx, fq); err != nil { // memo fill
+		t.Fatal(err)
+	}
+	memo := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r, err := a.Query(ctx, fq)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !r.Memoized {
+				b.Fatal("expected a memo hit")
+			}
+		}
+	})
+
+	const (
+		factor  = 50        // same performance class, with ample noise headroom
+		floorNs = 1_000_000 // and never flag a path that is fast in absolute terms
+	)
+	if memo.NsPerOp() > factor*warm.NsPerOp() && memo.NsPerOp() > floorNs {
+		t.Fatalf("fleet memoized query regressed: %d ns/op vs engine warm %d ns/op (allowed %dx)",
+			memo.NsPerOp(), warm.NsPerOp(), factor)
+	}
+	t.Logf("fleet memoized %d ns/op, engine warm %d ns/op", memo.NsPerOp(), warm.NsPerOp())
+}

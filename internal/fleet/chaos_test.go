@@ -1,0 +1,124 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"icost/internal/faultinject"
+)
+
+var errChaos = errors.New("chaos: injected fault")
+
+// TestChaosFleetMergeTransactional kills a merge mid-flight: the
+// fault fires after the batch is staged, inside the aggregate's
+// critical section, and the aggregate must come out exactly as it
+// went in — same generation, batches, bytes, and query answers.
+func TestChaosFleetMergeTransactional(t *testing.T) {
+	defer faultinject.Disable()
+	faultinject.Disable()
+
+	ctx := context.Background()
+	a := NewAggregator(testAggConfig())
+	s := hostBatch(t, "gzip", 42, 7)
+	h := Header{Binary: "gzip", Seed: 42, Group: "prod", Host: "h0"}
+	if err := a.Ingest(ctx, h, s); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Binary: "gzip", Seed: 42, Group: "prod", Op: OpCost, Cats: []string{"win"}}
+	before, err := a.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytesBefore := a.Bytes()
+
+	faultinject.Enable(1, faultinject.Rule{Point: faultinject.FleetMerge, Err: errChaos})
+	if err := a.Ingest(ctx, h, hostBatch(t, "gzip", 42, 8)); !errors.Is(err, errChaos) {
+		t.Fatalf("merge fault not surfaced: %v", err)
+	}
+	faultinject.Disable()
+
+	after, err := a.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Generation != before.Generation || after.Batches != before.Batches ||
+		after.Sigs != before.Sigs || a.Bytes() != bytesBefore {
+		t.Fatalf("killed merge mutated the aggregate: before %+v (%d bytes), after %+v (%d bytes)",
+			before, bytesBefore, after, a.Bytes())
+	}
+	if !after.Memoized || after.Value != before.Value {
+		t.Fatalf("killed merge invalidated the memo: %+v vs %+v", before, after)
+	}
+
+	// The aggregate keeps accepting merges once the fault clears.
+	if err := a.Ingest(ctx, h, hostBatch(t, "gzip", 42, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if r, err := a.Query(ctx, q); err != nil || r.Generation != before.Generation+1 {
+		t.Fatalf("post-chaos ingest: %+v, %v", r, err)
+	}
+}
+
+// TestChaosFleetIngestStorm drives a seeded probabilistic fault mix
+// through the whole ingest path and checks the aggregate's books
+// balance: every committed batch is counted exactly once, every
+// failed one not at all.
+func TestChaosFleetIngestStorm(t *testing.T) {
+	defer faultinject.Disable()
+	ctx := context.Background()
+	a := NewAggregator(testAggConfig())
+	s := hostBatch(t, "gzip", 42, 7)
+	one := sampleBytes(s)
+	h := Header{Binary: "gzip", Seed: 42, Group: "prod", Host: "h0"}
+
+	faultinject.Enable(42,
+		faultinject.Rule{Point: faultinject.FleetIngest, Err: errChaos, Prob: 0.3},
+		faultinject.Rule{Point: faultinject.FleetMerge, Err: errChaos, Prob: 0.3},
+	)
+	committed := 0
+	for i := 0; i < 64; i++ {
+		if err := a.Ingest(ctx, h, s); err == nil {
+			committed++
+		} else if !errors.Is(err, errChaos) {
+			t.Fatalf("ingest %d: unexpected error %v", i, err)
+		}
+	}
+	faultinject.Disable()
+
+	if committed == 0 || committed == 64 {
+		t.Fatalf("fault mix fired degenerately: %d/64 committed", committed)
+	}
+	if got := a.Bytes(); got != int64(committed)*one {
+		t.Fatalf("books: %d bytes retained, want %d batches x %d", got, committed, one)
+	}
+	m := a.Metrics()
+	if m.IngestBatchesTotal != int64(committed) || m.IngestErrorsTotal != int64(64-committed) {
+		t.Fatalf("metrics books: %+v (committed %d)", m, committed)
+	}
+	r, err := a.Query(ctx, Query{Binary: "gzip", Seed: 42, Group: "prod", Op: OpCost, Cats: []string{"win"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Batches != int64(committed) || r.Generation != uint64(committed) {
+		t.Fatalf("query sees %d batches gen %d, want %d", r.Batches, r.Generation, committed)
+	}
+}
+
+// TestChaosFleetIngestCancel: a cancel fault at the ingest point
+// severs the request context and the ingest reports cancellation, not
+// a partial merge.
+func TestChaosFleetIngestCancel(t *testing.T) {
+	defer faultinject.Disable()
+	faultinject.Enable(1, faultinject.Rule{Point: faultinject.FleetIngest, Cancel: true})
+	a := NewAggregator(testAggConfig())
+	ctx, cancel := faultinject.WithCancel(context.Background())
+	defer cancel()
+	err := a.Ingest(ctx, Header{Binary: "gzip", Group: "prod"}, hostBatch(t, "gzip", 42, 7))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancel fault returned %v", err)
+	}
+	if a.Len() != 0 {
+		t.Fatal("canceled ingest created an aggregate")
+	}
+}

@@ -1,0 +1,75 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"icost/internal/ooo"
+	"icost/internal/profiler"
+	"icost/internal/workload"
+)
+
+// testProfCfg is a small, fast profiler configuration shared by the
+// collection side (tests standing in for hosts) and the aggregator.
+func testProfCfg() profiler.Config {
+	return profiler.Config{
+		SigLen:         200,
+		SigInterval:    97,
+		DetailInterval: 3,
+		Context:        10,
+		Fragments:      8,
+		SignatureBits:  2,
+		Seed:           1,
+	}
+}
+
+func testAggConfig() Config {
+	return Config{
+		MaxBytes: 1 << 30,
+		Profiler: testProfCfg(),
+		Machine:  ooo.DefaultConfig(),
+	}
+}
+
+// batchCache memoizes collected sample batches: simulating a host is
+// the expensive part of these tests, and every test wants the same
+// few batches.
+var batchCache = struct {
+	sync.Mutex
+	m map[string]*profiler.Samples
+}{m: map[string]*profiler.Samples{}}
+
+// hostBatch simulates one host's run of bench@seed and collects its
+// sample batch. traceSeed varies the execution so different "hosts"
+// observe different dynamic paths of the same binary.
+func hostBatch(tb testing.TB, bench string, seed, traceSeed uint64) *profiler.Samples {
+	tb.Helper()
+	const n, warmup = 6000, 2000
+	key := fmt.Sprintf("%s@%d/%d", bench, seed, traceSeed)
+	batchCache.Lock()
+	defer batchCache.Unlock()
+	if s, ok := batchCache.m[key]; ok {
+		return s
+	}
+	w, err := workload.Cached(bench, seed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr, err := w.Execute(warmup+n, traceSeed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	res, err := ooo.Simulate(tr, ooo.DefaultConfig(), ooo.Options{KeepGraph: true, Warmup: warmup})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := testProfCfg()
+	cfg.Seed = traceSeed
+	s, err := profiler.Collect(tr, res.Graph, warmup, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	batchCache.m[key] = s
+	return s
+}

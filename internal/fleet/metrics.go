@@ -1,0 +1,144 @@
+package fleet
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets matches the engine's latency histogram shape: bucket i
+// counts durations in [2^i, 2^(i+1)) microseconds, with the last
+// bucket absorbing everything from 2^26µs (~67s) up. Quantiles are
+// bucket upper bounds, clamped to the honest overflow lower bound.
+const histBuckets = 27
+
+// latencyHist is a lock-free log-scaled histogram (one atomic
+// increment to record).
+type latencyHist struct {
+	counts [histBuckets]atomic.Int64
+	total  atomic.Int64
+}
+
+func (h *latencyHist) record(d time.Duration) {
+	us := d.Microseconds()
+	b := 0
+	for us > 1 && b < histBuckets-1 {
+		us >>= 1
+		b++
+	}
+	h.counts[b].Add(1)
+	h.total.Add(1)
+}
+
+// quantile estimates the q-quantile in microseconds (0 when nothing
+// was recorded). Not atomic across buckets; fine for monitoring.
+func (h *latencyHist) quantile(q float64) int64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	var seen int64
+	for b := 0; b < histBuckets; b++ {
+		seen += h.counts[b].Load()
+		if seen > rank {
+			if b == histBuckets-1 {
+				return int64(1) << uint(b)
+			}
+			return int64(1) << uint(b+1)
+		}
+	}
+	return int64(1) << uint(histBuckets-1)
+}
+
+// metrics is the aggregator's observability state — atomics only, the
+// ingest hot path never takes a lock to count.
+type metrics struct {
+	ingestBatches atomic.Int64
+	ingestSigs    atomic.Int64
+	ingestDetails atomic.Int64
+	ingestInsts   atomic.Int64
+	ingestErrors  atomic.Int64
+	evictions     atomic.Int64
+
+	queries     atomic.Int64
+	queryErrors atomic.Int64
+	estimates   atomic.Int64
+	memoHits    atomic.Int64
+
+	ingestLatency latencyHist
+	queryLatency  latencyHist
+}
+
+// Snapshot is the aggregator's point-in-time metrics export, served
+// by icostd under the /metrics "fleet" section (flat JSON, counters
+// with conventional _total suffixes).
+type Snapshot struct {
+	IngestBatchesTotal int64 `json:"fleet_ingest_batches_total"`
+	IngestSigsTotal    int64 `json:"fleet_ingest_sigs_total"`
+	IngestDetailsTotal int64 `json:"fleet_ingest_details_total"`
+	IngestInstsTotal   int64 `json:"fleet_ingest_insts_total"`
+	IngestErrorsTotal  int64 `json:"fleet_ingest_errors_total"`
+	// EvictionsTotal counts whole aggregates dropped to hold the
+	// fleet's byte budget.
+	EvictionsTotal int64 `json:"fleet_evictions_total"`
+
+	QueriesTotal     int64 `json:"fleet_queries_total"`
+	QueryErrorsTotal int64 `json:"fleet_query_errors_total"`
+	// EstimatesBuiltTotal counts full profiler analyses over merged
+	// pools; MemoHitsTotal counts queries served from a generation's
+	// memoized estimate without re-stitching fragments.
+	EstimatesBuiltTotal int64 `json:"fleet_estimates_built_total"`
+	MemoHitsTotal       int64 `json:"fleet_estimate_memo_hits_total"`
+
+	AggregatesLive int   `json:"fleet_aggregates_live"`
+	AggregateBytes int64 `json:"fleet_aggregate_bytes"`
+	MaxBytes       int64 `json:"fleet_aggregate_max_bytes"`
+	HostsSeen      int   `json:"fleet_hosts_seen"`
+
+	IngestP50us int64 `json:"fleet_ingest_p50_us"`
+	IngestP95us int64 `json:"fleet_ingest_p95_us"`
+	IngestP99us int64 `json:"fleet_ingest_p99_us"`
+	QueryP50us  int64 `json:"fleet_query_p50_us"`
+	QueryP95us  int64 `json:"fleet_query_p95_us"`
+	QueryP99us  int64 `json:"fleet_query_p99_us"`
+}
+
+// Metrics snapshots the aggregator's observability state.
+func (a *Aggregator) Metrics() Snapshot {
+	a.mu.Lock()
+	live := a.ll.Len()
+	bytes := a.bytes
+	hosts := 0
+	for el := a.ll.Front(); el != nil; el = el.Next() {
+		agg := el.Value.(*aggregate)
+		agg.mu.RLock()
+		hosts += len(agg.hosts)
+		agg.mu.RUnlock()
+	}
+	a.mu.Unlock()
+	return Snapshot{
+		IngestBatchesTotal: a.met.ingestBatches.Load(),
+		IngestSigsTotal:    a.met.ingestSigs.Load(),
+		IngestDetailsTotal: a.met.ingestDetails.Load(),
+		IngestInstsTotal:   a.met.ingestInsts.Load(),
+		IngestErrorsTotal:  a.met.ingestErrors.Load(),
+		EvictionsTotal:     a.met.evictions.Load(),
+
+		QueriesTotal:        a.met.queries.Load(),
+		QueryErrorsTotal:    a.met.queryErrors.Load(),
+		EstimatesBuiltTotal: a.met.estimates.Load(),
+		MemoHitsTotal:       a.met.memoHits.Load(),
+
+		AggregatesLive: live,
+		AggregateBytes: bytes,
+		MaxBytes:       a.cfg.MaxBytes,
+		HostsSeen:      hosts,
+
+		IngestP50us: a.met.ingestLatency.quantile(0.50),
+		IngestP95us: a.met.ingestLatency.quantile(0.95),
+		IngestP99us: a.met.ingestLatency.quantile(0.99),
+		QueryP50us:  a.met.queryLatency.quantile(0.50),
+		QueryP95us:  a.met.queryLatency.quantile(0.95),
+		QueryP99us:  a.met.queryLatency.quantile(0.99),
+	}
+}

@@ -1,0 +1,223 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"testing"
+
+	"icost/internal/profiler"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	batches := []*profiler.Samples{
+		hostBatch(t, "gzip", 42, 7),
+		hostBatch(t, "gzip", 42, 8),
+	}
+	h := Header{Binary: "gzip", Seed: 42, Group: "prod", Host: "host-00"}
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, h, batches); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []*profiler.Samples
+	gh, n, err := ReadStream(bytes.NewReader(buf.Bytes()), func(hh Header, s *profiler.Samples) error {
+		got = append(got, s)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gh != h {
+		t.Fatalf("header round-trip: got %+v, want %+v", gh, h)
+	}
+	if n != len(batches) || len(got) != len(batches) {
+		t.Fatalf("delivered %d batches (fn saw %d), want %d", n, len(got), len(batches))
+	}
+	// WriteSamples is deterministic (sorted PC order), so comparing
+	// re-encodings is an exact semantic round-trip check that ignores
+	// nil-vs-empty slice normalization in the decoder.
+	enc := func(s *profiler.Samples) []byte {
+		var b bytes.Buffer
+		if err := profiler.WriteSamples(&b, s); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	for i := range batches {
+		if !bytes.Equal(enc(got[i]), enc(batches[i])) {
+			t.Fatalf("batch %d did not round-trip", i)
+		}
+	}
+}
+
+func TestStreamHeaderValidation(t *testing.T) {
+	s := hostBatch(t, "gzip", 42, 7)
+	bads := []Header{
+		{Binary: "", Group: "prod"},
+		{Binary: "gzip", Group: ""},
+		{Binary: string(make([]byte, maxNameLen+1)), Group: "prod"},
+	}
+	for i, h := range bads {
+		if _, err := NewStreamWriter(&bytes.Buffer{}, h); err == nil {
+			t.Errorf("writer accepted bad header %d: %+v", i, h)
+		}
+		// The read side enforces the same rules on hand-built streams.
+		var buf bytes.Buffer
+		bw := bufio.NewWriter(&buf)
+		bw.Write(streamMagic[:])
+		writeString(bw, h.Binary)
+		putUvarint(bw, h.Seed)
+		writeString(bw, h.Group)
+		writeString(bw, h.Host)
+		bw.Flush()
+		var verr *ValidationError
+		if _, _, err := ReadStream(&buf, drop); !errors.As(err, &verr) {
+			t.Errorf("reader accepted bad header %d: err=%v", i, err)
+		}
+	}
+	_ = s
+}
+
+func drop(Header, *profiler.Samples) error { return nil }
+
+func TestStreamBadMagic(t *testing.T) {
+	var verr *ValidationError
+	if _, _, err := ReadStream(bytes.NewReader([]byte("ICFS\x02xxxx")), drop); !errors.As(err, &verr) {
+		t.Fatalf("wrong version accepted: %v", err)
+	}
+	if _, _, err := ReadStream(bytes.NewReader([]byte("NOPE")), drop); !errors.As(err, &verr) {
+		t.Fatalf("bad magic accepted: %v", err)
+	}
+}
+
+// TestStreamTruncation cuts a valid two-batch stream at every 11th
+// byte: a truncated stream must always error, and must never claim
+// more complete batches than the cut allows.
+func TestStreamTruncation(t *testing.T) {
+	batches := []*profiler.Samples{
+		hostBatch(t, "gzip", 42, 7),
+		hostBatch(t, "gzip", 42, 8),
+	}
+	h := Header{Binary: "gzip", Seed: 42, Group: "prod", Host: "h"}
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, h, batches); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut += 11 {
+		n := 0
+		_, got, err := ReadStream(bytes.NewReader(full[:cut]), func(Header, *profiler.Samples) error {
+			n++
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("cut at %d/%d decoded cleanly", cut, len(full))
+		}
+		if got != n || got > len(batches) {
+			t.Fatalf("cut at %d: reported %d batches, fn saw %d", cut, got, n)
+		}
+	}
+}
+
+func TestStreamTrailerMismatch(t *testing.T) {
+	h := Header{Binary: "gzip", Seed: 42, Group: "prod"}
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, h, []*profiler.Samples{hostBatch(t, "gzip", 42, 7)}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// The trailer count of a one-batch stream is the single final
+	// byte uvarint(1); bump it.
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)-1] = 3
+	var verr *ValidationError
+	if _, n, err := ReadStream(bytes.NewReader(corrupt), drop); !errors.As(err, &verr) || n != 1 {
+		t.Fatalf("trailer mismatch: n=%d err=%v", n, err)
+	}
+}
+
+func TestStreamFnErrorAborts(t *testing.T) {
+	h := Header{Binary: "gzip", Seed: 42, Group: "prod"}
+	var buf bytes.Buffer
+	err := WriteStream(&buf, h, []*profiler.Samples{
+		hostBatch(t, "gzip", 42, 7),
+		hostBatch(t, "gzip", 42, 8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("sink full")
+	calls := 0
+	_, n, err := ReadStream(bytes.NewReader(buf.Bytes()), func(Header, *profiler.Samples) error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("fn error not propagated: %v", err)
+	}
+	if calls != 1 || n != 0 {
+		t.Fatalf("fn called %d times, %d batches reported delivered", calls, n)
+	}
+}
+
+// TestStreamFrameSlack hand-builds a record whose declared length
+// exceeds the encoded batch: the reader must reject the disagreement
+// rather than silently skipping bytes.
+func TestStreamFrameSlack(t *testing.T) {
+	var payload bytes.Buffer
+	if err := profiler.WriteSamples(&payload, hostBatch(t, "gzip", 42, 7)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	bw.Write(streamMagic[:])
+	writeString(bw, "gzip")
+	putUvarint(bw, 42)
+	writeString(bw, "prod")
+	writeString(bw, "h")
+	bw.WriteByte(recBatch)
+	putUvarint(bw, uint64(payload.Len()+3))
+	bw.Write(payload.Bytes())
+	bw.WriteString("xxx")
+	bw.WriteByte(recEnd)
+	putUvarint(bw, 1)
+	bw.Flush()
+
+	var verr *ValidationError
+	if _, _, err := ReadStream(&buf, drop); !errors.As(err, &verr) {
+		t.Fatalf("frame slack accepted: %v", err)
+	}
+}
+
+func TestStreamUnknownRecord(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	bw.Write(streamMagic[:])
+	writeString(bw, "gzip")
+	putUvarint(bw, 42)
+	writeString(bw, "prod")
+	writeString(bw, "h")
+	bw.WriteByte('Z')
+	bw.Flush()
+	var verr *ValidationError
+	if _, _, err := ReadStream(&buf, drop); !errors.As(err, &verr) {
+		t.Fatalf("unknown record accepted: %v", err)
+	}
+}
+
+func TestStreamWriterAfterClose(t *testing.T) {
+	sw, err := NewStreamWriter(&bytes.Buffer{}, Header{Binary: "gzip", Group: "prod"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal("second Close should be a no-op")
+	}
+	if err := sw.WriteBatch(hostBatch(t, "gzip", 42, 7)); err == nil {
+		t.Fatal("WriteBatch after Close accepted")
+	}
+}

@@ -235,10 +235,3 @@ func wrongPathFetch(hier *cache.Hierarchy, prog *program.Program, target isa.Add
 		}
 	}
 }
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -225,20 +225,20 @@ func (m *machine) step(sin *isa.Inst, din *trace.DynInst) {
 	if i > 0 {
 		d = times.D[i-1] + g.DDLat(i, f) // DDBreak not yet set: pure icache part
 		if g.Info[i-1].Mispredict && f&depgraph.IdealBMisp == 0 {
-			d = max64(d, times.P[i-1]+int64(gcfg.BranchRecovery))
+			d = max(d, times.P[i-1]+int64(gcfg.BranchRecovery))
 		}
 	} else {
 		d = g.DDLat(i, f)
 	}
 	if f&depgraph.IdealBW == 0 && i >= gcfg.FetchBW {
-		d = max64(d, times.D[i-gcfg.FetchBW]+1)
+		d = max(d, times.D[i-gcfg.FetchBW]+1)
 	}
 	w := gcfg.Window
 	if f&depgraph.IdealWindow != 0 {
 		w *= gcfg.WindowIdealFactor
 	}
 	if i >= w {
-		d = max64(d, times.C[i-w])
+		d = max(d, times.C[i-w])
 	}
 	// Taken-branch fetch break: if this instruction lands in a
 	// fetch cycle that already holds MaxTakenPerCycle taken
@@ -261,10 +261,10 @@ func (m *machine) step(sin *isa.Inst, din *trace.DynInst) {
 	r := d + int64(gcfg.DispatchToReady)
 	wake := int64(gcfg.WakeupExtra)
 	if p := g.Prod1[i]; p >= 0 {
-		r = max64(r, times.P[p]+wake)
+		r = max(r, times.P[p]+wake)
 	}
 	if p := g.Prod2[i]; p >= 0 {
-		r = max64(r, times.P[p]+wake)
+		r = max(r, times.P[p]+wake)
 	}
 	times.R[i] = r
 
@@ -292,10 +292,10 @@ func (m *machine) step(sin *isa.Inst, din *trace.DynInst) {
 	// --- C node: commit ---
 	c := p + int64(gcfg.CompleteToCommit)
 	if i > 0 {
-		c = max64(c, times.C[i-1])
+		c = max(c, times.C[i-1])
 	}
 	if f&depgraph.IdealBW == 0 && i >= gcfg.CommitBW {
-		c = max64(c, times.C[i-gcfg.CommitBW]+1)
+		c = max(c, times.C[i-gcfg.CommitBW]+1)
 	}
 	// Store-commit bandwidth: stores contend for retire ports;
 	// the delay is recorded on the CC edge so graph replay stays

@@ -112,7 +112,7 @@ func ReadSamples(r io.Reader) (*Samples, error) {
 		if err != nil {
 			return nil, err
 		}
-		sig.Bits = make([]SigBits, 0, minInt(int(n), 4096))
+		sig.Bits = make([]SigBits, 0, min(int(n), 4096))
 		for j := 0; j < int(n); j++ {
 			b, err := br.ReadByte()
 			if err != nil {
@@ -142,7 +142,10 @@ func ReadSamples(r io.Reader) (*Samples, error) {
 			return nil, fmt.Errorf("profiler: invalid opcode %d", op)
 		}
 		d.Info.Op = isa.Op(op)
-		sidx, err := getUv(br, 1<<31)
+		// Bound is MaxInt32, not 1<<31: a stored value of exactly 1<<31
+		// would wrap int32(sidx)-1 around to MaxInt32 and the sample
+		// could never re-encode canonically.
+		sidx, err := getUv(br, 1<<31-1)
 		if err != nil {
 			return nil, err
 		}
@@ -184,7 +187,7 @@ func ReadSamples(r io.Reader) (*Samples, error) {
 			if err != nil {
 				return nil, err
 			}
-			*dst = make([]SigBits, 0, minInt(int(n), 256))
+			*dst = make([]SigBits, 0, min(int(n), 256))
 			for j := 0; j < int(n); j++ {
 				b, err := br.ReadByte()
 				if err != nil {
@@ -199,13 +202,6 @@ func ReadSamples(r io.Reader) (*Samples, error) {
 		return nil, fmt.Errorf("profiler: sample file has no signature samples")
 	}
 	return s, nil
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func putUv(w *bufio.Writer, v uint64) {

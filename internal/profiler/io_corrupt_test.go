@@ -1,0 +1,229 @@
+package profiler
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"icost/internal/cache"
+	"icost/internal/depgraph"
+	"icost/internal/isa"
+)
+
+// validSampleBytes hand-builds a small Samples value and returns its
+// canonical encoding: two signature samples plus detail records at two
+// PCs (one PC carrying two records), exercising every field the wire
+// format serializes.
+func validSampleBytes(tb testing.TB) []byte {
+	tb.Helper()
+	s := &Samples{
+		Insts: 4096,
+		Sigs: []SignatureSample{
+			{StartPC: 0x10000000, Bits: []SigBits{0, SigCtrlMem, SigMiss, SigCtrlMem | SigMiss}},
+			{StartPC: 0x10000040, Bits: []SigBits{SigMiss, 0}},
+		},
+		Details: map[isa.Addr][]DetailedSample{
+			0x10000008: {
+				{
+					PC: 0x10000008,
+					Info: depgraph.InstInfo{
+						Op: isa.OpLoad, SIdx: 2,
+						DataLevel: cache.LevelMem, DTLBMiss: true,
+						ILevel: cache.LevelL1,
+					},
+					RELat: 180, Target: 0x1000000c, PPDelta: 3,
+					Before: []SigBits{0, SigMiss}, After: []SigBits{SigCtrlMem},
+				},
+				{
+					PC:    0x10000008,
+					Info:  depgraph.InstInfo{Op: isa.OpLoad, SIdx: -1, ILevel: cache.LevelL2, ITLBMiss: true},
+					RELat: 4, Target: 0x1000000c,
+				},
+			},
+			0x10000010: {
+				{
+					PC:     0x10000010,
+					Info:   depgraph.InstInfo{Op: isa.OpBranch, SIdx: 4, Mispredict: true},
+					Taken:  true,
+					Target: 0x10000000,
+					Before: []SigBits{SigCtrlMem | SigMiss},
+				},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteSamples(&buf, s); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadSamples mirrors trace.FuzzDecode: structured corruption (xor
+// one byte, then truncate) of a known-valid encoding keeps the fuzzer
+// deep inside the decoder instead of bouncing off the magic check. The
+// invariant is a canonical fixpoint: anything the decoder accepts must
+// re-encode, and that encoding must decode and re-encode to identical
+// bytes — otherwise a corrupted sample file could slip through fleet
+// ingestion's canonical-length integrity check with silently mangled
+// state.
+func FuzzReadSamples(f *testing.F) {
+	valid := validSampleBytes(f)
+	f.Add(uint(0), byte(0x00), uint(len(valid)))
+	f.Add(uint(7), byte(0xff), uint(len(valid)))
+	f.Add(uint(len(valid)-1), byte(0x01), uint(len(valid)))
+	f.Add(uint(13), byte(0x80), uint(24)) // varint continuation-bit flip + truncate
+
+	f.Fuzz(func(t *testing.T, off uint, x byte, keep uint) {
+		data := append([]byte(nil), valid...)
+		if int(off) < len(data) {
+			data[off] ^= x
+		}
+		if int(keep) < len(data) {
+			data = data[:keep]
+		}
+		got, err := ReadSamples(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var enc1 bytes.Buffer
+		if err := WriteSamples(&enc1, got); err != nil {
+			t.Fatalf("accepted sample does not re-encode (off=%d x=%#x keep=%d): %v",
+				off, x, keep, err)
+		}
+		again, err := ReadSamples(bytes.NewReader(enc1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoding of accepted sample does not decode (off=%d x=%#x keep=%d): %v",
+				off, x, keep, err)
+		}
+		var enc2 bytes.Buffer
+		if err := WriteSamples(&enc2, again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
+			t.Fatalf("accepted sample has no canonical encoding (off=%d x=%#x keep=%d)",
+				off, x, keep)
+		}
+	})
+}
+
+// sampleUv appends a uvarint, for hand-building corrupt streams.
+func sampleUv(b []byte, v uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	return append(b, buf[:n]...)
+}
+
+// sampleU64 appends a little-endian u64.
+func sampleU64(b []byte, v uint64) []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	return append(b, buf[:]...)
+}
+
+// TestSampleCorruptInputs pins decoder behavior on specific corruption
+// shapes: regression cases for FuzzReadSamples finds and for the
+// hand-audited bounds in ReadSamples.
+func TestSampleCorruptInputs(t *testing.T) {
+	valid := validSampleBytes(t)
+
+	// detailHeader builds magic + insts + one minimal signature + one
+	// detail record up to (not including) the field under test.
+	detailHeader := func() []byte {
+		b := append([]byte(nil), sampleMagic[:]...)
+		b = sampleUv(b, 16)          // insts
+		b = sampleUv(b, 1)           // one signature sample
+		b = sampleU64(b, 0x10000000) // sig StartPC
+		b = sampleUv(b, 1)           // one bit
+		b = append(b, 0)             //   the bit
+		b = sampleUv(b, 1)           // one detail record
+		b = sampleU64(b, 0x10000004) // detail PC
+		return b
+	}
+
+	cases := []struct {
+		name    string
+		input   func() []byte
+		wantErr string // substring of the expected error
+	}{
+		{"empty", func() []byte { return nil }, "magic"},
+		{"short magic", func() []byte { return valid[:3] }, "magic"},
+		{"wrong magic", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[0] = 'X'
+			return b
+		}, "bad magic"},
+		{"wrong version", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[4] = 9
+			return b
+		}, "bad magic"},
+		{"truncated mid-sig", func() []byte { return valid[:len(sampleMagic)+4] }, ""},
+		{"truncated at end", func() []byte { return valid[:len(valid)-3] }, ""},
+		{"huge sig count", func() []byte {
+			b := append([]byte(nil), sampleMagic[:]...)
+			b = sampleUv(b, 16)
+			return sampleUv(b, 1<<40) // over the 1<<24 signature bound
+		}, "exceeds bound"},
+		{"huge detail count", func() []byte {
+			b := append([]byte(nil), sampleMagic[:]...)
+			b = sampleUv(b, 16)
+			b = sampleUv(b, 0)
+			return sampleUv(b, 1<<40) // over the 1<<28 detail bound
+		}, "exceeds bound"},
+		{"invalid opcode", func() []byte {
+			return append(detailHeader(), byte(isa.NumOps))
+		}, "invalid opcode"},
+		{"sidx wraps int32", func() []byte {
+			// A stored SIdx+1 of exactly 1<<31 would wrap the decoded
+			// int32 around to MaxInt32; the bound must reject it so
+			// every accepted sample re-encodes canonically.
+			b := append(detailHeader(), byte(isa.OpLoad))
+			return sampleUv(b, 1<<31)
+		}, "exceeds bound"},
+		{"invalid cache level", func() []byte {
+			b := append(detailHeader(), byte(isa.OpLoad))
+			b = sampleUv(b, 1)                          // SIdx+1
+			b = append(b, 0)                            // flags
+			return append(b, byte(cache.LevelMem)+1, 0) // data level past LevelMem
+		}, "invalid cache level"},
+		{"zero signature samples", func() []byte {
+			b := append([]byte(nil), sampleMagic[:]...)
+			b = sampleUv(b, 16)
+			b = sampleUv(b, 0)    // no sigs
+			return sampleUv(b, 0) // no details
+		}, "no signature samples"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadSamples(bytes.NewReader(tc.input()))
+			if err == nil {
+				t.Fatal("corrupt input accepted")
+			}
+			if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestReadSamplesBoundedAllocation checks that a stream claiming huge
+// counts but carrying few bytes fails fast on EOF instead of
+// allocating the claimed sizes up front.
+func TestReadSamplesBoundedAllocation(t *testing.T) {
+	b := append([]byte(nil), sampleMagic[:]...)
+	b = sampleUv(b, 16)
+	b = sampleUv(b, 1<<24) // claimed sig count at the bound, no bodies
+	if _, err := ReadSamples(bytes.NewReader(b)); err == nil {
+		t.Fatal("truncated huge-count stream accepted")
+	}
+
+	b = append([]byte(nil), sampleMagic[:]...)
+	b = sampleUv(b, 16)
+	b = sampleUv(b, 1)
+	b = sampleU64(b, 0x10000000)
+	b = sampleUv(b, 1<<20) // claimed bit count at the bound, no bytes
+	if _, err := ReadSamples(bytes.NewReader(b)); err == nil {
+		t.Fatal("truncated huge-bit-count signature accepted")
+	}
+}

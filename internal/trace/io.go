@@ -98,7 +98,7 @@ func Read(r io.Reader) (*Trace, error) {
 	}
 	// Grow incrementally: the claimed count is attacker-controlled,
 	// so memory must be bounded by the bytes actually present.
-	insts := make([]isa.Inst, 0, minInt(int(nStatic), 4096))
+	insts := make([]isa.Inst, 0, min(int(nStatic), 4096))
 	for i := 0; i < int(nStatic); i++ {
 		var hdr [4]byte
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
@@ -120,7 +120,7 @@ func Read(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	blocks := make([]int, 0, minInt(int(nBlocks), 4096))
+	blocks := make([]int, 0, min(int(nBlocks), 4096))
 	for i := 0; i < int(nBlocks); i++ {
 		b, err := readUvarint(br, nStatic)
 		if err != nil {
@@ -141,7 +141,7 @@ func Read(r io.Reader) (*Trace, error) {
 		// Guard the sidx bound below: nStatic-1 would wrap.
 		return nil, fmt.Errorf("trace: dynamic instructions without a program")
 	}
-	dyn := make([]DynInst, 0, minInt(int(nDyn), 65536))
+	dyn := make([]DynInst, 0, min(int(nDyn), 65536))
 	for i := 0; i < int(nDyn); i++ {
 		sidx, err := readUvarint(br, nStatic-1)
 		if err != nil {
@@ -170,13 +170,6 @@ func Read(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: loaded stream invalid: %w", err)
 	}
 	return t, nil
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func writeUvarint(w *bufio.Writer, v uint64) {

@@ -250,7 +250,7 @@ func (g *generator) planMain(n int) []blockPlan {
 			if hi > n-1 {
 				hi = n - 1
 			}
-			bp.target = mainLabel(i + 1 + g.r.Intn(maxInt(1, hi-i)))
+			bp.target = mainLabel(i + 1 + g.r.Intn(max(1, hi-i)))
 			bp.bias = g.forwardBias()
 		case u < 0.25:
 			bp.term = termFall
@@ -301,7 +301,7 @@ func (g *generator) planFunc(f, n int) []blockPlan {
 			limit = stack[len(stack)-1].close - 1
 		}
 		if len(stack) < 2 && i+1 <= limit && g.r.Bool(p.LoopFrac*0.4) {
-			close := i + 1 + g.r.Intn(maxInt(1, minInt(4, limit-i)))
+			close := i + 1 + g.r.Intn(max(1, min(4, limit-i)))
 			stack = append(stack, openLoop{head: i, close: close})
 		}
 		u := g.r.Float64()
@@ -333,7 +333,7 @@ func (g *generator) planFunc(f, n int) []blockPlan {
 				if hi > n-1 {
 					hi = n - 1
 				}
-				bp.cands = append(bp.cands, funcLabel(f, i+1+g.r.Intn(maxInt(1, hi-i))))
+				bp.cands = append(bp.cands, funcLabel(f, i+1+g.r.Intn(max(1, hi-i))))
 			}
 		default:
 			bp.term = termFall
@@ -343,7 +343,7 @@ func (g *generator) planFunc(f, n int) []blockPlan {
 	return plans
 }
 
-func minInt(a, b int) int {
+func min(a, b int) int {
 	if a < b {
 		return a
 	}
@@ -663,7 +663,7 @@ func (g *generator) farReg() isa.Reg {
 	return farLo + isa.Reg(g.r.Intn(int(farHi-farLo+1)))
 }
 
-func maxInt(a, b int) int {
+func max(a, b int) int {
 	if a > b {
 		return a
 	}
