@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-batch bench-cold bench-fleet chaos fuzz fmt vet lint ci
+.PHONY: build test race bench bench-batch bench-cold bench-fleet bench-graph chaos fuzz fmt vet lint ci
 
 # Seconds-per-target budget for the fuzz smoke; CI uses the default.
 FUZZTIME ?= 5s
@@ -56,6 +56,21 @@ bench-fleet:
 	$(GO) test -run='^$$' -bench='BenchmarkFleet' -benchmem -benchtime=$(FLEET_BENCHTIME) ./internal/fleet/
 	$(GO) test -run='TestMemoizedQueryTracksEngineWarmPath' -count=1 ./internal/fleet/
 
+# bench-graph: the flat-CSR walk kernels against the legacy layout's
+# reference implementations — forward walk, backward (slack) walk and
+# the multi-lane batch kernel — always with -benchmem, since the CSR
+# refactor is judged on bytes/op as much as ns/op. Numbers land in
+# BENCH_graph.json. The second step is the warm-path no-regression
+# guard CI leans on: relative CSR-vs-legacy timing in one process, so
+# machine speed never matters. CI runs the benchmarks with
+# GRAPH_BENCHTIME=1x as a smoke; use the 2s default for numbers worth
+# recording.
+GRAPH_BENCHTIME ?= 2s
+
+bench-graph:
+	$(GO) test -run='^$$' -bench='BenchmarkForwardWalk|BenchmarkBackwardWalk|BenchmarkBatchEval' -benchmem -benchtime=$(GRAPH_BENCHTIME) -count=3 ./internal/depgraph/
+	$(GO) test -run='TestWarmPathNoRegression' -count=1 ./internal/depgraph/
+
 # chaos: the fault-injection suite (internal/faultinject + every
 # TestChaos* test) under the race detector. Seeded fault plans make a
 # failure replayable: rerun with the seed from the failure log.
@@ -68,6 +83,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadTrace -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzReadSamples -fuzztime=$(FUZZTIME) ./internal/profiler/
+	$(GO) test -run='^$$' -fuzz=FuzzWindowFold -fuzztime=$(FUZZTIME) ./internal/window/
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -84,3 +100,4 @@ lint: vet
 
 ci: fmt lint build race chaos bench
 	$(MAKE) bench-fleet FLEET_BENCHTIME=1x
+	$(MAKE) bench-graph GRAPH_BENCHTIME=1x

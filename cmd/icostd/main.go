@@ -57,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"icost/internal/depgraph"
 	"icost/internal/engine"
 	"icost/internal/faultinject"
 	"icost/internal/fleet"
@@ -74,6 +75,7 @@ type options struct {
 	queue        int
 	cacheMB      int
 	sessions     int
+	lanes        int
 	preload      string
 	pprof        bool
 	queryTimeout time.Duration
@@ -94,6 +96,8 @@ func defineFlags(fs *flag.FlagSet) *options {
 	fs.IntVar(&o.queue, "queue", 0, "job queue depth (0 = 4x workers)")
 	fs.IntVar(&o.cacheMB, "cache-mb", 64, "result cache budget in MiB")
 	fs.IntVar(&o.sessions, "sessions", 8, "max resident sessions")
+	fs.IntVar(&o.lanes, "lanes", 0,
+		"batched-evaluation lane width per graph walk (power of two, up to 64; 0 = auto from GOMAXPROCS)")
 	fs.StringVar(&o.preload, "preload", "", "comma-separated benchmarks to build at startup")
 	fs.BoolVar(&o.pprof, "pprof", false,
 		"serve Go runtime profiles under /debug/pprof/ (off by default)")
@@ -136,6 +140,14 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		fmt.Fprintln(stderr, "icostd: -fleet-mb must be >= 1")
 		return 2
 	}
+	{
+		probe := depgraph.DefaultConfig()
+		probe.Lanes = o.lanes
+		if err := probe.Validate(); err != nil {
+			fmt.Fprintln(stderr, "icostd: -lanes:", err)
+			return 2
+		}
+	}
 	if o.faults != "" {
 		rules, err := parseFaultSpec(o.faults)
 		if err != nil {
@@ -153,6 +165,7 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		CacheBytes:   int64(o.cacheMB) << 20,
 		MaxSessions:  o.sessions,
 		QueryTimeout: o.queryTimeout,
+		Lanes:        o.lanes,
 	})
 	agg := fleet.NewAggregator(fleet.Config{MaxBytes: int64(o.fleetMB) << 20})
 

@@ -63,6 +63,37 @@ func TestQueryEndpoint(t *testing.T) {
 	}
 }
 
+// TestQueryWindowedSession: window_insts in the session spec routes
+// the build through the bounded-memory windowed pipeline, answers
+// identically to the whole-graph session, and reports the windowed
+// shape in the response.
+func TestQueryWindowedSession(t *testing.T) {
+	_, srv := newTestServer(t)
+	whole := `{"session":{"bench":"mcf","seed":7,"trace_len":2000,"warmup":1000},
+	           "op":"cost","cats":["dmiss"]}`
+	windowed := `{"session":{"bench":"mcf","seed":7,"trace_len":2000,"warmup":1000,"window_insts":256},
+	              "op":"cost","cats":["dmiss"]}`
+	resp, want := postQuery(t, srv, whole)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("whole-graph status %d: %v", resp.StatusCode, want)
+	}
+	resp, got := postQuery(t, srv, windowed)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("windowed status %d: %v", resp.StatusCode, got)
+	}
+	if got["windowed"] != true || got["windows"] != float64(8) {
+		t.Fatalf("windowed shape missing: %v", got)
+	}
+	if got["value"] != want["value"] || got["base_cycles"] != want["base_cycles"] {
+		t.Fatalf("windowed answer diverged: %v vs %v", got, want)
+	}
+	// Slack has no resident graph to walk on a windowed session.
+	resp, out := postQuery(t, srv, `{"session":{"bench":"mcf","seed":7,"trace_len":2000,"warmup":1000,"window_insts":256},"op":"slack"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("slack on windowed session: status %d: %v", resp.StatusCode, out)
+	}
+}
+
 func TestQueryValidationErrors(t *testing.T) {
 	_, srv := newTestServer(t)
 	cases := []string{
@@ -187,6 +218,13 @@ func TestRunBadFlags(t *testing.T) {
 		t.Fatal("zero cache accepted")
 	}
 	if !strings.Contains(stderr.String(), "cache-mb") {
+		t.Fatalf("unhelpful error: %q", stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"-lanes", "3"}, &stdout, &stderr, nil); code != 2 {
+		t.Fatal("non-power-of-two -lanes accepted")
+	}
+	if !strings.Contains(stderr.String(), "lanes") {
 		t.Fatalf("unhelpful error: %q", stderr.String())
 	}
 	stderr.Reset()

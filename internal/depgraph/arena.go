@@ -1,22 +1,12 @@
 package depgraph
 
-import "sync"
-
 // Arena allocation for whole graphs. A cold session build (and every
 // idealized re-simulation in package multisim) constructs one graph
-// of known size, uses it, and drops it; allocating the seven
-// per-instruction slices individually each time is pure GC churn. A
-// graphArena is a single backing allocation carved into the typed
-// record slices; NewPooled recycles arenas through a sync.Pool and
-// Release returns them.
-
-type graphArena struct {
-	info []InstInfo
-	i32  []int32 // 5n: RELat, CCLat, Prod1, Prod2, PPLeader
-	u8   []uint8 // n: DDBreak
-}
-
-var graphArenaPool = sync.Pool{New: func() any { return new(graphArena) }}
+// of known size, uses it, and drops it; allocating the record slices
+// and flat CSR tables individually each time is pure GC churn.
+// NewPooled carves everything — the typed record columns AND the flat
+// tables csr.go fills on first walk — out of one memArena from the
+// package allocator (alloc.go); Release returns it.
 
 // NewPooled is New with arena-backed record storage. The returned
 // graph is indistinguishable from New's until Release is called;
@@ -24,28 +14,36 @@ var graphArenaPool = sync.Pool{New: func() any { return new(graphArena) }}
 // a pooled graph carry no arena — releasing the original invalidates
 // them too, since they share its records.
 func NewPooled(cfg Config, n int) *Graph {
-	a := graphArenaPool.Get().(*graphArena)
-	if cap(a.info) < n {
-		a.info = make([]InstInfo, n)
-		a.i32 = make([]int32, 5*n)
-		a.u8 = make([]uint8, n)
-	}
-	info := a.info[:n]
-	i32 := a.i32[:5*n]
-	u8 := a.u8[:n]
+	a := acquireArena(0, (5+flatI32PerInst)*n, (1+flatU8PerInst)*n, n)
+	info := a.infos(n)
+	u8 := a.u8s(n)
+	reLat := a.i32s(n)
+	ccLat := a.i32s(n)
 	clear(info)
 	clear(u8)
-	clear(i32[:2*n]) // RELat, CCLat start at zero
+	clear(reLat) // RELat, CCLat start at zero
+	clear(ccLat)
 	g := &Graph{
 		Cfg:      cfg,
 		Info:     info,
 		DDBreak:  u8,
-		RELat:    i32[0*n : 1*n : 1*n],
-		CCLat:    i32[1*n : 2*n : 2*n],
-		Prod1:    i32[2*n : 3*n : 3*n],
-		Prod2:    i32[3*n : 4*n : 4*n],
-		PPLeader: i32[4*n : 5*n : 5*n],
+		RELat:    reLat,
+		CCLat:    ccLat,
+		Prod1:    a.i32s(n),
+		Prod2:    a.i32s(n),
+		PPLeader: a.i32s(n),
 		arena:    a,
+	}
+	// Pre-carve the flat-table columns; buildTables fills every
+	// element on first walk, so no clearing is needed here.
+	g.flat = flatTables{
+		epBase:   a.i32s(n),
+		epDL1:    a.i32s(n),
+		epDMiss:  a.i32s(n),
+		epShort:  a.i32s(n),
+		epLong:   a.i32s(n),
+		icache:   a.i32s(n),
+		mispPrev: a.u8s(n),
 	}
 	for i := 0; i < n; i++ {
 		g.Prod1[i] = -1
@@ -68,7 +66,8 @@ func (g *Graph) Release() {
 	g.Info, g.DDBreak = nil, nil
 	g.RELat, g.CCLat = nil, nil
 	g.Prod1, g.Prod2, g.PPLeader = nil, nil, nil
-	graphArenaPool.Put(a)
+	g.flat = flatTables{}
+	releaseArena(a)
 }
 
 // AcquireTimes returns pooled node-time scratch with n-length slices

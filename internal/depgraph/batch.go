@@ -3,14 +3,13 @@
 // the k^2 cells of an all-pairs matrix, the per-fragment queries of
 // the shotgun profiler — all re-evaluate the same graph under many
 // idealizations. The scalar walk (runInto) pays the per-instruction
-// overhead once per idealization: it re-loads InstInfo and the
-// producer/contention arrays, and re-derives the latency components,
-// for every subset. EvalBatch instead walks the graph once per
-// batchWidth idealizations, keeping node times in structure-of-arrays
-// lanes: each instruction's metadata is loaded and decomposed into
-// flag-selectable latency components a single time, then a tight
-// inner loop applies it to every lane. Scratch lanes are recycled
-// through a sync.Pool, and batches wider than one chunk fan out
+// overhead once per idealization; EvalBatch instead walks the graph
+// once per lane-width idealizations, keeping node times in
+// structure-of-arrays lanes: each instruction's flat CSR columns are
+// loaded a single time, then a tight fixed-width inner loop applies
+// them to every lane. The lane width is configurable (Config.Lanes,
+// default picked per GOMAXPROCS); scratch lanes are recycled through
+// the package allocator, and batches wider than one chunk fan out
 // across GOMAXPROCS goroutines (each chunk polls ctx, so a batch is
 // cancellable mid-walk).
 package depgraph
@@ -22,115 +21,42 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"icost/internal/cache"
 	"icost/internal/faultinject"
 )
 
-// batchWidth is the number of idealization lanes carried by one
-// kernel pass. 8 lanes keep the per-instruction working set (3 lanes
-// x 8 x 8 bytes around the current instruction, plus the scattered
-// producer reads) comfortably inside L1 while amortizing the
-// metadata loads over the whole chunk.
-const batchWidth = 8
+// maxLanes bounds Config.Lanes: beyond 64 lanes the per-instruction
+// working set (3 lanes' rows around the current instruction plus the
+// scattered producer reads) falls out of L1 and wider stops paying.
+const maxLanes = 64
 
-// laneScratch is the pooled backing store of one kernel pass: the D,
-// P and C node-time lanes, instruction-major (index i*W+w). R and E
-// times never cross instructions, so they stay in registers.
-type laneScratch struct {
-	d, p, c []int64
+// defaultLanes is the auto-picked lane width (Config.Lanes == 0).
+// 8 lanes keep the working set comfortably inside L1 while amortizing
+// the column loads; a single-threaded process (GOMAXPROCS=1) cannot
+// fan chunks out across cores, so it runs wider lanes instead —
+// amortizing each column load over 16 idealizations is the only
+// parallelism available to it.
+func defaultLanes() int {
+	if runtime.GOMAXPROCS(0) == 1 {
+		return 16
+	}
+	return 8
 }
 
-var lanePool = sync.Pool{New: func() any { return new(laneScratch) }}
-
-func acquireLanes(n int) *laneScratch {
-	s := lanePool.Get().(*laneScratch)
-	need := n * batchWidth
-	if cap(s.d) < need {
-		s.d = make([]int64, need)
-		s.p = make([]int64, need)
-		s.c = make([]int64, need)
+// laneWidth resolves the effective batch lane width for this graph.
+func (g *Graph) laneWidth() int {
+	if w := g.Cfg.Lanes; w > 0 {
+		return w
 	}
-	s.d, s.p, s.c = s.d[:need], s.p[:need], s.c[:need]
-	return s
-}
-
-func releaseLanes(s *laneScratch) { lanePool.Put(s) }
-
-// epParts is the flag-selectable decomposition of one instruction's
-// EP-edge latency plus its icache penalty: EPLat(i, f) ==
-// base + dl1·[f∌IdealDL1] + dmiss·[f∌IdealDMiss] +
-// short·[f∌IdealShortALU] + long·[f∌IdealLongALU], and the
-// icache component of DDLat(i, f) is icache·[f∌IdealICache].
-type epParts struct {
-	base, dl1, dmiss, short, long, icache int64
-}
-
-// batchTables returns the idealization-independent per-instruction
-// tables — the latency decomposition and the "previous instruction
-// mispredicted" gate of the PD edge — built once per graph on first
-// use and shared by every subsequent batch (and every chunk of it).
-// Callers must not mutate the graph after the first EvalBatch.
-func (g *Graph) batchTables() ([]epParts, []bool) {
-	g.batchOnce.Do(func() {
-		n := g.Len()
-		g.partsArr = make([]epParts, n)
-		g.mispPrev = make([]bool, n)
-		for i := 0; i < n; i++ {
-			g.partsArr[i] = g.parts(i)
-			if i > 0 {
-				g.mispPrev[i] = g.Info[i-1].Mispredict
-			}
-		}
-	})
-	return g.partsArr, g.mispPrev
-}
-
-// parts decomposes instruction i's latencies once, so the lane loop
-// selects components by flag instead of re-deriving them per subset.
-func (g *Graph) parts(i int) epParts {
-	var p epParts
-	info := &g.Info[i]
-	cfg := &g.Cfg
-	op := info.Op
-	switch {
-	case op.IsMem():
-		p.dl1 = int64(cfg.DL1Latency)
-		if info.DTLBMiss {
-			p.dmiss += int64(cfg.TLBMissLatency)
-		}
-		switch info.DataLevel {
-		case cache.LevelL2:
-			p.dmiss += int64(cfg.L2Latency)
-		case cache.LevelMem:
-			p.dmiss += int64(cfg.L2Latency) + int64(cfg.MemLatency)
-		}
-	case op.IsShortALU():
-		p.short = 1
-	case op.IsLongALU():
-		p.long = BaseExecLat(op)
-	default:
-		p.base = BaseExecLat(op)
-	}
-	if info.ITLBMiss {
-		p.icache = int64(cfg.TLBMissLatency)
-	}
-	switch info.ILevel {
-	case cache.LevelL2:
-		p.icache += int64(cfg.L2Latency)
-	case cache.LevelMem:
-		p.icache += int64(cfg.L2Latency) + int64(cfg.MemLatency)
-	}
-	return p
+	return defaultLanes()
 }
 
 // EvalBatch computes the execution time of the microexecution under
-// every idealization in ids, walking the graph once per batchWidth
-// lanes instead of once per idealization. Results are bit-exact with
-// ExecTime on each element. Batches larger than one chunk fan out
-// across min(GOMAXPROCS, chunks) goroutines; every chunk polls ctx
-// each ctxCheckStride instructions, so cancellation lands mid-batch.
-// An idealization with a per-instruction mask must have exactly
-// Len() entries.
+// every idealization in ids, walking the graph once per lane-width
+// idealizations. Results are bit-exact with ExecTime on each element.
+// Batches larger than one chunk fan out across min(GOMAXPROCS, chunks)
+// goroutines; every chunk polls ctx each ctxCheckStride instructions,
+// so cancellation lands mid-batch. An idealization with a
+// per-instruction mask must have exactly Len() entries.
 func (g *Graph) EvalBatch(ctx context.Context, ids []Ideal) ([]int64, error) {
 	n := g.Len()
 	for k := range ids {
@@ -150,18 +76,19 @@ func (g *Graph) EvalBatch(ctx context.Context, ids []Ideal) ([]int64, error) {
 			return nil, err
 		}
 	}
-	chunks := (len(ids) + batchWidth - 1) / batchWidth
+	width := g.laneWidth()
+	chunks := (len(ids) + width - 1) / width
 	workers := runtime.GOMAXPROCS(0)
 	if workers > chunks {
 		workers = chunks
 	}
 	if workers <= 1 {
-		for s := 0; s < len(ids); s += batchWidth {
-			e := s + batchWidth
+		for s := 0; s < len(ids); s += width {
+			e := s + width
 			if e > len(ids) {
 				e = len(ids)
 			}
-			if err := g.evalChunk(ctx, ids[s:e], out[s:e]); err != nil {
+			if err := g.evalChunk(ctx, width, ids[s:e], out[s:e]); err != nil {
 				return nil, err
 			}
 		}
@@ -185,12 +112,12 @@ func (g *Graph) EvalBatch(ctx context.Context, ids []Ideal) ([]int64, error) {
 				if c >= chunks {
 					return
 				}
-				s := c * batchWidth
-				e := s + batchWidth
+				s := c * width
+				e := s + width
 				if e > len(ids) {
 					e = len(ids)
 				}
-				if err := g.evalChunk(cctx, ids[s:e], out[s:e]); err != nil {
+				if err := g.evalChunk(cctx, width, ids[s:e], out[s:e]); err != nil {
 					errMu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -212,23 +139,23 @@ func (g *Graph) EvalBatch(ctx context.Context, ids []Ideal) ([]int64, error) {
 	return out, nil
 }
 
-// evalChunk evaluates up to batchWidth lanes with one graph walk.
-// Short chunks are padded with copies of the first lane so the
-// kernels always run at the full constant width — the stride becomes
-// a shift and the lane loop a fixed trip count the compiler can
-// unroll — at the price of some redundant work on the final chunk.
-func (g *Graph) evalChunk(ctx context.Context, ids []Ideal, out []int64) error {
+// evalChunk evaluates up to width lanes with one graph walk. Short
+// chunks are padded with copies of the first lane so the kernels
+// always run at the full width — the lane loop's trip count is
+// uniform across the walk — at the price of some redundant work on
+// the final chunk.
+func (g *Graph) evalChunk(ctx context.Context, width int, ids []Ideal, out []int64) error {
 	n := g.Len()
-	sc := acquireLanes(n)
+	sc := acquireLanes(n, width)
 	defer releaseLanes(sc)
 	lanes := ids
-	if len(ids) < batchWidth {
-		var pad [batchWidth]Ideal
-		copy(pad[:], ids)
-		for k := len(ids); k < batchWidth; k++ {
+	if len(ids) < width {
+		pad := make([]Ideal, width)
+		copy(pad, ids)
+		for k := len(ids); k < width; k++ {
 			pad[k] = ids[0]
 		}
-		lanes = pad[:]
+		lanes = pad
 	}
 	global := true
 	for k := range lanes {
@@ -247,13 +174,13 @@ func (g *Graph) evalChunk(ctx context.Context, ids []Ideal, out []int64) error {
 		return err
 	}
 	for w := range ids {
-		out[w] = sc.c[(n-1)*batchWidth+w] + 1
+		out[w] = sc.c[(n-1)*width+w] + 1
 	}
 	return nil
 }
 
 // laneConsts caches one lane's flag-derived constants for the
-// global-only kernel: every condition the scalar walk re-tests per
+// global-only kernels: every condition the scalar walk re-tests per
 // instruction is constant across the walk when the idealization has
 // no per-instruction mask.
 type laneConsts struct {
@@ -281,11 +208,11 @@ func laneOf(cfg *Config, f Flags) laneConsts {
 
 // evalLanesGlobal is the fast path: every lane is a Global-only
 // idealization, so all flag tests hoist out of the instruction loop.
-// The lane stride is the compile-time constant batchWidth (evalChunk
-// pads short batches), so every row offset is a shift and the lane
-// loop has a fixed trip count.
+// The lane rows are resliced to exactly W elements per instruction,
+// so the inner loop's bounds are known and its trip count uniform
+// (evalChunk pads short batches).
 func (g *Graph) evalLanesGlobal(ctx context.Context, ids []Ideal, sc *laneScratch) error {
-	const W = batchWidth
+	W := len(ids)
 	n := g.Len()
 	D, P, C := sc.d, sc.p, sc.c
 	cfg := &g.Cfg
@@ -296,10 +223,12 @@ func (g *Graph) evalLanesGlobal(ctx context.Context, ids []Ideal, sc *laneScratc
 	fbw, cbw := cfg.FetchBW, cfg.CommitBW
 	ddB, reL, ccL := g.DDBreak, g.RELat, g.CCLat
 	pr1, pr2, ld := g.Prod1, g.Prod2, g.PPLeader
-	pp, mp := g.batchTables()
+	ft := g.tables()
+	epB, epD1, epDm, epSh, epLg, icc, mp :=
+		ft.epBase, ft.epDL1, ft.epDMiss, ft.epShort, ft.epLong, ft.icache, ft.mispPrev
 
-	var lanes [W]laneConsts
-	var winOff [W]int
+	lanes := make([]laneConsts, W)
+	winOff := make([]int, W)
 	for w := range lanes {
 		lanes[w] = laneOf(cfg, ids[w].Global)
 		winOff[w] = lanes[w].win * W
@@ -309,17 +238,25 @@ func (g *Graph) evalLanesGlobal(ctx context.Context, ids []Ideal, sc *laneScratc
 		if i%ctxCheckStride == 0 && ctx.Err() != nil {
 			return ctx.Err()
 		}
-		ep := &pp[i]
 		ddBreak := int64(ddB[i])
+		icLat := int64(icc[i])
 		reLat := int64(reL[i])
 		ccLat := int64(ccL[i])
+		base0 := int64(epB[i])
+		dl1L := int64(epD1[i])
+		dmL := int64(epDm[i])
+		shL := int64(epSh[i])
+		lgL := int64(epLg[i])
 		// Producer indices of -1 scale to negative offsets, so the
 		// per-lane guards below stay a sign test.
 		p1Row, p2Row, leadRow := int(pr1[i])*W, int(pr2[i])*W, int(ld[i])*W
-		misp := mp[i]
+		misp := mp[i] != 0
 		base := i * W
 		prev := base - W
 		fbwRow, cbwRow := base-fbw*W, base-cbw*W
+		dRow := D[base : base+W]
+		pRow := P[base : base+W]
+		cRow := C[base : base+W]
 		for w := 0; w < W; w++ {
 			ln := &lanes[w]
 			var dd int64
@@ -327,7 +264,7 @@ func (g *Graph) evalLanesGlobal(ctx context.Context, ids []Ideal, sc *laneScratc
 				dd = ddBreak
 			}
 			if ln.ic {
-				dd += ep.icache
+				dd += icLat
 			}
 			d := dd
 			if i > 0 {
@@ -348,7 +285,7 @@ func (g *Graph) evalLanesGlobal(ctx context.Context, ids []Ideal, sc *laneScratc
 					d = v
 				}
 			}
-			D[base+w] = d
+			dRow[w] = d
 
 			r := d + dr
 			if p1Row >= 0 {
@@ -367,25 +304,25 @@ func (g *Graph) evalLanesGlobal(ctx context.Context, ids []Ideal, sc *laneScratc
 				e += reLat
 			}
 
-			p := e + ep.base
+			p := e + base0
 			if ln.dl1 {
-				p += ep.dl1
+				p += dl1L
 			}
 			if ln.dm {
-				p += ep.dmiss
+				p += dmL
 			}
 			if ln.sh {
-				p += ep.short
+				p += shL
 			}
 			if ln.lg {
-				p += ep.long
+				p += lgL
 			}
 			if leadRow >= 0 && ln.dm {
 				if v := P[leadRow+w]; v > p {
 					p = v
 				}
 			}
-			P[base+w] = p
+			pRow[w] = p
 
 			c := p + pc
 			if i > 0 {
@@ -402,17 +339,17 @@ func (g *Graph) evalLanesGlobal(ctx context.Context, ids []Ideal, sc *laneScratc
 					c = v
 				}
 			}
-			C[base+w] = c
+			cRow[w] = c
 		}
 	}
 	return nil
 }
 
 // evalLanesGeneric handles lanes with per-instruction masks: flags
-// are recomposed per lane per instruction, but the metadata loads and
-// latency decomposition still amortize across the whole chunk.
+// are recomposed per lane per instruction, but the column loads still
+// amortize across the whole chunk.
 func (g *Graph) evalLanesGeneric(ctx context.Context, ids []Ideal, sc *laneScratch) error {
-	const W = batchWidth
+	W := len(ids)
 	n := g.Len()
 	D, P, C := sc.d, sc.p, sc.c
 	cfg := &g.Cfg
@@ -423,10 +360,12 @@ func (g *Graph) evalLanesGeneric(ctx context.Context, ids []Ideal, sc *laneScrat
 	fbw, cbw := cfg.FetchBW, cfg.CommitBW
 	ddB, reL, ccL := g.DDBreak, g.RELat, g.CCLat
 	pr1, pr2, ld := g.Prod1, g.Prod2, g.PPLeader
-	pp, mp := g.batchTables()
+	ft := g.tables()
+	epB, epD1, epDm, epSh, epLg, icc, mp :=
+		ft.epBase, ft.epDL1, ft.epDMiss, ft.epShort, ft.epLong, ft.icache, ft.mispPrev
 
-	var glob [W]Flags
-	var per [W][]Flags
+	glob := make([]Flags, W)
+	per := make([][]Flags, W)
 	for w := range ids {
 		glob[w], per[w] = ids[w].Global, ids[w].PerInst
 	}
@@ -435,15 +374,23 @@ func (g *Graph) evalLanesGeneric(ctx context.Context, ids []Ideal, sc *laneScrat
 		if i%ctxCheckStride == 0 && ctx.Err() != nil {
 			return ctx.Err()
 		}
-		ep := &pp[i]
 		ddBreak := int64(ddB[i])
+		icLat := int64(icc[i])
 		reLat := int64(reL[i])
 		ccLat := int64(ccL[i])
+		base0 := int64(epB[i])
+		dl1L := int64(epD1[i])
+		dmL := int64(epDm[i])
+		shL := int64(epSh[i])
+		lgL := int64(epLg[i])
 		p1Row, p2Row, leadRow := int(pr1[i])*W, int(pr2[i])*W, int(ld[i])*W
-		misp := mp[i]
+		misp := mp[i] != 0
 		base := i * W
 		prev := base - W
 		fbwRow, cbwRow := base-fbw*W, base-cbw*W
+		dRow := D[base : base+W]
+		pRow := P[base : base+W]
+		cRow := C[base : base+W]
 		for w := 0; w < W; w++ {
 			f := glob[w]
 			if pv := per[w]; pv != nil {
@@ -455,7 +402,7 @@ func (g *Graph) evalLanesGeneric(ctx context.Context, ids []Ideal, sc *laneScrat
 				dd = ddBreak
 			}
 			if ln.ic {
-				dd += ep.icache
+				dd += icLat
 			}
 			d := dd
 			if i > 0 {
@@ -484,7 +431,7 @@ func (g *Graph) evalLanesGeneric(ctx context.Context, ids []Ideal, sc *laneScrat
 					d = v
 				}
 			}
-			D[base+w] = d
+			dRow[w] = d
 
 			r := d + dr
 			if p1Row >= 0 {
@@ -503,25 +450,25 @@ func (g *Graph) evalLanesGeneric(ctx context.Context, ids []Ideal, sc *laneScrat
 				e += reLat
 			}
 
-			p := e + ep.base
+			p := e + base0
 			if ln.dl1 {
-				p += ep.dl1
+				p += dl1L
 			}
 			if ln.dm {
-				p += ep.dmiss
+				p += dmL
 			}
 			if ln.sh {
-				p += ep.short
+				p += shL
 			}
 			if ln.lg {
-				p += ep.long
+				p += lgL
 			}
 			if leadRow >= 0 && ln.dm {
 				if v := P[leadRow+w]; v > p {
 					p = v
 				}
 			}
-			P[base+w] = p
+			pRow[w] = p
 
 			c := p + pc
 			if i > 0 {
@@ -538,7 +485,7 @@ func (g *Graph) evalLanesGeneric(ctx context.Context, ids []Ideal, sc *laneScrat
 					c = v
 				}
 			}
-			C[base+w] = c
+			cRow[w] = c
 		}
 	}
 	return nil

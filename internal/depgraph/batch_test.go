@@ -55,7 +55,7 @@ func TestBatchMatchesScalar(t *testing.T) {
 		n := r.Intn(300) // includes 0-length microexecutions
 		g := randomGraph(r.Derive("graph"), n)
 		g.Cfg = randomCfg(r.Derive("cfg"))
-		width := 1 + r.Intn(2*batchWidth+3) // spans sub-chunk and multi-chunk
+		width := 1 + r.Intn(2*defaultLanes()+3) // spans sub-chunk and multi-chunk
 		ids := make([]Ideal, width)
 		for w := range ids {
 			ids[w] = randomIdeal(r, n)
@@ -120,7 +120,7 @@ func TestBatchCancellation(t *testing.T) {
 	g := randomGraph(rng.New(11), 3*ctxCheckStride)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	ids := make([]Ideal, 3*batchWidth) // several chunks, exercises fan-out
+	ids := make([]Ideal, 3*defaultLanes()) // several chunks, exercises fan-out
 	for w := range ids {
 		ids[w] = Ideal{Global: Flags(w) & AllFlags}
 	}

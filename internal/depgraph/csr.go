@@ -1,0 +1,84 @@
+package depgraph
+
+// Flat CSR view of the graph. The builder-facing record arrays
+// (DDBreak, RELat, CCLat, Prod1, Prod2, PPLeader) are already
+// constant-stride columns in topological (dispatch) order — each is
+// the in-edge list of one edge kind, indexed by destination
+// instruction. What the walks additionally need per instruction is the
+// flag-selectable latency decomposition, which the legacy layout
+// re-derived from the InstInfo structs on every visit (a 16-byte
+// record plus opcode/level branching per instruction per
+// idealization). flatTables extends the CSR with that decomposition as
+// six more int32 columns plus the PD-edge gate, so the forward walk,
+// the backward walk and the batch kernels stream pure int32/int64
+// columns and never touch InstInfo.
+//
+// The tables are built once per graph on first walk and shared by
+// every subsequent walk and batch. Like the batch tables they replace,
+// they cache only Info-derived values: a graph must not have its Info
+// records mutated after its first walk (the recorded contention
+// columns RELat/CCLat/DDBreak and the producer columns are read
+// directly and stay mutable for what-if analyses).
+type flatTables struct {
+	// EPLat(i, f) == epBase + epDL1·[f∌IdealDL1] + epDMiss·[f∌IdealDMiss]
+	// + epShort·[f∌IdealShortALU] + epLong·[f∌IdealLongALU]; the icache
+	// component of DDLat(i, f) is icache·[f∌IdealICache].
+	epBase, epDL1, epDMiss, epShort, epLong, icache []int32
+	// mispPrev[i] != 0 marks instruction i-1 as a mispredicted branch
+	// (the PD-edge gate, hoisted out of InstInfo).
+	mispPrev []uint8
+}
+
+// tables returns the flat CSR tables, building them on first use.
+func (g *Graph) tables() *flatTables {
+	g.flatOnce.Do(g.buildTables)
+	return &g.flat
+}
+
+// flatI32PerInst and flatU8PerInst are the per-instruction element
+// counts a graph arena reserves for the flat tables (see NewPooled).
+const (
+	flatI32PerInst = 6
+	flatU8PerInst  = 1
+)
+
+func (g *Graph) buildTables() {
+	n := g.Len()
+	ft := &g.flat
+	if ft.epBase == nil {
+		// Heap graph (New, WithConfig, snapshot restore): one slab for
+		// the six columns. Pooled graphs pre-carve these from the
+		// graph arena in NewPooled.
+		i32 := make([]int32, flatI32PerInst*n)
+		ft.epBase = i32[0*n : 1*n : 1*n]
+		ft.epDL1 = i32[1*n : 2*n : 2*n]
+		ft.epDMiss = i32[2*n : 3*n : 3*n]
+		ft.epShort = i32[3*n : 4*n : 4*n]
+		ft.epLong = i32[4*n : 5*n : 5*n]
+		ft.icache = i32[5*n : 6*n : 6*n]
+		ft.mispPrev = make([]uint8, n)
+	}
+	cfg := &g.Cfg
+	dl1 := int64(cfg.DL1Latency)
+	l2 := int64(cfg.L2Latency)
+	mem := int64(cfg.L2Latency) + int64(cfg.MemLatency)
+	tlb := int64(cfg.TLBMissLatency)
+	for i := 0; i < n; i++ {
+		// decomposeLat (windoweval.go) is the single source of truth
+		// for the per-instruction decomposition; the window evaluator
+		// calls the same code, so whole-graph and windowed folds agree
+		// by construction.
+		base, d1, dm, sh, lg, ic := decomposeLat(&g.Info[i], dl1, l2, mem, tlb)
+		ft.epBase[i] = int32(base)
+		ft.epDL1[i] = int32(d1)
+		ft.epDMiss[i] = int32(dm)
+		ft.epShort[i] = int32(sh)
+		ft.epLong[i] = int32(lg)
+		ft.icache[i] = int32(ic)
+		var mp uint8
+		if i > 0 && g.Info[i-1].Mispredict {
+			mp = 1
+		}
+		ft.mispPrev[i] = mp
+	}
+}

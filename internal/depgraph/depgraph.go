@@ -159,6 +159,13 @@ type Config struct {
 	L2Latency      int
 	MemLatency     int
 	TLBMissLatency int
+
+	// Lanes is the batch-evaluator lane width: how many idealizations
+	// one kernel pass carries. 0 picks automatically (see laneWidth);
+	// otherwise it must be a power of two in [1, 64]. Lanes affects
+	// only evaluation throughput, never results, so it is excluded
+	// from session identity and snapshots.
+	Lanes int
 }
 
 // Validate rejects nonsensical parameters.
@@ -174,6 +181,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("depgraph: negative latency")
 	case c.DispatchToReady < 0 || c.CompleteToCommit < 0 || c.BranchRecovery < 0 || c.WakeupExtra < 0:
 		return fmt.Errorf("depgraph: negative pipeline latency")
+	case c.Lanes != 0 && (c.Lanes < 1 || c.Lanes > maxLanes || c.Lanes&(c.Lanes-1) != 0):
+		return fmt.Errorf("depgraph: lanes must be 0 (auto) or a power of two in [1, %d], got %d", maxLanes, c.Lanes)
 	}
 	return nil
 }
@@ -225,24 +234,24 @@ type Graph struct {
 	// miss this instruction's line depends on (PP edge); -1 if none.
 	PPLeader []int32
 
-	// batchOnce guards the lazily built, idealization-independent
-	// per-instruction tables the batched kernels read (see batch.go).
-	// Built on first EvalBatch; the graph must not be mutated after.
-	batchOnce sync.Once
-	partsArr  []epParts
-	mispPrev  []bool
+	// flatOnce guards the lazily built, idealization-independent flat
+	// CSR tables every walk and batch kernel reads (see csr.go).
+	// Built on first walk; Info must not be mutated after.
+	flatOnce sync.Once
+	flat     flatTables
 
-	// arena backs the record slices when the graph came from
-	// NewPooled (see arena.go); nil for New and WithConfig graphs.
-	arena *graphArena
+	// arena backs the record slices (and the pre-carved flat tables)
+	// when the graph came from NewPooled (see arena.go); nil for New
+	// and WithConfig graphs.
+	arena *memArena
 }
 
 // WithConfig returns a graph sharing this graph's per-instruction
 // records but evaluated under a different machine configuration
 // (what-if analysis on a built microexecution). The clone carries its
-// own lazily built batch tables — they depend on the configuration —
-// so both graphs can be batch-evaluated independently. Graphs cannot
-// be copied by value for the same reason.
+// own lazily built flat tables — they depend on the configuration —
+// so both graphs can be walked independently. Graphs cannot be copied
+// by value for the same reason.
 func (g *Graph) WithConfig(cfg Config) *Graph {
 	return &Graph{
 		Cfg:      cfg,
@@ -367,6 +376,10 @@ func (g *Graph) DDLat(i int, f Flags) int64 {
 // NodeTimes for tests, visualization and the profiler.
 type Times struct {
 	D, R, E, P, C []int64
+
+	// arena is non-nil when the slices came from pooled scratch
+	// (AcquireTimes); releaseTimes recycles it.
+	arena *memArena
 }
 
 // ExecTime returns the execution time (cycles) of the microexecution
@@ -443,6 +456,11 @@ func (g *Graph) runCtx(ctx context.Context, id Ideal) (*Times, error) {
 // the unidealized result reproduces the simulator's timing exactly
 // (the simulator computes these same maxima while arbitrating). The
 // pass aborts with ctx.Err() if ctx is done.
+//
+// Both kernels stream the flat CSR columns (csr.go): the latency
+// decomposition is selected by flag instead of re-derived from
+// InstInfo, and a global-only idealization additionally hoists every
+// flag test out of the instruction loop.
 func (g *Graph) runInto(ctx context.Context, id Ideal, t *Times) error {
 	// Fault hook: fires only on cancellable walks (ctx with a Done
 	// channel); the infallible background-context wrappers are exempt
@@ -452,8 +470,128 @@ func (g *Graph) runInto(ctx context.Context, id Ideal, t *Times) error {
 			return err
 		}
 	}
+	if id.PerInst == nil {
+		return g.runGlobal(ctx, id.Global, t)
+	}
+	return g.runGeneric(ctx, id, t)
+}
+
+// runGlobal is the scalar forward walk for a global-only
+// idealization: flag-derived constants hoist out of the loop and the
+// body reads only flat int32/int64 columns.
+func (g *Graph) runGlobal(ctx context.Context, f Flags, t *Times) error {
 	n := g.Len()
+	ft := g.tables()
 	cfg := &g.Cfg
+	ln := laneOf(cfg, f)
+	dr := int64(cfg.DispatchToReady)
+	pc := int64(cfg.CompleteToCommit)
+	rec := int64(cfg.BranchRecovery)
+	wake := int64(cfg.WakeupExtra)
+	fbw, cbw, win := cfg.FetchBW, cfg.CommitBW, ln.win
+	ddB, reL, ccL := g.DDBreak, g.RELat, g.CCLat
+	pr1, pr2, ld := g.Prod1, g.Prod2, g.PPLeader
+	epB, epD1, epDm, epSh, epLg, ic, mp :=
+		ft.epBase, ft.epDL1, ft.epDMiss, ft.epShort, ft.epLong, ft.icache, ft.mispPrev
+	tD, tR, tE, tP, tC := t.D, t.R, t.E, t.P, t.C
+
+	for i := 0; i < n; i++ {
+		if i%ctxCheckStride == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+
+		// --- D node (DD, PD, FBW, CD edges) ---
+		var d int64
+		if ln.bw {
+			d = int64(ddB[i])
+		}
+		if ln.ic {
+			d += int64(ic[i])
+		}
+		if i > 0 {
+			d += tD[i-1]
+			if mp[i] != 0 && ln.bm {
+				d = max(d, tP[i-1]+rec)
+			}
+		}
+		if ln.bw && i >= fbw {
+			d = max(d, tD[i-fbw]+1)
+		}
+		if i >= win {
+			d = max(d, tC[i-win])
+		}
+		tD[i] = d
+
+		// --- R node (DR, PR edges) ---
+		r := d + dr
+		if p := pr1[i]; p >= 0 {
+			r = max(r, tP[p]+wake)
+		}
+		if p := pr2[i]; p >= 0 {
+			r = max(r, tP[p]+wake)
+		}
+		tR[i] = r
+
+		// --- E node (RE edge) ---
+		e := r
+		if ln.bw {
+			e += int64(reL[i])
+		}
+		tE[i] = e
+
+		// --- P node (EP, PP edges) ---
+		p := e + int64(epB[i])
+		if ln.dl1 {
+			p += int64(epD1[i])
+		}
+		if ln.dm {
+			p += int64(epDm[i])
+		}
+		if ln.sh {
+			p += int64(epSh[i])
+		}
+		if ln.lg {
+			p += int64(epLg[i])
+		}
+		if l := ld[i]; l >= 0 && ln.dm {
+			p = max(p, tP[l])
+		}
+		tP[i] = p
+
+		// --- C node (PC, CC, CBW edges) ---
+		c := p + pc
+		if i > 0 {
+			cc := tC[i-1]
+			if ln.bw {
+				cc += int64(ccL[i])
+			}
+			c = max(c, cc)
+		}
+		if ln.bw && i >= cbw {
+			c = max(c, tC[i-cbw]+1)
+		}
+		tC[i] = c
+	}
+	return nil
+}
+
+// runGeneric handles idealizations with a per-instruction mask: flags
+// are recomposed per instruction, but the body still streams the flat
+// columns instead of re-deriving latencies from InstInfo.
+func (g *Graph) runGeneric(ctx context.Context, id Ideal, t *Times) error {
+	n := g.Len()
+	ft := g.tables()
+	cfg := &g.Cfg
+	dr := int64(cfg.DispatchToReady)
+	pc := int64(cfg.CompleteToCommit)
+	rec := int64(cfg.BranchRecovery)
+	wake := int64(cfg.WakeupExtra)
+	fbw, cbw := cfg.FetchBW, cfg.CommitBW
+	ddB, reL, ccL := g.DDBreak, g.RELat, g.CCLat
+	pr1, pr2, ld := g.Prod1, g.Prod2, g.PPLeader
+	epB, epD1, epDm, epSh, epLg, ic, mp :=
+		ft.epBase, ft.epDL1, ft.epDMiss, ft.epShort, ft.epLong, ft.icache, ft.mispPrev
+
 	for i := 0; i < n; i++ {
 		if i%ctxCheckStride == 0 && ctx.Err() != nil {
 			return ctx.Err()
@@ -462,21 +600,22 @@ func (g *Graph) runInto(ctx context.Context, id Ideal, t *Times) error {
 
 		// --- D node ---
 		var d int64
+		if f&IdealBW == 0 {
+			d = int64(ddB[i])
+		}
+		if f&IdealICache == 0 {
+			d += int64(ic[i])
+		}
 		if i > 0 {
-			// DD edge (in-order dispatch + icache + fetch break).
-			d = max(d, t.D[i-1]+g.DDLat(i, f))
+			d += t.D[i-1]
 			// PD edge (branch recovery), gated by the branch's flags.
-			if g.Info[i-1].Mispredict && id.Of(i-1)&IdealBMisp == 0 {
-				d = max(d, t.P[i-1]+int64(cfg.BranchRecovery))
+			if mp[i] != 0 && id.Of(i-1)&IdealBMisp == 0 {
+				d = max(d, t.P[i-1]+rec)
 			}
-		} else {
-			d = g.DDLat(i, f)
 		}
-		// FBW edge.
-		if f&IdealBW == 0 && i >= cfg.FetchBW {
-			d = max(d, t.D[i-cfg.FetchBW]+1)
+		if f&IdealBW == 0 && i >= fbw {
+			d = max(d, t.D[i-fbw]+1)
 		}
-		// CD edge (window).
 		w := cfg.Window
 		if f&IdealWindow != 0 {
 			w *= cfg.WindowIdealFactor
@@ -487,41 +626,52 @@ func (g *Graph) runInto(ctx context.Context, id Ideal, t *Times) error {
 		t.D[i] = d
 
 		// --- R node ---
-		r := d + int64(cfg.DispatchToReady) // DR edge
-		wake := int64(cfg.WakeupExtra)
-		if p := g.Prod1[i]; p >= 0 {
-			r = max(r, t.P[p]+wake) // PR edge
+		r := d + dr
+		if p := pr1[i]; p >= 0 {
+			r = max(r, t.P[p]+wake)
 		}
-		if p := g.Prod2[i]; p >= 0 {
-			r = max(r, t.P[p]+wake) // PR edge
+		if p := pr2[i]; p >= 0 {
+			r = max(r, t.P[p]+wake)
 		}
 		t.R[i] = r
 
-		// --- E node (RE edge) ---
+		// --- E node ---
 		e := r
 		if f&IdealBW == 0 {
-			e += int64(g.RELat[i])
+			e += int64(reL[i])
 		}
 		t.E[i] = e
 
-		// --- P node (EP and PP edges) ---
-		p := e + g.EPLat(i, f)
-		if l := g.PPLeader[i]; l >= 0 && f&IdealDMiss == 0 {
+		// --- P node ---
+		p := e + int64(epB[i])
+		if f&IdealDL1 == 0 {
+			p += int64(epD1[i])
+		}
+		if f&IdealDMiss == 0 {
+			p += int64(epDm[i])
+		}
+		if f&IdealShortALU == 0 {
+			p += int64(epSh[i])
+		}
+		if f&IdealLongALU == 0 {
+			p += int64(epLg[i])
+		}
+		if l := ld[i]; l >= 0 && f&IdealDMiss == 0 {
 			p = max(p, t.P[l])
 		}
 		t.P[i] = p
 
-		// --- C node (PC, CC, CBW edges) ---
-		c := p + int64(cfg.CompleteToCommit)
+		// --- C node ---
+		c := p + pc
 		if i > 0 {
 			cc := t.C[i-1]
 			if f&IdealBW == 0 {
-				cc += int64(g.CCLat[i]) // store-commit BW contention
+				cc += int64(ccL[i])
 			}
 			c = max(c, cc)
 		}
-		if f&IdealBW == 0 && i >= cfg.CommitBW {
-			c = max(c, t.C[i-cfg.CommitBW]+1)
+		if f&IdealBW == 0 && i >= cbw {
+			c = max(c, t.C[i-cbw]+1)
 		}
 		t.C[i] = c
 	}

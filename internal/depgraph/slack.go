@@ -21,6 +21,10 @@ import (
 // nodes.
 type Latest struct {
 	D, R, E, P, C []int64
+
+	// arena is non-nil when the slices came from pooled scratch;
+	// releaseLatest recycles it.
+	arena *memArena
 }
 
 const inf = int64(1) << 62
@@ -83,6 +87,16 @@ func (g *Graph) LatestTimesCtx(ctx context.Context, id Ideal) (*Times, *Latest, 
 // latestInto runs the backward pass into l, whose slices must be
 // Len() long; every element is initialized here, so pooled scratch
 // needs no zeroing.
+//
+// The pass visits instructions backward and, within an instruction,
+// nodes in reverse pipeline order (C, P, E, R, D); every edge goes
+// forward in this order, so one pass suffices. Each node's in-edges
+// are enumerated implicitly from the flat CSR columns — the exact
+// constraint set InEdges materializes — relaxing each source to
+// min(source, dest latest - latency). A node still unconstrained when
+// visited (no path to the final commit) pins to its actual time so
+// slack reads zero-extra, matching the explicit-edge enumeration
+// bit for bit without allocating a single Edge.
 func (g *Graph) latestInto(ctx context.Context, id Ideal, t *Times, l *Latest) error {
 	// Fault hook: backward-pass walks, cancellable contexts only (see
 	// runInto).
@@ -92,36 +106,156 @@ func (g *Graph) latestInto(ctx context.Context, id Ideal, t *Times, l *Latest) e
 		}
 	}
 	n := g.Len()
+	lD, lR, lE, lP, lC := l.D, l.R, l.E, l.P, l.C
 	for i := 0; i < n; i++ {
-		l.D[i], l.R[i], l.E[i], l.P[i], l.C[i] = inf, inf, inf, inf, inf
+		lD[i], lR[i], lE[i], lP[i], lC[i] = inf, inf, inf, inf, inf
 	}
 	if n == 0 {
 		return nil
 	}
-	l.C[n-1] = t.C[n-1]
-	// Visit instructions backward; within an instruction, nodes in
-	// reverse pipeline order. Every edge goes forward in this order,
-	// so one pass suffices.
+	ft := g.tables()
+	cfg := &g.Cfg
+	dr := int64(cfg.DispatchToReady)
+	pc := int64(cfg.CompleteToCommit)
+	rec := int64(cfg.BranchRecovery)
+	wake := int64(cfg.WakeupExtra)
+	fbw, cbw := cfg.FetchBW, cfg.CommitBW
+	ddB, reL, ccL := g.DDBreak, g.RELat, g.CCLat
+	pr1, pr2, ld := g.Prod1, g.Prod2, g.PPLeader
+	epB, epD1, epDm, epSh, epLg, ic, mp :=
+		ft.epBase, ft.epDL1, ft.epDMiss, ft.epShort, ft.epLong, ft.icache, ft.mispPrev
+
+	lC[n-1] = t.C[n-1]
 	for i := n - 1; i >= 0; i-- {
 		if i%ctxCheckStride == 0 && ctx.Err() != nil {
 			return ctx.Err()
 		}
-		for _, node := range [...]NodeKind{NodeC, NodeP, NodeE, NodeR, NodeD} {
-			to := l.at(node, i)
-			if *to == inf {
-				// Dead end (e.g. the last instructions' D/R nodes
-				// feed nothing beyond their own chain): pin to the
-				// actual time so slack reads zero-extra.
-				*to = t.nodeTime(node, i)
+		f := id.Of(i)
+		bw := f&IdealBW == 0
+
+		// --- C node; in-edges PC, CC, CBW ---
+		toC := lC[i]
+		if toC == inf {
+			toC = t.C[i]
+			lC[i] = toC
+		}
+		if v := toC - pc; v < lP[i] { // PC: P(i) -> C(i)
+			lP[i] = v
+		}
+		if i > 0 {
+			cc := toC // CC: C(i-1) -> C(i)
+			if bw {
+				cc -= int64(ccL[i])
 			}
-			for _, e := range g.InEdges(i, id) {
-				if e.ToNode != node {
-					continue
+			if cc < lC[i-1] {
+				lC[i-1] = cc
+			}
+		}
+		if bw && i >= cbw { // CBW: C(i-cbw) -> C(i), lat 1
+			if v := toC - 1; v < lC[i-cbw] {
+				lC[i-cbw] = v
+			}
+		}
+
+		// --- P node; in-edges EP, PP ---
+		toP := lP[i]
+		if toP == inf {
+			toP = t.P[i]
+			lP[i] = toP
+		}
+		ep := int64(epB[i]) // EP: E(i) -> P(i)
+		if f&IdealDL1 == 0 {
+			ep += int64(epD1[i])
+		}
+		dm := f&IdealDMiss == 0
+		if dm {
+			ep += int64(epDm[i])
+		}
+		if f&IdealShortALU == 0 {
+			ep += int64(epSh[i])
+		}
+		if f&IdealLongALU == 0 {
+			ep += int64(epLg[i])
+		}
+		if v := toP - ep; v < lE[i] {
+			lE[i] = v
+		}
+		if lead := ld[i]; lead >= 0 && dm { // PP: P(leader) -> P(i), lat 0
+			if toP < lP[lead] {
+				lP[lead] = toP
+			}
+		}
+
+		// --- E node; in-edge RE ---
+		toE := lE[i]
+		if toE == inf {
+			toE = t.E[i]
+			lE[i] = toE
+		}
+		re := toE // RE: R(i) -> E(i)
+		if bw {
+			re -= int64(reL[i])
+		}
+		if re < lR[i] {
+			lR[i] = re
+		}
+
+		// --- R node; in-edges DR, PR ---
+		toR := lR[i]
+		if toR == inf {
+			toR = t.R[i]
+			lR[i] = toR
+		}
+		if v := toR - dr; v < lD[i] { // DR: D(i) -> R(i)
+			lD[i] = v
+		}
+		if p := pr1[i]; p >= 0 { // PR: P(prod) -> R(i)
+			if v := toR - wake; v < lP[p] {
+				lP[p] = v
+			}
+		}
+		if p := pr2[i]; p >= 0 {
+			if v := toR - wake; v < lP[p] {
+				lP[p] = v
+			}
+		}
+
+		// --- D node; in-edges DD, PD, FBW, CD ---
+		toD := lD[i]
+		if toD == inf {
+			toD = t.D[i]
+			lD[i] = toD
+		}
+		if i > 0 {
+			var dd int64 // DD: D(i-1) -> D(i), icache + fetch break
+			if bw {
+				dd = int64(ddB[i])
+			}
+			if f&IdealICache == 0 {
+				dd += int64(ic[i])
+			}
+			if v := toD - dd; v < lD[i-1] {
+				lD[i-1] = v
+			}
+			// PD: P(i-1) -> D(i), gated by the branch's flags.
+			if mp[i] != 0 && id.Of(i-1)&IdealBMisp == 0 {
+				if v := toD - rec; v < lP[i-1] {
+					lP[i-1] = v
 				}
-				src := l.at(e.FromNode, e.FromInst)
-				if v := *to - e.Lat; v < *src {
-					*src = v
-				}
+			}
+		}
+		if bw && i >= fbw { // FBW: D(i-fbw) -> D(i), lat 1
+			if v := toD - 1; v < lD[i-fbw] {
+				lD[i-fbw] = v
+			}
+		}
+		w := cfg.Window
+		if f&IdealWindow != 0 {
+			w *= cfg.WindowIdealFactor
+		}
+		if i >= w { // CD: C(i-w) -> D(i), lat 0
+			if toD < lC[i-w] {
+				lC[i-w] = toD
 			}
 		}
 	}

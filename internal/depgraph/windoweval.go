@@ -1,0 +1,401 @@
+package depgraph
+
+import (
+	"fmt"
+	"math"
+
+	"icost/internal/cache"
+)
+
+// Windowed long-trace evaluation. A whole-trace Graph holds ~56 bytes
+// of records per instruction — tens of millions of instructions means
+// gigabytes resident before a single query runs. But the graph model
+// itself is local: every edge reaches back a bounded number of
+// instructions (the re-order buffer for CD edges — at most
+// Window×WindowIdealFactor under the infinite-window idealization —
+// and FetchBW/CommitBW for the bandwidth edges; producer and
+// line-sharing edges can reach arbitrarily far back as *records*, but
+// beyond the window depth they can never bind, see below). So the
+// forward recurrence streams: the simulator emits bounded Window
+// blocks of CSR records, and WindowEval folds each block into
+// per-idealization node-time rings whose size depends only on the
+// machine configuration — never on trace length.
+//
+// Boundary-edge carry and exactness. The carry depth K = CarryDepth()
+// = max(Window×WindowIdealFactor, FetchBW, CommitBW) bounds how far
+// back any *binding* edge can reach, for every global idealization:
+// commit times are monotone (the CC edge chains every instruction),
+// and the CD edge — present under every idealization, merely widened
+// by IdealWindow — forces D(i) ≥ C(i−w). A producer p more than w
+// behind i therefore has P(p) ≤ C(p) − CompleteToCommit ≤ C(i−w) −
+// CompleteToCommit ≤ D(i) − CompleteToCommit, so its PR edge cannot
+// lift R(i) = max(D(i) + DispatchToReady, P(p) + WakeupExtra) as long
+// as WakeupExtra ≤ DispatchToReady + CompleteToCommit — the
+// ValidateWindowed precondition. Line-sharing PP edges are
+// unconditional: P(leader) ≤ C(i−w) ≤ D(i) ≤ P(i) already. Refs
+// farther back than K are clamped to NoRef at emission, and the fold
+// over clamped blocks is bit-identical to the whole-graph walk —
+// FuzzWindowFold and the window package's tests prove this against
+// full simulations.
+//
+// The arrays are per-kind edge columns exactly like Graph's — the
+// same CSR layout, windowed.
+
+// NoRef marks an absent or clamped cross-window reference in a
+// Window's producer/leader columns. Distinct from -1, which is a
+// valid relative reference (the instruction before the window start).
+const NoRef = int32(math.MinInt32)
+
+// Window is one bounded block of dependence-graph records emitted by
+// the streaming simulator. Producer and leader references are
+// relative to Lo (absolute index Lo+rel; negative values reach into
+// earlier windows, never farther back than the carry depth — beyond
+// it they are clamped to NoRef, which the evaluation above proves
+// lossless).
+type Window struct {
+	// Lo is the absolute dynamic index of the first instruction.
+	Lo int64
+	// N is the number of instructions in the block.
+	N int
+
+	Info     []InstInfo
+	DDBreak  []uint8
+	RELat    []int32
+	CCLat    []int32
+	Prod1    []int32 // relative to Lo, or NoRef
+	Prod2    []int32 // relative to Lo, or NoRef
+	PPLeader []int32 // relative to Lo, or NoRef
+	// MispPrev[j] != 0 marks instruction Lo+j-1 as a mispredicted
+	// branch (the PD-edge gate; carried explicitly because the
+	// previous instruction may live in an earlier, discarded window).
+	MispPrev []uint8
+}
+
+// Resize prepares the window to hold n instructions starting at
+// absolute index lo, growing the columns as needed. Contents are
+// unspecified; the filler overwrites every element.
+func (w *Window) Resize(lo int64, n int) {
+	w.Lo, w.N = lo, n
+	if cap(w.Info) < n {
+		w.Info = make([]InstInfo, n)
+		w.DDBreak = make([]uint8, n)
+		w.RELat = make([]int32, n)
+		w.CCLat = make([]int32, n)
+		w.Prod1 = make([]int32, n)
+		w.Prod2 = make([]int32, n)
+		w.PPLeader = make([]int32, n)
+		w.MispPrev = make([]uint8, n)
+	}
+	w.Info = w.Info[:n]
+	w.DDBreak = w.DDBreak[:n]
+	w.RELat = w.RELat[:n]
+	w.CCLat = w.CCLat[:n]
+	w.Prod1 = w.Prod1[:n]
+	w.Prod2 = w.Prod2[:n]
+	w.PPLeader = w.PPLeader[:n]
+	w.MispPrev = w.MispPrev[:n]
+}
+
+// Bytes is the block's backing-store footprint, for budget accounting.
+func (w *Window) Bytes() int64 {
+	const instInfoBytes = int64(16) // Op+SIdx+flags+levels, padded
+	n := int64(cap(w.Info))
+	return n*instInfoBytes + n /*DDBreak*/ + 5*4*n /*int32 columns*/ + n /*MispPrev*/
+}
+
+// CarryDepth is the maximum backward reach, in instructions, of any
+// binding edge under any global idealization of this configuration:
+// the idealized re-order window, or a bandwidth-edge span if wider.
+func (c *Config) CarryDepth() int {
+	k := c.Window * c.WindowIdealFactor
+	if c.FetchBW > k {
+		k = c.FetchBW
+	}
+	if c.CommitBW > k {
+		k = c.CommitBW
+	}
+	return k
+}
+
+// ValidateWindowed extends Validate with the windowed-exactness
+// precondition: a producer beyond the re-order window must never bind
+// through its PR edge, which requires the wakeup latency not to
+// exceed the dispatch-to-ready plus complete-to-commit path (see the
+// package comment above; the Table 6 machine satisfies it with room).
+func (c *Config) ValidateWindowed() error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if c.WakeupExtra > c.DispatchToReady+c.CompleteToCommit {
+		return fmt.Errorf("depgraph: windowed evaluation requires WakeupExtra (%d) <= DispatchToReady (%d) + CompleteToCommit (%d)",
+			c.WakeupExtra, c.DispatchToReady, c.CompleteToCommit)
+	}
+	return nil
+}
+
+// WindowEval folds Window blocks into execution times under a fixed
+// set of global idealizations, holding only carry-deep node-time
+// rings: memory is O(CarryDepth × lanes), independent of trace
+// length. Blocks must be fed in stream order.
+type WindowEval struct {
+	cfg   Config
+	flags []Flags
+	lanes []laneConsts
+
+	carry int   // K: emission clamp horizon, ring history depth
+	rmask int64 // ring index mask (ring size - 1, power of two)
+
+	// Node-time rings, ring-slot-major × lane: index (abs&rmask)*L+w.
+	// R and E never cross instructions and stay in registers.
+	d, p, c []int64
+
+	n int64 // instructions folded so far
+}
+
+// NewWindowEval builds an evaluator for the given configuration and
+// global idealization lanes.
+func NewWindowEval(cfg Config, flags []Flags) (*WindowEval, error) {
+	if err := cfg.ValidateWindowed(); err != nil {
+		return nil, err
+	}
+	if len(flags) == 0 {
+		return nil, fmt.Errorf("depgraph: windowed evaluation needs at least one idealization lane")
+	}
+	we := &WindowEval{cfg: cfg, flags: append([]Flags(nil), flags...)}
+	we.carry = cfg.CarryDepth()
+	ring := int64(1)
+	for ring < int64(we.carry)+1 {
+		ring <<= 1
+	}
+	we.rmask = ring - 1
+	L := len(flags)
+	we.lanes = make([]laneConsts, L)
+	for w, f := range we.flags {
+		we.lanes[w] = laneOf(&cfg, f)
+	}
+	we.d = make([]int64, ring*int64(L))
+	we.p = make([]int64, ring*int64(L))
+	we.c = make([]int64, ring*int64(L))
+	return we, nil
+}
+
+// Lanes returns the evaluator's idealization lanes in order.
+func (we *WindowEval) Lanes() []Flags { return we.flags }
+
+// Insts returns how many instructions have been folded.
+func (we *WindowEval) Insts() int64 { return we.n }
+
+// RingBytes is the evaluator's node-time ring footprint.
+func (we *WindowEval) RingBytes() int64 {
+	return 3 * int64(len(we.d)) * 8
+}
+
+// CarryDepth returns the clamp horizon K the emitter must apply:
+// references farther than K behind their consumer must arrive as
+// NoRef.
+func (we *WindowEval) CarryDepth() int { return we.carry }
+
+// Feed folds one block. Blocks must arrive in stream order: win.Lo
+// must equal the number of instructions already folded.
+func (we *WindowEval) Feed(win *Window) error {
+	if win.Lo != we.n {
+		return fmt.Errorf("depgraph: window starts at %d, evaluator at %d", win.Lo, we.n)
+	}
+	cfg := &we.cfg
+	L := int64(len(we.lanes))
+	D, P, C := we.d, we.p, we.c
+	rmask := we.rmask
+	dr := int64(cfg.DispatchToReady)
+	pc := int64(cfg.CompleteToCommit)
+	rec := int64(cfg.BranchRecovery)
+	wake := int64(cfg.WakeupExtra)
+	fbw, cbw := int64(cfg.FetchBW), int64(cfg.CommitBW)
+	dl1 := int64(cfg.DL1Latency)
+	l2 := int64(cfg.L2Latency)
+	mem := int64(cfg.L2Latency) + int64(cfg.MemLatency)
+	tlb := int64(cfg.TLBMissLatency)
+
+	for j := 0; j < win.N; j++ {
+		abs := win.Lo + int64(j)
+		// Decompose this instruction's latencies once; the cost
+		// amortizes over every lane.
+		base, d1L, dmL, shL, lgL, icL := decomposeLat(&win.Info[j], dl1, l2, mem, tlb)
+		ddBreak := int64(win.DDBreak[j])
+		reLat := int64(win.RELat[j])
+		ccLat := int64(win.CCLat[j])
+		misp := win.MispPrev[j] != 0
+
+		// Ring rows. Relative references resolve against Lo; NoRef
+		// (clamped or absent) scales far negative and is caught by
+		// the row sign test, exactly like the batch kernels' -1.
+		row := (abs & rmask) * L
+		prevRow, fbwRow, cbwRow := int64(-1), int64(-1), int64(-1)
+		if abs > 0 {
+			prevRow = ((abs - 1) & rmask) * L
+		}
+		if abs >= fbw {
+			fbwRow = ((abs - fbw) & rmask) * L
+		}
+		if abs >= cbw {
+			cbwRow = ((abs - cbw) & rmask) * L
+		}
+		p1Row := refRow(win.Prod1[j], win.Lo, rmask, L)
+		p2Row := refRow(win.Prod2[j], win.Lo, rmask, L)
+		leadRow := refRow(win.PPLeader[j], win.Lo, rmask, L)
+
+		dRow := D[row : row+L]
+		pRow := P[row : row+L]
+		cRow := C[row : row+L]
+		for w := int64(0); w < L; w++ {
+			ln := &we.lanes[w]
+			var dd int64
+			if ln.bw {
+				dd = ddBreak
+			}
+			if ln.ic {
+				dd += icL
+			}
+			d := dd
+			if prevRow >= 0 {
+				d += D[prevRow+w]
+				if misp && ln.bm {
+					if v := P[prevRow+w] + rec; v > d {
+						d = v
+					}
+				}
+			}
+			if ln.bw && fbwRow >= 0 {
+				if v := D[fbwRow+w] + 1; v > d {
+					d = v
+				}
+			}
+			if win := int64(ln.win); abs >= win {
+				if v := C[((abs-win)&rmask)*L+w]; v > d {
+					d = v
+				}
+			}
+			dRow[w] = d
+
+			r := d + dr
+			if p1Row >= 0 {
+				if v := P[p1Row+w] + wake; v > r {
+					r = v
+				}
+			}
+			if p2Row >= 0 {
+				if v := P[p2Row+w] + wake; v > r {
+					r = v
+				}
+			}
+
+			e := r
+			if ln.bw {
+				e += reLat
+			}
+
+			p := e + base
+			if ln.dl1 {
+				p += d1L
+			}
+			if ln.dm {
+				p += dmL
+			}
+			if ln.sh {
+				p += shL
+			}
+			if ln.lg {
+				p += lgL
+			}
+			if leadRow >= 0 && ln.dm {
+				if v := P[leadRow+w]; v > p {
+					p = v
+				}
+			}
+			pRow[w] = p
+
+			c := p + pc
+			if prevRow >= 0 {
+				cc := C[prevRow+w]
+				if ln.bw {
+					cc += ccLat
+				}
+				if cc > c {
+					c = cc
+				}
+			}
+			if ln.bw && cbwRow >= 0 {
+				if v := C[cbwRow+w] + 1; v > c {
+					c = v
+				}
+			}
+			cRow[w] = c
+		}
+	}
+	we.n += int64(win.N)
+	return nil
+}
+
+// refRow converts a Lo-relative reference into a ring row offset, or
+// -1 when the reference is absent/clamped. A NoRef scales far
+// negative, so the caller's sign test rejects it for free.
+func refRow(rel int32, lo int64, rmask, lanes int64) int64 {
+	if rel == NoRef {
+		return -1
+	}
+	abs := lo + int64(rel)
+	if abs < 0 {
+		return -1
+	}
+	return (abs & rmask) * lanes
+}
+
+// decomposeLat is the shared per-instruction latency decomposition
+// (csr.go's buildTables and the window evaluator agree by
+// construction: both call this shape of code with the same inputs).
+func decomposeLat(info *InstInfo, dl1, l2, mem, tlb int64) (base, d1, dm, sh, lg, ic int64) {
+	op := info.Op
+	switch {
+	case op.IsMem():
+		d1 = dl1
+		if info.DTLBMiss {
+			dm += tlb
+		}
+		switch info.DataLevel {
+		case cache.LevelL2:
+			dm += l2
+		case cache.LevelMem:
+			dm += mem
+		}
+	case op.IsShortALU():
+		sh = 1
+	case op.IsLongALU():
+		lg = BaseExecLat(op)
+	default:
+		base = BaseExecLat(op)
+	}
+	if info.ITLBMiss {
+		ic = tlb
+	}
+	switch info.ILevel {
+	case cache.LevelL2:
+		ic += l2
+	case cache.LevelMem:
+		ic += mem
+	}
+	return
+}
+
+// ExecTimes returns, per lane, the execution time of everything
+// folded so far: the last commit time plus one (zero before any
+// instructions).
+func (we *WindowEval) ExecTimes() []int64 {
+	out := make([]int64, len(we.lanes))
+	if we.n == 0 {
+		return out
+	}
+	row := ((we.n - 1) & we.rmask) * int64(len(we.lanes))
+	for w := range out {
+		out[w] = we.c[row+int64(w)] + 1
+	}
+	return out
+}

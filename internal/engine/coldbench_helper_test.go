@@ -5,5 +5,5 @@ import "context"
 // buildForBench adapts the internal build entry point for the cold
 // benchmark, so the benchmark body survives signature changes.
 func buildForBench(spec SessionSpec) (*session, error) {
-	return build(context.Background(), spec, nil)
+	return build(context.Background(), spec, 0, nil)
 }

@@ -40,7 +40,7 @@ func TestSessionReleaseIdempotent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := build(context.Background(), spec, nil)
+	s, err := build(context.Background(), spec, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"icost/internal/depgraph"
 	"icost/internal/faultinject"
 )
 
@@ -69,6 +70,11 @@ type Config struct {
 	// instead of stampeding into fresh build attempts (default 1s;
 	// negative drops failures immediately).
 	BuildFailTTL time.Duration
+	// Lanes is the batched-evaluation lane width handed to every
+	// session's graph config (0 = auto-pick from GOMAXPROCS; otherwise
+	// a power of two up to 64). Pure throughput knob: it never changes
+	// results and is excluded from session identity and snapshots.
+	Lanes int
 }
 
 func (c Config) withDefaults() Config {
@@ -168,6 +174,15 @@ type job struct {
 // New starts an engine with cfg defaults applied.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
+	{
+		// Fail loudly at construction, not on the first build: an
+		// invalid lane width is an operator configuration error.
+		probe := depgraph.DefaultConfig()
+		probe.Lanes = cfg.Lanes
+		if err := probe.Validate(); err != nil {
+			panic(fmt.Sprintf("engine: invalid Config.Lanes %d: %v", cfg.Lanes, err))
+		}
+	}
 	e := &Engine{
 		cfg:     cfg,
 		jobs:    make(chan *job, cfg.QueueDepth),
@@ -489,7 +504,7 @@ func (e *Engine) buildOnce(ctx context.Context, spec SessionSpec) (*session, err
 	if err := faultinject.Hit(ctx, faultinject.EngineBuild); err != nil {
 		return nil, err
 	}
-	return build(ctx, spec, &e.met)
+	return build(ctx, spec, e.cfg.Lanes, &e.met)
 }
 
 // Metrics snapshots the engine's observability state.
@@ -507,8 +522,9 @@ func (e *Engine) Metrics() Snapshot {
 		CanceledTotal:      e.met.canceled.Load(),
 		QueryTimeoutsTotal: e.met.queryTimeouts.Load(),
 
-		BuildRetriesTotal:  e.met.buildRetries.Load(),
-		BuildFailuresTotal: e.met.buildFailures.Load(),
+		BuildRetriesTotal:   e.met.buildRetries.Load(),
+		BuildFailuresTotal:  e.met.buildFailures.Load(),
+		WindowedBuildsTotal: e.met.windowedBuilds.Load(),
 
 		SnapshotsSavedTotal:     e.met.snapshotsSaved.Load(),
 		SnapshotsLoadedTotal:    e.met.snapshotsLoaded.Load(),

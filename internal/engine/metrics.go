@@ -76,6 +76,7 @@ type metrics struct {
 	sessionsEvicted atomic.Int64
 	buildRetries    atomic.Int64
 	buildFailures   atomic.Int64
+	windowedBuilds  atomic.Int64
 
 	snapshotsSaved     atomic.Int64
 	snapshotsLoaded    atomic.Int64
@@ -137,6 +138,9 @@ type Snapshot struct {
 	// after all retries (and were negatively cached for BuildFailTTL).
 	BuildRetriesTotal  int64 `json:"session_build_retries_total"`
 	BuildFailuresTotal int64 `json:"session_build_failures_total"`
+	// WindowedBuildsTotal counts sessions built through the windowed
+	// long-trace pipeline instead of a resident whole-trace graph.
+	WindowedBuildsTotal int64 `json:"windowed_builds_total"`
 
 	// SnapshotsSavedTotal / SnapshotsLoadedTotal count sessions written
 	// to and restored from durable snapshots; SnapshotLoadErrorsTotal

@@ -82,6 +82,14 @@ type Response struct {
 	Matrix    *breakdown.Matrix  `json:"matrix,omitempty"`
 	Slack     *SlackSummary      `json:"slack,omitempty"`
 
+	// Windowed reports that the session was built through the
+	// bounded-memory long-trace pipeline: Windows is the number of
+	// emission blocks folded and PeakBytes the peak graph-analysis
+	// storage held resident during the build.
+	Windowed  bool  `json:"windowed,omitempty"`
+	Windows   int   `json:"windows,omitempty"`
+	PeakBytes int64 `json:"peak_bytes,omitempty"`
+
 	// Cached reports whether this response was served from the result
 	// cache; Elapsed is the serving time (build + compute for a cold
 	// query, lookup time when cached).
@@ -187,13 +195,15 @@ func catsOf(names []string) []breakdown.Category {
 // on an engine worker; ctx carries the client's cancellation.
 func execute(ctx context.Context, q Query, s *session) (*Response, error) {
 	a := s.analyzer
-	g := a.Graph()
 	resp := &Response{
 		Op:         q.Op,
 		SessionKey: s.key,
 		Bench:      s.spec.Bench,
 		BaseCycles: a.BaseTime(),
-		Insts:      g.Len(),
+		Insts:      s.instCount(),
+		Windowed:   s.windowed,
+		Windows:    s.windows,
+		PeakBytes:  s.peakBytes,
 	}
 	switch q.Op {
 	case OpCost:
@@ -236,7 +246,13 @@ func execute(ctx context.Context, q Query, s *session) (*Response, error) {
 		}
 		resp.Matrix = m
 	case OpSlack:
-		slacks, err := g.SlacksCtx(ctx, depgraph.Ideal{})
+		if s.windowed {
+			// Slack needs per-instruction forward/backward passes over a
+			// resident graph; windowed sessions fold per-window costs and
+			// never hold one.
+			return nil, errValidation("engine: slack query unsupported for windowed sessions (window_insts > 0)")
+		}
+		slacks, err := a.Graph().SlacksCtx(ctx, depgraph.Ideal{})
 		if err != nil {
 			return nil, err
 		}

@@ -12,6 +12,7 @@ import (
 	"icost/internal/depgraph"
 	"icost/internal/ooo"
 	"icost/internal/trace"
+	"icost/internal/window"
 	"icost/internal/workload"
 )
 
@@ -36,6 +37,15 @@ type SessionSpec struct {
 	Window         int    `json:"window,omitempty"`
 	WakeupExtra    int    `json:"wakeup_extra,omitempty"`
 	BranchRecovery int    `json:"branch_recovery,omitempty"`
+	// WindowInsts, when nonzero, builds the session through the
+	// windowed long-trace pipeline: the trace streams through
+	// ring-storage simulation in WindowInsts-instruction blocks and
+	// the full 256-entry idealization-subset table is folded in one
+	// pass, so peak memory is bounded by the window budget instead of
+	// the trace length. Every cost/icost/breakdown query answers from
+	// the table with bit-identical results; only the slack query
+	// (which needs per-instruction node times) is unavailable.
+	WindowInsts int `json:"window_insts,omitempty"`
 }
 
 // normalize fills defaults and validates the spec.
@@ -77,6 +87,15 @@ func (s SessionSpec) normalize() (SessionSpec, error) {
 	if s.DL1Latency < 0 || s.Window < 1 || s.WakeupExtra < 0 || s.BranchRecovery < 0 {
 		return s, errValidation("engine: bad machine parameters in %+v", s)
 	}
+	if s.WindowInsts < 0 {
+		return s, errValidation("engine: bad window_insts %d", s.WindowInsts)
+	}
+	if s.WindowInsts > 0 {
+		cfg := s.machine(0)
+		if err := cfg.Graph.ValidateWindowed(); err != nil {
+			return s, errValidation("engine: %v", err)
+		}
+	}
 	return s, nil
 }
 
@@ -88,23 +107,31 @@ func (s SessionSpec) Key() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	canon := fmt.Sprintf("bench=%s seed=%d n=%d warmup=%d dl1=%d win=%d wake=%d rec=%d",
+	canon := fmt.Sprintf("bench=%s seed=%d n=%d warmup=%d dl1=%d win=%d wake=%d rec=%d wininsts=%d",
 		n.Bench, n.Seed, n.TraceLen, n.Warmup,
-		n.DL1Latency, n.Window, n.WakeupExtra, n.BranchRecovery)
+		n.DL1Latency, n.Window, n.WakeupExtra, n.BranchRecovery, n.WindowInsts)
 	sum := sha256.Sum256([]byte(canon))
 	return hex.EncodeToString(sum[:8]), nil
 }
 
-func (s SessionSpec) machine() ooo.Config {
-	return ooo.DefaultConfig().
+// machine resolves the simulated machine. lanes is the engine-wide
+// batch lane width (Config.Lanes): a throughput knob, deliberately
+// outside the spec and the session key.
+func (s SessionSpec) machine(lanes int) ooo.Config {
+	cfg := ooo.DefaultConfig().
 		WithDL1Latency(s.DL1Latency).
 		WithWindow(s.Window).
 		WithWakeupExtra(s.WakeupExtra).
 		WithBranchRecovery(s.BranchRecovery)
+	cfg.Graph.Lanes = lanes
+	return cfg
 }
 
-// session is one built artifact set: trace + simulation result
-// (graph) + memoizing analyzer.
+// session is one built artifact set. A whole-graph session holds
+// trace + simulation result (graph) + graph-backed analyzer; a
+// windowed session holds no graph at all — just the folded 256-entry
+// idealization-subset table wrapped in a function-backed analyzer,
+// plus the windowed run's shape for observability.
 type session struct {
 	key      string
 	spec     SessionSpec // normalized
@@ -113,6 +140,24 @@ type session struct {
 	analyzer *cost.Analyzer
 	built    time.Duration // wall time of the cold build
 	pooled   bool          // artifacts are pool-backed; release returns them
+
+	// Windowed-session state (spec.WindowInsts > 0): the folded
+	// 256-entry subset table (also the snapshot payload), insts folded,
+	// blocks emitted, and peak analysis bytes, from window.Analyze.
+	windowed  bool
+	table     []int64
+	insts     int
+	windows   int
+	peakBytes int64
+}
+
+// instCount is the session's timed instruction count, independent of
+// whether a graph is resident.
+func (s *session) instCount() int {
+	if s.windowed {
+		return s.insts
+	}
+	return s.result.Graph.Len()
 }
 
 // release returns the session's pool-backed artifacts — trace backing
@@ -149,12 +194,15 @@ func (s *session) release() {
 // node times all land in pooled storage. ctx cancels both pipeline
 // stages. met (nil in benchmarks) receives the build histogram and
 // per-stage time counters.
-func build(ctx context.Context, spec SessionSpec, met *metrics) (*session, error) {
+func build(ctx context.Context, spec SessionSpec, lanes int, met *metrics) (*session, error) {
 	key, err := spec.Key()
 	if err != nil {
 		return nil, err
 	}
 	spec, _ = spec.normalize()
+	if spec.WindowInsts > 0 {
+		return buildWindowed(ctx, spec, lanes, met, key)
+	}
 	start := time.Now()
 	w, err := workload.Cached(spec.Bench, spec.Seed)
 	if err != nil {
@@ -170,7 +218,7 @@ func build(ctx context.Context, spec SessionSpec, met *metrics) (*session, error
 		return nil, fmt.Errorf("engine: generating %s: %w", spec.Bench, err)
 	}
 	var tm ooo.StreamTiming
-	res, err := ooo.SimulateStream(ctx, st, spec.machine(), ooo.Options{
+	res, err := ooo.SimulateStream(ctx, st, spec.machine(lanes), ooo.Options{
 		KeepGraph: true, Warmup: spec.Warmup, Timing: &tm,
 	})
 	if err != nil {
@@ -193,6 +241,67 @@ func build(ctx context.Context, spec SessionSpec, met *metrics) (*session, error
 		built:    built,
 		pooled:   true,
 	}, nil
+}
+
+// subsetTable returns every global-idealization subset in table
+// order: index == flag bits.
+func subsetTable() []depgraph.Flags {
+	lanes := make([]depgraph.Flags, 1<<depgraph.NumFlags)
+	for i := range lanes {
+		lanes[i] = depgraph.Flags(i)
+	}
+	return lanes
+}
+
+// buildWindowed constructs a windowed session: one streaming pass of
+// ring-storage simulation folds the execution time of all 256
+// idealization subsets, and the analyzer answers every subsequent
+// query from that table. No trace, graph or node times are retained —
+// peak memory during the build and the session's resident size are
+// both bounded by the window budget, which is what lets a session
+// cover tens of millions of instructions.
+func buildWindowed(ctx context.Context, spec SessionSpec, lanes int, met *metrics, key string) (*session, error) {
+	start := time.Now()
+	wres, err := window.Analyze(ctx, window.Request{
+		Bench:       spec.Bench,
+		Seed:        spec.Seed,
+		TraceLen:    spec.TraceLen,
+		Warmup:      spec.Warmup,
+		WindowInsts: spec.WindowInsts,
+		Sim:         spec.machine(lanes),
+	}, subsetTable())
+	if err != nil {
+		return nil, fmt.Errorf("engine: windowed build of %s: %w", spec.Bench, err)
+	}
+	built := time.Since(start)
+	if met != nil {
+		met.sessionBuild.record(built)
+		met.windowedBuilds.Add(1)
+	}
+	s := newWindowedSession(key, spec, wres.Times,
+		&ooo.Result{Cycles: wres.Cycles, Stats: wres.Stats}, built,
+		int(wres.Insts), wres.Windows, wres.PeakBytes)
+	return s, nil
+}
+
+// newWindowedSession wraps a folded subset table (index == flag bits)
+// as a session. Shared by the cold build and snapshot restore.
+func newWindowedSession(key string, spec SessionSpec, table []int64, res *ooo.Result,
+	built time.Duration, insts, windows int, peakBytes int64) *session {
+	return &session{
+		key:  key,
+		spec: spec,
+		analyzer: cost.NewFromFunc(func(f depgraph.Flags) int64 {
+			return table[f&depgraph.AllFlags]
+		}),
+		result:    res,
+		built:     built,
+		windowed:  true,
+		table:     table,
+		insts:     insts,
+		windows:   windows,
+		peakBytes: peakBytes,
+	}
 }
 
 // sessionStore is an LRU-bounded map of built sessions with

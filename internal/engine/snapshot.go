@@ -30,16 +30,27 @@ import (
 //	magic    "ICSS" + version byte
 //	checksum 4-byte little-endian CRC-32C of the payload
 //	length   uvarint payload byte count
-//	payload  normalized spec, build wall time, simulated cycles,
-//	         graph config, then per-instruction records (varints)
+//	payload  normalized spec, build wall time, simulated cycles, a
+//	         kind byte, then the kind-specific body: kind 0 (whole
+//	         graph) is graph config + per-instruction records
+//	         (varints); kind 1 (windowed) is the folded 256-entry
+//	         idealization-subset table plus the windowed run's shape
 //
-// The encoding is canonical: the same session always produces the
-// same bytes, so a snapshot of a restored session is bit-identical to
-// the snapshot it came from (property-tested in snapshot_test.go).
-// The checksum makes corruption a clean load error, never a corrupt
-// graph answering queries.
+// Version 2 added the spec's window_insts field and the kind byte;
+// version-1 snapshots (whole-graph only) still load. The encoding is
+// canonical: the same session always produces the same bytes, so a
+// snapshot of a restored session is bit-identical to the snapshot it
+// came from (property-tested in snapshot_test.go). The checksum makes
+// corruption a clean load error, never a corrupt graph answering
+// queries.
 
-var snapMagic = [5]byte{'I', 'C', 'S', 'S', 1}
+var snapMagic = [5]byte{'I', 'C', 'S', 'S', 2}
+
+// Snapshot payload kinds (version ≥ 2).
+const (
+	snapKindGraph    = 0
+	snapKindWindowed = 1
+)
 
 var snapCRC = crc32.MakeTable(crc32.Castagnoli)
 
@@ -91,8 +102,25 @@ func writeSnapshot(ctx context.Context, w io.Writer, s *session) error {
 	putSnapUv(bw, uint64(sp.Window))
 	putSnapUv(bw, uint64(sp.WakeupExtra))
 	putSnapUv(bw, uint64(sp.BranchRecovery))
+	putSnapUv(bw, uint64(sp.WindowInsts))
 	putSnapUv(bw, uint64(s.built))
 	putSnapUv(bw, uint64(s.result.Cycles))
+
+	if s.windowed {
+		bw.WriteByte(snapKindWindowed)
+		putSnapUv(bw, uint64(s.insts))
+		putSnapUv(bw, uint64(s.windows))
+		putSnapUv(bw, uint64(s.peakBytes))
+		putSnapUv(bw, uint64(len(s.table)))
+		for _, t := range s.table {
+			putSnapUv(bw, uint64(t))
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		return writeSnapFrame(w, payload.Bytes())
+	}
+	bw.WriteByte(snapKindGraph)
 
 	g := s.result.Graph
 	n := g.Len()
@@ -127,14 +155,19 @@ func writeSnapshot(ctx context.Context, w io.Writer, s *session) error {
 	if err := bw.Flush(); err != nil {
 		return err
 	}
+	return writeSnapFrame(w, payload.Bytes())
+}
 
+// writeSnapFrame wraps a finished payload in the magic + CRC + length
+// framing.
+func writeSnapFrame(w io.Writer, payload []byte) error {
 	out := bufio.NewWriter(w)
 	out.Write(snapMagic[:])
 	var crcb [4]byte
-	binary.LittleEndian.PutUint32(crcb[:], crc32.Checksum(payload.Bytes(), snapCRC))
+	binary.LittleEndian.PutUint32(crcb[:], crc32.Checksum(payload, snapCRC))
 	out.Write(crcb[:])
-	putSnapUv(out, uint64(payload.Len()))
-	if _, err := out.Write(payload.Bytes()); err != nil {
+	putSnapUv(out, uint64(len(payload)))
+	if _, err := out.Write(payload); err != nil {
 		return err
 	}
 	return out.Flush()
@@ -171,8 +204,12 @@ func readSnapshot(ctx context.Context, r io.Reader) (*session, error) {
 	if _, err := io.ReadFull(hr, magic[:]); err != nil {
 		return nil, fmt.Errorf("engine: reading snapshot magic: %w", err)
 	}
-	if magic != snapMagic {
-		return nil, fmt.Errorf("engine: bad snapshot magic %q (version mismatch?)", magic)
+	if [4]byte{magic[0], magic[1], magic[2], magic[3]} != [4]byte{'I', 'C', 'S', 'S'} {
+		return nil, fmt.Errorf("engine: bad snapshot magic %q", magic[:4])
+	}
+	version := magic[4]
+	if version < 1 || version > snapMagic[4] {
+		return nil, fmt.Errorf("engine: unsupported snapshot version %d", version)
 	}
 	var crcb [4]byte
 	if _, err := io.ReadFull(hr, crcb[:]); err != nil {
@@ -199,6 +236,9 @@ func readSnapshot(ctx context.Context, r io.Reader) (*session, error) {
 		return nil, err
 	}
 	ints := []*int{&sp.TraceLen, &sp.Warmup, &sp.DL1Latency, &sp.Window, &sp.WakeupExtra, &sp.BranchRecovery}
+	if version >= 2 {
+		ints = append(ints, &sp.WindowInsts)
+	}
 	for _, dst := range ints {
 		v, err := getSnapUv(br, 1<<31)
 		if err != nil {
@@ -220,6 +260,22 @@ func readSnapshot(ctx context.Context, r io.Reader) (*session, error) {
 		return nil, fmt.Errorf("engine: snapshot spec: %w", err)
 	}
 	key, _ := spec.Key()
+
+	kind := byte(snapKindGraph)
+	if version >= 2 {
+		if kind, err = br.ReadByte(); err != nil {
+			return nil, fmt.Errorf("engine: reading snapshot kind: %w", err)
+		}
+	}
+	if windowed := spec.WindowInsts > 0; windowed != (kind == snapKindWindowed) {
+		return nil, fmt.Errorf("engine: snapshot kind %d disagrees with spec window_insts %d", kind, spec.WindowInsts)
+	}
+	if kind == snapKindWindowed {
+		return readWindowedBody(br, key, spec, time.Duration(builtNS), int64(cycles))
+	}
+	if kind != snapKindGraph {
+		return nil, fmt.Errorf("engine: unknown snapshot kind %d", kind)
+	}
 
 	n64, err := getSnapUv(br, 1<<24)
 	if err != nil {
@@ -302,6 +358,53 @@ func readSnapshot(ctx context.Context, r io.Reader) (*session, error) {
 		built:    time.Duration(builtNS),
 		pooled:   false, // restored graphs are heap-backed; release is a no-op
 	}, nil
+}
+
+// readWindowedBody decodes a windowed (kind 1) payload body: run
+// shape plus the folded subset table. br must be positioned after the
+// kind byte and end exactly at the table's last entry.
+func readWindowedBody(br *bufio.Reader, key string, spec SessionSpec, built time.Duration, cycles int64) (*session, error) {
+	insts, err := getSnapUv(br, 1<<40)
+	if err != nil {
+		return nil, err
+	}
+	if int64(insts) != int64(spec.TraceLen) {
+		return nil, fmt.Errorf("engine: snapshot folded %d instructions, spec says %d", insts, spec.TraceLen)
+	}
+	windows, err := getSnapUv(br, 1<<40)
+	if err != nil {
+		return nil, err
+	}
+	peakBytes, err := getSnapUv(br, 1<<50)
+	if err != nil {
+		return nil, err
+	}
+	tlen, err := getSnapUv(br, 1<<depgraph.NumFlags)
+	if err != nil {
+		return nil, err
+	}
+	if tlen != 1<<depgraph.NumFlags {
+		return nil, fmt.Errorf("engine: snapshot subset table has %d entries, want %d", tlen, 1<<depgraph.NumFlags)
+	}
+	table := make([]int64, tlen)
+	for i := range table {
+		v, err := getSnapUv(br, 1<<62)
+		if err != nil {
+			return nil, err
+		}
+		table[i] = int64(v)
+	}
+	// The base lane is the simulated cycle count by the windowed
+	// pipeline's self-check; re-verify so a corrupted-but-CRC-valid
+	// table (or a hand-edited one) cannot answer queries.
+	if table[0] != cycles {
+		return nil, fmt.Errorf("engine: snapshot base lane %d != cycles %d", table[0], cycles)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("engine: snapshot has trailing payload bytes")
+	}
+	return newWindowedSession(key, spec, table, &ooo.Result{Cycles: cycles},
+		built, int(insts), int(windows), int64(peakBytes)), nil
 }
 
 // snapCfgFieldPtrs mirrors snapCfgFields for decoding.

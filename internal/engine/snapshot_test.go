@@ -214,7 +214,8 @@ func TestSnapshotRejectsCorruption(t *testing.T) {
 		}
 	}
 	check("empty", nil)
-	check("bad magic", []byte("ICSS\x02junk"))
+	check("bad magic", []byte("JCSS\x02junk"))
+	check("bad version", []byte("ICSS\x09junk"))
 	check("truncated", good[:len(good)/2])
 	flipped := append([]byte(nil), good...)
 	flipped[len(flipped)-5] ^= 0x01

@@ -14,6 +14,7 @@ import (
 	"icost/internal/isa"
 	"icost/internal/ooo"
 	"icost/internal/profiler"
+	"icost/internal/window"
 	"icost/internal/workload"
 )
 
@@ -76,11 +77,24 @@ type aggregate struct {
 
 	memoMu sync.Mutex
 	memo   map[string]*memoEntry
+	// cal memoizes calibrate results. Unlike memo it is
+	// generation-independent: the windowed ground truth depends only
+	// on (binary, seed, machine, trace shape), never on the pool.
+	cal map[string]*calEntry
 }
 
 type memoEntry struct {
 	gen uint64
 	est *profiler.Estimate
+}
+
+// calEntry is one memoized windowed ground-truth run.
+type calEntry struct {
+	pct       map[string]float64
+	cycles    int64
+	insts     int64
+	windows   int
+	peakBytes int64
 }
 
 // Aggregator is the fleet's online merge + query surface.
@@ -229,6 +243,7 @@ func (a *Aggregator) lookup(key Key, create bool) *aggregate {
 		key:   key,
 		hosts: map[string]struct{}{},
 		memo:  map[string]*memoEntry{},
+		cal:   map[string]*calEntry{},
 	}
 	a.items[ks] = a.ll.PushFront(agg)
 	return agg
@@ -285,8 +300,8 @@ func (a *Aggregator) query(ctx context.Context, q Query) (*Response, error) {
 	}
 
 	agg.mu.RLock()
-	defer agg.mu.RUnlock()
 	if agg.samples == nil || len(agg.samples.Sigs) == 0 {
+		agg.mu.RUnlock()
 		return nil, &NotFoundError{Key: q.Key()}
 	}
 	gen := agg.gen
@@ -301,6 +316,17 @@ func (a *Aggregator) query(ctx context.Context, q Query) (*Response, error) {
 		SampledInsts: agg.samples.Insts,
 		Sigs:         len(agg.samples.Sigs),
 	}
+	if q.Op == OpCalibrate {
+		// Calibration never reads the pool — drop the read lock so the
+		// (comparatively long) windowed ground-truth run cannot block
+		// merges the way fragment reconstruction does.
+		agg.mu.RUnlock()
+		if err := a.calibrate(ctx, agg, q, cats, resp); err != nil {
+			return nil, err
+		}
+		return resp, nil
+	}
+	defer agg.mu.RUnlock()
 
 	est, memoized, err := a.estimate(ctx, agg, gen, q, focus, cats, w)
 	if err != nil {
@@ -359,6 +385,65 @@ func (a *Aggregator) estimate(ctx context.Context, agg *aggregate, gen uint64, q
 	return est, false, nil
 }
 
+// calibrate answers an OpCalibrate query: one windowed ground-truth
+// pass folds the base lane plus every requested category's single
+// idealization, and the exact cost percentages land in resp.Pct —
+// what the sampled fleet estimates for the same categories should
+// converge to. Results are memoized per (cats, trace shape),
+// generation-independent: the ground truth reads the binary, never
+// the sample pool. Runs outside the aggregate's locks.
+func (a *Aggregator) calibrate(ctx context.Context, agg *aggregate, q Query,
+	cats []breakdown.Category, resp *Response) error {
+	ckey := q.calibrateKey()
+	agg.memoMu.Lock()
+	e, ok := agg.cal[ckey]
+	agg.memoMu.Unlock()
+	if ok {
+		a.met.memoHits.Add(1)
+		resp.Memoized = true
+		e.fill(resp)
+		return nil
+	}
+
+	lanes := make([]depgraph.Flags, 0, len(cats)+1)
+	lanes = append(lanes, 0)
+	for _, c := range cats {
+		lanes = append(lanes, c.Flags)
+	}
+	wres, err := window.Analyze(ctx, window.Request{
+		Bench:       q.Binary,
+		Seed:        q.Seed,
+		TraceLen:    q.TraceLen,
+		Warmup:      q.Warmup,
+		WindowInsts: q.WindowInsts,
+		Sim:         a.cfg.Machine,
+	}, lanes)
+	if err != nil {
+		return err
+	}
+	pct := make(map[string]float64, len(cats))
+	base := float64(wres.Times[0])
+	for k, c := range cats {
+		pct[c.Name] = float64(wres.Times[0]-wres.Times[k+1]) / base * 100
+	}
+	e = &calEntry{pct: pct, cycles: wres.Cycles, insts: wres.Insts,
+		windows: wres.Windows, peakBytes: wres.PeakBytes}
+	a.met.calibrations.Add(1)
+	agg.memoMu.Lock()
+	agg.cal[ckey] = e
+	agg.memoMu.Unlock()
+	e.fill(resp)
+	return nil
+}
+
+func (e *calEntry) fill(resp *Response) {
+	resp.Pct = e.pct
+	resp.BaseCycles = e.cycles
+	resp.AnalyzedInsts = e.insts
+	resp.Windows = e.windows
+	resp.PeakBytes = e.peakBytes
+}
+
 // classifyPct maps an interaction-cost percentage onto the paper's
 // trichotomy (§2.2). The estimate is sampled, so a small epsilon
 // around zero reads as independent rather than over-interpreting
@@ -402,6 +487,12 @@ const (
 	// OpBreakdown: the focused breakdown over all requested
 	// categories (costs plus focus-pair interactions).
 	OpBreakdown Op = "breakdown"
+	// OpCalibrate: exact per-category cost percentages from a windowed
+	// ground-truth analysis of the aggregate's binary — the yardstick
+	// the sampled estimates above are judged against. Runs the full
+	// trace through the bounded-memory pipeline, so it is exact (no
+	// error bars) yet never holds a whole-trace graph resident.
+	OpCalibrate Op = "calibrate"
 )
 
 // Query is one fleet query: which aggregate, and what to estimate
@@ -420,6 +511,12 @@ type Query struct {
 	// Fragments overrides how many fragments the estimate stitches
 	// (0 = the aggregator's configured default).
 	Fragments int `json:"fragments,omitempty"`
+	// Calibrate-only trace shape: timed instructions, warmup, and the
+	// emission-window size of the windowed ground-truth run (defaults
+	// 100000 / 10000 / 4096; ignored and zeroed for other ops).
+	TraceLen    int `json:"trace_len,omitempty"`
+	Warmup      int `json:"warmup,omitempty"`
+	WindowInsts int `json:"window_insts,omitempty"`
 }
 
 // Key returns the aggregate the query targets.
@@ -468,10 +565,33 @@ func (q Query) normalize(defaultFragments int) (Query, breakdown.Category, []bre
 		if _, ok := depgraph.FlagByName(q.Focus); !ok {
 			return q, focus, nil, errValidation("fleet: unknown focus category %q", q.Focus)
 		}
+	case OpCalibrate:
+		if len(q.Cats) == 0 {
+			q.Cats = depgraph.FlagNames()
+		}
+		q.Focus = q.Cats[0] // unused by calibration; pinned for the generic tail below
+		if q.TraceLen == 0 {
+			q.TraceLen = 100_000
+		}
+		if q.Warmup == 0 {
+			q.Warmup = 10_000
+		}
+		if q.WindowInsts == 0 {
+			q.WindowInsts = 4096
+		}
+		if q.TraceLen < 1 || q.TraceLen > 1<<30 || q.Warmup < 0 || q.WindowInsts < 1 {
+			return q, focus, nil, errValidation("fleet: bad calibration shape trace_len=%d warmup=%d window_insts=%d",
+				q.TraceLen, q.Warmup, q.WindowInsts)
+		}
 	case "":
-		return q, focus, nil, errValidation("fleet: query needs an op (cost, icost, breakdown)")
+		return q, focus, nil, errValidation("fleet: query needs an op (cost, icost, breakdown, calibrate)")
 	default:
-		return q, focus, nil, errValidation("fleet: unknown op %q (have cost, icost, breakdown)", q.Op)
+		return q, focus, nil, errValidation("fleet: unknown op %q (have cost, icost, breakdown, calibrate)", q.Op)
+	}
+	if q.Op != OpCalibrate {
+		// The trace shape parameterizes only the ground-truth run; zero
+		// it elsewhere so equivalent estimate queries share memo keys.
+		q.TraceLen, q.Warmup, q.WindowInsts = 0, 0, 0
 	}
 	ff, _ := depgraph.FlagByName(q.Focus)
 	focus = breakdown.Category{Name: q.Focus, Flags: ff}
@@ -499,6 +619,13 @@ func (q Query) estimateKey() string {
 	names = append(names, q.Focus)
 	names = append(names, q.Cats...)
 	return strings.Join(names, ",") + "|" + strconv.Itoa(q.Fragments)
+}
+
+// calibrateKey identifies a memoized ground-truth run: the categories
+// folded plus the trace shape, independent of the pool generation.
+func (q Query) calibrateKey() string {
+	return strings.Join(q.Cats, ",") + "|" +
+		strconv.Itoa(q.TraceLen) + "|" + strconv.Itoa(q.Warmup) + "|" + strconv.Itoa(q.WindowInsts)
 }
 
 // Response is a fleet query result.
@@ -535,6 +662,15 @@ type Response struct {
 	Fragments   int     `json:"fragments"`
 	Attempts    int     `json:"attempts"`
 	MatchedFrac float64 `json:"matched_frac"`
+
+	// Calibrate results: BaseCycles is the ground-truth simulated
+	// execution time, AnalyzedInsts/Windows/PeakBytes the windowed
+	// run's shape. Pct carries the exact per-category percentages;
+	// StdErrs stay empty — the ground truth has no sampling error.
+	BaseCycles    int64 `json:"base_cycles,omitempty"`
+	AnalyzedInsts int64 `json:"analyzed_insts,omitempty"`
+	Windows       int   `json:"windows,omitempty"`
+	PeakBytes     int64 `json:"peak_bytes,omitempty"`
 
 	Elapsed time.Duration `json:"elapsed_ns"`
 }

@@ -1,0 +1,139 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"icost/internal/breakdown"
+	"icost/internal/depgraph"
+	"icost/internal/ooo"
+	"icost/internal/workload"
+)
+
+// TestCalibrateGroundTruth: a calibrate query returns the exact
+// per-category cost percentages a whole-graph analysis of the same
+// trace yields — the yardstick the fleet's sampled estimates are
+// judged against — and memoizes across pool generations.
+func TestCalibrateGroundTruth(t *testing.T) {
+	ctx := context.Background()
+	a := NewAggregator(Config{})
+	h := Header{Binary: "gzip", Seed: 42, Group: "prod", Host: "h0"}
+	if err := a.Ingest(ctx, h, hostBatch(t, "gzip", 42, 7)); err != nil {
+		t.Fatal(err)
+	}
+
+	q := Query{Binary: "gzip", Seed: 42, Group: "prod", Op: OpCalibrate,
+		TraceLen: 3000, Warmup: 300, WindowInsts: 256}
+	resp, err := a.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Memoized {
+		t.Fatal("first calibration memoized")
+	}
+	if len(resp.Pct) != depgraph.NumFlags || len(resp.StdErrs) != 0 {
+		t.Fatalf("pct has %d entries, stderrs %d", len(resp.Pct), len(resp.StdErrs))
+	}
+	if resp.AnalyzedInsts != int64(q.TraceLen) || resp.Windows != (q.TraceLen+q.WindowInsts-1)/q.WindowInsts {
+		t.Fatalf("shape: insts %d windows %d", resp.AnalyzedInsts, resp.Windows)
+	}
+	if resp.BaseCycles <= 0 || resp.PeakBytes <= 0 {
+		t.Fatalf("base cycles %d, peak bytes %d", resp.BaseCycles, resp.PeakBytes)
+	}
+
+	// The ground truth, computed the expensive way: whole-trace graph,
+	// batched evaluation of every single-category idealization.
+	w, err := workload.Cached("gzip", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := w.Execute(q.Warmup+q.TraceLen, q.Seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ooo.Simulate(tr, ooo.DefaultConfig(), ooo.Options{KeepGraph: true, Warmup: q.Warmup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != resp.BaseCycles {
+		t.Fatalf("base cycles %d, whole-graph %d", resp.BaseCycles, res.Cycles)
+	}
+	cats := make([]breakdown.Category, 0, depgraph.NumFlags)
+	ids := []depgraph.Ideal{{}}
+	for _, name := range depgraph.FlagNames() {
+		f, _ := depgraph.FlagByName(name)
+		cats = append(cats, breakdown.Category{Name: name, Flags: f})
+		ids = append(ids, depgraph.Ideal{Global: f})
+	}
+	times, err := res.Graph.EvalBatch(ctx, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := float64(times[0])
+	for k, c := range cats {
+		want := float64(times[0]-times[k+1]) / base * 100
+		if got := resp.Pct[c.Name]; got != want {
+			t.Fatalf("%s: calibrated %v%%, whole-graph %v%%", c.Name, got, want)
+		}
+	}
+
+	// Second query: memoized, no new ground-truth run.
+	resp2, err := a.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp2.Memoized {
+		t.Fatal("second calibration not memoized")
+	}
+	// Generation independence: a merge bumps the pool generation, but
+	// the ground truth never read the pool, so the memo survives.
+	if err := a.Ingest(ctx, h, hostBatch(t, "gzip", 42, 8)); err != nil {
+		t.Fatal(err)
+	}
+	resp3, err := a.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp3.Memoized {
+		t.Fatal("calibration recomputed after merge")
+	}
+	if m := a.Metrics(); m.CalibrationsTotal != 1 {
+		t.Fatalf("calibrations %d, want 1", m.CalibrationsTotal)
+	}
+
+	// A different trace shape is a different ground truth.
+	q2 := q
+	q2.WindowInsts = 512
+	resp4, err := a.Query(ctx, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp4.Memoized {
+		t.Fatal("different shape served from memo")
+	}
+	for name, v := range resp.Pct {
+		if resp4.Pct[name] != v {
+			t.Fatalf("%s: window size changed the exact answer: %v vs %v", name, resp4.Pct[name], v)
+		}
+	}
+}
+
+// TestCalibrateValidation pins the calibrate query contract.
+func TestCalibrateValidation(t *testing.T) {
+	ctx := context.Background()
+	a := NewAggregator(Config{})
+	var verr *ValidationError
+	if _, err := a.Query(ctx, Query{Binary: "gzip", Group: "prod", Op: OpCalibrate, Warmup: -1}); !errors.As(err, &verr) {
+		t.Fatalf("negative warmup: %v", err)
+	}
+	if _, err := a.Query(ctx, Query{Binary: "gzip", Group: "prod", Op: OpCalibrate, Cats: []string{"nope"}}); !errors.As(err, &verr) {
+		t.Fatalf("unknown category: %v", err)
+	}
+	// Calibration requires the aggregate to exist: it is a comparison
+	// point for fleet estimates, not a standalone analysis service.
+	var nf *NotFoundError
+	if _, err := a.Query(ctx, Query{Binary: "gzip", Group: "prod", Op: OpCalibrate}); !errors.As(err, &nf) {
+		t.Fatalf("missing aggregate: %v", err)
+	}
+}

@@ -60,10 +60,11 @@ type metrics struct {
 	ingestErrors  atomic.Int64
 	evictions     atomic.Int64
 
-	queries     atomic.Int64
-	queryErrors atomic.Int64
-	estimates   atomic.Int64
-	memoHits    atomic.Int64
+	queries      atomic.Int64
+	queryErrors  atomic.Int64
+	estimates    atomic.Int64
+	memoHits     atomic.Int64
+	calibrations atomic.Int64
 
 	ingestLatency latencyHist
 	queryLatency  latencyHist
@@ -89,6 +90,9 @@ type Snapshot struct {
 	// memoized estimate without re-stitching fragments.
 	EstimatesBuiltTotal int64 `json:"fleet_estimates_built_total"`
 	MemoHitsTotal       int64 `json:"fleet_estimate_memo_hits_total"`
+	// CalibrationsTotal counts windowed ground-truth analyses run by
+	// calibrate queries (memo hits excluded).
+	CalibrationsTotal int64 `json:"fleet_calibrations_total"`
 
 	AggregatesLive int   `json:"fleet_aggregates_live"`
 	AggregateBytes int64 `json:"fleet_aggregate_bytes"`
@@ -128,6 +132,7 @@ func (a *Aggregator) Metrics() Snapshot {
 		QueryErrorsTotal:    a.met.queryErrors.Load(),
 		EstimatesBuiltTotal: a.met.estimates.Load(),
 		MemoHitsTotal:       a.met.memoHits.Load(),
+		CalibrationsTotal:   a.met.calibrations.Load(),
 
 		AggregatesLive: live,
 		AggregateBytes: bytes,

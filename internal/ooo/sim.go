@@ -2,6 +2,7 @@ package ooo
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"icost/internal/bpred"
@@ -34,6 +35,19 @@ type machine struct {
 	times *depgraph.Times
 	st    Stats
 	n     int
+
+	// Storage addressing. In full mode the graph and node-time arrays
+	// hold every timed instruction and mask/horizon are identities
+	// (mask covers any index, horizon never clamps), so the step code
+	// below is one path, bit-exact for both modes. In windowed mode
+	// the same arrays are a power-of-two ring (mask = size-1) and
+	// horizon = the re-order window: producer/leader reads farther
+	// back are skipped, which windoweval.go's carry analysis proves
+	// can never change a node time under the windowed preconditions.
+	mask     int
+	horizon  int
+	carry    int // emission clamp depth K (windowed only)
+	windowed bool
 
 	// lastWriter maps architectural registers to the dynamic index of
 	// their most recent writer (-1 = written before the trace).
@@ -93,6 +107,8 @@ func newMachine(prog *program.Program, cfg Config, opt Options, n int) *machine 
 		n:             n,
 		maps:          acquireSimMaps(),
 		curFetchCycle: -1,
+		mask:          math.MaxInt,
+		horizon:       math.MaxInt,
 	}
 	m.gcfg = &m.cfg.Graph
 	m.st.Insts = n
@@ -131,6 +147,14 @@ func (m *machine) step(sin *isa.Inst, din *trace.DynInst) {
 	i := m.i
 	m.i++
 	g, times, gcfg, f := m.g, m.times, m.gcfg, m.f
+	mask := m.mask
+	mi := i & mask
+	if m.windowed {
+		// The ring slot still holds a long-retired instruction's
+		// records; reset it to NewPooled's initial state.
+		g.Prod1[mi], g.Prod2[mi], g.PPLeader[mi] = -1, -1, -1
+		g.DDBreak[mi], g.RELat[mi], g.CCLat[mi] = 0, 0, 0
+	}
 	info := depgraph.InstInfo{Op: sin.Op, SIdx: din.SIdx}
 
 	// --- Functional front end: icache and branch predictor ---
@@ -184,7 +208,7 @@ func (m *machine) step(sin *isa.Inst, din *trace.DynInst) {
 		}
 		if sin.Op.IsLoad() && dr.Level == cache.LevelL1 {
 			if l, ok := m.maps.lineLeader[dr.Line]; ok {
-				g.PPLeader[i] = l
+				g.PPLeader[mi] = l
 			}
 		}
 		granule := din.Addr &^ 7
@@ -195,7 +219,7 @@ func (m *machine) step(sin *isa.Inst, din *trace.DynInst) {
 			// from the in-flight (or committed) store. Loads have
 			// a single register source, so the second producer
 			// slot is free for the memory dependence.
-			g.Prod2[i] = s
+			g.Prod2[mi] = s
 			m.st.StoreForwards++
 		}
 	}
@@ -212,33 +236,34 @@ func (m *machine) step(sin *isa.Inst, din *trace.DynInst) {
 		ns++
 	}
 	if ns > 0 {
-		g.Prod1[i] = m.lastWriter[srcs[0]]
+		g.Prod1[mi] = m.lastWriter[srcs[0]]
 	}
 	if ns > 1 {
-		g.Prod2[i] = m.lastWriter[srcs[1]]
+		g.Prod2[mi] = m.lastWriter[srcs[1]]
 	}
 
-	g.Info[i] = info
+	g.Info[mi] = info
 
 	// --- D node: dispatch ---
 	var d int64
 	if i > 0 {
-		d = times.D[i-1] + g.DDLat(i, f) // DDBreak not yet set: pure icache part
-		if g.Info[i-1].Mispredict && f&depgraph.IdealBMisp == 0 {
-			d = max(d, times.P[i-1]+int64(gcfg.BranchRecovery))
+		pi := (i - 1) & mask
+		d = times.D[pi] + g.DDLat(mi, f) // DDBreak not yet set: pure icache part
+		if g.Info[pi].Mispredict && f&depgraph.IdealBMisp == 0 {
+			d = max(d, times.P[pi]+int64(gcfg.BranchRecovery))
 		}
 	} else {
-		d = g.DDLat(i, f)
+		d = g.DDLat(mi, f)
 	}
 	if f&depgraph.IdealBW == 0 && i >= gcfg.FetchBW {
-		d = max(d, times.D[i-gcfg.FetchBW]+1)
+		d = max(d, times.D[(i-gcfg.FetchBW)&mask]+1)
 	}
 	w := gcfg.Window
 	if f&depgraph.IdealWindow != 0 {
 		w *= gcfg.WindowIdealFactor
 	}
 	if i >= w {
-		d = max(d, times.C[i-w])
+		d = max(d, times.C[(i-w)&mask])
 	}
 	// Taken-branch fetch break: if this instruction lands in a
 	// fetch cycle that already holds MaxTakenPerCycle taken
@@ -246,7 +271,7 @@ func (m *machine) step(sin *isa.Inst, din *trace.DynInst) {
 	// on the DD edge.
 	if f&depgraph.IdealBW == 0 && d == m.curFetchCycle && m.takenInCycle >= m.cfg.MaxTakenPerCycle {
 		d++
-		g.DDBreak[i] = 1
+		g.DDBreak[mi] = 1
 	}
 	if d != m.curFetchCycle {
 		m.curFetchCycle = d
@@ -255,36 +280,43 @@ func (m *machine) step(sin *isa.Inst, din *trace.DynInst) {
 	if sin.Op.IsBranch() && din.Taken {
 		m.takenInCycle++
 	}
-	times.D[i] = d
+	times.D[mi] = d
 
 	// --- R node: operands ready ---
+	// Producer reads are horizon-guarded: a producer more than a full
+	// re-order window back has completed long before this dispatch and
+	// cannot lift readiness (the ValidateWindowed precondition); in
+	// full mode the guard is vacuous.
 	r := d + int64(gcfg.DispatchToReady)
 	wake := int64(gcfg.WakeupExtra)
-	if p := g.Prod1[i]; p >= 0 {
-		r = max(r, times.P[p]+wake)
+	if p := g.Prod1[mi]; p >= 0 && i-int(p) <= m.horizon {
+		r = max(r, times.P[int(p)&mask]+wake)
 	}
-	if p := g.Prod2[i]; p >= 0 {
-		r = max(r, times.P[p]+wake)
+	if p := g.Prod2[mi]; p >= 0 && i-int(p) <= m.horizon {
+		r = max(r, times.P[int(p)&mask]+wake)
 	}
-	times.R[i] = r
+	times.R[mi] = r
 
 	// --- E node: issue, arbitrating functional units ---
 	e := r
 	if f&depgraph.IdealBW == 0 {
 		e = m.pool.Book(sin.Op.FU(), r)
-		g.RELat[i] = int32(e - r)
+		g.RELat[mi] = int32(e - r)
 	}
-	times.E[i] = e
+	times.E[mi] = e
 
 	// --- P node: completion (EP edge + line sharing) ---
-	p := e + g.EPLat(i, f)
-	if l := g.PPLeader[i]; l >= 0 && f&depgraph.IdealDMiss == 0 {
-		if times.P[l] > p {
+	// A leader beyond the horizon has P(l) ≤ C(i-w) ≤ this dispatch
+	// time ≤ p already, so skipping the read changes neither p nor
+	// the partial-miss count.
+	p := e + g.EPLat(mi, f)
+	if l := g.PPLeader[mi]; l >= 0 && i-int(l) <= m.horizon && f&depgraph.IdealDMiss == 0 {
+		if times.P[int(l)&mask] > p {
 			m.st.PartialMisses++
-			p = times.P[l]
+			p = times.P[int(l)&mask]
 		}
 	}
-	times.P[i] = p
+	times.P[mi] = p
 	if sin.Op.IsLoad() && info.DataLevel != cache.LevelL1 {
 		m.maps.lineLeader[m.hier.L1D.Line(din.Addr)] = int32(i)
 	}
@@ -292,10 +324,10 @@ func (m *machine) step(sin *isa.Inst, din *trace.DynInst) {
 	// --- C node: commit ---
 	c := p + int64(gcfg.CompleteToCommit)
 	if i > 0 {
-		c = max(c, times.C[i-1])
+		c = max(c, times.C[(i-1)&mask])
 	}
 	if f&depgraph.IdealBW == 0 && i >= gcfg.CommitBW {
-		c = max(c, times.C[i-gcfg.CommitBW]+1)
+		c = max(c, times.C[(i-gcfg.CommitBW)&mask]+1)
 	}
 	// Store-commit bandwidth: stores contend for retire ports;
 	// the delay is recorded on the CC edge so graph replay stays
@@ -304,11 +336,11 @@ func (m *machine) step(sin *isa.Inst, din *trace.DynInst) {
 	if sin.Op.IsStore() && f&depgraph.IdealBW == 0 {
 		booked := m.storePorts.Book(c)
 		if booked > c && i > 0 {
-			g.CCLat[i] = int32(booked - times.C[i-1])
+			g.CCLat[mi] = int32(booked - times.C[(i-1)&mask])
 			c = booked
 		}
 	}
-	times.C[i] = c
+	times.C[mi] = c
 
 	// --- Architectural register update ---
 	if sin.HasDst() {

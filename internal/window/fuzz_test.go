@@ -1,0 +1,59 @@
+package window
+
+import (
+	"context"
+	"testing"
+
+	"icost/internal/depgraph"
+	"icost/internal/ooo"
+	"icost/internal/workload"
+)
+
+// FuzzWindowFold fuzzes the windowed fold's boundary-edge carry: for
+// arbitrary window sizes (including pathological ones like 1, sizes
+// that never divide the trace, and sizes straddling the carry depth),
+// trace lengths, warmups and idealization masks, the windowed
+// pipeline must reproduce the whole-graph evaluation bit for bit. Any
+// mishandled cross-window reference — a clamp that was actually
+// binding, a ring slot read after reuse, a mispredict gate lost at a
+// block's first instruction — shows up as a divergence here.
+func FuzzWindowFold(f *testing.F) {
+	f.Add(uint64(1), uint16(512), uint16(40), uint8(0), uint8(3))
+	f.Add(uint64(2), uint16(1), uint16(200), uint8(0xff), uint8(0))
+	f.Add(uint64(3), uint16(1500), uint16(977), uint8(0x24), uint8(77))
+	f.Add(uint64(4), uint16(63), uint16(1280), uint8(0x81), uint8(200))
+	f.Fuzz(func(t *testing.T, seed uint64, winSel, lenSel uint16, laneMask, warmSel uint8) {
+		names := workload.Names()
+		bench := names[seed%uint64(len(names))]
+		req := Request{
+			Bench: bench,
+			Seed:  seed % 5, // bounded so workload.Cached reuses profiles
+			// 200..2247 timed instructions, windows 1..2048: covers
+			// window ≥ trace, window 1, and everything between.
+			TraceLen:    200 + int(lenSel)%2048,
+			Warmup:      int(warmSel) % 128,
+			WindowInsts: 1 + int(winSel)%2048,
+			Sim:         ooo.DefaultConfig(),
+		}
+		lanes := []depgraph.Flags{
+			0,
+			depgraph.Flags(laneMask) & depgraph.AllFlags,
+			^depgraph.Flags(laneMask) & depgraph.AllFlags,
+			depgraph.IdealWindow, // maximum carry reach
+		}
+		want, full := fullTimes(t, req, lanes)
+		res, err := Analyze(context.Background(), req, lanes)
+		if err != nil {
+			t.Fatalf("analyze: %v", err)
+		}
+		if res.Cycles != full.Cycles {
+			t.Fatalf("%s seed %d win %d: cycles %d != %d", bench, req.Seed, req.WindowInsts, res.Cycles, full.Cycles)
+		}
+		for k := range lanes {
+			if res.Times[k] != want[k] {
+				t.Fatalf("%s seed %d win %d len %d warm %d lane %v: windowed %d != whole-graph %d",
+					bench, req.Seed, req.WindowInsts, req.TraceLen, req.Warmup, lanes[k], res.Times[k], want[k])
+			}
+		}
+	})
+}

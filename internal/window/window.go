@@ -1,0 +1,135 @@
+// Package window runs whole analyses over traces too long to hold as
+// dependence graphs. It chains the streaming trace generator
+// (workload.ExecuteStream), the ring-storage simulator
+// (ooo.SimulateWindowed) and the carry-ring fold (depgraph.WindowEval)
+// into one bounded-memory pipeline: peak graph storage is a function
+// of the machine configuration and the window size — never of trace
+// length — so tens-of-millions-instruction traces analyze under a
+// fixed byte budget. The fold is exact, not approximate: every lane's
+// execution time is bit-identical to what a whole-trace graph walk
+// would produce (proven by the golden tests and FuzzWindowFold), and
+// every run self-checks by folding a base lane and comparing it
+// against the simulator's cycle count.
+package window
+
+import (
+	"context"
+	"fmt"
+
+	"icost/internal/depgraph"
+	"icost/internal/ooo"
+	"icost/internal/workload"
+)
+
+// Request describes one windowed analysis.
+type Request struct {
+	// Bench and Seed name the workload, as in the engine's sessions.
+	Bench string
+	Seed  uint64
+	// TraceLen is the number of timed instructions; Warmup
+	// instructions run ahead of them untimed.
+	TraceLen int
+	Warmup   int
+	// WindowInsts is the emission-block size. Larger windows amortize
+	// emission overhead; memory grows linearly with it.
+	WindowInsts int
+	// Sim is the machine configuration. Must satisfy the windowed
+	// preconditions (ooo.SimulateWindowed validates).
+	Sim ooo.Config
+}
+
+// Result is the outcome of a windowed analysis.
+type Result struct {
+	// Lanes and Times are the requested idealization lanes and their
+	// execution times, in request order.
+	Lanes []depgraph.Flags
+	Times []int64
+	// Cycles is the simulated execution time of the real machine. The
+	// pipeline verifies it equals the fold of a base (no-idealization)
+	// lane before returning.
+	Cycles int64
+	Stats  ooo.Stats
+	// Windows counts emitted blocks; Insts the folded instructions.
+	Windows int
+	Insts   int64
+	// PeakBytes is the peak graph-analysis storage held resident:
+	// simulator rings, evaluator carry rings, and the emission block.
+	// Bounded by configuration and window size, not trace length.
+	PeakBytes int64
+}
+
+// Analyze runs the windowed pipeline for req, evaluating every lane
+// in a single streaming pass. If no lane is the empty idealization, a
+// base lane is folded internally anyway (and excluded from the
+// result) so the exactness self-check always runs.
+func Analyze(ctx context.Context, req Request, lanes []depgraph.Flags) (*Result, error) {
+	if len(lanes) == 0 {
+		return nil, fmt.Errorf("window: no idealization lanes")
+	}
+	if req.WindowInsts < 1 {
+		return nil, fmt.Errorf("window: window of %d instructions", req.WindowInsts)
+	}
+	evalLanes := lanes
+	baseAt := -1
+	for k, f := range lanes {
+		if f == 0 {
+			baseAt = k
+			break
+		}
+	}
+	if baseAt < 0 {
+		// Prepend the self-check lane; stripped from the result below.
+		evalLanes = append([]depgraph.Flags{0}, lanes...)
+		baseAt = 0
+	}
+
+	w, err := workload.Cached(req.Bench, req.Seed)
+	if err != nil {
+		return nil, err
+	}
+	we, err := depgraph.NewWindowEval(req.Sim.Graph, evalLanes)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	st, err := w.ExecuteStream(ctx, req.Warmup+req.TraceLen, req.Seed+1, 0)
+	if err != nil {
+		return nil, err
+	}
+	var windows int
+	var peakBlock int64
+	res, err := ooo.SimulateWindowed(ctx, st, req.Sim, ooo.Options{Warmup: req.Warmup}, req.WindowInsts,
+		func(win *depgraph.Window) error {
+			windows++
+			if b := win.Bytes(); b > peakBlock {
+				peakBlock = b
+			}
+			return we.Feed(win)
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	times := we.ExecTimes()
+	// The windowed exactness invariant, checked on every analysis:
+	// the fold of the un-idealized lane must reproduce the simulated
+	// cycle count exactly — the streaming analogue of the whole-graph
+	// replay check the monolithic simulator runs.
+	if times[baseAt] != res.Cycles {
+		return nil, fmt.Errorf("window: base-lane fold %d != simulated %d cycles", times[baseAt], res.Cycles)
+	}
+	if len(evalLanes) != len(lanes) {
+		times = times[1:]
+	}
+	return &Result{
+		Lanes:     append([]depgraph.Flags(nil), lanes...),
+		Times:     times,
+		Cycles:    res.Cycles,
+		Stats:     res.Stats,
+		Windows:   windows,
+		Insts:     we.Insts(),
+		PeakBytes: ooo.WindowedFootprint(&req.Sim.Graph, req.WindowInsts) + we.RingBytes() + peakBlock,
+	}, nil
+}

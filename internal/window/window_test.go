@@ -1,0 +1,170 @@
+package window
+
+import (
+	"context"
+	"testing"
+
+	"icost/internal/depgraph"
+	"icost/internal/ooo"
+	"icost/internal/workload"
+)
+
+// fullTimes is the whole-graph reference: monolithic trace build,
+// monolithic simulation, batched evaluation.
+func fullTimes(tb testing.TB, req Request, lanes []depgraph.Flags) ([]int64, *ooo.Result) {
+	tb.Helper()
+	w, err := workload.Cached(req.Bench, req.Seed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr, err := w.Execute(req.Warmup+req.TraceLen, req.Seed+1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	res, err := ooo.Simulate(tr, req.Sim, ooo.Options{KeepGraph: true, Warmup: req.Warmup})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ids := make([]depgraph.Ideal, len(lanes))
+	for k, f := range lanes {
+		ids[k] = depgraph.Ideal{Global: f}
+	}
+	times, err := res.Graph.EvalBatch(context.Background(), ids)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	depgraph.ReleaseTimes(res.Times)
+	res.Graph.Release()
+	res.Times, res.Graph = nil, nil
+	return times, res
+}
+
+// TestAnalyzeMatchesWholeGraph checks the package-level pipeline —
+// including warmup handling and the implicit base lane — against the
+// monolithic build, with and without an explicit base lane.
+func TestAnalyzeMatchesWholeGraph(t *testing.T) {
+	req := Request{
+		Bench: "gcc", Seed: 7,
+		TraceLen: 3000, Warmup: 400,
+		WindowInsts: 512,
+		Sim:         ooo.DefaultConfig(),
+	}
+	for _, lanes := range [][]depgraph.Flags{
+		{0, depgraph.IdealDL1, depgraph.IdealDMiss | depgraph.IdealDL1, depgraph.AllFlags},
+		{depgraph.IdealWindow, depgraph.IdealBW}, // no base lane: self-check folds one internally
+	} {
+		want, full := fullTimes(t, req, lanes)
+		res, err := Analyze(context.Background(), req, lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles != full.Cycles || res.Stats != full.Stats {
+			t.Fatalf("cycles/stats: windowed %d/%+v, full %d/%+v", res.Cycles, res.Stats, full.Cycles, full.Stats)
+		}
+		if len(res.Times) != len(lanes) {
+			t.Fatalf("got %d times for %d lanes", len(res.Times), len(lanes))
+		}
+		for k := range lanes {
+			if res.Times[k] != want[k] {
+				t.Fatalf("lane %v: windowed %d, whole-graph %d", lanes[k], res.Times[k], want[k])
+			}
+		}
+		if wantW := (req.TraceLen + req.WindowInsts - 1) / req.WindowInsts; res.Windows != wantW {
+			t.Fatalf("windows %d, want %d", res.Windows, wantW)
+		}
+		if res.Insts != int64(req.TraceLen) {
+			t.Fatalf("insts %d, want %d", res.Insts, req.TraceLen)
+		}
+	}
+}
+
+// TestAnalyzeValidation pins the request contract.
+func TestAnalyzeValidation(t *testing.T) {
+	base := Request{Bench: "gcc", Seed: 1, TraceLen: 500, WindowInsts: 128, Sim: ooo.DefaultConfig()}
+	lanes := []depgraph.Flags{0}
+	if _, err := Analyze(context.Background(), base, nil); err == nil {
+		t.Fatal("want error for no lanes")
+	}
+	bad := base
+	bad.WindowInsts = 0
+	if _, err := Analyze(context.Background(), bad, lanes); err == nil {
+		t.Fatal("want error for zero window")
+	}
+	bad = base
+	bad.Bench = "no-such-bench"
+	if _, err := Analyze(context.Background(), bad, lanes); err == nil {
+		t.Fatal("want error for unknown bench")
+	}
+	bad = base
+	bad.Sim.Graph.WakeupExtra = bad.Sim.Graph.DispatchToReady + bad.Sim.Graph.CompleteToCommit + 1
+	if _, err := Analyze(context.Background(), bad, lanes); err == nil {
+		t.Fatal("want error for windowed-exactness precondition")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Analyze(ctx, base, lanes); err == nil {
+		t.Fatal("want error for canceled context")
+	}
+}
+
+// TestLongTraceBoundedMemory is the long-trace acceptance gate: a
+// 10-million-instruction trace analyzes through the windowed pipeline
+// with peak graph-analysis storage bounded by the window budget —
+// identical, byte for byte, to the footprint of a 50x shorter trace
+// at the same window size, and orders of magnitude below what a
+// whole-trace graph would hold resident.
+func TestLongTraceBoundedMemory(t *testing.T) {
+	lanes := make([]depgraph.Flags, 0, 9)
+	lanes = append(lanes, 0)
+	for b := 0; b < depgraph.NumFlags; b++ {
+		lanes = append(lanes, 1<<b)
+	}
+	req := Request{
+		Bench: "gcc", Seed: 3,
+		TraceLen:    10_000_000,
+		WindowInsts: 4096,
+		Sim:         ooo.DefaultConfig(),
+	}
+	if testing.Short() {
+		req.TraceLen = 1_000_000
+	}
+	short := req
+	short.TraceLen = req.TraceLen / 50
+
+	shortRes, err := Analyze(context.Background(), short, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(context.Background(), req, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Insts != int64(req.TraceLen) {
+		t.Fatalf("folded %d of %d instructions", res.Insts, req.TraceLen)
+	}
+	// Trace-length independence: the long run holds exactly the bytes
+	// the short run held.
+	if res.PeakBytes != shortRes.PeakBytes {
+		t.Fatalf("peak bytes grew with trace length: %d (10M) vs %d (short)", res.PeakBytes, shortRes.PeakBytes)
+	}
+	// Absolute budget: rings + one window block for this configuration
+	// fit in single-digit megabytes; a whole-trace graph would be
+	// ~96 bytes per instruction (~1 GB at 10M instructions).
+	const budget = 8 << 20
+	if res.PeakBytes > budget {
+		t.Fatalf("peak bytes %d exceed window budget %d", res.PeakBytes, budget)
+	}
+	if wholeGraph := int64(req.TraceLen) * 96; res.PeakBytes*20 > wholeGraph {
+		t.Fatalf("peak bytes %d not materially below whole-graph %d", res.PeakBytes, wholeGraph)
+	}
+	// The self-checked base lane matched the simulator inside Analyze;
+	// spot-check lane ordering survived the pipeline.
+	if res.Times[0] != res.Cycles {
+		t.Fatalf("base lane %d != cycles %d", res.Times[0], res.Cycles)
+	}
+	for _, tm := range res.Times[1:] {
+		if tm > res.Times[0] {
+			t.Fatalf("idealized lane slower than real machine: %v vs %d", res.Times, res.Cycles)
+		}
+	}
+}
