@@ -4,21 +4,33 @@
 // `go vet` cannot see — context propagation into the graph walks
 // (ctxflow), sync.Pool Get/Put balance (poolbalance), exhaustiveness
 // over the Table 2/3 node- and edge-kind enums (edgeswitch),
-// metrics-struct vs /metrics agreement (metricreg), and goroutine
-// cancellability (gocheck).
+// metrics-struct vs /metrics agreement (metricreg), goroutine
+// cancellability (gocheck), mutex acquisition order (lockorder),
+// sync/atomic field hygiene (atomichygiene), lockstep CSR column
+// updates (colsync), codec version coverage (codecver), and
+// heap-allocation budgets on //lint:hotpath functions (hotalloc).
 //
 // Usage:
 //
-//	icostvet [-list] [-only a,b] [-skip a,b] [-dir path] [packages...]
+//	icostvet [-list] [-only a,b] [-skip a,b] [-dir path] [-json] [-gha] [packages...]
 //
 // Packages default to ./... relative to -dir (default "."). Each
-// finding prints as file:line:col: analyzer: message, and any finding
-// makes the exit status 1 — `make lint` wires this into CI.
-// Deliberate exceptions are annotated in the source with
+// finding prints as file:line:col: analyzer: message, and any
+// unsuppressed finding makes the exit status 1 — `make lint` wires
+// this into CI. -json replaces the plain lines with a stable
+// machine-readable report that also includes suppressed findings
+// (suppression state is part of the schema); -gha additionally emits
+// GitHub Actions `::error file=...` workflow annotations. Deliberate
+// exceptions are annotated in the source with
 // `//lint:ignore <analyzer> <reason>` (see package lint).
+//
+// hotalloc shells out to `go build -gcflags=-m`; when the toolchain
+// does not produce parseable escape output the analyzer is skipped
+// with a notice instead of silently passing.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,16 +45,36 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonFinding is the stable -json schema for one finding.
+type jsonFinding struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// jsonReport is the stable -json top-level schema.
+type jsonReport struct {
+	// Count is the number of unsuppressed findings — the number that
+	// decides the exit status.
+	Count    int           `json:"count"`
+	Findings []jsonFinding `json:"findings"`
+}
+
 // run is the testable entry point.
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("icostvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		list  = fs.Bool("list", false, "list the analyzers and exit")
-		only  = fs.String("only", "", "comma-separated analyzers to run (default: all)")
-		skip  = fs.String("skip", "", "comma-separated analyzers to skip")
-		dir   = fs.String("dir", ".", "module directory to analyze from")
-		plain = fs.Bool("plain", false, "treat each argument as a bare directory of Go files instead of a package pattern")
+		list   = fs.Bool("list", false, "list the analyzers and exit")
+		only   = fs.String("only", "", "comma-separated analyzers to run (default: all)")
+		skip   = fs.String("skip", "", "comma-separated analyzers to skip")
+		dir    = fs.String("dir", ".", "module directory to analyze from")
+		plain  = fs.Bool("plain", false, "treat each argument as a bare directory of Go files instead of a package pattern")
+		asJSON = fs.Bool("json", false, "emit findings as a JSON report (includes suppressed findings)")
+		gha    = fs.Bool("gha", false, "emit GitHub Actions ::error annotations for unsuppressed findings")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -54,10 +86,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *list {
 		for _, a := range analyzers {
-			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
+	analyzers = gateHotAlloc(analyzers, stderr)
 
 	var pkgs []*lint.Package
 	if *plain {
@@ -85,26 +118,99 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	findings, err := lint.Run(pkgs, analyzers)
+	all, err := lint.RunAll(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(stderr, "icostvet:", err)
 		return 3
 	}
 	cwd, _ := os.Getwd()
-	for _, f := range findings {
-		name := f.Pos.Filename
+	relName := func(name string) string {
 		if cwd != "" {
 			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
+				return rel
 			}
 		}
-		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", name, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		return name
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(stderr, "icostvet: %d finding(s)\n", len(findings))
+
+	count := 0
+	for _, f := range all {
+		if !f.Suppressed {
+			count++
+		}
+	}
+
+	if *asJSON {
+		report := jsonReport{Count: count, Findings: []jsonFinding{}}
+		for _, f := range all {
+			report.Findings = append(report.Findings, jsonFinding{
+				Analyzer:   f.Analyzer,
+				File:       relName(f.Pos.Filename),
+				Line:       f.Pos.Line,
+				Col:        f.Pos.Column,
+				Message:    f.Message,
+				Suppressed: f.Suppressed,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(stderr, "icostvet:", err)
+			return 3
+		}
+	} else {
+		for _, f := range all {
+			if f.Suppressed {
+				continue
+			}
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", relName(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		}
+	}
+	if *gha {
+		// With -json on stdout the annotations go to stderr; the
+		// Actions runner scans both streams for workflow commands.
+		out := stdout
+		if *asJSON {
+			out = stderr
+		}
+		for _, f := range all {
+			if f.Suppressed {
+				continue
+			}
+			fmt.Fprintf(out, "::error file=%s,line=%d,col=%d::%s: %s\n",
+				relName(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, ghaEscape(f.Message))
+		}
+	}
+	if count > 0 {
+		fmt.Fprintf(stderr, "icostvet: %d finding(s)\n", count)
 		return 1
 	}
 	return 0
+}
+
+// ghaEscape encodes the characters the Actions command parser treats
+// specially in command data.
+func ghaEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// gateHotAlloc drops hotalloc from the selection when the toolchain
+// cannot back it, printing a notice so the skip is never silent.
+func gateHotAlloc(analyzers []*lint.Analyzer, stderr io.Writer) []*lint.Analyzer {
+	for i, a := range analyzers {
+		if a != lint.HotAlloc {
+			continue
+		}
+		if lint.HotAllocSupported() {
+			return analyzers
+		}
+		fmt.Fprintln(stderr, "icostvet: notice: skipping hotalloc (toolchain does not expose parseable -gcflags=-m escape output)")
+		return append(append([]*lint.Analyzer{}, analyzers[:i]...), analyzers[i+1:]...)
+	}
+	return analyzers
 }
 
 // selectAnalyzers applies the -only/-skip filters.

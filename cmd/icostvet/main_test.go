@@ -1,8 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"icost/internal/lint"
 )
 
 // The gate CI relies on: the repo's own tree must be clean under the
@@ -48,7 +51,10 @@ func TestListAndFilters(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errs); code != 0 {
 		t.Fatalf("-list exited %d", code)
 	}
-	for _, name := range []string{"ctxflow", "edgeswitch", "gocheck", "metricreg", "poolbalance"} {
+	for _, name := range []string{
+		"ctxflow", "edgeswitch", "gocheck", "metricreg", "poolbalance",
+		"atomichygiene", "codecver", "colsync", "hotalloc", "lockorder",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list missing %s:\n%s", name, out.String())
 		}
@@ -75,6 +81,114 @@ func TestListAndFilters(t *testing.T) {
 	}
 	if code := run([]string{"-plain"}, &out, &errs); code != 2 {
 		t.Errorf("-plain without dirs exited %d, want 2", code)
+	}
+}
+
+// One driver test per second-wave analyzer: a seeded violation of
+// each must make the driver (and therefore `make lint`) exit
+// non-zero. The hotalloc case is the acceptance check that a
+// deliberately introduced heap allocation in a //lint:hotpath
+// function fails the lint gate.
+func TestSeededSecondWaveViolationsFail(t *testing.T) {
+	cases := []struct{ analyzer, dir, want string }{
+		{"lockorder", "../../internal/lint/testdata/src/lockorder", "inconsistent lock order"},
+		{"atomichygiene", "../../internal/lint/testdata/src/atomichygiene", "races with it"},
+		{"colsync", "../../internal/lint/testdata/src/colsync", "lockstep column"},
+		{"codecver", "../../internal/lint/testdata/src/codecver", "does not dispatch version"},
+		{"hotalloc", "../../internal/lint/testdata/src/hotalloc", "heap-allocation site"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.analyzer, func(t *testing.T) {
+			if tc.analyzer == "hotalloc" && !lint.HotAllocSupported() {
+				t.Skip("toolchain does not expose parseable -gcflags=-m escape output")
+			}
+			var out, errs strings.Builder
+			code := run([]string{"-plain", "-only", tc.analyzer, tc.dir}, &out, &errs)
+			if code != 1 {
+				t.Fatalf("exit = %d, want 1:\n%s%s", code, out.String(), errs.String())
+			}
+			for _, want := range []string{tc.analyzer + ":", tc.want} {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("output missing %q:\n%s", want, out.String())
+				}
+			}
+		})
+	}
+}
+
+// The -json report: stable schema, suppressed findings included with
+// their state, count restricted to the unsuppressed ones.
+func TestJSONReport(t *testing.T) {
+	var out, errs strings.Builder
+	code := run([]string{"-json", "-plain", "-only", "codecver",
+		"../../internal/lint/testdata/src/codecver",
+	}, &out, &errs)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1:\n%s%s", code, out.String(), errs.String())
+	}
+	var report struct {
+		Count    int `json:"count"`
+		Findings []struct {
+			Analyzer   string `json:"analyzer"`
+			File       string `json:"file"`
+			Line       int    `json:"line"`
+			Col        int    `json:"col"`
+			Message    string `json:"message"`
+			Suppressed bool   `json:"suppressed"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &report); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if report.Count == 0 {
+		t.Fatal("count = 0, want seeded findings")
+	}
+	unsuppressed, suppressed := 0, 0
+	for _, f := range report.Findings {
+		if f.Analyzer != "codecver" || f.File == "" || f.Line <= 0 || f.Col <= 0 || f.Message == "" {
+			t.Errorf("malformed finding: %+v", f)
+		}
+		if f.Suppressed {
+			suppressed++
+		} else {
+			unsuppressed++
+		}
+	}
+	if unsuppressed != report.Count {
+		t.Errorf("count = %d but %d unsuppressed findings", report.Count, unsuppressed)
+	}
+	if suppressed == 0 {
+		t.Error("no suppressed findings in report; the testdata seeds one")
+	}
+}
+
+// -gha emits workflow annotations for unsuppressed findings; with
+// -json they move to stderr so stdout stays pure JSON.
+func TestGHAAnnotations(t *testing.T) {
+	var out, errs strings.Builder
+	code := run([]string{"-gha", "-plain", "-only", "lockorder",
+		"../../internal/lint/testdata/src/lockorder",
+	}, &out, &errs)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1:\n%s%s", code, out.String(), errs.String())
+	}
+	if !strings.Contains(out.String(), "::error file=") || !strings.Contains(out.String(), "lockorder:") {
+		t.Errorf("missing ::error annotation:\n%s", out.String())
+	}
+
+	out.Reset()
+	errs.Reset()
+	code = run([]string{"-json", "-gha", "-plain", "-only", "lockorder",
+		"../../internal/lint/testdata/src/lockorder",
+	}, &out, &errs)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1:\n%s%s", code, out.String(), errs.String())
+	}
+	if strings.Contains(out.String(), "::error") {
+		t.Errorf("::error leaked into the JSON stream:\n%s", out.String())
+	}
+	if !strings.Contains(errs.String(), "::error file=") {
+		t.Errorf("stderr missing ::error annotations:\n%s", errs.String())
 	}
 }
 

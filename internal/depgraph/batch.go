@@ -143,7 +143,10 @@ func (g *Graph) EvalBatch(ctx context.Context, ids []Ideal) ([]int64, error) {
 // chunks are padded with copies of the first lane so the kernels
 // always run at the full width — the lane loop's trip count is
 // uniform across the walk — at the price of some redundant work on
-// the final chunk.
+// the final chunk. The only heap allocation is the pad slice for a
+// short final chunk; full chunks run entirely on pooled scratch.
+//
+//lint:hotpath allocs=1
 func (g *Graph) evalChunk(ctx context.Context, width int, ids []Ideal, out []int64) error {
 	n := g.Len()
 	sc := acquireLanes(n, width)
@@ -210,7 +213,10 @@ func laneOf(cfg *Config, f Flags) laneConsts {
 // idealization, so all flag tests hoist out of the instruction loop.
 // The lane rows are resliced to exactly W elements per instruction,
 // so the inner loop's bounds are known and its trip count uniform
-// (evalChunk pads short batches).
+// (evalChunk pads short batches). Budget: the per-lane constant and
+// window-offset tables, sized by chunk width, not graph length.
+//
+//lint:hotpath allocs=2
 func (g *Graph) evalLanesGlobal(ctx context.Context, ids []Ideal, sc *laneScratch) error {
 	W := len(ids)
 	n := g.Len()
@@ -347,7 +353,10 @@ func (g *Graph) evalLanesGlobal(ctx context.Context, ids []Ideal, sc *laneScratc
 
 // evalLanesGeneric handles lanes with per-instruction masks: flags
 // are recomposed per lane per instruction, but the column loads still
-// amortize across the whole chunk.
+// amortize across the whole chunk. Budget: the split glob/per views
+// of the lane idealizations, sized by chunk width.
+//
+//lint:hotpath allocs=2
 func (g *Graph) evalLanesGeneric(ctx context.Context, ids []Ideal, sc *laneScratch) error {
 	W := len(ids)
 	n := g.Len()

@@ -210,6 +210,14 @@ type InstInfo struct {
 // Graph is the dependence-graph model of one microexecution.
 // Fields are exported for the builders in packages ooo and profiler;
 // analysis code should treat a Graph as immutable.
+//
+// The seven per-instruction columns share one dynamic index space:
+// any code that reassigns, reslices or rebuilds one of them wholesale
+// must do the same to all seven, or every walk after that reads
+// desynchronized records. colsync enforces the invariant, here and in
+// every package that imports this one.
+//
+//lint:columns csr Info,DDBreak,RELat,CCLat,Prod1,Prod2,PPLeader
 type Graph struct {
 	// Cfg is the machine configuration.
 	Cfg Config
@@ -404,6 +412,8 @@ func (g *Graph) ExecTime(id Ideal) int64 {
 // long-lived analysis service uses this to abort queries whose
 // clients have gone away. The node-time scratch comes from a pool,
 // so a warm query allocates nothing.
+//
+//lint:hotpath
 func (g *Graph) ExecTimeCtx(ctx context.Context, id Ideal) (int64, error) {
 	n := g.Len()
 	if n == 0 {
@@ -479,6 +489,8 @@ func (g *Graph) runInto(ctx context.Context, id Ideal, t *Times) error {
 // runGlobal is the scalar forward walk for a global-only
 // idealization: flag-derived constants hoist out of the loop and the
 // body reads only flat int32/int64 columns.
+//
+//lint:hotpath
 func (g *Graph) runGlobal(ctx context.Context, f Flags, t *Times) error {
 	n := g.Len()
 	ft := g.tables()
@@ -578,6 +590,8 @@ func (g *Graph) runGlobal(ctx context.Context, f Flags, t *Times) error {
 // runGeneric handles idealizations with a per-instruction mask: flags
 // are recomposed per instruction, but the body still streams the flat
 // columns instead of re-deriving latencies from InstInfo.
+//
+//lint:hotpath
 func (g *Graph) runGeneric(ctx context.Context, id Ideal, t *Times) error {
 	n := g.Len()
 	ft := g.tables()

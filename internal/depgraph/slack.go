@@ -97,6 +97,8 @@ func (g *Graph) LatestTimesCtx(ctx context.Context, id Ideal) (*Times, *Latest, 
 // visited (no path to the final commit) pins to its actual time so
 // slack reads zero-extra, matching the explicit-edge enumeration
 // bit for bit without allocating a single Edge.
+//
+//lint:hotpath
 func (g *Graph) latestInto(ctx context.Context, id Ideal, t *Times, l *Latest) error {
 	// Fault hook: backward-pass walks, cancellable contexts only (see
 	// runInto).
@@ -279,6 +281,8 @@ func (g *Graph) Slacks(id Ideal) []int64 {
 
 // SlacksCtx is Slacks with cancellation. Both passes run on pooled
 // scratch: only the returned slack slice is allocated.
+//
+//lint:hotpath allocs=1
 func (g *Graph) SlacksCtx(ctx context.Context, id Ideal) ([]int64, error) {
 	n := g.Len()
 	t := acquireTimes(n)

@@ -44,7 +44,22 @@ import (
 // corruption a clean load error, never a corrupt graph answering
 // queries.
 
-var snapMagic = [5]byte{'I', 'C', 'S', 'S', 2}
+// Snapshot format versions. Adding a version means adding a constant
+// here AND a dispatch case in readSnapshot — codecver enforces both,
+// and that the encoder stamps the newest version.
+//
+//lint:codec icss
+const (
+	snapVersion1       = 1 // whole-graph payloads only, no kind byte
+	snapVersion2       = 2 // adds spec window_insts and the kind byte
+	snapVersionCurrent = snapVersion2
+)
+
+// snapMagic is the header every written snapshot starts with: the
+// four ICSS bytes plus the current format version.
+//
+//lint:codec-encode icss
+var snapMagic = [5]byte{'I', 'C', 'S', 'S', snapVersionCurrent}
 
 // Snapshot payload kinds (version ≥ 2).
 const (
@@ -195,6 +210,10 @@ func (e *Engine) RestoreSession(ctx context.Context, r io.Reader) (string, error
 	return s.key, nil
 }
 
+// readSnapshot decodes one framed snapshot, dispatching on the
+// version byte: every declared snapVersion* constant has a case.
+//
+//lint:codec-decode icss
 func readSnapshot(ctx context.Context, r io.Reader) (*session, error) {
 	if err := faultinject.Hit(ctx, faultinject.FleetSnapshot); err != nil {
 		return nil, err
@@ -208,7 +227,9 @@ func readSnapshot(ctx context.Context, r io.Reader) (*session, error) {
 		return nil, fmt.Errorf("engine: bad snapshot magic %q", magic[:4])
 	}
 	version := magic[4]
-	if version < 1 || version > snapMagic[4] {
+	switch version {
+	case snapVersion1, snapVersion2:
+	default:
 		return nil, fmt.Errorf("engine: unsupported snapshot version %d", version)
 	}
 	var crcb [4]byte
@@ -236,7 +257,7 @@ func readSnapshot(ctx context.Context, r io.Reader) (*session, error) {
 		return nil, err
 	}
 	ints := []*int{&sp.TraceLen, &sp.Warmup, &sp.DL1Latency, &sp.Window, &sp.WakeupExtra, &sp.BranchRecovery}
-	if version >= 2 {
+	if version >= snapVersion2 {
 		ints = append(ints, &sp.WindowInsts)
 	}
 	for _, dst := range ints {
@@ -262,7 +283,7 @@ func readSnapshot(ctx context.Context, r io.Reader) (*session, error) {
 	key, _ := spec.Key()
 
 	kind := byte(snapKindGraph)
-	if version >= 2 {
+	if version >= snapVersion2 {
 		if kind, err = br.ReadByte(); err != nil {
 			return nil, fmt.Errorf("engine: reading snapshot kind: %w", err)
 		}

@@ -50,12 +50,18 @@ func (c Config) withDefaults() Config {
 }
 
 // aggregate is one (binary, seed, group) merged sample pool plus the
-// memoized analysis results over it.
+// memoized analysis results over it. Its two locks slot into the
+// fleet-wide order documented on Aggregator: mu is acquired after
+// Aggregator.mu and before memoMu, and memoMu is the innermost lock
+// in the package.
 type aggregate struct {
 	key Key
 
 	// mu guards the pool: ingest merges hold it exclusively, queries
 	// analyze under read locks (profiler reconstruction only reads).
+	// Order: after Aggregator.mu (eviction flips evicted while the
+	// LRU books are held), before memoMu (estimate memoizes under the
+	// pool's read lock).
 	mu      sync.RWMutex
 	samples *profiler.Samples
 	hosts   map[string]struct{}
@@ -75,6 +81,10 @@ type aggregate struct {
 	// accounting that no eviction pass can ever reclaim.
 	bytes int64
 
+	// memoMu guards memo and cal. Innermost lock: estimate takes it
+	// while holding mu for read, and nothing is ever acquired under
+	// it — so a slow analysis pipeline runs between memoMu sections,
+	// never inside one.
 	memoMu sync.Mutex
 	memo   map[string]*memoEntry
 	// cal memoizes calibrate results. Unlike memo it is
@@ -98,9 +108,24 @@ type calEntry struct {
 }
 
 // Aggregator is the fleet's online merge + query surface.
+//
+// Lock order (outermost first, enforced by the lockorder analyzer):
+//
+//	Aggregator.mu  ->  aggregate.mu  ->  aggregate.memoMu
+//
+// A goroutine holding a later lock must never acquire an earlier
+// one; code that needs two of them in the other direction (ingest's
+// commit, query's calibrate path) drops the inner lock first and
+// revalidates after reacquiring. The one field guarded out of line
+// is aggregate.bytes, which belongs to Aggregator.mu so that byte
+// accounting moves in lockstep with LRU membership — see its field
+// comment.
 type Aggregator struct {
 	cfg Config
 
+	// mu guards the aggregate directory: items, ll, bytes, and every
+	// aggregate's bytes field. Outermost lock — lookup and eviction
+	// acquire aggregate.mu beneath it, never the reverse.
 	mu    sync.Mutex
 	items map[string]*list.Element // Key.String() -> *aggregate
 	ll    *list.List               // front = most recently ingested

@@ -27,7 +27,21 @@ import (
 // sending); truncated streams keep every batch that arrived whole —
 // lossy collection is the §5 contract.
 
-var streamMagic = [5]byte{'I', 'C', 'F', 'S', 1}
+// Stream format versions. A new version needs a constant here AND a
+// dispatch case in ReadStream — codecver enforces both, and that the
+// writer stamps the newest version.
+//
+//lint:codec icfs
+const (
+	streamVersion1       = 1 // initial wire format
+	streamVersionCurrent = streamVersion1
+)
+
+// streamMagic is the header every written stream starts with: the
+// four ICFS bytes plus the current format version.
+//
+//lint:codec-encode icfs
+var streamMagic = [5]byte{'I', 'C', 'F', 'S', streamVersionCurrent}
 
 const (
 	recBatch = 'B'
@@ -145,6 +159,8 @@ func WriteStream(w io.Writer, h Header, batches []*profiler.Samples) error {
 // alongside the batches already delivered. The header is valid
 // whenever err is nil or the failure happened after the header
 // parsed.
+//
+//lint:codec-decode icfs
 func ReadStream(r io.Reader, fn func(Header, *profiler.Samples) error) (Header, int, error) {
 	br := bufio.NewReader(r)
 	var h Header
@@ -152,8 +168,13 @@ func ReadStream(r io.Reader, fn func(Header, *profiler.Samples) error) (Header, 
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return h, 0, errValidation("fleet: reading stream magic: %v", err)
 	}
-	if magic != streamMagic {
-		return h, 0, errValidation("fleet: bad stream magic %q (version mismatch?)", magic)
+	if [4]byte{magic[0], magic[1], magic[2], magic[3]} != [4]byte{'I', 'C', 'F', 'S'} {
+		return h, 0, errValidation("fleet: bad stream magic %q", magic[:4])
+	}
+	switch magic[4] {
+	case streamVersion1:
+	default:
+		return h, 0, errValidation("fleet: unsupported stream version %d", magic[4])
 	}
 	var err error
 	if h.Binary, err = readString(br); err != nil {

@@ -1,8 +1,14 @@
 package lint
 
-// All returns the repo's analyzer suite in stable order.
+// All returns the repo's analyzer suite in stable order: the PR 3
+// wave (ctxflow, edgeswitch, gocheck, metricreg, poolbalance) plus
+// the second wave built on the dataflow/call-graph layer
+// (atomichygiene, codecver, colsync, hotalloc, lockorder).
 func All() []*Analyzer {
-	return []*Analyzer{CtxFlow, EdgeSwitch, GoCheck, MetricReg, PoolBalance}
+	return []*Analyzer{
+		AtomicHygiene, CodecVer, ColSync, CtxFlow, EdgeSwitch,
+		GoCheck, HotAlloc, LockOrder, MetricReg, PoolBalance,
+	}
 }
 
 // ByName returns the analyzer with the given name, or nil.

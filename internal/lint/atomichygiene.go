@@ -1,0 +1,132 @@
+package lint
+
+// atomichygiene enforces the all-or-nothing rule of sync/atomic: a
+// variable or field whose address is ever passed to a function-style
+// atomic operation (atomic.LoadInt64(&x), atomic.AddUint32(&s.n, 1),
+// ...) must never be read or written plainly anywhere else — a plain
+// access races with the atomic ones, and on weakly-ordered hardware
+// the race is not benign. The typed atomics (atomic.Int64,
+// atomic.Pointer[T]) make this mistake unrepresentable, which is why
+// the faultinject disarmed fast path uses them; this analyzer guards
+// the function-style residue, where the type system offers no help.
+//
+// The tracked set is keyed by types.Object, so a struct *field* is
+// tracked across every instance of the struct. Composite-literal
+// initialization (S{n: 0}) is exempt: initializing before publishing
+// is the standard construction idiom and does not race.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// AtomicHygiene flags plain accesses to atomically-accessed locations.
+var AtomicHygiene = &Analyzer{
+	Name: "atomichygiene",
+	Doc:  "locations passed to sync/atomic functions must not be plainly loaded or stored elsewhere",
+	Run:  runAtomicHygiene,
+}
+
+func runAtomicHygiene(pass *Pass) error {
+	// Pass 1: collect the objects whose addresses feed sync/atomic
+	// calls, remembering one witness site per object, and bless the
+	// identifiers inside those arguments so pass 2 skips them.
+	tracked := map[types.Object]token.Pos{}
+	blessed := map[*ast.Ident]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := calleeObject(pass.Info, call).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				obj := addressedObject(pass.Info, un.X)
+				if obj == nil {
+					continue
+				}
+				if _, seen := tracked[obj]; !seen {
+					tracked[obj] = un.Pos()
+				}
+				ast.Inspect(un, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						blessed[id] = true
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	if len(tracked) == 0 {
+		return nil
+	}
+
+	// Composite-literal struct keys are initialization, not access.
+	initKeys := map[*ast.Ident]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			for _, elt := range cl.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						initKeys[id] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: any other use of a tracked object is a racy plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || blessed[id] || initKeys[id] {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			at, ok := tracked[obj]
+			if !ok {
+				return true
+			}
+			p := pass.Fset.Position(at)
+			pass.Reportf(id.Pos(), "%s is accessed with sync/atomic (%s:%d); this plain access races with it",
+				obj.Name(), filepath.Base(p.Filename), p.Line)
+			return true
+		})
+	}
+	return nil
+}
+
+// addressedObject resolves &expr's base location to a variable or
+// field object, or nil for anything unaddressable by a stable name
+// (map/index expressions, call results).
+func addressedObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+package lint
+
+// The second-wave analyzers need two ingredients the PR 3 suite got
+// by with ad-hoc ast.Inspect walks: a package-level call graph
+// (which functions in this package call which, at which sites) and a
+// lexical intraprocedural dataflow walk whose state respects block
+// structure. Both live here so analyzers share one implementation.
+//
+// The dataflow walk is deliberately an under-approximation: compound
+// statements (if/for/switch/select bodies) are visited on a forked
+// copy of the visitor's state, and the fork is discarded when the
+// branch ends. Facts established inside a branch therefore never
+// leak onto the straight-line continuation — a branch that releases
+// a lock cannot convince the walker the lock is free afterwards, and
+// a branch that acquires one cannot poison the code after the merge
+// point. Analyzers built on it trade a few missed reports for zero
+// false positives, the only sustainable deal for a gating linter.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// flowVisitor receives the events of one function body in source
+// order. Call is invoked for every call expression on the current
+// path (deferred reports defer statements, including calls textually
+// inside an immediately-deferred func literal). FuncLit is invoked
+// for nested function literals, whose bodies are NOT walked — they
+// run at an unknown time, so the analyzer decides whether to restart
+// a walk with fresh state. Fork returns a visitor sharing recorded
+// facts but owning an independent copy of the path state.
+type flowVisitor interface {
+	Call(call *ast.CallExpr, deferred bool)
+	FuncLit(lit *ast.FuncLit)
+	Fork() flowVisitor
+}
+
+// walkFlow drives a flowVisitor over a statement list in source
+// order, forking around compound-statement bodies.
+func walkFlow(stmts []ast.Stmt, v flowVisitor) {
+	for _, s := range stmts {
+		walkFlowStmt(s, v)
+	}
+}
+
+func walkFlowStmt(s ast.Stmt, v flowVisitor) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		if s != nil {
+			walkFlow(s.List, v)
+		}
+	case *ast.IfStmt:
+		walkFlowStmt(s.Init, v)
+		flowExpr(s.Cond, v, false)
+		walkFlowStmt(s.Body, v.Fork())
+		if s.Else != nil {
+			walkFlowStmt(s.Else, v.Fork())
+		}
+	case *ast.ForStmt:
+		walkFlowStmt(s.Init, v)
+		flowExpr(s.Cond, v, false)
+		fork := v.Fork()
+		walkFlowStmt(s.Body, fork)
+		walkFlowStmt(s.Post, fork)
+	case *ast.RangeStmt:
+		flowExpr(s.X, v, false)
+		walkFlowStmt(s.Body, v.Fork())
+	case *ast.SwitchStmt:
+		walkFlowStmt(s.Init, v)
+		flowExpr(s.Tag, v, false)
+		for _, c := range s.Body.List {
+			walkFlow(c.(*ast.CaseClause).Body, v.Fork())
+		}
+	case *ast.TypeSwitchStmt:
+		walkFlowStmt(s.Init, v)
+		walkFlowStmt(s.Assign, v)
+		for _, c := range s.Body.List {
+			walkFlow(c.(*ast.CaseClause).Body, v.Fork())
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			fork := v.Fork()
+			walkFlowStmt(cc.Comm, fork)
+			walkFlow(cc.Body, fork)
+		}
+	case *ast.LabeledStmt:
+		walkFlowStmt(s.Stmt, v)
+	case *ast.DeferStmt:
+		deferCall(s.Call, v)
+	case *ast.GoStmt:
+		// The goroutine body runs concurrently with unknown state;
+		// only surface nested literals so the analyzer can restart.
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			v.FuncLit(lit)
+		}
+		for _, a := range s.Call.Args {
+			flowExpr(a, v, false)
+		}
+	case *ast.ExprStmt:
+		flowExpr(s.X, v, false)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			flowExpr(e, v, false)
+		}
+		for _, e := range s.Lhs {
+			flowExpr(e, v, false)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			flowExpr(e, v, false)
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, e := range vs.Values {
+				flowExpr(e, v, false)
+			}
+		}
+	case *ast.SendStmt:
+		flowExpr(s.Value, v, false)
+		flowExpr(s.Chan, v, false)
+	case *ast.IncDecStmt:
+		flowExpr(s.X, v, false)
+	}
+}
+
+// deferCall reports a deferred call. `defer func() { ... }()` is
+// common enough (unlock-with-bookkeeping) that calls textually inside
+// an immediately-deferred literal are reported as deferred too.
+func deferCall(call *ast.CallExpr, v flowVisitor) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				v.FuncLit(n)
+				return false
+			case *ast.CallExpr:
+				v.Call(n, true)
+			}
+			return true
+		})
+		return
+	}
+	v.Call(call, true)
+}
+
+// flowExpr reports the calls inside one expression in evaluation
+// order, diverting func literals to FuncLit.
+func flowExpr(e ast.Expr, v flowVisitor, deferred bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			v.FuncLit(n)
+			return false
+		case *ast.CallExpr:
+			v.Call(n, deferred)
+		}
+		return true
+	})
+}
+
+// declaredFuncs indexes the package's function and method
+// declarations (those with bodies) by their types object.
+func declaredFuncs(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	out := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = fd
+			}
+		}
+	}
+	return out
+}
+
+// staticCallee resolves a call to a function or method declared in
+// the package under analysis, or nil (func values, other packages,
+// builtins). Method values and interface dispatch resolve only when
+// the static callee is unambiguous, which keeps the call graph an
+// under-approximation too.
+func staticCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	fn, ok := calleeObject(pass.Info, call).(*types.Func)
+	if !ok || fn.Pkg() != pass.Pkg {
+		return nil
+	}
+	return fn
+}

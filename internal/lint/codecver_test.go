@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"icost/internal/lint"
+	"icost/internal/lint/linttest"
+)
+
+func TestCodecVer(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "src", "codecver"), lint.CodecVer)
+}

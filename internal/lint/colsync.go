@@ -1,0 +1,285 @@
+package lint
+
+// colsync guards parallel-array (struct-of-arrays) invariants: the
+// seven CSR columns of depgraph.Graph are one logical table, so any
+// code that reassigns, reslices, appends to or rebuilds one column
+// outside the builder must do the same to all seven — a column left
+// behind silently desynchronizes node indices and every walk after
+// that reads garbage. The 46.97x backward walk exists because the
+// columns share one topological index space; this analyzer is what
+// keeps that assumption true as the code grows.
+//
+// A struct opts in with a doc-comment annotation:
+//
+//	//lint:columns <group> <field1,field2,...>
+//
+// Per function, every instance (keyed by the receiver expression) that
+// gets a whole-column write — assignment, append, reslice — to some
+// but not all group members is reported. Composite literals that set
+// a strict subset of the group are reported at the literal. Element
+// writes (g.Info[i] = v) are not whole-column writes and are exempt.
+// Annotations are visible across packages: the loader retains parsed
+// sources of non-stdlib imports, so window/engine code manipulating
+// depgraph columns is held to depgraph's annotation.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ColSync flags partial writes to lockstep column groups.
+var ColSync = &Analyzer{
+	Name: "colsync",
+	Doc:  "whole-column writes to a //lint:columns group must touch every column in the group",
+	Run:  runColSync,
+}
+
+// colGroup is one annotated lockstep field group.
+type colGroup struct {
+	name   string
+	owner  *types.TypeName
+	fields map[*types.Var]bool
+	order  []string
+}
+
+func (g *colGroup) String() string { return g.owner.Pkg().Name() + "." + g.owner.Name() }
+
+func runColSync(pass *Pass) error {
+	groups := collectColGroups(pass)
+	if len(groups) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		checkColComposites(pass, f, groups)
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkColAssigns(pass, fd, groups)
+			}
+		}
+	}
+	return nil
+}
+
+// collectColGroups gathers //lint:columns annotations from this
+// package and from every direct non-stdlib import (whose parsed
+// sources the loader retained).
+func collectColGroups(pass *Pass) []*colGroup {
+	var out []*colGroup
+	out = append(out, colGroupsIn(pass, pass.Files, pass.Pkg, true)...)
+	for _, imp := range pass.Pkg.Imports() {
+		if files := packageFiles(imp.Path()); files != nil {
+			out = append(out, colGroupsIn(pass, files, imp, false)...)
+		}
+	}
+	return out
+}
+
+// colGroupsIn reads the annotations of one package's files, resolving
+// field names against its type scope. Malformed annotations are
+// reported only when the annotation lives in the package under
+// analysis (own == true), so each mistake is diagnosed exactly once.
+func colGroupsIn(pass *Pass, files []*ast.File, pkg *types.Package, own bool) []*colGroup {
+	var out []*colGroup
+	for _, f := range files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				for _, arg := range markers(doc, "columns") {
+					g := parseColGroup(pass, pkg, ts, arg, own)
+					if g != nil {
+						out = append(out, g)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func parseColGroup(pass *Pass, pkg *types.Package, ts *ast.TypeSpec, arg string, own bool) *colGroup {
+	report := func(format string, args ...any) {
+		if own {
+			pass.Reportf(ts.Pos(), format, args...)
+		}
+	}
+	parts := strings.Fields(arg)
+	if len(parts) != 2 {
+		report("malformed //lint:columns annotation %q: want `<group> <field1,field2,...>`", arg)
+		return nil
+	}
+	tn, ok := pkg.Scope().Lookup(ts.Name.Name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		report("//lint:columns on %s, which is not a struct type", ts.Name.Name)
+		return nil
+	}
+	byName := map[string]*types.Var{}
+	for i := 0; i < st.NumFields(); i++ {
+		byName[st.Field(i).Name()] = st.Field(i)
+	}
+	g := &colGroup{name: parts[0], owner: tn, fields: map[*types.Var]bool{}}
+	for _, fname := range strings.Split(parts[1], ",") {
+		fv, ok := byName[fname]
+		if !ok {
+			report("//lint:columns group %q names field %s, which %s does not have", g.name, fname, ts.Name.Name)
+			return nil
+		}
+		g.fields[fv] = true
+		g.order = append(g.order, fname)
+	}
+	if len(g.order) < 2 {
+		report("//lint:columns group %q has fewer than two fields; a lockstep group needs siblings", g.name)
+		return nil
+	}
+	return g
+}
+
+// checkColComposites reports composite literals of an annotated struct
+// that key a strict subset of a column group. Positional literals set
+// every field and are exempt.
+func checkColComposites(pass *Pass, f *ast.File, groups []*colGroup) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[cl]
+		if !ok {
+			return true
+		}
+		named, ok := types.Unalias(tv.Type).(*types.Named)
+		if !ok {
+			return true
+		}
+		for _, g := range groups {
+			if named.Obj() != g.owner {
+				continue
+			}
+			var set []string
+			keyed := true
+			for _, elt := range cl.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					keyed = false
+					break
+				}
+				id, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if obj, ok := pass.Info.Uses[id].(*types.Var); ok && g.fields[obj] {
+					set = append(set, id.Name)
+				}
+			}
+			if !keyed || len(set) == 0 || len(set) == len(g.order) {
+				continue
+			}
+			pass.Reportf(cl.Pos(), "literal of %s sets lockstep column(s) %s of group %q but not %s",
+				g, strings.Join(set, ", "), g.name, strings.Join(missingCols(g, set), ", "))
+		}
+		return true
+	})
+}
+
+// checkColAssigns reports, per instance, whole-column writes inside
+// one function that touch some but not all columns of a group.
+func checkColAssigns(pass *Pass, fd *ast.FuncDecl, groups []*colGroup) {
+	type key struct {
+		group    int
+		instance string
+	}
+	writes := map[key]map[string]token.Pos{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			s, ok := pass.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				continue
+			}
+			fv, ok := s.Obj().(*types.Var)
+			if !ok {
+				continue
+			}
+			for gi, g := range groups {
+				if !g.fields[fv] {
+					continue
+				}
+				k := key{gi, types.ExprString(sel.X)}
+				if writes[k] == nil {
+					writes[k] = map[string]token.Pos{}
+				}
+				if _, seen := writes[k][fv.Name()]; !seen {
+					writes[k][fv.Name()] = sel.Pos()
+				}
+			}
+		}
+		return true
+	})
+	keys := make([]key, 0, len(writes))
+	for k := range writes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].group != keys[j].group {
+			return keys[i].group < keys[j].group
+		}
+		return keys[i].instance < keys[j].instance
+	})
+	for _, k := range keys {
+		g := groups[k.group]
+		touched := writes[k]
+		if len(touched) == len(g.order) {
+			continue
+		}
+		var set []string
+		first := token.Pos(0)
+		for _, fname := range g.order {
+			if pos, ok := touched[fname]; ok {
+				set = append(set, fname)
+				if first == 0 || pos < first {
+					first = pos
+				}
+			}
+		}
+		pass.Reportf(first, "%s writes lockstep column(s) %s of %s group %q without sibling(s) %s (all %d move together)",
+			k.instance, strings.Join(set, ", "), g, g.name, strings.Join(missingCols(g, set), ", "), len(g.order))
+	}
+}
+
+func missingCols(g *colGroup, set []string) []string {
+	have := map[string]bool{}
+	for _, s := range set {
+		have[s] = true
+	}
+	var out []string
+	for _, f := range g.order {
+		if !have[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}

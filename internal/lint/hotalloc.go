@@ -1,0 +1,216 @@
+package lint
+
+// hotalloc turns the repo's zero-alloc benchmark claims into a
+// compile-time contract. The warm walks (CSR forward/backward
+// kernels, EvalBatch lane evaluation) advertise 0 allocs/op in
+// BENCH_graph.json and BENCH_batch.json; nothing but a benchmark run
+// notices when a refactor quietly makes a scratch slice escape. A
+// function opts in with a doc-comment annotation:
+//
+//	//lint:hotpath [allocs=N]
+//
+// and the analyzer rebuilds the package with `go build -gcflags=-m`
+// and counts the compiler's own escape-analysis verdicts ("escapes to
+// heap", "moved to heap") inside the function's line span. More than
+// N distinct allocation sites (default 0) is a finding. The budget
+// form exists for functions whose contract is "exactly the result
+// slice" rather than "nothing".
+//
+// Parsing -gcflags=-m output is a toolchain dependency, so the
+// analyzer self-gates: a cached probe compiles a one-function module
+// and checks the expected diagnostics come back. When the probe fails
+// (exotic toolchain, sandboxed build cache) the analyzer reports
+// nothing and HotAllocSupported lets the driver print a skip notice
+// instead of silently passing.
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// HotAlloc flags heap allocations in //lint:hotpath functions.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "//lint:hotpath functions must stay within their heap-allocation budget (default zero)",
+	Run:  runHotAlloc,
+}
+
+var hotallocProbe struct {
+	once sync.Once
+	ok   bool
+}
+
+// HotAllocSupported reports whether the toolchain emits parseable
+// escape-analysis diagnostics for -gcflags=-m. The probe compiles a
+// throwaway single-function module once per process.
+func HotAllocSupported() bool {
+	hotallocProbe.once.Do(func() {
+		dir, err := os.MkdirTemp("", "hotalloc-probe")
+		if err != nil {
+			return
+		}
+		defer os.RemoveAll(dir)
+		files := map[string]string{
+			"go.mod": "module hotallocprobe\n\ngo 1.21\n",
+			"p.go":   "package p\n\nfunc Leak() *int {\n\treturn new(int)\n}\n",
+		}
+		for name, content := range files {
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+				return
+			}
+		}
+		out, err := escapeOutput(dir)
+		hotallocProbe.ok = err == nil && strings.Contains(out, "escapes to heap")
+	})
+	return hotallocProbe.ok
+}
+
+// escapeOutput rebuilds the package in dir with escape-analysis
+// diagnostics enabled and returns the compiler's stderr. The build
+// cache replays -m diagnostics, so repeated runs stay cheap.
+func escapeOutput(dir string) (string, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m=1", "-o", os.DevNull, ".")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go build -gcflags=-m in %s: %v\n%s", dir, err, stderr.String())
+	}
+	return stderr.String(), nil
+}
+
+// hotpathFunc is one annotated function with its allocation budget.
+type hotpathFunc struct {
+	decl   *ast.FuncDecl
+	budget int
+	file   string
+	start  int
+	end    int
+}
+
+// escapeSite is one distinct allocation the compiler reported.
+type escapeSite struct {
+	file string
+	line int
+	col  int
+	msg  string
+}
+
+// escapeLineRe matches `path.go:line:col: message` diagnostics.
+var escapeLineRe = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.+)$`)
+
+func runHotAlloc(pass *Pass) error {
+	var funcs []hotpathFunc
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			for _, arg := range markers(fd.Doc, "hotpath") {
+				budget, err := parseAllocBudget(arg)
+				if err != nil {
+					pass.Reportf(fd.Name.Pos(), "malformed //lint:hotpath annotation: %v", err)
+					continue
+				}
+				start := pass.Fset.Position(fd.Pos())
+				end := pass.Fset.Position(fd.End())
+				funcs = append(funcs, hotpathFunc{fd, budget, start.Filename, start.Line, end.Line})
+			}
+		}
+	}
+	if len(funcs) == 0 || !HotAllocSupported() {
+		return nil
+	}
+	out, err := escapeOutput(pass.Dir)
+	if err != nil {
+		return err
+	}
+	sites := parseEscapeSites(pass.Dir, out)
+	for _, hf := range funcs {
+		var inSpan []escapeSite
+		for _, s := range sites {
+			if s.file == hf.file && hf.start <= s.line && s.line <= hf.end {
+				inSpan = append(inSpan, s)
+			}
+		}
+		if len(inSpan) <= hf.budget {
+			continue
+		}
+		var details []string
+		for _, s := range inSpan {
+			details = append(details, fmt.Sprintf("line %d: %s", s.line, s.msg))
+		}
+		pass.Reportf(hf.decl.Name.Pos(), "hotpath function %s has %d heap-allocation site(s), budget %d: %s",
+			hf.decl.Name.Name, len(inSpan), hf.budget, strings.Join(details, "; "))
+	}
+	return nil
+}
+
+func parseAllocBudget(arg string) (int, error) {
+	if arg == "" {
+		return 0, nil
+	}
+	val, ok := strings.CutPrefix(arg, "allocs=")
+	if !ok {
+		return 0, fmt.Errorf("unknown argument %q (want `allocs=N`)", arg)
+	}
+	n, err := strconv.Atoi(val)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad allocation budget %q", val)
+	}
+	return n, nil
+}
+
+// parseEscapeSites extracts the distinct heap-allocation sites from
+// -gcflags=-m stderr, resolving ./-relative paths against dir.
+// "does not escape" and parameter-leak notes are not allocations.
+func parseEscapeSites(dir, out string) []escapeSite {
+	seen := map[string]escapeSite{}
+	for _, line := range strings.Split(out, "\n") {
+		m := escapeLineRe.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap") {
+			continue
+		}
+		if strings.Contains(msg, "does not escape") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(dir, file)
+		}
+		lineNo, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		key := fmt.Sprintf("%s:%d:%d", file, lineNo, col)
+		if _, ok := seen[key]; !ok {
+			seen[key] = escapeSite{file, lineNo, col, msg}
+		}
+	}
+	sites := make([]escapeSite, 0, len(seen))
+	for _, s := range seen {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].file != sites[j].file {
+			return sites[i].file < sites[j].file
+		}
+		if sites[i].line != sites[j].line {
+			return sites[i].line < sites[j].line
+		}
+		return sites[i].col < sites[j].col
+	})
+	return sites
+}

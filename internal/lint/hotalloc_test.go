@@ -1,0 +1,25 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"icost/internal/lint"
+	"icost/internal/lint/linttest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	if !lint.HotAllocSupported() {
+		t.Skip("toolchain does not expose parseable -gcflags=-m escape output")
+	}
+	linttest.Run(t, filepath.Join("testdata", "src", "hotalloc"), lint.HotAlloc)
+}
+
+func TestHotAllocSupportedProbe(t *testing.T) {
+	// The probe itself must never error out of the suite: whichever
+	// way it answers, asking twice must agree (it is cached).
+	a, b := lint.HotAllocSupported(), lint.HotAllocSupported()
+	if a != b {
+		t.Fatalf("HotAllocSupported flapped: %v then %v", a, b)
+	}
+}

@@ -3,14 +3,21 @@
 // propagation into the graph walks (ctxflow), sync.Pool Get/Put
 // balance (poolbalance), exhaustiveness of switches over the Table 2/3
 // node- and edge-kind enums (edgeswitch), metrics-struct vs /metrics
-// export agreement (metricreg), and goroutine cancellability
-// (gocheck). cmd/icostvet is the multichecker driver; `make lint`
-// runs it over the tree.
+// export agreement (metricreg), goroutine cancellability (gocheck),
+// mutex acquisition ordering (lockorder), sync/atomic field hygiene
+// (atomichygiene), lockstep updates of the CSR parallel columns
+// (colsync), codec version coverage (codecver), and heap-allocation
+// budgets on annotated hot paths (hotalloc). cmd/icostvet is the
+// multichecker driver; `make lint` runs it over the tree.
 //
 // The framework mirrors golang.org/x/tools/go/analysis in miniature —
 // an Analyzer holds a Run function over a type-checked Pass — but is
 // built only on the standard library (go/ast, go/types, go/parser and
 // `go list` for package metadata), so the repo stays dependency-free.
+// Two extra layers support the second-wave analyzers: a lexical
+// intraprocedural dataflow walker and a package-level call graph
+// (callgraph.go), and source annotations read from doc comments
+// (//lint:hotpath, //lint:columns, //lint:codec*; see markers).
 //
 // # Suppressions
 //
@@ -60,6 +67,11 @@ type Pass struct {
 	Info  *types.Info
 	// IsMain reports whether the package is a command (package main).
 	IsMain bool
+	// Path is the package's import path ("testdata/<name>" for bare
+	// LoadDir packages) and Dir its source directory on disk — the
+	// working directory analyzers that shell out (hotalloc) build in.
+	Path string
+	Dir  string
 
 	report func(Finding)
 }
@@ -73,11 +85,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Finding is one reported diagnostic, after suppression filtering.
+// Finding is one reported diagnostic. Run drops suppressed findings;
+// RunAll keeps them with Suppressed set, so drivers can report the
+// suppression state (the -json schema exposes it).
 type Finding struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
+	Analyzer   string
+	Pos        token.Position
+	Message    string
+	Suppressed bool
 }
 
 func (f Finding) String() string {
@@ -88,6 +103,23 @@ func (f Finding) String() string {
 // surviving findings sorted by position. Suppressed findings are
 // dropped here, so callers never see them.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	all, err := RunAll(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	out := all[:0]
+	for _, f := range all {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
+// RunAll is Run without the suppression filter: every finding is
+// returned, with Suppressed marking those an //lint:ignore comment
+// covers. Findings are sorted by position.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	var out []Finding
 	for _, pkg := range pkgs {
 		sup := collectSuppressions(pkg.Fset, pkg.Files)
@@ -99,11 +131,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				IsMain:   pkg.Name == "main",
+				Path:     pkg.Path,
+				Dir:      pkg.Dir,
 			}
 			pass.report = func(f Finding) {
-				if !sup.matches(a.Name, f.Pos) {
-					out = append(out, f)
-				}
+				f.Suppressed = sup.matches(a.Name, f.Pos)
+				out = append(out, f)
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
@@ -211,6 +244,41 @@ func (s *suppressions) matches(analyzer string, pos token.Position) bool {
 		}
 	}
 	return false
+}
+
+// markerRe matches `lint:<marker> [args]` after the comment marker.
+var markerRe = regexp.MustCompile(`^\s*lint:([a-z-]+)(?:\s+(\S.*))?$`)
+
+// markers returns the argument strings of every `//lint:<name> args`
+// line in a comment group (one entry per matching line, possibly
+// empty when the marker takes no arguments). This is how analyzers
+// read source annotations: //lint:hotpath on warm-walk functions,
+// //lint:columns on parallel-array structs, //lint:codec and friends
+// on version constants and codec functions.
+func markers(doc *ast.CommentGroup, name string) []string {
+	if doc == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range doc.List {
+		m := markerRe.FindStringSubmatch(strings.TrimPrefix(c.Text, "//"))
+		if m != nil && m[1] == name {
+			out = append(out, strings.TrimSpace(m[2]))
+		}
+	}
+	return out
+}
+
+// namedTypeName returns "Type" for a (possibly pointer-to) named type,
+// or "" for anything else.
+func namedTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
 }
 
 // isContextType reports whether t is context.Context.

@@ -41,10 +41,17 @@ var shared = struct {
 	fset  *token.FileSet
 	meta  map[string]*listPkg
 	typed map[string]*types.Package
+	// files retains the parsed sources of non-stdlib packages so a
+	// pass over one package can read doc-comment annotations (e.g.
+	// //lint:columns) declared in an imported package. Stdlib ASTs
+	// are not retained — nothing annotates them and they dominate
+	// the dependency closure.
+	files map[string][]*ast.File
 }{
 	fset:  token.NewFileSet(),
 	meta:  map[string]*listPkg{},
 	typed: map[string]*types.Package{},
+	files: map[string][]*ast.File{},
 }
 
 // listPkg is the subset of `go list -json` output the loader needs.
@@ -56,7 +63,17 @@ type listPkg struct {
 	Imports    []string
 	ImportMap  map[string]string
 	DepOnly    bool
+	Standard   bool
 	Error      *struct{ Err string }
+}
+
+// packageFiles returns the retained parsed sources of a previously
+// loaded non-stdlib package, or nil when the package is unknown or
+// from the standard library.
+func packageFiles(path string) []*ast.File {
+	shared.mu.Lock()
+	defer shared.mu.Unlock()
+	return shared.files[path]
 }
 
 // goList runs `go list -e -json -deps args...` in dir and merges the
@@ -113,7 +130,11 @@ func checkPath(path string, info *types.Info) (*types.Package, error) {
 		}
 		files = append(files, af)
 	}
-	return checkFiles(path, lp.ImportMap, files, info)
+	tp, err := checkFiles(path, lp.ImportMap, files, info)
+	if err == nil && !lp.Standard {
+		shared.files[path] = files
+	}
+	return tp, err
 }
 
 // checkFiles type-checks one package's parsed files, resolving
@@ -181,6 +202,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		shared.files[lp.ImportPath] = files
 		out = append(out, &Package{
 			Path:  lp.ImportPath,
 			Name:  lp.Name,

@@ -1,0 +1,434 @@
+package lint
+
+// lockorder builds the package's mutex-acquisition graph and flags
+// cycles. A node is a lock *class* — the declaring struct type plus
+// field name ("Aggregator.mu", "aggregate.memoMu") or a package-level
+// variable — and an edge A → B means some path acquires B while an
+// instance of A is held, either directly or through an intra-package
+// call chain (the transitive closure of the call graph's acquire
+// sets). Two code paths that nest the same pair of classes in
+// opposite orders are a latent deadlock the race detector only
+// catches when both paths collide at runtime; the graph makes the
+// inconsistency a compile-time finding. Acquiring a class while an
+// instance of the same class is held is reported too (self-deadlock
+// for Mutex, formally prohibited recursion for RWMutex.RLock).
+//
+// Held sets are tracked with the block-scoped lexical walk from
+// callgraph.go: a release inside a terminated branch (unlock; return)
+// does not free the lock on the fallthrough path, a deferred unlock
+// holds to function end, and function literals restart with an empty
+// held set. TryLock is ignored (its acquisition is conditional on a
+// result the lexical walk cannot see). All of this under-approximates
+// the true may-hold relation, so every reported cycle is backed by
+// real acquisition sites.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LockOrder flags inconsistent mutex acquisition order.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "mutex classes must nest in one global acquisition order (no cycles, no same-class recursion)",
+	Run:  runLockOrder,
+}
+
+type lockOp int
+
+const (
+	lockOpNone lockOp = iota
+	lockOpAcquire
+	lockOpRelease
+)
+
+// lockCallSite is one intra-package call with the lock classes held
+// at the call site.
+type lockCallSite struct {
+	callee *types.Func
+	held   []string
+	pos    token.Pos
+}
+
+// funcLockInfo accumulates one function body's direct acquisitions
+// and outgoing calls.
+type funcLockInfo struct {
+	acquires map[string]bool
+	calls    []lockCallSite
+}
+
+// lockGraph is the package's acquisition-order graph.
+type lockGraph struct {
+	edges map[string]map[string]token.Pos // from -> to -> first witness
+}
+
+func (g *lockGraph) add(from, to string, pos token.Pos) {
+	m := g.edges[from]
+	if m == nil {
+		m = map[string]token.Pos{}
+		g.edges[from] = m
+	}
+	if _, ok := m[to]; !ok {
+		m[to] = pos
+	}
+}
+
+// lockWalker is the flowVisitor tracking the held set down one path.
+type lockWalker struct {
+	pass  *Pass
+	graph *lockGraph
+	info  *funcLockInfo
+	lits  *[]*ast.FuncLit
+	held  []string
+}
+
+func (w *lockWalker) Fork() flowVisitor {
+	fork := *w
+	fork.held = append([]string(nil), w.held...)
+	return &fork
+}
+
+func (w *lockWalker) FuncLit(lit *ast.FuncLit) {
+	*w.lits = append(*w.lits, lit)
+}
+
+func (w *lockWalker) Call(call *ast.CallExpr, deferred bool) {
+	op, class := classifyLockOp(w.pass, call)
+	switch op {
+	case lockOpAcquire:
+		if class == "" || deferred {
+			return
+		}
+		for _, h := range w.held {
+			w.graph.add(h, class, call.Pos())
+		}
+		w.info.acquires[class] = true
+		w.held = append(w.held, class)
+	case lockOpRelease:
+		if class == "" || deferred {
+			// A deferred unlock fires at function end: the lock
+			// stays held for everything that follows.
+			return
+		}
+		for i := len(w.held) - 1; i >= 0; i-- {
+			if w.held[i] == class {
+				w.held = append(w.held[:i], w.held[i+1:]...)
+				break
+			}
+		}
+	default:
+		if fn := staticCallee(w.pass, call); fn != nil {
+			w.info.calls = append(w.info.calls, lockCallSite{
+				callee: fn,
+				held:   append([]string(nil), w.held...),
+				pos:    call.Pos(),
+			})
+		}
+	}
+}
+
+// classifyLockOp recognizes sync.Mutex / sync.RWMutex acquire and
+// release calls and names the lock class they operate on.
+func classifyLockOp(pass *Pass, call *ast.CallExpr) (lockOp, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOpNone, ""
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	var op lockOp
+	switch {
+	case isMethodOn(obj, "sync", "Mutex", "Lock"),
+		isMethodOn(obj, "sync", "RWMutex", "Lock"),
+		isMethodOn(obj, "sync", "RWMutex", "RLock"):
+		op = lockOpAcquire
+	case isMethodOn(obj, "sync", "Mutex", "Unlock"),
+		isMethodOn(obj, "sync", "RWMutex", "Unlock"),
+		isMethodOn(obj, "sync", "RWMutex", "RUnlock"):
+		op = lockOpRelease
+	default:
+		return lockOpNone, ""
+	}
+	return op, lockClassOf(pass, sel)
+}
+
+// lockClassOf names the mutex a `<recv>.Lock`-shaped selector
+// operates on: "Struct.field" for struct-field mutexes (including
+// promoted ones), the variable name for package-level mutexes, and
+// "" for locals, which carry no cross-function ordering contract.
+func lockClassOf(pass *Pass, sel *ast.SelectorExpr) string {
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pass.Info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			if name := namedTypeName(s.Recv()); name != "" {
+				return name + "." + x.Sel.Name
+			}
+			// Field of an anonymous struct: fall back to the root
+			// identifier when it is a package-level variable
+			// (e.g. a `var state = struct{ mu sync.Mutex; ... }`).
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				if v, ok := pass.Info.Uses[id].(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+					return id.Name + "." + x.Sel.Name
+				}
+			}
+			return ""
+		}
+		// Package-qualified or cross-scope variable: pkg.Mu.Lock().
+		if v, ok := pass.Info.Uses[x.Sel].(*types.Var); ok && !v.IsField() {
+			return v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := pass.Info.Uses[x].(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+			return v.Name()
+		}
+		// Promoted method on an embedded mutex: w.Lock() where the
+		// mutex is an embedded field of w's struct type.
+		if s, ok := pass.Info.Selections[sel]; ok && len(s.Index()) > 1 {
+			if name := namedTypeName(s.Recv()); name != "" {
+				return name + "." + embeddedFieldPath(s)
+			}
+		}
+	}
+	return ""
+}
+
+// embeddedFieldPath renders the field path of a promoted-method
+// selection ("Mutex", or "inner.Mutex" through nested embedding).
+func embeddedFieldPath(s *types.Selection) string {
+	t := s.Recv()
+	var parts []string
+	idx := s.Index()
+	for _, i := range idx[:len(idx)-1] {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			break
+		}
+		f := st.Field(i)
+		parts = append(parts, f.Name())
+		t = f.Type()
+	}
+	return strings.Join(parts, ".")
+}
+
+func runLockOrder(pass *Pass) error {
+	funcs := declaredFuncs(pass)
+	graph := &lockGraph{edges: map[string]map[string]token.Pos{}}
+	infos := map[*types.Func]*funcLockInfo{}
+	var anon []*funcLockInfo
+
+	walk := func(body *ast.BlockStmt, info *funcLockInfo) {
+		// Function literals nest arbitrarily; each restarts with an
+		// empty held set and its own info (they are not callees in
+		// the static call graph, but their edges and call sites
+		// still feed the package graph).
+		queue := []*ast.FuncLit{}
+		w := &lockWalker{pass: pass, graph: graph, info: info, lits: &queue}
+		walkFlow(body.List, w)
+		for len(queue) > 0 {
+			lit := queue[0]
+			queue = queue[1:]
+			li := &funcLockInfo{acquires: map[string]bool{}}
+			anon = append(anon, li)
+			lw := &lockWalker{pass: pass, graph: graph, info: li, lits: &queue}
+			walkFlow(lit.Body.List, lw)
+		}
+	}
+	names := make([]*types.Func, 0, len(funcs))
+	for fn := range funcs {
+		names = append(names, fn)
+	}
+	sort.Slice(names, func(i, j int) bool { return funcs[names[i]].Pos() < funcs[names[j]].Pos() })
+	for _, fn := range names {
+		info := &funcLockInfo{acquires: map[string]bool{}}
+		infos[fn] = info
+		walk(funcs[fn].Body, info)
+	}
+
+	// Transitive acquire sets over the intra-package call graph.
+	trans := map[*types.Func]map[string]bool{}
+	for fn, info := range infos {
+		t := map[string]bool{}
+		for c := range info.acquires {
+			t[c] = true
+		}
+		trans[fn] = t
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, info := range infos {
+			t := trans[fn]
+			for _, site := range info.calls {
+				for c := range trans[site.callee] {
+					if !t[c] {
+						t[c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Call-site edges: everything the callee may transitively acquire
+	// nests under whatever the caller holds at the site.
+	addCallEdges := func(info *funcLockInfo) {
+		for _, site := range info.calls {
+			if len(site.held) == 0 {
+				continue
+			}
+			for _, h := range site.held {
+				for c := range trans[site.callee] {
+					graph.add(h, c, site.pos)
+				}
+			}
+		}
+	}
+	for _, fn := range names {
+		addCallEdges(infos[fn])
+	}
+	for _, li := range anon {
+		addCallEdges(li)
+	}
+
+	reportCycles(pass, graph)
+	return nil
+}
+
+// reportCycles finds the strongly connected components of the
+// acquisition graph and reports one finding per cycle (plus one per
+// same-class self-edge), each citing its witness sites.
+func reportCycles(pass *Pass, g *lockGraph) {
+	classes := make([]string, 0, len(g.edges))
+	for c := range g.edges {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+
+	for _, c := range classes {
+		if pos, ok := g.edges[c][c]; ok {
+			pass.Reportf(pos, "lock class %s acquired while already held (same-class nesting deadlocks sync.Mutex and is prohibited for RWMutex)", c)
+		}
+	}
+
+	for _, scc := range stronglyConnected(classes, g) {
+		if len(scc) < 2 {
+			continue
+		}
+		cycle := cyclePath(scc, g)
+		if len(cycle) == 0 {
+			continue
+		}
+		var steps []string
+		var last token.Pos
+		for i := 0; i < len(cycle); i++ {
+			from, to := cycle[i], cycle[(i+1)%len(cycle)]
+			pos := g.edges[from][to]
+			p := pass.Fset.Position(pos)
+			steps = append(steps, fmt.Sprintf("%s -> %s (%s:%d)", from, to, filepath.Base(p.Filename), p.Line))
+			if pos > last {
+				last = pos
+			}
+		}
+		pass.Reportf(last, "inconsistent lock order: %s", strings.Join(steps, ", "))
+	}
+}
+
+// stronglyConnected returns the SCCs of the class graph (Tarjan),
+// deterministic via the sorted class order.
+func stronglyConnected(classes []string, g *lockGraph) [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		tos := make([]string, 0, len(g.edges[v]))
+		for t := range g.edges[v] {
+			tos = append(tos, t)
+		}
+		sort.Strings(tos)
+		for _, w := range tos {
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(scc)
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, c := range classes {
+		if _, seen := index[c]; !seen {
+			strong(c)
+		}
+	}
+	return sccs
+}
+
+// cyclePath extracts one concrete cycle inside an SCC, starting from
+// its smallest class for determinism.
+func cyclePath(scc []string, g *lockGraph) []string {
+	in := map[string]bool{}
+	for _, c := range scc {
+		in[c] = true
+	}
+	start := scc[0]
+	seen := map[string]bool{start: true}
+	path := []string{start}
+	var dfs func(v string) []string
+	dfs = func(v string) []string {
+		tos := make([]string, 0, len(g.edges[v]))
+		for t := range g.edges[v] {
+			tos = append(tos, t)
+		}
+		sort.Strings(tos)
+		for _, w := range tos {
+			if !in[w] {
+				continue
+			}
+			if w == start && len(path) > 1 {
+				return path
+			}
+			if seen[w] {
+				continue
+			}
+			seen[w] = true
+			path = append(path, w)
+			if cyc := dfs(w); cyc != nil {
+				return cyc
+			}
+			path = path[:len(path)-1]
+		}
+		return nil
+	}
+	return dfs(start)
+}

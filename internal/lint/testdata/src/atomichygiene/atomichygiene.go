@@ -1,0 +1,65 @@
+// Package atomichygiene exercises the atomichygiene analyzer: fields
+// and package variables accessed via sync/atomic must not be plainly
+// loaded or stored anywhere else, composite-literal initialization is
+// exempt, and suppression needs a reason.
+package atomichygiene
+
+import "sync/atomic"
+
+type Counter struct {
+	n    int64
+	hits int64
+}
+
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *Counter) Bad() int64 {
+	return c.n // want `n is accessed with sync/atomic \(atomichygiene.go:\d+\); this plain access races with it`
+}
+
+func (c *Counter) Hits() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *Counter) AddHits() {
+	atomic.AddInt64(&c.hits, 2)
+}
+
+// NewCounter initializes before publishing; a composite literal is
+// not a racy access.
+func NewCounter() *Counter {
+	return &Counter{n: 0, hits: 0}
+}
+
+var flag uint32
+
+func SetFlag() {
+	atomic.StoreUint32(&flag, 1)
+}
+
+func BadFlag() bool {
+	return flag == 1 // want `flag is accessed with sync/atomic`
+}
+
+// Plain never touches sync/atomic, so plain access is fine.
+type Plain struct{ v int64 }
+
+func (p *Plain) Set(x int64) { p.v = x }
+
+func (p *Plain) Get() int64 { return p.v }
+
+type Snapshotted struct{ seq uint64 }
+
+func (s *Snapshotted) Bump() {
+	atomic.AddUint64(&s.seq, 1)
+}
+
+// Locked reads seq under the writer's own exclusion; the suppression
+// documents why the plain read cannot race.
+//
+//lint:ignore atomichygiene read only on the single writer goroutine, no concurrent Bump by construction
+func (s *Snapshotted) Locked() uint64 {
+	return s.seq
+}

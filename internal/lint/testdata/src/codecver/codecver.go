@@ -1,0 +1,85 @@
+// Package codecver exercises the codecver analyzer: declared version
+// constants must be dispatched by the annotated decoder, encoders
+// must reference the newest version and nothing older, and every
+// annotated codec needs both halves.
+package codecver
+
+import "fmt"
+
+// Versions of the toy format, wired up correctly.
+//
+//lint:codec toy
+const (
+	toyV1      = 1
+	toyV2      = 2
+	toyCurrent = toyV2
+)
+
+// decodeToy dispatches every declared version.
+//
+//lint:codec-decode toy
+func decodeToy(version int) error {
+	switch version {
+	case toyV1:
+		return nil
+	case toyV2:
+		return nil
+	default:
+		return fmt.Errorf("toy: unknown version %d", version)
+	}
+}
+
+// encodeToy emits the newest version.
+//
+//lint:codec-encode toy
+func encodeToy() int {
+	return toyCurrent
+}
+
+// The gap codec leaves v2 out of the decoder and encodes v1.
+//
+//lint:codec gap
+const (
+	gapV1 = 1
+	gapV2 = 2
+)
+
+//lint:codec-decode gap
+func decodeGap(version int) error { // want `decoder decodeGap for codec "gap" does not dispatch version\(s\) gapV2`
+	switch version {
+	case gapV1:
+		return nil
+	}
+	return fmt.Errorf("gap: unknown version %d", version)
+}
+
+//lint:codec-encode gap
+func encodeGap() int { // want `encoder encodeGap for codec "gap" does not reference the newest version constant gapV2=2`
+	return gapV1 // want `encoder for codec "gap" references stale version constant gapV1 \(newest is gapV2=2\)`
+}
+
+// The halfway codec decodes but never encodes.
+//
+//lint:codec halfway
+const halfwayV1 = 1 // want `codec "halfway" declares version constants but no encoder is annotated`
+
+//lint:codec-decode halfway
+func decodeHalfway(version int) error {
+	switch version {
+	case halfwayV1:
+		return nil
+	}
+	return fmt.Errorf("halfway: unknown version %d", version)
+}
+
+//lint:codec-decode ghost
+func decodeGhost(version int) error { // want `//lint:codec-decode ghost has no matching //lint:codec const declaration`
+	return nil
+}
+
+// The legacy codec's halves live in a sibling tool; the suppression
+// records that.
+//
+//lint:codec legacy
+//lint:ignore codecver decoder and encoder live in the exporter tool, tracked there
+const legacyV1 = 1

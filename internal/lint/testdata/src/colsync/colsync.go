@@ -1,0 +1,68 @@
+// Package colsync exercises the colsync analyzer: whole-column
+// writes to an annotated lockstep group must touch every column,
+// element writes are exempt, composite literals may set none or all,
+// and instances are tracked separately.
+package colsync
+
+// Table is a toy struct-of-arrays with three lockstep columns and
+// one free-standing field.
+//
+//lint:columns cols A,B,C
+type Table struct {
+	A    []int
+	B    []int
+	C    []int
+	Name string
+}
+
+// Grow touches all three columns: fine.
+func Grow(t *Table, n int) {
+	t.A = append(t.A, n)
+	t.B = append(t.B, n)
+	t.C = append(t.C, n)
+}
+
+// BadGrow extends one column and leaves its siblings behind.
+func BadGrow(t *Table, n int) {
+	t.A = append(t.A, n) // want `t writes lockstep column\(s\) A of colsync.Table group "cols" without sibling\(s\) B, C`
+	t.Name = "grown"
+}
+
+// Element writes do not desynchronize the index space.
+func Element(t *Table, i, v int) {
+	t.A[i] = v
+}
+
+// BadLit keys a strict subset of the group.
+func BadLit() *Table {
+	return &Table{ // want `literal of colsync.Table sets lockstep column\(s\) A, B of group "cols" but not C`
+		A: []int{1},
+		B: []int{2},
+	}
+}
+
+// GoodLit keys the whole group.
+func GoodLit() *Table {
+	return &Table{A: nil, B: nil, C: nil}
+}
+
+// EmptyLit keys none of the group: the zero value is in sync.
+func EmptyLit() *Table {
+	return &Table{Name: "zero"}
+}
+
+// TwoInstances keeps per-instance accounting: t is complete, u is not.
+func TwoInstances(t, u *Table) {
+	t.A = nil
+	t.B = nil
+	t.C = nil
+	u.A = nil // want `u writes lockstep column\(s\) A of colsync.Table group "cols" without sibling\(s\) B, C`
+}
+
+// Forgiven trims one column deliberately; the suppression documents
+// the invariant that makes it safe.
+//
+//lint:ignore colsync A is the only column consulted before the rebuild two lines down
+func Forgiven(t *Table) {
+	t.A = t.A[:0]
+}

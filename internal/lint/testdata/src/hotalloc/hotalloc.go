@@ -1,0 +1,53 @@
+// Package hotalloc exercises the hotalloc analyzer: //lint:hotpath
+// functions must stay within their heap-allocation budget as judged
+// by the compiler's own escape analysis. This package is compiled
+// with -gcflags=-m by the analyzer, so every function here must keep
+// deterministic escape behavior.
+package hotalloc
+
+// Sum is allocation-free.
+//
+//lint:hotpath
+func Sum(xs []int64) int64 {
+	var s int64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// Leaky returns a fresh heap object with a zero budget.
+//
+//lint:hotpath
+func Leaky() *int { // want `hotpath function Leaky has 1 heap-allocation site\(s\), budget 0`
+	return new(int)
+}
+
+// Budgeted's contract is "exactly the result slice".
+//
+//lint:hotpath allocs=1
+func Budgeted(n int) []int64 {
+	return make([]int64, n)
+}
+
+// OverBudget allocates twice against a budget of one.
+//
+//lint:hotpath allocs=1
+func OverBudget(n int) ([]int64, *int) { // want `hotpath function OverBudget has 2 heap-allocation site\(s\), budget 1`
+	return make([]int64, n), new(int)
+}
+
+// BadBudget carries a malformed annotation.
+//
+//lint:hotpath allocs=lots
+func BadBudget() { // want `malformed //lint:hotpath annotation`
+}
+
+// Forgiven allocates deliberately: a cold-start slab carve measured
+// outside the warm path.
+//
+//lint:ignore hotalloc cold-start slab carve, measured by the cold benchmarks instead
+//lint:hotpath
+func Forgiven() []byte {
+	return make([]byte, 64)
+}

@@ -1,0 +1,113 @@
+// Package lockorder exercises the lockorder analyzer: direct
+// two-class cycles, cycles routed through the intra-package call
+// graph, same-class recursion, branch-scoped releases, and
+// suppression with a reason.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func busy() bool { return false }
+
+// ABPath establishes the A.mu -> B.mu edge.
+func ABPath(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// BAPath nests the same classes the other way around.
+func BAPath(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want `inconsistent lock order: A.mu -> B.mu \(lockorder.go:\d+\), B.mu -> A.mu \(lockorder.go:\d+\)`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+
+// Recursive acquires C.mu while an instance of C.mu is already held.
+func Recursive(c, d *C) {
+	c.mu.Lock()
+	d.mu.Lock() // want `lock class C.mu acquired while already held`
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+type D struct{ mu sync.Mutex }
+
+type E struct{ mu sync.Mutex }
+
+func lockE(e *E) {
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+// DThenE acquires E.mu only transitively, through lockE.
+func DThenE(d *D, e *E) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	lockE(e)
+}
+
+// EThenD closes the cycle against DThenE's call-graph edge.
+func EThenD(d *D, e *E) {
+	e.mu.Lock()
+	d.mu.Lock() // want `inconsistent lock order: D.mu -> E.mu \(lockorder.go:\d+\), E.mu -> D.mu \(lockorder.go:\d+\)`
+	d.mu.Unlock()
+	e.mu.Unlock()
+}
+
+// Retry releases inside a terminated branch: the continuation still
+// holds the lock, the loop re-acquire starts a fresh fork, and no
+// same-class recursion is reported.
+func Retry(a *A, b *B) {
+	for {
+		a.mu.Lock()
+		if busy() {
+			a.mu.Unlock()
+			continue
+		}
+		b.mu.Lock()
+		b.mu.Unlock()
+		a.mu.Unlock()
+		return
+	}
+}
+
+// Spawned goroutines start with an empty held set: no A.mu -> B.mu
+// ordering is implied by the enclosing lock.
+func Spawn(a *A, b *B) {
+	a.mu.Lock()
+	go func() {
+		b.mu.Lock()
+		b.mu.Unlock()
+	}()
+	a.mu.Unlock()
+}
+
+type F struct{ mu sync.Mutex }
+
+type G struct{ mu sync.Mutex }
+
+// FG establishes F.mu -> G.mu.
+func FG(f *F, g *G) {
+	f.mu.Lock()
+	g.mu.Lock()
+	g.mu.Unlock()
+	f.mu.Unlock()
+}
+
+// GF inverts it deliberately; the suppression carries the reason.
+//
+//lint:ignore lockorder the G-first path only runs in single-threaded recovery, documented here
+func GF(f *F, g *G) {
+	g.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	g.mu.Unlock()
+}
