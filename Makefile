@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-batch bench-cold bench-fleet bench-graph chaos fuzz fmt vet lint ci
+.PHONY: build test race bench bench-batch bench-cold bench-fleet bench-graph bench-shard chaos fuzz fmt vet lint ci
 
 # Seconds-per-target budget for the fuzz smoke; CI uses the default.
 FUZZTIME ?= 5s
@@ -71,12 +71,29 @@ bench-graph:
 	$(GO) test -run='^$$' -bench='BenchmarkForwardWalk|BenchmarkBackwardWalk|BenchmarkBatchEval' -benchmem -benchtime=$(GRAPH_BENCHTIME) -count=3 ./internal/depgraph/
 	$(GO) test -run='TestWarmPathNoRegression' -count=1 ./internal/depgraph/
 
+# bench-shard: the horizontal-scaling numbers BENCH_shard.json tracks
+# — saturation sweeps of a direct single shard vs the routed 3-shard
+# cluster, plus the hedged-vs-unhedged tail comparison under a seeded
+# slow-forward perturbation. The injected per-query service time
+# (icostload -service) pins shard capacity to worker count, so the
+# sweep measures topology rather than host CPU count. The second step
+# is the no-regression guard CI leans on: a short in-process run that
+# must show the cluster out-sustaining the single shard at comparable
+# p50 — relative within one process, so machine speed never matters.
+SHARD_DURATION ?= 2s
+
+bench-shard:
+	$(GO) run ./cmd/icostload -duration $(SHARD_DURATION) -sweep 100,200,400,800 -rate 150 -json BENCH_shard.json
+	$(GO) test -run='TestShardBenchGuard' -count=1 ./cmd/icostload/
+
 # chaos: the fault-injection suite (internal/faultinject + every
 # TestChaos* test) under the race detector. Seeded fault plans make a
-# failure replayable: rerun with the seed from the failure log.
+# failure replayable: rerun with the seed from the failure log. The
+# router drills include the backend-kill storm: shards hard-killed
+# mid-query while hedged reads ride replicas and writes re-route.
 chaos:
 	$(GO) test -race ./internal/faultinject/
-	$(GO) test -race -run='TestChaos' ./internal/engine/ ./internal/fleet/ ./cmd/icostd/
+	$(GO) test -race -run='TestChaos' ./internal/engine/ ./internal/fleet/ ./internal/router/ ./cmd/icostd/
 
 # fuzz smoke: FUZZTIME per fuzz target (override: make fuzz FUZZTIME=1m).
 fuzz:
@@ -106,3 +123,4 @@ lint: vet
 ci: fmt lint build race chaos bench
 	$(MAKE) bench-fleet FLEET_BENCHTIME=1x
 	$(MAKE) bench-graph GRAPH_BENCHTIME=1x
+	$(GO) test -run='TestShardBenchGuard' -count=1 ./cmd/icostload/

@@ -38,6 +38,14 @@ func TestFlagAudit(t *testing.T) {
 		"snapshot-dir":  {"", "snapshots"},
 		"faults":        {"", "fault-injection"},
 		"fault-seed":    {"1", "seed"},
+
+		"route":         {"", "backend URLs"},
+		"replicas":      {"2", "hot session"},
+		"hedge-after":   {"50ms", "hedge"},
+		"hot-threshold": {"3", "replicates"},
+		"load-factor":   {"1.25", "bounded-load"},
+		"tenant-qps":    {"0", "X-Icost-Tenant"},
+		"tenant-burst":  {"10", "burst"},
 	}
 	got := map[string]bool{}
 	fs.VisitAll(func(f *flag.Flag) {

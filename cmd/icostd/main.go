@@ -12,22 +12,40 @@
 // budget, and /query answers against the merged profile when the
 // request carries a "fleet" target instead of a session spec.
 //
+// With -route the same binary runs as a routing tier instead of a
+// shard: it consistent-hashes session and fleet keys across the
+// listed backend daemons, replicates hot sessions between them by
+// shipping ICSS snapshots, hedges replicated reads against slow
+// shards, and admits tenants under a per-tenant quota. The routed
+// surface is byte-compatible with the single-daemon surface, so
+// clients need not know whether they talk to one shard or thirty.
+//
 // Usage:
 //
 //	icostd [-addr :8090] [-workers n] [-queue depth] [-cache-mb mb]
 //	       [-sessions n] [-preload bench1,bench2,...] [-pprof]
 //	       [-query-timeout 30s] [-fleet-mb mb] [-snapshot-dir dir]
 //	       [-faults spec] [-fault-seed n]
+//	icostd -route http://b1:8090,http://b2:8090 [-addr :8089]
+//	       [-replicas n] [-hedge-after d] [-hot-threshold n]
+//	       [-load-factor f] [-tenant-qps n] [-tenant-burst n]
 //
-// Endpoints:
+// Endpoints (shard and router):
 //
 //	POST /query         JSON engine.Query -> JSON engine.Response, or
 //	                    {"fleet": {...}} -> JSON fleet.Response
 //	POST /ingest        binary fleet sample stream (fleet.WriteStream)
 //	GET  /metrics       engine + fleet counters, gauges and quantiles
+//	                    (router: routing counters instead)
 //	GET  /healthz       liveness + uptime
 //	GET  /readyz        readiness (503 while draining at shutdown)
 //	GET  /debug/pprof/  Go runtime profiles (only with -pprof)
+//
+// Shard-only replication plane (used by the router):
+//
+//	GET  /sessions      resident sessions with install generations
+//	GET  /snapshot      one session's ICSS snapshot bytes
+//	POST /restore       install a pushed ICSS snapshot
 //
 // A full queue returns 429 with a Retry-After header (backpressure,
 // never unbounded buffering). SIGINT/SIGTERM drain in-flight queries
@@ -35,33 +53,31 @@
 // shutdown. With -snapshot-dir the daemon restores built sessions
 // from the directory at startup and snapshots the resident sessions
 // back to it after the drain, so a restart skips the cold builds.
-// See README.md "Analysis service" for a curl session.
+// See README.md "Analysis service" and "Horizontal scaling" for curl
+// sessions.
 package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
-	"strconv"
 	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"icost/internal/daemon"
 	"icost/internal/depgraph"
 	"icost/internal/engine"
 	"icost/internal/faultinject"
 	"icost/internal/fleet"
-	"icost/internal/profiler"
+	"icost/internal/router"
 )
 
 func main() {
@@ -83,6 +99,15 @@ type options struct {
 	snapshotDir  string
 	faults       string
 	faultSeed    uint64
+
+	// router mode
+	route        string
+	replicas     int
+	hedgeAfter   time.Duration
+	hotThreshold int
+	loadFactor   float64
+	tenantQPS    float64
+	tenantBurst  int
 }
 
 // defineFlags registers every daemon flag on fs. Separated from run
@@ -111,18 +136,47 @@ func defineFlags(fs *flag.FlagSet) *options {
 		"fault-injection spec, e.g. engine.build:err%0.5,icostd.query:lat=50ms (testing only)")
 	fs.Uint64Var(&o.faultSeed, "fault-seed", 1,
 		"seed for probabilistic fault injection (replayable)")
+
+	fs.StringVar(&o.route, "route", "",
+		"run as a router over these comma-separated backend URLs instead of as a shard")
+	fs.IntVar(&o.replicas, "replicas", 2,
+		"router: target shard count holding each hot session (primary included)")
+	fs.DurationVar(&o.hedgeAfter, "hedge-after", 50*time.Millisecond,
+		"router: hedge a replicated read at a replica after this long on the primary (0 = no hedging)")
+	fs.IntVar(&o.hotThreshold, "hot-threshold", 3,
+		"router: routed-query count at which a session replicates")
+	fs.Float64Var(&o.loadFactor, "load-factor", 1.25,
+		"router: bounded-load factor (no shard takes more than this times the mean in-flight load)")
+	fs.Float64Var(&o.tenantQPS, "tenant-qps", 0,
+		"router: per-tenant admitted requests/s, X-Icost-Tenant header keyed (0 = quota off)")
+	fs.IntVar(&o.tenantBurst, "tenant-burst", 10,
+		"router: per-tenant admission burst size")
 	return o
 }
 
 // run is the testable entry point: it parses flags, starts the
-// engine, serves until a signal arrives on sig (nil = install the
-// real SIGINT/SIGTERM handler), then drains and exits.
+// engine (or the router, with -route), serves until a signal arrives
+// on sig (nil = install the real SIGINT/SIGTERM handler), then drains
+// and exits.
 func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 	fs := flag.NewFlagSet("icostd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	o := defineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if o.faults != "" {
+		rules, err := parseFaultSpec(o.faults)
+		if err != nil {
+			fmt.Fprintln(stderr, "icostd: -faults:", err)
+			return 2
+		}
+		faultinject.Enable(o.faultSeed, rules...)
+		defer faultinject.Disable()
+		fmt.Fprintf(stdout, "icostd: fault injection ENABLED (seed %d): %s\n", o.faultSeed, o.faults)
+	}
+	if o.route != "" {
+		return runRouter(o, stdout, stderr, sig)
 	}
 	if o.cacheMB < 1 || o.sessions < 1 {
 		fmt.Fprintln(stderr, "icostd: -cache-mb and -sessions must be >= 1")
@@ -147,16 +201,6 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 			fmt.Fprintln(stderr, "icostd: -lanes:", err)
 			return 2
 		}
-	}
-	if o.faults != "" {
-		rules, err := parseFaultSpec(o.faults)
-		if err != nil {
-			fmt.Fprintln(stderr, "icostd: -faults:", err)
-			return 2
-		}
-		faultinject.Enable(o.faultSeed, rules...)
-		defer faultinject.Disable()
-		fmt.Fprintf(stdout, "icostd: fault injection ENABLED (seed %d): %s\n", o.faultSeed, o.faults)
 	}
 
 	e := engine.New(engine.Config{
@@ -256,18 +300,78 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 	return 0
 }
 
-// queryRequest is the /query wire shape: the engine query fields
-// promoted at the top level (unchanged for existing clients) plus an
-// optional fleet target. A request carrying "fleet" is answered from
-// the aggregate profile; everything else goes to the session engine.
-type queryRequest struct {
-	engine.Query
-	Fleet *fleet.Query `json:"fleet,omitempty"`
+// runRouter serves the routing tier: same listen/drain lifecycle as a
+// shard, but the handler proxies to the -route backends instead of
+// owning an engine.
+func runRouter(o *options, stdout, stderr io.Writer, sig <-chan os.Signal) int {
+	var backends []string
+	for _, b := range strings.Split(o.route, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			backends = append(backends, b)
+		}
+	}
+	if len(backends) == 0 {
+		fmt.Fprintln(stderr, "icostd: -route needs at least one backend URL")
+		return 2
+	}
+	if o.replicas < 1 {
+		fmt.Fprintln(stderr, "icostd: -replicas must be >= 1")
+		return 2
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rt, err := router.New(ctx, router.Config{
+		Backends:     backends,
+		Replicas:     o.replicas,
+		HedgeAfter:   o.hedgeAfter,
+		HotThreshold: o.hotThreshold,
+		LoadFactor:   o.loadFactor,
+		TenantRate:   o.tenantQPS,
+		TenantBurst:  o.tenantBurst,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "icostd:", err)
+		return 1
+	}
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "icostd:", err)
+		return 1
+	}
+	srv := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	fmt.Fprintf(stdout, "icostd: routing on %s over %d backend(s)\n", ln.Addr(), len(backends))
+
+	if sig == nil {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		sig = ch
+	}
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(stderr, "icostd:", err)
+		return 1
+	case <-sig:
+	}
+	fmt.Fprintln(stdout, "icostd: router shutting down")
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		fmt.Fprintln(stderr, "icostd: shutdown:", err)
+	}
+	return 0
 }
 
 // metricsSnapshot flattens the engine and fleet metric sets into one
 // JSON object (the aliases sidestep the embedded-name clash between
-// the two Snapshot types).
+// the two Snapshot types). Kept here for the daemon's tests; the
+// serving copy lives in internal/daemon.
 type (
 	engineMetrics = engine.Snapshot
 	fleetMetrics  = fleet.Snapshot
@@ -278,160 +382,15 @@ type metricsSnapshot struct {
 	fleetMetrics
 }
 
-// maxIngestBytes bounds one /ingest request body. A stream carries at
-// most a few MiB per PMU drain batch; 256 MiB leaves generous room
-// for a host replaying a backlog without letting one connection
-// exhaust the process.
-const maxIngestBytes = 1 << 28
-
-// newHandler builds the daemon's routing table over the session
-// engine and the fleet aggregator. With pprofOn the Go runtime's
-// profiling handlers are mounted under /debug/pprof/ — off by
-// default, since profiles expose internals no production query
-// endpoint should. ready gates /readyz (nil means always ready, for
-// tests that only exercise routing).
+// newHandler builds the daemon's routing table. The implementation
+// moved to internal/daemon so the sharding router can spawn in-process
+// shards; this wrapper keeps the daemon's historical constructor.
 func newHandler(e *engine.Engine, agg *fleet.Aggregator, pprofOn bool, ready *atomic.Bool) http.Handler {
-	mux := http.NewServeMux()
-	if pprofOn {
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	}
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			httpError(w, http.StatusMethodNotAllowed, "POST only")
-			return
-		}
-		var q queryRequest
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&q); err != nil {
-			httpError(w, http.StatusBadRequest, "bad query JSON: "+err.Error())
-			return
-		}
-		// Fault hook: handler-level failure after decode, before the
-		// engine — models a dying front end rather than a bad engine.
-		if err := faultinject.Hit(r.Context(), faultinject.DaemonQuery); err != nil {
-			writeQueryError(w, err)
-			return
-		}
-		if q.Fleet != nil {
-			resp, err := agg.Query(r.Context(), *q.Fleet)
-			if err != nil {
-				writeQueryError(w, err)
-				return
-			}
-			writeJSON(w, http.StatusOK, resp)
-			return
-		}
-		resp, err := e.Query(r.Context(), q.Query)
-		if err != nil {
-			writeQueryError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, resp)
-	})
-	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			httpError(w, http.StatusMethodNotAllowed, "POST only")
-			return
-		}
-		h, n, err := fleet.ReadStream(http.MaxBytesReader(w, r.Body, maxIngestBytes),
-			func(h fleet.Header, s *profiler.Samples) error {
-				return agg.Ingest(r.Context(), h, s)
-			})
-		if err != nil {
-			// Batches merged before the failure stay merged — lossy
-			// collection is the fleet contract — but the response is an
-			// error so the host knows its stream did not land whole. A
-			// truncated upload is the sender's problem, not the server's.
-			if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
-				httpError(w, http.StatusBadRequest, err.Error())
-				return
-			}
-			writeQueryError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"key":     h.Key().String(),
-			"host":    h.Host,
-			"batches": n,
-		})
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		// One flat JSON object: engine and fleet key sets are disjoint
-		// (fleet counters carry a fleet_ prefix), so embedding keeps
-		// existing /metrics consumers decoding engine.Snapshot intact.
-		writeJSON(w, http.StatusOK, metricsSnapshot{e.Metrics(), agg.Metrics()})
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		m := e.Metrics()
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status":         "ok",
-			"uptime_seconds": m.UptimeSeconds,
-			"sessions_live":  m.SessionsLive,
-			"in_flight":      m.InFlight,
-		})
-	})
-	// Liveness (/healthz, above) and readiness are deliberately
-	// separate: during the shutdown drain the process is still alive —
-	// restarting it would kill the very queries it is draining — but
-	// it must stop receiving new traffic.
-	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
-		if ready != nil && !ready.Load() {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
-	})
-	return mux
+	return daemon.NewHandler(e, agg, daemon.Options{Pprof: pprofOn, Ready: ready})
 }
 
-// writeQueryError maps engine and fleet errors onto HTTP semantics:
-// typed backpressure becomes 429 + Retry-After, deadline expiry 504,
-// client disconnect 499 (nginx convention), closed engine 503,
-// malformed queries and ingest streams (the typed validation errors)
-// 400, a fleet query against an absent aggregate 404, and any
-// unclassified failure — a broken build, an internal fault — 500, so
-// server-side trouble is never misreported as the client's.
+// writeQueryError maps engine and fleet errors onto HTTP semantics
+// (see daemon.WriteQueryError).
 func writeQueryError(w http.ResponseWriter, err error) {
-	var full *engine.QueueFullError
-	var bad *engine.ValidationError
-	var fbad *fleet.ValidationError
-	var fmiss *fleet.NotFoundError
-	switch {
-	case errors.As(err, &full):
-		secs := int(full.RetryAfter.Seconds() + 0.5)
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		httpError(w, http.StatusTooManyRequests, err.Error())
-	case errors.Is(err, context.DeadlineExceeded):
-		httpError(w, http.StatusGatewayTimeout, err.Error())
-	case errors.Is(err, context.Canceled):
-		httpError(w, 499, err.Error())
-	case errors.Is(err, engine.ErrClosed):
-		httpError(w, http.StatusServiceUnavailable, err.Error())
-	case errors.As(err, &bad), errors.As(err, &fbad):
-		httpError(w, http.StatusBadRequest, err.Error())
-	case errors.As(err, &fmiss):
-		httpError(w, http.StatusNotFound, err.Error())
-	default:
-		httpError(w, http.StatusInternalServerError, err.Error())
-	}
-}
-
-func httpError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	daemon.WriteQueryError(w, err)
 }

@@ -7,6 +7,11 @@
 // client-observed latency percentiles. With -json the report is a
 // machine-readable document (the BENCH_fleet.json shape).
 //
+// A 429 + Retry-After answer is backpressure, not failure: the daemon
+// is asking the feed to slow down. Such batches are retried after the
+// hinted delay and counted separately (backpressure_429 / retries in
+// the report); only exhausted retries count as errors.
+//
 // Usage:
 //
 //	icostfeed [-addr http://127.0.0.1:8090] [-hosts n] [-batches n]
@@ -32,6 +37,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -146,6 +152,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "ingest: %d batches (%d errors) in %.2fs = %.1f batches/s\n",
 		ing.Batches, ing.Errors, ing.WallS, ing.QPS)
+	if ing.Backpressure429 > 0 {
+		fmt.Fprintf(stdout, "        backpressure: %d 429s absorbed, %d retries\n",
+			ing.Backpressure429, ing.Retries)
+	}
 	fmt.Fprintf(stdout, "        latency p50 %.2fms  p95 %.2fms  p99 %.2fms\n",
 		ing.P50ms, ing.P95ms, ing.P99ms)
 	if o.queries > 0 {
@@ -204,14 +214,52 @@ func encodeArrivals(o *options, pool []*profiler.Samples) ([]sample, error) {
 
 // waveStats is one wave's client-observed outcome.
 type waveStats struct {
-	Batches  int     `json:"count"`
-	Errors   int     `json:"errors"`
-	Memoized int     `json:"memoized,omitempty"`
-	WallS    float64 `json:"wall_s"`
-	QPS      float64 `json:"per_s"`
-	P50ms    float64 `json:"p50_ms"`
-	P95ms    float64 `json:"p95_ms"`
-	P99ms    float64 `json:"p99_ms"`
+	Batches  int `json:"count"`
+	Errors   int `json:"errors"`
+	Memoized int `json:"memoized,omitempty"`
+	// Backpressure429 counts 429+Retry-After responses. Backpressure is
+	// the admission protocol working — the daemon asking the feed to
+	// slow down — so it is not an error: each such batch was retried
+	// (Retries counts the re-sends) and only exhausted retries land in
+	// Errors.
+	Backpressure429 int     `json:"backpressure_429,omitempty"`
+	Retries         int     `json:"retries,omitempty"`
+	WallS           float64 `json:"wall_s"`
+	QPS             float64 `json:"per_s"`
+	P50ms           float64 `json:"p50_ms"`
+	P95ms           float64 `json:"p95_ms"`
+	P99ms           float64 `json:"p99_ms"`
+}
+
+// postRetry issues one POST, retrying up to two more times when the
+// service answers 429 backpressure, honoring its Retry-After hint
+// (capped so a long hint cannot stall the wave). The returned counts
+// let the caller report backpressure separately from errors.
+func postRetry(client *http.Client, url, contentType string, body []byte) (resp *http.Response, backpressure, retries int, err error) {
+	for attempt := 0; ; attempt++ {
+		resp, err = client.Post(url, contentType, bytes.NewReader(body))
+		if err != nil {
+			return nil, backpressure, retries, err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			return resp, backpressure, retries, nil
+		}
+		backpressure++
+		if attempt >= 2 {
+			return resp, backpressure, retries, nil
+		}
+		wait := time.Second
+		if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs > 0 {
+			wait = time.Duration(secs) * time.Second
+		}
+		if wait > 2*time.Second {
+			wait = 2 * time.Second
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		retries++
+		time.Sleep(wait)
+	}
 }
 
 // ingestWave replays every arrival open-loop: dispatch times come
@@ -221,7 +269,7 @@ type waveStats struct {
 func ingestWave(o *options, client *http.Client, arrivals []sample) (waveStats, error) {
 	rng := rand.New(rand.NewSource(o.arrivalSeed))
 	lat := make([]time.Duration, len(arrivals))
-	var errCount atomic.Int64
+	var errCount, bpCount, retryCount atomic.Int64
 	var wg sync.WaitGroup
 
 	start := time.Now()
@@ -233,9 +281,11 @@ func ingestWave(o *options, client *http.Client, arrivals []sample) (waveStats, 
 		go func(i int) {
 			defer wg.Done()
 			t0 := time.Now()
-			resp, err := client.Post(o.addr+"/ingest", "application/octet-stream",
-				bytes.NewReader(arrivals[i].raw))
+			resp, bp, retries, err := postRetry(client, o.addr+"/ingest",
+				"application/octet-stream", arrivals[i].raw)
 			lat[i] = time.Since(t0)
+			bpCount.Add(int64(bp))
+			retryCount.Add(int64(retries))
 			if err != nil {
 				errCount.Add(1)
 				return
@@ -253,6 +303,8 @@ func ingestWave(o *options, client *http.Client, arrivals []sample) (waveStats, 
 	st := stats(lat, wall)
 	st.Batches = len(arrivals)
 	st.Errors = int(errCount.Load())
+	st.Backpressure429 = int(bpCount.Load())
+	st.Retries = int(retryCount.Load())
 	if st.Errors == len(arrivals) {
 		return st, fmt.Errorf("every ingest failed — is icostd running at %s?", o.addr)
 	}

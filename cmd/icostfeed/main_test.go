@@ -2,12 +2,18 @@ package main
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"icost/internal/fleet"
@@ -156,6 +162,72 @@ func TestFeedEndToEnd(t *testing.T) {
 	m := agg.Metrics()
 	if m.IngestBatchesTotal != 8 || m.HostsSeen != 4 {
 		t.Fatalf("aggregator metrics: %+v", m)
+	}
+}
+
+// TestFeedBackpressureRetried: a 429 + Retry-After answer is the
+// admission protocol working, not a failure — the batch is retried
+// after the hint and the backpressure is reported separately from
+// errors.
+func TestFeedBackpressureRetried(t *testing.T) {
+	agg, srv := testDaemon(t)
+	// Wrap the stand-in daemon: the first POST of each batch is shed
+	// with 429 + Retry-After, the retry goes through.
+	var rejected atomic.Int64
+	seen := make(map[string]bool)
+	var mu sync.Mutex
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/ingest" {
+			body, _ := io.ReadAll(r.Body)
+			sum := fmt.Sprintf("%x", sha256.Sum256(body))
+			mu.Lock()
+			first := !seen[sum]
+			seen[sum] = true
+			mu.Unlock()
+			if first {
+				rejected.Add(1)
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "queue full", http.StatusTooManyRequests)
+				return
+			}
+			r.Body = io.NopCloser(bytes.NewReader(body))
+		}
+		u, _ := url.Parse(srv.URL)
+		httputil.NewSingleHostReverseProxy(u).ServeHTTP(w, r)
+	}))
+	t.Cleanup(front.Close)
+
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-addr", front.URL,
+		"-hosts", "2", "-batches", "2", "-groups", "1", "-distinct", "1",
+		"-rate", "5000", "-queries", "0",
+		"-n", "3000", "-warmup", "1000",
+		"-json",
+	}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("run exited %d, stderr: %s", code, stderr.String())
+	}
+	var doc struct {
+		Results struct {
+			Ingest waveStats `json:"ingest"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, stdout.String())
+	}
+	ing := doc.Results.Ingest
+	if ing.Errors != 0 {
+		t.Fatalf("backpressure counted as errors: %+v", ing)
+	}
+	if got, want := ing.Backpressure429, int(rejected.Load()); got != want {
+		t.Fatalf("backpressure_429 = %d, want %d (every shed batch)", got, want)
+	}
+	if ing.Retries != ing.Backpressure429 {
+		t.Fatalf("retries = %d, want %d (every 429 retried once)", ing.Retries, ing.Backpressure429)
+	}
+	if m := agg.Metrics(); m.IngestBatchesTotal != 4 {
+		t.Fatalf("retried batches did not all land: %+v", m)
 	}
 }
 

@@ -1,0 +1,688 @@
+// Command icostload is the open-loop load harness for icostd and its
+// sharding router. It offers queries at a fixed rate with exponential
+// inter-arrival gaps (open loop: arrivals never wait for completions,
+// so saturation shows up as latency growth and backpressure instead
+// of silently throttled offered load), reports latency percentiles,
+// and distinguishes real failures from 429 backpressure — a 429 with
+// Retry-After is the protocol working, so it is retried and counted
+// separately, never lumped into the error column.
+//
+// Two modes:
+//
+//   - -target URL: load an already-running daemon or router at -rate
+//     for -duration and print one result.
+//   - benchmark mode (default): spawn an in-process single shard and
+//     an in-process 1-router/N-backend cluster (internal/router's
+//     Cluster — real HTTP over loopback sockets), sweep offered rates
+//     over both to find their saturation throughput, compare hedged
+//     vs unhedged tail latency under an injected slow-forward
+//     perturbation, and write the whole report to -json
+//     (BENCH_shard.json in this repo).
+//
+// The warm-query mix deliberately defeats the result cache (distinct
+// category subsets per request, a near-zero cache budget on the
+// shards) so each query performs a real O(|graph|) analysis on an
+// already-built session: that is the regime where shard count buys
+// throughput.
+//
+// Usage:
+//
+//	icostload [-rate 300] [-duration 2s] [-backends 3] [-sessions 2]
+//	          [-bench bzip] [-trace-len 12000] [-shard-workers 1]
+//	          [-sweep 100,200,400] [-hedge-after 15ms]
+//	          [-perturb spec] [-perturb-seed n] [-json out.json]
+//	icostload -target http://host:8090 [-rate 300] [-duration 2s]
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"icost/internal/engine"
+	"icost/internal/faultinject"
+	"icost/internal/router"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// options holds the harness's parsed flags.
+type options struct {
+	target       string
+	rate         float64
+	duration     time.Duration
+	bench        string
+	traceLen     int
+	sessions     int
+	backends     int
+	shardWorkers int
+	sweep        string
+	service      time.Duration
+	hedgeAfter   time.Duration
+	perturb      string
+	perturbSeed  uint64
+	maxOut       int
+	jsonPath     string
+}
+
+// defineFlags registers every harness flag on fs, separated from run
+// so the flag-audit test can inspect names, defaults and usage text.
+func defineFlags(fs *flag.FlagSet) *options {
+	o := &options{}
+	fs.StringVar(&o.target, "target", "",
+		"base URL of a running icostd or router (empty = in-process benchmark mode)")
+	fs.Float64Var(&o.rate, "rate", 300,
+		"offered request rate per second (open loop, exponential arrivals); must be > 0")
+	fs.DurationVar(&o.duration, "duration", 2*time.Second,
+		"measurement window per load run")
+	fs.StringVar(&o.bench, "bench", "bzip",
+		"benchmark profile for the generated sessions")
+	fs.IntVar(&o.traceLen, "trace-len", 12000,
+		"session trace length (smaller = cheaper warm queries)")
+	fs.IntVar(&o.sessions, "sessions", 4,
+		"distinct warm sessions in the query mix (more sessions spread further across shards)")
+	fs.IntVar(&o.backends, "backends", 3,
+		"in-process cluster shard count (benchmark mode)")
+	fs.IntVar(&o.shardWorkers, "shard-workers", 1,
+		"engine workers per in-process shard")
+	fs.StringVar(&o.sweep, "sweep", "",
+		"comma-separated offered rates for the saturation sweep (empty = 0.5x,1x,2x,4x of -rate)")
+	fs.DurationVar(&o.service, "service", 4*time.Millisecond,
+		"simulated per-query shard service time, injected at engine.exec and held by a shard worker — makes worker capacity (not the shared CPU) the saturation bound, so shard count is measurable on a single-core box (0 = off)")
+	fs.DurationVar(&o.hedgeAfter, "hedge-after", 15*time.Millisecond,
+		"hedge delay for the tail-latency comparison (0 skips the hedging phase)")
+	fs.StringVar(&o.perturb, "perturb", "router.forward:lat=30ms%0.05",
+		"fault-injection spec making some forwards slow for the hedging comparison")
+	fs.Uint64Var(&o.perturbSeed, "perturb-seed", 42,
+		"seed for the perturbation plan (replayable)")
+	fs.IntVar(&o.maxOut, "max-outstanding", 512,
+		"open-loop cap on in-flight requests; arrivals past it are shed and counted")
+	fs.StringVar(&o.jsonPath, "json", "",
+		"write the benchmark report JSON here (e.g. BENCH_shard.json)")
+	return o
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("icostload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	o := defineFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if o.rate <= 0 {
+		fmt.Fprintln(stderr, "icostload: -rate must be > 0")
+		return 2
+	}
+	if o.duration <= 0 {
+		fmt.Fprintln(stderr, "icostload: -duration must be > 0")
+		return 2
+	}
+	if o.sessions < 1 || o.backends < 1 || o.shardWorkers < 1 {
+		fmt.Fprintln(stderr, "icostload: -sessions, -backends and -shard-workers must be >= 1")
+		return 2
+	}
+	if o.maxOut < 1 {
+		fmt.Fprintln(stderr, "icostload: -max-outstanding must be >= 1")
+		return 2
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	if o.target != "" {
+		client := loadClient()
+		res := runLoad(ctx, client, o.target+"/query", queryBodies(o, 256), o.rate, o.duration, o.maxOut)
+		printResult(stdout, "target", res)
+		if o.jsonPath != "" {
+			return writeJSONFile(stderr, o.jsonPath, res)
+		}
+		return 0
+	}
+	rep, err := runBenchmark(ctx, o, stdout)
+	if err != nil {
+		fmt.Fprintln(stderr, "icostload:", err)
+		return 1
+	}
+	if o.jsonPath != "" {
+		if code := writeJSONFile(stderr, o.jsonPath, rep); code != 0 {
+			return code
+		}
+		fmt.Fprintf(stdout, "icostload: wrote %s\n", o.jsonPath)
+	}
+	return 0
+}
+
+func writeJSONFile(stderr io.Writer, path string, v any) int {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "icostload:", err)
+		return 1
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(stderr, "icostload:", err)
+		return 1
+	}
+	return 0
+}
+
+// catNames is the paper's eight idealization categories.
+var catNames = []string{"dl1", "dmiss", "imiss", "bmisp", "win", "bw", "shalu", "lgalu"}
+
+// sessionSpecs returns the distinct session specs in the mix: same
+// benchmark, distinct workload seeds, so every spec builds its own
+// graph but all builds cost the same.
+func sessionSpecs(o *options) []engine.SessionSpec {
+	specs := make([]engine.SessionSpec, o.sessions)
+	for i := range specs {
+		specs[i] = engine.SessionSpec{Bench: o.bench, Seed: uint64(i + 1), TraceLen: o.traceLen}
+	}
+	return specs
+}
+
+// queryBodies builds n distinct warm-query bodies over the session
+// mix: cost and icost ops over random 2–3 category subsets. Distinct
+// subsets mean distinct cache keys, so the shards do real graph work
+// per query. Deterministic (fixed seed) so repeated runs offer the
+// same mix.
+func queryBodies(o *options, n int) [][]byte {
+	rng := rand.New(rand.NewSource(7))
+	specs := sessionSpecs(o)
+	bodies := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		k := 2 + rng.Intn(2)
+		perm := rng.Perm(len(catNames))
+		cats := make([]string, k)
+		for j := 0; j < k; j++ {
+			cats[j] = catNames[perm[j]]
+		}
+		op := "cost"
+		if i%2 == 1 {
+			op = "icost"
+		}
+		body, err := json.Marshal(map[string]any{
+			"session": specs[i%len(specs)],
+			"op":      op,
+			"cats":    cats,
+		})
+		if err != nil {
+			panic(err) // static shape; cannot fail
+		}
+		bodies = append(bodies, body)
+	}
+	return bodies
+}
+
+// result is one load run's outcome.
+type result struct {
+	OfferedRate float64 `json:"offered_rate"`
+	DurationSec float64 `json:"duration_sec"`
+	Sent        int     `json:"sent"`
+	OK          int     `json:"ok"`
+	Errors      int     `json:"errors"`
+	// Backpressure429 counts 429+Retry-After responses: the admission
+	// protocol working, not failures. Each was retried (Retries) up to
+	// the attempt cap; only exhausted retries land in Errors.
+	Backpressure429 int     `json:"backpressure_429"`
+	Retries         int     `json:"retries"`
+	Shed            int     `json:"shed"`
+	AchievedQPS     float64 `json:"achieved_qps"`
+	P50us           int64   `json:"p50_us"`
+	P95us           int64   `json:"p95_us"`
+	P99us           int64   `json:"p99_us"`
+}
+
+// runLoad offers bodies at rate for dur against url and collects the
+// outcome. Open loop: arrivals are scheduled by an exponential clock
+// and never wait for completions; the -max-outstanding cap sheds (and
+// counts) arrivals that would exceed it, so a dead target cannot
+// accumulate unbounded goroutines.
+func runLoad(ctx context.Context, client *http.Client, url string, bodies [][]byte, rate float64, dur time.Duration, maxOut int) result {
+	var (
+		mu   sync.Mutex
+		lats []time.Duration
+		res  result
+	)
+	res.OfferedRate = rate
+	sem := make(chan struct{}, maxOut)
+	var wg sync.WaitGroup
+	rng := rand.New(rand.NewSource(11))
+	start := time.Now()
+	deadline := start.Add(dur)
+	// Arrivals follow an absolute exponential schedule: each sleep
+	// targets the next arrival instant, not a relative gap, so sleep
+	// overshoot never silently deflates the offered rate.
+	next := start
+	for i := 0; ; i++ {
+		next = next.Add(time.Duration(rng.ExpFloat64() / rate * float64(time.Second)))
+		if next.After(deadline) || ctx.Err() != nil {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		res.Sent++
+		select {
+		case sem <- struct{}{}:
+		default:
+			res.Shed++
+			continue
+		}
+		body := bodies[i%len(bodies)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			ok, bp, retries := issue(ctx, client, url, body)
+			lat := time.Since(t0)
+			mu.Lock()
+			res.Backpressure429 += bp
+			res.Retries += retries
+			if ok {
+				res.OK++
+				lats = append(lats, lat)
+			} else {
+				res.Errors++
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	res.DurationSec = elapsed.Seconds()
+	res.AchievedQPS = float64(res.OK) / elapsed.Seconds()
+	res.P50us, res.P95us, res.P99us = percentiles(lats)
+	return res
+}
+
+// issue sends one query, retrying 429 backpressure (honoring
+// Retry-After, capped so a long hint cannot stall the run) up to
+// three attempts. Reports success, how many 429s were seen, and how
+// many retries were spent.
+func issue(ctx context.Context, client *http.Client, url string, body []byte) (ok bool, backpressure, retries int) {
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return false, backpressure, retries
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return false, backpressure, retries
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			backpressure++
+			if attempt >= 2 {
+				return false, backpressure, retries
+			}
+			retries++
+			wait := time.Second
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				wait = time.Duration(secs) * time.Second
+			}
+			if wait > 2*time.Second {
+				wait = 2 * time.Second
+			}
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return false, backpressure, retries
+			}
+			continue
+		}
+		return resp.StatusCode == http.StatusOK, backpressure, retries
+	}
+}
+
+// percentiles returns p50/p95/p99 in microseconds (0s when empty).
+func percentiles(lats []time.Duration) (p50, p95, p99 int64) {
+	if len(lats) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	at := func(q float64) int64 {
+		i := int(q * float64(len(lats)-1))
+		return lats[i].Microseconds()
+	}
+	return at(0.50), at(0.95), at(0.99)
+}
+
+// report is the benchmark-mode output (BENCH_shard.json).
+type report struct {
+	Bench        string `json:"bench"`
+	TraceLen     int    `json:"trace_len"`
+	Sessions     int    `json:"sessions"`
+	Backends     int    `json:"backends"`
+	ShardWorkers int    `json:"shard_workers"`
+	// Repro is the exact command that regenerates this file.
+	Repro string `json:"repro"`
+
+	// SingleNode sweeps a direct (router-free) one-shard daemon;
+	// Cluster sweeps the routed N-shard cluster over the same rates.
+	SingleNode []result `json:"single_node_sweep"`
+	Cluster    []result `json:"cluster_sweep"`
+
+	// SustainedQPS is the best achieved throughput seen anywhere in
+	// each sweep (open-loop achieved rate plateaus at capacity).
+	SingleSustainedQPS  float64 `json:"single_sustained_qps"`
+	ClusterSustainedQPS float64 `json:"cluster_sustained_qps"`
+	Speedup             float64 `json:"cluster_speedup"`
+
+	// Hedging compares routed tail latency under the -perturb
+	// slow-forward injection with hedging off vs on, at -rate.
+	Hedging *hedgeReport `json:"hedging,omitempty"`
+}
+
+type hedgeReport struct {
+	Perturb     string  `json:"perturb"`
+	PerturbSeed uint64  `json:"perturb_seed"`
+	Rate        float64 `json:"rate"`
+	HedgeAfter  string  `json:"hedge_after"`
+	Off         result  `json:"off"`
+	On          result  `json:"on"`
+}
+
+// clusterConfig shapes the in-process shards for warm-query
+// benchmarking: single-digit workers so shard count is the capacity
+// knob, and a near-zero result cache so every query does real graph
+// work instead of a map lookup.
+func clusterConfig(o *options, backends int, hedge time.Duration, hot int) router.ClusterConfig {
+	return router.ClusterConfig{
+		Backends: backends,
+		Engine: engine.Config{
+			Workers:     o.shardWorkers,
+			QueueDepth:  64, // buffer saturation bursts instead of 429-stalling them
+			CacheBytes:  1,  // effectively disable result caching
+			MaxSessions: o.sessions + 1,
+		},
+		Router: router.Config{
+			HedgeAfter:   hedge,
+			HotThreshold: hot,
+			Client:       loadClient(),
+		},
+	}
+}
+
+// loadClient returns an HTTP client fit for thousands of concurrent
+// requests against a handful of hosts — the default transport keeps
+// only two idle connections per host, which turns a load test into a
+// connection-churn test.
+func loadClient() *http.Client {
+	return &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        1024,
+			MaxIdleConnsPerHost: 512,
+		},
+	}
+}
+
+// warm builds every session in the mix through url and fails if any
+// build fails — measurement must start from an all-warm state.
+func warm(ctx context.Context, client *http.Client, url string, o *options) error {
+	for _, spec := range sessionSpecs(o) {
+		body, err := json.Marshal(map[string]any{"session": spec, "op": "exectime"})
+		if err != nil {
+			return err
+		}
+		// A few attempts ride out transient 429s from parallel builds.
+		var last string
+		for attempt := 0; attempt < 5; attempt++ {
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := client.Do(req)
+			if err != nil {
+				return err
+			}
+			msg, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				last = ""
+				break
+			}
+			last = fmt.Sprintf("HTTP %d: %s", resp.StatusCode, msg)
+			time.Sleep(200 * time.Millisecond)
+		}
+		if last != "" {
+			return fmt.Errorf("warming session (bench %s seed %d): %s", spec.Bench, spec.Seed, last)
+		}
+	}
+	return nil
+}
+
+// sweepRates parses -sweep, defaulting to a geometric ladder around
+// -rate.
+func sweepRates(o *options) ([]float64, error) {
+	if o.sweep == "" {
+		return []float64{o.rate / 2, o.rate, o.rate * 2, o.rate * 4}, nil
+	}
+	var rates []float64
+	for _, f := range strings.Split(o.sweep, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -sweep rate %q", f)
+		}
+		rates = append(rates, v)
+	}
+	return rates, nil
+}
+
+// runBenchmark runs the full benchmark-mode protocol: single-node
+// sweep, routed-cluster sweep, hedging comparison.
+func runBenchmark(ctx context.Context, o *options, stdout io.Writer) (*report, error) {
+	rates, err := sweepRates(o)
+	if err != nil {
+		return nil, err
+	}
+	bodies := queryBodies(o, 256)
+	client := loadClient()
+	rep := &report{
+		Bench: o.bench, TraceLen: o.traceLen, Sessions: o.sessions,
+		Backends: o.backends, ShardWorkers: o.shardWorkers,
+		Repro: fmt.Sprintf(
+			"go run ./cmd/icostload -backends %d -shard-workers %d -bench %s -trace-len %d -sessions %d -rate %g -duration %s -sweep %s -service %s -hedge-after %s -perturb %q -perturb-seed %d -json BENCH_shard.json",
+			o.backends, o.shardWorkers, o.bench, o.traceLen, o.sessions,
+			o.rate, o.duration, joinRates(rates), o.service, o.hedgeAfter, o.perturb, o.perturbSeed),
+	}
+
+	svc, err := serviceRules(o)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: direct single shard — no router in the path. The
+	// per-walk service injection arms after warmup (builds are many
+	// walks; slowing them buys nothing) and applies identically to
+	// both sweeps, so the comparison is pure topology.
+	fmt.Fprintf(stdout, "icostload: single-node sweep (direct, 1 shard x %d worker(s), service %s/query)\n",
+		o.shardWorkers, o.service)
+	single, err := router.StartCluster(ctx, clusterConfig(o, 1, 0, 1<<30))
+	if err != nil {
+		return nil, err
+	}
+	direct := single.BackendURLs()[0]
+	if err := warm(ctx, client, direct+"/query", o); err != nil {
+		single.Close()
+		return nil, err
+	}
+	arm(o, svc)
+	for _, rate := range rates {
+		res := runLoad(ctx, client, direct+"/query", bodies, rate, o.duration, o.maxOut)
+		printResult(stdout, "single", res)
+		rep.SingleNode = append(rep.SingleNode, res)
+	}
+	faultinject.Disable()
+	single.Close()
+
+	// Phase 2: routed cluster, same rates. Replication is irrelevant
+	// to the throughput story, so the hot threshold is parked high.
+	fmt.Fprintf(stdout, "icostload: cluster sweep (1 router, %d shards x %d worker(s))\n", o.backends, o.shardWorkers)
+	cl, err := router.StartCluster(ctx, clusterConfig(o, o.backends, 0, 1<<30))
+	if err != nil {
+		return nil, err
+	}
+	if err := warm(ctx, client, cl.RouterURL+"/query", o); err != nil {
+		cl.Close()
+		return nil, err
+	}
+	arm(o, svc)
+	for _, rate := range rates {
+		res := runLoad(ctx, client, cl.RouterURL+"/query", bodies, rate, o.duration, o.maxOut)
+		printResult(stdout, "cluster", res)
+		rep.Cluster = append(rep.Cluster, res)
+	}
+	faultinject.Disable()
+	cl.Close()
+
+	for _, r := range rep.SingleNode {
+		if r.AchievedQPS > rep.SingleSustainedQPS {
+			rep.SingleSustainedQPS = r.AchievedQPS
+		}
+	}
+	for _, r := range rep.Cluster {
+		if r.AchievedQPS > rep.ClusterSustainedQPS {
+			rep.ClusterSustainedQPS = r.AchievedQPS
+		}
+	}
+	if rep.SingleSustainedQPS > 0 {
+		rep.Speedup = rep.ClusterSustainedQPS / rep.SingleSustainedQPS
+	}
+	fmt.Fprintf(stdout, "icostload: sustained qps single=%.0f cluster=%.0f speedup=%.2fx\n",
+		rep.SingleSustainedQPS, rep.ClusterSustainedQPS, rep.Speedup)
+
+	// Phase 3: hedged vs unhedged tail under the slow-forward
+	// perturbation.
+	if o.hedgeAfter > 0 && o.perturb != "" {
+		h, err := hedgeCompare(ctx, o, bodies, client, stdout)
+		if err != nil {
+			return nil, err
+		}
+		rep.Hedging = h
+	}
+	return rep, nil
+}
+
+func joinRates(rates []float64) string {
+	parts := make([]string, len(rates))
+	for i, r := range rates {
+		parts[i] = strconv.FormatFloat(r, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}
+
+// serviceRules builds the per-query service-time injection (empty
+// when -service is 0).
+func serviceRules(o *options) ([]faultinject.Rule, error) {
+	if o.service <= 0 {
+		return nil, nil
+	}
+	return faultinject.ParseSpec(fmt.Sprintf("engine.exec:lat=%s", o.service))
+}
+
+// arm enables the given rules (no-op when empty; any previous plan is
+// replaced).
+func arm(o *options, rules []faultinject.Rule) {
+	if len(rules) > 0 {
+		faultinject.Enable(o.perturbSeed, rules...)
+	}
+}
+
+// hedgeCompare runs the same perturbed load twice — hedging off, then
+// on — against fresh clusters with hot-session replication forced
+// (threshold 1), so the hedged run actually has replicas to race.
+func hedgeCompare(ctx context.Context, o *options, bodies [][]byte, client *http.Client, stdout io.Writer) (*hedgeReport, error) {
+	rules, err := faultinject.ParseSpec(o.perturb)
+	if err != nil {
+		return nil, fmt.Errorf("-perturb: %w", err)
+	}
+	svc, err := serviceRules(o)
+	if err != nil {
+		return nil, err
+	}
+	rules = append(rules, svc...)
+	h := &hedgeReport{
+		Perturb: o.perturb, PerturbSeed: o.perturbSeed,
+		Rate: o.rate, HedgeAfter: o.hedgeAfter.String(),
+	}
+	for _, hedge := range []time.Duration{0, o.hedgeAfter} {
+		cl, err := router.StartCluster(ctx, clusterConfig(o, o.backends, hedge, 1))
+		if err != nil {
+			return nil, err
+		}
+		if err := warm(ctx, client, cl.RouterURL+"/query", o); err != nil {
+			cl.Close()
+			return nil, err
+		}
+		// Replication is async: query each session past the hot
+		// threshold, then wait until the router reports every session
+		// replicated before measuring.
+		if err := awaitReplication(ctx, client, cl.RouterURL, bodies, o.sessions); err != nil {
+			cl.Close()
+			return nil, err
+		}
+		arm(o, rules)
+		res := runLoad(ctx, client, cl.RouterURL+"/query", bodies, o.rate, o.duration, o.maxOut)
+		faultinject.Disable()
+		cl.Close()
+		if hedge == 0 {
+			printResult(stdout, "hedge-off", res)
+			h.Off = res
+		} else {
+			printResult(stdout, "hedge-on", res)
+			h.On = res
+		}
+	}
+	return h, nil
+}
+
+// awaitReplication drives enough queries to mark every session hot,
+// then polls the router's metrics until they all report replicated.
+func awaitReplication(ctx context.Context, client *http.Client, routerURL string, bodies [][]byte, sessions int) error {
+	for _, body := range bodies[:min(8, len(bodies))] {
+		_, _, _ = issue(ctx, client, routerURL+"/query", body)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(routerURL + "/metrics")
+		if err != nil {
+			return err
+		}
+		var snap router.Snapshot
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if snap.ReplicatedSessions >= sessions {
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("sessions did not replicate within 10s (is the hot threshold wired?)")
+}
+
+func printResult(w io.Writer, label string, r result) {
+	fmt.Fprintf(w,
+		"icostload: %-9s rate=%-6.0f achieved=%-7.1f ok=%-6d err=%-4d 429=%-4d shed=%-4d p50=%s p95=%s p99=%s\n",
+		label, r.OfferedRate, r.AchievedQPS, r.OK, r.Errors, r.Backpressure429, r.Shed,
+		time.Duration(r.P50us)*time.Microsecond,
+		time.Duration(r.P95us)*time.Microsecond,
+		time.Duration(r.P99us)*time.Microsecond)
+}

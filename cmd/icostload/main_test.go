@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFlagAudit pins the harness's flag surface, mirroring the icostd
+// and icostfeed audits: every flag exists with the documented default
+// and usage text, and nothing undocumented sneaks in.
+func TestFlagAudit(t *testing.T) {
+	fs := flag.NewFlagSet("icostload", flag.ContinueOnError)
+	defineFlags(fs)
+	want := map[string]struct {
+		def   string
+		usage string
+	}{
+		"target":          {"", "running icostd or router"},
+		"rate":            {"300", "must be > 0"},
+		"duration":        {"2s", "measurement window"},
+		"bench":           {"bzip", "benchmark"},
+		"trace-len":       {"12000", "trace length"},
+		"sessions":        {"4", "shards"},
+		"backends":        {"3", "shard count"},
+		"shard-workers":   {"1", "workers"},
+		"sweep":           {"", "saturation sweep"},
+		"service":         {"4ms", "engine.exec"},
+		"hedge-after":     {"15ms", "hedge"},
+		"perturb":         {"router.forward:lat=30ms%0.05", "fault-injection"},
+		"perturb-seed":    {"42", "seed"},
+		"max-outstanding": {"512", "in-flight"},
+		"json":            {"", "BENCH_shard.json"},
+	}
+	got := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) {
+		got[f.Name] = true
+		w, ok := want[f.Name]
+		if !ok {
+			t.Errorf("undocumented flag -%s (usage %q)", f.Name, f.Usage)
+			return
+		}
+		if f.DefValue != w.def {
+			t.Errorf("-%s default = %q, want %q", f.Name, f.DefValue, w.def)
+		}
+		if !strings.Contains(f.Usage, w.usage) {
+			t.Errorf("-%s usage %q does not mention %q", f.Name, f.Usage, w.usage)
+		}
+	})
+	for name := range want {
+		if !got[name] {
+			t.Errorf("expected flag -%s is not defined", name)
+		}
+	}
+}
+
+// TestRunBadFlags: invalid rates and sizes exit 2 with a message —
+// in particular -rate must be strictly positive (a zero rate would
+// hang the open loop forever, not "load gently").
+func TestRunBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-rate", "0"},
+		{"-rate", "-50"},
+		{"-duration", "0s"},
+		{"-sessions", "0"},
+		{"-backends", "0"},
+		{"-shard-workers", "0"},
+		{"-max-outstanding", "0"},
+		{"-rate", "zap"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("args %v exited %d, want 2", args, code)
+		}
+		if stderr.Len() == 0 {
+			t.Errorf("args %v: no error printed", args)
+		}
+	}
+}
+
+// TestShardBenchGuard is the bench-shard no-regression guard wired
+// into `make bench-shard` and CI: a short in-process run of the real
+// benchmark protocol must show the routed cluster sustaining more
+// warm-query throughput than the single shard, at a comparable p50.
+// Everything is relative within one process, so machine speed never
+// matters; the injected per-query service time makes worker capacity
+// the saturation bound even on a single-core runner.
+func TestShardBenchGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second load run")
+	}
+	if raceEnabled {
+		// Race-detector overhead swamps the injected service time on a
+		// small runner, turning the topology comparison into a CPU
+		// benchmark. CI runs this guard in its own non-race step.
+		t.Skip("shard guard needs un-instrumented timing; run without -race")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	args := []string{
+		"-bench", "bzip", "-trace-len", "4000", "-sessions", "4",
+		"-backends", "3", "-shard-workers", "1",
+		"-duration", "700ms",
+		// 120 req/s sits at ~50% of one shard's 4ms-service capacity;
+		// 420 req/s saturates the single shard (~250/s) but not the
+		// 3-shard cluster (~750/s).
+		"-rate", "120", "-sweep", "120,420", "-service", "4ms",
+		"-hedge-after", "0", // skip the hedging phase; it has its own demo
+		"-json", jsonPath,
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("benchmark run exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, raw)
+	}
+	if len(rep.SingleNode) != 2 || len(rep.Cluster) != 2 {
+		t.Fatalf("sweep shape: %d single, %d cluster runs", len(rep.SingleNode), len(rep.Cluster))
+	}
+	if rep.Repro == "" || !strings.Contains(rep.Repro, "-sweep 120,420") {
+		t.Fatalf("report lacks a usable repro command: %q", rep.Repro)
+	}
+
+	// The regression bar: sharding must buy real throughput at the
+	// saturating rate. The full benchmark shows >= 2x; this short run
+	// keeps a deliberate margin below that so scheduler noise on a
+	// loaded CI box cannot flake the guard while a genuine routing
+	// regression (cluster <= single) still fails loudly.
+	if rep.Speedup < 1.25 {
+		t.Fatalf("cluster speedup %.2fx < 1.25x floor\nsingle: %+v\ncluster: %+v",
+			rep.Speedup, rep.SingleNode, rep.Cluster)
+	}
+	// At the comfortable rate the router's extra hop must not distort
+	// median latency beyond small change: p50 within 3x + 2ms of the
+	// direct path (both are dominated by the injected 4ms service).
+	sp50, cp50 := rep.SingleNode[0].P50us, rep.Cluster[0].P50us
+	if cp50 > 3*sp50+2000 {
+		t.Fatalf("routed p50 %dus vs direct %dus — router hop out of bounds", cp50, sp50)
+	}
+	// The unsaturated run must actually achieve its offered rate on
+	// both topologies (open loop sanity).
+	for _, r := range []result{rep.SingleNode[0], rep.Cluster[0]} {
+		if r.AchievedQPS < 0.7*r.OfferedRate {
+			t.Fatalf("unsaturated run fell short of offered rate: %+v", r)
+		}
+	}
+}

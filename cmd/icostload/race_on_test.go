@@ -1,0 +1,10 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. The shard bench guard skips under -race: detector overhead
+// on a small runner swamps the injected per-query service time, so the
+// sweep would measure instrumentation cost instead of topology. The
+// guard has its own dedicated non-race step in `make ci` and CI.
+const raceEnabled = true

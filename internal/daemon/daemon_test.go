@@ -1,0 +1,149 @@
+package daemon
+
+// Tests for the replication plane — the shard-side HTTP surface the
+// sharding router drives. The error mapping matters as much as the
+// happy path: the router distinguishes "replica runs an older codec"
+// (426, stop pushing) from "bytes damaged in transit" (422, retry),
+// so those statuses are contract, not decoration.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"icost/internal/engine"
+	"icost/internal/fleet"
+	"icost/internal/leakcheck"
+)
+
+// startShard boots one daemon handler over a real engine.
+func startShard(t *testing.T) (*engine.Engine, *httptest.Server) {
+	t.Helper()
+	e := engine.New(engine.Config{Workers: 1})
+	srv := httptest.NewServer(NewHandler(e, fleet.NewAggregator(fleet.Config{}), Options{}))
+	t.Cleanup(func() {
+		srv.Close()
+		e.Close()
+	})
+	return e, srv
+}
+
+// TestReplicationPlaneRoundTrip: /snapshot streams a built session
+// with its install generation in the header, /restore installs it on
+// a second shard, and /sessions reports the copy.
+func TestReplicationPlaneRoundTrip(t *testing.T) {
+	leakcheck.Check(t)
+	e1, srv1 := startShard(t)
+	_, srv2 := startShard(t)
+
+	key, err := e1.Warm(t.Context(), engine.SessionSpec{Bench: "gzip", TraceLen: 3000, Warmup: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv1.URL + "/snapshot?session=" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot pull: status %d, err %v", resp.StatusCode, err)
+	}
+	gen, err := strconv.ParseUint(resp.Header.Get(GenerationHeader), 10, 64)
+	if err != nil || gen == 0 {
+		t.Fatalf("generation header %q unusable: %v", resp.Header.Get(GenerationHeader), err)
+	}
+
+	resp, err = http.Post(srv2.URL+"/restore", "application/octet-stream", bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restore: status %d: %s", resp.StatusCode, out)
+	}
+
+	resp, err = http.Get(srv2.URL + "/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Sessions []engine.SessionInfo `json:"sessions"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&listing)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Sessions) != 1 || listing.Sessions[0].Key != key {
+		t.Fatalf("replica sessions = %+v, want the restored key %s", listing.Sessions, key)
+	}
+	if listing.Sessions[0].Generation != gen {
+		t.Fatalf("replica generation %d, want the primary's %d", listing.Sessions[0].Generation, gen)
+	}
+
+	// Pulling an unbuilt session is a clean 404.
+	resp, err = http.Get(srv1.URL + "/snapshot?session=0000000000000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session snapshot: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestRestoreErrorStatuses: the typed snapshot decode errors map to
+// distinct, router-distinguishable statuses — codec version to 426,
+// checksum damage to 422 — and neither installs anything.
+func TestRestoreErrorStatuses(t *testing.T) {
+	leakcheck.Check(t)
+	e1, srv1 := startShard(t)
+	e2, srv2 := startShard(t)
+
+	key, err := e1.Warm(t.Context(), engine.SessionSpec{Bench: "gzip", TraceLen: 3000, Warmup: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv1.URL + "/snapshot?session=" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot pull: status %d, err %v", resp.StatusCode, err)
+	}
+
+	push := func(raw []byte) int {
+		t.Helper()
+		resp, err := http.Post(srv2.URL+"/restore", "application/octet-stream", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	future := append([]byte(nil), good...)
+	future[4] = 0x7f // codec version byte
+	if got := push(future); got != http.StatusUpgradeRequired {
+		t.Fatalf("future codec version: status %d, want 426", got)
+	}
+
+	damaged := append([]byte(nil), good...)
+	damaged[len(damaged)-1] ^= 0x01
+	if got := push(damaged); got != http.StatusUnprocessableEntity {
+		t.Fatalf("damaged payload: status %d, want 422", got)
+	}
+
+	if m := e2.Metrics(); m.SessionsLive != 0 {
+		t.Fatalf("rejected snapshots left %d live sessions", m.SessionsLive)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"icost/internal/depgraph"
@@ -134,6 +135,12 @@ type Engine struct {
 
 	storeMu sync.Mutex
 	store   *sessionStore
+	// gen numbers completed session installs (builds and snapshot
+	// restores) process-wide. A session's generation changes exactly
+	// when its entry is replaced, so a router can decide whether a
+	// replica's shipped copy is still current by comparing generations
+	// instead of re-shipping bytes.
+	gen atomic.Uint64
 
 	flightMu sync.Mutex
 	flight   map[string]*flight
@@ -400,6 +407,13 @@ func (e *Engine) run(ctx context.Context, j *job) (*Response, error) {
 		e.met.canceled.Add(1)
 		return nil, err
 	}
+	// Fault hook on the worker itself: a latency rule here holds this
+	// worker for its duration, which is how load harnesses pin
+	// per-query service time.
+	if err := faultinject.Hit(ctx, faultinject.EngineExec); err != nil {
+		e.countErr(err)
+		return nil, err
+	}
 	s, err := e.sessionFor(ctx, j.skey, j.q.Session)
 	if err != nil {
 		e.countErr(err)
@@ -456,6 +470,7 @@ func (e *Engine) sessionFor(ctx context.Context, key string, spec SessionSpec) (
 				e.store.drop(key)
 			}
 		} else {
+			entry.gen = e.gen.Add(1)
 			e.met.sessionsBuilt.Add(1)
 			e.met.sessionsEvicted.Add(int64(e.store.evict()))
 		}

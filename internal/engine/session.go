@@ -318,6 +318,11 @@ type sessionEntry struct {
 	ready chan struct{} // closed when build finishes
 	sess  *session      // nil until ready; nil after ready on error
 	err   error
+	// gen is the engine-wide install generation stamped when the build
+	// (or snapshot restore) completes; 0 while building or failed.
+	// Written under the engine's store lock before ready observers can
+	// see the entry complete, read under the same lock.
+	gen uint64
 	// expires, when set on a failed entry, is how long the failure is
 	// served as a negative result before a new query may rebuild.
 	// Written by the builder before ready is closed, read under the

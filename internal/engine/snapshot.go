@@ -230,7 +230,7 @@ func readSnapshot(ctx context.Context, r io.Reader) (*session, error) {
 	switch version {
 	case snapVersion1, snapVersion2:
 	default:
-		return nil, fmt.Errorf("engine: unsupported snapshot version %d", version)
+		return nil, &SnapshotVersionError{Version: version}
 	}
 	var crcb [4]byte
 	if _, err := io.ReadFull(hr, crcb[:]); err != nil {
@@ -244,8 +244,8 @@ func readSnapshot(ctx context.Context, r io.Reader) (*session, error) {
 	if _, err := io.ReadFull(hr, payload); err != nil {
 		return nil, fmt.Errorf("engine: snapshot truncated: %w", err)
 	}
-	if got := crc32.Checksum(payload, snapCRC); got != binary.LittleEndian.Uint32(crcb[:]) {
-		return nil, fmt.Errorf("engine: snapshot checksum mismatch (corrupt file)")
+	if want, got := binary.LittleEndian.Uint32(crcb[:]), crc32.Checksum(payload, snapCRC); got != want {
+		return nil, &SnapshotChecksumError{Want: want, Got: got}
 	}
 
 	br := bufio.NewReader(bytes.NewReader(payload))
@@ -450,10 +450,66 @@ func (e *Engine) installSession(s *session) bool {
 		return false
 	}
 	entry.sess = s
+	entry.gen = e.gen.Add(1)
 	close(entry.ready)
 	e.met.sessionsBuilt.Add(1)
 	e.met.sessionsEvicted.Add(int64(e.store.evict()))
 	return true
+}
+
+// SessionInfo describes one resident, fully built session: its
+// content-hash key, the engine-wide install generation (monotone; a
+// higher generation under the same key means the entry was replaced),
+// and whether it was built through the windowed pipeline.
+type SessionInfo struct {
+	Key        string `json:"key"`
+	Generation uint64 `json:"generation"`
+	Windowed   bool   `json:"windowed,omitempty"`
+}
+
+// Sessions lists the resident built sessions, most recently used
+// first. Entries still building or failed are omitted — only sessions
+// that can be snapshotted appear.
+func (e *Engine) Sessions() []SessionInfo {
+	e.storeMu.Lock()
+	defer e.storeMu.Unlock()
+	var out []SessionInfo
+	for el := e.store.ll.Front(); el != nil; el = el.Next() {
+		entry := el.Value.(*sessionEntry)
+		select {
+		case <-entry.ready:
+			if entry.sess != nil {
+				out = append(out, SessionInfo{
+					Key:        entry.key,
+					Generation: entry.gen,
+					Windowed:   entry.sess.windowed,
+				})
+			}
+		default:
+		}
+	}
+	return out
+}
+
+// SessionGeneration returns the install generation of the built
+// session under key, with ok=false when no completed session is
+// resident.
+func (e *Engine) SessionGeneration(key string) (uint64, bool) {
+	e.storeMu.Lock()
+	defer e.storeMu.Unlock()
+	el, ok := e.store.items[key]
+	if !ok {
+		return 0, false
+	}
+	entry := el.Value.(*sessionEntry)
+	select {
+	case <-entry.ready:
+		if entry.sess != nil {
+			return entry.gen, true
+		}
+	default:
+	}
+	return 0, false
 }
 
 // SaveSnapshots writes every built session to dir, one atomically

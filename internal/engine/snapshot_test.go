@@ -232,6 +232,65 @@ func TestSnapshotRejectsCorruption(t *testing.T) {
 	}
 }
 
+// TestSnapshotTypedErrors pins the two decode failures a replication
+// router must tell apart: a codec-version mismatch (the replica runs
+// an older build — replication to it is pointless until it upgrades)
+// and a checksum mismatch (the bytes were damaged in transit — a
+// retry can succeed). Each must surface as its own typed error, never
+// as the other or as an opaque string.
+func TestSnapshotTypedErrors(t *testing.T) {
+	ctx := context.Background()
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	key, err := e.Warm(ctx, SessionSpec{Bench: "gzip", TraceLen: 3000, Warmup: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := e.SnapshotSession(ctx, key, &snap); err != nil {
+		t.Fatal(err)
+	}
+	good := snap.Bytes()
+
+	restore := func(raw []byte) error {
+		e2 := New(Config{Workers: 1})
+		defer e2.Close()
+		_, err := e2.RestoreSession(ctx, bytes.NewReader(raw))
+		return err
+	}
+
+	// Byte 4 is the codec version in the ICSS frame.
+	future := append([]byte(nil), good...)
+	future[4] = 0x7f
+	err = restore(future)
+	var sver *SnapshotVersionError
+	if !errors.As(err, &sver) {
+		t.Fatalf("unknown version: got %T (%v), want *SnapshotVersionError", err, err)
+	}
+	if sver.Version != 0x7f {
+		t.Fatalf("version error reports %d, want 127", sver.Version)
+	}
+	var scrc *SnapshotChecksumError
+	if errors.As(err, &scrc) {
+		t.Fatalf("version mismatch misreported as checksum error: %v", err)
+	}
+
+	// Damaging the payload (past the 5-byte magic + 4-byte CRC + length
+	// prefix) must fail the CRC, not the version dispatch.
+	damaged := append([]byte(nil), good...)
+	damaged[len(damaged)-1] ^= 0x01
+	err = restore(damaged)
+	if !errors.As(err, &scrc) {
+		t.Fatalf("damaged payload: got %T (%v), want *SnapshotChecksumError", err, err)
+	}
+	if scrc.Want == scrc.Got {
+		t.Fatalf("checksum error carries equal sums: %+v", scrc)
+	}
+	if errors.As(err, &sver) {
+		t.Fatalf("checksum mismatch misreported as version error: %v", err)
+	}
+}
+
 // TestSnapshotLiveSessionWins: restoring a snapshot whose key is
 // already live keeps the live session and reports the key.
 func TestSnapshotLiveSessionWins(t *testing.T) {

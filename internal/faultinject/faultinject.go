@@ -56,6 +56,12 @@ const (
 	GraphWalk Point = "depgraph.walk"
 	// EngineAdmit fires at queue admission, before a job is enqueued.
 	EngineAdmit Point = "engine.admit"
+	// EngineExec fires when a worker picks a query job up, before any
+	// session or analysis work. A latency rule here occupies the
+	// worker for its duration — the knob load harnesses use to pin
+	// per-query service time so shard capacity is measurable
+	// independent of host CPU count.
+	EngineExec Point = "engine.exec"
 	// EngineBuild fires at the top of every session-build attempt
 	// (inside the retry loop, so Count=1 exercises retry-then-succeed).
 	EngineBuild Point = "engine.build"
@@ -75,6 +81,15 @@ const (
 	// FleetSnapshot fires at the top of every session snapshot encode
 	// and decode (engine SnapshotSession / RestoreSession).
 	FleetSnapshot Point = "fleet.snapshot"
+	// RouterForward fires before every request the router proxies to a
+	// backend shard. An error here models the backend dying mid-query
+	// (connection severed); latency models a slow shard, which is what
+	// hedged reads exist to absorb.
+	RouterForward Point = "router.forward"
+	// RouterReplicate fires before every snapshot push the router ships
+	// to a replica backend — a fault models a replica refusing or
+	// corrupting a hot-session copy.
+	RouterReplicate Point = "router.replicate"
 )
 
 // Points returns every defined injection point, for chaos-suite
@@ -82,8 +97,9 @@ const (
 func Points() []Point {
 	return []Point{
 		WorkloadGen, OOOSim, OOOGraph, GraphWalk,
-		EngineAdmit, EngineBuild, EngineCachePut, DaemonQuery,
+		EngineAdmit, EngineExec, EngineBuild, EngineCachePut, DaemonQuery,
 		FleetIngest, FleetMerge, FleetSnapshot,
+		RouterForward, RouterReplicate,
 	}
 }
 

@@ -159,37 +159,10 @@ func WriteStream(w io.Writer, h Header, batches []*profiler.Samples) error {
 // alongside the batches already delivered. The header is valid
 // whenever err is nil or the failure happened after the header
 // parsed.
-//
-//lint:codec-decode icfs
 func ReadStream(r io.Reader, fn func(Header, *profiler.Samples) error) (Header, int, error) {
 	br := bufio.NewReader(r)
-	var h Header
-	var magic [5]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return h, 0, errValidation("fleet: reading stream magic: %v", err)
-	}
-	if [4]byte{magic[0], magic[1], magic[2], magic[3]} != [4]byte{'I', 'C', 'F', 'S'} {
-		return h, 0, errValidation("fleet: bad stream magic %q", magic[:4])
-	}
-	switch magic[4] {
-	case streamVersion1:
-	default:
-		return h, 0, errValidation("fleet: unsupported stream version %d", magic[4])
-	}
-	var err error
-	if h.Binary, err = readString(br); err != nil {
-		return h, 0, err
-	}
-	if h.Seed, err = getUvarint(br, 1<<63); err != nil {
-		return h, 0, err
-	}
-	if h.Group, err = readString(br); err != nil {
-		return h, 0, err
-	}
-	if h.Host, err = readString(br); err != nil {
-		return h, 0, err
-	}
-	if err := h.validate(); err != nil {
+	h, err := readHeader(br)
+	if err != nil {
 		return h, 0, err
 	}
 
@@ -243,6 +216,54 @@ func ReadStream(r io.Reader, fn func(Header, *profiler.Samples) error) (Header, 
 			return h, n, errValidation("fleet: unknown record type %#x", rec)
 		}
 	}
+}
+
+// readHeader decodes the stream magic, version and header from br,
+// leaving it positioned at the first record byte. Both ReadStream and
+// PeekHeader enter the format through it, so the version dispatch
+// lives here.
+//
+//lint:codec-decode icfs
+func readHeader(br *bufio.Reader) (Header, error) {
+	var h Header
+	var magic [5]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return h, errValidation("fleet: reading stream magic: %v", err)
+	}
+	if [4]byte{magic[0], magic[1], magic[2], magic[3]} != [4]byte{'I', 'C', 'F', 'S'} {
+		return h, errValidation("fleet: bad stream magic %q", magic[:4])
+	}
+	switch magic[4] {
+	case streamVersion1:
+	default:
+		return h, errValidation("fleet: unsupported stream version %d", magic[4])
+	}
+	var err error
+	if h.Binary, err = readString(br); err != nil {
+		return h, err
+	}
+	if h.Seed, err = getUvarint(br, 1<<63); err != nil {
+		return h, err
+	}
+	if h.Group, err = readString(br); err != nil {
+		return h, err
+	}
+	if h.Host, err = readString(br); err != nil {
+		return h, err
+	}
+	if err := h.validate(); err != nil {
+		return h, err
+	}
+	return h, nil
+}
+
+// PeekHeader decodes just the stream header from r without touching
+// any batch payload. The sharding router uses it to pick the backend
+// an /ingest body belongs to — the aggregate key is in the header, so
+// routing never pays for sample decoding — before forwarding the
+// unconsumed bytes verbatim.
+func PeekHeader(r io.Reader) (Header, error) {
+	return readHeader(bufio.NewReader(r))
 }
 
 // countWriter measures a canonical re-encoding without keeping it.

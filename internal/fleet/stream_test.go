@@ -51,6 +51,47 @@ func TestStreamRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPeekHeader: the router's routing peek decodes exactly the
+// header — O(header), not O(stream) — agrees with ReadStream, and the
+// peeked-at bytes remain a fully readable stream (the router forwards
+// the body verbatim after peeking a copy).
+func TestPeekHeader(t *testing.T) {
+	h := Header{Binary: "gzip", Seed: 42, Group: "prod", Host: "host-07"}
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, h, []*profiler.Samples{hostBatch(t, "gzip", 42, 7)}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	got, err := PeekHeader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("PeekHeader = %+v, want %+v", got, h)
+	}
+	if got.Key() != h.Key() {
+		t.Fatalf("peeked key %v, want %v", got.Key(), h.Key())
+	}
+
+	// The peek must not require the payload: the header alone, with
+	// every batch byte chopped off, still peeks.
+	rh, _, err := ReadStream(bytes.NewReader(raw), func(Header, *profiler.Samples) error { return nil })
+	if err != nil || rh != h {
+		t.Fatalf("full read after peek: header %+v, err %v", rh, err)
+	}
+	for cut := len(raw) - 1; cut > 64; cut /= 2 {
+		if _, err := PeekHeader(bytes.NewReader(raw[:cut])); err != nil {
+			t.Fatalf("peek of %d-byte prefix failed: %v", cut, err)
+		}
+	}
+
+	// Garbage is a clean error, not a panic.
+	if _, err := PeekHeader(bytes.NewReader([]byte("not a stream"))); err == nil {
+		t.Fatal("PeekHeader accepted garbage")
+	}
+}
+
 func TestStreamHeaderValidation(t *testing.T) {
 	s := hostBatch(t, "gzip", 42, 7)
 	bads := []Header{

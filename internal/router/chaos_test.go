@@ -1,0 +1,245 @@
+package router
+
+// Cluster chaos drills, run under `make chaos`: seeded fault plans
+// and hard backend kills against a live in-process cluster. The two
+// acceptance properties from the sharding design: hedged reads
+// succeed off a replica when the primary dies or stalls, and writes
+// re-route to the key's new owner after the ring update — the client
+// never has to know a shard was lost.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"icost/internal/faultinject"
+	"icost/internal/fleet"
+	"icost/internal/leakcheck"
+	"icost/internal/ooo"
+	"icost/internal/profiler"
+	"icost/internal/workload"
+)
+
+// TestChaosHedgedReadAbsorbsSlowShard: a stalled primary must not set
+// the read's latency. The injected 400ms stall hits the primary
+// forward; the hedge fires at the replica after 10ms and its answer
+// is served while the primary is still sleeping.
+func TestChaosHedgedReadAbsorbsSlowShard(t *testing.T) {
+	leakcheck.Check(t)
+	c := startTestCluster(t, Config{HotThreshold: 1, Replicas: 2, HedgeAfter: 10 * time.Millisecond})
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	key, err := testSpec().Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := testQueryBody(t, "cost", []string{"dmiss"})
+	awaitReplication(t, c, client, body, key)
+
+	// Count:1 pins the stall to the next forward — the primary attempt
+	// of the hedged read (replication pulls use a different point).
+	faultinject.Enable(42, faultinject.Rule{
+		Point:   faultinject.RouterForward,
+		Latency: 400 * time.Millisecond,
+		Count:   1,
+	})
+	defer faultinject.Disable()
+
+	t0 := time.Now()
+	resp, out := post(t, client, c.RouterURL+"/query", body, nil)
+	elapsed := time.Since(t0)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hedged read: status %d: %s", resp.StatusCode, out)
+	}
+	if elapsed >= 300*time.Millisecond {
+		t.Fatalf("hedged read took %v — the primary's injected 400ms stall leaked through", elapsed)
+	}
+	m := c.Router.Metrics()
+	if m.HedgesLaunchedTotal < 1 || m.HedgesWonTotal < 1 {
+		t.Fatalf("hedge accounting after a won race: %+v", m)
+	}
+}
+
+// TestChaosBackendKillStorm: hard-kill the shards holding a
+// replicated hot session, one after the other, while reads flow. No
+// read may fail — first the replica absorbs them (hedge path), then,
+// with both homes dead, the survivor rebuilds the session from its
+// deterministic spec. The storm's arrival jitter is seeded so a
+// failure replays.
+func TestChaosBackendKillStorm(t *testing.T) {
+	leakcheck.Check(t)
+	c := startTestCluster(t, Config{HotThreshold: 1, Replicas: 2, HedgeAfter: 10 * time.Millisecond})
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	key, err := testSpec().Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := testQueryBody(t, "cost", []string{"dmiss"})
+	holders := awaitReplication(t, c, client, body, key)
+	if len(holders) < 2 {
+		t.Fatalf("replica set %v, want >= 2", holders)
+	}
+
+	// Readers hammer the routed session while the storm runs.
+	const readers, perReader = 4, 25
+	var wg sync.WaitGroup
+	errs := make(chan string, readers*perReader)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g))) // seeded storm jitter
+			for i := 0; i < perReader; i++ {
+				resp, out := post(t, client, c.RouterURL+"/query", body, nil)
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Sprintf("reader %d query %d: status %d: %s", g, i, resp.StatusCode, out)
+				}
+				time.Sleep(time.Duration(rng.Intn(4)) * time.Millisecond)
+			}
+		}(g)
+	}
+
+	// Kill both shards that hold the session, mid-stream, in placement
+	// order: first the primary (hedges must win off the replica), then
+	// the replica (reads must fall back to a rebuild on the survivor).
+	time.Sleep(10 * time.Millisecond)
+	c.KillBackend(holders[0])
+	time.Sleep(40 * time.Millisecond)
+	c.KillBackend(holders[1])
+
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if t.Failed() {
+		t.Fatalf("reads failed during the kill storm; metrics %+v", c.Router.Metrics())
+	}
+
+	m := c.Router.Metrics()
+	if m.BackendsLive != 1 || m.BackendsRemovedTotal != 2 {
+		t.Fatalf("ring after storm: %+v", m)
+	}
+	// The survivor rebuilt the session from its spec — deterministic
+	// builds are what make the fallback safe.
+	var survivor int
+	for i := range c.BackendURLs() {
+		if i != holders[0] && i != holders[1] {
+			survivor = i
+		}
+	}
+	if got := shardsHolding(c, key); len(got) != 1 || got[0] != survivor {
+		t.Fatalf("session lives on shards %v, want survivor %d only", got, survivor)
+	}
+}
+
+// chaosBatch simulates one host's run and collects its sample batch
+// (the fleet write payload).
+func chaosBatch(t *testing.T) []byte {
+	t.Helper()
+	const n, warmup = 3000, 1000
+	w, err := workload.Cached("gzip", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := w.Execute(warmup+n, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ooo.Simulate(tr, ooo.DefaultConfig(), ooo.Options{KeepGraph: true, Warmup: warmup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := profiler.Collect(tr, res.Graph, warmup, profiler.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	h := fleet.Header{Binary: "gzip", Seed: 5, Group: "storm", Host: "host-0"}
+	if err := fleet.WriteStream(&buf, h, []*profiler.Samples{s}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestChaosIngestReroutesAfterKill: fleet writes are single-homed, so
+// killing the aggregate's owner shard must move the key to its ring
+// successor — the next ingest lands there and queries follow, without
+// the client seeing the ring update.
+func TestChaosIngestReroutesAfterKill(t *testing.T) {
+	leakcheck.Check(t)
+	c := startTestCluster(t, Config{HotThreshold: 1 << 30})
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	batch := chaosBatch(t)
+	ingest := func() (*http.Response, []byte) {
+		req, err := http.NewRequest(http.MethodPost, c.RouterURL+"/ingest", bytes.NewReader(batch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]byte, 0)
+		if b, rerr := readAll(resp); rerr == nil {
+			out = b
+		}
+		return resp, out
+	}
+
+	resp, out := ingest()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first ingest: status %d: %s", resp.StatusCode, out)
+	}
+	h := fleet.Header{Binary: "gzip", Seed: 5, Group: "storm", Host: "host-0"}
+	owner := c.Router.ring.Lookup(fleetRouteKey(h.Key()))
+	ownerIdx := -1
+	for i, u := range c.BackendURLs() {
+		if u == owner {
+			ownerIdx = i
+		}
+	}
+	if ownerIdx < 0 {
+		t.Fatalf("owner %q is not a cluster backend", owner)
+	}
+
+	c.KillBackend(ownerIdx)
+
+	// The write re-routes: the transport failure evicts the dead owner
+	// and the retry lands the batch on the key's new successor.
+	resp, out = ingest()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest after owner kill: status %d: %s", resp.StatusCode, out)
+	}
+	newOwner := c.Router.ring.Lookup(fleetRouteKey(h.Key()))
+	if newOwner == owner || newOwner == "" {
+		t.Fatalf("key still owned by %q after the kill", newOwner)
+	}
+
+	// Reads follow the same placement, so the relocated aggregate
+	// answers through the router.
+	qbody := []byte(`{"fleet":{"binary":"gzip","seed":5,"group":"storm","op":"cost","cats":["dl1"]}}`)
+	qresp, qout := post(t, client, c.RouterURL+"/query", qbody, nil)
+	if qresp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet query after re-route: status %d: %s", qresp.StatusCode, qout)
+	}
+	m := c.Router.Metrics()
+	if m.BackendsRemovedTotal != 1 || m.RetriesTotal < 1 {
+		t.Fatalf("re-route accounting: %+v", m)
+	}
+}
+
+// readAll drains and closes a response body.
+func readAll(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}

@@ -1,0 +1,84 @@
+package router
+
+import "sync/atomic"
+
+// metrics is the router's observability state; everything is atomic so
+// the proxy hot path never takes a lock to count.
+type metrics struct {
+	queriesRouted atomic.Int64
+	ingestRouted  atomic.Int64
+	quotaRejects  atomic.Int64
+
+	hedgesLaunched atomic.Int64
+	hedgesWon      atomic.Int64
+
+	replications      atomic.Int64
+	replicationErrors atomic.Int64
+
+	backendErrors   atomic.Int64
+	backendsRemoved atomic.Int64
+	retries         atomic.Int64
+}
+
+// Snapshot is the router's /metrics payload.
+type Snapshot struct {
+	// QueriesRoutedTotal and IngestRoutedTotal count requests the
+	// router forwarded to a backend (after quota admission).
+	QueriesRoutedTotal int64 `json:"router_queries_routed_total"`
+	IngestRoutedTotal  int64 `json:"router_ingest_routed_total"`
+	// QuotaRejectsTotal counts requests refused 429 by the per-tenant
+	// admission layer (before any backend saw them).
+	QuotaRejectsTotal int64 `json:"router_quota_rejects_total"`
+
+	// HedgesLaunchedTotal counts hedge requests fired after the
+	// primary exceeded HedgeAfter; HedgesWonTotal counts hedges whose
+	// response was used (the primary lost the race or failed).
+	HedgesLaunchedTotal int64 `json:"router_hedges_launched_total"`
+	HedgesWonTotal      int64 `json:"router_hedges_won_total"`
+
+	// ReplicationsTotal counts hot-session snapshots successfully
+	// installed on a replica shard; ReplicationErrorsTotal counts
+	// pull/push attempts that failed (version, checksum, transport).
+	ReplicationsTotal      int64 `json:"router_replications_total"`
+	ReplicationErrorsTotal int64 `json:"router_replication_errors_total"`
+
+	// BackendErrorsTotal counts transport-level forward failures;
+	// BackendsRemovedTotal counts backends evicted from the ring after
+	// such a failure. RetriesTotal counts re-forwards after a ring
+	// update (the "writes re-route" path).
+	BackendErrorsTotal   int64 `json:"router_backend_errors_total"`
+	BackendsRemovedTotal int64 `json:"router_backends_removed_total"`
+	RetriesTotal         int64 `json:"router_retries_total"`
+
+	// BackendsLive is the current ring size; ReplicatedSessions the
+	// number of sessions with at least two known homes (hedgeable).
+	BackendsLive       int `json:"router_backends_live"`
+	ReplicatedSessions int `json:"router_replicated_sessions"`
+}
+
+// Metrics snapshots the router's observability state.
+func (rt *Router) Metrics() Snapshot {
+	m := &rt.metrics
+	rt.mu.Lock()
+	replicated := 0
+	for _, homes := range rt.homes {
+		if len(homes) >= 2 {
+			replicated++
+		}
+	}
+	rt.mu.Unlock()
+	return Snapshot{
+		QueriesRoutedTotal:     m.queriesRouted.Load(),
+		IngestRoutedTotal:      m.ingestRouted.Load(),
+		QuotaRejectsTotal:      m.quotaRejects.Load(),
+		HedgesLaunchedTotal:    m.hedgesLaunched.Load(),
+		HedgesWonTotal:         m.hedgesWon.Load(),
+		ReplicationsTotal:      m.replications.Load(),
+		ReplicationErrorsTotal: m.replicationErrors.Load(),
+		BackendErrorsTotal:     m.backendErrors.Load(),
+		BackendsRemovedTotal:   m.backendsRemoved.Load(),
+		RetriesTotal:           m.retries.Load(),
+		BackendsLive:           rt.ring.Len(),
+		ReplicatedSessions:     replicated,
+	}
+}

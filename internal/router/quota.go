@@ -1,0 +1,83 @@
+package router
+
+import (
+	"sync"
+	"time"
+)
+
+// quotas is the router's per-tenant admission layer: a token bucket
+// per tenant name (the X-Icost-Tenant header, "default" when absent)
+// refilled at Rate tokens/s up to Burst. It sits ABOVE the backends'
+// own 429 backpressure: the shard queue bound protects the process,
+// the tenant quota protects tenants from each other — one dashboard
+// refreshing in a loop cannot starve every other tenant's queries out
+// of the shared shard queues.
+type quotas struct {
+	rate  float64 // tokens per second; <= 0 disables the layer
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxTenants bounds the bucket map: a client inventing tenant names
+// must not grow router memory without bound. Past the cap, the oldest
+// idle buckets are dropped — a dropped tenant just starts from a full
+// bucket again, which errs toward admitting.
+const maxTenants = 4096
+
+func newQuotas(rate float64, burst int) *quotas {
+	if burst < 1 {
+		burst = 1
+	}
+	return &quotas{rate: rate, burst: float64(burst), buckets: map[string]*bucket{}}
+}
+
+// allow spends one token from tenant's bucket. When the bucket is
+// empty it reports false plus how long until a token accrues — the
+// Retry-After hint.
+func (q *quotas) allow(tenant string, now time.Time) (bool, time.Duration) {
+	if q.rate <= 0 {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, ok := q.buckets[tenant]
+	if !ok {
+		if len(q.buckets) >= maxTenants {
+			q.evictIdle(now)
+		}
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[tenant] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * q.rate
+	b.last = now
+	if b.tokens > q.burst {
+		b.tokens = q.burst
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / q.rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
+
+// evictIdle drops buckets idle long enough to have refilled — their
+// state is indistinguishable from a fresh bucket. Called under q.mu.
+func (q *quotas) evictIdle(now time.Time) {
+	full := time.Duration(q.burst / q.rate * float64(time.Second))
+	for name, b := range q.buckets {
+		if now.Sub(b.last) >= full {
+			delete(q.buckets, name)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package router makes icostd horizontally scalable: a routing front
+// end consistent-hashes session and fleet-aggregate keys across N
+// backend icostd shards, replicates hot sessions to R shards by
+// shipping ICSS snapshots (read scaling without rebuilds), hedges
+// reads against slow replicas with a cancel-on-first-win race, and
+// layers per-tenant admission quotas on top of the shards' own 429
+// backpressure.
+//
+// The paper's shotgun profiler (§5) is a fleet design: millions of
+// hosts stream samples, and every (binary, host-group) aggregate and
+// every built session is an independent unit of state. That
+// independence is what sharding exploits — the aggregation keys ARE
+// the routing keys, so no query ever spans shards.
+//
+// Correctness leans on a property the engine already guarantees:
+// session builds are deterministic (a content-hashed spec builds
+// bit-identically anywhere). Routing therefore never risks wrong
+// answers — a key served by the "wrong" shard costs a duplicate
+// build, not a divergent result — which is also why the bounded-load
+// ring may spill a session past its primary when the primary is
+// saturated.
+package router
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// RingConfig sizes the consistent-hash ring. Zero fields take
+// defaults.
+type RingConfig struct {
+	// VNodes is the number of virtual nodes per backend (default 128).
+	// More vnodes smooth the key distribution at the cost of a larger
+	// sorted point array.
+	VNodes int
+	// LoadFactor bounds per-backend load under Acquire: no backend is
+	// handed more than ceil(LoadFactor * mean) concurrent acquisitions
+	// (default 1.25, the classic bounded-load setting).
+	LoadFactor float64
+}
+
+func (c RingConfig) withDefaults() RingConfig {
+	if c.VNodes <= 0 {
+		c.VNodes = 128
+	}
+	if c.LoadFactor <= 1 {
+		c.LoadFactor = 1.25
+	}
+	return c
+}
+
+// Ring is a consistent-hash ring with bounded load. Placement
+// (Lookup/LookupN) is deterministic across processes — two rings
+// built from the same backend set agree on every key, regardless of
+// insertion order — because positions come from FNV-1a over
+// backend-name#vnode, never from process state. Acquire adds load
+// awareness on top: it walks clockwise from the key's position and
+// skips backends at their load cap, so one hot key range cannot bury
+// one shard while its neighbors idle.
+type Ring struct {
+	cfg RingConfig
+
+	mu     sync.Mutex
+	points []ringPoint    // sorted by hash
+	load   map[string]int // in-flight acquisitions per backend
+	total  int            // sum of load
+}
+
+type ringPoint struct {
+	hash    uint64
+	backend string
+}
+
+// NewRing builds a ring over the given backends.
+func NewRing(cfg RingConfig, backends ...string) *Ring {
+	r := &Ring{cfg: cfg.withDefaults(), load: map[string]int{}}
+	for _, b := range backends {
+		r.Add(b)
+	}
+	return r
+}
+
+// hashKey positions a key (or vnode label) on the ring. Raw FNV-1a
+// mixes low bits well but leaves the high bits of short, similar
+// strings (vnode labels differ in a digit or two) strongly correlated
+// — fatal for a ring ordered by the full 64-bit value, where the top
+// bits decide the arc. The splitmix64 finalizer avalanches every
+// input bit across the word.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts a backend's virtual nodes. Reports false if the backend
+// is already present.
+func (r *Ring) Add(backend string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.load[backend]; ok {
+		return false
+	}
+	r.load[backend] = 0
+	for i := 0; i < r.cfg.VNodes; i++ {
+		r.points = append(r.points, ringPoint{
+			hash:    hashKey(backend + "#" + strconv.Itoa(i)),
+			backend: backend,
+		})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return true
+}
+
+// Remove deletes a backend (a killed shard) from the ring. Keys it
+// owned fall to their clockwise successors — the minimal-movement
+// property in reverse. Reports false if the backend was not present.
+func (r *Ring) Remove(backend string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.load[backend]; !ok {
+		return false
+	}
+	r.total -= r.load[backend]
+	delete(r.load, backend)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.backend != backend {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return true
+}
+
+// Backends returns the live backend set, sorted.
+func (r *Ring) Backends() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.load))
+	for b := range r.load {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of live backends.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.load)
+}
+
+// succ returns the index of the first point with hash >= h (wrapping).
+func (r *Ring) succ(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Lookup returns the key's primary backend: the owner of the first
+// virtual node clockwise from the key's position. Pure placement — no
+// load accounting — used for state that must stay single-homed (fleet
+// aggregates, whose merges accumulate on one shard).
+func (r *Ring) Lookup(key string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.succ(hashKey(key))].backend
+}
+
+// LookupN returns the key's first n distinct backends in clockwise
+// order — the replica set, primary first. Fewer are returned when the
+// ring holds fewer than n backends.
+func (r *Ring) LookupN(key string, n int) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.load) {
+		n = len(r.load)
+	}
+	out := make([]string, 0, n)
+	seen := map[string]bool{}
+	for i, start := 0, r.succ(hashKey(key)); len(out) < n && i < len(r.points); i++ {
+		b := r.points[(start+i)%len(r.points)].backend
+		if !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Acquire picks the key's backend under the load bound: the first
+// backend clockwise from the key whose in-flight load is below
+// ceil(LoadFactor * mean-after-this-acquisition). The returned
+// release function must be called when the request completes.
+// Pigeonhole guarantees a backend under the cap always exists, so
+// Acquire only fails ("" backend, nil release) on an empty ring.
+func (r *Ring) Acquire(key string) (string, func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.points) == 0 {
+		return "", nil
+	}
+	// cap = ceil(f * (total+1)/n): admitting this request raises total,
+	// so the bound is computed against the post-admission mean.
+	n := len(r.load)
+	capacity := int(r.cfg.LoadFactor*float64(r.total+1)/float64(n)) + 1
+	start := r.succ(hashKey(key))
+	var pick string
+	seen := map[string]bool{}
+	for i := 0; i < len(r.points) && pick == ""; i++ {
+		b := r.points[(start+i)%len(r.points)].backend
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		if r.load[b] < capacity {
+			pick = b
+		}
+	}
+	if pick == "" {
+		// Unreachable by pigeonhole, but a frozen router would be worse
+		// than a briefly unbalanced one.
+		pick = r.points[start].backend
+	}
+	r.load[pick]++
+	r.total++
+	var once sync.Once
+	return pick, func() {
+		once.Do(func() {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			if _, ok := r.load[pick]; ok {
+				r.load[pick]--
+				r.total--
+			}
+		})
+	}
+}
+
+// Loads snapshots the in-flight load per backend (tests and the
+// router's /metrics).
+func (r *Ring) Loads() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int, len(r.load))
+	for b, l := range r.load {
+		out[b] = l
+	}
+	return out
+}

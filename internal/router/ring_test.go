@@ -1,0 +1,224 @@
+package router
+
+// Property tests for the bounded-load consistent-hash ring: placement
+// determinism across insertion orders, distribution balance, minimal
+// key movement under Add/Remove, and the bounded-load cap under
+// Acquire. These are the invariants the routing tier's correctness
+// story leans on (see the package comment).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// testBackends fabricates n shard URLs the way StartCluster would.
+func testBackends(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8090", i+1)
+	}
+	return out
+}
+
+// testKeys fabricates session-route keys shaped like production keys.
+func testKeys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("session|%016x", i*0x9e3779b9)
+	}
+	return out
+}
+
+// TestRingDeterministicPlacement: two rings over the same backend set
+// agree on every key regardless of insertion order — placement is a
+// pure function of (backend set, key), never of process history. This
+// is what lets an independently restarted router resume routing
+// without moving any keys.
+func TestRingDeterministicPlacement(t *testing.T) {
+	backends := testBackends(5)
+	a := NewRing(RingConfig{}, backends...)
+
+	shuffled := append([]string(nil), backends...)
+	rng := rand.New(rand.NewSource(3))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	b := NewRing(RingConfig{}, shuffled...)
+
+	for _, k := range testKeys(2000) {
+		if ba, bb := a.Lookup(k), b.Lookup(k); ba != bb {
+			t.Fatalf("insertion order changed placement of %q: %s vs %s", k, ba, bb)
+		}
+		na, nb := a.LookupN(k, 3), b.LookupN(k, 3)
+		if len(na) != 3 || len(nb) != 3 {
+			t.Fatalf("LookupN(%q, 3) returned %v / %v", k, na, nb)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("replica set order for %q differs: %v vs %v", k, na, nb)
+			}
+		}
+	}
+}
+
+// TestRingBalance: with the default 128 vnodes, no backend owns a
+// wildly outsized share of the key space. Consistent hashing is not
+// perfectly uniform, so the bound is a sanity envelope (max under 2x
+// the mean, every backend non-empty), not a uniformity claim — the
+// bounded-load Acquire path is what enforces the hard cap.
+func TestRingBalance(t *testing.T) {
+	backends := testBackends(5)
+	r := NewRing(RingConfig{}, backends...)
+	keys := testKeys(10000)
+	counts := map[string]int{}
+	for _, k := range keys {
+		counts[r.Lookup(k)]++
+	}
+	mean := float64(len(keys)) / float64(len(backends))
+	for _, b := range backends {
+		c := counts[b]
+		if c == 0 {
+			t.Fatalf("backend %s owns no keys: %v", b, counts)
+		}
+		if float64(c) > 2*mean {
+			t.Fatalf("backend %s owns %d of %d keys (mean %.0f): %v",
+				b, c, len(keys), mean, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement: adding a backend moves only keys that land
+// on the newcomer — every other key keeps its owner — and the moved
+// fraction is in the neighborhood of 1/(n+1). Removing it restores
+// the original placement exactly.
+func TestRingMinimalMovement(t *testing.T) {
+	backends := testBackends(4)
+	r := NewRing(RingConfig{}, backends...)
+	keys := testKeys(5000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Lookup(k)
+	}
+
+	const newcomer = "http://10.0.0.99:8090"
+	if !r.Add(newcomer) {
+		t.Fatal("Add(newcomer) = false")
+	}
+	moved := 0
+	for _, k := range keys {
+		after := r.Lookup(k)
+		if after == before[k] {
+			continue
+		}
+		moved++
+		if after != newcomer {
+			t.Fatalf("key %q moved %s -> %s, not to the new backend", k, before[k], after)
+		}
+	}
+	// Expect ~1/(n+1) = 20% of keys to move; allow a wide band since
+	// vnode placement is hash-lumpy.
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.05 || frac > 0.40 {
+		t.Fatalf("adding 1 of 5 backends moved %.1f%% of keys, want roughly 20%%", 100*frac)
+	}
+
+	if !r.Remove(newcomer) {
+		t.Fatal("Remove(newcomer) = false")
+	}
+	for _, k := range keys {
+		if got := r.Lookup(k); got != before[k] {
+			t.Fatalf("key %q did not return to %s after Remove (got %s)", k, before[k], got)
+		}
+	}
+	if r.Remove(newcomer) {
+		t.Fatal("second Remove of the same backend reported true")
+	}
+}
+
+// TestRingLookupNDistinct: the replica set is distinct backends in
+// clockwise order, led by the primary, and clamps to the ring size.
+func TestRingLookupNDistinct(t *testing.T) {
+	r := NewRing(RingConfig{}, testBackends(3)...)
+	for _, k := range testKeys(500) {
+		set := r.LookupN(k, 5)
+		if len(set) != 3 {
+			t.Fatalf("LookupN(%q, 5) on 3 backends returned %v", k, set)
+		}
+		if set[0] != r.Lookup(k) {
+			t.Fatalf("replica set %v not led by primary %s", set, r.Lookup(k))
+		}
+		seen := map[string]bool{}
+		for _, b := range set {
+			if seen[b] {
+				t.Fatalf("duplicate backend in replica set %v", set)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+// TestRingBoundedLoad: holding acquisitions without releasing, no
+// backend is ever loaded past ceil(LoadFactor * mean) + 1 — a hot key
+// range spills to clockwise neighbors instead of burying one shard.
+func TestRingBoundedLoad(t *testing.T) {
+	backends := testBackends(4)
+	r := NewRing(RingConfig{LoadFactor: 1.25}, backends...)
+
+	// All acquisitions use keys from one tiny hot range (same primary).
+	hot := testKeys(1)[0]
+	var releases []func()
+	for i := 0; i < 200; i++ {
+		b, rel := r.Acquire(hot)
+		if b == "" {
+			t.Fatal("Acquire failed on a live ring")
+		}
+		releases = append(releases, rel)
+		total := 0
+		for _, l := range r.Loads() {
+			total += l
+		}
+		capacity := int(1.25*float64(total)/float64(len(backends))) + 1
+		for backend, l := range r.Loads() {
+			if l > capacity {
+				t.Fatalf("after %d acquisitions backend %s holds %d > cap %d: %v",
+					i+1, backend, l, capacity, r.Loads())
+			}
+		}
+	}
+	// Under the cap, one key cannot be single-homed at this volume:
+	// the spill must have spread load across several backends.
+	busy := 0
+	for _, l := range r.Loads() {
+		if l > 0 {
+			busy++
+		}
+	}
+	if busy < len(backends) {
+		t.Fatalf("200 held acquisitions of one hot key spread to only %d of %d backends: %v",
+			busy, len(backends), r.Loads())
+	}
+
+	for _, rel := range releases {
+		rel()
+		rel() // release is idempotent
+	}
+	for b, l := range r.Loads() {
+		if l != 0 {
+			t.Fatalf("load on %s is %d after releasing everything", b, l)
+		}
+	}
+}
+
+// TestRingEmpty: the zero-backend ring refuses lookups and
+// acquisitions instead of panicking.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(RingConfig{})
+	if got := r.Lookup("k"); got != "" {
+		t.Fatalf("Lookup on empty ring = %q", got)
+	}
+	if got := r.LookupN("k", 2); got != nil {
+		t.Fatalf("LookupN on empty ring = %v", got)
+	}
+	if b, rel := r.Acquire("k"); b != "" || rel != nil {
+		t.Fatalf("Acquire on empty ring = %q", b)
+	}
+}
