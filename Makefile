@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-batch bench-cold bench-fleet bench-graph bench-shard chaos fuzz fmt vet lint ci
+.PHONY: build test race bench bench-batch bench-cold bench-fleet bench-graph bench-sens bench-shard chaos fuzz fmt vet lint ci
 
 # Seconds-per-target budget for the fuzz smoke; CI uses the default.
 FUZZTIME ?= 5s
@@ -71,6 +71,21 @@ bench-graph:
 	$(GO) test -run='^$$' -bench='BenchmarkForwardWalk|BenchmarkBackwardWalk|BenchmarkBatchEval' -benchmem -benchtime=$(GRAPH_BENCHTIME) -count=3 ./internal/depgraph/
 	$(GO) test -run='TestWarmPathNoRegression' -count=1 ./internal/depgraph/
 
+# bench-sens: the parametric-sensitivity numbers BENCH_sens.json
+# tracks — curve-evaluation throughput (all eight categories over the
+# default α grid in one batched walk) plus the refutation harness's
+# measured model-vs-simulator error envelope. The second step is the
+# no-regression gate CI leans on: TestRefuteEnvelopeGuard re-runs the
+# harness and fails if any knob's relative error exceeds the recorded
+# envelope (regenerate deliberately with REFUTE_WRITE=1). CI runs the
+# benchmark with SENS_BENCHTIME=1x as a smoke; use the 2s default for
+# numbers worth recording.
+SENS_BENCHTIME ?= 2s
+
+bench-sens:
+	$(GO) test -run='^$$' -bench='BenchmarkSensitivityCurves' -benchmem -benchtime=$(SENS_BENCHTIME) ./internal/cost/
+	$(GO) test -run='TestRefuteEnvelopeGuard' -count=1 ./internal/refute/
+
 # bench-shard: the horizontal-scaling numbers BENCH_shard.json tracks
 # — saturation sweeps of a direct single shard vs the routed 3-shard
 # cluster, plus the hedged-vs-unhedged tail comparison under a seeded
@@ -123,4 +138,5 @@ lint: vet
 ci: fmt lint build race chaos bench
 	$(MAKE) bench-fleet FLEET_BENCHTIME=1x
 	$(MAKE) bench-graph GRAPH_BENCHTIME=1x
+	$(MAKE) bench-sens SENS_BENCHTIME=1x
 	$(GO) test -run='TestShardBenchGuard' -count=1 ./cmd/icostload/

@@ -36,6 +36,7 @@ func TestFlagAudit(t *testing.T) {
 		"query-timeout": {"30s", "deadline"},
 		"fleet-mb":      {"64", "aggregate"},
 		"snapshot-dir":  {"", "snapshots"},
+		"envelope":      {"", "BENCH_sens.json"},
 		"faults":        {"", "fault-injection"},
 		"fault-seed":    {"1", "seed"},
 

@@ -59,9 +59,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -97,6 +99,7 @@ type options struct {
 	queryTimeout time.Duration
 	fleetMB      int
 	snapshotDir  string
+	envelope     string
 	faults       string
 	faultSeed    uint64
 
@@ -132,6 +135,8 @@ func defineFlags(fs *flag.FlagSet) *options {
 		"fleet aggregate sample pool budget in MiB (coldest aggregates evicted past it)")
 	fs.StringVar(&o.snapshotDir, "snapshot-dir", "",
 		"directory for durable session snapshots: restored at startup, saved at drain (empty = off)")
+	fs.StringVar(&o.envelope, "envelope", "",
+		"path to a BENCH_sens.json accuracy envelope to advertise on sensitivity responses (empty = none)")
 	fs.StringVar(&o.faults, "faults", "",
 		"fault-injection spec, e.g. engine.build:err%0.5,icostd.query:lat=50ms (testing only)")
 	fs.Uint64Var(&o.faultSeed, "fault-seed", 1,
@@ -203,6 +208,17 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		}
 	}
 
+	var accuracy map[string]float64
+	if o.envelope != "" {
+		acc, err := loadEnvelope(o.envelope)
+		if err != nil {
+			fmt.Fprintln(stderr, "icostd: -envelope:", err)
+			return 2
+		}
+		accuracy = acc
+		fmt.Fprintf(stdout, "icostd: advertising accuracy envelope from %s (%d knobs)\n", o.envelope, len(acc))
+	}
+
 	e := engine.New(engine.Config{
 		Workers:      o.workers,
 		QueueDepth:   o.queue,
@@ -210,6 +226,7 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		MaxSessions:  o.sessions,
 		QueryTimeout: o.queryTimeout,
 		Lanes:        o.lanes,
+		Accuracy:     accuracy,
 	})
 	agg := fleet.NewAggregator(fleet.Config{MaxBytes: int64(o.fleetMB) << 20})
 
@@ -393,4 +410,30 @@ func newHandler(e *engine.Engine, agg *fleet.Aggregator, pprofOn bool, ready *at
 // (see daemon.WriteQueryError).
 func writeQueryError(w http.ResponseWriter, err error) {
 	daemon.WriteQueryError(w, err)
+}
+
+// loadEnvelope reads the accuracy envelope out of a BENCH_sens.json
+// file (written by internal/refute's REFUTE_WRITE mode). Only the
+// "envelope" member matters here; the rest of the file is the
+// refutation harness's record keeping.
+func loadEnvelope(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f struct {
+		Envelope map[string]float64 `json:"envelope"`
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(f.Envelope) == 0 {
+		return nil, fmt.Errorf("%s has no envelope member", path)
+	}
+	for knob, v := range f.Envelope {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%s: knob %q has invalid bound %v", path, knob, v)
+		}
+	}
+	return f.Envelope, nil
 }

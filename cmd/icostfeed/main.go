@@ -37,7 +37,6 @@ import (
 	"os"
 	"runtime"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -46,6 +45,7 @@ import (
 	"icost/internal/fleet"
 	"icost/internal/ooo"
 	"icost/internal/profiler"
+	"icost/internal/retryafter"
 	"icost/internal/workload"
 )
 
@@ -249,11 +249,8 @@ func postRetry(client *http.Client, url, contentType string, body []byte) (resp 
 			return resp, backpressure, retries, nil
 		}
 		wait := time.Second
-		if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs > 0 {
-			wait = time.Duration(secs) * time.Second
-		}
-		if wait > 2*time.Second {
-			wait = 2 * time.Second
+		if d, ok := retryafter.Parse(resp.Header.Get("Retry-After"), time.Now(), 2*time.Second); ok {
+			wait = d
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()

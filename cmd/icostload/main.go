@@ -52,6 +52,7 @@ import (
 
 	"icost/internal/engine"
 	"icost/internal/faultinject"
+	"icost/internal/retryafter"
 	"icost/internal/router"
 )
 
@@ -331,11 +332,8 @@ func issue(ctx context.Context, client *http.Client, url string, body []byte) (o
 			}
 			retries++
 			wait := time.Second
-			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-				wait = time.Duration(secs) * time.Second
-			}
-			if wait > 2*time.Second {
-				wait = 2 * time.Second
+			if d, ok := retryafter.Parse(resp.Header.Get("Retry-After"), time.Now(), 2*time.Second); ok {
+				wait = d
 			}
 			select {
 			case <-time.After(wait):

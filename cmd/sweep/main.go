@@ -7,11 +7,19 @@
 //
 //	sweep [-bench name] [-n insts] [-warmup insts] [-seed s]
 //	      [-windows 64,128,256] [-dl1s 1,2,4] [-wakeups 0,1] [-costs]
+//	sweep -sensitivity [-cats dl1,dmiss,...] [-alphas 0,0.25,0.5,0.75,1]
 //
 // The default reproduces Figure 3: window sizes crossed with dl1
 // latencies. With -costs, each point also keeps its dependence graph
 // and prints the top per-category costs (one batched graph walk per
 // point), showing how the bottleneck mix shifts across the sweep.
+//
+// With -sensitivity the machine sweep is replaced by a parametric one
+// that needs no re-simulation: the baseline machine is simulated once,
+// and per-category response curves (execution time vs the latency
+// scale factor α) are evaluated on its dependence graph in one batched
+// walk per category set — the graph-model counterpart of rebuilding
+// the machine at every point.
 package main
 
 import (
@@ -49,6 +57,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dl1s    = fs.String("dl1s", "1,4", "dl1 latencies")
 		wakeups = fs.String("wakeups", "0", "extra issue-wakeup latencies")
 		costs   = fs.Bool("costs", false, "print top per-category costs at each point (keeps the graph, batched evaluation)")
+		sens    = fs.Bool("sensitivity", false, "print per-category sensitivity curves from one baseline graph instead of sweeping machines")
+		catsArg = fs.String("cats", "", "sensitivity categories, comma-separated (default: all eight)")
+		alphas  = fs.String("alphas", "0,0.25,0.5,0.75,1", "sensitivity α grid in [0,1]")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -56,6 +67,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "sweep:", err)
 		return 1
+	}
+
+	if *sens {
+		if err := runSensitivity(stdout, *bench, *n, *warmup, *seed, *catsArg, *alphas); err != nil {
+			return fail(err)
+		}
+		return 0
 	}
 
 	ws, err := parseInts(*windows)
@@ -143,6 +161,64 @@ func topCosts(res *ooo.Result, cats []breakdown.Category, masks []depgraph.Flags
 		parts = append(parts, fmt.Sprintf("%s %.1f%%", r.name, r.pct))
 	}
 	return strings.Join(parts, ", "), nil
+}
+
+// runSensitivity simulates the baseline machine once and prints one
+// response curve per category: execution time and recovered cost at
+// every grid α, all evaluated on the baseline dependence graph.
+func runSensitivity(stdout io.Writer, bench string, n, warmup int, seed uint64, catsArg, alphasArg string) error {
+	names := depgraph.FlagNames()
+	if catsArg != "" {
+		names = nil
+		for _, c := range strings.Split(catsArg, ",") {
+			c = strings.TrimSpace(c)
+			if _, ok := depgraph.FlagByName(c); !ok {
+				return fmt.Errorf("unknown category %q (have %s)", c, strings.Join(depgraph.FlagNames(), ","))
+			}
+			names = append(names, c)
+		}
+	}
+	var grid []depgraph.Alpha
+	for _, f := range strings.Split(alphasArg, ",") {
+		x, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return fmt.Errorf("bad alpha list %q: %w", alphasArg, err)
+		}
+		if x < 0 || x > 1 {
+			return fmt.Errorf("alpha %v outside [0,1]", x)
+		}
+		grid = append(grid, depgraph.AlphaOf(x))
+	}
+
+	cfg := experiments.Config{TraceLen: n, Warmup: warmup, Seed: seed}
+	tr, err := experiments.LoadTrace(cfg, bench)
+	if err != nil {
+		return err
+	}
+	res, err := ooo.Simulate(tr, ooo.DefaultConfig(), ooo.Options{Warmup: warmup, KeepGraph: true})
+	if err != nil {
+		return err
+	}
+	a := cost.New(res.Graph)
+	cats := make([]depgraph.Flags, len(names))
+	for i, c := range names {
+		cats[i], _ = depgraph.FlagByName(c)
+	}
+	curves, err := a.SensitivityCtx(context.Background(), cats, grid)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "benchmark %s (%d instructions after %d warmup), base %d cycles\n",
+		bench, n, warmup, a.BaseTime())
+	fmt.Fprintln(stdout, "category  alpha  cycles     cost     cost%")
+	for _, c := range curves {
+		for _, p := range c.Points {
+			fmt.Fprintf(stdout, "%-8s  %5.2f  %-9d  %-7d  %5.1f%%\n",
+				c.Name, p.Alpha, p.Time, p.Cost, 100*float64(p.Cost)/float64(a.BaseTime()))
+		}
+	}
+	return nil
 }
 
 func parseInts(s string) ([]int, error) {

@@ -49,6 +49,41 @@ func TestSmallSweep(t *testing.T) {
 	}
 }
 
+func TestSensitivitySweep(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-bench", "gzip", "-n", "1500", "-warmup", "800",
+		"-sensitivity", "-cats", "dmiss,bmisp", "-alphas", "0,0.5,1"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "category") || !strings.Contains(out, "alpha") {
+		t.Fatalf("missing curve header:\n%s", out)
+	}
+	// 2 categories x 3 grid points plus two header lines.
+	if lines := strings.Count(strings.TrimSpace(out), "\n") + 1; lines != 8 {
+		t.Fatalf("want 8 lines, got %d:\n%s", lines, out)
+	}
+	// α=1 rows recover nothing by construction.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "1.00") && !strings.Contains(line, "  0.0%") {
+			t.Fatalf("α=1 row with nonzero cost: %q", line)
+		}
+	}
+
+	// Bad inputs surface as errors, not silent defaults.
+	for _, args := range [][]string{
+		{"-sensitivity", "-cats", "nosuch"},
+		{"-sensitivity", "-alphas", "0,2"},
+		{"-sensitivity", "-alphas", "0,x"},
+	} {
+		var so, se bytes.Buffer
+		if code := run(append([]string{"-bench", "gzip", "-n", "1500", "-warmup", "800"}, args...), &so, &se); code != 1 {
+			t.Fatalf("%v: exit %d, want 1", args, code)
+		}
+	}
+}
+
 func TestParseInts(t *testing.T) {
 	got, err := parseInts(" 1, 2,3 ")
 	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {

@@ -68,7 +68,23 @@ type Analyzer struct {
 	memo    map[depgraph.Flags]int64
 	flight  map[depgraph.Flags]*evalFlight
 	setMemo map[[sha256.Size]byte]int64
-	onBatch func(lanes int)
+	// scaledMemo memoizes global parametric idealizations by flags
+	// plus canonical scale vector — the α-aware sibling of memo.
+	// Misses are batch-evaluated (SensitivityCtx) or evaluated inline
+	// (execTimeSet); concurrent misses may duplicate a walk but always
+	// store identical values, so no flight tracking is needed.
+	scaledMemo map[scaledKey]int64
+	onBatch    func(lanes int)
+}
+
+// scaledKey is the memo identity of a global parametric idealization:
+// the selected categories plus the canonical scale vector (entries of
+// unselected categories zeroed, values clamped), so two idealizations
+// differing only in scale never collide and two differing only on
+// ignored entries always coincide.
+type scaledKey struct {
+	f depgraph.Flags
+	s depgraph.ScaleVec
 }
 
 // evalFlight is one in-progress evaluation shared by every goroutine
@@ -132,9 +148,10 @@ func NewFromBatchFunc(eval func(depgraph.Flags) int64,
 func newAnalyzer(g *depgraph.Graph, eval func(context.Context, depgraph.Flags) (int64, error)) *Analyzer {
 	return &Analyzer{
 		g: g, eval: eval,
-		memo:    map[depgraph.Flags]int64{},
-		flight:  map[depgraph.Flags]*evalFlight{},
-		setMemo: map[[sha256.Size]byte]int64{},
+		memo:       map[depgraph.Flags]int64{},
+		flight:     map[depgraph.Flags]*evalFlight{},
+		setMemo:    map[[sha256.Size]byte]int64{},
+		scaledMemo: map[scaledKey]int64{},
 	}
 }
 
@@ -371,24 +388,50 @@ func (a *Analyzer) MustICost(sets ...depgraph.Flags) int64 {
 }
 
 // setKey is the memo identity of a per-instruction event set: a
-// SHA-256 digest of the effective flag vector (Of(i) for every i), so
-// two Ideals that idealize the same events — regardless of how the
-// flags are split between Global and PerInst — share one entry.
+// SHA-256 digest of the effective flag vector (Of(i) for every i)
+// followed by the canonical scale entries of the categories the set
+// touches. Two Ideals that idealize the same events at the same scale
+// — regardless of how the flags are split between Global and PerInst,
+// or what the scale vector says about untouched categories — share
+// one entry; two differing only in α never collide.
 func (a *Analyzer) setKey(id depgraph.Ideal) [sha256.Size]byte {
 	n := a.g.Len()
-	buf := make([]byte, 2*n)
+	buf := make([]byte, 2*n+2*depgraph.NumFlags)
+	var used depgraph.Flags
 	for i := 0; i < n; i++ {
-		binary.LittleEndian.PutUint16(buf[2*i:], uint16(id.Of(i)))
+		f := id.Of(i)
+		used |= f
+		binary.LittleEndian.PutUint16(buf[2*i:], uint16(f))
+	}
+	canon := depgraph.CanonScale(used, id.Scale)
+	for b := 0; b < depgraph.NumFlags; b++ {
+		binary.LittleEndian.PutUint16(buf[2*n+2*b:], uint16(canon[b]))
 	}
 	return sha256.Sum256(buf)
 }
 
 // execTimeSet returns the memoized execution time of an arbitrary
-// event set. Global-only sets share the whole-category memo;
-// per-instruction sets are memoized by their effective-vector hash.
+// event set. Global binary sets share the whole-category memo, global
+// parametric sets the scaled memo; per-instruction sets are memoized
+// by their effective-vector hash (which covers the scale).
 func (a *Analyzer) execTimeSet(id depgraph.Ideal) int64 {
 	if id.PerInst == nil {
-		return a.ExecTime(id.Global)
+		canon := depgraph.CanonScale(id.Global, id.Scale)
+		if canon.IsZero() {
+			return a.ExecTime(id.Global)
+		}
+		key := scaledKey{f: id.Global, s: canon}
+		a.mu.Lock()
+		t, ok := a.scaledMemo[key]
+		a.mu.Unlock()
+		if ok {
+			return t
+		}
+		t = a.g.ExecTime(depgraph.Ideal{Global: id.Global, Scale: canon})
+		a.mu.Lock()
+		a.scaledMemo[key] = t
+		a.mu.Unlock()
+		return t
 	}
 	key := a.setKey(id)
 	a.mu.Lock()
@@ -438,6 +481,15 @@ func (a *Analyzer) ICostSets(sets ...depgraph.Ideal) int64 {
 			}
 			s := sets[j]
 			id.Global |= s.Global
+			// Scales merge entry-wise by max: disjoint sets own
+			// disjoint categories, so each entry comes from the one
+			// set that selects it. Callers mixing scaled and binary
+			// sets over the same category get the larger α.
+			for b := 0; b < depgraph.NumFlags; b++ {
+				if s.Scale[b] > id.Scale[b] {
+					id.Scale[b] = s.Scale[b]
+				}
+			}
 			if s.PerInst != nil {
 				if id.PerInst == nil {
 					id.PerInst = make([]depgraph.Flags, n)

@@ -318,7 +318,7 @@ func TestMemoization(t *testing.T) {
 }
 
 // benchGraph simulates a benchmark and returns its graph.
-func benchGraph(t *testing.T, name string, n int) *depgraph.Graph {
+func benchGraph(t testing.TB, name string, n int) *depgraph.Graph {
 	t.Helper()
 	tr, err := workload.Load(name, 1, n)
 	if err != nil {

@@ -1,0 +1,151 @@
+package cost
+
+// Sensitivity curves: the parametric generalization of cost. Where
+// cost(S) answers "how much faster with S fully idealized", a
+// response curve samples execution time at intermediate scale factors
+// α ∈ [0,1] of S's latency — the sensitivity/causality methodology of
+// the related work (Pompougnac, Dutilleul et al.), grafted onto the
+// paper's graph model. A curve whose time falls linearly in α marks a
+// resource squarely on the critical path; a flat-then-cliff shape
+// marks one hiding behind another bottleneck until the scale crosses
+// it — exactly the distinction interaction costs quantify pairwise,
+// read here along one axis.
+
+import (
+	"context"
+	"fmt"
+
+	"icost/internal/depgraph"
+)
+
+// CurvePoint is one grid sample of a response curve: the execution
+// time with the curve's categories scaled to α, and the cost
+// (base − time) that idealization level recovers.
+type CurvePoint struct {
+	Alpha float64 `json:"alpha"`
+	Time  int64   `json:"time"`
+	Cost  int64   `json:"cost"`
+}
+
+// Curve is the response of execution time to scaling one event
+// category set's latency by α, sampled on a grid. Points are in grid
+// order; Cost at α=0 equals the binary cost of Flags, Cost at α=1 is
+// zero.
+type Curve struct {
+	Name   string         `json:"name"`
+	Flags  depgraph.Flags `json:"-"`
+	Points []CurvePoint   `json:"points"`
+}
+
+// SensitivityCtx returns one response curve per category set in cats,
+// sampled at every α in grid. All uncached (category, α) samples are
+// evaluated in one batched multi-lane graph walk; binary endpoints
+// (α=0) ride the whole-category memo, so a sensitivity query after a
+// breakdown reuses its evaluations, and repeated queries are pure
+// memo reads. Only graph-backed analyzers can evaluate parametric
+// idealizations; function backends (windowed sessions use a subset
+// table) get an error, not a panic — the engine surfaces it as an
+// unsupported-operation response.
+func (a *Analyzer) SensitivityCtx(ctx context.Context, cats []depgraph.Flags, grid []depgraph.Alpha) ([]Curve, error) {
+	if a.g == nil {
+		return nil, fmt.Errorf("cost: sensitivity requires a graph-backed analyzer")
+	}
+	if len(cats) == 0 || len(grid) == 0 {
+		return nil, fmt.Errorf("cost: sensitivity needs at least one category and one grid point")
+	}
+	for _, f := range cats {
+		if f == 0 {
+			return nil, fmt.Errorf("cost: empty category in sensitivity query")
+		}
+	}
+
+	// Resolve every (category, α) sample to its memo identity. A
+	// canonically zero scale means every selected category sits at
+	// α=0 — the binary zero-out — and the flags memo owns the entry.
+	type sample struct {
+		key    scaledKey
+		binary bool
+	}
+	samples := make([]sample, 0, len(cats)*len(grid))
+	for _, f := range cats {
+		for _, al := range grid {
+			s := depgraph.CanonScale(f, depgraph.ScaleUniform(f, al))
+			samples = append(samples, sample{key: scaledKey{f: f, s: s}, binary: s.IsZero()})
+		}
+	}
+
+	// Collect scaled misses under the lock, then evaluate them in one
+	// batched walk. Concurrent callers may race to evaluate the same
+	// key; both walks are deterministic, so the double write is
+	// harmless.
+	binFlags := []depgraph.Flags{0}
+	a.mu.Lock()
+	onBatch := a.onBatch
+	var miss []scaledKey
+	missSeen := make(map[scaledKey]bool)
+	for _, sm := range samples {
+		if sm.binary {
+			binFlags = append(binFlags, sm.key.f)
+			continue
+		}
+		if _, ok := a.scaledMemo[sm.key]; ok || missSeen[sm.key] {
+			continue
+		}
+		missSeen[sm.key] = true
+		miss = append(miss, sm.key)
+	}
+	a.mu.Unlock()
+	if len(miss) > 0 {
+		ids := make([]depgraph.Ideal, len(miss))
+		for i, k := range miss {
+			ids[i] = depgraph.Ideal{Global: k.f, Scale: k.s}
+		}
+		times, err := a.g.EvalBatch(ctx, ids)
+		if err != nil {
+			return nil, err
+		}
+		if onBatch != nil {
+			onBatch(len(ids))
+		}
+		a.mu.Lock()
+		for i, k := range miss {
+			a.scaledMemo[k] = times[i]
+		}
+		a.mu.Unlock()
+	}
+	if err := a.PrewarmCtx(ctx, binFlags); err != nil {
+		return nil, err
+	}
+	base, err := a.ExecTimeCtx(ctx, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	curves := make([]Curve, len(cats))
+	si := 0
+	for ci, f := range cats {
+		c := Curve{Name: f.String(), Flags: f, Points: make([]CurvePoint, len(grid))}
+		for gi, al := range grid {
+			sm := samples[si]
+			si++
+			var t int64
+			if sm.binary {
+				if t, err = a.ExecTimeCtx(ctx, f); err != nil {
+					return nil, err
+				}
+			} else {
+				a.mu.Lock()
+				t = a.scaledMemo[sm.key]
+				a.mu.Unlock()
+			}
+			c.Points[gi] = CurvePoint{Alpha: al.Float(), Time: t, Cost: base - t}
+		}
+		curves[ci] = c
+	}
+	return curves, nil
+}
+
+// DefaultGrid is the standard five-point sensitivity grid.
+func DefaultGrid() []depgraph.Alpha {
+	return []depgraph.Alpha{0, depgraph.AlphaOf(0.25), depgraph.AlphaOf(0.5), depgraph.AlphaOf(0.75), depgraph.AlphaOne}
+}

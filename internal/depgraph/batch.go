@@ -160,17 +160,22 @@ func (g *Graph) evalChunk(ctx context.Context, width int, ids []Ideal, out []int
 		}
 		lanes = pad
 	}
-	global := true
+	global, scaled := true, false
 	for k := range lanes {
 		if lanes[k].PerInst != nil {
 			global = false
-			break
+		}
+		if !lanes[k].Scale.IsZero() {
+			scaled = true
 		}
 	}
 	var err error
-	if global {
+	switch {
+	case scaled:
+		err = g.evalLanesScaled(ctx, lanes, sc)
+	case global:
 		err = g.evalLanesGlobal(ctx, lanes, sc)
-	} else {
+	default:
 		err = g.evalLanesGeneric(ctx, lanes, sc)
 	}
 	if err != nil {

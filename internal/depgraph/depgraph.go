@@ -120,6 +120,13 @@ func FlagNames() []string { return flagNames[:] }
 type Ideal struct {
 	Global  Flags
 	PerInst []Flags
+	// Scale assigns each selected category a scale factor α (see
+	// scale.go): instead of removing the category outright, its
+	// latency contribution is multiplied by α ∈ [0,1]. The zero value
+	// is all-α=0 — the binary zero-out — so every existing Ideal
+	// keeps its exact meaning. Entries of unselected categories are
+	// ignored.
+	Scale ScaleVec
 }
 
 // Of returns the effective flags for instruction i.
@@ -479,6 +486,9 @@ func (g *Graph) runInto(ctx context.Context, id Ideal, t *Times) error {
 		if err := faultinject.Hit(ctx, faultinject.GraphWalk); err != nil {
 			return err
 		}
+	}
+	if !id.Scale.IsZero() {
+		return g.runScaled(ctx, id, t)
 	}
 	if id.PerInst == nil {
 		return g.runGlobal(ctx, id.Global, t)

@@ -91,6 +91,9 @@ func (e Edge) String() string {
 // under the given idealization. The enumeration matches exactly the
 // constraints evaluated by ExecTime.
 func (g *Graph) InEdges(i int, id Ideal) []Edge {
+	if !id.Scale.IsZero() {
+		return g.inEdgesScaled(i, id)
+	}
 	f := id.Of(i)
 	cfg := &g.Cfg
 	var out []Edge

@@ -107,6 +107,9 @@ func (g *Graph) latestInto(ctx context.Context, id Ideal, t *Times, l *Latest) e
 			return err
 		}
 	}
+	if !id.Scale.IsZero() {
+		return g.latestIntoScaled(ctx, id, t, l)
+	}
 	n := g.Len()
 	lD, lR, lE, lP, lC := l.D, l.R, l.E, l.P, l.C
 	for i := 0; i < n; i++ {

@@ -142,6 +142,15 @@ type WindowEval struct {
 	flags []Flags
 	lanes []laneConsts
 
+	// scaled marks an evaluator built from parametric lanes
+	// (NewWindowEvalIdeals with a nonzero scale somewhere): Feed then
+	// runs the multiplier kernel over slanes instead of the binary
+	// kernel over lanes. Every scaled effective window stays within
+	// [Window, Window×WindowIdealFactor], so the carry depth and the
+	// exactness argument above hold unchanged.
+	scaled bool
+	slanes []scaledLane
+
 	carry int   // K: emission clamp horizon, ring history depth
 	rmask int64 // ring index mask (ring size - 1, power of two)
 
@@ -179,6 +188,35 @@ func NewWindowEval(cfg Config, flags []Flags) (*WindowEval, error) {
 	return we, nil
 }
 
+// NewWindowEvalIdeals builds an evaluator whose lanes may carry
+// parametric scale factors. Lanes must be global: windowed folds have
+// no per-instruction identity to apply a mask against.
+func NewWindowEvalIdeals(cfg Config, ids []Ideal) (*WindowEval, error) {
+	flags := make([]Flags, len(ids))
+	scaled := false
+	for k := range ids {
+		if ids[k].PerInst != nil {
+			return nil, fmt.Errorf("depgraph: windowed evaluation lanes must be global (lane %d has a per-instruction mask)", k)
+		}
+		flags[k] = ids[k].Global
+		if !ids[k].Scale.IsZero() {
+			scaled = true
+		}
+	}
+	we, err := NewWindowEval(cfg, flags)
+	if err != nil {
+		return nil, err
+	}
+	if scaled {
+		we.scaled = true
+		we.slanes = make([]scaledLane, len(ids))
+		for k := range ids {
+			we.slanes[k] = scaledLaneOf(&we.cfg, ids[k].Global, ids[k].Scale)
+		}
+	}
+	return we, nil
+}
+
 // Lanes returns the evaluator's idealization lanes in order.
 func (we *WindowEval) Lanes() []Flags { return we.flags }
 
@@ -201,6 +239,17 @@ func (we *WindowEval) Feed(win *Window) error {
 	if win.Lo != we.n {
 		return fmt.Errorf("depgraph: window starts at %d, evaluator at %d", win.Lo, we.n)
 	}
+	if we.scaled {
+		we.feedScaled(win)
+	} else {
+		we.feedBinary(win)
+	}
+	we.n += int64(win.N)
+	return nil
+}
+
+// feedBinary is the fold kernel for binary (zero-out) lanes.
+func (we *WindowEval) feedBinary(win *Window) {
 	cfg := &we.cfg
 	L := int64(len(we.lanes))
 	D, P, C := we.d, we.p, we.c
@@ -331,8 +380,6 @@ func (we *WindowEval) Feed(win *Window) error {
 			cRow[w] = c
 		}
 	}
-	we.n += int64(win.N)
-	return nil
 }
 
 // refRow converts a Lo-relative reference into a ring row offset, or

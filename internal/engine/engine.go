@@ -76,6 +76,12 @@ type Config struct {
 	// a power of two up to 64). Pure throughput knob: it never changes
 	// results and is excluded from session identity and snapshots.
 	Lanes int
+	// Accuracy, when set, is the advertised model-vs-simulator
+	// relative-error envelope per knob (the measured bound committed
+	// to BENCH_sens.json by internal/refute). It is attached verbatim
+	// to sensitivity responses so clients can judge how literally to
+	// read a curve; the engine never interprets it.
+	Accuracy map[string]float64
 }
 
 func (c Config) withDefaults() Config {
@@ -419,7 +425,7 @@ func (e *Engine) run(ctx context.Context, j *job) (*Response, error) {
 		e.countErr(err)
 		return nil, err
 	}
-	resp, err := execute(ctx, j.q, s)
+	resp, err := e.execute(ctx, j.q, s)
 	if err != nil {
 		e.countErr(err)
 		return nil, err

@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"icost/internal/breakdown"
 	"icost/internal/cost"
 	"icost/internal/depgraph"
+	"icost/internal/window"
 )
 
 // Op names a query kind.
@@ -33,6 +35,10 @@ const (
 	OpSlack Op = "slack"
 	// OpMatrix: all-pairs interaction-cost matrix over Cats.
 	OpMatrix Op = "matrix"
+	// OpSensitivity: per-category response curves — execution time vs
+	// the scale factor α applied to each category's latency, sampled
+	// at the query's Alphas grid.
+	OpSensitivity Op = "sensitivity"
 )
 
 // Query is one analysis request against a session.
@@ -50,6 +56,12 @@ type Query struct {
 	Cats []string `json:"cats,omitempty"`
 	// Focus is the breakdown focus category (default "dl1").
 	Focus string `json:"focus,omitempty"`
+	// Alphas is the sensitivity sample grid in [0,1] (sensitivity op
+	// only; default {0, 0.25, 0.5, 0.75, 1}). Values are quantized to
+	// the model's fixed-point α resolution, sorted and deduplicated
+	// during normalization, so grids that quantize identically share
+	// one cache entry and one flight.
+	Alphas []float64 `json:"alphas,omitempty"`
 }
 
 // SlackSummary is the aggregate the slack query returns (the
@@ -77,10 +89,11 @@ type Response struct {
 	// parallel).
 	Interaction string `json:"interaction,omitempty"`
 
-	Breakdown *breakdown.Focused `json:"breakdown,omitempty"`
-	Full      *breakdown.Full    `json:"full,omitempty"`
-	Matrix    *breakdown.Matrix  `json:"matrix,omitempty"`
-	Slack     *SlackSummary      `json:"slack,omitempty"`
+	Breakdown   *breakdown.Focused `json:"breakdown,omitempty"`
+	Full        *breakdown.Full    `json:"full,omitempty"`
+	Matrix      *breakdown.Matrix  `json:"matrix,omitempty"`
+	Slack       *SlackSummary      `json:"slack,omitempty"`
+	Sensitivity *SensitivityResult `json:"sensitivity,omitempty"`
 
 	// Windowed reports that the session was built through the
 	// bounded-memory long-trace pipeline: Windows is the number of
@@ -97,11 +110,21 @@ type Response struct {
 	Elapsed time.Duration `json:"elapsed_ns"`
 }
 
+// SensitivityResult is the sensitivity op's payload: one response
+// curve per queried category, sampled at the normalized α grid, plus
+// the advertised model-accuracy envelope (Config.Accuracy) when the
+// operator configured one.
+type SensitivityResult struct {
+	Alphas   []float64          `json:"alphas"`
+	Curves   []cost.Curve       `json:"curves"`
+	Accuracy map[string]float64 `json:"accuracy,omitempty"`
+}
+
 // normalize validates the query and resolves defaults. It does not
 // touch the session spec (normalized separately).
 func (q Query) normalize() (Query, error) {
 	switch q.Op {
-	case OpCost, OpICost, OpExecTime, OpBreakdown, OpFull, OpSlack, OpMatrix:
+	case OpCost, OpICost, OpExecTime, OpBreakdown, OpFull, OpSlack, OpMatrix, OpSensitivity:
 	case "":
 		return q, errValidation("engine: query needs an op")
 	default:
@@ -122,7 +145,7 @@ func (q Query) normalize() (Query, error) {
 		if len(q.Cats) < 2 {
 			return q, errValidation("engine: icost query needs at least two categories")
 		}
-	case OpBreakdown, OpFull, OpMatrix:
+	case OpBreakdown, OpFull, OpMatrix, OpSensitivity:
 		if len(q.Cats) == 0 {
 			q.Cats = depgraph.FlagNames()
 		}
@@ -130,8 +153,33 @@ func (q Query) normalize() (Query, error) {
 			return q, errValidation("engine: full breakdown limited to 12 categories, got %d", len(q.Cats))
 		}
 	}
+	if q.Op == OpSensitivity {
+		if len(q.Alphas) == 0 {
+			q.Alphas = []float64{0, 0.25, 0.5, 0.75, 1}
+		}
+		// Quantize to the model's fixed-point resolution, then sort and
+		// deduplicate: the canonical grid is part of the cache key, and
+		// curves are reported in ascending α.
+		quant := make([]float64, 0, len(q.Alphas))
+		for _, x := range q.Alphas {
+			if x < 0 || x > 1 {
+				return q, errValidation("engine: sensitivity alpha %v outside [0,1]", x)
+			}
+			quant = append(quant, depgraph.AlphaOf(x).Float())
+		}
+		sort.Float64s(quant)
+		dedup := quant[:1]
+		for _, x := range quant[1:] {
+			if x != dedup[len(dedup)-1] {
+				dedup = append(dedup, x)
+			}
+		}
+		q.Alphas = dedup
+	} else {
+		q.Alphas = nil
+	}
 	switch q.Op {
-	case OpCost, OpExecTime, OpICost, OpMatrix:
+	case OpCost, OpExecTime, OpICost, OpMatrix, OpSensitivity:
 		// Canonical category order: the cost/exectime union is a set,
 		// and icost and the all-pairs matrix are permutation-invariant
 		// (paper §2.2), so icost(b,a) must hit the cache entry and
@@ -161,7 +209,16 @@ func (q Query) normalize() (Query, error) {
 // permutation-invariant icost/matrix lists), so the key is a plain
 // join.
 func (q Query) key(sessionKey string) string {
-	return sessionKey + "|" + string(q.Op) + "|" + strings.Join(q.Cats, ",") + "|" + q.Focus
+	k := sessionKey + "|" + string(q.Op) + "|" + strings.Join(q.Cats, ",") + "|" + q.Focus
+	if len(q.Alphas) > 0 {
+		// Already quantized, sorted and deduplicated by normalize.
+		parts := make([]string, len(q.Alphas))
+		for i, x := range q.Alphas {
+			parts[i] = strconv.FormatFloat(x, 'g', -1, 64)
+		}
+		k += "|" + strings.Join(parts, ",")
+	}
+	return k
 }
 
 // flagsOf resolves category names; union=true ORs them into one set.
@@ -193,7 +250,7 @@ func catsOf(names []string) []breakdown.Category {
 
 // execute answers a normalized query against a built session. It runs
 // on an engine worker; ctx carries the client's cancellation.
-func execute(ctx context.Context, q Query, s *session) (*Response, error) {
+func (e *Engine) execute(ctx context.Context, q Query, s *session) (*Response, error) {
 	a := s.analyzer
 	resp := &Response{
 		Op:         q.Op,
@@ -245,6 +302,26 @@ func execute(ctx context.Context, q Query, s *session) (*Response, error) {
 			return nil, err
 		}
 		resp.Matrix = m
+	case OpSensitivity:
+		grid := make([]depgraph.Alpha, len(q.Alphas))
+		for i, x := range q.Alphas {
+			grid[i] = depgraph.AlphaOf(x)
+		}
+		var curves []cost.Curve
+		var err error
+		if s.windowed {
+			curves, err = e.windowedSensitivity(ctx, s, q.Cats, grid)
+		} else {
+			curves, err = a.SensitivityCtx(ctx, flagsOf(q.Cats), grid)
+		}
+		if err != nil {
+			return nil, err
+		}
+		resp.Sensitivity = &SensitivityResult{
+			Alphas:   q.Alphas,
+			Curves:   curves,
+			Accuracy: e.cfg.Accuracy,
+		}
 	case OpSlack:
 		if s.windowed {
 			// Slack needs per-instruction forward/backward passes over a
@@ -277,4 +354,49 @@ func execute(ctx context.Context, q Query, s *session) (*Response, error) {
 		return nil, fmt.Errorf("engine: unhandled op %q", q.Op)
 	}
 	return resp, nil
+}
+
+// windowedSensitivity answers a sensitivity query for a windowed
+// session, which holds no graph: the trace is re-folded through the
+// bounded-memory pipeline with one parametric lane per (category, α)
+// sample. The fold is bit-identical to a whole-graph walk, so
+// windowed and whole-graph sessions over the same microexecution
+// return identical curves. Cost of the re-fold is one streaming pass;
+// the engine's result cache memoizes the response like any other.
+func (e *Engine) windowedSensitivity(ctx context.Context, s *session, cats []string, grid []depgraph.Alpha) ([]cost.Curve, error) {
+	flags := flagsOf(cats)
+	ids := make([]depgraph.Ideal, 0, len(flags)*len(grid))
+	for _, f := range flags {
+		if f == 0 {
+			return nil, errValidation("engine: empty category in sensitivity query")
+		}
+		for _, a := range grid {
+			ids = append(ids, depgraph.Ideal{Global: f, Scale: depgraph.ScaleUniform(f, a)})
+		}
+	}
+	spec := s.spec
+	wres, err := window.AnalyzeIdeals(ctx, window.Request{
+		Bench:       spec.Bench,
+		Seed:        spec.Seed,
+		TraceLen:    spec.TraceLen,
+		Warmup:      spec.Warmup,
+		WindowInsts: spec.WindowInsts,
+		Sim:         spec.machine(e.cfg.Lanes),
+	}, ids)
+	if err != nil {
+		return nil, err
+	}
+	base := s.analyzer.BaseTime()
+	curves := make([]cost.Curve, len(flags))
+	li := 0
+	for ci, f := range flags {
+		c := cost.Curve{Name: f.String(), Flags: f, Points: make([]cost.CurvePoint, len(grid))}
+		for gi, a := range grid {
+			t := wres.Times[li]
+			li++
+			c.Points[gi] = cost.CurvePoint{Alpha: a.Float(), Time: t, Cost: base - t}
+		}
+		curves[ci] = c
+	}
+	return curves, nil
 }

@@ -30,6 +30,22 @@ import (
 	"time"
 )
 
+// SpecError is the typed failure for fault-spec parsing: Rule carries
+// the offending rule text (empty for spec-level failures) and Detail
+// says what was wrong. Callers that build specs programmatically
+// (icostload -perturb) can errors.As it apart from transport errors.
+type SpecError struct {
+	Rule   string
+	Detail string
+}
+
+func (e *SpecError) Error() string {
+	if e.Rule == "" {
+		return "fault spec: " + e.Detail
+	}
+	return fmt.Sprintf("fault spec rule %q: %s", e.Rule, e.Detail)
+}
+
 // ParseSpec parses a fault-spec flag value into injection rules.
 func ParseSpec(spec string) ([]Rule, error) {
 	var rules []Rule
@@ -40,55 +56,67 @@ func ParseSpec(spec string) ([]Rule, error) {
 		}
 		r, err := parseRule(part)
 		if err != nil {
-			return nil, fmt.Errorf("rule %q: %w", part, err)
+			return nil, err
 		}
 		rules = append(rules, r)
 	}
 	if len(rules) == 0 {
-		return nil, fmt.Errorf("empty fault spec")
+		return nil, &SpecError{Detail: "empty fault spec"}
 	}
 	return rules, nil
 }
 
 func parseRule(s string) (Rule, error) {
 	var r Rule
+	bad := func(format string, args ...any) (Rule, error) {
+		return Rule{}, &SpecError{Rule: s, Detail: fmt.Sprintf(format, args...)}
+	}
 	point, rest, ok := strings.Cut(s, ":")
 	if !ok {
-		return r, fmt.Errorf("missing ':' between point and action")
+		return bad("missing ':' between point and action")
 	}
 	pt := Point(point)
 	if !knownPoint(pt) {
-		return r, fmt.Errorf("unknown point %q (known: %s)", point, pointList())
+		return bad("unknown point %q (known: %s)", point, pointList())
 	}
 	r.Point = pt
 
 	// Peel modifiers off the tail in any order: %prob, @after, *count.
 	// None of the modifier characters appear in the actions themselves
 	// (durations spell out units), so a rightmost scan is unambiguous.
+	// A repeated modifier is refused rather than letting one copy
+	// silently shadow the other.
 	action := rest
+	seen := map[byte]bool{}
 	for {
 		i := strings.LastIndexAny(action, "*@%")
 		if i < 0 {
 			break
 		}
-		val := action[i+1:]
-		switch action[i] {
+		mod, val := action[i], action[i+1:]
+		if seen[mod] {
+			return bad("duplicate %c modifier", mod)
+		}
+		seen[mod] = true
+		switch mod {
 		case '%':
+			// The comparison is written positively so NaN (which fails
+			// every ordering) cannot sneak past a <=0 || >1 rejection.
 			p, err := strconv.ParseFloat(val, 64)
-			if err != nil || p <= 0 || p > 1 {
-				return r, fmt.Errorf("bad probability %q (want (0,1])", val)
+			if err != nil || !(p > 0 && p <= 1) {
+				return bad("bad probability %q (want (0,1])", val)
 			}
 			r.Prob = p
 		case '@':
 			n, err := strconv.Atoi(val)
 			if err != nil || n < 0 {
-				return r, fmt.Errorf("bad @after %q", val)
+				return bad("bad @after %q (want an integer >= 0)", val)
 			}
 			r.After = n
 		case '*':
 			n, err := strconv.Atoi(val)
 			if err != nil || n < 1 {
-				return r, fmt.Errorf("bad *count %q", val)
+				return bad("bad *count %q (want an integer >= 1)", val)
 			}
 			r.Count = n
 		}
@@ -103,11 +131,11 @@ func parseRule(s string) (Rule, error) {
 	case strings.HasPrefix(action, "lat="):
 		d, err := time.ParseDuration(action[len("lat="):])
 		if err != nil || d <= 0 {
-			return r, fmt.Errorf("bad latency %q", action)
+			return bad("bad latency %q", action)
 		}
 		r.Latency = d
 	default:
-		return r, fmt.Errorf("unknown action %q (want err, lat=<dur> or cancel)", action)
+		return bad("unknown action %q (want err, lat=<dur> or cancel)", action)
 	}
 	return r, nil
 }

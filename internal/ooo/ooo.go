@@ -100,6 +100,30 @@ func (c Config) WithDL1Latency(n int) Config {
 	return c
 }
 
+// WithL2Latency returns a copy with the additional L2-hit latency set
+// in both the timing model and the hierarchy.
+func (c Config) WithL2Latency(n int) Config {
+	c.Graph.L2Latency = n
+	c.Cache.L2Latency = n
+	return c
+}
+
+// WithMemLatency returns a copy with the additional L2-miss latency
+// set in both the timing model and the hierarchy.
+func (c Config) WithMemLatency(n int) Config {
+	c.Graph.MemLatency = n
+	c.Cache.MemLatency = n
+	return c
+}
+
+// WithTLBMissLatency returns a copy with the translation-miss latency
+// set in both the timing model and the hierarchy.
+func (c Config) WithTLBMissLatency(n int) Config {
+	c.Graph.TLBMissLatency = n
+	c.Cache.TLBMissLatency = n
+	return c
+}
+
 // WithWindow returns a copy with the re-order buffer size set.
 func (c Config) WithWindow(n int) Config {
 	c.Graph.Window = n

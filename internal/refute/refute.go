@@ -1,0 +1,199 @@
+// Package refute is the model-vs-simulator refutation harness: the
+// repo's analogue of CounterPoint's refute-and-refine loop. The graph
+// model predicts how execution time responds to scaling an event
+// category's latency by α; the out-of-order simulator, reconfigured to
+// the same scaled machine, is ground truth. For each sampled
+// (benchmark, knob, α) point the harness records the relative error
+// between prediction and re-simulation, and the maximum per knob — the
+// error envelope — is committed to BENCH_sens.json, where CI's
+// TestRefuteEnvelopeGuard refuses any regression. A model change that
+// silently widens the model/machine gap therefore cannot land without
+// the envelope being deliberately regenerated and reviewed.
+//
+// Endpoints are exact by construction elsewhere (α=1 is the
+// unidealized graph, whose critical path equals simulated cycles;
+// α=0 is the paper's binary idealization) — but note α=0 truth is
+// re-simulated with the machine re-arbitrating structural resources,
+// which is precisely the second-order effect the graph analysis
+// approximates away (paper Table 7). Interior α points re-simulate
+// with scaled configuration latencies, exposing the same class of
+// approximation along the whole curve.
+package refute
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"icost/internal/depgraph"
+	"icost/internal/ooo"
+	"icost/internal/workload"
+)
+
+// Knob is one scalable machine axis: the graph-model categories it
+// idealizes and how to build the equivalently scaled simulator
+// configuration for an interior α.
+type Knob struct {
+	Name  string
+	Flags depgraph.Flags
+	// scale returns the machine configuration whose latencies the
+	// graph model assumes at this α. Only called for 0 < α < 1;
+	// endpoints use the base machine and Options.Ideal.
+	scale func(base ooo.Config, a depgraph.Alpha) ooo.Config
+}
+
+// Knobs returns the standard refutation axes: the four knobs the
+// paper's Section 4 experiments turn, expressed parametrically.
+func Knobs() []Knob {
+	return []Knob{
+		{
+			Name:  "dl1",
+			Flags: depgraph.IdealDL1,
+			scale: func(c ooo.Config, a depgraph.Alpha) ooo.Config {
+				return c.WithDL1Latency(depgraph.ScaleLatency(c.Graph.DL1Latency, a))
+			},
+		},
+		{
+			// mem scales everything beyond L1 — the additive L2,
+			// memory and TLB-miss latencies feed both the dmiss and
+			// imiss decomposition columns, so the model-side flags
+			// cover both categories.
+			Name:  "mem",
+			Flags: depgraph.IdealDMiss | depgraph.IdealICache,
+			scale: func(c ooo.Config, a depgraph.Alpha) ooo.Config {
+				return c.WithL2Latency(depgraph.ScaleLatency(c.Graph.L2Latency, a)).
+					WithMemLatency(depgraph.ScaleLatency(c.Graph.MemLatency, a)).
+					WithTLBMissLatency(depgraph.ScaleLatency(c.Graph.TLBMissLatency, a))
+			},
+		},
+		{
+			Name:  "bmisp",
+			Flags: depgraph.IdealBMisp,
+			scale: func(c ooo.Config, a depgraph.Alpha) ooo.Config {
+				return c.WithBranchRecovery(depgraph.ScaleLatency(c.Graph.BranchRecovery, a))
+			},
+		},
+		{
+			Name:  "win",
+			Flags: depgraph.IdealWindow,
+			scale: func(c ooo.Config, a depgraph.Alpha) ooo.Config {
+				return c.WithWindow(c.Graph.EffWindow(a))
+			},
+		},
+	}
+}
+
+// Sample is one refutation point.
+type Sample struct {
+	Bench  string  `json:"bench"`
+	Seed   uint64  `json:"seed"`
+	Knob   string  `json:"knob"`
+	Alpha  float64 `json:"alpha"`
+	Truth  int64   `json:"truth"` // re-simulated cycles, ground truth
+	Pred   int64   `json:"pred"`  // graph-model predicted cycles
+	RelErr float64 `json:"rel_err"`
+}
+
+// Report is a full harness run.
+type Report struct {
+	// Insts is the per-benchmark trace length sampled.
+	Insts int `json:"insts"`
+	// Envelope is the maximum relative error observed per knob — the
+	// accuracy bound the guard enforces and icostd advertises.
+	Envelope map[string]float64 `json:"envelope"`
+	// Samples are every point behind the envelope, for inspection.
+	Samples []Sample `json:"samples"`
+}
+
+// Point identifies one (benchmark, seed) microexecution to refute.
+type Point struct {
+	Bench string
+	Seed  uint64
+}
+
+// DefaultPoints are the harness's standard sample set: one
+// compute-bound and one memory-bound benchmark.
+func DefaultPoints() []Point {
+	return []Point{{Bench: "gzip", Seed: 1}, {Bench: "mcf", Seed: 2}}
+}
+
+// DefaultRefuteGrid is the α sample grid: both exact endpoints plus
+// the midpoint, where configuration-scaling disagreement peaks.
+func DefaultRefuteGrid() []depgraph.Alpha {
+	return []depgraph.Alpha{0, depgraph.AlphaOf(0.5), depgraph.AlphaOne}
+}
+
+// Run refutes the graph model against the simulator on every
+// (point, knob, α) combination: prediction from one batched
+// multi-lane walk of the base microexecution's graph, truth from an
+// independent simulation of the scaled machine.
+func Run(ctx context.Context, pts []Point, knobs []Knob, grid []depgraph.Alpha, insts int) (*Report, error) {
+	if len(pts) == 0 || len(knobs) == 0 || len(grid) == 0 || insts <= 0 {
+		return nil, fmt.Errorf("refute: need points, knobs, a grid and a positive trace length")
+	}
+	rep := &Report{Insts: insts, Envelope: map[string]float64{}}
+	base := ooo.DefaultConfig()
+	for _, pt := range pts {
+		tr, err := workload.Load(pt.Bench, pt.Seed, insts)
+		if err != nil {
+			return nil, err
+		}
+		res, err := ooo.Run(tr, base)
+		if err != nil {
+			return nil, err
+		}
+		g := res.Graph
+
+		// Predictions: every (knob, α) lane in one batched walk.
+		ids := make([]depgraph.Ideal, 0, len(knobs)*len(grid))
+		for _, k := range knobs {
+			for _, a := range grid {
+				ids = append(ids, depgraph.Ideal{Global: k.Flags, Scale: depgraph.ScaleUniform(k.Flags, a)})
+			}
+		}
+		preds, err := g.EvalBatch(ctx, ids)
+		if err != nil {
+			return nil, err
+		}
+
+		li := 0
+		for _, k := range knobs {
+			if _, ok := rep.Envelope[k.Name]; !ok {
+				rep.Envelope[k.Name] = 0 // a knob with zero error still gets a recorded bound
+			}
+			for _, a := range grid {
+				pred := preds[li]
+				li++
+				var truth int64
+				switch {
+				case a >= depgraph.AlphaOne:
+					truth = res.Cycles
+				case a == 0:
+					ideal, err := ooo.Simulate(tr, base, ooo.Options{Ideal: k.Flags})
+					if err != nil {
+						return nil, err
+					}
+					truth = ideal.Cycles
+				default:
+					scaled, err := ooo.Simulate(tr, k.scale(base, a), ooo.Options{})
+					if err != nil {
+						return nil, err
+					}
+					truth = scaled.Cycles
+				}
+				relErr := math.Abs(float64(pred-truth)) / math.Max(float64(truth), 1)
+				rep.Samples = append(rep.Samples, Sample{
+					Bench: pt.Bench, Seed: pt.Seed, Knob: k.Name,
+					Alpha: a.Float(), Truth: truth, Pred: pred, RelErr: relErr,
+				})
+				if relErr > rep.Envelope[k.Name] {
+					rep.Envelope[k.Name] = relErr
+				}
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return rep, nil
+}

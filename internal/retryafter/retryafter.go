@@ -1,0 +1,45 @@
+// Package retryafter parses HTTP Retry-After headers. RFC 9110 §10.2.3
+// allows two forms — delay seconds ("120") and an HTTP-date ("Fri, 08
+// Aug 2026 12:00:00 GMT") — and a client that only handles the integer
+// form silently treats date-form hints as absent and retries
+// immediately, which is precisely the stampede the header exists to
+// prevent.
+package retryafter
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse interprets a Retry-After header value as a wait duration,
+// accepting both the delay-seconds and the HTTP-date form. The result
+// is clamped to [0, cap] (a date in the past parses to 0; a far-future
+// date or huge delay cannot stall the caller beyond cap). The boolean
+// is false when the header is empty or unparseable, in which case the
+// caller should fall back to its own default.
+func Parse(header string, now time.Time, cap time.Duration) (time.Duration, bool) {
+	header = strings.TrimSpace(header)
+	if header == "" {
+		return 0, false
+	}
+	var wait time.Duration
+	if secs, err := strconv.Atoi(header); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		wait = time.Duration(secs) * time.Second
+	} else if at, err := http.ParseTime(header); err == nil {
+		wait = at.Sub(now)
+		if wait < 0 {
+			wait = 0
+		}
+	} else {
+		return 0, false
+	}
+	if wait > cap {
+		wait = cap
+	}
+	return wait, true
+}

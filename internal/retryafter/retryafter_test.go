@@ -1,0 +1,40 @@
+package retryafter
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParse(t *testing.T) {
+	now := time.Date(2026, time.August, 8, 12, 0, 0, 0, time.UTC)
+	const cap = 2 * time.Second
+	cases := []struct {
+		name   string
+		header string
+		want   time.Duration
+		ok     bool
+	}{
+		{"empty", "", 0, false},
+		{"delay seconds", "1", time.Second, true},
+		{"delay seconds capped", "120", cap, true},
+		{"zero seconds", "0", 0, true},
+		{"negative seconds", "-5", 0, false},
+		{"whitespace", "  1  ", time.Second, true},
+		{"not a number or date", "soon", 0, false},
+		{"fractional seconds rejected", "1.5", 0, false},
+		{"http-date future", "Fri, 08 Aug 2026 12:00:01 GMT", time.Second, true},
+		{"http-date far future capped", "Sat, 08 Aug 2026 13:00:00 GMT", cap, true},
+		{"http-date past", "Fri, 08 Aug 2026 11:00:00 GMT", 0, true},
+		{"rfc850 date", "Friday, 08-Aug-26 12:00:01 GMT", time.Second, true},
+		{"asctime date", "Fri Aug  8 12:00:01 2026", time.Second, true},
+		{"garbage date", "Fri, 99 Aug 2026", 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := Parse(tc.header, now, cap)
+			if got != tc.want || ok != tc.ok {
+				t.Fatalf("Parse(%q) = (%v, %v), want (%v, %v)", tc.header, got, ok, tc.want, tc.ok)
+			}
+		})
+	}
+}

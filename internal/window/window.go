@@ -63,6 +63,20 @@ type Result struct {
 // base lane is folded internally anyway (and excluded from the
 // result) so the exactness self-check always runs.
 func Analyze(ctx context.Context, req Request, lanes []depgraph.Flags) (*Result, error) {
+	ids := make([]depgraph.Ideal, len(lanes))
+	for i, f := range lanes {
+		ids[i] = depgraph.Ideal{Global: f}
+	}
+	return AnalyzeIdeals(ctx, req, ids)
+}
+
+// AnalyzeIdeals is Analyze for full (possibly parametric) global
+// idealizations: each lane may carry a scale vector, so a windowed
+// session can answer sensitivity queries by re-folding the stream at
+// every grid α with bit-identical semantics to a whole-graph walk.
+// Per-instruction idealizations are rejected (the stream holds no
+// per-instruction state across blocks).
+func AnalyzeIdeals(ctx context.Context, req Request, lanes []depgraph.Ideal) (*Result, error) {
 	if len(lanes) == 0 {
 		return nil, fmt.Errorf("window: no idealization lanes")
 	}
@@ -71,15 +85,15 @@ func Analyze(ctx context.Context, req Request, lanes []depgraph.Flags) (*Result,
 	}
 	evalLanes := lanes
 	baseAt := -1
-	for k, f := range lanes {
-		if f == 0 {
+	for k, id := range lanes {
+		if id.Global == 0 && len(id.PerInst) == 0 {
 			baseAt = k
 			break
 		}
 	}
 	if baseAt < 0 {
 		// Prepend the self-check lane; stripped from the result below.
-		evalLanes = append([]depgraph.Flags{0}, lanes...)
+		evalLanes = append([]depgraph.Ideal{{}}, lanes...)
 		baseAt = 0
 	}
 
@@ -87,7 +101,7 @@ func Analyze(ctx context.Context, req Request, lanes []depgraph.Flags) (*Result,
 	if err != nil {
 		return nil, err
 	}
-	we, err := depgraph.NewWindowEval(req.Sim.Graph, evalLanes)
+	we, err := depgraph.NewWindowEvalIdeals(req.Sim.Graph, evalLanes)
 	if err != nil {
 		return nil, err
 	}
@@ -123,8 +137,12 @@ func Analyze(ctx context.Context, req Request, lanes []depgraph.Flags) (*Result,
 	if len(evalLanes) != len(lanes) {
 		times = times[1:]
 	}
+	flags := make([]depgraph.Flags, len(lanes))
+	for i, id := range lanes {
+		flags[i] = id.Global
+	}
 	return &Result{
-		Lanes:     append([]depgraph.Flags(nil), lanes...),
+		Lanes:     flags,
 		Times:     times,
 		Cycles:    res.Cycles,
 		Stats:     res.Stats,

@@ -78,6 +78,131 @@ func TestAnalyzeMatchesWholeGraph(t *testing.T) {
 	}
 }
 
+// fullTimesIdeals is fullTimes for parametric lanes: one monolithic
+// build and one batched evaluation of the exact Ideal set.
+func fullTimesIdeals(tb testing.TB, req Request, ids []depgraph.Ideal) []int64 {
+	tb.Helper()
+	w, err := workload.Cached(req.Bench, req.Seed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr, err := w.Execute(req.Warmup+req.TraceLen, req.Seed+1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	res, err := ooo.Simulate(tr, req.Sim, ooo.Options{KeepGraph: true, Warmup: req.Warmup})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	times, err := res.Graph.EvalBatch(context.Background(), ids)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	depgraph.ReleaseTimes(res.Times)
+	res.Graph.Release()
+	return times
+}
+
+// TestAnalyzeIdealsParametricMatchesWholeGraph is the windowed-fold
+// property test over parametric idealizations: for random α grids the
+// streaming fold must be bit-identical to the whole-graph batched walk
+// at every grid point — the invariant that lets windowed sessions
+// answer sensitivity queries exactly.
+func TestAnalyzeIdealsParametricMatchesWholeGraph(t *testing.T) {
+	req := Request{
+		Bench: "mcf", Seed: 5,
+		TraceLen: 2500, Warmup: 300,
+		WindowInsts: 512,
+		Sim:         ooo.DefaultConfig(),
+	}
+	// A deterministic xorshift stream stands in for math/rand so the
+	// grid is reproducible from the failure message alone.
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	cats := []depgraph.Flags{
+		depgraph.IdealDL1,
+		depgraph.IdealDMiss | depgraph.IdealICache,
+		depgraph.IdealBMisp,
+		depgraph.IdealWindow,
+		depgraph.AllFlags,
+	}
+	for trial := 0; trial < 4; trial++ {
+		ids := []depgraph.Ideal{{}} // explicit base lane
+		for _, f := range cats {
+			a := depgraph.Alpha(next() % (uint64(depgraph.AlphaOne) + 1))
+			ids = append(ids, depgraph.Ideal{Global: f, Scale: depgraph.ScaleUniform(f, a)})
+		}
+		want := fullTimesIdeals(t, req, ids)
+		res, err := AnalyzeIdeals(context.Background(), req, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range ids {
+			if res.Times[k] != want[k] {
+				t.Fatalf("trial %d lane %d (flags %v scale %v): windowed %d, whole-graph %d",
+					trial, k, ids[k].Global, ids[k].Scale, res.Times[k], want[k])
+			}
+		}
+		if res.Times[0] != res.Cycles {
+			t.Fatalf("trial %d: base lane %d != simulated %d", trial, res.Times[0], res.Cycles)
+		}
+	}
+}
+
+// TestWindowSmallerThanCarryDepth pins the edge case where the
+// emission block is far smaller than the evaluator's carry depth: the
+// carry rings span blocks, so exactness must not depend on a window
+// covering the clamp horizon. A parametric lane rides along to cover
+// the scaled kernel too.
+func TestWindowSmallerThanCarryDepth(t *testing.T) {
+	req := Request{
+		Bench: "gzip", Seed: 9,
+		TraceLen: 1200, Warmup: 200,
+		WindowInsts: 7, // carry depth for the Table 6 machine is >= its window
+		Sim:         ooo.DefaultConfig(),
+	}
+	if cd := req.Sim.Graph.CarryDepth(); req.WindowInsts >= cd {
+		t.Fatalf("test premise broken: window %d not below carry depth %d", req.WindowInsts, cd)
+	}
+	ids := []depgraph.Ideal{
+		{},
+		{Global: depgraph.IdealDMiss},
+		{Global: depgraph.IdealWindow, Scale: depgraph.ScaleUniform(depgraph.IdealWindow, depgraph.AlphaOf(0.5))},
+	}
+	want := fullTimesIdeals(t, req, ids)
+	res, err := AnalyzeIdeals(context.Background(), req, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range ids {
+		if res.Times[k] != want[k] {
+			t.Fatalf("lane %d: windowed %d, whole-graph %d", k, res.Times[k], want[k])
+		}
+	}
+	if wantW := (req.TraceLen + req.WindowInsts - 1) / req.WindowInsts; res.Windows != wantW {
+		t.Fatalf("windows %d, want %d", res.Windows, wantW)
+	}
+
+	// ValidateWindowed's precondition is about edge reach, not block
+	// size: the boundary configuration (WakeupExtra exactly at the
+	// dispatch-to-ready + complete-to-commit ceiling) is accepted, one
+	// past it is refused.
+	cfg := req.Sim.Graph
+	cfg.WakeupExtra = cfg.DispatchToReady + cfg.CompleteToCommit
+	if err := cfg.ValidateWindowed(); err != nil {
+		t.Fatalf("boundary WakeupExtra rejected: %v", err)
+	}
+	cfg.WakeupExtra++
+	if err := cfg.ValidateWindowed(); err == nil {
+		t.Fatal("WakeupExtra past the windowed ceiling accepted")
+	}
+}
+
 // TestAnalyzeValidation pins the request contract.
 func TestAnalyzeValidation(t *testing.T) {
 	base := Request{Bench: "gcc", Seed: 1, TraceLen: 500, WindowInsts: 128, Sim: ooo.DefaultConfig()}
